@@ -1,0 +1,87 @@
+// §4.3 escalation ablation: wide-matching rules (many tuples per firing)
+// with and without Rc escalation. Escalation trades lock-manager work
+// (one relation lock instead of N tuple locks) against concurrency (the
+// relation lock is a bigger abort/conflict target).
+
+#include <cstdio>
+
+#include "engine/parallel_engine.h"
+#include "lang/compiler.h"
+#include "report.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dbps;
+
+// Each firing matches a chain of 6 config tuples plus its own job tuple.
+constexpr const char* kProgram = R"(
+(relation config (slot int) (v int))
+(relation job (id int) (steps int))
+(rule work :cost 300
+  (config ^slot 1) (config ^slot 2) (config ^slot 3)
+  (config ^slot 4) (config ^slot 5) (config ^slot 6)
+  (job ^id <j> ^steps { > 0 } ^steps <s>)
+  -->
+  (modify 7 ^steps (- <s> 1)))
+)";
+
+struct Outcome {
+  double ms;
+  uint64_t lock_acquires;
+  uint64_t aborts;
+};
+
+Outcome Run(size_t escalation_threshold) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kProgram, &wm).ValueOrDie();
+  for (int s = 1; s <= 6; ++s) {
+    DBPS_CHECK(wm.Insert("config", {Value::Int(s), Value::Int(0)}).ok());
+  }
+  for (int j = 0; j < 12; ++j) {
+    DBPS_CHECK(wm.Insert("job", {Value::Int(j), Value::Int(5)}).ok());
+  }
+  ParallelEngineOptions options;
+  options.num_workers = 4;
+  options.rc_escalation_threshold = escalation_threshold;
+  ParallelEngine engine(&wm, rules, options);
+  Stopwatch stopwatch;
+  auto result = engine.Run().ValueOrDie();
+  DBPS_CHECK_EQ(result.stats.firings, 60u);
+  return Outcome{stopwatch.ElapsedSeconds() * 1e3,
+                 engine.lock_stats().acquired,
+                 result.stats.aborts + result.stats.stale_skips};
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Rc lock escalation ablation (§4.3)\n"
+      "(12 jobs x 5 steps; every firing Rc-locks 6 shared config tuples\n"
+      " + its own job tuple; Np=4, cost 300us)");
+
+  std::printf("\n  %-28s %10s %14s %8s\n", "configuration", "time",
+              "lock acquires", "aborts");
+  for (size_t threshold : {0, 8, 4, 2}) {
+    Outcome outcome = Run(threshold);
+    char label[64];
+    if (threshold == 0) {
+      std::snprintf(label, sizeof(label), "no escalation");
+    } else {
+      std::snprintf(label, sizeof(label), "escalate above %zu Rc/rel",
+                    threshold);
+    }
+    std::printf("  %-28s %8.1fms %14llu %8llu\n", label, outcome.ms,
+                (unsigned long long)outcome.lock_acquires,
+                (unsigned long long)outcome.aborts);
+  }
+
+  std::printf(
+      "\nexpected shape: escalation cuts lock-manager traffic (fewer\n"
+      "acquires per firing). Here the config tuples are read-shared and\n"
+      "the job writes never touch `config`, so escalation costs no\n"
+      "concurrency; on write-mixed relations it would trade acquires for\n"
+      "extra Rc-victim aborts (see escalation_test for that conflict).\n");
+  return 0;
+}

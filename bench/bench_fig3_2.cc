@@ -1,0 +1,68 @@
+// Figure 3.1 / 3.2 + §3.3: builds the six-production abstract system,
+// prints its execution graph (states and transitions) and enumerates the
+// complete single-thread execution semantics ES_single.
+
+#include <cstdio>
+#include <map>
+
+#include "report.h"
+#include "semantics/abstract_ps.h"
+#include "sim/paper_scenarios.h"
+
+int main() {
+  using namespace dbps;
+  bench::Header(
+      "Figure 3.2 / Section 3.3 — execution graph and ES_single\n"
+      "(paper's add/delete tables are OCR-corrupted; this is the\n"
+      " reconstructed 6-production system, initial PA = {p1,p2,p3,p5})");
+
+  AbstractSystem system = Section33System();
+
+  bench::Section("productions");
+  for (size_t p = 0; p < system.num_productions(); ++p) {
+    const AbstractProduction& production = system.production(p);
+    std::printf("  %s: add %s  delete %s\n", production.name.c_str(),
+                system.MaskToString(production.add_set).c_str(),
+                system.MaskToString(production.delete_set).c_str());
+  }
+  std::printf("  initial conflict set: %s\n",
+              system.MaskToString(system.initial()).c_str());
+
+  bench::Section("execution graph (reachable states, Figure 3.1 form)");
+  auto states = system.ReachableStates().ValueOrDie();
+  std::printf("  %zu reachable states\n", states.size());
+  for (ConflictMask state : states) {
+    std::printf("  %-22s ->", system.MaskToString(state).c_str());
+    bool any = false;
+    for (size_t p = 0; p < system.num_productions(); ++p) {
+      if (((state >> p) & 1) == 0) continue;
+      std::printf(" --%s--> %s", system.production(p).name.c_str(),
+                  system.MaskToString(system.Fire(state, p)).c_str());
+      any = true;
+    }
+    if (!any) std::printf(" (terminal)");
+    std::printf("\n");
+  }
+
+  bench::Section("ES_single: complete execution sequences (Figure 3.2)");
+  auto sequences = system.EnumerateCompleteSequences().ValueOrDie();
+  std::map<size_t, int> by_length;
+  for (const auto& sequence : sequences) {
+    std::printf("  %s\n", system.SequenceToString(sequence).c_str());
+    ++by_length[sequence.size()];
+  }
+  std::printf("  total: %zu complete sequences", sequences.size());
+  std::printf("  (by length:");
+  for (const auto& [length, count] : by_length) {
+    std::printf(" %zu:%d", length, count);
+  }
+  std::printf(")\n");
+  std::printf(
+      "\n  every prefix of the above is also in ES_single (Def. 3.1);\n"
+      "  the parallel engines' commit logs are validated against exactly\n"
+      "  this membership by semantics/replay_validator.\n");
+
+  bench::Section("Graphviz form (pipe into `dot -Tpng`)");
+  std::printf("%s", system.ToDot().ValueOrDie().c_str());
+  return 0;
+}

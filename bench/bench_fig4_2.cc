@@ -1,0 +1,171 @@
+// Figures 4.1–4.4: lock-acquisition traces of two conflicting
+// productions under (a) conventional 2PL and (b) the Rc/Ra/Wa scheme,
+// including both commit orders of the Rc–Wa race (Figure 4.3 a/b) and
+// the circular conflict (Figure 4.4).
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "util/logging.h"
+#include "report.h"
+
+namespace {
+
+using namespace dbps;
+
+struct Tracer {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  LockManager::Options Options(LockProtocol protocol) {
+    LockManager::Options options;
+    options.protocol = protocol;
+    options.trace = [this](const LockEvent& event) {
+      std::lock_guard<std::mutex> guard(mu);
+      lines.push_back(event.ToString());
+    };
+    return options;
+  }
+  void Dump() {
+    for (const auto& line : lines) std::printf("    %s\n", line.c_str());
+    lines.clear();
+  }
+};
+
+// Figure 4.1/4.2 single-production lock discipline, narrated.
+void Figure41And42() {
+  bench::Section(
+      "Figure 4.1 vs 4.2 — lock acquisition order of one production");
+  std::printf(
+      "  standard 2PL (Fig 4.1):   acquire S(read) locks for the LHS ->\n"
+      "                            evaluate -> acquire S/X locks for the\n"
+      "                            RHS -> execute -> commit -> release\n"
+      "  improved scheme (Fig 4.2): acquire Rc locks for the LHS ->\n"
+      "                            evaluate -> acquire Ra/Wa locks ->\n"
+      "                            execute -> commit (abort conflicting\n"
+      "                            Rc holders) -> release\n");
+
+  Tracer tracer;
+  LockManager lm(tracer.Options(LockProtocol::kRcRaWa));
+  LockObjectId q{Sym("q"), 1};
+  LockObjectId r{Sym("r"), 1};
+  TxnId txn = lm.Begin();
+  DBPS_CHECK_OK(lm.Acquire(txn, q, LockMode::kRc));  // condition read
+  DBPS_CHECK_OK(lm.Acquire(txn, r, LockMode::kRa));  // action read
+  DBPS_CHECK_OK(lm.Acquire(txn, q, LockMode::kWa));  // action write
+  lm.Release(txn);                                    // commit
+  std::printf("  trace (one firing, Rc -> Ra/Wa -> commit):\n");
+  tracer.Dump();
+}
+
+// Figure 4.3(a): Pj (reader) commits first — serial order Pj Pi.
+void Figure43a() {
+  bench::Section("Figure 4.3(a) — Pj holds Rc(q), Pi holds Wa(q); Pj "
+                 "commits first");
+  Tracer tracer;
+  LockManager lm(tracer.Options(LockProtocol::kRcRaWa));
+  LockObjectId q{Sym("q"), 1};
+  TxnId pj = lm.Begin();
+  TxnId pi = lm.Begin();
+  DBPS_CHECK_OK(lm.Acquire(pj, q, LockMode::kRc));
+  DBPS_CHECK_OK(lm.Acquire(pi, q, LockMode::kWa));  // granted over Rc!
+  auto victims = lm.CollectRcVictims(pj);           // Pj commits first
+  lm.Release(pj);
+  std::printf("  Pj commits: %zu victims (it holds no Wa)\n",
+              victims.size());
+  victims = lm.CollectRcVictims(pi);                // then Pi commits
+  std::printf("  Pi commits: %zu victims (Pj already gone)\n",
+              victims.size());
+  lm.Release(pi);
+  std::printf("  => serial order Pj Pi, no aborts. trace:\n");
+  tracer.Dump();
+}
+
+// Figure 4.3(b): Pi (writer) commits first — Pj must abort.
+void Figure43b() {
+  bench::Section("Figure 4.3(b) — same locks; Pi commits first");
+  Tracer tracer;
+  LockManager lm(tracer.Options(LockProtocol::kRcRaWa));
+  LockObjectId q{Sym("q"), 1};
+  TxnId pj = lm.Begin();
+  TxnId pi = lm.Begin();
+  DBPS_CHECK_OK(lm.Acquire(pj, q, LockMode::kRc));
+  DBPS_CHECK_OK(lm.Acquire(pi, q, LockMode::kWa));
+  auto victims = lm.CollectRcVictims(pi);  // Pi commits first
+  std::printf("  Pi commits: %zu victim(s) ->", victims.size());
+  for (TxnId victim : victims) {
+    std::printf(" T%llu", (unsigned long long)victim);
+    lm.MarkAborted(victim);
+  }
+  std::printf("  (the lock manager finds all productions holding Rc on q\n"
+              "   and forces them to abort — paper rule (ii))\n");
+  lm.Release(pi);
+  lm.Release(pj);
+  std::printf("  trace:\n");
+  tracer.Dump();
+}
+
+// Figure 4.4: circular Rc/Wa dependency.
+void Figure44() {
+  bench::Section(
+      "Figure 4.4 — circular conflict: Pi{Rc(q),Wa(r)}, Pj{Rc(r),Wa(q)}");
+  Tracer tracer;
+  LockManager lm(tracer.Options(LockProtocol::kRcRaWa));
+  LockObjectId q{Sym("q"), 1};
+  LockObjectId r{Sym("r"), 1};
+  TxnId pi = lm.Begin();
+  TxnId pj = lm.Begin();
+  DBPS_CHECK_OK(lm.Acquire(pi, q, LockMode::kRc));
+  DBPS_CHECK_OK(lm.Acquire(pj, r, LockMode::kRc));
+  DBPS_CHECK_OK(lm.Acquire(pi, r, LockMode::kWa));
+  DBPS_CHECK_OK(lm.Acquire(pj, q, LockMode::kWa));
+  std::printf("  all four locks granted concurrently (no blocking!).\n");
+  auto victims = lm.CollectRcVictims(pi);
+  std::printf("  if Pi commits first it aborts %zu txn(s); ",
+              victims.size());
+  victims = lm.CollectRcVictims(pj);
+  std::printf("if Pj commits first it aborts %zu txn(s).\n",
+              victims.size());
+  std::printf(
+      "  => the commitment of one production always forces the other to\n"
+      "     abort; exactly one survives (consistent semantics).\n");
+  lm.Release(pi);
+  lm.Release(pj);
+  std::printf("  trace:\n");
+  tracer.Dump();
+}
+
+// Contrast: the same Figure 4.3 race under conventional 2PL blocks.
+void TwoPhaseContrast() {
+  bench::Section("contrast — Figure 4.3 locks under conventional 2PL");
+  Tracer tracer;
+  LockManager::Options options = tracer.Options(LockProtocol::kTwoPhase);
+  options.wait_timeout = std::chrono::milliseconds(50);
+  LockManager lm(options);
+  LockObjectId q{Sym("q"), 1};
+  TxnId pj = lm.Begin();
+  TxnId pi = lm.Begin();
+  DBPS_CHECK_OK(lm.Acquire(pj, q, LockMode::kRc));
+  Status st = lm.Acquire(pi, q, LockMode::kWa);
+  std::printf("  Pi's Wa(q) while Pj holds Rc(q): %s\n",
+              st.ToString().c_str());
+  std::printf("  => under 2PL the writer waits for the whole (possibly\n"
+              "     long) action of the reader; the Rc scheme lets it run.\n");
+  lm.Release(pi);
+  lm.Release(pj);
+  std::printf("  trace:\n");
+  tracer.Dump();
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figures 4.1–4.4 — locking scenarios, traced live");
+  Figure41And42();
+  Figure43a();
+  Figure43b();
+  Figure44();
+  TwoPhaseContrast();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 5.1 / Table 5.1 / Example 5.1 — the base case: PA = {P1..P4},
+// T = (5,3,2,4), Np = 4, P2's commit aborts P1. Paper numbers:
+// T_single = 9, T_multi = 4, speedup 2.25.
+
+#include "section5.h"
+#include "sim/paper_scenarios.h"
+
+int main() {
+  using namespace dbps;
+  bench::Header("Figure 5.1 / Table 5.1 — base case (Example 5.1)");
+  bench::PrintScenario(sim::Figure51Config(), sim::Sigma1(),
+                       /*paper_t_single=*/9, /*paper_t_multi=*/4,
+                       /*paper_speedup=*/2.25);
+
+  // Example 5.1's uniprocessor inequality: multi-thread on ONE processor
+  // is never faster than single-thread.
+  bench::Section("Example 5.1 — uniprocessor multiple-thread estimate");
+  sim::SimConfig config = sim::Figure51Config();
+  sim::MultiThreadResult result = sim::SimulateMultiThread(config);
+  for (double f : {0.0, 0.25, 0.5, 0.75}) {
+    std::printf("  f=%.2f: T_multi_uni = %5.2f  (>= T_single = 9)\n", f,
+                sim::UniprocessorMultiThreadTime(config, result, f));
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 5.4 — processor variation: Np reduced from 4 to 3, so P4 waits
+// for a free processor. Paper numbers: T_single = 9, T_multi = 6,
+// speedup 1.5 (down from 2.25).
+
+#include "section5.h"
+#include "sim/paper_scenarios.h"
+
+int main() {
+  using namespace dbps;
+  bench::Header("Figure 5.4 — fewer processors (Np = 3)");
+  bench::PrintScenario(sim::Figure54Config(), sim::Sigma1(),
+                       /*paper_t_single=*/9, /*paper_t_multi=*/6,
+                       /*paper_speedup=*/1.5);
+
+  bench::Section("full Np sweep (saturation at Np >= max|PA|, 5.3)");
+  sim::SimConfig config = sim::Figure51Config();
+  double t_single =
+      sim::SingleThreadTime(config, sim::Sigma1()).ValueOrDie();
+  for (size_t np = 1; np <= 6; ++np) {
+    config.num_processors = np;
+    double makespan = sim::SimulateMultiThread(config).makespan;
+    std::printf("  Np=%zu: T_multi=%4.1f  speedup=%.3f\n", np, makespan,
+                t_single / makespan);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Match-phase substrate benchmarks (google-benchmark): the Rete
+// network's incremental match against the naive full rematcher, as
+// working memory grows — the [FORG82] motivation the paper builds on.
+
+#include <benchmark/benchmark.h>
+
+#include "lang/compiler.h"
+#include "match/matcher.h"
+#include "match/rete.h"
+#include "util/logging.h"
+
+namespace dbps {
+namespace {
+
+constexpr const char* kProgram = R"(
+(relation item  (id int) (bucket int) (score int))
+(relation probe (bucket int) (floor int))
+(rule hit
+  (probe ^bucket <b> ^floor <f>)
+  (item ^bucket <b> ^score { >= <f> })
+  -->
+  (remove 1))
+(rule pair
+  (item ^id <a> ^bucket <b>)
+  (item ^bucket <b> ^id { > <a> })
+  -->
+  (remove 1))
+(rule lonely
+  (probe ^bucket <b>)
+  -(item ^bucket <b>)
+  -->
+  (remove 1))
+)";
+
+std::unique_ptr<WorkingMemory> BuildWm(int64_t items, RuleSetPtr* rules) {
+  auto wm = std::make_unique<WorkingMemory>();
+  auto rules_or = LoadProgram(kProgram, wm.get());
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  *rules = rules_or.ValueOrDie();
+  for (int64_t i = 0; i < items; ++i) {
+    DBPS_CHECK(wm->Insert("item", {Value::Int(i), Value::Int(i % 97),
+                                   Value::Int(i % 13)})
+                   .ok());
+  }
+  for (int64_t b = 0; b < 8; ++b) {
+    DBPS_CHECK(wm->Insert("probe", {Value::Int(b), Value::Int(6)}).ok());
+  }
+  return wm;
+}
+
+/// One WM change (insert + delete of an item) fed to the matcher.
+void ApplyOneChange(WorkingMemory* wm, Matcher* matcher, int64_t i) {
+  Delta insert;
+  insert.Create(Sym("item"),
+                {Value::Int(1000000 + i), Value::Int(i % 97),
+                 Value::Int(i % 13)});
+  auto change = wm->Apply(insert);
+  DBPS_CHECK(change.ok());
+  matcher->ApplyChange(change.ValueOrDie());
+  Delta remove;
+  remove.Delete(change.ValueOrDie().added[0]->id());
+  auto change2 = wm->Apply(remove);
+  DBPS_CHECK(change2.ok());
+  matcher->ApplyChange(change2.ValueOrDie());
+}
+
+void BM_ReteIncrementalChange(benchmark::State& state) {
+  RuleSetPtr rules;
+  auto wm = BuildWm(state.range(0), &rules);
+  auto matcher = CreateMatcher(MatcherKind::kRete);
+  DBPS_CHECK_OK(matcher->Initialize(rules, *wm));
+  int64_t i = 0;
+  for (auto _ : state) {
+    ApplyOneChange(wm.get(), matcher.get(), i++);
+  }
+  state.SetLabel("conflict set " +
+                 std::to_string(matcher->conflict_set().size()));
+}
+BENCHMARK(BM_ReteIncrementalChange)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_TreatIncrementalChange(benchmark::State& state) {
+  RuleSetPtr rules;
+  auto wm = BuildWm(state.range(0), &rules);
+  auto matcher = CreateMatcher(MatcherKind::kTreat);
+  DBPS_CHECK_OK(matcher->Initialize(rules, *wm));
+  int64_t i = 0;
+  for (auto _ : state) {
+    ApplyOneChange(wm.get(), matcher.get(), i++);
+  }
+}
+BENCHMARK(BM_TreatIncrementalChange)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_NaiveIncrementalChange(benchmark::State& state) {
+  RuleSetPtr rules;
+  auto wm = BuildWm(state.range(0), &rules);
+  auto matcher = CreateMatcher(MatcherKind::kNaive);
+  DBPS_CHECK_OK(matcher->Initialize(rules, *wm));
+  int64_t i = 0;
+  for (auto _ : state) {
+    ApplyOneChange(wm.get(), matcher.get(), i++);
+  }
+}
+BENCHMARK(BM_NaiveIncrementalChange)->Arg(100)->Arg(1000);
+
+void BM_ReteInitialize(benchmark::State& state) {
+  RuleSetPtr rules;
+  auto wm = BuildWm(state.range(0), &rules);
+  for (auto _ : state) {
+    auto matcher = CreateMatcher(MatcherKind::kRete);
+    DBPS_CHECK_OK(matcher->Initialize(rules, *wm));
+    benchmark::DoNotOptimize(matcher->conflict_set().size());
+  }
+}
+BENCHMARK(BM_ReteInitialize)->Arg(100)->Arg(1000);
+
+void BM_NaiveInitialize(benchmark::State& state) {
+  RuleSetPtr rules;
+  auto wm = BuildWm(state.range(0), &rules);
+  for (auto _ : state) {
+    auto matcher = CreateMatcher(MatcherKind::kNaive);
+    DBPS_CHECK_OK(matcher->Initialize(rules, *wm));
+    benchmark::DoNotOptimize(matcher->conflict_set().size());
+  }
+}
+BENCHMARK(BM_NaiveInitialize)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace dbps
+
+BENCHMARK_MAIN();

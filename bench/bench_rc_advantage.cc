@@ -1,0 +1,128 @@
+// §4.3 ablation — where the Rc/Ra/Wa scheme beats 2PL, and where the
+// revalidate refinement beats blind aborting.
+//
+// Workload: long-running "auditors" hold an escalated relation-level Rc
+// on `veto` (their LHS has a negated CE), while quick "veto writers"
+// insert vetoes for *other* tasks.
+//   * 2PL: every writer blocks until no auditor is in flight — writers
+//     serialize behind the audits' long actions (the §4.3 complaint:
+//     "read locks acquired for evaluating the LHS are held more
+//     conservatively than necessary").
+//   * Rc/Ra/Wa + abort (paper rule ii): writers never block, but every
+//     commit aborts all in-flight auditors — their work is wasted.
+//   * Rc/Ra/Wa + revalidate (paper's refinement): writers never block
+//     AND auditors survive, because the new veto does not actually
+//     falsify their negated condition.
+
+#include <cstdio>
+
+#include "engine/parallel_engine.h"
+#include "engine/single_thread_engine.h"
+#include "lang/compiler.h"
+#include "report.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dbps;
+
+constexpr const char* kProgram = R"(
+(relation task (id int) (state symbol))
+(relation veto (task int))
+
+; Long action: audit a pending task, provided nobody vetoed it.
+(rule audit :cost 800
+  (task ^id <t> ^state pending)
+  -(veto ^task <t>)
+  -->
+  (modify 1 ^state audited))
+
+; Quick action: veto a flagged task.
+(rule veto-one :cost 50
+  (task ^id <t> ^state flagged)
+  -->
+  (modify 1 ^state vetoed)
+  (make veto ^task <t>))
+)";
+
+struct Outcome {
+  double ms;
+  uint64_t aborts;
+  uint64_t stale;
+};
+
+Outcome Run(LockProtocol protocol, AbortPolicy policy) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kProgram, &wm).ValueOrDie();
+  for (int t = 0; t < 24; ++t) {
+    const char* state = (t % 3 == 0) ? "flagged" : "pending";
+    DBPS_CHECK(wm.Insert("task", {Value::Int(t), Value::Symbol(state)})
+                   .ok());
+  }
+  ParallelEngineOptions options;
+  options.num_workers = 4;
+  options.protocol = protocol;
+  options.abort_policy = policy;
+  ParallelEngine engine(&wm, rules, options);
+  Stopwatch stopwatch;
+  auto result = engine.Run().ValueOrDie();
+  DBPS_CHECK_EQ(result.stats.firings, 24u);  // every task resolved once
+  return Outcome{stopwatch.ElapsedSeconds() * 1e3, result.stats.aborts,
+                 result.stats.stale_skips};
+}
+
+double RunSingle() {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kProgram, &wm).ValueOrDie();
+  for (int t = 0; t < 24; ++t) {
+    const char* state = (t % 3 == 0) ? "flagged" : "pending";
+    DBPS_CHECK(wm.Insert("task", {Value::Int(t), Value::Symbol(state)})
+                   .ok());
+  }
+  SingleThreadEngine engine(&wm, rules);
+  Stopwatch stopwatch;
+  auto result = engine.Run().ValueOrDie();
+  DBPS_CHECK_EQ(result.stats.firings, 24u);
+  return stopwatch.ElapsedSeconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Section 4.3 ablation — negation-holding readers vs veto writers\n"
+      "(24 tasks: 16 audits @800us, 8 vetoes @50us; Np=4)");
+
+  double t1 = RunSingle();
+  std::printf("\n  single-thread baseline:        %7.1fms\n", t1);
+
+  Outcome two = Run(LockProtocol::kTwoPhase, AbortPolicy::kAbort);
+  std::printf(
+      "  2PL:                           %7.1fms (x%4.2f)  aborts=%llu "
+      "stale=%llu\n",
+      two.ms, t1 / two.ms, (unsigned long long)two.aborts,
+      (unsigned long long)two.stale);
+
+  Outcome rc_abort = Run(LockProtocol::kRcRaWa, AbortPolicy::kAbort);
+  std::printf(
+      "  Rc/Ra/Wa + abort (rule ii):    %7.1fms (x%4.2f)  aborts=%llu "
+      "stale=%llu\n",
+      rc_abort.ms, t1 / rc_abort.ms, (unsigned long long)rc_abort.aborts,
+      (unsigned long long)rc_abort.stale);
+
+  Outcome rc_reval = Run(LockProtocol::kRcRaWa, AbortPolicy::kRevalidate);
+  std::printf(
+      "  Rc/Ra/Wa + revalidate:         %7.1fms (x%4.2f)  aborts=%llu "
+      "stale=%llu\n",
+      rc_reval.ms, t1 / rc_reval.ms, (unsigned long long)rc_reval.aborts,
+      (unsigned long long)rc_reval.stale);
+
+  std::printf(
+      "\nexpected ordering: revalidate <= abort <= 2PL in time.\n"
+      "2PL pays writer blocking behind long Rc holders; blind aborting\n"
+      "pays wasted auditor work; revalidation pays neither, because the\n"
+      "committed veto never falsifies a *different* task's negation —\n"
+      "the paper's \"reevaluate Pj's condition to see if abort is\n"
+      "necessary\" alternative (§4.3).\n");
+  return 0;
+}

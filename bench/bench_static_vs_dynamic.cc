@@ -1,0 +1,105 @@
+// §4.1 vs §4.2/4.3 ablation: the static (pre-analysis, lock-free) engine
+// against the dynamic (locking) engines on the same workloads, plus the
+// static rule-partitioning statistics the §4.1 approach relies on.
+
+#include <cstdio>
+
+#include "analysis/partitioner.h"
+#include "engine/parallel_engine.h"
+#include "engine/single_thread_engine.h"
+#include "engine/static_partition_engine.h"
+#include "report.h"
+#include "util/stopwatch.h"
+#include "workload.h"
+
+namespace {
+
+using namespace dbps;
+
+void CompareEngines(double shared, int64_t cost) {
+  const int kJobs = 16;
+  const int kSteps = 6;
+
+  auto single_wl = bench::MakeJobsWorkload(kJobs, kSteps, shared, cost);
+  SingleThreadEngine single(single_wl.wm.get(), single_wl.rules);
+  Stopwatch sw1;
+  auto single_result = single.Run().ValueOrDie();
+  double t1 = sw1.ElapsedSeconds();
+
+  auto static_wl = bench::MakeJobsWorkload(kJobs, kSteps, shared, cost);
+  StaticPartitionOptions static_options;
+  static_options.num_workers = 4;
+  StaticPartitionEngine static_engine(static_wl.wm.get(), static_wl.rules,
+                                      static_options);
+  Stopwatch sw2;
+  auto static_result = static_engine.Run().ValueOrDie();
+  double t_static = sw2.ElapsedSeconds();
+
+  auto dynamic_wl = bench::MakeJobsWorkload(kJobs, kSteps, shared, cost);
+  ParallelEngineOptions dynamic_options;
+  dynamic_options.num_workers = 4;
+  dynamic_options.protocol = LockProtocol::kRcRaWa;
+  ParallelEngine dynamic_engine(dynamic_wl.wm.get(), dynamic_wl.rules,
+                                dynamic_options);
+  Stopwatch sw3;
+  auto dynamic_result = dynamic_engine.Run().ValueOrDie();
+  double t_dynamic = sw3.ElapsedSeconds();
+
+  std::printf(
+      "  shared=%.2f cost=%3lldus | single %6.1fms | static %6.1fms "
+      "(x%4.2f, %llu cycles) | dynamic %6.1fms (x%4.2f, %llu aborts)\n",
+      shared, (long long)cost, t1 * 1e3, t_static * 1e3, t1 / t_static,
+      (unsigned long long)static_result.stats.cycles, t_dynamic * 1e3,
+      t1 / t_dynamic,
+      (unsigned long long)(dynamic_result.stats.aborts +
+                           dynamic_result.stats.stale_skips));
+  DBPS_CHECK_EQ(single_result.stats.firings, static_result.stats.firings);
+  DBPS_CHECK_EQ(single_result.stats.firings,
+                dynamic_result.stats.firings);
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Static (Theorem 1) vs dynamic (Theorem 2 / §4.3) "
+                "parallelization");
+
+  bench::Section("static rule partitioning (pre-execution analysis)");
+  {
+    auto workload = bench::MakeJobsWorkload(4, 1, 0.5, 0);
+    InterferenceGraph graph(*workload.rules);
+    std::printf(
+        "  %zu rules, %zu interfering pairs\n", graph.num_rules(),
+        graph.num_edges());
+    auto groups = PartitionRules(*workload.rules);
+    std::printf("  greedy coloring -> %zu non-interfering group(s):\n",
+                groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      std::printf("    group %zu:", g);
+      for (size_t rule : groups[g]) {
+        std::printf(" %s", workload.rules->rules()[rule]->name().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf(
+        "  (work-local and work-shared both write `job`: the static,\n"
+        "   attribute-level analysis must put them in one group only if\n"
+        "   their footprints are disjoint — conservatism in action.)\n");
+  }
+
+  bench::Section("end-to-end: 4 workers, varying interference and cost");
+  for (double shared : {0.0, 0.5, 1.0}) {
+    CompareEngines(shared, 200);
+  }
+  for (int64_t cost : {0, 400}) {
+    CompareEngines(0.25, cost);
+  }
+
+  std::printf(
+      "\nexpected shapes: the static engine pays a per-cycle analysis +\n"
+      "barrier cost but never aborts; the dynamic engine overlaps\n"
+      "independent firings across cycle boundaries and wins when\n"
+      "interference is moderate — the paper's argument for the dynamic\n"
+      "approach (§4.1's \"overhead may still be large\" vs §4.2).\n");
+  return 0;
+}

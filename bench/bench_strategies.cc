@@ -1,0 +1,83 @@
+// Conflict-resolution strategy ablation (§3.2's remark: strategies like
+// LEX and MEA "strongly favor some sequences over others" but never rule
+// a sequence out — correctness is strategy-independent, behaviour is
+// not). Runs the same program under every strategy and reports the
+// firing count, the sequence shape, and that every sequence replays.
+
+#include <cstdio>
+
+#include "engine/single_thread_engine.h"
+#include "lang/compiler.h"
+#include "report.h"
+#include "semantics/replay_validator.h"
+
+namespace {
+
+using namespace dbps;
+
+// A program whose *trajectory* differs by strategy: tasks spawn subtasks
+// (recent WMEs), so LEX/MEA dive depth-first while FIFO goes
+// breadth-first. All strategies terminate with the same totals.
+constexpr const char* kProgram = R"(
+(relation task (id int) (depth int) (state symbol))
+(relation log  (id int) (step int))
+
+(rule expand
+  (task ^id <t> ^depth { < 3 } ^depth <d> ^state open)
+  -->
+  (modify 1 ^state expanded)
+  (make task ^id (+ (* <t> 10) 1) ^depth (+ <d> 1) ^state open)
+  (make task ^id (+ (* <t> 10) 2) ^depth (+ <d> 1) ^state open))
+
+(rule close
+  (task ^id <t> ^depth 3 ^state open)
+  -->
+  (modify 1 ^state closed))
+
+(make task ^id 1 ^depth 0 ^state open)
+(make task ^id 2 ^depth 0 ^state open)
+)";
+
+void RunOne(ConflictResolution strategy) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kProgram, &wm).ValueOrDie();
+  auto pristine = wm.Clone();
+  EngineOptions options;
+  options.strategy = strategy;
+  options.seed = 7;
+  SingleThreadEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+
+  // First 10 fired rule names, abbreviated: e=expand, c=close.
+  std::string shape;
+  for (size_t i = 0; i < result.log.size() && i < 24; ++i) {
+    shape += result.log[i].key.rule_name[0];
+  }
+  Status valid = ValidateReplay(pristine.get(), rules, result.log);
+  std::printf("  %-9s %3llu firings  prefix %-24s  replay %s\n",
+              ConflictResolutionToString(strategy),
+              (unsigned long long)result.stats.firings, shape.c_str(),
+              valid.ok() ? "OK" : valid.ToString().c_str());
+  DBPS_CHECK_OK(valid);
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Conflict-resolution strategies (§3.2) — same program, different\n"
+      "trajectories, identical validity (every sequence is in ES_single)");
+  std::printf("\n(task tree: 2 roots x depth 3; e=expand c=close)\n\n");
+  for (ConflictResolution strategy :
+       {ConflictResolution::kPriority, ConflictResolution::kLex,
+        ConflictResolution::kMea, ConflictResolution::kFifo,
+        ConflictResolution::kRandom}) {
+    RunOne(strategy);
+  }
+  std::printf(
+      "\nLEX/MEA chase the most recent activation (depth-first bursts of\n"
+      "e's); FIFO drains oldest-first (breadth-first: all e's at one\n"
+      "level, then the next). The firing totals agree — the strategies\n"
+      "choose among valid sequences, they never create or destroy them.\n");
+  return 0;
+}

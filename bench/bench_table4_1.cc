@@ -1,0 +1,75 @@
+// Table 4.1: the Rc/Ra/Wa lock-compatibility matrix — printed from the
+// implementation and *measured* against a live LockManager (every cell is
+// exercised with real acquire calls), alongside the conventional 2PL
+// matrix for contrast.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+
+#include "lock/lock_manager.h"
+#include "util/logging.h"
+#include "report.h"
+
+namespace {
+
+using namespace dbps;
+
+/// Measures one cell: T1 takes `held`; does T2's `requested` grant
+/// within 30ms?
+bool MeasureCell(LockProtocol protocol, LockMode requested, LockMode held) {
+  LockManager::Options options;
+  options.protocol = protocol;
+  options.wait_timeout = std::chrono::milliseconds(30);
+  LockManager lm(options);
+  LockObjectId object{Sym("cell"), 1};
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  DBPS_CHECK_OK(lm.Acquire(t1, object, held));
+  Status st = lm.Acquire(t2, object, requested);
+  lm.Release(t2);
+  lm.Release(t1);
+  return st.ok();
+}
+
+void PrintMeasured(LockProtocol protocol) {
+  static constexpr LockMode kModes[] = {LockMode::kRc, LockMode::kRa,
+                                        LockMode::kWa};
+  std::printf("             held: Rc   Ra   Wa\n");
+  for (LockMode requested : kModes) {
+    std::printf("  req %s:       ", LockModeToString(requested));
+    for (LockMode held : kModes) {
+      bool granted = MeasureCell(protocol, requested, held);
+      bool predicted = Compatible(protocol, requested, held);
+      std::printf("   %s%s", granted ? "Y" : "N",
+                  granted == predicted ? " " : "!");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dbps;
+  bench::Header("Table 4.1 — lock compatibility matrices");
+
+  bench::Section("Rc/Ra/Wa (the paper's improved scheme) — declared");
+  std::printf("%s",
+              CompatibilityMatrixToString(LockProtocol::kRcRaWa).c_str());
+  bench::Section("Rc/Ra/Wa — measured on a live LockManager");
+  PrintMeasured(LockProtocol::kRcRaWa);
+
+  bench::Section("conventional 2PL baseline — declared");
+  std::printf("%s",
+              CompatibilityMatrixToString(LockProtocol::kTwoPhase).c_str());
+  bench::Section("conventional 2PL — measured");
+  PrintMeasured(LockProtocol::kTwoPhase);
+
+  std::printf(
+      "\nThe single differing cell — Wa requested while another\n"
+      "transaction holds Rc — is the source of the improved scheme's\n"
+      "extra parallelism (\"allowing the Rc-Wa conflict to exist!\").\n"
+      "Consistency is restored at commit: see bench_fig4_2.\n");
+  return 0;
+}

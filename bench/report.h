@@ -1,0 +1,25 @@
+// Small helpers shared by the figure/table reproduction binaries.
+
+#ifndef DBPS_BENCH_REPORT_H_
+#define DBPS_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+
+namespace dbps {
+namespace bench {
+
+inline void Header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace dbps
+
+#endif  // DBPS_BENCH_REPORT_H_

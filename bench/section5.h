@@ -1,0 +1,78 @@
+// Shared renderer for the §5 figure reproductions.
+
+#ifndef DBPS_BENCH_SECTION5_H_
+#define DBPS_BENCH_SECTION5_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "report.h"
+#include "sim/speedup_model.h"
+
+namespace dbps {
+namespace bench {
+
+inline void PrintScenario(const sim::SimConfig& config,
+                          const std::vector<size_t>& sigma,
+                          double paper_t_single, double paper_t_multi,
+                          double paper_speedup) {
+  Section("productions");
+  for (size_t p = 0; p < config.productions.size(); ++p) {
+    const auto& production = config.productions[p];
+    std::printf("  %s: T=%g", production.name.c_str(),
+                production.exec_time);
+    if (!production.delete_set.empty()) {
+      std::printf("  delete-set {");
+      for (size_t i = 0; i < production.delete_set.size(); ++i) {
+        std::printf("%s%s", i ? "," : "",
+                    config.productions[production.delete_set[i]].name.c_str());
+      }
+      std::printf("}");
+    }
+    if (!production.add_set.empty()) {
+      std::printf("  add-set {");
+      for (size_t i = 0; i < production.add_set.size(); ++i) {
+        std::printf("%s%s", i ? "," : "",
+                    config.productions[production.add_set[i]].name.c_str());
+      }
+      std::printf("}");
+    }
+    std::printf("\n");
+  }
+  std::printf("  Np = %zu processors\n", config.num_processors);
+
+  double t_single = sim::SingleThreadTime(config, sigma).ValueOrDie();
+  sim::MultiThreadResult result = sim::SimulateMultiThread(config);
+
+  Section("single-thread execution of sigma");
+  std::printf("  sigma =");
+  for (size_t p : sigma) {
+    std::printf(" %s", config.productions[p].name.c_str());
+  }
+  std::printf("\n  T_single(sigma) = %g   (paper: %g)\n", t_single,
+              paper_t_single);
+
+  Section("multi-thread schedule");
+  std::printf("%s", result.ToGantt(config).c_str());
+  std::printf("  commit order:");
+  for (size_t p : result.commit_order) {
+    std::printf(" %s", config.productions[p].name.c_str());
+  }
+  std::printf("\n  T_multi = %g   (paper: %g)\n", result.makespan,
+              paper_t_multi);
+  std::printf("  aborted productions: %zu, wasted work: %g time units\n",
+              result.aborts, result.wasted_time);
+
+  Section("speedup");
+  std::printf("  measured %.4g   paper %.4g   %s\n",
+              t_single / result.makespan, paper_speedup,
+              (t_single / result.makespan - paper_speedup < 0.01 &&
+               paper_speedup - t_single / result.makespan < 0.01)
+                  ? "MATCH"
+                  : "MISMATCH");
+}
+
+}  // namespace bench
+}  // namespace dbps
+
+#endif  // DBPS_BENCH_SECTION5_H_

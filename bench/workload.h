@@ -1,0 +1,72 @@
+// Parameterized synthetic workload for the real-engine benches.
+//
+// `jobs` independent work items each need `steps` firings; a
+// `shared_fraction` of them additionally update one shared hub tuple on
+// every firing, which is the interference knob — the §5 "degree of
+// conflict" — while `cost_us` is the per-firing execution time T(Pi).
+
+#ifndef DBPS_BENCH_WORKLOAD_H_
+#define DBPS_BENCH_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "lang/compiler.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+namespace bench {
+
+struct JobsWorkload {
+  std::unique_ptr<WorkingMemory> wm;
+  RuleSetPtr rules;
+  uint64_t expected_firings;
+};
+
+inline JobsWorkload MakeJobsWorkload(int jobs, int steps,
+                                     double shared_fraction,
+                                     int64_t cost_us) {
+  JobsWorkload out;
+  out.wm = std::make_unique<WorkingMemory>();
+  std::string program = StringPrintf(R"(
+(relation job (id int) (kind symbol) (steps int))
+(relation hub (v int))
+
+(rule work-local :cost %lld
+  (job ^kind local ^steps { > 0 } ^steps <s>)
+  -->
+  (modify 1 ^steps (- <s> 1)))
+
+(rule work-shared :cost %lld
+  (job ^kind shared ^steps { > 0 } ^steps <s>)
+  (hub ^v <h>)
+  -->
+  (modify 1 ^steps (- <s> 1))
+  (modify 2 ^v (+ <h> 1)))
+
+(make hub ^v 0)
+)",
+                                     (long long)cost_us,
+                                     (long long)cost_us);
+  auto rules_or = LoadProgram(program, out.wm.get());
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  out.rules = rules_or.ValueOrDie();
+
+  const int shared_jobs = static_cast<int>(jobs * shared_fraction + 0.5);
+  for (int j = 0; j < jobs; ++j) {
+    const char* kind = j < shared_jobs ? "shared" : "local";
+    DBPS_CHECK(out.wm
+                   ->Insert("job", {Value::Int(j), Value::Symbol(kind),
+                                    Value::Int(steps)})
+                   .ok());
+  }
+  out.expected_firings = static_cast<uint64_t>(jobs) * steps;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace dbps
+
+#endif  // DBPS_BENCH_WORKLOAD_H_

@@ -1,0 +1,153 @@
+// An R1/XCON-style configurator (the paper cites McDermott's R1 as the
+// canonical production-system expert application): given a customer
+// order, the rules pick a chassis, add required components, check power
+// and slot budgets, and either complete the configuration or flag it.
+//
+// Runs single-threaded with the MEA strategy (the OPS5 default for
+// goal-directed programs) and prints the decision trace.
+//
+//   $ ./build/examples/expert_config
+
+#include <cstdio>
+
+#include "dbps.h"
+
+namespace {
+
+constexpr const char* kProgram = R"(
+(relation goal     (task symbol) (order int))
+(relation order    (id int) (cpus int) (disks int) (state symbol))
+(relation chassis  (model symbol) (slots int) (watts int) (taken int))
+(relation part     (order int) (kind symbol) (slots int) (watts int))
+(relation config   (order int) (chassis symbol) (slots-left int)
+                   (watts-left int) (state symbol))
+(relation report   (order int) (verdict symbol))
+
+; Step 1: pick the smallest chassis that is still free.
+(rule pick-chassis :priority 50
+  (goal ^task configure ^order <o>)
+  (order ^id <o> ^state new)
+  (chassis ^model <m> ^taken 0 ^slots <s> ^watts <w>)
+  -(chassis ^taken 0 ^slots { < <s> })
+  -->
+  (modify 3 ^taken 1)
+  (make config ^order <o> ^chassis <m> ^slots-left <s> ^watts-left <w>
+               ^state filling)
+  (modify 2 ^state configuring))
+
+; Step 2: expand the order into required parts (one rule per component
+; class, driven by counters on the order).
+(rule add-cpu :priority 40
+  (order ^id <o> ^state configuring ^cpus { > 0 } ^cpus <n>)
+  -->
+  (modify 1 ^cpus (- <n> 1))
+  (make part ^order <o> ^kind cpu ^slots 1 ^watts 90))
+
+(rule add-disk :priority 40
+  (order ^id <o> ^state configuring ^disks { > 0 } ^disks <n>)
+  -->
+  (modify 1 ^disks (- <n> 1))
+  (make part ^order <o> ^kind disk ^slots 1 ^watts 30))
+
+; Step 3: place parts into the chassis while budget remains.
+(rule place-part :priority 30
+  (config ^order <o> ^state filling ^slots-left { > 0 } ^slots-left <sl>
+          ^watts-left <wl>)
+  (part ^order <o> ^slots <ps> ^watts { <= <wl> } ^watts <pw>)
+  -->
+  (modify 1 ^slots-left (- <sl> <ps>) ^watts-left (- <wl> <pw>))
+  (remove 2))
+
+; Step 4a: all parts placed and the order is fully expanded -> complete.
+(rule complete :priority 20
+  (goal ^task configure ^order <o>)
+  (order ^id <o> ^state configuring ^cpus 0 ^disks 0)
+  (config ^order <o> ^state filling)
+  -(part ^order <o>)
+  -->
+  (modify 3 ^state complete)
+  (modify 2 ^state done)
+  (make report ^order <o> ^verdict configured)
+  (remove 1))
+
+; Step 4b: parts remain but nothing fits -> flag for manual review.
+(rule flag :priority 10
+  (goal ^task configure ^order <o>)
+  (config ^order <o> ^state filling)
+  (part ^order <o>)
+  -->
+  (modify 2 ^state flagged)
+  (make report ^order <o> ^verdict needs-review)
+  (remove 1))
+)";
+
+}  // namespace
+
+int main() {
+  using namespace dbps;
+
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(kProgram, &wm);
+  if (!rules_or.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 rules_or.status().ToString().c_str());
+    return 1;
+  }
+
+  // Catalogue and two customer orders; order 2 is too big for anything.
+  struct {
+    const char* model;
+    int slots;
+    int watts;
+  } chassis[] = {{"mini", 3, 200}, {"tower", 6, 500}, {"rack", 12, 900}};
+  for (const auto& c : chassis) {
+    DBPS_CHECK(wm.Insert("chassis",
+                         {Value::Symbol(c.model), Value::Int(c.slots),
+                          Value::Int(c.watts), Value::Int(0)})
+                   .ok());
+  }
+  DBPS_CHECK(wm.Insert("order", {Value::Int(1), Value::Int(1),
+                                 Value::Int(2), Value::Symbol("new")})
+                 .ok());
+  DBPS_CHECK(wm.Insert("order", {Value::Int(2), Value::Int(2),
+                                 Value::Int(8), Value::Symbol("new")})
+                 .ok());
+  DBPS_CHECK(
+      wm.Insert("goal", {Value::Symbol("configure"), Value::Int(1)}).ok());
+  DBPS_CHECK(
+      wm.Insert("goal", {Value::Symbol("configure"), Value::Int(2)}).ok());
+
+  EngineOptions options;
+  options.strategy = ConflictResolution::kPriority;
+  SingleThreadEngine engine(&wm, rules_or.ValueOrDie(), options);
+  auto result_or = engine.Run();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("decision trace (%llu firings):\n",
+              (unsigned long long)result_or.ValueOrDie().stats.firings);
+  for (const auto& record : result_or.ValueOrDie().log) {
+    std::printf("  %2llu. %s\n", (unsigned long long)record.seq + 1,
+                record.key.rule_name.c_str());
+  }
+
+  std::printf("\nverdicts:\n");
+  for (const auto& report : wm.Scan(Sym("report"))) {
+    std::printf("  order %s -> %s\n", report->value(0).ToString().c_str(),
+                report->value(1).ToString().c_str());
+  }
+  std::printf("\nconfigurations:\n");
+  for (const auto& config : wm.Scan(Sym("config"))) {
+    std::printf(
+        "  order %s in chassis %s: %s slots and %s watts left (%s)\n",
+        config->value(0).ToString().c_str(),
+        config->value(1).ToString().c_str(),
+        config->value(2).ToString().c_str(),
+        config->value(3).ToString().c_str(),
+        config->value(4).ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// User-visible parallelism (§2): "dividing a task into non-interacting
+// subtasks" and "tasks of different users can be done in parallel".
+//
+// Three independent users each own a partition of the database (their
+// own relations) and their own rule program. Because the partitions are
+// disjoint, the tasks need no concurrency control *between* them — each
+// runs its own engine on its own thread (and each engine may itself be
+// parallel: two layers of parallelism, user-visible over
+// user-transparent).
+//
+//   $ ./build/examples/multi_user
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "dbps.h"
+
+namespace {
+
+using namespace dbps;
+
+struct UserTask {
+  std::string name;
+  std::string program;
+  uint64_t expected_firings;
+};
+
+std::vector<UserTask> MakeTasks() {
+  return {
+      // User 1: order processing.
+      UserTask{"orders", R"(
+(relation po (id int) (state symbol))
+(rule approve :cost 400 (po ^id <o> ^state new) --> (modify 1 ^state approved))
+(rule ship    :cost 400 (po ^id <o> ^state approved) --> (modify 1 ^state shipped))
+(make po ^id 1 ^state new) (make po ^id 2 ^state new)
+(make po ^id 3 ^state new) (make po ^id 4 ^state new)
+)",
+               8},
+      // User 2: sensor aggregation.
+      UserTask{"sensors", R"(
+(relation sample (sensor int) (v int))
+(relation total (sensor int) (sum int))
+(rule fold :cost 400
+  (sample ^sensor <s> ^v <v>)
+  (total ^sensor <s> ^sum <t>)
+  -->
+  (modify 2 ^sum (+ <t> <v>))
+  (remove 1))
+(make total ^sensor 1 ^sum 0) (make total ^sensor 2 ^sum 0)
+(make sample ^sensor 1 ^v 10) (make sample ^sensor 1 ^v 20)
+(make sample ^sensor 2 ^v 5)  (make sample ^sensor 2 ^v 7)
+(make sample ^sensor 2 ^v 9)
+)",
+               5},
+      // User 3: ticket triage.
+      UserTask{"tickets", R"(
+(relation ticket (id int) (sev int) (queue symbol))
+(rule triage-high :cost 400
+  (ticket ^sev { >= 8 } ^queue inbox) --> (modify 1 ^queue oncall))
+(rule triage-low :cost 400
+  (ticket ^sev { < 8 } ^queue inbox) --> (modify 1 ^queue backlog))
+(make ticket ^id 1 ^sev 9 ^queue inbox)
+(make ticket ^id 2 ^sev 3 ^queue inbox)
+(make ticket ^id 3 ^sev 8 ^queue inbox)
+(make ticket ^id 4 ^sev 1 ^queue inbox)
+)",
+               4},
+  };
+}
+
+}  // namespace
+
+int main() {
+  auto tasks = MakeTasks();
+
+  // Serial baseline: one user after another, single-threaded.
+  double serial_ms = 0;
+  for (const auto& task : tasks) {
+    WorkingMemory wm;
+    auto rules = LoadProgram(task.program, &wm).ValueOrDie();
+    SingleThreadEngine engine(&wm, rules);
+    Stopwatch stopwatch;
+    auto result = engine.Run().ValueOrDie();
+    serial_ms += stopwatch.ElapsedSeconds() * 1e3;
+    DBPS_CHECK_EQ(result.stats.firings, task.expected_firings);
+  }
+
+  // User-visible parallelism: one thread per user, each running a
+  // parallel engine over its own partition.
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> firings(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    threads.emplace_back([&, i] {
+      WorkingMemory wm;
+      auto rules = LoadProgram(tasks[i].program, &wm).ValueOrDie();
+      auto pristine = wm.Clone();
+      ParallelEngineOptions options;
+      options.num_workers = 2;
+      ParallelEngine engine(&wm, rules, options);
+      auto result = engine.Run().ValueOrDie();
+      DBPS_CHECK_OK(ValidateReplay(pristine.get(), rules, result.log));
+      firings[i] = result.stats.firings;
+    });
+  }
+  for (auto& t : threads) t.join();
+  double parallel_ms = wall.ElapsedSeconds() * 1e3;
+
+  std::printf("three users, disjoint database partitions:\n");
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("  %-8s %llu firings (expected %llu)\n",
+                tasks[i].name.c_str(), (unsigned long long)firings[i],
+                (unsigned long long)tasks[i].expected_firings);
+    DBPS_CHECK_EQ(firings[i], tasks[i].expected_firings);
+  }
+  std::printf(
+      "\nserial (one user at a time): %6.1fms\n"
+      "user-parallel (3 tasks x 2 workers): %6.1fms  (speedup %.2f)\n",
+      serial_ms, parallel_ms, serial_ms / parallel_ms);
+  std::printf(
+      "\nno locking is needed *between* users — their partitions are\n"
+      "disjoint (the paper's user-visible parallelism); within each task\n"
+      "the Rc/Ra/Wa engine provides the user-transparent kind.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Parallel speedup, two ways:
+//   (a) the paper's §5 idealized multiprocessor model (exact worked
+//       examples, Figures 5.1-5.4), and
+//   (b) the same phenomenon measured on the real threaded engine with
+//       the Rc/Ra/Wa lock manager.
+//
+//   $ ./build/examples/parallel_speedup
+
+#include <cstdio>
+
+#include "dbps.h"
+
+namespace {
+
+using namespace dbps;
+
+void IdealizedModel() {
+  std::printf("=== (a) the paper's idealized model (Section 5) ===\n");
+  struct {
+    const char* name;
+    sim::SimConfig config;
+    std::vector<size_t> sigma;
+  } scenarios[] = {
+      {"Fig 5.1 base case", sim::Figure51Config(), sim::Sigma1()},
+      {"Fig 5.2 more conflict", sim::Figure52Config(), sim::Sigma2()},
+      {"Fig 5.3 longer P2", sim::Figure53Config(), sim::Sigma1()},
+      {"Fig 5.4 Np=3", sim::Figure54Config(), sim::Sigma1()},
+  };
+  for (auto& scenario : scenarios) {
+    double t_single =
+        sim::SingleThreadTime(scenario.config, scenario.sigma).ValueOrDie();
+    auto result = sim::SimulateMultiThread(scenario.config);
+    std::printf("  %-22s T_single=%4.1f  T_multi=%4.1f  speedup=%.2f\n",
+                scenario.name, t_single, result.makespan,
+                t_single / result.makespan);
+  }
+}
+
+void RealEngine() {
+  std::printf(
+      "\n=== (b) the real engine: 12 independent pipelines, Np sweep ===\n");
+  auto build = [](WorkingMemory* wm) {
+    auto rules = LoadProgram(R"(
+      (relation stage (pipeline int) (left int))
+      (rule advance :cost 400
+        (stage ^pipeline <p> ^left { > 0 } ^left <l>)
+        -->
+        (modify 1 ^left (- <l> 1)))
+    )",
+                             wm)
+                     .ValueOrDie();
+    for (int p = 0; p < 12; ++p) {
+      DBPS_CHECK(
+          wm->Insert("stage", {Value::Int(p), Value::Int(6)}).ok());
+    }
+    return rules;
+  };
+
+  double baseline_ms = 0;
+  for (size_t workers : {1, 2, 4, 8}) {
+    WorkingMemory wm;
+    auto rules = build(&wm);
+    auto pristine = wm.Clone();
+    ParallelEngineOptions options;
+    options.num_workers = workers;
+    ParallelEngine engine(&wm, rules, options);
+    Stopwatch stopwatch;
+    auto result = engine.Run().ValueOrDie();
+    double ms = stopwatch.ElapsedSeconds() * 1e3;
+    if (workers == 1) baseline_ms = ms;
+    DBPS_CHECK_OK(ValidateReplay(pristine.get(), rules, result.log));
+    std::printf(
+        "  Np=%zu: %6.1fms  speedup=%.2f  peak parallel firings=%d  "
+        "(log replay: OK)\n",
+        workers, ms, baseline_ms / ms,
+        result.stats.peak_parallel_executions);
+  }
+  std::printf(
+      "\n(72 firings x 400us; :cost uses the sleep cost-model, so each\n"
+      " worker thread simulates one dedicated processor regardless of\n"
+      " host core count — see DESIGN.md)\n");
+}
+
+}  // namespace
+
+int main() {
+  IdealizedModel();
+  RealEngine();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: define a database production system in the rule language,
+// run it on the single-thread interpreter, inspect the results.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "dbps.h"
+
+int main() {
+  using namespace dbps;
+
+  // 1. A working memory (the database) plus a rule program. LoadProgram
+  //    creates the declared relations, inserts the (make ...) facts, and
+  //    compiles the rules.
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(R"(
+    (relation account (owner symbol) (balance int))
+    (relation transfer (from symbol) (to symbol) (amount int))
+
+    ; Apply one transfer: debit, credit, consume the request.
+    (rule apply-transfer
+      (transfer ^from <f> ^to <t> ^amount <a>)
+      (account ^owner <f> ^balance { >= <a> } ^balance <fb>)
+      (account ^owner <t> ^balance <tb>)
+      -->
+      (modify 2 ^balance (- <fb> <a>))
+      (modify 3 ^balance (+ <tb> <a>))
+      (remove 1))
+
+    ; Reject a transfer that would overdraw (lower priority: only fires
+    ; when apply-transfer cannot).
+    (rule reject-transfer :priority -1
+      (transfer ^from <f> ^amount <a>)
+      (account ^owner <f> ^balance { < <a> })
+      -->
+      (remove 1))
+
+    (make account ^owner alice ^balance 100)
+    (make account ^owner bob   ^balance 20)
+    (make transfer ^from alice ^to bob ^amount 60)
+    (make transfer ^from bob   ^to alice ^amount 200)  ; will be rejected
+    (make transfer ^from alice ^to bob ^amount 30)
+  )",
+                              &wm);
+  if (!rules_or.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 rules_or.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Run match-select-execute until quiescence.
+  SingleThreadEngine engine(&wm, rules_or.ValueOrDie());
+  auto result_or = engine.Run();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const RunResult& result = result_or.ValueOrDie();
+
+  // 3. Inspect.
+  std::printf("fired %llu productions:\n",
+              (unsigned long long)result.stats.firings);
+  for (const auto& record : result.log) {
+    std::printf("  %llu. %s  %s\n", (unsigned long long)record.seq + 1,
+                record.key.rule_name.c_str(),
+                record.delta.ToString().c_str());
+  }
+  std::printf("\nfinal database state:\n%s", wm.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "analysis/access_sets.h"
+
+#include <algorithm>
+
+namespace dbps {
+
+bool AttrFootprint::Overlaps(const AttrFootprint& other) const {
+  if (fields.empty() && !whole) return false;
+  if (other.fields.empty() && !other.whole) return false;
+  if (whole || other.whole) return true;
+  for (size_t field : fields) {
+    if (other.fields.count(field) != 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Adds every binding reference inside `expr` as a field read.
+void CollectExprReads(const Expr& expr, const Rule& rule,
+                      RuleAccess* access) {
+  switch (expr.kind) {
+    case Expr::Kind::kConstant:
+      return;
+    case Expr::Kind::kBinding: {
+      size_t cond_index = rule.PositiveConditionIndex(expr.ce);
+      SymbolId relation = rule.conditions()[cond_index].relation;
+      access->reads[relation].AddField(expr.field);
+      return;
+    }
+    case Expr::Kind::kBinary:
+      CollectExprReads(*expr.lhs, rule, access);
+      CollectExprReads(*expr.rhs, rule, access);
+      return;
+  }
+}
+
+}  // namespace
+
+RuleAccess AnalyzeRule(const Rule& rule) {
+  RuleAccess access;
+
+  for (const auto& cond : rule.conditions()) {
+    if (cond.negated) {
+      // Absence is a predicate over the whole relation.
+      access.reads[cond.relation].AddWhole();
+      continue;
+    }
+    AttrFootprint& reads = access.reads[cond.relation];
+    for (const auto& test : cond.constant_tests) reads.AddField(test.field);
+    for (const auto& test : cond.member_tests) reads.AddField(test.field);
+    for (const auto& test : cond.intra_tests) {
+      reads.AddField(test.field);
+      reads.AddField(test.other_field);
+    }
+    for (const auto& test : cond.join_tests) {
+      reads.AddField(test.field);
+      size_t other_cond = rule.PositiveConditionIndex(test.other_ce);
+      access.reads[rule.conditions()[other_cond].relation].AddField(
+          test.other_field);
+    }
+  }
+
+  for (const auto& action : rule.actions()) {
+    if (const auto* make = std::get_if<MakeAction>(&action)) {
+      access.writes[make->relation].AddWhole();
+      for (const auto& expr : make->values) {
+        CollectExprReads(expr, rule, &access);
+      }
+    } else if (const auto* modify = std::get_if<ModifyAction>(&action)) {
+      size_t cond_index = rule.PositiveConditionIndex(modify->ce);
+      SymbolId relation = rule.conditions()[cond_index].relation;
+      for (const auto& [field, expr] : modify->assigns) {
+        access.writes[relation].AddField(field);
+        CollectExprReads(expr, rule, &access);
+      }
+    } else if (const auto* remove = std::get_if<RemoveAction>(&action)) {
+      size_t cond_index = rule.PositiveConditionIndex(remove->ce);
+      access.writes[rule.conditions()[cond_index].relation].AddWhole();
+    }
+  }
+  return access;
+}
+
+namespace {
+bool FootprintMapsOverlap(const std::map<SymbolId, AttrFootprint>& a,
+                          const std::map<SymbolId, AttrFootprint>& b) {
+  for (const auto& [relation, footprint] : a) {
+    auto it = b.find(relation);
+    if (it != b.end() && footprint.Overlaps(it->second)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool Interferes(const RuleAccess& a, const RuleAccess& b) {
+  return FootprintMapsOverlap(a.writes, b.reads) ||
+         FootprintMapsOverlap(a.writes, b.writes) ||
+         FootprintMapsOverlap(b.writes, a.reads);
+}
+
+InstAccess AnalyzeInstantiation(const Instantiation& inst) {
+  InstAccess access;
+  const Rule& rule = *inst.rule();
+
+  for (const auto& wme : inst.matched()) {
+    access.reads.push_back(LockObjectId{wme->relation(), wme->id()});
+  }
+  for (const auto& cond : rule.conditions()) {
+    if (cond.negated) {
+      access.reads.push_back(LockObjectId{cond.relation, kRelationLevel});
+    }
+  }
+  for (const auto& action : rule.actions()) {
+    if (const auto* make = std::get_if<MakeAction>(&action)) {
+      access.writes.push_back(LockObjectId{make->relation, kRelationLevel});
+    } else if (const auto* modify = std::get_if<ModifyAction>(&action)) {
+      const WmePtr& target = inst.matched()[modify->ce];
+      access.writes.push_back(LockObjectId{target->relation(), target->id()});
+    } else if (const auto* remove = std::get_if<RemoveAction>(&action)) {
+      const WmePtr& target = inst.matched()[remove->ce];
+      access.writes.push_back(LockObjectId{target->relation(), target->id()});
+    }
+  }
+
+  auto dedupe = [](std::vector<LockObjectId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  dedupe(&access.reads);
+  dedupe(&access.writes);
+  return access;
+}
+
+bool ObjectsOverlap(const LockObjectId& a, const LockObjectId& b) {
+  if (a.relation != b.relation) return false;
+  if (a.is_relation_level() || b.is_relation_level()) return true;
+  return a.wme == b.wme;
+}
+
+bool Interferes(const InstAccess& a, const InstAccess& b) {
+  auto any_overlap = [](const std::vector<LockObjectId>& xs,
+                        const std::vector<LockObjectId>& ys) {
+    for (const auto& x : xs) {
+      for (const auto& y : ys) {
+        if (ObjectsOverlap(x, y)) return true;
+      }
+    }
+    return false;
+  };
+  return any_overlap(a.writes, b.reads) || any_overlap(a.writes, b.writes) ||
+         any_overlap(b.writes, a.reads);
+}
+
+}  // namespace dbps

@@ -1,0 +1,80 @@
+// Access-set analysis: what a rule (statically) or an instantiation
+// (dynamically) reads and writes.
+//
+// Two granularities:
+//  * RuleAccess — relation+attribute level, derivable from rule text
+//    alone. This is the substrate of the paper's *static approach* (§4.1):
+//    rules whose write sets don't touch each other's read/write sets are
+//    non-interfering (footnote 4: the criterion is exactly conflicting
+//    database operations).
+//  * InstAccess — lock-object level (tuples + escalated relations),
+//    computable once the match is known. Used by StaticPartitionEngine's
+//    per-cycle partitioning and by the dynamic engines' lock acquisition.
+
+#ifndef DBPS_ANALYSIS_ACCESS_SETS_H_
+#define DBPS_ANALYSIS_ACCESS_SETS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "lock/lock_types.h"
+#include "match/instantiation.h"
+#include "rules/rule.h"
+
+namespace dbps {
+
+/// \brief Attribute footprint within one relation. `whole` subsumes any
+/// field set (negations, removes, and makes touch the whole relation).
+struct AttrFootprint {
+  bool whole = false;
+  std::set<size_t> fields;
+
+  void AddField(size_t field) {
+    if (!whole) fields.insert(field);
+  }
+  void AddWhole() {
+    whole = true;
+    fields.clear();
+  }
+  bool Overlaps(const AttrFootprint& other) const;
+};
+
+/// \brief Static (rule-text) access summary.
+struct RuleAccess {
+  std::map<SymbolId, AttrFootprint> reads;
+  std::map<SymbolId, AttrFootprint> writes;
+};
+
+/// Computes the static access summary of `rule`:
+///  reads  — every attribute the LHS tests or binds; a negated CE reads
+///           its whole relation (absence is a relation-wide predicate);
+///           attributes feeding RHS expressions are reads too.
+///  writes — modify: assigned attributes; remove/make: whole relation.
+RuleAccess AnalyzeRule(const Rule& rule);
+
+/// The paper's static interference test: conflicting database operations,
+/// i.e. a.writes ∩ (b.reads ∪ b.writes) ≠ ∅ or vice versa.
+bool Interferes(const RuleAccess& a, const RuleAccess& b);
+
+/// \brief Dynamic (instantiation) access summary, in lock objects.
+struct InstAccess {
+  std::vector<LockObjectId> reads;
+  std::vector<LockObjectId> writes;
+};
+
+/// Computes the lock-object footprint of one firing: reads are the
+/// matched tuples plus relation-level objects for negated CEs; writes are
+/// modified/removed tuples plus relation-level objects for creates.
+InstAccess AnalyzeInstantiation(const Instantiation& inst);
+
+/// Hierarchy-aware overlap: a relation-level object overlaps every object
+/// of its relation.
+bool ObjectsOverlap(const LockObjectId& a, const LockObjectId& b);
+
+/// Dynamic interference between two firings (write-read / write-write).
+bool Interferes(const InstAccess& a, const InstAccess& b);
+
+}  // namespace dbps
+
+#endif  // DBPS_ANALYSIS_ACCESS_SETS_H_

@@ -1,0 +1,47 @@
+// Lock-set derivation: which lock objects a firing must acquire, in which
+// mode, for each phase (Figures 4.1 / 4.2).
+
+#ifndef DBPS_ANALYSIS_LOCK_SETS_H_
+#define DBPS_ANALYSIS_LOCK_SETS_H_
+
+#include <vector>
+
+#include "lock/lock_types.h"
+#include "match/instantiation.h"
+
+namespace dbps {
+
+struct LockRequest {
+  LockObjectId object;
+  LockMode mode;
+  bool operator==(const LockRequest& other) const {
+    return object == other.object && mode == other.mode;
+  }
+};
+
+/// Condition-evaluation locks (acquired before validating the match):
+/// Rc on every matched tuple, plus an escalated relation-level Rc for
+/// every negated condition element.
+std::vector<LockRequest> ConditionLocks(const Instantiation& inst);
+
+/// Escalation (§4.3: "like regular read and write locks, the Rc locks
+/// can be escalated for performance reasons"): when a firing holds more
+/// than `threshold` tuple-level Rc locks within one relation, they are
+/// replaced by a single relation-level Rc. threshold == 0 disables
+/// escalation. Requests come back deduplicated and in canonical order.
+std::vector<LockRequest> EscalateConditionLocks(
+    std::vector<LockRequest> requests, size_t threshold);
+
+/// Action locks (acquired when RHS execution begins — Figure 4.2):
+///  * Wa on every tuple the RHS modifies or removes,
+///  * a per-transaction insert-intent Wa for every relation the RHS
+///    creates into (conflicts with relation-level Rc via the hierarchy),
+///  * Ra on matched tuples whose values feed RHS expressions (and which
+///    are not already Wa-locked).
+/// Requests come back deduplicated and in canonical order, so all
+/// transactions acquire in the same order (fewer deadlocks).
+std::vector<LockRequest> ActionLocks(const Instantiation& inst, TxnId txn);
+
+}  // namespace dbps
+
+#endif  // DBPS_ANALYSIS_LOCK_SETS_H_

@@ -1,0 +1,94 @@
+#include "analysis/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dbps {
+
+InterferenceGraph::InterferenceGraph(const RuleSet& rules) {
+  const auto& all = rules.rules();
+  access_.reserve(all.size());
+  for (const auto& rule : all) access_.push_back(AnalyzeRule(*rule));
+  adjacency_.assign(all.size(), std::vector<bool>(all.size(), false));
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      if (Interferes(access_[i], access_[j])) {
+        adjacency_[i][j] = true;
+        adjacency_[j][i] = true;
+      }
+    }
+  }
+}
+
+size_t InterferenceGraph::num_edges() const {
+  size_t edges = 0;
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    for (size_t j = i + 1; j < adjacency_.size(); ++j) {
+      if (adjacency_[i][j]) ++edges;
+    }
+  }
+  return edges;
+}
+
+std::vector<std::vector<size_t>> PartitionRules(const RuleSet& rules) {
+  InterferenceGraph graph(rules);
+  const size_t n = graph.num_rules();
+
+  // Largest-degree-first greedy coloring.
+  std::vector<size_t> degree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && graph.Interfere(i, j)) ++degree[i];
+    }
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return degree[a] > degree[b];
+  });
+
+  std::vector<int> color(n, -1);
+  int num_colors = 0;
+  for (size_t rule : order) {
+    std::vector<bool> used(static_cast<size_t>(num_colors) + 1, false);
+    for (size_t other = 0; other < n; ++other) {
+      if (other != rule && graph.Interfere(rule, other) &&
+          color[other] >= 0) {
+        used[static_cast<size_t>(color[other])] = true;
+      }
+    }
+    int c = 0;
+    while (used[static_cast<size_t>(c)]) ++c;
+    color[rule] = c;
+    num_colors = std::max(num_colors, c + 1);
+  }
+
+  std::vector<std::vector<size_t>> groups(static_cast<size_t>(num_colors));
+  for (size_t i = 0; i < n; ++i) {
+    groups[static_cast<size_t>(color[i])].push_back(i);
+  }
+  return groups;
+}
+
+std::vector<size_t> SelectNonInterfering(
+    const std::vector<InstPtr>& candidates) {
+  std::vector<size_t> selected;
+  std::vector<InstAccess> selected_access;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    InstAccess access = AnalyzeInstantiation(*candidates[i]);
+    bool clash = false;
+    for (const auto& other : selected_access) {
+      if (Interferes(access, other)) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) {
+      selected.push_back(i);
+      selected_access.push_back(std::move(access));
+    }
+  }
+  return selected;
+}
+
+}  // namespace dbps

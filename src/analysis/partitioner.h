@@ -1,0 +1,51 @@
+// Partitioning productions into non-interfering groups (§4.1).
+//
+// The static approach's pre-execution analysis: build the interference
+// graph over rules and color it greedily; each color class is a set of
+// pairwise non-interfering productions that may fire concurrently without
+// any locking (Theorem 1).
+
+#ifndef DBPS_ANALYSIS_PARTITIONER_H_
+#define DBPS_ANALYSIS_PARTITIONER_H_
+
+#include <vector>
+
+#include "analysis/access_sets.h"
+#include "match/instantiation.h"
+#include "rules/rule.h"
+
+namespace dbps {
+
+/// \brief Pairwise interference over a rule set.
+class InterferenceGraph {
+ public:
+  explicit InterferenceGraph(const RuleSet& rules);
+
+  size_t num_rules() const { return access_.size(); }
+  bool Interfere(size_t rule_a, size_t rule_b) const {
+    return adjacency_[rule_a][rule_b];
+  }
+
+  /// Number of interfering pairs.
+  size_t num_edges() const;
+
+ private:
+  std::vector<RuleAccess> access_;
+  std::vector<std::vector<bool>> adjacency_;
+};
+
+/// \brief Greedy (largest-first) coloring of the interference graph.
+/// Returns groups of rule indices; rules within a group are pairwise
+/// non-interfering.
+std::vector<std::vector<size_t>> PartitionRules(const RuleSet& rules);
+
+/// \brief Per-cycle dynamic variant: from the candidate instantiations
+/// (in preference order), greedily selects a maximal prefix-respecting
+/// subset that is pairwise non-interfering at the lock-object level.
+/// Returns indices into `candidates`.
+std::vector<size_t> SelectNonInterfering(
+    const std::vector<InstPtr>& candidates);
+
+}  // namespace dbps
+
+#endif  // DBPS_ANALYSIS_PARTITIONER_H_

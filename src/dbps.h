@@ -1,0 +1,61 @@
+// dbps — parallel database production systems.
+//
+// Umbrella header: pulls in the whole public API. Reproduction of
+// Srivastava, Hwang & Tan, "Parallelism in Database Production Systems",
+// ICDE 1990.
+//
+// Typical use:
+//
+//   #include "dbps.h"
+//
+//   dbps::WorkingMemory wm;
+//   auto rules = dbps::LoadProgram(source_text, &wm).ValueOrDie();
+//
+//   dbps::ParallelEngineOptions options;
+//   options.num_workers = 8;
+//   options.protocol = dbps::LockProtocol::kRcRaWa;
+//   dbps::ParallelEngine engine(&wm, rules, options);
+//   auto result = engine.Run().ValueOrDie();
+//
+//   // Check semantic consistency (Definition 3.2) of the parallel run:
+//   auto replay_wm = pristine_wm.Clone();
+//   DBPS_CHECK_OK(dbps::ValidateReplay(replay_wm.get(), rules, result.log));
+
+#ifndef DBPS_DBPS_H_
+#define DBPS_DBPS_H_
+
+#include "analysis/access_sets.h"
+#include "analysis/lock_sets.h"
+#include "analysis/partitioner.h"
+#include "engine/engine.h"
+#include "engine/parallel_engine.h"
+#include "engine/single_thread_engine.h"
+#include "engine/static_partition_engine.h"
+#include "lang/compiler.h"
+#include "lang/journal.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/query.h"
+#include "lock/lock_manager.h"
+#include "lock/lock_types.h"
+#include "match/conflict_resolution.h"
+#include "match/conflict_set.h"
+#include "match/instantiation.h"
+#include "match/matcher.h"
+#include "match/naive_matcher.h"
+#include "match/rete.h"
+#include "rules/rhs_evaluator.h"
+#include "rules/rule.h"
+#include "semantics/abstract_ps.h"
+#include "semantics/replay_validator.h"
+#include "sim/paper_scenarios.h"
+#include "sim/speedup_model.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/stopwatch.h"
+#include "value/value.h"
+#include "wm/working_memory.h"
+
+#endif  // DBPS_DBPS_H_

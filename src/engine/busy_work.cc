@@ -1,0 +1,46 @@
+#include "engine/busy_work.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dbps {
+
+const char* CostModelToString(CostModel model) {
+  switch (model) {
+    case CostModel::kSleep:
+      return "sleep";
+    case CostModel::kBusySpin:
+      return "busy-spin";
+  }
+  return "?";
+}
+
+void SleepMicros(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+void SimulateCost(int64_t micros, CostModel model) {
+  if (micros <= 0) return;
+  if (model == CostModel::kSleep) {
+    SleepMicros(micros);
+  } else {
+    BusySpinMicros(micros);
+  }
+}
+
+void BusySpinMicros(int64_t micros) {
+  if (micros <= 0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(micros);
+  // The fence keeps the loop from being optimized away.
+  std::atomic<uint64_t> sink{0};
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace dbps

@@ -1,0 +1,36 @@
+// Synthetic execution cost: models the paper's per-production execution
+// times T(Pi) (§5) — "the execution phase will be a full-fledged database
+// query and is likely to be time consuming".
+
+#ifndef DBPS_ENGINE_BUSY_WORK_H_
+#define DBPS_ENGINE_BUSY_WORK_H_
+
+#include <cstdint>
+
+namespace dbps {
+
+/// How engines realize a rule's :cost.
+///   kSleep    — the thread sleeps for the cost. This *simulates* a
+///               dedicated processor per worker: sleeping threads overlap
+///               even on a single physical CPU, so Np workers behave like
+///               the paper's Np-processor machine regardless of host
+///               core count. Default.
+///   kBusySpin — the thread burns real CPU for the cost. Faithful on a
+///               genuine multiprocessor; on fewer cores than workers it
+///               degrades to time-slicing (speedup capped by cores).
+enum class CostModel : uint8_t { kSleep = 0, kBusySpin = 1 };
+
+const char* CostModelToString(CostModel model);
+
+/// Spins the calling thread for ~`micros` microseconds of CPU work.
+void BusySpinMicros(int64_t micros);
+
+/// Sleeps the calling thread for `micros` microseconds.
+void SleepMicros(int64_t micros);
+
+/// Dispatches on `model`; no-op for non-positive `micros`.
+void SimulateCost(int64_t micros, CostModel model);
+
+}  // namespace dbps
+
+#endif  // DBPS_ENGINE_BUSY_WORK_H_

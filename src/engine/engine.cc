@@ -1,0 +1,17 @@
+#include "engine/engine.h"
+
+#include "util/string_util.h"
+
+namespace dbps {
+
+std::string EngineStats::ToString() const {
+  return StringPrintf(
+      "firings=%llu aborts=%llu deadlocks=%llu stale=%llu rhs_errors=%llu "
+      "cycles=%llu halted=%d hit_max=%d elapsed=%.3fs",
+      (unsigned long long)firings, (unsigned long long)aborts,
+      (unsigned long long)deadlocks, (unsigned long long)stale_skips,
+      (unsigned long long)rhs_errors, (unsigned long long)cycles,
+      halted ? 1 : 0, hit_max_firings ? 1 : 0, elapsed_seconds);
+}
+
+}  // namespace dbps

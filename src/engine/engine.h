@@ -1,0 +1,92 @@
+// Common engine vocabulary: options, statistics, the firing log.
+//
+// Every engine executes the match–select–execute cycle over a
+// WorkingMemory + RuleSet and produces a RunResult whose `log` is the
+// committed firing sequence — the string ...p_i p_j p_k... of §3.2. The
+// semantics module replays that log against single-thread execution to
+// check Definition 3.2 (semantic consistency).
+
+#ifndef DBPS_ENGINE_ENGINE_H_
+#define DBPS_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/busy_work.h"
+#include "match/conflict_resolution.h"
+#include "match/instantiation.h"
+#include "match/matcher.h"
+#include "wm/delta.h"
+
+namespace dbps {
+
+/// \brief Engine lifecycle events, observable via EngineOptions::observer.
+/// Callbacks fire on engine threads; for parallel engines, kCommit events
+/// are delivered under the commit lock (in commit order), the others
+/// concurrently. Keep observers fast and do not call back into the engine.
+struct EngineEvent {
+  enum class Kind : uint8_t {
+    kCommit,  ///< a firing committed
+    kAbort,   ///< a firing was rolled back (Rc–Wa victim, deadlock, wound)
+    kStale,   ///< a claim was invalidated before execution began
+  };
+  Kind kind;
+  const InstKey* key;  ///< the firing's identity (valid during the call)
+};
+
+using EngineObserver = std::function<void(const EngineEvent&)>;
+
+/// \brief Options shared by all engines.
+struct EngineOptions {
+  ConflictResolution strategy = ConflictResolution::kPriority;
+  MatcherKind matcher = MatcherKind::kRete;
+  uint64_t seed = 42;            ///< PRNG seed (kRandom strategy, workers)
+  uint64_t max_firings = 100000; ///< safety net against non-terminating rules
+  bool record_log = true;        ///< keep the commit log (needed for replay)
+  bool simulate_cost = true;     ///< honour each rule's :cost microseconds
+  /// How :cost occupies a "processor" (see busy_work.h). kSleep simulates
+  /// one dedicated processor per worker on any host; kBusySpin burns real
+  /// CPU and needs >= num_workers physical cores to show speedup.
+  CostModel cost_model = CostModel::kSleep;
+  /// Optional lifecycle event sink (see EngineEvent).
+  EngineObserver observer;
+};
+
+/// \brief One committed firing.
+struct FiringRecord {
+  uint64_t seq = 0;       ///< commit order, starting at 0
+  InstKey key;            ///< rule + matched WME versions
+  Delta delta;            ///< the changes this firing applied
+};
+
+/// \brief Aggregate counters of one run.
+struct EngineStats {
+  uint64_t firings = 0;      ///< committed productions
+  uint64_t aborts = 0;       ///< firings rolled back (Rc–Wa rule, deadlock)
+  uint64_t deadlocks = 0;    ///< aborts caused by deadlock victimization
+  uint64_t stale_skips = 0;  ///< claims invalidated before execution began
+  uint64_t rhs_errors = 0;   ///< firings skipped due to RHS evaluation errors
+  uint64_t cycles = 0;       ///< production cycles (cycle-structured engines)
+  /// High-water mark of firings simultaneously in their execute phase
+  /// (parallel engines only) — the achieved degree of parallelism.
+  int peak_parallel_executions = 0;
+  bool halted = false;       ///< a (halt) action committed
+  bool hit_max_firings = false;
+  double elapsed_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Result of an engine run. `status` is non-OK only for setup or
+/// internal failures; rule-level aborts are normal operation and are
+/// reported in `stats`.
+struct RunResult {
+  EngineStats stats;
+  std::vector<FiringRecord> log;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_ENGINE_ENGINE_H_

@@ -1,0 +1,271 @@
+#include "engine/parallel_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/lock_sets.h"
+#include "engine/busy_work.h"
+#include "rules/rhs_evaluator.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dbps {
+
+const char* AbortPolicyToString(AbortPolicy policy) {
+  switch (policy) {
+    case AbortPolicy::kAbort:
+      return "abort";
+    case AbortPolicy::kRevalidate:
+      return "revalidate";
+  }
+  return "?";
+}
+
+ParallelEngine::ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
+                               ParallelEngineOptions options)
+    : wm_(wm), rules_(std::move(rules)), options_(options) {
+  DBPS_CHECK(wm_ != nullptr);
+  DBPS_CHECK(rules_ != nullptr);
+  DBPS_CHECK_GT(options_.num_workers, 0u);
+}
+
+StatusOr<RunResult> ParallelEngine::Run() {
+  matcher_ = CreateMatcher(options_.base.matcher);
+  DBPS_RETURN_NOT_OK(matcher_->Initialize(rules_, *wm_));
+
+  LockManager::Options lock_options;
+  lock_options.protocol = options_.protocol;
+  lock_options.deadlock_policy = options_.deadlock_policy;
+  lock_options.wait_timeout = options_.lock_timeout;
+  lock_manager_ = std::make_unique<LockManager>(lock_options);
+
+  Stopwatch stopwatch;
+  std::vector<std::thread> workers;
+  workers.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  for (auto& worker : workers) worker.join();
+
+  stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
+  stats_.peak_parallel_executions = peak_executing_.load();
+  lock_stats_ = lock_manager_->GetStats();
+  return RunResult{stats_, log_};
+}
+
+void ParallelEngine::WorkerLoop(size_t worker_index) {
+  Random rng(options_.base.seed + 0x9e37 * (worker_index + 1));
+  // Consecutive deadlock-victim count; drives exponential backoff so
+  // repeated lock-upgrade collisions (classic under 2PL, §4.2) do not
+  // degenerate into abort/retry storms.
+  int deadlock_streak = 0;
+  for (;;) {
+    InstPtr inst;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (done_) return;
+        const bool may_claim =
+            !halted_ && stats_.firings < options_.base.max_firings;
+        if (may_claim) {
+          inst = matcher_->conflict_set().Claim(options_.base.strategy, &rng);
+          if (inst != nullptr) {
+            ++in_flight_;
+            break;
+          }
+        }
+        if (in_flight_ == 0) {
+          // Nothing running, nothing claimable: the run is over.
+          if (!may_claim && stats_.firings >= options_.base.max_firings &&
+              matcher_->conflict_set().HasSelectable()) {
+            stats_.hit_max_firings = true;
+          }
+          done_ = true;
+          cv_.notify_all();
+          return;
+        }
+        cv_.wait(lock);
+      }
+    }
+    if (ProcessFiring(inst, &rng)) {
+      deadlock_streak = std::min(deadlock_streak + 1, 6);
+      int64_t backoff_us = (50LL << deadlock_streak) +
+                           static_cast<int64_t>(rng.Uniform(100));
+      SleepMicros(backoff_us);
+    } else {
+      deadlock_streak = 0;
+    }
+  }
+}
+
+void ParallelEngine::FinishAborted(TxnId txn, const InstKey& key,
+                                   bool deadlock) {
+  if (options_.base.observer) {
+    options_.base.observer(
+        EngineEvent{EngineEvent::Kind::kAbort, &key});
+  }
+  lock_manager_->Release(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_keys_.erase(txn);
+    matcher_->conflict_set().Unclaim(key);
+    ++stats_.aborts;
+    if (deadlock) ++stats_.deadlocks;
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+void ParallelEngine::FinishStale(TxnId txn, const InstKey& key) {
+  if (options_.base.observer) {
+    options_.base.observer(
+        EngineEvent{EngineEvent::Kind::kStale, &key});
+  }
+  lock_manager_->Release(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_keys_.erase(txn);
+    matcher_->conflict_set().Unclaim(key);
+    ++stats_.stale_skips;
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+void ParallelEngine::FinishRetired(TxnId txn, const InstKey& key) {
+  lock_manager_->Release(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_keys_.erase(txn);
+    matcher_->conflict_set().MarkFired(key);  // never try this match again
+    ++stats_.rhs_errors;
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
+  (void)rng;
+  const InstKey& key = inst->key();
+  TxnId txn = lock_manager_->Begin();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_keys_.emplace(txn, key);
+  }
+
+  // Phase 1: condition locks (Rc), possibly escalated.
+  for (const LockRequest& request : EscalateConditionLocks(
+           ConditionLocks(*inst), options_.rc_escalation_threshold)) {
+    Status st = lock_manager_->Acquire(txn, request.object, request.mode);
+    if (!st.ok()) {
+      FinishAborted(txn, key, st.IsDeadlock());
+      return st.IsDeadlock();
+    }
+  }
+
+  // Phase 2: validate the claim still holds. A commit that beat our Rc
+  // acquisition may have deactivated the instantiation.
+  bool still_valid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    still_valid = matcher_->conflict_set().Contains(key);
+  }
+  if (!still_valid) {
+    FinishStale(txn, key);
+    return false;
+  }
+
+  {
+    // Phase 3: evaluate the RHS (pure — reads only the immutable matched
+    // WME versions) and acquire the action locks (Ra/Wa).
+    auto delta_or = EvaluateRhs(*inst->rule(), inst->matched());
+    if (!delta_or.ok()) {
+      DBPS_LOG(Warning) << "rule '" << inst->rule()->name()
+                        << "' RHS failed: " << delta_or.status().ToString();
+      FinishRetired(txn, key);
+      return false;
+    }
+    Delta delta = std::move(delta_or).ValueOrDie();
+
+    for (const LockRequest& request : ActionLocks(*inst, txn)) {
+      Status st = lock_manager_->Acquire(txn, request.object, request.mode);
+      if (!st.ok()) {
+        FinishAborted(txn, key, st.IsDeadlock());
+        return st.IsDeadlock();
+      }
+    }
+
+    // Phase 4: the production's execution time.
+    {
+      int now_executing = executing_.fetch_add(1) + 1;
+      int old_peak = peak_executing_.load();
+      while (now_executing > old_peak &&
+             !peak_executing_.compare_exchange_weak(old_peak,
+                                                    now_executing)) {
+      }
+    }
+    if (options_.base.simulate_cost && inst->rule()->cost_us() > 0) {
+      SimulateCost(inst->rule()->cost_us(), options_.base.cost_model);
+    }
+    executing_.fetch_sub(1);
+
+    // Phase 5: commit.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (lock_manager_->IsAborted(txn)) {
+        lock.unlock();
+        FinishAborted(txn, key, /*deadlock=*/false);
+        return false;
+      }
+      // Settle Rc–Wa conflicts (empty under 2PL).
+      std::vector<TxnId> victims = lock_manager_->CollectRcVictims(txn);
+
+      auto change_or = wm_->Apply(delta);
+      if (!change_or.ok()) {
+        // Cannot happen while the locking protocol is sound; surface it
+        // loudly in debug builds, degrade to an abort otherwise.
+        DBPS_LOG(Error) << "commit failed applying delta: "
+                        << change_or.status().ToString();
+        DBPS_DCHECK(false);
+        lock.unlock();
+        FinishAborted(txn, key, /*deadlock=*/false);
+        return false;
+      }
+      matcher_->conflict_set().MarkFired(key);
+      matcher_->ApplyChange(change_or.ValueOrDie());
+
+      for (TxnId victim : victims) {
+        if (options_.abort_policy == AbortPolicy::kAbort) {
+          lock_manager_->MarkAborted(victim);
+        } else {
+          // kRevalidate: spare victims whose match survived this commit.
+          auto it = txn_keys_.find(victim);
+          if (it != txn_keys_.end() &&
+              !matcher_->conflict_set().Contains(it->second)) {
+            lock_manager_->MarkAborted(victim);
+          }
+        }
+      }
+
+      if (options_.base.record_log) {
+        log_.push_back(FiringRecord{stats_.firings, key, delta});
+      }
+      if (options_.base.observer) {
+        options_.base.observer(
+            EngineEvent{EngineEvent::Kind::kCommit, &key});
+      }
+      ++stats_.firings;
+      if (delta.halt()) {
+        halted_ = true;
+        stats_.halted = true;
+      }
+      txn_keys_.erase(txn);
+      --in_flight_;
+    }
+    lock_manager_->Release(txn);
+    cv_.notify_all();
+  }
+  return false;
+}
+
+}  // namespace dbps

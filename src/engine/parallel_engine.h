@@ -1,0 +1,112 @@
+// ParallelEngine: the multiple-execution-thread mechanism (§4.2 / §4.3).
+//
+// Np worker threads each repeatedly claim an active instantiation and run
+// it as a transaction against the centralized lock manager:
+//
+//   1. acquire Rc locks on the matched tuples (+ escalated relation-level
+//      Rc for each negated condition element)                [Figure 4.2]
+//   2. validate the claim is still active (the match may have been
+//      invalidated between selection and lock grant)
+//   3. evaluate the RHS into a Delta (pure), acquire Ra/Wa action locks
+//   4. busy-spin the rule's synthetic cost
+//   5. commit under the engine mutex: settle Rc–Wa conflicts (collect
+//      victims, abort or revalidate them), apply the Delta atomically,
+//      propagate to the matcher, append to the commit log
+//
+// Under LockProtocol::kTwoPhase the lock manager blocks every conflict,
+// so no Rc–Wa victims ever arise (§4.2, Theorem 2). Under kRcRaWa a Wa is
+// granted over outstanding Rc locks and the *committer* settles the
+// conflict (§4.3): policy kAbort is the paper's rule (ii) — abort every
+// conflicting Rc holder — and kRevalidate is the paper's refinement —
+// abort only those whose instantiation the commit actually invalidated.
+//
+// The committed sequence is totally ordered by the engine mutex; it is
+// the execution string the semantics validator replays.
+
+#ifndef DBPS_ENGINE_PARALLEL_ENGINE_H_
+#define DBPS_ENGINE_PARALLEL_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "engine/engine.h"
+#include "lock/lock_manager.h"
+#include "rules/rule.h"
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// \brief How a committer treats transactions holding conflicting Rc
+/// locks (kRcRaWa only).
+enum class AbortPolicy : uint8_t {
+  kAbort,       ///< paper rule (ii): always abort them
+  kRevalidate,  ///< abort only if the commit invalidated their match
+};
+
+const char* AbortPolicyToString(AbortPolicy policy);
+
+struct ParallelEngineOptions {
+  EngineOptions base;
+  size_t num_workers = 4;  ///< the paper's Np
+  LockProtocol protocol = LockProtocol::kRcRaWa;
+  AbortPolicy abort_policy = AbortPolicy::kAbort;
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+  /// Escalate a firing's tuple-level Rc locks to one relation-level Rc
+  /// when it holds more than this many in a relation (0 = never) — §4.3.
+  size_t rc_escalation_threshold = 0;
+  std::chrono::milliseconds lock_timeout{10000};
+};
+
+class ParallelEngine {
+ public:
+  ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
+                 ParallelEngineOptions options = {});
+
+  /// Runs to completion (empty conflict set with nothing in flight, halt,
+  /// or max_firings) and returns stats plus the committed firing log.
+  StatusOr<RunResult> Run();
+
+  const LockManager::Stats& lock_stats() const { return lock_stats_; }
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  /// Runs one claimed instantiation as a transaction. Must be called
+  /// outside mu_; decrements in_flight_ and notifies before returning.
+  /// Returns true if the firing was aborted as a deadlock victim (the
+  /// caller backs off before reclaiming, to break retry storms).
+  bool ProcessFiring(const InstPtr& inst, Random* rng);
+
+  /// Abort/skip paths; each re-enters mu_, cleans up, and notifies.
+  void FinishAborted(TxnId txn, const InstKey& key, bool deadlock);
+  void FinishStale(TxnId txn, const InstKey& key);
+  void FinishRetired(TxnId txn, const InstKey& key);  // RHS error
+
+  WorkingMemory* wm_;
+  RuleSetPtr rules_;
+  ParallelEngineOptions options_;
+  std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<LockManager> lock_manager_;
+
+  std::mutex mu_;  // guards everything below + commit path
+  std::condition_variable cv_;
+  std::atomic<int> executing_{0};       // firings currently in phase 3/4
+  std::atomic<int> peak_executing_{0};  // high-water mark (stats)
+  size_t in_flight_ = 0;
+  bool done_ = false;
+  bool halted_ = false;
+  EngineStats stats_;
+  std::vector<FiringRecord> log_;
+  /// Live transactions' claimed instantiation (for kRevalidate).
+  std::unordered_map<TxnId, InstKey> txn_keys_;
+
+  LockManager::Stats lock_stats_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_ENGINE_PARALLEL_ENGINE_H_

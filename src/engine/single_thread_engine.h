@@ -1,0 +1,59 @@
+// SingleThreadEngine: the reference interpreter (§2, §3.2).
+//
+// Executes the classic three-phase cycle — match (incremental, via the
+// matcher), select (one dominant instantiation per the strategy), execute
+// (RHS evaluated into a Delta, applied atomically) — until the conflict
+// set empties, a (halt) commits, or max_firings trips. Its execution
+// sequences *define* the system's semantics; the parallel engines are
+// validated against it.
+
+#ifndef DBPS_ENGINE_SINGLE_THREAD_ENGINE_H_
+#define DBPS_ENGINE_SINGLE_THREAD_ENGINE_H_
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "rules/rule.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+class SingleThreadEngine {
+ public:
+  /// `wm` must outlive the engine and is mutated by Run()/Step().
+  SingleThreadEngine(WorkingMemory* wm, RuleSetPtr rules,
+                     EngineOptions options = {});
+
+  /// Builds the matcher against the current WM contents.
+  Status Init();
+
+  /// Fires the dominant instantiation once. Returns false when no firing
+  /// happened (empty conflict set, halted, or max reached).
+  StatusOr<bool> Step();
+
+  /// Runs cycles until termination. Calls Init() if needed.
+  StatusOr<RunResult> Run();
+
+  const ConflictSet& conflict_set() const {
+    return matcher_->conflict_set();
+  }
+  const EngineStats& stats() const { return stats_; }
+  const std::vector<FiringRecord>& log() const { return log_; }
+
+ private:
+  WorkingMemory* wm_;
+  RuleSetPtr rules_;
+  EngineOptions options_;
+  std::unique_ptr<Matcher> matcher_;
+  Random rng_;
+  EngineStats stats_;
+  std::vector<FiringRecord> log_;
+  bool initialized_ = false;
+  bool halted_ = false;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_ENGINE_SINGLE_THREAD_ENGINE_H_

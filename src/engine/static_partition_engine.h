@@ -1,0 +1,48 @@
+// StaticPartitionEngine: the static approach of §4.1 (Theorem 1).
+//
+// Each production cycle it takes the conflict set PA, selects (in
+// conflict-resolution order) a maximal pairwise non-interfering subset —
+// interference judged by read/write-set analysis, no locks involved —
+// executes those firings' RHSs concurrently on a thread pool, and then
+// applies their deltas back-to-back. Because the subset is
+// non-interfering, the parallel step is equivalent to *any* serial order
+// of the same productions, which is exactly the proof of Theorem 1.
+//
+// The engine exhibits the approach's documented weaknesses: per-cycle
+// analysis cost and conservatism under false interference (escalated,
+// relation-level writes). The benches quantify both.
+
+#ifndef DBPS_ENGINE_STATIC_PARTITION_ENGINE_H_
+#define DBPS_ENGINE_STATIC_PARTITION_ENGINE_H_
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "rules/rule.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+struct StaticPartitionOptions {
+  EngineOptions base;
+  size_t num_workers = 4;
+};
+
+class StaticPartitionEngine {
+ public:
+  StaticPartitionEngine(WorkingMemory* wm, RuleSetPtr rules,
+                        StaticPartitionOptions options = {});
+
+  StatusOr<RunResult> Run();
+
+ private:
+  WorkingMemory* wm_;
+  RuleSetPtr rules_;
+  StaticPartitionOptions options_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_ENGINE_STATIC_PARTITION_ENGINE_H_

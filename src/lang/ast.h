@@ -1,0 +1,151 @@
+// Parse-level AST of the dbps rule language: purely syntactic, all names
+// unresolved. The analyzer (compiler.h) lowers this to rules::Rule.
+//
+// Grammar sketch (s-expressions; ';' comments):
+//
+//   program    := { relation | rule | fact }
+//   relation   := '(' 'relation' NAME attr-decl* ')'
+//   attr-decl  := '(' NAME TYPE? ')'                TYPE in {int float symbol
+//                                                    string number any}
+//   rule       := '(' 'rule' NAME property* ce+ '-->' action* ')'
+//   property   := ':priority' INT | ':cost' INT
+//   ce         := ['-'] '(' NAME attr-test* ')'
+//   attr-test  := '^'NAME term
+//   term       := constant | VARIABLE | disj | '{' test+ '}'
+//   test       := PRED operand        PRED in {= <> < <= > >=}
+//               | constant            (shorthand for '=' constant)
+//               | VARIABLE            (shorthand for '=' VARIABLE)
+//               | disj
+//   disj       := '<<' constant+ '>>'   (OPS5 value disjunction)
+//   operand    := constant | VARIABLE
+//   action     := '(' 'make' NAME assign* ')'
+//               | '(' 'modify' INT assign* ')'      INT: 1-based positive CE
+//               | '(' 'remove' INT ')'
+//               | '(' 'halt' ')'
+//   assign     := '^'NAME expr
+//   expr       := constant | VARIABLE | '(' OP expr expr ')'
+//                                        OP in {+ - * / mod}
+//   fact       := '(' 'make' NAME ('^'NAME constant)* ')'   (top level)
+
+#ifndef DBPS_LANG_AST_H_
+#define DBPS_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rules/rule.h"  // TestPredicate, BinOp
+#include "value/value.h"
+#include "wm/schema.h"   // AttrType
+
+namespace dbps {
+
+struct SourcePos {
+  int line = 0;
+  int col = 0;
+};
+
+// --- LHS ---------------------------------------------------------------
+
+struct AstOperand {
+  enum class Kind { kConstant, kVariable };
+  Kind kind = Kind::kConstant;
+  Value constant;
+  std::string var_name;
+  SourcePos pos;
+};
+
+struct AstTest {
+  /// A normal predicate test, unless `one_of` is non-empty — then it is
+  /// an OPS5 value disjunction `<< c1 c2 ... >>` (pred/operand unused).
+  TestPredicate pred = TestPredicate::kEq;
+  AstOperand operand;
+  std::vector<Value> one_of;
+};
+
+struct AstAttrTest {
+  std::string attr;
+  std::vector<AstTest> tests;  // conjunction
+  SourcePos pos;
+};
+
+struct AstConditionElement {
+  bool negated = false;
+  std::string relation;
+  std::vector<AstAttrTest> attr_tests;
+  SourcePos pos;
+};
+
+// --- RHS ---------------------------------------------------------------
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind { kConstant, kVariable, kBinary };
+  Kind kind = Kind::kConstant;
+  Value constant;
+  std::string var_name;
+  BinOp op = BinOp::kAdd;
+  AstExprPtr lhs;
+  AstExprPtr rhs;
+  SourcePos pos;
+};
+
+struct AstAssign {
+  std::string attr;
+  AstExprPtr expr;
+  SourcePos pos;
+};
+
+struct AstMakeAction {
+  std::string relation;
+  std::vector<AstAssign> assigns;
+  SourcePos pos;
+};
+
+struct AstModifyAction {
+  int ce_number = 0;  // 1-based positive-CE reference, OPS5 style
+  std::vector<AstAssign> assigns;
+  SourcePos pos;
+};
+
+struct AstRemoveAction {
+  int ce_number = 0;
+  SourcePos pos;
+};
+
+struct AstHaltAction {
+  SourcePos pos;
+};
+
+using AstAction = std::variant<AstMakeAction, AstModifyAction,
+                               AstRemoveAction, AstHaltAction>;
+
+// --- Declarations ------------------------------------------------------
+
+struct AstRule {
+  std::string name;
+  int priority = 0;
+  int64_t cost_us = 0;
+  std::vector<AstConditionElement> lhs;
+  std::vector<AstAction> rhs;
+  SourcePos pos;
+};
+
+struct AstRelationDecl {
+  std::string name;
+  std::vector<std::pair<std::string, AttrType>> attrs;
+  SourcePos pos;
+};
+
+struct AstProgram {
+  std::vector<AstRelationDecl> relations;
+  std::vector<AstRule> rules;
+  std::vector<AstMakeAction> facts;  // top-level (make ...) statements
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_AST_H_

@@ -1,0 +1,373 @@
+#include "lang/compiler.h"
+
+#include <unordered_map>
+
+#include "lang/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+Status ErrorAt(const SourcePos& pos, const std::string& msg) {
+  return Status::TypeError(
+      StringPrintf("%d:%d: %s", pos.line, pos.col, msg.c_str()));
+}
+
+/// Where a variable was bound: positive-CE index + field.
+struct Binding {
+  size_t ce;
+  size_t field;
+};
+
+class RuleCompiler {
+ public:
+  RuleCompiler(const AstRule& ast, const Catalog& catalog)
+      : ast_(ast), catalog_(catalog) {}
+
+  StatusOr<RulePtr> Run() {
+    std::vector<Condition> conditions;
+    size_t positive_seen = 0;
+    for (const auto& ast_ce : ast_.lhs) {
+      DBPS_ASSIGN_OR_RETURN(Condition cond,
+                            CompileCondition(ast_ce, positive_seen));
+      if (!cond.negated) ++positive_seen;
+      conditions.push_back(std::move(cond));
+    }
+    num_positive_ = positive_seen;
+
+    std::vector<Action> actions;
+    for (const auto& ast_action : ast_.rhs) {
+      DBPS_ASSIGN_OR_RETURN(Action action, CompileAction(ast_action));
+      actions.push_back(std::move(action));
+    }
+
+    auto rule = std::make_shared<Rule>(ast_.name, std::move(conditions),
+                                       std::move(actions));
+    rule->set_priority(ast_.priority);
+    rule->set_cost_us(ast_.cost_us);
+    return RulePtr(rule);
+  }
+
+ private:
+  StatusOr<const RelationSchema*> ResolveRelation(const std::string& name,
+                                                  const SourcePos& pos) {
+    auto schema = catalog_.GetRelation(Sym(name));
+    if (!schema.ok()) {
+      return ErrorAt(pos, "rule '" + ast_.name + "': unknown relation '" +
+                              name + "'");
+    }
+    return schema;
+  }
+
+  StatusOr<size_t> ResolveAttr(const RelationSchema& schema,
+                               const std::string& attr,
+                               const SourcePos& pos) {
+    auto field = schema.AttrIndex(Sym(attr));
+    if (!field.has_value()) {
+      return ErrorAt(pos, "rule '" + ast_.name + "': relation '" +
+                              SymName(schema.name()) +
+                              "' has no attribute '^" + attr + "'");
+    }
+    return *field;
+  }
+
+  Status CheckConstantType(const RelationSchema& schema, size_t field,
+                           const Value& constant, const SourcePos& pos) {
+    const AttrDef& attr = schema.attrs()[field];
+    if (!ValueMatchesType(constant, attr.type)) {
+      return ErrorAt(
+          pos, StringPrintf(
+                   "rule '%s': attribute '^%s' of '%s' is %s but tested "
+                   "against %s (%s)",
+                   ast_.name.c_str(), SymName(attr.name).c_str(),
+                   SymName(schema.name()).c_str(),
+                   AttrTypeToString(attr.type),
+                   ValueTypeToString(constant.type()),
+                   constant.ToString().c_str()));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Condition> CompileCondition(const AstConditionElement& ast_ce,
+                                       size_t positive_index) {
+    Condition cond;
+    cond.negated = ast_ce.negated;
+    DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                          ResolveRelation(ast_ce.relation, ast_ce.pos));
+    cond.relation = schema->name();
+
+    // Variables bound by a negated CE are visible only inside it.
+    std::unordered_map<std::string, size_t> local_bindings;
+
+    for (const auto& attr_test : ast_ce.attr_tests) {
+      DBPS_ASSIGN_OR_RETURN(
+          size_t field, ResolveAttr(*schema, attr_test.attr, attr_test.pos));
+      for (const auto& test : attr_test.tests) {
+        DBPS_RETURN_NOT_OK(CompileTest(ast_ce, *schema, positive_index,
+                                       field, test, attr_test.pos,
+                                       &local_bindings, &cond));
+      }
+    }
+    return cond;
+  }
+
+  Status CompileTest(const AstConditionElement& ast_ce,
+                     const RelationSchema& schema, size_t positive_index,
+                     size_t field, const AstTest& test, const SourcePos& pos,
+                     std::unordered_map<std::string, size_t>* local_bindings,
+                     Condition* cond) {
+    if (!test.one_of.empty()) {
+      for (const Value& value : test.one_of) {
+        DBPS_RETURN_NOT_OK(CheckConstantType(schema, field, value, pos));
+      }
+      cond->member_tests.push_back(MemberTest{field, test.one_of});
+      return Status::OK();
+    }
+    if (test.operand.kind == AstOperand::Kind::kConstant) {
+      DBPS_RETURN_NOT_OK(
+          CheckConstantType(schema, field, test.operand.constant, pos));
+      cond->constant_tests.push_back(
+          ConstantTest{field, test.pred, test.operand.constant});
+      return Status::OK();
+    }
+
+    const std::string& var = test.operand.var_name;
+    if (ast_ce.negated) {
+      // Inside a negated CE: reference an outer binding if one exists,
+      // otherwise bind locally (kEq only).
+      auto outer = bindings_.find(var);
+      if (outer != bindings_.end()) {
+        cond->join_tests.push_back(JoinTest{field, test.pred,
+                                            outer->second.ce,
+                                            outer->second.field});
+        return Status::OK();
+      }
+      auto local = local_bindings->find(var);
+      if (local != local_bindings->end()) {
+        cond->intra_tests.push_back(
+            IntraTest{field, test.pred, local->second});
+        return Status::OK();
+      }
+      if (test.pred != TestPredicate::kEq) {
+        return ErrorAt(pos, "rule '" + ast_.name + "': variable <" + var +
+                                "> used in a predicate before binding");
+      }
+      local_bindings->emplace(var, field);
+      return Status::OK();
+    }
+
+    // Positive CE.
+    auto bound = bindings_.find(var);
+    if (bound != bindings_.end()) {
+      if (bound->second.ce == positive_index) {
+        cond->intra_tests.push_back(
+            IntraTest{field, test.pred, bound->second.field});
+      } else {
+        cond->join_tests.push_back(JoinTest{field, test.pred,
+                                            bound->second.ce,
+                                            bound->second.field});
+      }
+      return Status::OK();
+    }
+    if (test.pred != TestPredicate::kEq) {
+      return ErrorAt(pos, "rule '" + ast_.name + "': variable <" + var +
+                              "> used in a predicate before binding");
+    }
+    bindings_.emplace(var, Binding{positive_index, field});
+    return Status::OK();
+  }
+
+  StatusOr<Expr> CompileExpr(const AstExpr& ast_expr) {
+    switch (ast_expr.kind) {
+      case AstExpr::Kind::kConstant:
+        return Expr::Constant(ast_expr.constant);
+      case AstExpr::Kind::kVariable: {
+        auto it = bindings_.find(ast_expr.var_name);
+        if (it == bindings_.end()) {
+          return ErrorAt(ast_expr.pos,
+                         "rule '" + ast_.name + "': unbound variable <" +
+                             ast_expr.var_name + "> in action");
+        }
+        return Expr::Binding(it->second.ce, it->second.field);
+      }
+      case AstExpr::Kind::kBinary: {
+        DBPS_ASSIGN_OR_RETURN(Expr lhs, CompileExpr(*ast_expr.lhs));
+        DBPS_ASSIGN_OR_RETURN(Expr rhs, CompileExpr(*ast_expr.rhs));
+        return Expr::Binary(ast_expr.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return Status::Internal("unreachable AstExpr kind");
+  }
+
+  /// Validates a 1-based positive-CE reference and converts to 0-based.
+  StatusOr<size_t> ResolveCeNumber(int ce_number, const SourcePos& pos) {
+    if (ce_number < 1 || static_cast<size_t>(ce_number) > num_positive_) {
+      return ErrorAt(
+          pos, StringPrintf(
+                   "rule '%s': condition-element reference %d out of range "
+                   "(rule has %zu positive condition elements)",
+                   ast_.name.c_str(), ce_number, num_positive_));
+    }
+    return static_cast<size_t>(ce_number - 1);
+  }
+
+  /// Relation schema matched by positive CE `ce` (0-based).
+  const RelationSchema* PositiveCeSchema(size_t ce) const {
+    size_t seen = 0;
+    for (const auto& ast_ce : ast_.lhs) {
+      if (ast_ce.negated) continue;
+      if (seen == ce) {
+        auto schema = catalog_.GetRelation(Sym(ast_ce.relation));
+        return schema.ok() ? schema.ValueOrDie() : nullptr;
+      }
+      ++seen;
+    }
+    return nullptr;
+  }
+
+  StatusOr<Action> CompileAction(const AstAction& ast_action) {
+    if (const auto* make = std::get_if<AstMakeAction>(&ast_action)) {
+      DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                            ResolveRelation(make->relation, make->pos));
+      std::vector<Expr> values(schema->arity(), Expr::Constant(Value::Nil()));
+      for (const auto& assign : make->assigns) {
+        DBPS_ASSIGN_OR_RETURN(size_t field,
+                              ResolveAttr(*schema, assign.attr, assign.pos));
+        DBPS_ASSIGN_OR_RETURN(Expr expr, CompileExpr(*assign.expr));
+        if (expr.kind == Expr::Kind::kConstant) {
+          DBPS_RETURN_NOT_OK(
+              CheckConstantType(*schema, field, expr.constant, assign.pos));
+        }
+        values[field] = std::move(expr);
+      }
+      return Action{MakeAction{schema->name(), std::move(values)}};
+    }
+    if (const auto* modify = std::get_if<AstModifyAction>(&ast_action)) {
+      DBPS_ASSIGN_OR_RETURN(size_t ce,
+                            ResolveCeNumber(modify->ce_number, modify->pos));
+      const RelationSchema* schema = PositiveCeSchema(ce);
+      DBPS_CHECK(schema != nullptr);
+      std::vector<std::pair<size_t, Expr>> assigns;
+      for (const auto& assign : modify->assigns) {
+        DBPS_ASSIGN_OR_RETURN(size_t field,
+                              ResolveAttr(*schema, assign.attr, assign.pos));
+        DBPS_ASSIGN_OR_RETURN(Expr expr, CompileExpr(*assign.expr));
+        if (expr.kind == Expr::Kind::kConstant) {
+          DBPS_RETURN_NOT_OK(
+              CheckConstantType(*schema, field, expr.constant, assign.pos));
+        }
+        assigns.emplace_back(field, std::move(expr));
+      }
+      return Action{ModifyAction{ce, std::move(assigns)}};
+    }
+    if (const auto* remove = std::get_if<AstRemoveAction>(&ast_action)) {
+      DBPS_ASSIGN_OR_RETURN(size_t ce,
+                            ResolveCeNumber(remove->ce_number, remove->pos));
+      return Action{RemoveAction{ce}};
+    }
+    return Action{HaltAction{}};
+  }
+
+  const AstRule& ast_;
+  const Catalog& catalog_;
+  std::unordered_map<std::string, Binding> bindings_;
+  size_t num_positive_ = 0;
+};
+
+StatusOr<CreateOp> CompileFact(const AstMakeAction& fact,
+                               const Catalog& catalog) {
+  auto schema_or = catalog.GetRelation(Sym(fact.relation));
+  if (!schema_or.ok()) {
+    return ErrorAt(fact.pos, "fact: unknown relation '" + fact.relation + "'");
+  }
+  const RelationSchema* schema = schema_or.ValueOrDie();
+  std::vector<Value> values(schema->arity(), Value::Nil());
+  for (const auto& assign : fact.assigns) {
+    auto field = schema->AttrIndex(Sym(assign.attr));
+    if (!field.has_value()) {
+      return ErrorAt(assign.pos, "fact: relation '" + fact.relation +
+                                     "' has no attribute '^" + assign.attr +
+                                     "'");
+    }
+    if (assign.expr->kind != AstExpr::Kind::kConstant) {
+      return ErrorAt(assign.pos,
+                     "fact attributes must be constants (no variables or "
+                     "arithmetic)");
+    }
+    values[*field] = assign.expr->constant;
+  }
+  DBPS_RETURN_NOT_OK(schema->CheckTuple(values));
+  return CreateOp{schema->name(), std::move(values)};
+}
+
+}  // namespace
+
+StatusOr<CompiledProgram> CompileProgram(const AstProgram& ast,
+                                         const Catalog* existing) {
+  CompiledProgram out;
+
+  // Resolution catalog = pre-existing relations + this program's.
+  Catalog catalog;
+  if (existing != nullptr) {
+    for (SymbolId name : existing->relation_names()) {
+      DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                            existing->GetRelation(name));
+      DBPS_RETURN_NOT_OK(catalog.AddRelation(*schema));
+    }
+  }
+  for (const auto& decl : ast.relations) {
+    std::vector<AttrDef> attrs;
+    attrs.reserve(decl.attrs.size());
+    for (const auto& [attr_name, type] : decl.attrs) {
+      attrs.push_back(AttrDef{Sym(attr_name), type});
+    }
+    RelationSchema schema(Sym(decl.name), std::move(attrs));
+    Status added = catalog.AddRelation(schema);
+    if (!added.ok()) {
+      return ErrorAt(decl.pos, added.message());
+    }
+    out.relations.push_back(std::move(schema));
+  }
+
+  auto rules = std::make_shared<RuleSet>();
+  for (const auto& ast_rule : ast.rules) {
+    DBPS_ASSIGN_OR_RETURN(RulePtr rule,
+                          RuleCompiler(ast_rule, catalog).Run());
+    Status added = rules->Add(std::move(rule));
+    if (!added.ok()) {
+      return ErrorAt(ast_rule.pos, added.message());
+    }
+  }
+  out.rules = std::move(rules);
+
+  for (const auto& fact : ast.facts) {
+    DBPS_ASSIGN_OR_RETURN(CreateOp op, CompileFact(fact, catalog));
+    out.facts.push_back(std::move(op));
+  }
+  return out;
+}
+
+StatusOr<CompiledProgram> CompileProgram(std::string_view source,
+                                         const Catalog* existing) {
+  DBPS_ASSIGN_OR_RETURN(AstProgram ast, Parse(source));
+  return CompileProgram(ast, existing);
+}
+
+StatusOr<RuleSetPtr> LoadProgram(std::string_view source,
+                                 WorkingMemory* wm) {
+  DBPS_ASSIGN_OR_RETURN(CompiledProgram program,
+                        CompileProgram(source, &wm->catalog()));
+  for (auto& schema : program.relations) {
+    DBPS_RETURN_NOT_OK(wm->CreateRelation(std::move(schema)));
+  }
+  for (auto& fact : program.facts) {
+    DBPS_ASSIGN_OR_RETURN(WmePtr wme,
+                          wm->Insert(fact.relation, std::move(fact.values)));
+    (void)wme;
+  }
+  return RuleSetPtr(program.rules);
+}
+
+}  // namespace dbps

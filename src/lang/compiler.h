@@ -1,0 +1,50 @@
+// Semantic analysis + lowering: AstProgram -> schemas, compiled rules,
+// and initial facts.
+//
+// The compiler resolves every relation/attribute name against the declared
+// schemas (plus any relations already in a target working memory), assigns
+// each variable its binding site — the first bare occurrence in a positive
+// condition element — and lowers later occurrences into intra-WME or join
+// tests. Negated condition elements may bind variables only for use inside
+// themselves (OPS5 scoping).
+
+#ifndef DBPS_LANG_COMPILER_H_
+#define DBPS_LANG_COMPILER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.h"
+#include "rules/rule.h"
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// \brief Result of compiling a program.
+struct CompiledProgram {
+  /// Newly declared relations, in declaration order.
+  std::vector<RelationSchema> relations;
+  /// All rules of the program.
+  std::shared_ptr<RuleSet> rules;
+  /// Top-level (make ...) facts, ready for WorkingMemory::Apply.
+  std::vector<CreateOp> facts;
+};
+
+/// \brief Compiles `ast`. If `existing` is non-null, relations already in
+/// that catalog are visible to rules without redeclaration.
+StatusOr<CompiledProgram> CompileProgram(const AstProgram& ast,
+                                         const Catalog* existing = nullptr);
+
+/// \brief Parses and compiles `source`.
+StatusOr<CompiledProgram> CompileProgram(std::string_view source,
+                                         const Catalog* existing = nullptr);
+
+/// \brief One-stop loader: parses `source`, creates its relations in `wm`,
+/// inserts its facts, and returns its rule set.
+StatusOr<RuleSetPtr> LoadProgram(std::string_view source, WorkingMemory* wm);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_COMPILER_H_

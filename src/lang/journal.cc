@@ -1,0 +1,185 @@
+#include "lang/journal.h"
+
+#include <vector>
+
+#include "lang/lexer.h"
+#include "lang/printer.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+Status AppendValue(const Value& value, std::string* out) {
+  DBPS_ASSIGN_OR_RETURN(std::string rendered, ValueToSource(value));
+  *out += " " + rendered;
+  return Status::OK();
+}
+
+/// Token-stream cursor for parsing journal lines.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenType type) {
+    if (Match(type)) return Status::OK();
+    return Status::ParseError("journal: expected " +
+                              std::string(TokenTypeToString(type)) +
+                              ", found " + Peek().ToString());
+  }
+  StatusOr<std::string> ExpectSymbol() {
+    if (!Check(TokenType::kSymbol)) {
+      return Status::ParseError("journal: expected symbol, found " +
+                                Peek().ToString());
+    }
+    return Advance().text;
+  }
+  StatusOr<int64_t> ExpectInt() {
+    if (!Check(TokenType::kInt)) {
+      return Status::ParseError("journal: expected integer, found " +
+                                Peek().ToString());
+    }
+    return Advance().int_value;
+  }
+
+  StatusOr<Value> ExpectValue() {
+    switch (Peek().type) {
+      case TokenType::kInt:
+        return Value::Int(Advance().int_value);
+      case TokenType::kFloat:
+        return Value::Float(Advance().float_value);
+      case TokenType::kString:
+        return Value::String(Advance().text);
+      case TokenType::kSymbol: {
+        std::string text = Advance().text;
+        return text == "nil" ? Value::Nil() : Value::Symbol(text);
+      }
+      default:
+        return Status::ParseError("journal: expected a value, found " +
+                                  Peek().ToString());
+    }
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::string> DeltaToJournalLine(const Delta& delta) {
+  std::string out = "(delta";
+  for (const auto& op : delta.ops()) {
+    if (const auto* create = std::get_if<CreateOp>(&op)) {
+      out += " (make " + SymName(create->relation);
+      for (const auto& value : create->values) {
+        DBPS_RETURN_NOT_OK(AppendValue(value, &out));
+      }
+      out += ")";
+    } else if (const auto* modify = std::get_if<ModifyOp>(&op)) {
+      out += StringPrintf(" (modify %llu",
+                          (unsigned long long)modify->id);
+      for (const auto& [field, value] : modify->updates) {
+        out += StringPrintf(" (%zu", field);
+        DBPS_RETURN_NOT_OK(AppendValue(value, &out));
+        out += ")";
+      }
+      out += ")";
+    } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
+      out += StringPrintf(" (delete %llu)", (unsigned long long)del->id);
+    }
+  }
+  if (delta.halt()) out += " (halt)";
+  out += ")";
+  return out;
+}
+
+StatusOr<Delta> DeltaFromJournalLine(std::string_view line) {
+  DBPS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(line));
+  Cursor cursor(std::move(tokens));
+  Delta delta;
+
+  DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kLParen));
+  DBPS_ASSIGN_OR_RETURN(std::string head, cursor.ExpectSymbol());
+  if (head != "delta") {
+    return Status::ParseError("journal: expected (delta ...), got '" +
+                              head + "'");
+  }
+  while (!cursor.Check(TokenType::kRParen)) {
+    DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kLParen));
+    DBPS_ASSIGN_OR_RETURN(std::string op, cursor.ExpectSymbol());
+    if (op == "make") {
+      DBPS_ASSIGN_OR_RETURN(std::string relation, cursor.ExpectSymbol());
+      std::vector<Value> values;
+      while (!cursor.Check(TokenType::kRParen)) {
+        DBPS_ASSIGN_OR_RETURN(Value value, cursor.ExpectValue());
+        values.push_back(std::move(value));
+      }
+      delta.Create(Sym(relation), std::move(values));
+    } else if (op == "modify") {
+      DBPS_ASSIGN_OR_RETURN(int64_t id, cursor.ExpectInt());
+      std::vector<std::pair<size_t, Value>> updates;
+      while (cursor.Match(TokenType::kLParen)) {
+        DBPS_ASSIGN_OR_RETURN(int64_t field, cursor.ExpectInt());
+        DBPS_ASSIGN_OR_RETURN(Value value, cursor.ExpectValue());
+        updates.emplace_back(static_cast<size_t>(field), std::move(value));
+        DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kRParen));
+      }
+      delta.Modify(static_cast<WmeId>(id), std::move(updates));
+    } else if (op == "delete") {
+      DBPS_ASSIGN_OR_RETURN(int64_t id, cursor.ExpectInt());
+      delta.Delete(static_cast<WmeId>(id));
+    } else if (op == "halt") {
+      delta.SetHalt();
+    } else {
+      return Status::ParseError("journal: unknown op '" + op + "'");
+    }
+    DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kRParen));
+  }
+  DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kRParen));
+  if (!cursor.Check(TokenType::kEof)) {
+    return Status::ParseError("journal: trailing tokens after (delta ...)");
+  }
+  return delta;
+}
+
+StatusOr<std::string> DeltasToJournal(const std::vector<Delta>& deltas) {
+  std::string out;
+  for (const auto& delta : deltas) {
+    DBPS_ASSIGN_OR_RETURN(std::string line, DeltaToJournalLine(delta));
+    out += line + "\n";
+  }
+  return out;
+}
+
+Status ReplayJournal(std::string_view journal, WorkingMemory* wm) {
+  size_t line_number = 0;
+  for (const auto& raw_line : Split(journal, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == ';') continue;
+    auto delta = DeltaFromJournalLine(line);
+    if (!delta.ok()) {
+      return Status::ParseError(StringPrintf(
+          "journal line %zu: %s", line_number,
+          delta.status().message().c_str()));
+    }
+    auto change = wm->Apply(delta.ValueOrDie());
+    if (!change.ok()) {
+      return Status::InvalidArgument(StringPrintf(
+          "journal line %zu does not apply: %s", line_number,
+          change.status().message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbps

@@ -1,0 +1,50 @@
+// Delta journal: write-ahead-log-style persistence for working memory.
+//
+// A journal is a text stream of committed Deltas. Because
+// WorkingMemory::Apply assigns WME ids deterministically (in op order),
+// replaying the same journal against the same initial state reproduces
+// the same database — ids, time tags and all. Together with snapshots
+// (printer.h) this gives the classic snapshot + log recovery story:
+//
+//   JournalWriter journal(stream);
+//   options.observer = ...;                 // or call Append per commit
+//   ...run...
+//   // recovery:
+//   wm = LoadSnapshot(...);                 // or rebuild initial state
+//   ReplayJournal(journal_text, &wm);
+//
+// Format (one delta per line, s-expression):
+//   (delta (make REL value*) (modify ID (FIELD value)*) (delete ID) (halt)?)
+// Values use the rule-language literal syntax (printer.h limits apply:
+// finite floats, identifier-shaped symbols).
+
+#ifndef DBPS_LANG_JOURNAL_H_
+#define DBPS_LANG_JOURNAL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+#include "wm/delta.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// Serializes one delta to its journal line (no trailing newline).
+StatusOr<std::string> DeltaToJournalLine(const Delta& delta);
+
+/// Parses one journal line back into a Delta.
+StatusOr<Delta> DeltaFromJournalLine(std::string_view line);
+
+/// Serializes a sequence of deltas (e.g. the deltas of an engine's
+/// firing log) to journal text, one line each.
+StatusOr<std::string> DeltasToJournal(const std::vector<Delta>& deltas);
+
+/// Applies every delta of `journal` (one per line; blank lines and ';'
+/// comments skipped) to `wm`, in order. Stops with an error on the first
+/// malformed or inapplicable delta.
+Status ReplayJournal(std::string_view journal, WorkingMemory* wm);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_JOURNAL_H_

@@ -1,0 +1,302 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dbps {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kNegation:
+      return "'-('";
+    case TokenType::kArrow:
+      return "'-->'";
+    case TokenType::kLDisj:
+      return "'<<'";
+    case TokenType::kRDisj:
+      return "'>>'";
+    case TokenType::kAttribute:
+      return "attribute";
+    case TokenType::kVariable:
+      return "variable";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kSymbol:
+      return "symbol";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  std::string out = TokenTypeToString(type);
+  if (!text.empty()) out += " '" + text + "'";
+  return out + StringPrintf(" at %d:%d", line, col);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '*' || c == '?';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '*' || c == '?' || c == '.';
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view src) : src_(src) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      auto token = Next();
+      if (!token.ok()) return token.status();
+      out.push_back(std::move(token).ValueOrDie());
+    }
+    out.push_back(Make(TokenType::kEof, ""));
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == ';') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Make(TokenType type, std::string text) const {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = token_line_;
+    t.col = token_col_;
+    return t;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("%d:%d: %s", token_line_, token_col_, msg.c_str()));
+  }
+
+  StatusOr<Token> Next() {
+    token_line_ = line_;
+    token_col_ = col_;
+    char c = Peek();
+    switch (c) {
+      case '(':
+        Advance();
+        return Make(TokenType::kLParen, "");
+      case ')':
+        Advance();
+        return Make(TokenType::kRParen, "");
+      case '{':
+        Advance();
+        return Make(TokenType::kLBrace, "");
+      case '}':
+        Advance();
+        return Make(TokenType::kRBrace, "");
+      case '^':
+        Advance();
+        return LexSigilName(TokenType::kAttribute, "attribute");
+      case ':':
+        Advance();
+        return LexSigilName(TokenType::kKeyword, "keyword");
+      case '"':
+        return LexString();
+      case '=':
+        Advance();
+        return Make(TokenType::kSymbol, "=");
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenType::kSymbol, ">=");
+        }
+        if (Peek() == '>') {
+          Advance();
+          return Make(TokenType::kRDisj, "");
+        }
+        return Make(TokenType::kSymbol, ">");
+      case '<':
+        return LexLessOrVariable();
+      case '-':
+        return LexMinus();
+      case '+':
+      case '*':
+      case '/':
+        Advance();
+        return Make(TokenType::kSymbol, std::string(1, c));
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(false);
+    if (IsIdentStart(c)) return Make(TokenType::kSymbol, LexIdent());
+    return Error(StringPrintf("unexpected character '%c'", c));
+  }
+
+  std::string LexIdent() {
+    std::string text;
+    while (!AtEnd() && IsIdentChar(Peek())) text += Advance();
+    return text;
+  }
+
+  StatusOr<Token> LexSigilName(TokenType type, const char* what) {
+    if (AtEnd() || !IsIdentStart(Peek())) {
+      return Error(StringPrintf("expected %s name", what));
+    }
+    return Make(type, LexIdent());
+  }
+
+  StatusOr<Token> LexString() {
+    Advance();  // opening quote
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        char esc = Advance();
+        switch (esc) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          case '\\':
+          case '"':
+            text += esc;
+            break;
+          default:
+            return Error(StringPrintf("unknown escape '\\%c'", esc));
+        }
+      } else {
+        text += c;
+      }
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    return Make(TokenType::kString, std::move(text));
+  }
+
+  StatusOr<Token> LexLessOrVariable() {
+    Advance();  // '<'
+    if (Peek() == '<') {
+      Advance();
+      return Make(TokenType::kLDisj, "");
+    }
+    if (Peek() == '=') {
+      Advance();
+      return Make(TokenType::kSymbol, "<=");
+    }
+    if (Peek() == '>') {
+      Advance();
+      return Make(TokenType::kSymbol, "<>");
+    }
+    if (!IsIdentStart(Peek())) return Make(TokenType::kSymbol, "<");
+    std::string name = LexIdent();
+    if (Peek() != '>') {
+      return Error("unterminated variable '<" + name + "'");
+    }
+    Advance();  // '>'
+    return Make(TokenType::kVariable, std::move(name));
+  }
+
+  StatusOr<Token> LexMinus() {
+    Advance();  // '-'
+    if (Peek() == '-' && Peek(1) == '>') {
+      Advance();
+      Advance();
+      return Make(TokenType::kArrow, "");
+    }
+    if (Peek() == '(') {
+      return Make(TokenType::kNegation, "");
+    }
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return LexNumber(true);
+    }
+    return Make(TokenType::kSymbol, "-");
+  }
+
+  StatusOr<Token> LexNumber(bool negative) {
+    std::string digits = negative ? "-" : "";
+    bool is_float = false;
+    while (!AtEnd() &&
+           (std::isdigit(static_cast<unsigned char>(Peek())) ||
+            Peek() == '.')) {
+      if (Peek() == '.') {
+        // Allow a single decimal point followed by a digit.
+        if (is_float || !std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+          break;
+        }
+        is_float = true;
+      }
+      digits += Advance();
+    }
+    Token t = Make(is_float ? TokenType::kFloat : TokenType::kInt, digits);
+    if (is_float) {
+      t.float_value = std::strtod(digits.c_str(), nullptr);
+    } else {
+      t.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int token_line_ = 1;
+  int token_col_ = 1;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(std::string_view source) {
+  return LexerImpl(source).Run();
+}
+
+}  // namespace dbps

@@ -1,0 +1,27 @@
+// Lexer for the dbps rule language.
+
+#ifndef DBPS_LANG_LEXER_H_
+#define DBPS_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+#include "util/statusor.h"
+
+namespace dbps {
+
+/// \brief Lexes `source` into tokens (with a trailing kEof).
+///
+/// Comments run from ';' to end of line. Disambiguation rules:
+///   -->        arrow
+///   -( ... )   negated condition element
+///   -5, -1.5   negative numeric literals
+///   -          the subtraction operator symbol otherwise
+///   <name>     variable
+///   <, <=, <>  comparison operators
+StatusOr<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_LEXER_H_

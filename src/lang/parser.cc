@@ -1,0 +1,382 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  StatusOr<AstProgram> Run() {
+    AstProgram program;
+    while (!Check(TokenType::kEof)) {
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+      DBPS_ASSIGN_OR_RETURN(Token head, ExpectSymbol());
+      if (head.text == "relation") {
+        DBPS_ASSIGN_OR_RETURN(AstRelationDecl decl, ParseRelationBody(head));
+        program.relations.push_back(std::move(decl));
+      } else if (head.text == "rule") {
+        DBPS_ASSIGN_OR_RETURN(AstRule rule, ParseRuleBody(head));
+        program.rules.push_back(std::move(rule));
+      } else if (head.text == "make") {
+        DBPS_ASSIGN_OR_RETURN(AstMakeAction fact, ParseMakeBody(head));
+        program.facts.push_back(std::move(fact));
+      } else {
+        return Error(head, "expected 'relation', 'rule', or 'make'");
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    Advance();
+    return true;
+  }
+
+  static Status Error(const Token& token, const std::string& msg) {
+    return Status::ParseError(StringPrintf("%d:%d: %s (found %s)",
+                                           token.line, token.col,
+                                           msg.c_str(),
+                                           token.ToString().c_str()));
+  }
+
+  Status Expect(TokenType type) {
+    if (Check(type)) {
+      Advance();
+      return Status::OK();
+    }
+    return Error(Peek(), std::string("expected ") + TokenTypeToString(type));
+  }
+
+  StatusOr<Token> ExpectSymbol() {
+    if (!Check(TokenType::kSymbol)) {
+      return Error(Peek(), "expected a symbol");
+    }
+    return Advance();
+  }
+
+  StatusOr<Token> ExpectInt() {
+    if (!Check(TokenType::kInt)) {
+      return Error(Peek(), "expected an integer");
+    }
+    return Advance();
+  }
+
+  static SourcePos Pos(const Token& t) { return SourcePos{t.line, t.col}; }
+
+  // ('relation' already consumed) NAME attr-decl* ')'
+  StatusOr<AstRelationDecl> ParseRelationBody(const Token& head) {
+    AstRelationDecl decl;
+    decl.pos = Pos(head);
+    DBPS_ASSIGN_OR_RETURN(Token name, ExpectSymbol());
+    decl.name = name.text;
+    while (Match(TokenType::kLParen)) {
+      DBPS_ASSIGN_OR_RETURN(Token attr, ExpectSymbol());
+      AttrType type = AttrType::kAny;
+      if (Check(TokenType::kSymbol)) {
+        Token type_tok = Advance();
+        DBPS_ASSIGN_OR_RETURN(type, ParseAttrType(type_tok));
+      }
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      decl.attrs.emplace_back(attr.text, type);
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return decl;
+  }
+
+  static StatusOr<AttrType> ParseAttrType(const Token& token) {
+    const std::string& t = token.text;
+    if (t == "int") return AttrType::kInt;
+    if (t == "float") return AttrType::kFloat;
+    if (t == "symbol") return AttrType::kSymbol;
+    if (t == "string") return AttrType::kString;
+    if (t == "number") return AttrType::kNumber;
+    if (t == "any") return AttrType::kAny;
+    return Error(token, "unknown attribute type '" + t + "'");
+  }
+
+  // ('rule' consumed) NAME property* ce+ '-->' action* ')'
+  StatusOr<AstRule> ParseRuleBody(const Token& head) {
+    AstRule rule;
+    rule.pos = Pos(head);
+    DBPS_ASSIGN_OR_RETURN(Token name, ExpectSymbol());
+    rule.name = name.text;
+    while (Check(TokenType::kKeyword)) {
+      Token keyword = Advance();
+      DBPS_ASSIGN_OR_RETURN(Token value, ExpectInt());
+      if (keyword.text == "priority") {
+        rule.priority = static_cast<int>(value.int_value);
+      } else if (keyword.text == "cost") {
+        rule.cost_us = value.int_value;
+      } else {
+        return Error(keyword, "unknown rule property ':" + keyword.text + "'");
+      }
+    }
+    while (Check(TokenType::kLParen) || Check(TokenType::kNegation)) {
+      DBPS_ASSIGN_OR_RETURN(AstConditionElement ce, ParseConditionElement());
+      rule.lhs.push_back(std::move(ce));
+    }
+    if (rule.lhs.empty()) {
+      return Error(Peek(), "rule '" + rule.name +
+                               "' needs at least one condition element");
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kArrow));
+    while (Check(TokenType::kLParen)) {
+      DBPS_ASSIGN_OR_RETURN(AstAction action, ParseAction());
+      rule.rhs.push_back(std::move(action));
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return rule;
+  }
+
+  StatusOr<AstConditionElement> ParseConditionElement() {
+    AstConditionElement ce;
+    ce.pos = Pos(Peek());
+    ce.negated = Match(TokenType::kNegation);
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    DBPS_ASSIGN_OR_RETURN(Token relation, ExpectSymbol());
+    ce.relation = relation.text;
+    while (Check(TokenType::kAttribute)) {
+      Token attr = Advance();
+      AstAttrTest attr_test;
+      attr_test.attr = attr.text;
+      attr_test.pos = Pos(attr);
+      DBPS_RETURN_NOT_OK(ParseTerm(&attr_test));
+      ce.attr_tests.push_back(std::move(attr_test));
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return ce;
+  }
+
+  // term := constant | VARIABLE | disj | '{' test+ '}'
+  Status ParseTerm(AstAttrTest* attr_test) {
+    if (Check(TokenType::kLDisj)) {
+      DBPS_ASSIGN_OR_RETURN(AstTest test, ParseDisjunction());
+      attr_test->tests.push_back(std::move(test));
+      return Status::OK();
+    }
+    if (Match(TokenType::kLBrace)) {
+      while (!Check(TokenType::kRBrace)) {
+        DBPS_ASSIGN_OR_RETURN(AstTest test, ParseTest());
+        attr_test->tests.push_back(std::move(test));
+      }
+      if (attr_test->tests.empty()) {
+        return Error(Peek(), "empty restriction '{}'");
+      }
+      return Expect(TokenType::kRBrace);
+    }
+    DBPS_ASSIGN_OR_RETURN(AstOperand operand, ParseOperand());
+    AstTest test;
+    test.operand = std::move(operand);
+    attr_test->tests.push_back(std::move(test));
+    return Status::OK();
+  }
+
+  // disj := '<<' constant+ '>>'
+  StatusOr<AstTest> ParseDisjunction() {
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kLDisj));
+    AstTest test;
+    while (!Check(TokenType::kRDisj)) {
+      DBPS_ASSIGN_OR_RETURN(AstOperand operand, ParseOperand());
+      if (operand.kind != AstOperand::Kind::kConstant) {
+        return Error(Peek(), "disjunctions may contain only constants");
+      }
+      test.one_of.push_back(std::move(operand.constant));
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRDisj));
+    if (test.one_of.empty()) {
+      return Error(Peek(), "empty disjunction '<< >>'");
+    }
+    return test;
+  }
+
+  // test := PRED operand | constant | VARIABLE | disj
+  StatusOr<AstTest> ParseTest() {
+    if (Check(TokenType::kLDisj)) {
+      return ParseDisjunction();
+    }
+    if (Check(TokenType::kSymbol)) {
+      const std::string& text = Peek().text;
+      TestPredicate pred;
+      bool is_pred = true;
+      if (text == "=") {
+        pred = TestPredicate::kEq;
+      } else if (text == "<>") {
+        pred = TestPredicate::kNe;
+      } else if (text == "<") {
+        pred = TestPredicate::kLt;
+      } else if (text == "<=") {
+        pred = TestPredicate::kLe;
+      } else if (text == ">") {
+        pred = TestPredicate::kGt;
+      } else if (text == ">=") {
+        pred = TestPredicate::kGe;
+      } else {
+        is_pred = false;
+        pred = TestPredicate::kEq;
+      }
+      if (is_pred) Advance();
+      DBPS_ASSIGN_OR_RETURN(AstOperand operand, ParseOperand());
+      AstTest test;
+      test.pred = pred;
+      test.operand = std::move(operand);
+      return test;
+    }
+    DBPS_ASSIGN_OR_RETURN(AstOperand operand, ParseOperand());
+    AstTest test;
+    test.operand = std::move(operand);
+    return test;
+  }
+
+  // operand := constant | VARIABLE
+  StatusOr<AstOperand> ParseOperand() {
+    AstOperand op;
+    op.pos = Pos(Peek());
+    switch (Peek().type) {
+      case TokenType::kVariable:
+        op.kind = AstOperand::Kind::kVariable;
+        op.var_name = Advance().text;
+        return op;
+      case TokenType::kInt:
+        op.constant = Value::Int(Advance().int_value);
+        return op;
+      case TokenType::kFloat:
+        op.constant = Value::Float(Advance().float_value);
+        return op;
+      case TokenType::kString:
+        op.constant = Value::String(Advance().text);
+        return op;
+      case TokenType::kSymbol: {
+        Token t = Advance();
+        op.constant = Value::Symbol(t.text);
+        return op;
+      }
+      default:
+        return Error(Peek(), "expected a constant or variable");
+    }
+  }
+
+  StatusOr<AstAction> ParseAction() {
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    DBPS_ASSIGN_OR_RETURN(Token head, ExpectSymbol());
+    if (head.text == "make") {
+      DBPS_ASSIGN_OR_RETURN(AstMakeAction make, ParseMakeBody(head));
+      return AstAction{std::move(make)};
+    }
+    if (head.text == "modify") {
+      AstModifyAction modify;
+      modify.pos = Pos(head);
+      DBPS_ASSIGN_OR_RETURN(Token n, ExpectInt());
+      modify.ce_number = static_cast<int>(n.int_value);
+      DBPS_RETURN_NOT_OK(ParseAssigns(&modify.assigns));
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      if (modify.assigns.empty()) {
+        return Error(head, "modify needs at least one ^attr expression");
+      }
+      return AstAction{std::move(modify)};
+    }
+    if (head.text == "remove") {
+      AstRemoveAction remove;
+      remove.pos = Pos(head);
+      DBPS_ASSIGN_OR_RETURN(Token n, ExpectInt());
+      remove.ce_number = static_cast<int>(n.int_value);
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return AstAction{std::move(remove)};
+    }
+    if (head.text == "halt") {
+      AstHaltAction halt;
+      halt.pos = Pos(head);
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return AstAction{std::move(halt)};
+    }
+    return Error(head, "expected 'make', 'modify', 'remove', or 'halt'");
+  }
+
+  // ('make' consumed) NAME assign* ')'
+  StatusOr<AstMakeAction> ParseMakeBody(const Token& head) {
+    AstMakeAction make;
+    make.pos = Pos(head);
+    DBPS_ASSIGN_OR_RETURN(Token relation, ExpectSymbol());
+    make.relation = relation.text;
+    DBPS_RETURN_NOT_OK(ParseAssigns(&make.assigns));
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return make;
+  }
+
+  Status ParseAssigns(std::vector<AstAssign>* assigns) {
+    while (Check(TokenType::kAttribute)) {
+      Token attr = Advance();
+      AstAssign assign;
+      assign.attr = attr.text;
+      assign.pos = Pos(attr);
+      DBPS_ASSIGN_OR_RETURN(AstExprPtr expr, ParseExpr());
+      assign.expr = std::move(expr);
+      assigns->push_back(std::move(assign));
+    }
+    return Status::OK();
+  }
+
+  // expr := constant | VARIABLE | '(' OP expr expr ')'
+  StatusOr<AstExprPtr> ParseExpr() {
+    auto expr = std::make_unique<AstExpr>();
+    expr->pos = Pos(Peek());
+    if (Match(TokenType::kLParen)) {
+      DBPS_ASSIGN_OR_RETURN(Token op, ExpectSymbol());
+      expr->kind = AstExpr::Kind::kBinary;
+      if (op.text == "+") {
+        expr->op = BinOp::kAdd;
+      } else if (op.text == "-") {
+        expr->op = BinOp::kSub;
+      } else if (op.text == "*") {
+        expr->op = BinOp::kMul;
+      } else if (op.text == "/") {
+        expr->op = BinOp::kDiv;
+      } else if (op.text == "mod") {
+        expr->op = BinOp::kMod;
+      } else {
+        return Error(op, "expected an arithmetic operator");
+      }
+      DBPS_ASSIGN_OR_RETURN(expr->lhs, ParseExpr());
+      DBPS_ASSIGN_OR_RETURN(expr->rhs, ParseExpr());
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return expr;
+    }
+    if (Check(TokenType::kVariable)) {
+      expr->kind = AstExpr::Kind::kVariable;
+      expr->var_name = Advance().text;
+      return expr;
+    }
+    DBPS_ASSIGN_OR_RETURN(AstOperand operand, ParseOperand());
+    if (operand.kind == AstOperand::Kind::kVariable) {
+      expr->kind = AstExpr::Kind::kVariable;
+      expr->var_name = std::move(operand.var_name);
+    } else {
+      expr->kind = AstExpr::Kind::kConstant;
+      expr->constant = std::move(operand.constant);
+    }
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<AstProgram> Parse(std::string_view source) {
+  DBPS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return ParserImpl(std::move(tokens)).Run();
+}
+
+}  // namespace dbps

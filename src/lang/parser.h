@@ -1,0 +1,18 @@
+// Recursive-descent parser: token stream -> AstProgram.
+
+#ifndef DBPS_LANG_PARSER_H_
+#define DBPS_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "lang/ast.h"
+#include "util/statusor.h"
+
+namespace dbps {
+
+/// \brief Parses a full program (relations, rules, facts).
+StatusOr<AstProgram> Parse(std::string_view source);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_PARSER_H_

@@ -1,0 +1,419 @@
+#include "lang/printer.h"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+bool IsValidIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_' &&
+      first != '*' && first != '?') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-' && c != '*' && c != '?' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out + "\"";
+}
+
+/// Key of a variable binding site.
+struct BindingSite {
+  bool negated_local = false;  // true: (condition index, field) in a
+                               // negated CE; false: (positive ce, field)
+  size_t ce = 0;
+  size_t field = 0;
+  bool operator<(const BindingSite& other) const {
+    return std::tie(negated_local, ce, field) <
+           std::tie(other.negated_local, other.ce, other.field);
+  }
+};
+
+class RulePrinter {
+ public:
+  RulePrinter(const Rule& rule, const Catalog& catalog)
+      : rule_(rule), catalog_(catalog) {}
+
+  StatusOr<std::string> Run() {
+    DBPS_RETURN_NOT_OK(CollectBindings());
+    std::ostringstream out;
+    out << "(rule " << rule_.name();
+    if (rule_.priority() != 0) out << " :priority " << rule_.priority();
+    if (rule_.cost_us() != 0) out << " :cost " << rule_.cost_us();
+    size_t positive_seen = 0;
+    for (size_t i = 0; i < rule_.conditions().size(); ++i) {
+      const Condition& cond = rule_.conditions()[i];
+      DBPS_ASSIGN_OR_RETURN(
+          std::string ce,
+          ConditionToSource(cond, i,
+                            cond.negated ? positive_seen : positive_seen));
+      if (!cond.negated) ++positive_seen;
+      out << "\n  " << ce;
+    }
+    out << "\n  -->";
+    for (const auto& action : rule_.actions()) {
+      DBPS_ASSIGN_OR_RETURN(std::string rendered, ActionToSource(action));
+      out << "\n  " << rendered;
+    }
+    out << ")\n";
+    return out.str();
+  }
+
+ private:
+  /// Registers (and names) a binding site.
+  void Need(BindingSite site) {
+    if (vars_.count(site) == 0) {
+      vars_.emplace(site, "v" + std::to_string(vars_.size()));
+    }
+  }
+
+  void CollectExprBindings(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kConstant:
+        return;
+      case Expr::Kind::kBinding:
+        Need(BindingSite{false, expr.ce, expr.field});
+        return;
+      case Expr::Kind::kBinary:
+        CollectExprBindings(*expr.lhs);
+        CollectExprBindings(*expr.rhs);
+        return;
+    }
+  }
+
+  Status CollectBindings() {
+    size_t positive_seen = 0;
+    for (size_t i = 0; i < rule_.conditions().size(); ++i) {
+      const Condition& cond = rule_.conditions()[i];
+      for (const auto& test : cond.join_tests) {
+        Need(BindingSite{false, test.other_ce, test.other_field});
+      }
+      for (const auto& test : cond.intra_tests) {
+        if (cond.negated) {
+          Need(BindingSite{true, i, test.other_field});
+        } else {
+          Need(BindingSite{false, positive_seen, test.other_field});
+        }
+      }
+      if (!cond.negated) ++positive_seen;
+    }
+    for (const auto& action : rule_.actions()) {
+      if (const auto* make = std::get_if<MakeAction>(&action)) {
+        for (const auto& expr : make->values) CollectExprBindings(expr);
+      } else if (const auto* modify = std::get_if<ModifyAction>(&action)) {
+        for (const auto& [field, expr] : modify->assigns) {
+          (void)field;
+          CollectExprBindings(expr);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Variable spelling for a site; empty if the site is not needed.
+  std::string VarFor(bool negated_local, size_t ce, size_t field) const {
+    auto it = vars_.find(BindingSite{negated_local, ce, field});
+    return it == vars_.end() ? "" : it->second;
+  }
+
+  StatusOr<std::string> ConditionToSource(const Condition& cond,
+                                          size_t cond_index,
+                                          size_t positive_index) {
+    DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                          catalog_.GetRelation(cond.relation));
+
+    // Gather per-field parts: the binding variable (if any) plus tests.
+    struct FieldParts {
+      std::string binding;            // "<v3>" or empty
+      std::vector<std::string> tests; // "pred operand" fragments
+      bool references_others = false; // has intra/join operands
+    };
+    std::map<size_t, FieldParts> fields;
+
+    auto var_of_site = [&](bool local, size_t ce, size_t field) {
+      std::string name = VarFor(local, ce, field);
+      DBPS_CHECK(!name.empty());
+      return "<" + name + ">";
+    };
+
+    for (const auto& test : cond.constant_tests) {
+      DBPS_ASSIGN_OR_RETURN(std::string constant,
+                            ValueToSource(test.value));
+      fields[test.field].tests.push_back(
+          std::string(TestPredicateToString(test.pred)) + " " + constant);
+    }
+    for (const auto& test : cond.member_tests) {
+      std::string disj = "<<";
+      for (const auto& value : test.values) {
+        DBPS_ASSIGN_OR_RETURN(std::string constant, ValueToSource(value));
+        disj += " " + constant;
+      }
+      disj += " >>";
+      fields[test.field].tests.push_back(disj);
+    }
+    for (const auto& test : cond.intra_tests) {
+      std::string other =
+          cond.negated ? var_of_site(true, cond_index, test.other_field)
+                       : var_of_site(false, positive_index,
+                                     test.other_field);
+      fields[test.field].tests.push_back(
+          std::string(TestPredicateToString(test.pred)) + " " + other);
+      fields[test.field].references_others = true;
+    }
+    for (const auto& test : cond.join_tests) {
+      fields[test.field].tests.push_back(
+          std::string(TestPredicateToString(test.pred)) + " " +
+          var_of_site(false, test.other_ce, test.other_field));
+      fields[test.field].references_others = true;
+    }
+    // Binding sites owned by this CE.
+    for (size_t field = 0; field < schema->arity(); ++field) {
+      std::string name = cond.negated
+                             ? VarFor(true, cond_index, field)
+                             : VarFor(false, positive_index, field);
+      if (!name.empty()) fields[field].binding = "<" + name + ">";
+    }
+
+    // Emit binding-only-or-binding-first fields before fields whose tests
+    // reference other fields of this CE, so every variable is bound
+    // before it is used (the compiler binds at first occurrence).
+    std::vector<size_t> order;
+    for (const auto& [field, parts] : fields) {
+      if (!parts.references_others) order.push_back(field);
+    }
+    for (const auto& [field, parts] : fields) {
+      if (parts.references_others) order.push_back(field);
+    }
+
+    std::ostringstream out;
+    if (cond.negated) out << "-";
+    out << "(" << SymName(cond.relation);
+    for (size_t field : order) {
+      const FieldParts& parts = fields[field];
+      out << " ^" << SymName(schema->attrs()[field].name) << " ";
+      const size_t piece_count =
+          parts.tests.size() + (parts.binding.empty() ? 0 : 1);
+      if (piece_count == 1 && !parts.binding.empty()) {
+        out << parts.binding;  // bare variable
+      } else if (piece_count == 1 && parts.tests.size() == 1) {
+        out << "{ " << parts.tests[0] << " }";
+      } else {
+        out << "{ ";
+        if (!parts.binding.empty()) out << parts.binding << " ";
+        for (const auto& test : parts.tests) out << test << " ";
+        out << "}";
+      }
+    }
+    out << ")";
+    return out.str();
+  }
+
+  StatusOr<std::string> ExprToSource(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kConstant:
+        return ValueToSource(expr.constant);
+      case Expr::Kind::kBinding:
+        return "<" + VarFor(false, expr.ce, expr.field) + ">";
+      case Expr::Kind::kBinary: {
+        const char* op = "+";
+        switch (expr.op) {
+          case BinOp::kAdd:
+            op = "+";
+            break;
+          case BinOp::kSub:
+            op = "-";
+            break;
+          case BinOp::kMul:
+            op = "*";
+            break;
+          case BinOp::kDiv:
+            op = "/";
+            break;
+          case BinOp::kMod:
+            op = "mod";
+            break;
+        }
+        DBPS_ASSIGN_OR_RETURN(std::string lhs, ExprToSource(*expr.lhs));
+        DBPS_ASSIGN_OR_RETURN(std::string rhs, ExprToSource(*expr.rhs));
+        return StringPrintf("(%s %s %s)", op, lhs.c_str(), rhs.c_str());
+      }
+    }
+    return Status::Internal("unreachable Expr kind");
+  }
+
+  StatusOr<std::string> ActionToSource(const Action& action) {
+    if (const auto* make = std::get_if<MakeAction>(&action)) {
+      DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                            catalog_.GetRelation(make->relation));
+      std::ostringstream out;
+      out << "(make " << SymName(make->relation);
+      for (size_t field = 0; field < make->values.size(); ++field) {
+        const Expr& expr = make->values[field];
+        // Skip fields that default to nil anyway.
+        if (expr.kind == Expr::Kind::kConstant && expr.constant.is_nil()) {
+          continue;
+        }
+        DBPS_ASSIGN_OR_RETURN(std::string rendered, ExprToSource(expr));
+        out << " ^" << SymName(schema->attrs()[field].name) << " "
+            << rendered;
+      }
+      out << ")";
+      return out.str();
+    }
+    if (const auto* modify = std::get_if<ModifyAction>(&action)) {
+      size_t cond_index = rule_.PositiveConditionIndex(modify->ce);
+      DBPS_ASSIGN_OR_RETURN(
+          const RelationSchema* schema,
+          catalog_.GetRelation(rule_.conditions()[cond_index].relation));
+      std::ostringstream out;
+      out << "(modify " << modify->ce + 1;
+      for (const auto& [field, expr] : modify->assigns) {
+        DBPS_ASSIGN_OR_RETURN(std::string rendered, ExprToSource(expr));
+        out << " ^" << SymName(schema->attrs()[field].name) << " "
+            << rendered;
+      }
+      out << ")";
+      return out.str();
+    }
+    if (const auto* remove = std::get_if<RemoveAction>(&action)) {
+      return StringPrintf("(remove %zu)", remove->ce + 1);
+    }
+    return std::string("(halt)");
+  }
+
+  const Rule& rule_;
+  const Catalog& catalog_;
+  std::map<BindingSite, std::string> vars_;
+};
+
+}  // namespace
+
+StatusOr<std::string> ValueToSource(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNil:
+      return std::string("nil");
+    case ValueType::kInt:
+      return std::to_string(value.AsInt());
+    case ValueType::kFloat: {
+      double d = value.AsFloat();
+      if (!std::isfinite(d)) {
+        return Status::Unimplemented(
+            "non-finite float has no source form");
+      }
+      std::string out = StringPrintf("%.17g", d);
+      if (out.find('e') != std::string::npos ||
+          out.find('E') != std::string::npos) {
+        return Status::Unimplemented(
+            "float " + out + " needs exponent notation, which the rule "
+            "language does not support");
+      }
+      if (out.find('.') == std::string::npos) out += ".0";
+      return out;
+    }
+    case ValueType::kSymbol: {
+      std::string name = SymName(value.AsSymbol());
+      if (!IsValidIdentifier(name)) {
+        return Status::Unimplemented("symbol '" + name +
+                                     "' is not a printable identifier");
+      }
+      return name;
+    }
+    case ValueType::kString:
+      return EscapeString(value.AsString());
+  }
+  return Status::Internal("unreachable ValueType");
+}
+
+std::string SchemaToSource(const RelationSchema& schema) {
+  std::string out = "(relation " + SymName(schema.name());
+  for (const auto& attr : schema.attrs()) {
+    out += " (" + SymName(attr.name) + " " + AttrTypeToString(attr.type) +
+           ")";
+  }
+  return out + ")\n";
+}
+
+StatusOr<std::string> RuleToSource(const Rule& rule,
+                                   const Catalog& catalog) {
+  return RulePrinter(rule, catalog).Run();
+}
+
+StatusOr<std::string> ProgramToSource(const Catalog& catalog,
+                                      const RuleSet& rules) {
+  std::string out;
+  for (SymbolId relation : catalog.relation_names()) {
+    DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                          catalog.GetRelation(relation));
+    out += SchemaToSource(*schema);
+  }
+  out += "\n";
+  for (const auto& rule : rules.rules()) {
+    DBPS_ASSIGN_OR_RETURN(std::string rendered,
+                          RuleToSource(*rule, catalog));
+    out += rendered + "\n";
+  }
+  return out;
+}
+
+StatusOr<std::string> SnapshotToSource(const WorkingMemory& wm) {
+  std::string out;
+  for (SymbolId relation : wm.catalog().relation_names()) {
+    DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                          wm.catalog().GetRelation(relation));
+    out += SchemaToSource(*schema);
+  }
+  out += "\n";
+  for (SymbolId relation : wm.catalog().relation_names()) {
+    DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                          wm.catalog().GetRelation(relation));
+    for (const WmePtr& wme : wm.Scan(relation)) {
+      out += "(make " + SymName(relation);
+      for (size_t field = 0; field < wme->arity(); ++field) {
+        if (wme->value(field).is_nil()) continue;  // nil is the default
+        DBPS_ASSIGN_OR_RETURN(std::string value,
+                              ValueToSource(wme->value(field)));
+        out += " ^" + SymName(schema->attrs()[field].name) + " " + value;
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dbps

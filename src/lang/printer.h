@@ -1,0 +1,43 @@
+// Printing compiled artifacts back to rule-language source.
+//
+// Inverse of the compiler: a compiled rule (positions, no names) is
+// rendered as surface syntax that, when re-parsed and re-compiled,
+// yields a structurally equivalent rule (same binding sites, same test
+// sets up to ordering, same actions). Used for persistence
+// (SnapshotToSource), tooling, and round-trip property tests.
+
+#ifndef DBPS_LANG_PRINTER_H_
+#define DBPS_LANG_PRINTER_H_
+
+#include <string>
+
+#include "rules/rule.h"
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// Renders one value as a source literal. Fails (kUnimplemented) for
+/// values the grammar cannot express: non-finite floats, or symbols whose
+/// spelling is not a valid identifier.
+StatusOr<std::string> ValueToSource(const Value& value);
+
+/// Renders a relation declaration.
+std::string SchemaToSource(const RelationSchema& schema);
+
+/// Renders one compiled rule; `catalog` recovers attribute names.
+StatusOr<std::string> RuleToSource(const Rule& rule, const Catalog& catalog);
+
+/// Renders a full program: every relation in `catalog` plus every rule.
+StatusOr<std::string> ProgramToSource(const Catalog& catalog,
+                                      const RuleSet& rules);
+
+/// Renders the working memory as a loadable program: relation
+/// declarations followed by one (make ...) fact per live WME. Loading the
+/// result into a fresh WorkingMemory reproduces the same tuples (with
+/// fresh ids/time tags — persistence preserves content, not identity).
+StatusOr<std::string> SnapshotToSource(const WorkingMemory& wm);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_PRINTER_H_

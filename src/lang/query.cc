@@ -1,0 +1,45 @@
+#include "lang/query.h"
+
+#include <algorithm>
+#include <string>
+
+#include "lang/compiler.h"
+#include "match/matcher.h"
+
+namespace dbps {
+
+StatusOr<std::vector<QueryRow>> ExecuteQuery(const WorkingMemory& wm,
+                                             std::string_view lhs_source) {
+  // Wrap the LHS into a throwaway rule so the ordinary compile pipeline
+  // (name resolution, variable binding, type checks) applies verbatim.
+  std::string source = "(rule __query__\n";
+  source += lhs_source;
+  source += "\n--> (remove 1))";
+  DBPS_ASSIGN_OR_RETURN(CompiledProgram program,
+                        CompileProgram(source, &wm.catalog()));
+
+  auto matcher = CreateMatcher(MatcherKind::kNaive);
+  DBPS_RETURN_NOT_OK(matcher->Initialize(program.rules, wm));
+
+  std::vector<QueryRow> rows;
+  for (const auto& inst : matcher->conflict_set().Snapshot()) {
+    rows.push_back(inst->matched());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const QueryRow& a, const QueryRow& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                if (a[i]->id() != b[i]->id()) return a[i]->id() < b[i]->id();
+              }
+              return a.size() < b.size();
+            });
+  return rows;
+}
+
+StatusOr<size_t> CountQuery(const WorkingMemory& wm,
+                            std::string_view lhs_source) {
+  DBPS_ASSIGN_OR_RETURN(std::vector<QueryRow> rows,
+                        ExecuteQuery(wm, lhs_source));
+  return rows.size();
+}
+
+}  // namespace dbps

@@ -1,0 +1,41 @@
+// Ad-hoc queries: evaluate a rule-language LHS against working memory
+// without defining a rule — the "database" read path of a database
+// production system.
+//
+//   auto rows = ExecuteQuery(wm,
+//       "(box ^at <w> ^weight { > 10 }) -(blocked ^at <w>)");
+//   // each row holds one WmePtr per positive condition element
+//
+// Queries use exactly the condition-element grammar of rules (variables,
+// predicates, disjunctions, negation), are type-checked against the
+// catalog, and are evaluated with the same match machinery the engines
+// use.
+
+#ifndef DBPS_LANG_QUERY_H_
+#define DBPS_LANG_QUERY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// \brief One query answer: the WMEs matched by the positive CEs, in CE
+/// order.
+using QueryRow = std::vector<WmePtr>;
+
+/// Evaluates `lhs_source` (one or more condition elements) against `wm`.
+/// Rows come back in a deterministic order (sorted by matched WME ids).
+StatusOr<std::vector<QueryRow>> ExecuteQuery(const WorkingMemory& wm,
+                                             std::string_view lhs_source);
+
+/// Convenience: number of matches without materializing rows... (it does
+/// materialize internally; prefer ExecuteQuery if you need the rows too).
+StatusOr<size_t> CountQuery(const WorkingMemory& wm,
+                            std::string_view lhs_source);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_QUERY_H_

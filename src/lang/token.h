@@ -1,0 +1,46 @@
+// Tokens of the dbps rule language (an OPS5-flavoured s-expression syntax).
+
+#ifndef DBPS_LANG_TOKEN_H_
+#define DBPS_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dbps {
+
+enum class TokenType : uint8_t {
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kNegation,   // '-' immediately before '('
+  kArrow,      // -->
+  kLDisj,      // <<
+  kRDisj,      // >>
+  kAttribute,  // ^name
+  kVariable,   // <name>
+  kKeyword,    // :name
+  kSymbol,     // identifier or operator symbol (+ - * / mod = <> < <= > >=)
+  kInt,        // 42, -7
+  kFloat,      // 3.5, -0.25
+  kString,     // "text"
+  kEof,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// \brief One lexed token with its source position (1-based).
+struct Token {
+  TokenType type;
+  std::string text;   // spelling without sigils: ^at -> "at", <x> -> "x"
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int col = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_TOKEN_H_

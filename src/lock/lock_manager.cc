@@ -1,0 +1,334 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dbps {
+
+std::string LockEvent::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kGrant:
+      out << "grant   T" << txn << " " << LockModeToString(mode) << "("
+          << object.ToString() << ")";
+      break;
+    case Kind::kBlock:
+      out << "block   T" << txn << " " << LockModeToString(mode) << "("
+          << object.ToString() << ")";
+      break;
+    case Kind::kDeadlock:
+      out << "deadlock T" << txn << " on " << LockModeToString(mode) << "("
+          << object.ToString() << ")";
+      break;
+    case Kind::kAbortMark:
+      out << "abort   T" << txn;
+      break;
+    case Kind::kRelease:
+      out << "release T" << txn;
+      break;
+  }
+  return out.str();
+}
+
+const char* DeadlockPolicyToString(DeadlockPolicy policy) {
+  switch (policy) {
+    case DeadlockPolicy::kDetect:
+      return "detect";
+    case DeadlockPolicy::kWoundWait:
+      return "wound-wait";
+    case DeadlockPolicy::kNoWait:
+      return "no-wait";
+  }
+  return "?";
+}
+
+LockManager::LockManager(Options options) : options_(std::move(options)) {}
+
+void LockManager::Trace(LockEvent::Kind kind, TxnId txn,
+                        const LockObjectId& object, LockMode mode) const {
+  if (options_.trace) {
+    options_.trace(LockEvent{kind, txn, object, mode});
+  }
+}
+
+TxnId LockManager::Begin() {
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnId txn = next_txn_++;
+  txns_.emplace(txn, TxnState{});
+  return txn;
+}
+
+void LockManager::CollectBucketConflicts(const Bucket& bucket, TxnId txn,
+                                         LockMode mode,
+                                         std::vector<TxnId>* out) const {
+  for (const auto& [holder, counts] : bucket.holds) {
+    if (holder == txn) continue;  // a transaction never conflicts with itself
+    for (int m = 0; m < kNumLockModes; ++m) {
+      if (counts[m] > 0 &&
+          !Compatible(options_.protocol, mode, static_cast<LockMode>(m))) {
+        out->push_back(holder);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<TxnId> LockManager::FindConflicts(TxnId txn,
+                                              const LockObjectId& object,
+                                              LockMode mode) const {
+  std::vector<TxnId> conflicts;
+  // Direct bucket.
+  auto bucket_it = buckets_.find(object);
+  if (bucket_it != buckets_.end()) {
+    CollectBucketConflicts(bucket_it->second, txn, mode, &conflicts);
+  }
+  if (object.is_relation_level()) {
+    // Relation-level request vs every tuple/insert hold in the relation.
+    auto summary_it = relation_summaries_.find(object.relation);
+    if (summary_it != relation_summaries_.end()) {
+      for (const auto& [holder, counts] : summary_it->second) {
+        if (holder == txn) continue;
+        for (int m = 0; m < kNumLockModes; ++m) {
+          if (counts[m] > 0 &&
+              !Compatible(options_.protocol, mode,
+                          static_cast<LockMode>(m))) {
+            conflicts.push_back(holder);
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    // Tuple/insert request vs the relation-level bucket.
+    auto rel_it =
+        buckets_.find(LockObjectId{object.relation, kRelationLevel});
+    if (rel_it != buckets_.end()) {
+      CollectBucketConflicts(rel_it->second, txn, mode, &conflicts);
+    }
+  }
+  std::sort(conflicts.begin(), conflicts.end());
+  conflicts.erase(std::unique(conflicts.begin(), conflicts.end()),
+                  conflicts.end());
+  return conflicts;
+}
+
+bool LockManager::WouldDeadlock(TxnId txn,
+                                const std::vector<TxnId>& blockers) const {
+  // DFS from each blocker through waits_for_, looking for txn.
+  std::vector<TxnId> stack(blockers.begin(), blockers.end());
+  std::unordered_set<TxnId> visited;
+  while (!stack.empty()) {
+    TxnId current = stack.back();
+    stack.pop_back();
+    if (current == txn) return true;
+    if (!visited.insert(current).second) continue;
+    auto it = waits_for_.find(current);
+    if (it != waits_for_.end()) {
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto txn_it = txns_.find(txn);
+  if (txn_it == txns_.end()) {
+    return Status::Internal("Acquire on unknown transaction");
+  }
+  if (txn_it->second.aborted) {
+    return Status::Aborted("transaction was aborted");
+  }
+
+  // Fast path: already holding this mode on this object.
+  {
+    auto hold_it = txn_it->second.holds.find(object);
+    if (hold_it != txn_it->second.holds.end() &&
+        hold_it->second[static_cast<int>(mode)] > 0) {
+      ++hold_it->second[static_cast<int>(mode)];
+      ++buckets_[object].holds[txn][static_cast<int>(mode)];
+      if (!object.is_relation_level()) {
+        ++relation_summaries_[object.relation][txn][static_cast<int>(mode)];
+      }
+      ++stats_.acquired;
+      return Status::OK();
+    }
+  }
+
+  bool waited = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.wait_timeout;
+  for (;;) {
+    std::vector<TxnId> conflicts = FindConflicts(txn, object, mode);
+    if (conflicts.empty()) break;
+
+    switch (options_.deadlock_policy) {
+      case DeadlockPolicy::kNoWait:
+        ++stats_.deadlocks;
+        Trace(LockEvent::Kind::kDeadlock, txn, object, mode);
+        return Status::Deadlock("no-wait: " + object.ToString() +
+                                " is held in a conflicting mode");
+      case DeadlockPolicy::kWoundWait:
+        // Wound every younger conflicting holder, then wait: waits only
+        // ever target older transactions, so no cycle can form.
+        for (TxnId holder : conflicts) {
+          if (holder > txn && !txns_.at(holder).aborted) {
+            MarkAbortedLocked(holder);
+            ++stats_.wounds;
+          }
+        }
+        break;
+      case DeadlockPolicy::kDetect:
+        if (WouldDeadlock(txn, conflicts)) {
+          ++stats_.deadlocks;
+          Trace(LockEvent::Kind::kDeadlock, txn, object, mode);
+          return Status::Deadlock("waiting for " + object.ToString() +
+                                  " would close a waits-for cycle");
+        }
+        break;
+    }
+    if (!waited) {
+      waited = true;
+      ++stats_.blocked;
+      Trace(LockEvent::Kind::kBlock, txn, object, mode);
+    }
+    waits_for_[txn] = std::move(conflicts);
+    auto wait_result = cv_.wait_until(lock, deadline);
+    waits_for_.erase(txn);
+    if (txns_.at(txn).aborted) {
+      return Status::Aborted("transaction aborted while waiting for " +
+                             object.ToString());
+    }
+    if (wait_result == std::cv_status::timeout) {
+      if (!FindConflicts(txn, object, mode).empty()) {
+        ++stats_.timeouts;
+        return Status::LockTimeout("gave up waiting for " +
+                                   object.ToString());
+      }
+      break;
+    }
+  }
+
+  // Grant.
+  auto& state = txns_.at(txn);
+  auto [hold_it, unused] = state.holds.try_emplace(object, ModeCounts{});
+  ++hold_it->second[static_cast<int>(mode)];
+  ++buckets_[object].holds[txn][static_cast<int>(mode)];
+  if (!object.is_relation_level()) {
+    ++relation_summaries_[object.relation][txn][static_cast<int>(mode)];
+  }
+  ++stats_.acquired;
+  Trace(LockEvent::Kind::kGrant, txn, object, mode);
+  return Status::OK();
+}
+
+std::vector<TxnId> LockManager::CollectRcVictims(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto txn_it = txns_.find(txn);
+  if (txn_it == txns_.end()) return {};
+
+  std::unordered_set<TxnId> victims;
+  auto add_rc_holders = [&](const Bucket& bucket) {
+    for (const auto& [holder, counts] : bucket.holds) {
+      if (holder != txn && counts[static_cast<int>(LockMode::kRc)] > 0) {
+        victims.insert(holder);
+      }
+    }
+  };
+
+  for (const auto& [object, counts] : txn_it->second.holds) {
+    if (counts[static_cast<int>(LockMode::kWa)] == 0) continue;
+
+    // Rc holders on the same object.
+    auto bucket_it = buckets_.find(object);
+    if (bucket_it != buckets_.end()) add_rc_holders(bucket_it->second);
+
+    if (object.is_relation_level()) {
+      // Relation-level Wa vs tuple-level Rc anywhere in the relation.
+      auto summary_it = relation_summaries_.find(object.relation);
+      if (summary_it != relation_summaries_.end()) {
+        for (const auto& [holder, counts2] : summary_it->second) {
+          if (holder != txn &&
+              counts2[static_cast<int>(LockMode::kRc)] > 0) {
+            victims.insert(holder);
+          }
+        }
+      }
+    } else {
+      // Tuple/insert Wa vs relation-level Rc (negation escalations).
+      auto rel_it =
+          buckets_.find(LockObjectId{object.relation, kRelationLevel});
+      if (rel_it != buckets_.end()) add_rc_holders(rel_it->second);
+    }
+  }
+  return std::vector<TxnId>(victims.begin(), victims.end());
+}
+
+void LockManager::MarkAborted(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  MarkAbortedLocked(txn);
+}
+
+void LockManager::MarkAbortedLocked(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.aborted) return;
+  it->second.aborted = true;
+  ++stats_.aborts_marked;
+  Trace(LockEvent::Kind::kAbortMark, txn, LockObjectId{}, LockMode::kRc);
+  cv_.notify_all();
+}
+
+bool LockManager::IsAborted(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn);
+  return it != txns_.end() && it->second.aborted;
+}
+
+void LockManager::Release(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  for (const auto& [object, counts] : it->second.holds) {
+    auto bucket_it = buckets_.find(object);
+    if (bucket_it != buckets_.end()) {
+      bucket_it->second.holds.erase(txn);
+      if (bucket_it->second.holds.empty()) buckets_.erase(bucket_it);
+    }
+    if (!object.is_relation_level()) {
+      auto summary_it = relation_summaries_.find(object.relation);
+      if (summary_it != relation_summaries_.end()) {
+        summary_it->second.erase(txn);
+        if (summary_it->second.empty()) {
+          relation_summaries_.erase(summary_it);
+        }
+      }
+    }
+  }
+  txns_.erase(it);
+  waits_for_.erase(txn);
+  Trace(LockEvent::Kind::kRelease, txn, LockObjectId{}, LockMode::kRc);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, LockObjectId object, LockMode mode) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return false;
+  auto hold_it = it->second.holds.find(object);
+  return hold_it != it->second.holds.end() &&
+         hold_it->second[static_cast<int>(mode)] > 0;
+}
+
+size_t LockManager::live_transactions() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return txns_.size();
+}
+
+LockManager::Stats LockManager::GetStats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stats_;
+}
+
+}  // namespace dbps

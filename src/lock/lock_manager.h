@@ -1,0 +1,192 @@
+// The centralized lock manager (§4.2, §4.3).
+//
+// One manager instance serves one parallel engine run. It implements both
+// protocols behind the same interface:
+//
+//  * kTwoPhase — all conflicts block; strict 2PL (locks released only at
+//    Release, i.e. commit/abort time).
+//  * kRcRaWa  — Table 4.1: a Wa request is granted even while other
+//    transactions hold Rc on the object. The debt is settled at commit:
+//    CollectRcVictims() returns every transaction whose outstanding Rc
+//    lock conflicts with the committer's Wa set, and the engine aborts
+//    (or revalidates) them — the paper's rules (i)/(ii) of §4.3.
+//
+// Hierarchy: a tuple-level request also checks the relation-level bucket
+// of its relation, and a relation-level request checks the per-relation
+// summary of tuple-level holds, so escalated (negation) locks conflict
+// correctly with tuple writes and insert intents.
+//
+// Deadlocks: a waits-for graph is maintained while transactions block;
+// the requester that would close a cycle is chosen as victim and gets
+// kDeadlock. (The non-exclusive Rc lock introduces no new deadlock kinds —
+// §4.3 — so this standard scheme suffices for both protocols.)
+
+#ifndef DBPS_LOCK_LOCK_MANAGER_H_
+#define DBPS_LOCK_LOCK_MANAGER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lock/lock_types.h"
+#include "util/status.h"
+
+namespace dbps {
+
+/// \brief Observable lock-manager events (used by the figure-4.2 trace
+/// bench and by tests).
+struct LockEvent {
+  enum class Kind : uint8_t {
+    kGrant,
+    kBlock,     // request found a conflict and is waiting
+    kDeadlock,  // requester chosen as deadlock victim
+    kAbortMark, // transaction marked aborted (Rc–Wa commit rule)
+    kRelease,   // all locks of a transaction released
+  };
+  Kind kind;
+  TxnId txn;
+  LockObjectId object;  // meaningless for kRelease
+  LockMode mode;        // meaningless for kRelease / kAbortMark
+  std::string ToString() const;
+};
+
+/// \brief How lock-wait cycles are handled (§4.3: "the deadlock
+/// prevention, avoidance, detection or resolution schemes for standard
+/// 2-phase locking can be applied to our scheme as well").
+enum class DeadlockPolicy : uint8_t {
+  /// Detection: maintain the waits-for graph; a requester whose wait
+  /// would close a cycle is the victim (gets kDeadlock).
+  kDetect = 0,
+  /// Avoidance, wound-wait: an older requester wounds (marks aborted)
+  /// every younger conflicting holder and then waits; a younger
+  /// requester simply waits. Waits only ever target older transactions,
+  /// so cycles cannot form.
+  kWoundWait = 1,
+  /// Prevention, no-wait: any conflict immediately returns kDeadlock
+  /// (the engine treats it as an abort-and-retry).
+  kNoWait = 2,
+};
+
+const char* DeadlockPolicyToString(DeadlockPolicy policy);
+
+class LockManager {
+ public:
+  struct Options {
+    LockProtocol protocol = LockProtocol::kRcRaWa;
+    DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+    /// Upper bound on a single wait; expiring yields kLockTimeout.
+    std::chrono::milliseconds wait_timeout{10000};
+    /// Optional event sink (called with the manager's mutex held — keep
+    /// it fast and do not call back into the manager).
+    std::function<void(const LockEvent&)> trace;
+  };
+
+  struct Stats {
+    uint64_t acquired = 0;
+    uint64_t blocked = 0;    // requests that waited at least once
+    uint64_t deadlocks = 0;  // kDetect cycles + kNoWait refusals
+    uint64_t wounds = 0;     // kWoundWait victims
+    uint64_t timeouts = 0;
+    uint64_t aborts_marked = 0;
+  };
+
+  explicit LockManager(Options options);
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  LockProtocol protocol() const { return options_.protocol; }
+
+  /// Starts a transaction (one production firing).
+  TxnId Begin();
+
+  /// Acquires `mode` on `object` for `txn`; blocks on conflicts.
+  /// Returns kDeadlock if the wait would close a waits-for cycle,
+  /// kAborted if the transaction was marked aborted (now or while
+  /// waiting), kLockTimeout on wait-timeout. Re-acquiring a mode already
+  /// held is cheap and always succeeds.
+  Status Acquire(TxnId txn, LockObjectId object, LockMode mode);
+
+  /// The Rc–Wa settlement (kRcRaWa commit): every other live transaction
+  /// holding an Rc lock that conflicts with `txn`'s Wa set —
+  ///   * Rc on the same tuple a Wa names,
+  ///   * relation-level Rc in a relation where `txn` holds any Wa
+  ///     (tuple write or insert intent),
+  ///   * tuple-level Rc in a relation where `txn` holds relation-level Wa.
+  /// Under kTwoPhase this is always empty (conflicts blocked earlier).
+  std::vector<TxnId> CollectRcVictims(TxnId txn) const;
+
+  /// Marks `txn` aborted: its blocked and future Acquires fail with
+  /// kAborted. The engine decides when to actually roll back (discard the
+  /// delta) and Release.
+  void MarkAborted(TxnId txn);
+
+  bool IsAborted(TxnId txn) const;
+
+  /// Releases every lock of `txn` and forgets it. Wakes waiters.
+  void Release(TxnId txn);
+
+  /// True iff `txn` currently holds `mode` on `object` (tests).
+  bool Holds(TxnId txn, LockObjectId object, LockMode mode) const;
+
+  /// Number of live (begun, unreleased) transactions.
+  size_t live_transactions() const;
+
+  Stats GetStats() const;
+
+ private:
+  using ModeCounts = std::array<uint32_t, kNumLockModes>;
+
+  struct Bucket {
+    std::unordered_map<TxnId, ModeCounts> holds;
+  };
+
+  struct TxnState {
+    /// object -> per-mode hold counts.
+    std::unordered_map<LockObjectId, ModeCounts, LockObjectIdHash> holds;
+    bool aborted = false;
+  };
+
+  /// All transactions (other than `txn`) whose holds on relevant buckets
+  /// conflict with (object, mode). Requires mu_ held.
+  std::vector<TxnId> FindConflicts(TxnId txn, const LockObjectId& object,
+                                   LockMode mode) const;
+
+  /// Conflicting holders within one bucket. Requires mu_ held.
+  void CollectBucketConflicts(const Bucket& bucket, TxnId txn, LockMode mode,
+                              std::vector<TxnId>* out) const;
+
+  /// True iff adding edge txn -> blockers closes a cycle. Requires mu_.
+  bool WouldDeadlock(TxnId txn, const std::vector<TxnId>& blockers) const;
+
+  /// Marks a transaction aborted. Requires mu_ held.
+  void MarkAbortedLocked(TxnId txn);
+
+  void Trace(LockEvent::Kind kind, TxnId txn, const LockObjectId& object,
+             LockMode mode) const;
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TxnId next_txn_ = 1;
+  std::unordered_map<TxnId, TxnState> txns_;
+  std::unordered_map<LockObjectId, Bucket, LockObjectIdHash> buckets_;
+  /// Per relation: tuple/insert-level holds summary (for relation-level
+  /// conflict checks), txn -> mode counts.
+  std::unordered_map<SymbolId, std::unordered_map<TxnId, ModeCounts>>
+      relation_summaries_;
+  /// Waits-for edges of currently blocked requesters.
+  std::unordered_map<TxnId, std::vector<TxnId>> waits_for_;
+  Stats stats_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_LOCK_LOCK_MANAGER_H_

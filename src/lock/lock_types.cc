@@ -1,0 +1,69 @@
+#include "lock/lock_types.h"
+
+#include <sstream>
+
+namespace dbps {
+
+std::string LockObjectId::ToString() const {
+  std::ostringstream out;
+  out << SymName(relation);
+  if (is_relation_level()) {
+    out << "/*";
+  } else if (is_insert_intent()) {
+    out << "/+insert" << (wme - kInsertLockBase);
+  } else {
+    out << "/#" << wme;
+  }
+  return out.str();
+}
+
+const char* LockModeToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kRc:
+      return "Rc";
+    case LockMode::kRa:
+      return "Ra";
+    case LockMode::kWa:
+      return "Wa";
+  }
+  return "?";
+}
+
+const char* LockProtocolToString(LockProtocol protocol) {
+  switch (protocol) {
+    case LockProtocol::kTwoPhase:
+      return "2PL";
+    case LockProtocol::kRcRaWa:
+      return "Rc/Ra/Wa";
+  }
+  return "?";
+}
+
+bool Compatible(LockProtocol protocol, LockMode requested, LockMode held) {
+  // Reads are always mutually compatible.
+  if (requested != LockMode::kWa && held != LockMode::kWa) return true;
+  // Wa requested over an outstanding Rc: the paper's enhanced-parallelism
+  // cell — grantable only under the Rc/Ra/Wa protocol.
+  if (requested == LockMode::kWa && held == LockMode::kRc) {
+    return protocol == LockProtocol::kRcRaWa;
+  }
+  // Every other pairing involving Wa conflicts.
+  return false;
+}
+
+std::string CompatibilityMatrixToString(LockProtocol protocol) {
+  static constexpr LockMode kModes[] = {LockMode::kRc, LockMode::kRa,
+                                        LockMode::kWa};
+  std::ostringstream out;
+  out << "held:      Rc   Ra   Wa\n";
+  for (LockMode requested : kModes) {
+    out << "req " << LockModeToString(requested) << ":  ";
+    for (LockMode held : kModes) {
+      out << "   " << (Compatible(protocol, requested, held) ? "Y" : "N");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dbps

@@ -1,0 +1,86 @@
+// Lock vocabulary: objects, modes, protocols, compatibility (Table 4.1).
+
+#ifndef DBPS_LOCK_LOCK_TYPES_H_
+#define DBPS_LOCK_LOCK_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/hash.h"
+#include "value/symbol_table.h"
+#include "wm/wme.h"
+
+namespace dbps {
+
+using TxnId = uint64_t;
+
+/// WME ids start at 1; id 0 in a LockObjectId denotes the whole relation
+/// (the paper's escalated lock, "equivalent to locking the appropriate
+/// tuple in the SYSTEM-CATALOG relation").
+inline constexpr WmeId kRelationLevel = 0;
+
+/// Pseudo-ids at or above this base name per-transaction insert intents
+/// (creates don't know their WME id before commit). They conflict with
+/// relation-level locks via the hierarchy check but never with each other.
+inline constexpr WmeId kInsertLockBase = 1ULL << 62;
+
+/// \brief A lockable data object: a tuple, a whole relation, or an insert
+/// intent within a relation.
+struct LockObjectId {
+  SymbolId relation = 0;
+  WmeId wme = kRelationLevel;
+
+  bool is_relation_level() const { return wme == kRelationLevel; }
+  bool is_insert_intent() const { return wme >= kInsertLockBase; }
+
+  bool operator==(const LockObjectId& other) const {
+    return relation == other.relation && wme == other.wme;
+  }
+  bool operator<(const LockObjectId& other) const {
+    return relation != other.relation ? relation < other.relation
+                                      : wme < other.wme;
+  }
+  std::string ToString() const;
+};
+
+struct LockObjectIdHash {
+  size_t operator()(const LockObjectId& id) const {
+    return Mix64((static_cast<uint64_t>(id.relation) << 48) ^ id.wme);
+  }
+};
+
+/// \brief The paper's three lock modes (§4.3):
+///   Rc — read lock for condition evaluation
+///   Ra — read lock for action execution
+///   Wa — write lock for action execution
+enum class LockMode : uint8_t { kRc = 0, kRa = 1, kWa = 2 };
+inline constexpr int kNumLockModes = 3;
+
+const char* LockModeToString(LockMode mode);
+
+/// \brief Which compatibility matrix the lock manager runs.
+///   kTwoPhase — conventional 2PL (§4.2): Rc/Ra behave as shared, Wa as
+///               exclusive; every conflict blocks.
+///   kRcRaWa   — the improved scheme (§4.3, Table 4.1): Wa is granted over
+///               outstanding Rc locks; consistency is restored at commit
+//                by aborting (or revalidating) the Rc holders.
+enum class LockProtocol : uint8_t { kTwoPhase = 0, kRcRaWa = 1 };
+
+const char* LockProtocolToString(LockProtocol protocol);
+
+/// \brief Table 4.1: is `requested` grantable while another transaction
+/// holds `held`?
+///
+///            held: Rc   Ra   Wa
+///   req Rc:        Y    Y    N
+///   req Ra:        Y    Y    N
+///   req Wa:        Y*   N    N      (* kRcRaWa only — the paper's key cell)
+bool Compatible(LockProtocol protocol, LockMode requested, LockMode held);
+
+/// \brief Renders the protocol's compatibility matrix (bench/table 4.1).
+std::string CompatibilityMatrixToString(LockProtocol protocol);
+
+}  // namespace dbps
+
+#endif  // DBPS_LOCK_LOCK_TYPES_H_

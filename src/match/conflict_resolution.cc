@@ -1,0 +1,135 @@
+#include "match/conflict_resolution.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dbps {
+
+const char* ConflictResolutionToString(ConflictResolution strategy) {
+  switch (strategy) {
+    case ConflictResolution::kPriority:
+      return "priority";
+    case ConflictResolution::kLex:
+      return "lex";
+    case ConflictResolution::kMea:
+      return "mea";
+    case ConflictResolution::kFifo:
+      return "fifo";
+    case ConflictResolution::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Time tags of the matched WMEs, sorted descending (LEX's recency key).
+std::vector<TimeTag> SortedTagsDesc(const Instantiation& inst) {
+  std::vector<TimeTag> tags;
+  tags.reserve(inst.matched().size());
+  for (const auto& wme : inst.matched()) tags.push_back(wme->tag());
+  std::sort(tags.begin(), tags.end(), std::greater<TimeTag>());
+  return tags;
+}
+
+/// Specificity: total number of tests in the rule's LHS.
+size_t Specificity(const Rule& rule) {
+  size_t n = 0;
+  for (const auto& cond : rule.conditions()) {
+    n += cond.constant_tests.size() + cond.member_tests.size() +
+         cond.intra_tests.size() + cond.join_tests.size() +
+         1;  // +1 for the relation test itself
+  }
+  return n;
+}
+
+/// -1 / 0 / +1 lexicographic comparison of descending tag lists.
+int CompareTagsDesc(const std::vector<TimeTag>& a,
+                    const std::vector<TimeTag>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] > b[i] ? 1 : -1;
+  }
+  if (a.size() != b.size()) return a.size() > b.size() ? 1 : -1;
+  return 0;
+}
+
+int LexCompare(const Instantiation& a, const Instantiation& b) {
+  int recency = CompareTagsDesc(SortedTagsDesc(a), SortedTagsDesc(b));
+  if (recency != 0) return recency;
+  size_t spec_a = Specificity(*a.rule());
+  size_t spec_b = Specificity(*b.rule());
+  if (spec_a != spec_b) return spec_a > spec_b ? 1 : -1;
+  // Deterministic final tie-break on the key.
+  std::string key_a = a.key().ToString();
+  std::string key_b = b.key().ToString();
+  if (key_a != key_b) return key_a < key_b ? 1 : -1;
+  return 0;
+}
+
+int MeaCompare(const Instantiation& a, const Instantiation& b) {
+  // MEA: the time tag of the WME matching the *first* CE dominates.
+  TimeTag first_a = a.matched().empty() ? 0 : a.matched()[0]->tag();
+  TimeTag first_b = b.matched().empty() ? 0 : b.matched()[0]->tag();
+  if (first_a != first_b) return first_a > first_b ? 1 : -1;
+  return LexCompare(a, b);
+}
+
+}  // namespace
+
+bool LexDominates(const Instantiation& a, const Instantiation& b) {
+  return LexCompare(a, b) > 0;
+}
+
+bool MeaDominates(const Instantiation& a, const Instantiation& b) {
+  return MeaCompare(a, b) > 0;
+}
+
+const InstPtr* SelectDominant(const std::vector<Candidate>& candidates,
+                              ConflictResolution strategy, Random* rng) {
+  if (candidates.empty()) return nullptr;
+  switch (strategy) {
+    case ConflictResolution::kRandom: {
+      DBPS_CHECK(rng != nullptr);
+      return candidates[rng->Uniform(candidates.size())].inst;
+    }
+    case ConflictResolution::kFifo: {
+      const Candidate* best = &candidates[0];
+      for (const auto& c : candidates) {
+        if (c.activation_seq < best->activation_seq) best = &c;
+      }
+      return best->inst;
+    }
+    case ConflictResolution::kLex: {
+      const Candidate* best = &candidates[0];
+      for (const auto& c : candidates) {
+        if (LexCompare(**c.inst, **best->inst) > 0) best = &c;
+      }
+      return best->inst;
+    }
+    case ConflictResolution::kMea: {
+      const Candidate* best = &candidates[0];
+      for (const auto& c : candidates) {
+        if (MeaCompare(**c.inst, **best->inst) > 0) best = &c;
+      }
+      return best->inst;
+    }
+    case ConflictResolution::kPriority: {
+      const Candidate* best = &candidates[0];
+      for (const auto& c : candidates) {
+        int prio_c = (*c.inst)->rule()->priority();
+        int prio_best = (*best->inst)->rule()->priority();
+        if (prio_c > prio_best ||
+            (prio_c == prio_best &&
+             LexCompare(**c.inst, **best->inst) > 0)) {
+          best = &c;
+        }
+      }
+      return best->inst;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dbps

@@ -1,0 +1,78 @@
+// The conflict set (the paper's "set of active productions", PA).
+//
+// Holds the currently satisfied instantiations. Supports the parallel
+// engines' claim/unclaim protocol: a claimed instantiation is being
+// executed by some worker and is not selectable, but remains subject to
+// deactivation if a committing writer invalidates it.
+//
+// Not thread-safe by itself; engines guard it with their own mutex.
+
+#ifndef DBPS_MATCH_CONFLICT_SET_H_
+#define DBPS_MATCH_CONFLICT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "match/conflict_resolution.h"
+#include "match/instantiation.h"
+
+namespace dbps {
+
+/// \brief The set of active (satisfied) instantiations.
+class ConflictSet {
+ public:
+  /// Activates an instantiation (match phase found it satisfied).
+  /// Re-activating an already-active key is a no-op.
+  void Activate(InstPtr inst);
+
+  /// Deactivates (LHS no longer satisfied). No-op if absent.
+  void Deactivate(const InstKey& key);
+
+  bool Contains(const InstKey& key) const {
+    return active_.count(key) != 0;
+  }
+
+  const InstPtr* Find(const InstKey& key) const;
+
+  /// Selects the dominant unclaimed instantiation under `strategy` and
+  /// marks it claimed. Returns nullptr if none is selectable.
+  InstPtr Claim(ConflictResolution strategy, Random* rng);
+
+  /// Returns a claimed instantiation to the selectable pool (abort path).
+  /// No-op if the key is no longer active (it was invalidated meanwhile).
+  void Unclaim(const InstKey& key);
+
+  /// Marks a claimed instantiation as fired: removes it entirely.
+  void MarkFired(const InstKey& key);
+
+  size_t size() const { return active_.size(); }
+  size_t num_claimed() const { return claimed_.size(); }
+  bool empty() const { return active_.empty(); }
+
+  /// True iff at least one active instantiation is unclaimed.
+  bool HasSelectable() const { return active_.size() > claimed_.size(); }
+
+  /// Snapshot of all active instantiations (unspecified order).
+  std::vector<InstPtr> Snapshot() const;
+
+  /// Snapshot of only the selectable (unclaimed) instantiations.
+  std::vector<InstPtr> SelectableSnapshot() const;
+
+  std::string ToString() const;
+
+ private:
+  struct Entry {
+    InstPtr inst;
+    uint64_t activation_seq;
+  };
+  std::unordered_map<InstKey, Entry, InstKeyHash> active_;
+  std::unordered_set<InstKey, InstKeyHash> claimed_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_MATCH_CONFLICT_SET_H_

@@ -1,0 +1,52 @@
+#include "match/instantiation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dbps {
+
+std::string InstKey::ToString() const {
+  std::ostringstream out;
+  out << rule_name << "[";
+  bool first = true;
+  for (const auto& [id, tag] : wmes) {
+    if (!first) out << ",";
+    first = false;
+    out << id << "@" << tag;
+  }
+  out << "]";
+  return out.str();
+}
+
+Instantiation::Instantiation(RulePtr rule, std::vector<WmePtr> matched)
+    : rule_(std::move(rule)), matched_(std::move(matched)) {
+  DBPS_CHECK_EQ(matched_.size(), rule_->num_positive());
+  key_.rule_name = rule_->name();
+  key_.wmes.reserve(matched_.size());
+  for (const auto& wme : matched_) {
+    key_.wmes.emplace_back(wme->id(), wme->tag());
+  }
+}
+
+TimeTag Instantiation::RecencyTag() const {
+  TimeTag best = 0;
+  for (const auto& wme : matched_) best = std::max(best, wme->tag());
+  return best;
+}
+
+std::string Instantiation::ToString() const {
+  std::ostringstream out;
+  out << rule_->name() << " {";
+  bool first = true;
+  for (const auto& wme : matched_) {
+    if (!first) out << ", ";
+    first = false;
+    out << wme->ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace dbps

@@ -1,0 +1,53 @@
+// NaiveMatcher: recomputes every rule's matches from scratch on every
+// change, by nested-loop join over working memory.
+//
+// It is deliberately simple — the correctness oracle the Rete network is
+// property-tested against, and the baseline for the match benchmarks
+// (OPS5-era systems predating Rete rematched like this).
+
+#ifndef DBPS_MATCH_NAIVE_MATCHER_H_
+#define DBPS_MATCH_NAIVE_MATCHER_H_
+
+#include <unordered_map>
+
+#include "match/matcher.h"
+
+namespace dbps {
+
+class NaiveMatcher : public Matcher {
+ public:
+  Status Initialize(RuleSetPtr rules, const WorkingMemory& wm) override;
+  void ApplyChange(const WmChange& change) override;
+
+ private:
+  void Recompute();
+
+  /// All current matches of `rule`, appended to `out`.
+  void MatchRule(const RulePtr& rule,
+                 std::unordered_map<InstKey, InstPtr, InstKeyHash>* out) const;
+
+  /// Depth-first extension over positive CEs.
+  void MatchPositive(const RulePtr& rule,
+                     const std::vector<const Condition*>& positives,
+                     size_t depth, std::vector<WmePtr>* matched,
+                     std::unordered_map<InstKey, InstPtr, InstKeyHash>* out)
+      const;
+
+  /// True iff `wme` passes the condition's constant and intra tests.
+  static bool PassesLocalTests(const Condition& cond, const Wme& wme);
+
+  /// True iff `wme` passes the condition's join tests against `matched`.
+  static bool PassesJoinTests(const Condition& cond, const Wme& wme,
+                              const std::vector<WmePtr>& matched);
+
+  /// True iff some live WME satisfies the negated condition.
+  bool NegationBlocked(const Condition& cond,
+                       const std::vector<WmePtr>& matched) const;
+
+  RuleSetPtr rules_;
+  const WorkingMemory* wm_ = nullptr;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_MATCH_NAIVE_MATCHER_H_

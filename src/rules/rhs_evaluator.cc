@@ -1,0 +1,119 @@
+#include "rules/rhs_evaluator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+StatusOr<Value> EvalBinary(BinOp op, const Value& lhs, const Value& rhs) {
+  if (!lhs.is_number() || !rhs.is_number()) {
+    return Status::TypeError(StringPrintf(
+        "arithmetic on non-numbers: %s, %s", lhs.ToString().c_str(),
+        rhs.ToString().c_str()));
+  }
+  const bool both_int = lhs.is_int() && rhs.is_int();
+  if (both_int) {
+    int64_t a = lhs.AsInt();
+    int64_t b = rhs.AsInt();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Int(a + b);
+      case BinOp::kSub:
+        return Value::Int(a - b);
+      case BinOp::kMul:
+        return Value::Int(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("integer division by zero");
+        return Value::Int(a / b);
+      case BinOp::kMod:
+        if (b == 0) return Status::InvalidArgument("mod by zero");
+        return Value::Int(a % b);
+    }
+  }
+  double a = lhs.AsNumber();
+  double b = rhs.AsNumber();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Float(a + b);
+    case BinOp::kSub:
+      return Value::Float(a - b);
+    case BinOp::kMul:
+      return Value::Float(a * b);
+    case BinOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Float(a / b);
+    case BinOp::kMod:
+      if (b == 0.0) return Status::InvalidArgument("mod by zero");
+      return Value::Float(std::fmod(a, b));
+  }
+  return Status::Internal("unreachable BinOp");
+}
+
+}  // namespace
+
+StatusOr<Value> EvalExpr(const Expr& expr,
+                         const std::vector<WmePtr>& matched) {
+  switch (expr.kind) {
+    case Expr::Kind::kConstant:
+      return expr.constant;
+    case Expr::Kind::kBinding: {
+      if (expr.ce >= matched.size()) {
+        return Status::Internal(StringPrintf(
+            "binding $%zu.%zu out of range (%zu matched WMEs)", expr.ce,
+            expr.field, matched.size()));
+      }
+      const WmePtr& wme = matched[expr.ce];
+      if (expr.field >= wme->arity()) {
+        return Status::Internal(
+            StringPrintf("binding field %zu out of range", expr.field));
+      }
+      return wme->value(expr.field);
+    }
+    case Expr::Kind::kBinary: {
+      DBPS_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, matched));
+      DBPS_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, matched));
+      return EvalBinary(expr.op, lhs, rhs);
+    }
+  }
+  return Status::Internal("unreachable Expr kind");
+}
+
+StatusOr<Delta> EvaluateRhs(const Rule& rule,
+                            const std::vector<WmePtr>& matched) {
+  if (matched.size() != rule.num_positive()) {
+    return Status::Internal(StringPrintf(
+        "rule '%s' expects %zu matched WMEs, got %zu", rule.name().c_str(),
+        rule.num_positive(), matched.size()));
+  }
+  Delta delta;
+  for (const auto& action : rule.actions()) {
+    if (const auto* make = std::get_if<MakeAction>(&action)) {
+      std::vector<Value> values;
+      values.reserve(make->values.size());
+      for (const auto& expr : make->values) {
+        DBPS_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, matched));
+        values.push_back(std::move(v));
+      }
+      delta.Create(make->relation, std::move(values));
+    } else if (const auto* modify = std::get_if<ModifyAction>(&action)) {
+      std::vector<std::pair<size_t, Value>> updates;
+      updates.reserve(modify->assigns.size());
+      for (const auto& [field, expr] : modify->assigns) {
+        DBPS_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, matched));
+        updates.emplace_back(field, std::move(v));
+      }
+      delta.Modify(matched[modify->ce]->id(), std::move(updates));
+    } else if (const auto* remove = std::get_if<RemoveAction>(&action)) {
+      delta.Delete(matched[remove->ce]->id());
+    } else {
+      delta.SetHalt();
+    }
+  }
+  return delta;
+}
+
+}  // namespace dbps

@@ -1,0 +1,27 @@
+// RHS evaluation: turns a rule's action list plus the matched WMEs into a
+// Delta. Pure — never touches working memory.
+
+#ifndef DBPS_RULES_RHS_EVALUATOR_H_
+#define DBPS_RULES_RHS_EVALUATOR_H_
+
+#include <vector>
+
+#include "rules/rule.h"
+#include "util/statusor.h"
+#include "wm/delta.h"
+#include "wm/wme.h"
+
+namespace dbps {
+
+/// Evaluates one expression against the matched WMEs (one per positive CE).
+StatusOr<Value> EvalExpr(const Expr& expr, const std::vector<WmePtr>& matched);
+
+/// Evaluates all of `rule`'s actions, producing the firing's Delta.
+/// Fails on arithmetic type errors or division by zero; the firing is
+/// then skipped without side effects.
+StatusOr<Delta> EvaluateRhs(const Rule& rule,
+                            const std::vector<WmePtr>& matched);
+
+}  // namespace dbps
+
+#endif  // DBPS_RULES_RHS_EVALUATOR_H_

@@ -1,0 +1,144 @@
+#include "semantics/abstract_ps.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+AbstractSystem::AbstractSystem(std::vector<AbstractProduction> productions,
+                               ConflictMask initial)
+    : productions_(std::move(productions)), initial_(initial) {
+  DBPS_CHECK_LE(productions_.size(), 64u);
+  const ConflictMask valid =
+      productions_.size() == 64
+          ? ~0ULL
+          : ((1ULL << productions_.size()) - 1);
+  DBPS_CHECK_EQ(initial_ & ~valid, 0u) << "initial set names unknown rules";
+}
+
+ConflictMask AbstractSystem::Fire(ConflictMask state, size_t p) const {
+  DBPS_CHECK_LT(p, productions_.size());
+  DBPS_CHECK((state >> p) & 1) << "firing inactive production";
+  const AbstractProduction& production = productions_[p];
+  // Firing removes the production itself (refraction) and its delete
+  // set, then inserts its add set.
+  return (state & ~(1ULL << p) & ~production.delete_set) |
+         production.add_set;
+}
+
+bool AbstractSystem::IsValidSequence(
+    const std::vector<size_t>& sequence) const {
+  ConflictMask state = initial_;
+  for (size_t p : sequence) {
+    if (p >= productions_.size()) return false;
+    if (((state >> p) & 1) == 0) return false;
+    state = Fire(state, p);
+  }
+  return true;
+}
+
+void AbstractSystem::Enumerate(ConflictMask state,
+                               std::vector<size_t>* prefix,
+                               size_t max_length, size_t max_sequences,
+                               std::vector<std::vector<size_t>>* out,
+                               Status* status) const {
+  if (!status->ok() || out->size() >= max_sequences) return;
+  if (state == 0) {
+    out->push_back(*prefix);
+    return;
+  }
+  if (prefix->size() >= max_length) {
+    *status = Status::InvalidArgument(StringPrintf(
+        "execution did not quiesce within %zu steps", max_length));
+    return;
+  }
+  for (size_t p = 0; p < productions_.size(); ++p) {
+    if (((state >> p) & 1) == 0) continue;
+    prefix->push_back(p);
+    Enumerate(Fire(state, p), prefix, max_length, max_sequences, out,
+              status);
+    prefix->pop_back();
+  }
+}
+
+StatusOr<std::vector<std::vector<size_t>>>
+AbstractSystem::EnumerateCompleteSequences(size_t max_length,
+                                           size_t max_sequences) const {
+  std::vector<std::vector<size_t>> out;
+  std::vector<size_t> prefix;
+  Status status = Status::OK();
+  Enumerate(initial_, &prefix, max_length, max_sequences, &out, &status);
+  DBPS_RETURN_NOT_OK(status);
+  return out;
+}
+
+std::string AbstractSystem::SequenceToString(
+    const std::vector<size_t>& sequence) const {
+  std::string out;
+  for (size_t p : sequence) {
+    if (!out.empty()) out += " ";
+    out += productions_[p].name;
+  }
+  return out;
+}
+
+StatusOr<std::vector<ConflictMask>> AbstractSystem::ReachableStates(
+    size_t max_states) const {
+  std::vector<ConflictMask> out;
+  std::unordered_set<ConflictMask> seen;
+  std::deque<ConflictMask> frontier{initial_};
+  seen.insert(initial_);
+  while (!frontier.empty()) {
+    ConflictMask state = frontier.front();
+    frontier.pop_front();
+    out.push_back(state);
+    if (out.size() > max_states) {
+      return Status::InvalidArgument("state space exceeds max_states");
+    }
+    for (size_t p = 0; p < productions_.size(); ++p) {
+      if (((state >> p) & 1) == 0) continue;
+      ConflictMask next = Fire(state, p);
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> AbstractSystem::ToDot(size_t max_states) const {
+  DBPS_ASSIGN_OR_RETURN(std::vector<ConflictMask> states,
+                        ReachableStates(max_states));
+  std::string out = "digraph execution_graph {\n  rankdir=TB;\n";
+  for (ConflictMask state : states) {
+    out += "  \"" + MaskToString(state) + "\"";
+    if (state == initial_) out += " [style=bold]";
+    if (state == 0) out += " [shape=doublecircle]";
+    out += ";\n";
+  }
+  for (ConflictMask state : states) {
+    for (size_t p = 0; p < productions_.size(); ++p) {
+      if (((state >> p) & 1) == 0) continue;
+      out += "  \"" + MaskToString(state) + "\" -> \"" +
+             MaskToString(Fire(state, p)) + "\" [label=\"" +
+             productions_[p].name + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string AbstractSystem::MaskToString(ConflictMask mask) const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t p = 0; p < productions_.size(); ++p) {
+    if (((mask >> p) & 1) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += productions_[p].name;
+  }
+  return out + "}";
+}
+
+}  // namespace dbps

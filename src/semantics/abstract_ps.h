@@ -1,0 +1,85 @@
+// The abstract production-system model of §3.3: productions characterized
+// purely by their add/delete sets over the conflict set, with working
+// memory abstracted away. Used to build execution graphs (Figures 3.1 /
+// 3.2) and enumerate ES_single exactly.
+
+#ifndef DBPS_SEMANTICS_ABSTRACT_PS_H_
+#define DBPS_SEMANTICS_ABSTRACT_PS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dbps {
+
+/// Conflict sets are bitmasks over production indices (max 64 productions
+/// — far beyond the paper's worked examples).
+using ConflictMask = uint64_t;
+
+/// \brief One abstract production: firing it removes itself and its
+/// delete set from the conflict set and inserts its add set (§3.3 —
+/// "the execution of a production P causes some productions to be
+/// added to / deleted from the conflict set").
+struct AbstractProduction {
+  std::string name;
+  ConflictMask add_set = 0;
+  ConflictMask delete_set = 0;
+};
+
+/// \brief An abstract system: productions + initial conflict set.
+class AbstractSystem {
+ public:
+  AbstractSystem(std::vector<AbstractProduction> productions,
+                 ConflictMask initial);
+
+  size_t num_productions() const { return productions_.size(); }
+  const AbstractProduction& production(size_t i) const {
+    return productions_[i];
+  }
+  ConflictMask initial() const { return initial_; }
+
+  /// The successor conflict set after firing production `p` from `state`.
+  /// Requires p to be active in `state`.
+  ConflictMask Fire(ConflictMask state, size_t p) const;
+
+  /// True iff `sequence` (production indices) is a root-originating path
+  /// of the execution graph — i.e. a member of ES_single, prefixes
+  /// included (Definition 3.1).
+  bool IsValidSequence(const std::vector<size_t>& sequence) const;
+
+  /// Enumerates every *complete* execution sequence (ending with an empty
+  /// conflict set), up to `max_length` steps and `max_sequences` results.
+  /// Fails with kInvalidArgument if a sequence exceeds max_length (the
+  /// system does not quiesce within the bound).
+  StatusOr<std::vector<std::vector<size_t>>> EnumerateCompleteSequences(
+      size_t max_length = 64, size_t max_sequences = 1 << 20) const;
+
+  /// Renders a sequence as "p1 p4 p5".
+  std::string SequenceToString(const std::vector<size_t>& sequence) const;
+
+  /// All distinct states reachable from the initial state (the execution
+  /// graph's node set), bounded by `max_states`.
+  StatusOr<std::vector<ConflictMask>> ReachableStates(
+      size_t max_states = 1 << 20) const;
+
+  std::string MaskToString(ConflictMask mask) const;
+
+  /// Graphviz rendering of the execution graph (Figure 3.1 form),
+  /// bounded by `max_states`.
+  StatusOr<std::string> ToDot(size_t max_states = 1 << 12) const;
+
+ private:
+  void Enumerate(ConflictMask state, std::vector<size_t>* prefix,
+                 size_t max_length, size_t max_sequences,
+                 std::vector<std::vector<size_t>>* out, Status* status) const;
+
+  std::vector<AbstractProduction> productions_;
+  ConflictMask initial_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_SEMANTICS_ABSTRACT_PS_H_

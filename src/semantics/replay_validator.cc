@@ -1,0 +1,56 @@
+#include "semantics/replay_validator.h"
+
+#include "match/matcher.h"
+#include "rules/rhs_evaluator.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+Status ValidateReplay(WorkingMemory* initial_wm, const RuleSetPtr& rules,
+                      const std::vector<FiringRecord>& log) {
+  auto matcher = CreateMatcher(MatcherKind::kRete);
+  DBPS_RETURN_NOT_OK(matcher->Initialize(rules, *initial_wm));
+
+  for (size_t step = 0; step < log.size(); ++step) {
+    const FiringRecord& record = log[step];
+
+    // (1) Membership: the fired instantiation must be active here — this
+    // is exactly "the commit sequence is a root-originating path".
+    const InstPtr* inst = matcher->conflict_set().Find(record.key);
+    if (inst == nullptr) {
+      return Status::Internal(StringPrintf(
+          "step %zu: fired instantiation %s is not in the replayed "
+          "conflict set — the parallel log is not a valid single-thread "
+          "sequence",
+          step, record.key.ToString().c_str()));
+    }
+
+    // (2) Effect equality: the RHS evaluated at this replay state must
+    // produce the very Delta the original run committed.
+    auto delta_or = EvaluateRhs(*(*inst)->rule(), (*inst)->matched());
+    if (!delta_or.ok()) {
+      return Status::Internal(StringPrintf(
+          "step %zu: RHS re-evaluation failed: %s", step,
+          delta_or.status().ToString().c_str()));
+    }
+    if (!(delta_or.ValueOrDie() == record.delta)) {
+      return Status::Internal(StringPrintf(
+          "step %zu: replayed delta %s differs from logged delta %s", step,
+          delta_or.ValueOrDie().ToString().c_str(),
+          record.delta.ToString().c_str()));
+    }
+
+    // (3) Advance the replay state.
+    matcher->conflict_set().MarkFired(record.key);
+    auto change_or = initial_wm->Apply(record.delta);
+    if (!change_or.ok()) {
+      return Status::Internal(StringPrintf(
+          "step %zu: applying logged delta failed: %s", step,
+          change_or.status().ToString().c_str()));
+    }
+    matcher->ApplyChange(change_or.ValueOrDie());
+  }
+  return Status::OK();
+}
+
+}  // namespace dbps

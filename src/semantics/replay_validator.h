@@ -1,0 +1,35 @@
+// ReplayValidator: the executable form of Definition 3.2.
+//
+// A parallel engine's commit log is semantically consistent iff it is a
+// root-originating path of the single-thread execution graph — i.e. iff a
+// single-thread interpreter, started from the same initial state, could
+// have selected exactly this sequence. The validator replays the log:
+// at each step the fired instantiation must be present in the replayed
+// conflict set, and re-executing its RHS must yield exactly the logged
+// Delta. WME ids are assigned deterministically in delta-application
+// order, so keys match across the original run and the replay.
+//
+// Theorems 1 and 2 (and the §4.3 extension) assert every log the engines
+// produce passes this check; the property tests exercise it heavily.
+
+#ifndef DBPS_SEMANTICS_REPLAY_VALIDATOR_H_
+#define DBPS_SEMANTICS_REPLAY_VALIDATOR_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "rules/rule.h"
+#include "util/status.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// \brief Replays `log` against `initial_wm` (which must be in the same
+/// state the logged run started from; it is mutated by the replay).
+/// Returns OK iff the log is a valid single-thread execution sequence.
+Status ValidateReplay(WorkingMemory* initial_wm, const RuleSetPtr& rules,
+                      const std::vector<FiringRecord>& log);
+
+}  // namespace dbps
+
+#endif  // DBPS_SEMANTICS_REPLAY_VALIDATOR_H_

@@ -1,0 +1,61 @@
+#include "sim/paper_scenarios.h"
+
+namespace dbps {
+namespace sim {
+
+SimConfig Figure51Config() {
+  SimConfig config;
+  config.productions = {
+      SimProduction{"p1", 5.0, {}, {}},
+      SimProduction{"p2", 3.0, {}, {0}},  // committing P2 aborts P1
+      SimProduction{"p3", 2.0, {}, {}},
+      SimProduction{"p4", 4.0, {}, {}},
+  };
+  config.initial = {0, 1, 2, 3};
+  config.num_processors = 4;
+  return config;
+}
+
+std::vector<size_t> Sigma1() { return {2, 1, 3}; }  // p3 p2 p4
+
+SimConfig Figure52Config() {
+  SimConfig config = Figure51Config();
+  config.productions[2].delete_set = {3};  // committing P3 also aborts P4
+  return config;
+}
+
+std::vector<size_t> Sigma2() { return {2, 1}; }  // p3 p2
+
+SimConfig Figure53Config() {
+  SimConfig config = Figure51Config();
+  config.productions[1].exec_time = 4.0;  // T(P2) increased by 1
+  return config;
+}
+
+SimConfig Figure54Config() {
+  SimConfig config = Figure51Config();
+  config.num_processors = 3;
+  return config;
+}
+
+}  // namespace sim
+
+AbstractSystem Section33System() {
+  // Bits: P1=bit0 ... P6=bit5.
+  auto mask = [](std::initializer_list<int> productions) {
+    ConflictMask m = 0;
+    for (int p : productions) m |= 1ULL << (p - 1);
+    return m;
+  };
+  std::vector<AbstractProduction> productions = {
+      AbstractProduction{"p1", mask({4}), mask({2, 3})},
+      AbstractProduction{"p2", mask({4}), mask({})},
+      AbstractProduction{"p3", mask({}), mask({5})},
+      AbstractProduction{"p4", mask({6}), mask({})},
+      AbstractProduction{"p5", mask({}), mask({4})},
+      AbstractProduction{"p6", mask({}), mask({1, 2, 3})},
+  };
+  return AbstractSystem(std::move(productions), mask({1, 2, 3, 5}));
+}
+
+}  // namespace dbps

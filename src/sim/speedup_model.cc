@@ -1,0 +1,220 @@
+#include "sim/speedup_model.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+namespace sim {
+
+std::string SimEvent::ToString(const SimConfig& config) const {
+  const char* kind_name = kind == Kind::kStart    ? "start"
+                          : kind == Kind::kCommit ? "commit"
+                                                  : "abort";
+  return StringPrintf("t=%-5.4g %-6s %s on cpu%zu", time, kind_name,
+                      config.productions[production].name.c_str(),
+                      processor);
+}
+
+namespace {
+
+struct Running {
+  size_t production;
+  double start;
+  double finish;
+};
+
+}  // namespace
+
+MultiThreadResult SimulateMultiThread(const SimConfig& config) {
+  const size_t np = config.num_processors;
+  DBPS_CHECK_GT(np, 0u);
+  MultiThreadResult result;
+
+  std::deque<size_t> queue(config.initial.begin(), config.initial.end());
+  std::set<size_t> in_system(config.initial.begin(), config.initial.end());
+  DBPS_CHECK_EQ(queue.size(), in_system.size())
+      << "initial conflict set has duplicates";
+  std::vector<Running> running;          // indexed by processor slot
+  std::vector<bool> busy(np, false);
+  running.resize(np);
+  size_t num_running = 0;
+  double now = 0.0;
+
+  auto start_ready = [&]() {
+    for (size_t cpu = 0; cpu < np && !queue.empty(); ++cpu) {
+      if (busy[cpu]) continue;
+      size_t p = queue.front();
+      queue.pop_front();
+      busy[cpu] = true;
+      running[cpu] = Running{p, now,
+                             now + config.productions[p].exec_time};
+      ++num_running;
+      result.events.push_back(
+          SimEvent{SimEvent::Kind::kStart, now, p, cpu});
+    }
+  };
+
+  start_ready();
+  while (num_running > 0) {
+    // Earliest finisher commits; ties broken by production index for
+    // determinism.
+    size_t commit_cpu = np;
+    for (size_t cpu = 0; cpu < np; ++cpu) {
+      if (!busy[cpu]) continue;
+      if (commit_cpu == np ||
+          running[cpu].finish < running[commit_cpu].finish ||
+          (running[cpu].finish == running[commit_cpu].finish &&
+           running[cpu].production < running[commit_cpu].production)) {
+        commit_cpu = cpu;
+      }
+    }
+    DBPS_CHECK_LT(commit_cpu, np);
+    const Running committed = running[commit_cpu];
+    now = committed.finish;
+    busy[commit_cpu] = false;
+    --num_running;
+    in_system.erase(committed.production);
+    result.useful_time += config.productions[committed.production].exec_time;
+    result.commit_order.push_back(committed.production);
+    result.events.push_back(SimEvent{SimEvent::Kind::kCommit, now,
+                                     committed.production, commit_cpu});
+    result.makespan = now;
+
+    const SimProduction& prod = config.productions[committed.production];
+    // Delete set: abort running victims (losing their partial work) and
+    // drop queued ones.
+    for (size_t victim : prod.delete_set) {
+      if (in_system.count(victim) == 0) continue;
+      in_system.erase(victim);
+      bool was_running = false;
+      for (size_t cpu = 0; cpu < np; ++cpu) {
+        if (busy[cpu] && running[cpu].production == victim) {
+          busy[cpu] = false;
+          --num_running;
+          result.wasted_time += now - running[cpu].start;
+          ++result.aborts;
+          result.events.push_back(
+              SimEvent{SimEvent::Kind::kAbort, now, victim, cpu});
+          was_running = true;
+          break;
+        }
+      }
+      if (!was_running) {
+        auto it = std::find(queue.begin(), queue.end(), victim);
+        DBPS_CHECK(it != queue.end());
+        queue.erase(it);
+      }
+    }
+    // Add set: activate (a production already active is left alone).
+    for (size_t added : prod.add_set) {
+      if (in_system.insert(added).second) queue.push_back(added);
+    }
+    start_ready();
+  }
+  return result;
+}
+
+StatusOr<double> SingleThreadTime(const SimConfig& config,
+                                  const std::vector<size_t>& sequence) {
+  std::set<size_t> active(config.initial.begin(), config.initial.end());
+  double total = 0.0;
+  for (size_t p : sequence) {
+    if (p >= config.productions.size()) {
+      return Status::InvalidArgument("sequence names unknown production");
+    }
+    if (active.count(p) == 0) {
+      return Status::InvalidArgument(
+          "sequence fires inactive production " +
+          config.productions[p].name);
+    }
+    total += config.productions[p].exec_time;
+    active.erase(p);
+    for (size_t victim : config.productions[p].delete_set) {
+      active.erase(victim);
+    }
+    for (size_t added : config.productions[p].add_set) {
+      active.insert(added);
+    }
+  }
+  return total;
+}
+
+double UniprocessorMultiThreadTime(const SimConfig& config,
+                                   const MultiThreadResult& result,
+                                   double aborted_fraction) {
+  DBPS_CHECK_GE(aborted_fraction, 0.0);
+  DBPS_CHECK_LT(aborted_fraction, 1.0);
+  double committed = 0.0;
+  for (size_t p : result.commit_order) {
+    committed += config.productions[p].exec_time;
+  }
+  double aborted_full = 0.0;
+  for (const SimEvent& event : result.events) {
+    if (event.kind == SimEvent::Kind::kAbort) {
+      aborted_full += config.productions[event.production].exec_time;
+    }
+  }
+  return committed + aborted_fraction * aborted_full;
+}
+
+std::string MultiThreadResult::ToGantt(const SimConfig& config) const {
+  // Render each processor's timeline in character cells (1 cell per time
+  // unit, assuming integral times as in the paper's examples).
+  size_t np = config.num_processors;
+  double horizon = makespan;
+  for (const auto& event : events) horizon = std::max(horizon, event.time);
+  const size_t width = static_cast<size_t>(horizon + 0.5);
+
+  std::vector<std::string> lanes(np, std::string(width, '.'));
+  std::vector<std::string> labels(np);
+  struct Span {
+    size_t cpu;
+    size_t production;
+    double start;
+    double end;
+    bool aborted;
+  };
+  std::vector<Span> spans;
+  for (const auto& event : events) {
+    if (event.kind == SimEvent::Kind::kStart) {
+      spans.push_back(
+          Span{event.processor, event.production, event.time, -1, false});
+    } else {
+      for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+        if (it->cpu == event.processor &&
+            it->production == event.production && it->end < 0) {
+          it->end = event.time;
+          it->aborted = event.kind == SimEvent::Kind::kAbort;
+          break;
+        }
+      }
+    }
+  }
+  std::ostringstream out;
+  for (const auto& span : spans) {
+    size_t begin = static_cast<size_t>(span.start + 0.5);
+    size_t end = static_cast<size_t>((span.end < 0 ? horizon : span.end) +
+                                     0.5);
+    const std::string& name = config.productions[span.production].name;
+    char fill = span.aborted ? 'x' : name.back();
+    for (size_t i = begin; i < end && i < width; ++i) {
+      lanes[span.cpu][i] = fill;
+    }
+  }
+  for (size_t cpu = 0; cpu < np; ++cpu) {
+    out << "cpu" << cpu << " |" << lanes[cpu] << "|\n";
+  }
+  out << "      ";
+  for (size_t i = 0; i <= width; i += 1) out << (i % 5 == 0 ? '+' : '-');
+  out << "  (x = aborted work)\n";
+  return out.str();
+}
+
+}  // namespace sim
+}  // namespace dbps

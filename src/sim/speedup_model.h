@@ -1,0 +1,80 @@
+// The idealized multiprocessor execution model of §5.
+//
+// Productions are abstract (name, execution time, add/delete sets over
+// the production index space). Multi-thread execution starts every active
+// production on the Np processors (excess queues FIFO); the earliest
+// finisher commits, removing its delete set (aborting them mid-run if
+// they are on a processor — their partial work is wasted) and inserting
+// its add set. Single-thread execution time of a sequence σ is simply
+// Σ T(Pj) (Example 5.1). Speedup = T_single / T_multi.
+
+#ifndef DBPS_SIM_SPEEDUP_MODEL_H_
+#define DBPS_SIM_SPEEDUP_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace dbps {
+namespace sim {
+
+/// \brief One abstract production of the §5 model.
+struct SimProduction {
+  std::string name;
+  double exec_time = 1.0;
+  std::vector<size_t> add_set;     ///< enter PA when this commits
+  std::vector<size_t> delete_set;  ///< leave PA (abort) when this commits
+};
+
+/// \brief A §5 scenario.
+struct SimConfig {
+  std::vector<SimProduction> productions;
+  std::vector<size_t> initial;  ///< initial conflict set PA, in queue order
+  size_t num_processors = 4;    ///< the paper's Np
+};
+
+/// \brief One event of the simulated schedule (for figure rendering).
+struct SimEvent {
+  enum class Kind : uint8_t { kStart, kCommit, kAbort };
+  Kind kind;
+  double time;
+  size_t production;
+  size_t processor;
+  std::string ToString(const SimConfig& config) const;
+};
+
+/// \brief Outcome of a multi-thread simulation.
+struct MultiThreadResult {
+  double makespan = 0.0;             ///< T_multi
+  double useful_time = 0.0;          ///< Σ T of committed productions
+  double wasted_time = 0.0;          ///< partial work of aborted ones
+  size_t aborts = 0;
+  std::vector<size_t> commit_order;  ///< the committed sequence
+  std::vector<SimEvent> events;
+
+  /// Gantt-style rendering of the schedule (Figures 5.1–5.4).
+  std::string ToGantt(const SimConfig& config) const;
+};
+
+/// Simulates the multi-thread mechanism on Np processors.
+MultiThreadResult SimulateMultiThread(const SimConfig& config);
+
+/// T_single(σ) = Σ T(Pj) over the sequence, after checking σ is a valid
+/// single-thread sequence of the config (each fired production active,
+/// conflict set evolving by -self -delete +add).
+StatusOr<double> SingleThreadTime(const SimConfig& config,
+                                  const std::vector<size_t>& sequence);
+
+/// Example 5.1's uniprocessor multiple-thread estimate:
+///   T = Σ T(committed) + f · Σ T(aborted),  0 ≤ f < 1,
+/// always ≥ the single-thread time of the same commit sequence.
+double UniprocessorMultiThreadTime(const SimConfig& config,
+                                   const MultiThreadResult& result,
+                                   double aborted_fraction);
+
+}  // namespace sim
+}  // namespace dbps
+
+#endif  // DBPS_SIM_SPEEDUP_MODEL_H_

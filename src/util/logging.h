@@ -1,0 +1,82 @@
+// Minimal leveled logging + CHECK macros (glog-flavoured, self-contained).
+
+#ifndef DBPS_UTIL_LOGGING_H_
+#define DBPS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbps {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dbps
+
+#define DBPS_LOG_INTERNAL(level) \
+  ::dbps::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define DBPS_LOG(severity) \
+  DBPS_LOG_INTERNAL(::dbps::LogLevel::k##severity)
+
+/// CHECK: always-on invariant assertion; fatal on failure.
+#define DBPS_CHECK(cond)                                          \
+  if (!(cond))                                                    \
+  DBPS_LOG_INTERNAL(::dbps::LogLevel::kFatal)                     \
+      << "Check failed: " #cond " "
+
+#define DBPS_CHECK_OK(expr)                                       \
+  do {                                                            \
+    ::dbps::Status _st = (expr);                                  \
+    if (!_st.ok())                                                \
+      DBPS_LOG_INTERNAL(::dbps::LogLevel::kFatal)                 \
+          << "Status not OK: " << _st.ToString();                 \
+  } while (false)
+
+#define DBPS_CHECK_EQ(a, b) DBPS_CHECK((a) == (b))
+#define DBPS_CHECK_NE(a, b) DBPS_CHECK((a) != (b))
+#define DBPS_CHECK_LT(a, b) DBPS_CHECK((a) < (b))
+#define DBPS_CHECK_LE(a, b) DBPS_CHECK((a) <= (b))
+#define DBPS_CHECK_GT(a, b) DBPS_CHECK((a) > (b))
+#define DBPS_CHECK_GE(a, b) DBPS_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define DBPS_DCHECK(cond) DBPS_CHECK(cond)
+#else
+#define DBPS_DCHECK(cond) \
+  while (false) ::dbps::internal::NullStream()
+#endif
+
+#endif  // DBPS_UTIL_LOGGING_H_

@@ -1,0 +1,63 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed,
+// so every test and benchmark run is reproducible from its printed seed.
+
+#ifndef DBPS_UTIL_RANDOM_H_
+#define DBPS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dbps {
+
+/// \brief xoshiro256** generator. Not thread-safe; use one per thread.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds via splitmix64 expansion so any seed (incl. 0) is fine.
+  void Seed(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Returns k distinct indices sampled uniformly from [0, n).
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; v must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    DBPS_CHECK(!v.empty());
+    return v[static_cast<size_t>(Uniform(v.size()))];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_UTIL_RANDOM_H_

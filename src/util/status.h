@@ -1,0 +1,154 @@
+// Status: the library-wide error model (Arrow/RocksDB idiom).
+//
+// dbps never throws exceptions across its public API. Every fallible
+// operation returns a Status (or StatusOr<T>, see statusor.h). A Status is
+// cheap to copy in the OK case (a single pointer compare against nullptr).
+
+#ifndef DBPS_UTIL_STATUS_H_
+#define DBPS_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dbps {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Named entity (relation, rule, WME...) absent.
+  kAlreadyExists = 3,     ///< Uniqueness violated (duplicate relation...).
+  kParseError = 4,        ///< Rule-language syntax error.
+  kTypeError = 5,         ///< Rule-language semantic/type error.
+  kLockTimeout = 6,       ///< Lock could not be granted in time.
+  kDeadlock = 7,          ///< Transaction chosen as deadlock victim.
+  kAborted = 8,           ///< Production firing aborted (Rc-Wa rule).
+  kInternal = 9,          ///< Invariant violation inside the library.
+  kUnimplemented = 10,    ///< Feature intentionally not supported.
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail; OK or (code, message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Message is empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsLockTimeout() const { return code() == StatusCode::kLockTimeout; }
+  bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnimplemented() const {
+    return code() == StatusCode::kUnimplemented;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK.
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace dbps
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define DBPS_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::dbps::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define DBPS_CONCAT_IMPL(x, y) x##y
+#define DBPS_CONCAT(x, y) DBPS_CONCAT_IMPL(x, y)
+
+/// Evaluates a StatusOr<T> expression; on error propagates the Status,
+/// otherwise move-assigns the value into `lhs` (which it declares).
+#define DBPS_ASSIGN_OR_RETURN(lhs, expr)                               \
+  DBPS_ASSIGN_OR_RETURN_IMPL(DBPS_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+#define DBPS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // DBPS_UTIL_STATUS_H_

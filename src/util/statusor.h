@@ -1,0 +1,76 @@
+// StatusOr<T>: a Status or a value of type T (Arrow Result<T> idiom).
+
+#ifndef DBPS_UTIL_STATUSOR_H_
+#define DBPS_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dbps {
+
+/// \brief Holds either a usable value of type T or the Status explaining
+/// why no value is available.
+///
+/// Construction from a value yields ok(); construction from a non-OK
+/// Status yields !ok(). Constructing from an OK Status is a programming
+/// error and is converted to an Internal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit on purpose: lets `return value;` work in StatusOr functions.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  /// Implicit on purpose: lets `return SomeErrorStatus();` work.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK Status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const& { return status_; }
+
+  /// Accesses the value; undefined (aborts) if !ok().
+  const T& ValueOrDie() const& {
+    DieIfNotOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfNotOk();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or, if !ok(), the provided default.
+  T ValueOr(T default_value) const& {
+    return ok() ? *value_ : std::move(default_value);
+  }
+
+ private:
+  void DieIfNotOk() const {
+    if (!ok()) {
+      // Status printing here would need <iostream>; keep it minimal.
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_UTIL_STATUSOR_H_

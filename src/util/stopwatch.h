@@ -1,0 +1,35 @@
+// Wall-clock stopwatch for benches and engine statistics.
+
+#ifndef DBPS_UTIL_STOPWATCH_H_
+#define DBPS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dbps {
+
+/// \brief Monotonic stopwatch, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_UTIL_STOPWATCH_H_

@@ -1,0 +1,38 @@
+// Small string helpers shared across modules.
+
+#ifndef DBPS_UTIL_STRING_UTIL_H_
+#define DBPS_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbps {
+
+/// Joins elements with `sep`, using operator<< for formatting.
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dbps
+
+#endif  // DBPS_UTIL_STRING_UTIL_H_

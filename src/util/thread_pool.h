@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the parallel engines.
+
+#ifndef DBPS_UTIL_THREAD_POOL_H_
+#define DBPS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbps {
+
+/// \brief A fixed pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are std::function<void()>; submission after Shutdown() is a no-op.
+/// WaitIdle() blocks until the queue is empty AND no task is running, which
+/// the production-cycle engines use as their end-of-cycle barrier.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false if the pool is shut down.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void WaitIdle();
+
+  /// Stops accepting tasks, drains the queue, joins all workers.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals WaitIdle
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_UTIL_THREAD_POOL_H_

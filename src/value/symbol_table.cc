@@ -1,0 +1,45 @@
+#include "value/symbol_table.h"
+
+#include "util/logging.h"
+
+namespace dbps {
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+SymbolTable::SymbolTable() {
+  // Slot 0 is reserved for "nil" so kNilSymbol is always valid.
+  by_id_.emplace_back("nil");
+  by_name_.emplace("nil", kNilSymbol);
+}
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(by_id_.size());
+  by_id_.emplace_back(name);
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+std::string SymbolTable::Name(SymbolId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  DBPS_CHECK_LT(id, by_id_.size());
+  return by_id_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return by_id_.size();
+}
+
+SymbolId Sym(std::string_view name) {
+  return SymbolTable::Global().Intern(name);
+}
+
+std::string SymName(SymbolId id) { return SymbolTable::Global().Name(id); }
+
+}  // namespace dbps

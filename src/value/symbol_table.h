@@ -1,0 +1,55 @@
+// Interned symbols: OPS5-style constants like `nil`, `red`, `goal`.
+//
+// Symbols are interned process-wide so that equality tests inside the
+// matcher are single integer compares. The table is append-only and
+// thread-safe: parallel engines intern/lookup concurrently.
+
+#ifndef DBPS_VALUE_SYMBOL_TABLE_H_
+#define DBPS_VALUE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dbps {
+
+/// Identifier of an interned symbol; 0 is always the symbol "nil".
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kNilSymbol = 0;
+
+/// \brief Append-only, thread-safe intern table.
+class SymbolTable {
+ public:
+  /// The process-wide table used by the whole library.
+  static SymbolTable& Global();
+
+  SymbolTable();
+
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the spelling of `id`; dies if id is out of range.
+  std::string Name(SymbolId id) const;
+
+  /// Number of interned symbols.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SymbolId> by_name_;
+  std::vector<std::string> by_id_;
+};
+
+/// Convenience: intern into the global table.
+SymbolId Sym(std::string_view name);
+
+/// Convenience: spelling from the global table.
+std::string SymName(SymbolId id);
+
+}  // namespace dbps
+
+#endif  // DBPS_VALUE_SYMBOL_TABLE_H_

@@ -1,0 +1,57 @@
+#include "wm/delta.h"
+
+#include <sstream>
+
+namespace dbps {
+
+std::string Delta::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& op : ops_) {
+    if (!first) out << "; ";
+    first = false;
+    if (const auto* create = std::get_if<CreateOp>(&op)) {
+      out << "make " << SymName(create->relation);
+      for (const auto& v : create->values) out << " " << v;
+    } else if (const auto* modify = std::get_if<ModifyOp>(&op)) {
+      out << "modify #" << modify->id;
+      for (const auto& [field, value] : modify->updates) {
+        out << " [" << field << "]=" << value;
+      }
+    } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
+      out << "remove #" << del->id;
+    }
+  }
+  if (halt_) {
+    if (!first) out << "; ";
+    out << "halt";
+  }
+  out << "}";
+  return out.str();
+}
+
+bool Delta::operator==(const Delta& other) const {
+  if (halt_ != other.halt_ || ops_.size() != other.ops_.size()) return false;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const WmOp& a = ops_[i];
+    const WmOp& b = other.ops_[i];
+    if (a.index() != b.index()) return false;
+    if (const auto* ca = std::get_if<CreateOp>(&a)) {
+      const auto* cb = std::get_if<CreateOp>(&b);
+      if (ca->relation != cb->relation || ca->values != cb->values) {
+        return false;
+      }
+    } else if (const auto* ma = std::get_if<ModifyOp>(&a)) {
+      const auto* mb = std::get_if<ModifyOp>(&b);
+      if (ma->id != mb->id || ma->updates != mb->updates) return false;
+    } else {
+      const auto* da = std::get_if<DeleteOp>(&a);
+      const auto* db = std::get_if<DeleteOp>(&b);
+      if (da->id != db->id) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dbps

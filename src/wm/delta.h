@@ -1,0 +1,76 @@
+// Delta: the buffered write set of one production firing.
+//
+// RHS execution never touches working memory directly; it accumulates
+// create/modify/delete operations into a Delta. Commit applies the whole
+// Delta atomically (the paper: "The WM content is atomically updated only
+// when a production reaches its commit point"). Abort simply discards it.
+
+#ifndef DBPS_WM_DELTA_H_
+#define DBPS_WM_DELTA_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "value/value.h"
+#include "wm/wme.h"
+
+namespace dbps {
+
+/// Inserts a new WME; its id is assigned when the delta is applied.
+struct CreateOp {
+  SymbolId relation;
+  std::vector<Value> values;
+};
+
+/// Overwrites selected fields of WME `id`, bumping its time tag.
+struct ModifyOp {
+  WmeId id;
+  /// (field index, new value) pairs.
+  std::vector<std::pair<size_t, Value>> updates;
+};
+
+/// Removes WME `id`.
+struct DeleteOp {
+  WmeId id;
+};
+
+using WmOp = std::variant<CreateOp, ModifyOp, DeleteOp>;
+
+/// \brief Ordered list of working-memory operations plus a halt flag.
+class Delta {
+ public:
+  void Create(SymbolId relation, std::vector<Value> values) {
+    ops_.emplace_back(CreateOp{relation, std::move(values)});
+  }
+  void Modify(WmeId id, std::vector<std::pair<size_t, Value>> updates) {
+    ops_.emplace_back(ModifyOp{id, std::move(updates)});
+  }
+  void Delete(WmeId id) { ops_.emplace_back(DeleteOp{id}); }
+  void SetHalt() { halt_ = true; }
+
+  const std::vector<WmOp>& ops() const { return ops_; }
+  bool halt() const { return halt_; }
+  bool empty() const { return ops_.empty() && !halt_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Delta& other) const;
+
+ private:
+  std::vector<WmOp> ops_;
+  bool halt_ = false;
+};
+
+/// \brief The matcher-facing result of applying a Delta: which WME
+/// versions disappeared and which appeared (a modify contributes one of
+/// each, sharing a WmeId).
+struct WmChange {
+  std::vector<WmePtr> removed;
+  std::vector<WmePtr> added;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_WM_DELTA_H_

@@ -1,0 +1,108 @@
+#include "wm/schema.h"
+
+#include "util/string_util.h"
+
+namespace dbps {
+
+const char* AttrTypeToString(AttrType type) {
+  switch (type) {
+    case AttrType::kAny:
+      return "any";
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kFloat:
+      return "float";
+    case AttrType::kSymbol:
+      return "symbol";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kNumber:
+      return "number";
+  }
+  return "?";
+}
+
+bool ValueMatchesType(const Value& v, AttrType t) {
+  if (v.is_nil()) return true;  // nil is the universal "unset" value
+  switch (t) {
+    case AttrType::kAny:
+      return true;
+    case AttrType::kInt:
+      return v.is_int();
+    case AttrType::kFloat:
+      return v.is_float();
+    case AttrType::kSymbol:
+      return v.is_symbol();
+    case AttrType::kString:
+      return v.is_string();
+    case AttrType::kNumber:
+      return v.is_number();
+  }
+  return false;
+}
+
+RelationSchema::RelationSchema(SymbolId name, std::vector<AttrDef> attrs)
+    : name_(name), attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    attr_index_.emplace(attrs_[i].name, i);
+  }
+}
+
+std::optional<size_t> RelationSchema::AttrIndex(SymbolId attr) const {
+  auto it = attr_index_.find(attr);
+  if (it == attr_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status RelationSchema::CheckTuple(const std::vector<Value>& values) const {
+  if (values.size() != attrs_.size()) {
+    return Status::TypeError(StringPrintf(
+        "relation '%s' expects %zu attributes, got %zu",
+        SymName(name_).c_str(), attrs_.size(), values.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!ValueMatchesType(values[i], attrs_[i].type)) {
+      return Status::TypeError(StringPrintf(
+          "relation '%s' attribute '%s' expects %s, got %s (%s)",
+          SymName(name_).c_str(), SymName(attrs_[i].name).c_str(),
+          AttrTypeToString(attrs_[i].type),
+          ValueTypeToString(values[i].type()),
+          values[i].ToString().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = "(relation " + SymName(name_);
+  for (const auto& attr : attrs_) {
+    out += " (" + SymName(attr.name) + " " + AttrTypeToString(attr.type) + ")";
+  }
+  out += ")";
+  return out;
+}
+
+Status Catalog::AddRelation(RelationSchema schema) {
+  SymbolId name = schema.name();
+  if (relations_.count(name) != 0) {
+    return Status::AlreadyExists("relation '" + SymName(name) +
+                                 "' already declared");
+  }
+  relations_.emplace(name, std::move(schema));
+  declaration_order_.push_back(name);
+  return Status::OK();
+}
+
+StatusOr<const RelationSchema*> Catalog::GetRelation(SymbolId name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation '" + SymName(name) + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasRelation(SymbolId name) const {
+  return relations_.count(name) != 0;
+}
+
+}  // namespace dbps

@@ -1,0 +1,83 @@
+// Relation schemas and the catalog: the "database" shape of working memory.
+//
+// A database production system's working memory is a set of relations
+// (OPS5 "classes"). Each relation has a fixed, ordered attribute list;
+// WMEs of that relation are dense tuples over those attributes.
+
+#ifndef DBPS_WM_SCHEMA_H_
+#define DBPS_WM_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+#include "value/value.h"
+
+namespace dbps {
+
+/// \brief Declared type of an attribute; kAny admits every value.
+enum class AttrType : uint8_t { kAny = 0, kInt, kFloat, kSymbol, kString, kNumber };
+
+const char* AttrTypeToString(AttrType type);
+
+/// \brief True if `v` is admissible under declared type `t` (nil always is).
+bool ValueMatchesType(const Value& v, AttrType t);
+
+/// \brief One attribute: name + declared type.
+struct AttrDef {
+  SymbolId name;
+  AttrType type = AttrType::kAny;
+};
+
+/// \brief Schema of one relation: name + ordered attributes.
+class RelationSchema {
+ public:
+  RelationSchema(SymbolId name, std::vector<AttrDef> attrs);
+
+  SymbolId name() const { return name_; }
+  const std::vector<AttrDef>& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+
+  /// Index of attribute `attr` in the tuple, or nullopt.
+  std::optional<size_t> AttrIndex(SymbolId attr) const;
+
+  /// Verifies `values` has the right arity and types.
+  Status CheckTuple(const std::vector<Value>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  SymbolId name_;
+  std::vector<AttrDef> attrs_;
+  std::unordered_map<SymbolId, size_t> attr_index_;
+};
+
+/// \brief The catalog: all relations known to a working memory.
+class Catalog {
+ public:
+  /// Fails with AlreadyExists on duplicate relation names.
+  Status AddRelation(RelationSchema schema);
+
+  /// Fails with NotFound for unknown names.
+  StatusOr<const RelationSchema*> GetRelation(SymbolId name) const;
+
+  bool HasRelation(SymbolId name) const;
+
+  /// All relation names in declaration order.
+  const std::vector<SymbolId>& relation_names() const {
+    return declaration_order_;
+  }
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::unordered_map<SymbolId, RelationSchema> relations_;
+  std::vector<SymbolId> declaration_order_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_WM_SCHEMA_H_

@@ -1,0 +1,20 @@
+#include "wm/wme.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dbps {
+
+std::string Wme::ToString() const {
+  std::ostringstream out;
+  out << "(" << SymName(relation_);
+  for (const auto& v : values_) out << " " << v;
+  out << " | id=" << id_ << " tag=" << tag_ << ")";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Wme& wme) {
+  return os << wme.ToString();
+}
+
+}  // namespace dbps

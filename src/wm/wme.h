@@ -1,0 +1,58 @@
+// Working memory elements (WMEs): the tuples of the production database.
+//
+// A WME has two identities:
+//  * `id`  — the stable *data object* identity, used by the lock manager.
+//    A modify keeps the id (the paper's "data item q" survives updates).
+//  * `tag` — the OPS5 time tag, bumped on every modify. The matcher treats
+//    a modify as retract(old tag) + assert(new tag); the pair (id, tag)
+//    names one immutable version.
+//
+// WME versions are immutable and shared via WmePtr, so in-flight
+// productions can keep reading the version they matched even after a
+// concurrent writer commits a newer one.
+
+#ifndef DBPS_WM_WME_H_
+#define DBPS_WM_WME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "value/value.h"
+
+namespace dbps {
+
+using WmeId = uint64_t;
+using TimeTag = uint64_t;
+
+/// \brief One immutable version of a working memory element.
+class Wme {
+ public:
+  Wme(WmeId id, TimeTag tag, SymbolId relation, std::vector<Value> values)
+      : id_(id), tag_(tag), relation_(relation), values_(std::move(values)) {}
+
+  WmeId id() const { return id_; }
+  TimeTag tag() const { return tag_; }
+  SymbolId relation() const { return relation_; }
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(size_t field) const { return values_[field]; }
+  size_t arity() const { return values_.size(); }
+
+  /// "(rel v0 v1 ... | id=3 tag=7)".
+  std::string ToString() const;
+
+ private:
+  WmeId id_;
+  TimeTag tag_;
+  SymbolId relation_;
+  std::vector<Value> values_;
+};
+
+using WmePtr = std::shared_ptr<const Wme>;
+
+std::ostream& operator<<(std::ostream& os, const Wme& wme);
+
+}  // namespace dbps
+
+#endif  // DBPS_WM_WME_H_

@@ -1,0 +1,270 @@
+#include "wm/working_memory.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+Status WorkingMemory::CreateRelation(RelationSchema schema) {
+  std::unique_lock lock(mu_);
+  return catalog_.AddRelation(std::move(schema));
+}
+
+Status WorkingMemory::CreateRelation(
+    std::string_view name,
+    const std::vector<std::pair<std::string, AttrType>>& attrs) {
+  std::vector<AttrDef> defs;
+  defs.reserve(attrs.size());
+  for (const auto& [attr_name, type] : attrs) {
+    defs.push_back(AttrDef{Sym(attr_name), type});
+  }
+  return CreateRelation(RelationSchema(Sym(name), std::move(defs)));
+}
+
+Status WorkingMemory::CreateIndex(SymbolId relation, SymbolId attr) {
+  std::unique_lock lock(mu_);
+  DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                        catalog_.GetRelation(relation));
+  auto field = schema->AttrIndex(attr);
+  if (!field.has_value()) {
+    return Status::NotFound("relation '" + SymName(relation) +
+                            "' has no attribute '" + SymName(attr) + "'");
+  }
+  IndexKey key{relation, *field};
+  if (indexes_.count(key) != 0) {
+    return Status::AlreadyExists("index on " + SymName(relation) + "." +
+                                 SymName(attr) + " already exists");
+  }
+  ValueIndex& index = indexes_[key];
+  auto rel_it = by_relation_.find(relation);
+  if (rel_it != by_relation_.end()) {
+    for (WmeId id : rel_it->second) {
+      index[live_.at(id)->value(*field)].insert(id);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<WmePtr> WorkingMemory::Insert(SymbolId relation,
+                                       std::vector<Value> values) {
+  std::unique_lock lock(mu_);
+  return InsertLocked(relation, std::move(values));
+}
+
+StatusOr<WmePtr> WorkingMemory::Insert(std::string_view relation,
+                                       std::vector<Value> values) {
+  return Insert(Sym(relation), std::move(values));
+}
+
+StatusOr<WmePtr> WorkingMemory::InsertLocked(SymbolId relation,
+                                             std::vector<Value> values) {
+  DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                        catalog_.GetRelation(relation));
+  DBPS_RETURN_NOT_OK(schema->CheckTuple(values));
+  auto wme = std::make_shared<const Wme>(next_id_++, next_tag_++, relation,
+                                         std::move(values));
+  live_.emplace(wme->id(), wme);
+  by_relation_[relation].insert(wme->id());
+  IndexAdd(wme);
+  return WmePtr(wme);
+}
+
+StatusOr<WmePtr> WorkingMemory::Delete(WmeId id) {
+  std::unique_lock lock(mu_);
+  return DeleteLocked(id);
+}
+
+StatusOr<WmePtr> WorkingMemory::DeleteLocked(WmeId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound(StringPrintf("WME #%llu is not live",
+                                         (unsigned long long)id));
+  }
+  WmePtr wme = it->second;
+  IndexRemove(wme);
+  by_relation_[wme->relation()].erase(id);
+  live_.erase(it);
+  return wme;
+}
+
+WmePtr WorkingMemory::Get(WmeId id) const {
+  std::shared_lock lock(mu_);
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+bool WorkingMemory::IsCurrent(WmeId id, TimeTag tag) const {
+  std::shared_lock lock(mu_);
+  auto it = live_.find(id);
+  return it != live_.end() && it->second->tag() == tag;
+}
+
+std::vector<WmePtr> WorkingMemory::Scan(SymbolId relation) const {
+  std::shared_lock lock(mu_);
+  std::vector<WmePtr> out;
+  auto it = by_relation_.find(relation);
+  if (it == by_relation_.end()) return out;
+  out.reserve(it->second.size());
+  for (WmeId id : it->second) out.push_back(live_.at(id));
+  return out;
+}
+
+std::vector<WmePtr> WorkingMemory::Lookup(SymbolId relation,
+                                          size_t attr_index,
+                                          const Value& v) const {
+  std::shared_lock lock(mu_);
+  std::vector<WmePtr> out;
+  auto index_it = indexes_.find(IndexKey{relation, attr_index});
+  if (index_it != indexes_.end()) {
+    auto bucket = index_it->second.find(v);
+    if (bucket != index_it->second.end()) {
+      out.reserve(bucket->second.size());
+      for (WmeId id : bucket->second) out.push_back(live_.at(id));
+    }
+    return out;
+  }
+  auto rel_it = by_relation_.find(relation);
+  if (rel_it == by_relation_.end()) return out;
+  for (WmeId id : rel_it->second) {
+    const WmePtr& wme = live_.at(id);
+    if (wme->value(attr_index) == v) out.push_back(wme);
+  }
+  return out;
+}
+
+size_t WorkingMemory::Count(SymbolId relation) const {
+  std::shared_lock lock(mu_);
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? 0 : it->second.size();
+}
+
+size_t WorkingMemory::TotalCount() const {
+  std::shared_lock lock(mu_);
+  return live_.size();
+}
+
+StatusOr<WmChange> WorkingMemory::Apply(const Delta& delta) {
+  std::unique_lock lock(mu_);
+
+  // Validate first so a failed Apply leaves WM untouched. Creates are
+  // schema-checked; modifies/deletes must name WMEs that are live at
+  // their point in the op sequence (a delta may delete a WME it just
+  // modified, but not vice versa).
+  {
+    std::unordered_set<WmeId> deleted;
+    for (const auto& op : delta.ops()) {
+      if (const auto* create = std::get_if<CreateOp>(&op)) {
+        DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                              catalog_.GetRelation(create->relation));
+        DBPS_RETURN_NOT_OK(schema->CheckTuple(create->values));
+      } else if (const auto* modify = std::get_if<ModifyOp>(&op)) {
+        auto it = live_.find(modify->id);
+        if (it == live_.end() || deleted.count(modify->id) != 0) {
+          return Status::NotFound(
+              StringPrintf("modify of dead WME #%llu",
+                           (unsigned long long)modify->id));
+        }
+        for (const auto& [field, value] : modify->updates) {
+          if (field >= it->second->arity()) {
+            return Status::InvalidArgument(StringPrintf(
+                "modify of WME #%llu: field %zu out of range",
+                (unsigned long long)modify->id, field));
+          }
+          (void)value;
+        }
+      } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
+        if (live_.count(del->id) == 0 || !deleted.insert(del->id).second) {
+          return Status::NotFound(StringPrintf(
+              "delete of dead WME #%llu", (unsigned long long)del->id));
+        }
+      }
+    }
+  }
+
+  WmChange change;
+  for (const auto& op : delta.ops()) {
+    if (const auto* create = std::get_if<CreateOp>(&op)) {
+      auto wme = std::make_shared<const Wme>(next_id_++, next_tag_++,
+                                             create->relation,
+                                             create->values);
+      live_.emplace(wme->id(), wme);
+      by_relation_[create->relation].insert(wme->id());
+      IndexAdd(wme);
+      change.added.push_back(std::move(wme));
+    } else if (const auto* modify = std::get_if<ModifyOp>(&op)) {
+      WmePtr old = live_.at(modify->id);
+      std::vector<Value> values = old->values();
+      for (const auto& [field, value] : modify->updates) {
+        values[field] = value;
+      }
+      auto updated = std::make_shared<const Wme>(
+          old->id(), next_tag_++, old->relation(), std::move(values));
+      IndexRemove(old);
+      live_[old->id()] = updated;
+      IndexAdd(updated);
+      change.removed.push_back(std::move(old));
+      change.added.push_back(std::move(updated));
+    } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
+      auto removed = DeleteLocked(del->id);
+      DBPS_CHECK(removed.ok());  // validated above
+      change.removed.push_back(std::move(removed).ValueOrDie());
+    }
+  }
+  return change;
+}
+
+void WorkingMemory::IndexAdd(const WmePtr& wme) {
+  if (indexes_.empty()) return;
+  for (size_t field = 0; field < wme->arity(); ++field) {
+    auto it = indexes_.find(IndexKey{wme->relation(), field});
+    if (it != indexes_.end()) {
+      it->second[wme->value(field)].insert(wme->id());
+    }
+  }
+}
+
+void WorkingMemory::IndexRemove(const WmePtr& wme) {
+  if (indexes_.empty()) return;
+  for (size_t field = 0; field < wme->arity(); ++field) {
+    auto it = indexes_.find(IndexKey{wme->relation(), field});
+    if (it != indexes_.end()) {
+      auto bucket = it->second.find(wme->value(field));
+      if (bucket != it->second.end()) {
+        bucket->second.erase(wme->id());
+        if (bucket->second.empty()) it->second.erase(bucket);
+      }
+    }
+  }
+}
+
+std::unique_ptr<WorkingMemory> WorkingMemory::Clone() const {
+  std::shared_lock lock(mu_);
+  auto copy = std::make_unique<WorkingMemory>();
+  copy->catalog_ = catalog_;
+  copy->live_ = live_;
+  copy->by_relation_ = by_relation_;
+  copy->indexes_ = indexes_;
+  copy->next_id_ = next_id_;
+  copy->next_tag_ = next_tag_;
+  return copy;
+}
+
+std::string WorkingMemory::ToString() const {
+  std::shared_lock lock(mu_);
+  std::ostringstream out;
+  for (SymbolId relation : catalog_.relation_names()) {
+    auto it = by_relation_.find(relation);
+    size_t count = it == by_relation_.end() ? 0 : it->second.size();
+    out << SymName(relation) << " (" << count << "):\n";
+    if (it != by_relation_.end()) {
+      for (WmeId id : it->second) {
+        out << "  " << live_.at(id)->ToString() << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dbps

@@ -1,0 +1,129 @@
+// WorkingMemory: the production system's database.
+//
+// A catalog of relations, the live WME versions, and optional per-
+// attribute hash indexes. Reads take a shared lock; Apply (the commit
+// path) takes an exclusive lock, so readers always observe a committed
+// snapshot boundary. Engines additionally serialize Apply calls with
+// their commit mutex so commit order is total and replayable.
+
+#ifndef DBPS_WM_WORKING_MEMORY_H_
+#define DBPS_WM_WORKING_MEMORY_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+#include "wm/delta.h"
+#include "wm/schema.h"
+#include "wm/wme.h"
+
+namespace dbps {
+
+/// \brief The working-memory database.
+class WorkingMemory {
+ public:
+  WorkingMemory() = default;
+
+  WorkingMemory(const WorkingMemory&) = delete;
+  WorkingMemory& operator=(const WorkingMemory&) = delete;
+
+  // --- Schema -----------------------------------------------------------
+
+  Status CreateRelation(RelationSchema schema);
+
+  /// Declares relation `name` with attributes (name, type) pairs.
+  Status CreateRelation(
+      std::string_view name,
+      const std::vector<std::pair<std::string, AttrType>>& attrs);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates a hash index on (relation, attr); NotFound if either is
+  /// unknown. Existing WMEs are indexed immediately.
+  Status CreateIndex(SymbolId relation, SymbolId attr);
+
+  // --- Direct mutation (setup / single-thread engine) --------------------
+
+  /// Inserts one tuple; returns the new WME version.
+  StatusOr<WmePtr> Insert(SymbolId relation, std::vector<Value> values);
+
+  /// Convenience: relation by name, values as given.
+  StatusOr<WmePtr> Insert(std::string_view relation,
+                          std::vector<Value> values);
+
+  /// Removes WME `id`; returns the removed version.
+  StatusOr<WmePtr> Delete(WmeId id);
+
+  // --- Reads --------------------------------------------------------------
+
+  /// Live version of WME `id`, or nullptr if absent.
+  WmePtr Get(WmeId id) const;
+
+  /// True iff WME `id` is live with time tag `tag` (validation check).
+  bool IsCurrent(WmeId id, TimeTag tag) const;
+
+  /// All live WMEs of `relation` (unspecified order).
+  std::vector<WmePtr> Scan(SymbolId relation) const;
+
+  /// Live WMEs of `relation` whose field `attr_index` equals `v`.
+  /// Uses the hash index when one exists, otherwise scans.
+  std::vector<WmePtr> Lookup(SymbolId relation, size_t attr_index,
+                             const Value& v) const;
+
+  size_t Count(SymbolId relation) const;
+  size_t TotalCount() const;
+
+  // --- Commit path ---------------------------------------------------------
+
+  /// Applies every operation of `delta` atomically. Ids for creates are
+  /// assigned here, in op order, so identical deltas applied in identical
+  /// order always assign identical ids (replay determinism).
+  ///
+  /// Fails (with no changes applied) if a modify/delete names a dead WME
+  /// or a create violates its schema.
+  StatusOr<WmChange> Apply(const Delta& delta);
+
+  /// Deep-copies schema + live WMEs + id counters (WME versions shared).
+  std::unique_ptr<WorkingMemory> Clone() const;
+
+  std::string ToString() const;
+
+ private:
+  struct IndexKey {
+    SymbolId relation;
+    size_t field;
+    bool operator==(const IndexKey& o) const {
+      return relation == o.relation && field == o.field;
+    }
+  };
+  struct IndexKeyHash {
+    size_t operator()(const IndexKey& k) const {
+      return std::hash<uint64_t>{}((static_cast<uint64_t>(k.relation) << 20) ^
+                                   k.field);
+    }
+  };
+  using ValueIndex = std::unordered_map<Value, std::unordered_set<WmeId>, ValueHash>;
+
+  // All require holding mu_ exclusively.
+  StatusOr<WmePtr> InsertLocked(SymbolId relation, std::vector<Value> values);
+  StatusOr<WmePtr> DeleteLocked(WmeId id);
+  void IndexAdd(const WmePtr& wme);
+  void IndexRemove(const WmePtr& wme);
+
+  mutable std::shared_mutex mu_;
+  Catalog catalog_;
+  std::unordered_map<WmeId, WmePtr> live_;
+  std::unordered_map<SymbolId, std::unordered_set<WmeId>> by_relation_;
+  std::unordered_map<IndexKey, ValueIndex, IndexKeyHash> indexes_;
+  WmeId next_id_ = 1;
+  TimeTag next_tag_ = 1;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_WM_WORKING_MEMORY_H_

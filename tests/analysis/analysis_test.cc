@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "analysis/access_sets.h"
+#include "analysis/lock_sets.h"
+#include "analysis/partitioner.h"
+#include "lang/compiler.h"
+#include "match/matcher.h"
+#include "util/logging.h"
+
+namespace dbps {
+namespace {
+
+constexpr const char* kSchema = R"(
+(relation stock (sku int) (qty int) (site symbol))
+(relation order (sku int) (qty int))
+(relation alarm (sku int))
+(relation audit (sku int))
+)";
+
+CompiledProgram MustCompile(const std::string& body) {
+  auto program = CompileProgram(std::string(kSchema) + body);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).ValueOrDie();
+}
+
+// --- RuleAccess (static, rule text) ----------------------------------------
+
+TEST(RuleAccess, ReadsTestedAttributesNotPureBindings) {
+  auto program = MustCompile(R"(
+    (rule r (stock ^sku <s> ^qty { > <s> }) --> (modify 1 ^qty 0)))");
+  RuleAccess access = AnalyzeRule(*program.rules->Find("r"));
+  const AttrFootprint& reads = access.reads.at(Sym("stock"));
+  EXPECT_FALSE(reads.whole);
+  EXPECT_TRUE(reads.fields.count(0) > 0);  // sku, via the intra test
+  EXPECT_TRUE(reads.fields.count(1) > 0);  // qty
+  // site (field 2) is neither tested nor bound: not a read.
+  EXPECT_FALSE(reads.fields.count(2) > 0);
+  const AttrFootprint& writes = access.writes.at(Sym("stock"));
+  EXPECT_TRUE(writes.fields.count(1) > 0);
+  EXPECT_FALSE(writes.fields.count(0) > 0);
+}
+
+TEST(RuleAccess, UnusedBindingIsNotARead) {
+  // ^sku <s> merely names the attribute; nothing depends on its value,
+  // so a writer of sku does not interfere with this rule.
+  auto program = MustCompile(R"(
+    (rule r (stock ^sku <s> ^qty { > 0 }) --> (modify 1 ^qty 0)))");
+  RuleAccess access = AnalyzeRule(*program.rules->Find("r"));
+  EXPECT_FALSE(access.reads.at(Sym("stock")).fields.count(0) > 0);
+}
+
+TEST(RuleAccess, NegationReadsWholeRelation) {
+  auto program = MustCompile(R"(
+    (rule r (order ^sku <s>) -(alarm ^sku <s>) --> (remove 1)))");
+  RuleAccess access = AnalyzeRule(*program.rules->Find("r"));
+  EXPECT_TRUE(access.reads.at(Sym("alarm")).whole);
+}
+
+TEST(RuleAccess, MakeAndRemoveWriteWholeRelation) {
+  auto program = MustCompile(R"(
+    (rule r (order ^sku <s>) --> (make alarm ^sku <s>) (remove 1)))");
+  RuleAccess access = AnalyzeRule(*program.rules->Find("r"));
+  EXPECT_TRUE(access.writes.at(Sym("alarm")).whole);
+  EXPECT_TRUE(access.writes.at(Sym("order")).whole);
+  // The expression <s> is a read of order.sku.
+  EXPECT_TRUE(access.reads.at(Sym("order")).fields.count(0) > 0);
+}
+
+TEST(RuleAccess, InterferenceIsWriteVsReadOrWrite) {
+  auto program = MustCompile(R"(
+    (rule writer (stock ^sku <s>) --> (modify 1 ^qty 9))
+    (rule reader (stock ^qty { > 0 }) --> (make audit ^sku 1))
+    (rule bystander (order ^sku <s>) --> (make alarm ^sku <s>)))");
+  RuleAccess writer = AnalyzeRule(*program.rules->Find("writer"));
+  RuleAccess reader = AnalyzeRule(*program.rules->Find("reader"));
+  RuleAccess bystander = AnalyzeRule(*program.rules->Find("bystander"));
+  EXPECT_TRUE(Interferes(writer, reader));   // write qty vs read qty
+  EXPECT_TRUE(Interferes(reader, writer));   // symmetric
+  EXPECT_FALSE(Interferes(writer, bystander));
+  EXPECT_FALSE(Interferes(reader, bystander));
+}
+
+TEST(RuleAccess, DisjointAttributesDoNotInterfere) {
+  auto program = MustCompile(R"(
+    (rule site-writer (stock ^sku <s>) --> (modify 1 ^site depot))
+    (rule qty-reader (stock ^qty { > 0 }) --> (make audit ^sku 1)))");
+  // site-writer writes stock.site and reads stock.sku; qty-reader reads
+  // stock.qty — attribute-granular analysis proves them independent.
+  EXPECT_FALSE(
+      Interferes(AnalyzeRule(*program.rules->Find("site-writer")),
+                 AnalyzeRule(*program.rules->Find("qty-reader"))));
+}
+
+TEST(AttrFootprint, WholeOverlapsEverything) {
+  AttrFootprint whole;
+  whole.AddWhole();
+  AttrFootprint one;
+  one.AddField(3);
+  AttrFootprint empty;
+  EXPECT_TRUE(whole.Overlaps(one));
+  EXPECT_TRUE(one.Overlaps(whole));
+  EXPECT_FALSE(whole.Overlaps(empty));
+  EXPECT_FALSE(empty.Overlaps(one));
+  AttrFootprint other;
+  other.AddField(4);
+  EXPECT_FALSE(one.Overlaps(other));
+  other.AddField(3);
+  EXPECT_TRUE(one.Overlaps(other));
+}
+
+// --- PartitionRules -------------------------------------------------------
+
+TEST(Partitioner, GroupsAreNonInterfering) {
+  auto program = MustCompile(R"(
+    (rule w1 (stock ^sku <s>) --> (modify 1 ^qty 1))
+    (rule w2 (stock ^sku <s>) --> (modify 1 ^qty 2))
+    (rule o1 (order ^sku <s>) --> (remove 1))
+    (rule a1 (alarm ^sku <s>) --> (remove 1)))");
+  InterferenceGraph graph(*program.rules);
+  EXPECT_EQ(graph.num_rules(), 4u);
+  EXPECT_TRUE(graph.Interfere(0, 1));   // both write stock.qty
+  EXPECT_FALSE(graph.Interfere(0, 2));
+
+  auto groups = PartitionRules(*program.rules);
+  // Every group must be pairwise non-interfering.
+  for (const auto& group : groups) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        EXPECT_FALSE(graph.Interfere(group[i], group[j]));
+      }
+    }
+  }
+  // Every rule appears exactly once.
+  size_t total = 0;
+  for (const auto& group : groups) total += group.size();
+  EXPECT_EQ(total, 4u);
+  // w1/w2 interfere, so at least two groups.
+  EXPECT_GE(groups.size(), 2u);
+  // o1 and a1 are independent of everything: with greedy coloring they
+  // land in the first group, so we need at most 2 groups here.
+  EXPECT_LE(groups.size(), 2u);
+}
+
+TEST(Partitioner, AllIndependentRulesYieldOneGroup) {
+  auto program = MustCompile(R"(
+    (rule r1 (stock ^sku 1) --> (modify 1 ^qty 0))
+    (rule r2 (order ^sku 1) --> (remove 1))
+    (rule r3 (alarm ^sku 1) --> (remove 1)))");
+  // r1 writes stock.qty but also only reads stock.sku — r1 vs r1 isn't
+  // asked; all pairs are disjoint relations...
+  auto groups = PartitionRules(*program.rules);
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+// --- InstAccess (dynamic) ----------------------------------------------
+
+struct InstFixture {
+  WorkingMemory wm;
+  RuleSetPtr rules;
+  std::vector<InstPtr> insts;
+
+  explicit InstFixture(const std::string& body) {
+    auto rules_or = LoadProgram(std::string(kSchema) + body, &wm);
+    DBPS_CHECK(rules_or.ok()) << rules_or.status();
+    rules = rules_or.ValueOrDie();
+    auto matcher = CreateMatcher(MatcherKind::kNaive);
+    DBPS_CHECK(matcher->Initialize(rules, wm).ok());
+    insts = matcher->conflict_set().Snapshot();
+  }
+};
+
+TEST(InstAccess, ReadsMatchedTuplesWritesTargets) {
+  InstFixture fixture(R"(
+    (rule r (stock ^sku <s>) (order ^sku <s>) --> (modify 1 ^qty 0) (remove 2))
+    (make stock ^sku 1 ^qty 5 ^site a)
+    (make order ^sku 1 ^qty 2))");
+  ASSERT_EQ(fixture.insts.size(), 1u);
+  InstAccess access = AnalyzeInstantiation(*fixture.insts[0]);
+  ASSERT_EQ(access.reads.size(), 2u);
+  ASSERT_EQ(access.writes.size(), 2u);
+  for (const auto& object : access.writes) {
+    EXPECT_FALSE(object.is_relation_level());
+  }
+}
+
+TEST(InstAccess, NegationAndCreateEscalateToRelationLevel) {
+  InstFixture fixture(R"(
+    (rule r (order ^sku <s>) -(alarm ^sku <s>) --> (make audit ^sku <s>))
+    (make order ^sku 1 ^qty 2))");
+  ASSERT_EQ(fixture.insts.size(), 1u);
+  InstAccess access = AnalyzeInstantiation(*fixture.insts[0]);
+  bool has_alarm_read = false;
+  for (const auto& object : access.reads) {
+    if (object.relation == Sym("alarm")) {
+      EXPECT_TRUE(object.is_relation_level());
+      has_alarm_read = true;
+    }
+  }
+  EXPECT_TRUE(has_alarm_read);
+  ASSERT_EQ(access.writes.size(), 1u);
+  EXPECT_EQ(access.writes[0].relation, Sym("audit"));
+  EXPECT_TRUE(access.writes[0].is_relation_level());
+}
+
+TEST(InstAccess, ObjectsOverlapHierarchy) {
+  LockObjectId tuple{Sym("stock"), 7};
+  LockObjectId other_tuple{Sym("stock"), 8};
+  LockObjectId relation{Sym("stock"), kRelationLevel};
+  LockObjectId foreign{Sym("order"), 7};
+  EXPECT_TRUE(ObjectsOverlap(tuple, tuple));
+  EXPECT_FALSE(ObjectsOverlap(tuple, other_tuple));
+  EXPECT_TRUE(ObjectsOverlap(tuple, relation));
+  EXPECT_TRUE(ObjectsOverlap(relation, other_tuple));
+  EXPECT_FALSE(ObjectsOverlap(tuple, foreign));
+}
+
+TEST(SelectNonInterfering, PicksGreedyIndependentSubset) {
+  InstFixture fixture(R"(
+    (rule touch (stock ^sku <s>) --> (modify 1 ^qty 0))
+    (make stock ^sku 1 ^qty 5 ^site a)
+    (make stock ^sku 2 ^qty 5 ^site a)
+    (make stock ^sku 3 ^qty 5 ^site a))");
+  // Three instantiations of `touch`, each writing a different tuple: all
+  // co-selectable.
+  ASSERT_EQ(fixture.insts.size(), 3u);
+  EXPECT_EQ(SelectNonInterfering(fixture.insts).size(), 3u);
+}
+
+TEST(SelectNonInterfering, ConflictingCreatorsSerialize) {
+  InstFixture fixture(R"(
+    (rule mint (order ^sku <s>) --> (make alarm ^sku <s>) (remove 1))
+    (make order ^sku 1 ^qty 1)
+    (make order ^sku 2 ^qty 1))");
+  // Both firings create into `alarm` (relation-level write-write).
+  ASSERT_EQ(fixture.insts.size(), 2u);
+  EXPECT_EQ(SelectNonInterfering(fixture.insts).size(), 1u);
+}
+
+// --- Lock sets -------------------------------------------------------------
+
+TEST(LockSets, ConditionLocksAreRcOnMatchedPlusNegatedRelations) {
+  InstFixture fixture(R"(
+    (rule r (order ^sku <s>) -(alarm ^sku <s>) --> (remove 1))
+    (make order ^sku 1 ^qty 1))");
+  ASSERT_EQ(fixture.insts.size(), 1u);
+  auto locks = ConditionLocks(*fixture.insts[0]);
+  ASSERT_EQ(locks.size(), 2u);
+  for (const auto& request : locks) {
+    EXPECT_EQ(request.mode, LockMode::kRc);
+  }
+  // Canonical order: sorted by object; one tuple lock + one relation lock.
+  bool saw_relation_level = false, saw_tuple = false;
+  for (const auto& request : locks) {
+    if (request.object.is_relation_level()) {
+      EXPECT_EQ(request.object.relation, Sym("alarm"));
+      saw_relation_level = true;
+    } else {
+      EXPECT_EQ(request.object.relation, Sym("order"));
+      saw_tuple = true;
+    }
+  }
+  EXPECT_TRUE(saw_relation_level && saw_tuple);
+}
+
+TEST(LockSets, ActionLocksWaOnTargetsRaOnReads) {
+  InstFixture fixture(R"(
+    (rule r (stock ^sku <s> ^qty <q>) (order ^qty <oq>)
+      -->
+      (modify 1 ^qty (+ <q> <oq>)))
+    (make stock ^sku 1 ^qty 5 ^site a)
+    (make order ^sku 9 ^qty 2))");
+  ASSERT_EQ(fixture.insts.size(), 1u);
+  auto locks = ActionLocks(*fixture.insts[0], /*txn=*/42);
+  // Wa on the modified stock tuple; Ra on the order tuple it reads.
+  ASSERT_EQ(locks.size(), 2u);
+  int wa = 0, ra = 0;
+  for (const auto& request : locks) {
+    if (request.mode == LockMode::kWa) {
+      EXPECT_EQ(request.object.relation, Sym("stock"));
+      ++wa;
+    } else if (request.mode == LockMode::kRa) {
+      EXPECT_EQ(request.object.relation, Sym("order"));
+      ++ra;
+    }
+  }
+  EXPECT_EQ(wa, 1);
+  EXPECT_EQ(ra, 1);
+}
+
+TEST(LockSets, WaSubsumesRaOnSameTuple) {
+  InstFixture fixture(R"(
+    (rule r (stock ^sku <s> ^qty <q>) --> (modify 1 ^qty (+ <q> 1)))
+    (make stock ^sku 1 ^qty 5 ^site a))");
+  auto locks = ActionLocks(*fixture.insts[0], 1);
+  ASSERT_EQ(locks.size(), 1u);
+  EXPECT_EQ(locks[0].mode, LockMode::kWa);
+}
+
+TEST(LockSets, CreateTakesPerTxnInsertIntent) {
+  InstFixture fixture(R"(
+    (rule r (order ^sku <s>) --> (make alarm ^sku <s>))
+    (make order ^sku 1 ^qty 1))");
+  auto locks_a = ActionLocks(*fixture.insts[0], 7);
+  auto locks_b = ActionLocks(*fixture.insts[0], 8);
+  // An insert intent Wa plus an Ra on the matched order tuple whose value
+  // feeds the make expression.
+  ASSERT_EQ(locks_a.size(), 2u);
+  const LockRequest* intent = nullptr;
+  const LockRequest* read = nullptr;
+  for (const auto& request : locks_a) {
+    if (request.object.is_insert_intent()) {
+      intent = &request;
+    } else {
+      read = &request;
+    }
+  }
+  ASSERT_NE(intent, nullptr);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(intent->mode, LockMode::kWa);
+  EXPECT_EQ(intent->object.wme, kInsertLockBase + 7);
+  EXPECT_EQ(read->mode, LockMode::kRa);
+  EXPECT_EQ(read->object.relation, Sym("order"));
+  bool found_b_intent = false;
+  for (const auto& request : locks_b) {
+    if (request.object.is_insert_intent()) {
+      EXPECT_EQ(request.object.wme, kInsertLockBase + 8);
+      found_b_intent = true;
+    }
+  }
+  EXPECT_TRUE(found_b_intent);
+}
+
+TEST(LockSets, RemoveTakesWaNoRa) {
+  InstFixture fixture(R"(
+    (rule r (order ^sku <s>) --> (remove 1))
+    (make order ^sku 1 ^qty 1))");
+  auto locks = ActionLocks(*fixture.insts[0], 1);
+  ASSERT_EQ(locks.size(), 1u);
+  EXPECT_EQ(locks[0].mode, LockMode::kWa);
+  EXPECT_FALSE(locks[0].object.is_relation_level());
+}
+
+}  // namespace
+}  // namespace dbps

@@ -1,0 +1,126 @@
+// Rc lock escalation (§4.3) — the lock-set transformation and its
+// engine-level consequences.
+
+#include <gtest/gtest.h>
+
+#include "analysis/lock_sets.h"
+#include "engine/parallel_engine.h"
+#include "lang/compiler.h"
+#include "match/matcher.h"
+#include "semantics/replay_validator.h"
+#include "util/logging.h"
+
+namespace dbps {
+namespace {
+
+std::vector<LockRequest> TupleRcs(const char* relation, int count) {
+  std::vector<LockRequest> requests;
+  for (int i = 1; i <= count; ++i) {
+    requests.push_back(LockRequest{
+        LockObjectId{Sym(relation), static_cast<WmeId>(i)}, LockMode::kRc});
+  }
+  return requests;
+}
+
+TEST(Escalation, ThresholdZeroDisables) {
+  auto requests = TupleRcs("esc-r", 10);
+  EXPECT_EQ(EscalateConditionLocks(requests, 0).size(), 10u);
+}
+
+TEST(Escalation, BelowThresholdUnchanged) {
+  auto requests = TupleRcs("esc-r", 3);
+  EXPECT_EQ(EscalateConditionLocks(requests, 3).size(), 3u);
+}
+
+TEST(Escalation, AboveThresholdCollapsesToRelationLock) {
+  auto requests = TupleRcs("esc-r", 4);
+  auto escalated = EscalateConditionLocks(requests, 3);
+  ASSERT_EQ(escalated.size(), 1u);
+  EXPECT_TRUE(escalated[0].object.is_relation_level());
+  EXPECT_EQ(escalated[0].object.relation, Sym("esc-r"));
+  EXPECT_EQ(escalated[0].mode, LockMode::kRc);
+}
+
+TEST(Escalation, PerRelationIndependence) {
+  auto requests = TupleRcs("esc-a", 5);
+  for (const auto& r : TupleRcs("esc-b", 2)) requests.push_back(r);
+  auto escalated = EscalateConditionLocks(requests, 3);
+  // esc-a collapses (5 > 3), esc-b's two tuple locks survive.
+  size_t relation_level = 0, tuple_level = 0;
+  for (const auto& request : escalated) {
+    if (request.object.is_relation_level()) {
+      EXPECT_EQ(request.object.relation, Sym("esc-a"));
+      ++relation_level;
+    } else {
+      EXPECT_EQ(request.object.relation, Sym("esc-b"));
+      ++tuple_level;
+    }
+  }
+  EXPECT_EQ(relation_level, 1u);
+  EXPECT_EQ(tuple_level, 2u);
+}
+
+TEST(Escalation, NonRcLocksAreNeverEscalated) {
+  std::vector<LockRequest> requests;
+  for (int i = 1; i <= 6; ++i) {
+    requests.push_back(LockRequest{
+        LockObjectId{Sym("esc-w"), static_cast<WmeId>(i)}, LockMode::kWa});
+  }
+  EXPECT_EQ(EscalateConditionLocks(requests, 2).size(), 6u);
+}
+
+TEST(Escalation, EngineRunStaysConsistentWithEscalation) {
+  // A rule matching 4 tuples per firing, run with threshold 2 (so every
+  // firing escalates), must still produce a serializable log.
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation quad (slot int) (v int))
+(relation out  (sum int))
+(rule combine
+  (quad ^slot 1 ^v <a>)
+  (quad ^slot 2 ^v <b>)
+  (quad ^slot 3 ^v <c>)
+  (quad ^slot 4 ^v <d>)
+  -(out)
+  -->
+  (make out ^sum (+ (+ <a> <b>) (+ <c> <d>))))
+)",
+                           &wm)
+                   .ValueOrDie();
+  for (int s = 1; s <= 4; ++s) {
+    ASSERT_TRUE(wm.Insert("quad", {Value::Int(s), Value::Int(s * 10)}).ok());
+  }
+  auto pristine = wm.Clone();
+  ParallelEngineOptions options;
+  options.num_workers = 3;
+  options.rc_escalation_threshold = 2;
+  ParallelEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 1u);
+  ASSERT_EQ(wm.Count(Sym("out")), 1u);
+  EXPECT_EQ(wm.Scan(Sym("out"))[0]->value(0), Value::Int(100));
+  EXPECT_TRUE(ValidateReplay(pristine.get(), rules, result.log).ok());
+}
+
+TEST(Escalation, EscalatedReaderIsVictimOfAnyWriteInRelation) {
+  // With escalation, a firing that matched tuples {1,2,3,4} of `quad`
+  // holds a relation-level Rc — so a writer of tuple 99 (untouched by the
+  // match) still victimizes it. That is the documented conservatism.
+  LockManager::Options lock_options;
+  lock_options.protocol = LockProtocol::kRcRaWa;
+  LockManager lm(lock_options);
+  TxnId reader = lm.Begin(), writer = lm.Begin();
+  auto escalated = EscalateConditionLocks(TupleRcs("esc-c", 4), 2);
+  for (const auto& request : escalated) {
+    ASSERT_TRUE(lm.Acquire(reader, request.object, request.mode).ok());
+  }
+  ASSERT_TRUE(
+      lm.Acquire(writer, LockObjectId{Sym("esc-c"), 99}, LockMode::kWa)
+          .ok());
+  auto victims = lm.CollectRcVictims(writer);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], reader);
+}
+
+}  // namespace
+}  // namespace dbps

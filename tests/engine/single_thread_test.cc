@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "engine/single_thread_engine.h"
+#include "lang/compiler.h"
+#include "semantics/replay_validator.h"
+#include "testing/workloads.h"
+
+namespace dbps {
+namespace {
+
+TEST(SingleThreadEngine, EmptyConflictSetTerminatesImmediately) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule r (t ^v 1) --> (remove 1))
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 0u);
+  EXPECT_TRUE(result.log.empty());
+}
+
+TEST(SingleThreadEngine, FiresUntilQuiescence) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule consume (t ^v <v>) --> (remove 1))
+(make t ^v 1)
+(make t ^v 2)
+(make t ^v 3)
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 3u);
+  EXPECT_EQ(wm.Count(Sym("t")), 0u);
+}
+
+TEST(SingleThreadEngine, HaltStopsMidRun) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule consume (t ^v <v>) --> (remove 1) (halt))
+(make t ^v 1)
+(make t ^v 2)
+(make t ^v 3)
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 1u);
+  EXPECT_TRUE(result.stats.halted);
+  EXPECT_EQ(wm.Count(Sym("t")), 2u);
+}
+
+TEST(SingleThreadEngine, MaxFiringsGuardsNonTermination) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule spin (t ^v <v>) --> (modify 1 ^v (+ <v> 1)))
+(make t ^v 0)
+)",
+                           &wm)
+                   .ValueOrDie();
+  EngineOptions options;
+  options.max_firings = 25;
+  SingleThreadEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 25u);
+  EXPECT_TRUE(result.stats.hit_max_firings);
+  EXPECT_EQ(wm.Scan(Sym("t"))[0]->value(0), Value::Int(25));
+}
+
+TEST(SingleThreadEngine, RefractionPreventsRefiringSameMatch) {
+  // The rule matches but does not change its own match: with refraction
+  // it fires exactly once per instantiation.
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(relation log (v int))
+(rule observe (t ^v <v>) --> (make log ^v <v>))
+(make t ^v 7)
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 1u);
+  EXPECT_EQ(wm.Count(Sym("log")), 1u);
+}
+
+TEST(SingleThreadEngine, PrioritySelectsDominant) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(relation winner (name symbol))
+(rule low :priority 1 (t ^v <v>) --> (make winner ^name low) (remove 1))
+(rule high :priority 9 (t ^v <v>) --> (make winner ^name high) (remove 1))
+(make t ^v 1)
+)",
+                           &wm)
+                   .ValueOrDie();
+  EngineOptions options;
+  options.strategy = ConflictResolution::kPriority;
+  SingleThreadEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 1u);
+  EXPECT_EQ(wm.Scan(Sym("winner"))[0]->value(0), Value::Symbol("high"));
+}
+
+TEST(SingleThreadEngine, LexPrefersMostRecent) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(relation order (v int))
+(rule consume (t ^v <v>) --> (make order ^v <v>) (remove 1))
+(make t ^v 1)
+(make t ^v 2)
+(make t ^v 3)
+)",
+                           &wm)
+                   .ValueOrDie();
+  EngineOptions options;
+  options.strategy = ConflictResolution::kLex;
+  SingleThreadEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+  ASSERT_EQ(result.log.size(), 3u);
+  // LEX fires newest first: v=3, then 2, then 1. The `order` relation
+  // records the firing order via its own time tags.
+  std::vector<int64_t> order;
+  for (const auto& wme : wm.Scan(Sym("order"))) {
+    order.push_back(wme->value(0).AsInt());
+  }
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<int64_t>{1, 2, 3}));
+  // First fired == most recent initial tag (v=3).
+  auto first_key = result.log[0].key;
+  EXPECT_EQ(first_key.rule_name, "consume");
+}
+
+TEST(SingleThreadEngine, RhsErrorSkipsFiringAndContinues) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(relation out (v int))
+(rule div (t ^v <v>) --> (make out ^v (/ 100 <v>)) (remove 1))
+(make t ^v 0)
+(make t ^v 4)
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.rhs_errors, 1u);
+  EXPECT_EQ(result.stats.firings, 1u);
+  ASSERT_EQ(wm.Count(Sym("out")), 1u);
+  EXPECT_EQ(wm.Scan(Sym("out"))[0]->value(0), Value::Int(25));
+}
+
+TEST(SingleThreadEngine, StepApiDrivesOneFiringAtATime) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule consume (t ^v <v>) --> (remove 1))
+(make t ^v 1)
+(make t ^v 2)
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_EQ(engine.conflict_set().size(), 2u);
+  EXPECT_TRUE(engine.Step().ValueOrDie());
+  EXPECT_EQ(engine.conflict_set().size(), 1u);
+  EXPECT_TRUE(engine.Step().ValueOrDie());
+  EXPECT_FALSE(engine.Step().ValueOrDie());
+  EXPECT_EQ(engine.stats().firings, 2u);
+}
+
+TEST(SingleThreadEngine, OwnLogAlwaysReplays) {
+  RuleSetPtr rules;
+  auto wm = testing::MakeLogisticsWm(6, 3, 4, &rules);
+  auto pristine = wm->Clone();
+  EngineOptions options;
+  options.strategy = ConflictResolution::kLex;
+  SingleThreadEngine engine(wm.get(), rules, options);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_GT(result.stats.firings, 0u);
+  Status valid = ValidateReplay(pristine.get(), rules, result.log);
+  EXPECT_TRUE(valid.ok()) << valid;
+}
+
+TEST(SingleThreadEngine, DifferentStrategiesAllQuiesceToSameTokenCount) {
+  // The logistics workload is confluent in outcome size (every box ends
+  // delivered+accounted) regardless of strategy.
+  for (ConflictResolution strategy :
+       {ConflictResolution::kLex, ConflictResolution::kMea,
+        ConflictResolution::kFifo, ConflictResolution::kPriority,
+        ConflictResolution::kRandom}) {
+    RuleSetPtr rules;
+    auto wm = testing::MakeLogisticsWm(5, 5, 5, &rules);
+    EngineOptions options;
+    options.strategy = strategy;
+    options.seed = 99;
+    SingleThreadEngine engine(wm.get(), rules, options);
+    auto result = engine.Run().ValueOrDie();
+    EXPECT_FALSE(result.stats.hit_max_firings);
+    EXPECT_EQ(wm->Count(Sym("done")), 5u)
+        << "strategy " << ConflictResolutionToString(strategy);
+  }
+}
+
+TEST(SingleThreadEngine, NaiveMatcherGivesSameRun) {
+  RuleSetPtr rules;
+  auto wm_rete = testing::MakeLogisticsWm(4, 2, 3, &rules);
+  auto wm_naive = wm_rete->Clone();
+
+  EngineOptions options;
+  options.strategy = ConflictResolution::kLex;
+
+  SingleThreadEngine rete_engine(wm_rete.get(), rules, options);
+  auto rete_result = rete_engine.Run().ValueOrDie();
+
+  options.matcher = MatcherKind::kNaive;
+  SingleThreadEngine naive_engine(wm_naive.get(), rules, options);
+  auto naive_result = naive_engine.Run().ValueOrDie();
+
+  ASSERT_EQ(rete_result.log.size(), naive_result.log.size());
+  for (size_t i = 0; i < rete_result.log.size(); ++i) {
+    EXPECT_EQ(rete_result.log[i].key.ToString(),
+              naive_result.log[i].key.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace dbps

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+
+namespace dbps {
+namespace {
+
+constexpr const char* kSchema = R"(
+(relation box (id int) (at symbol) (weight int))
+(relation robot (name symbol) (at symbol) (holding any))
+(relation blocked (at symbol))
+)";
+
+CompiledProgram MustCompile(const std::string& body) {
+  auto program = CompileProgram(std::string(kSchema) + body);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).ValueOrDie();
+}
+
+Status CompileError(const std::string& body) {
+  auto program = CompileProgram(std::string(kSchema) + body);
+  EXPECT_FALSE(program.ok());
+  return program.ok() ? Status::OK() : program.status();
+}
+
+TEST(Compiler, RelationsAreCollected) {
+  auto program = MustCompile("");
+  ASSERT_EQ(program.relations.size(), 3u);
+  EXPECT_EQ(program.relations[0].name(), Sym("box"));
+  EXPECT_EQ(program.relations[1].arity(), 3u);
+}
+
+TEST(Compiler, ConstantTestsGoToAlpha) {
+  auto program = MustCompile(R"(
+    (rule r (box ^at dock ^weight { > 10 }) --> (remove 1)))");
+  RulePtr rule = program.rules->Find("r");
+  ASSERT_NE(rule, nullptr);
+  const Condition& cond = rule->conditions()[0];
+  ASSERT_EQ(cond.constant_tests.size(), 2u);
+  EXPECT_EQ(cond.constant_tests[0].field, 1u);  // ^at
+  EXPECT_EQ(cond.constant_tests[0].pred, TestPredicate::kEq);
+  EXPECT_EQ(cond.constant_tests[0].value, Value::Symbol("dock"));
+  EXPECT_EQ(cond.constant_tests[1].field, 2u);  // ^weight
+  EXPECT_EQ(cond.constant_tests[1].pred, TestPredicate::kGt);
+  EXPECT_TRUE(cond.intra_tests.empty());
+  EXPECT_TRUE(cond.join_tests.empty());
+}
+
+TEST(Compiler, VariableBindingAndIntraTest) {
+  // <x> binds at ^id; the second occurrence in the same CE becomes an
+  // intra-WME equality test.
+  auto program = MustCompile(R"(
+    (rule r (box ^id <x> ^weight <x>) --> (remove 1)))");
+  const Condition& cond = program.rules->Find("r")->conditions()[0];
+  EXPECT_TRUE(cond.constant_tests.empty());
+  ASSERT_EQ(cond.intra_tests.size(), 1u);
+  EXPECT_EQ(cond.intra_tests[0].field, 2u);
+  EXPECT_EQ(cond.intra_tests[0].other_field, 0u);
+  EXPECT_EQ(cond.intra_tests[0].pred, TestPredicate::kEq);
+}
+
+TEST(Compiler, CrossCeVariableBecomesJoinTest) {
+  auto program = MustCompile(R"(
+    (rule r
+      (box ^id <b> ^at <where>)
+      (robot ^at <where> ^holding { <> <b> })
+      -->
+      (remove 1)))");
+  const Rule& rule = *program.rules->Find("r");
+  const Condition& robot = rule.conditions()[1];
+  ASSERT_EQ(robot.join_tests.size(), 2u);
+  // ^at <where> joins CE0's ^at (field 1).
+  EXPECT_EQ(robot.join_tests[0].field, 1u);
+  EXPECT_EQ(robot.join_tests[0].pred, TestPredicate::kEq);
+  EXPECT_EQ(robot.join_tests[0].other_ce, 0u);
+  EXPECT_EQ(robot.join_tests[0].other_field, 1u);
+  // ^holding { <> <b> } joins CE0's ^id with kNe.
+  EXPECT_EQ(robot.join_tests[1].field, 2u);
+  EXPECT_EQ(robot.join_tests[1].pred, TestPredicate::kNe);
+  EXPECT_EQ(robot.join_tests[1].other_field, 0u);
+}
+
+TEST(Compiler, NegatedCeJoinsOuterBindings) {
+  auto program = MustCompile(R"(
+    (rule r
+      (box ^id <b> ^at <where>)
+      -(blocked ^at <where>)
+      -->
+      (remove 1)))");
+  const Rule& rule = *program.rules->Find("r");
+  EXPECT_EQ(rule.num_positive(), 1u);
+  const Condition& neg = rule.conditions()[1];
+  EXPECT_TRUE(neg.negated);
+  ASSERT_EQ(neg.join_tests.size(), 1u);
+  EXPECT_EQ(neg.join_tests[0].other_ce, 0u);
+  EXPECT_EQ(neg.join_tests[0].other_field, 1u);
+}
+
+TEST(Compiler, NegatedCeLocalBindingStaysLocal) {
+  // A variable first bound inside a negated CE may be reused inside the
+  // same CE (intra test) but not outside it.
+  auto program = MustCompile(R"(
+    (rule r
+      (box ^id 1)
+      -(robot ^name <n> ^holding <n>)
+      -->
+      (remove 1)))");
+  const Condition& neg = program.rules->Find("r")->conditions()[1];
+  ASSERT_EQ(neg.intra_tests.size(), 1u);
+  EXPECT_EQ(neg.intra_tests[0].field, 2u);
+  EXPECT_EQ(neg.intra_tests[0].other_field, 0u);
+}
+
+TEST(Compiler, ActionsAreLowered) {
+  auto program = MustCompile(R"(
+    (rule r
+      (box ^id <b> ^weight <w>)
+      (robot ^name <r>)
+      -->
+      (make blocked ^at dock)
+      (modify 2 ^holding <b>)
+      (remove 1)))");
+  const Rule& rule = *program.rules->Find("r");
+  ASSERT_EQ(rule.actions().size(), 3u);
+
+  const auto& make = std::get<MakeAction>(rule.actions()[0]);
+  EXPECT_EQ(make.relation, Sym("blocked"));
+  ASSERT_EQ(make.values.size(), 1u);  // dense to arity
+  EXPECT_EQ(make.values[0].constant, Value::Symbol("dock"));
+
+  const auto& modify = std::get<ModifyAction>(rule.actions()[1]);
+  EXPECT_EQ(modify.ce, 1u);  // 1-based "2" -> 0-based positive CE 1
+  ASSERT_EQ(modify.assigns.size(), 1u);
+  EXPECT_EQ(modify.assigns[0].first, 2u);  // ^holding
+  EXPECT_EQ(modify.assigns[0].second.kind, Expr::Kind::kBinding);
+  EXPECT_EQ(modify.assigns[0].second.ce, 0u);
+  EXPECT_EQ(modify.assigns[0].second.field, 0u);
+
+  EXPECT_EQ(std::get<RemoveAction>(rule.actions()[2]).ce, 0u);
+}
+
+TEST(Compiler, MakeDefaultsUnassignedFieldsToNil) {
+  auto program = MustCompile(R"(
+    (rule r (box ^id <b>) --> (make robot ^name r2)))");
+  const auto& make =
+      std::get<MakeAction>(program.rules->Find("r")->actions()[0]);
+  ASSERT_EQ(make.values.size(), 3u);
+  EXPECT_TRUE(make.values[1].constant.is_nil());
+  EXPECT_TRUE(make.values[2].constant.is_nil());
+}
+
+TEST(Compiler, CeNumberSkipsNegatedConditions) {
+  // (remove 2) must name the second *positive* CE even with a negation
+  // in between.
+  auto program = MustCompile(R"(
+    (rule r
+      (box ^id <b>)
+      -(blocked ^at dock)
+      (robot ^name <r>)
+      -->
+      (remove 2)))");
+  const Rule& rule = *program.rules->Find("r");
+  const auto& remove = std::get<RemoveAction>(rule.actions()[0]);
+  EXPECT_EQ(remove.ce, 1u);
+  EXPECT_EQ(rule.PositiveConditionIndex(remove.ce), 2u);
+  EXPECT_EQ(rule.conditions()[2].relation, Sym("robot"));
+}
+
+TEST(Compiler, PriorityAndCostCarryThrough) {
+  auto program = MustCompile(R"(
+    (rule r :priority -3 :cost 500 (box ^id 1) --> (remove 1)))");
+  EXPECT_EQ(program.rules->Find("r")->priority(), -3);
+  EXPECT_EQ(program.rules->Find("r")->cost_us(), 500);
+}
+
+TEST(Compiler, FactsAreLowered) {
+  auto program = MustCompile(R"(
+    (make box ^id 3 ^at dock ^weight 7))");
+  ASSERT_EQ(program.facts.size(), 1u);
+  EXPECT_EQ(program.facts[0].relation, Sym("box"));
+  EXPECT_EQ(program.facts[0].values,
+            (std::vector<Value>{Value::Int(3), Value::Symbol("dock"),
+                                Value::Int(7)}));
+}
+
+TEST(Compiler, LoadProgramPopulatesWorkingMemory) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(std::string(kSchema) + R"(
+    (rule r (box ^id <b>) --> (remove 1))
+    (make box ^id 1 ^at a ^weight 1)
+    (make box ^id 2 ^at b ^weight 2))",
+                           &wm);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_EQ((*rules)->size(), 1u);
+  EXPECT_EQ(wm.Count(Sym("box")), 2u);
+  EXPECT_TRUE(wm.catalog().HasRelation(Sym("robot")));
+}
+
+TEST(Compiler, SecondProgramSeesExistingRelations) {
+  WorkingMemory wm;
+  ASSERT_TRUE(LoadProgram(kSchema, &wm).ok());
+  auto rules = LoadProgram("(rule r (box ^id <b>) --> (remove 1))", &wm);
+  EXPECT_TRUE(rules.ok()) << rules.status();
+}
+
+// --- errors ------------------------------------------------------------
+
+TEST(Compiler, ErrorOnUnknownRelation) {
+  Status st = CompileError("(rule r (widget ^id 1) --> (halt))");
+  EXPECT_TRUE(st.IsTypeError());
+  EXPECT_NE(st.message().find("unknown relation"), std::string::npos);
+}
+
+TEST(Compiler, ErrorOnUnknownAttribute) {
+  Status st = CompileError("(rule r (box ^nope 1) --> (halt))");
+  EXPECT_NE(st.message().find("no attribute"), std::string::npos);
+}
+
+TEST(Compiler, ErrorOnConstantTypeMismatch) {
+  // ^id is int; testing it against a symbol can never match.
+  EXPECT_TRUE(CompileError("(rule r (box ^id dock) --> (halt))")
+                  .IsTypeError());
+}
+
+TEST(Compiler, ErrorOnUnboundVariableInPredicate) {
+  Status st =
+      CompileError("(rule r (box ^weight { > <w> }) --> (halt))");
+  EXPECT_NE(st.message().find("before binding"), std::string::npos);
+}
+
+TEST(Compiler, ErrorOnUnboundVariableInAction) {
+  Status st = CompileError(
+      "(rule r (box ^id <b>) --> (make blocked ^at <nowhere>))");
+  EXPECT_NE(st.message().find("unbound variable"), std::string::npos);
+}
+
+TEST(Compiler, ErrorOnNegatedBindingEscaping) {
+  // <n> binds inside the negated CE; using it in the RHS is an error.
+  Status st = CompileError(R"(
+    (rule r
+      (box ^id <b>)
+      -(robot ^name <n>)
+      -->
+      (make blocked ^at <n>)))");
+  EXPECT_NE(st.message().find("unbound variable"), std::string::npos);
+}
+
+TEST(Compiler, ErrorOnCeNumberOutOfRange) {
+  EXPECT_FALSE(
+      CompileProgram(std::string(kSchema) +
+                     "(rule r (box ^id <b>) --> (remove 2))")
+          .ok());
+  EXPECT_FALSE(
+      CompileProgram(std::string(kSchema) +
+                     "(rule r (box ^id <b>) --> (modify 0 ^id 1))")
+          .ok());
+}
+
+TEST(Compiler, ErrorOnDuplicateRuleName) {
+  Status st = CompileError(R"(
+    (rule twice (box ^id 1) --> (remove 1))
+    (rule twice (box ^id 2) --> (remove 1)))");
+  EXPECT_NE(st.message().find("already defined"), std::string::npos);
+}
+
+TEST(Compiler, ErrorOnDuplicateRelation) {
+  EXPECT_FALSE(
+      CompileProgram("(relation r (a int)) (relation r (b int))").ok());
+}
+
+TEST(Compiler, ErrorOnFactWithVariable) {
+  EXPECT_FALSE(
+      CompileProgram(std::string(kSchema) + "(make box ^id <x>)").ok());
+}
+
+TEST(Compiler, ErrorOnFactTypeMismatch) {
+  EXPECT_FALSE(
+      CompileProgram(std::string(kSchema) + "(make box ^id dock)").ok());
+}
+
+TEST(Compiler, ErrorOnRemoveOfNegatedCeReference) {
+  // Only positive CEs are addressable: a rule with a single positive CE
+  // cannot (remove 2) even though it has two CEs.
+  EXPECT_FALSE(CompileProgram(std::string(kSchema) + R"(
+    (rule r (box ^id <b>) -(blocked ^at dock) --> (remove 2)))")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dbps

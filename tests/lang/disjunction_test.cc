@@ -1,0 +1,197 @@
+// OPS5 value disjunctions `<< c1 c2 ... >>`: lexing, parsing, compiling,
+// matching (both matchers), printing, engine behaviour.
+
+#include <gtest/gtest.h>
+
+#include "engine/single_thread_engine.h"
+#include "lang/compiler.h"
+#include "lang/lexer.h"
+#include "lang/printer.h"
+#include "match/matcher.h"
+#include "match/rete.h"
+
+namespace dbps {
+namespace {
+
+TEST(Disjunction, LexerTokens) {
+  auto tokens = Lex("<< red 3 >> >= <x>").ValueOrDie();
+  ASSERT_GE(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].type, TokenType::kLDisj);
+  EXPECT_EQ(tokens[1].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[2].type, TokenType::kInt);
+  EXPECT_EQ(tokens[3].type, TokenType::kRDisj);
+  EXPECT_EQ(tokens[4].text, ">=");
+  EXPECT_EQ(tokens[5].type, TokenType::kVariable);
+}
+
+TEST(Disjunction, CompilesToMemberTest) {
+  auto program = CompileProgram(R"(
+(relation light (color symbol) (lane int))
+(rule go (light ^color << green yellow >> ^lane { << 1 2 >> > 0 })
+  --> (remove 1))
+)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const Condition& cond =
+      program.ValueOrDie().rules->Find("go")->conditions()[0];
+  ASSERT_EQ(cond.member_tests.size(), 2u);
+  EXPECT_EQ(cond.member_tests[0].field, 0u);
+  EXPECT_EQ(cond.member_tests[0].values,
+            (std::vector<Value>{Value::Symbol("green"),
+                                Value::Symbol("yellow")}));
+  EXPECT_EQ(cond.member_tests[1].field, 1u);
+  // The `> 0` inside the same braces is a separate constant test.
+  ASSERT_EQ(cond.constant_tests.size(), 1u);
+  EXPECT_EQ(cond.constant_tests[0].pred, TestPredicate::kGt);
+}
+
+TEST(Disjunction, MemberEvalSemantics) {
+  MemberTest test{0, {Value::Int(1), Value::Symbol("x"), Value::Nil()}};
+  EXPECT_TRUE(test.Eval(Value::Int(1)));
+  EXPECT_TRUE(test.Eval(Value::Float(1.0)));  // numeric cross-type equality
+  EXPECT_TRUE(test.Eval(Value::Symbol("x")));
+  EXPECT_TRUE(test.Eval(Value::Nil()));
+  EXPECT_FALSE(test.Eval(Value::Int(2)));
+  EXPECT_FALSE(test.Eval(Value::Symbol("y")));
+}
+
+TEST(Disjunction, TypeCheckedAgainstSchema) {
+  // symbol attribute vs int candidate -> compile error.
+  auto program = CompileProgram(R"(
+(relation light (color symbol))
+(rule go (light ^color << green 3 >>) --> (remove 1))
+)");
+  EXPECT_TRUE(program.status().IsTypeError());
+}
+
+TEST(Disjunction, RejectsVariablesAndEmpty) {
+  EXPECT_FALSE(CompileProgram(R"(
+(relation r (v any))
+(rule x (r ^v << <y> >>) --> (remove 1)))")
+                   .ok());
+  EXPECT_FALSE(CompileProgram(R"(
+(relation r (v any))
+(rule x (r ^v << >>) --> (remove 1)))")
+                   .ok());
+}
+
+class DisjunctionMatch : public ::testing::TestWithParam<MatcherKind> {};
+
+TEST_P(DisjunctionMatch, MatchesAnyListedValue) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation light (color symbol))
+(rule go (light ^color << green yellow >>) --> (remove 1))
+(make light ^color red)
+(make light ^color green)
+(make light ^color yellow)
+(make light ^color blue)
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto matcher = CreateMatcher(GetParam());
+  ASSERT_TRUE(matcher->Initialize(rules, wm).ok());
+  EXPECT_EQ(matcher->conflict_set().size(), 2u);
+}
+
+TEST_P(DisjunctionMatch, IncrementalUpdatesRespectDisjunction) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation light (color symbol))
+(rule go (light ^color << green yellow >>) --> (remove 1))
+(make light ^color red)
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto matcher = CreateMatcher(GetParam());
+  ASSERT_TRUE(matcher->Initialize(rules, wm).ok());
+  EXPECT_EQ(matcher->conflict_set().size(), 0u);
+
+  WmeId id = wm.Scan(Sym("light"))[0]->id();
+  Delta to_green;
+  to_green.Modify(id, {{0, Value::Symbol("green")}});
+  auto change = wm.Apply(to_green);
+  ASSERT_TRUE(change.ok());
+  matcher->ApplyChange(change.ValueOrDie());
+  EXPECT_EQ(matcher->conflict_set().size(), 1u);
+
+  Delta to_blue;
+  to_blue.Modify(id, {{0, Value::Symbol("blue")}});
+  change = wm.Apply(to_blue);
+  ASSERT_TRUE(change.ok());
+  matcher->ApplyChange(change.ValueOrDie());
+  EXPECT_EQ(matcher->conflict_set().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, DisjunctionMatch,
+                         ::testing::Values(MatcherKind::kRete,
+                                           MatcherKind::kNaive,
+                                           MatcherKind::kTreat),
+                         [](const auto& info) {
+                           return std::string(
+                               MatcherKindToString(info.param));
+                         });
+
+TEST(Disjunction, EndToEndEngineRun) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation ticket (id int) (status symbol))
+(rule close (ticket ^id <t> ^status << resolved wontfix duplicate >>)
+  --> (remove 1))
+(make ticket ^id 1 ^status open)
+(make ticket ^id 2 ^status resolved)
+(make ticket ^id 3 ^status wontfix)
+(make ticket ^id 4 ^status in-progress)
+(make ticket ^id 5 ^status duplicate)
+)",
+                           &wm)
+                   .ValueOrDie();
+  SingleThreadEngine engine(&wm, rules);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 3u);
+  EXPECT_EQ(wm.Count(Sym("ticket")), 2u);
+}
+
+TEST(Disjunction, PrinterRoundTrips) {
+  constexpr const char* kSource = R"(
+(relation light (color symbol) (lane int))
+(rule go (light ^color << green yellow >> ^lane <l>)
+  --> (make light ^color red ^lane (+ <l> 1)) (remove 1))
+)";
+  auto program = CompileProgram(kSource);
+  ASSERT_TRUE(program.ok()) << program.status();
+  Catalog catalog;
+  for (const auto& schema : program.ValueOrDie().relations) {
+    ASSERT_TRUE(catalog.AddRelation(schema).ok());
+  }
+  auto printed =
+      ProgramToSource(catalog, *program.ValueOrDie().rules);
+  ASSERT_TRUE(printed.ok()) << printed.status();
+  EXPECT_NE(printed.ValueOrDie().find("<<"), std::string::npos);
+
+  auto reprogram = CompileProgram(printed.ValueOrDie());
+  ASSERT_TRUE(reprogram.ok())
+      << reprogram.status() << "\n" << printed.ValueOrDie();
+  const Condition& cond =
+      reprogram.ValueOrDie().rules->Find("go")->conditions()[0];
+  ASSERT_EQ(cond.member_tests.size(), 1u);
+  EXPECT_EQ(cond.member_tests[0].values.size(), 2u);
+}
+
+TEST(Disjunction, SharedAlphaMemoryKeyedByMembers) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation light (color symbol))
+(rule a (light ^color << green yellow >>) --> (remove 1))
+(rule b (light ^color << green yellow >>) --> (remove 1))
+(rule c (light ^color << green blue >>) --> (remove 1))
+)",
+                           &wm)
+                   .ValueOrDie();
+  ReteMatcher matcher;
+  ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+  // Rules a and b share one alpha memory; c gets its own.
+  EXPECT_EQ(matcher.GetStats().alpha_memories, 2u);
+}
+
+}  // namespace
+}  // namespace dbps

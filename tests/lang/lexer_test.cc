@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace dbps {
+namespace {
+
+std::vector<Token> MustLex(std::string_view src) {
+  auto tokens = Lex(src);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ValueOrDie();
+}
+
+std::vector<TokenType> Types(const std::vector<Token>& tokens) {
+  std::vector<TokenType> out;
+  for (const auto& t : tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(Lexer, Parens) {
+  auto tokens = MustLex("(()){}");
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{
+                TokenType::kLParen, TokenType::kLParen, TokenType::kRParen,
+                TokenType::kRParen, TokenType::kLBrace, TokenType::kRBrace,
+                TokenType::kEof}));
+}
+
+TEST(Lexer, SymbolsAndIdentChars) {
+  auto tokens = MustLex("foo foo-bar under_score q?mark star*");
+  ASSERT_EQ(tokens.size(), 6u);  // five symbols + eof
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "foo-bar");
+  EXPECT_EQ(tokens[2].text, "under_score");
+  EXPECT_EQ(tokens[3].text, "q?mark");
+  EXPECT_EQ(tokens[3].type, TokenType::kSymbol);
+}
+
+TEST(Lexer, Numbers) {
+  auto tokens = MustLex("42 -7 3.25 -0.5 0");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].type, TokenType::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, -7);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, -0.5);
+  EXPECT_EQ(tokens[4].int_value, 0);
+}
+
+TEST(Lexer, AttributesAndVariablesAndKeywords) {
+  auto tokens = MustLex("^weight <x> :priority");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kAttribute);
+  EXPECT_EQ(tokens[0].text, "weight");
+  EXPECT_EQ(tokens[1].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[2].text, "priority");
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto tokens = MustLex("= <> < <= > >=");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].text, "=");
+  EXPECT_EQ(tokens[1].text, "<>");
+  EXPECT_EQ(tokens[2].text, "<");
+  EXPECT_EQ(tokens[3].text, "<=");
+  EXPECT_EQ(tokens[4].text, ">");
+  EXPECT_EQ(tokens[5].text, ">=");
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol);
+  }
+}
+
+TEST(Lexer, MinusDisambiguation) {
+  // -->  arrow; -( negation; -5 number; bare - symbol.
+  auto tokens = MustLex("--> -( -5 - x");
+  EXPECT_EQ(tokens[0].type, TokenType::kArrow);
+  EXPECT_EQ(tokens[1].type, TokenType::kNegation);
+  EXPECT_EQ(tokens[2].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[3].type, TokenType::kInt);
+  EXPECT_EQ(tokens[3].int_value, -5);
+  EXPECT_EQ(tokens[4].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[4].text, "-");
+}
+
+TEST(Lexer, VariableVsLessThan) {
+  auto tokens = MustLex("<abc> < <x1>");
+  EXPECT_EQ(tokens[0].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[1].text, "<");
+  EXPECT_EQ(tokens[2].type, TokenType::kVariable);
+}
+
+TEST(Lexer, Strings) {
+  auto tokens = MustLex(R"("hello" "a\"b" "tab\tnl\n")");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "tab\tnl\n");
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto tokens = MustLex("a ; comment to end\nb ;; another\n");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto tokens = MustLex("a\n  bb\n   c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].col, 3);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].col, 4);
+}
+
+TEST(Lexer, ArithmeticOperators) {
+  auto tokens = MustLex("+ * / mod");
+  EXPECT_EQ(tokens[0].text, "+");
+  EXPECT_EQ(tokens[1].text, "*");
+  EXPECT_EQ(tokens[2].text, "/");
+  EXPECT_EQ(tokens[3].text, "mod");
+}
+
+TEST(Lexer, ErrorOnUnterminatedString) {
+  EXPECT_TRUE(Lex("\"never closed").status().IsParseError());
+}
+
+TEST(Lexer, ErrorOnUnterminatedVariable) {
+  EXPECT_TRUE(Lex("<broken").status().IsParseError());
+}
+
+TEST(Lexer, ErrorOnBadEscape) {
+  EXPECT_TRUE(Lex(R"("bad\q")").status().IsParseError());
+}
+
+TEST(Lexer, ErrorOnStrayCharacter) {
+  EXPECT_TRUE(Lex("@").status().IsParseError());
+  EXPECT_TRUE(Lex("#").status().IsParseError());
+}
+
+TEST(Lexer, ErrorOnBareCaret) {
+  EXPECT_TRUE(Lex("^ foo").status().IsParseError());
+  EXPECT_TRUE(Lex("^1bad").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace dbps

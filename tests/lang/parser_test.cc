@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace dbps {
+namespace {
+
+AstProgram MustParse(std::string_view src) {
+  auto program = Parse(src);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).ValueOrDie();
+}
+
+TEST(Parser, RelationDecl) {
+  auto program = MustParse(
+      "(relation box (id int) (at symbol) (weight number) (note) )");
+  ASSERT_EQ(program.relations.size(), 1u);
+  const auto& decl = program.relations[0];
+  EXPECT_EQ(decl.name, "box");
+  ASSERT_EQ(decl.attrs.size(), 4u);
+  EXPECT_EQ(decl.attrs[0], std::make_pair(std::string("id"), AttrType::kInt));
+  EXPECT_EQ(decl.attrs[1].second, AttrType::kSymbol);
+  EXPECT_EQ(decl.attrs[2].second, AttrType::kNumber);
+  EXPECT_EQ(decl.attrs[3].second, AttrType::kAny);  // untyped defaults to any
+}
+
+TEST(Parser, RuleWithProperties) {
+  auto program = MustParse(R"(
+    (rule r1 :priority 7 :cost 250
+      (box ^id 1)
+      -->
+      (halt)))");
+  ASSERT_EQ(program.rules.size(), 1u);
+  const AstRule& rule = program.rules[0];
+  EXPECT_EQ(rule.name, "r1");
+  EXPECT_EQ(rule.priority, 7);
+  EXPECT_EQ(rule.cost_us, 250);
+  ASSERT_EQ(rule.lhs.size(), 1u);
+  ASSERT_EQ(rule.rhs.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<AstHaltAction>(rule.rhs[0]));
+}
+
+TEST(Parser, ConditionElementTests) {
+  auto program = MustParse(R"(
+    (rule r
+      (box ^id <b> ^at dock ^weight { > 10 <= <max> } ^note { <> nil })
+      -->
+      (remove 1)))");
+  const auto& ce = program.rules[0].lhs[0];
+  EXPECT_FALSE(ce.negated);
+  EXPECT_EQ(ce.relation, "box");
+  ASSERT_EQ(ce.attr_tests.size(), 4u);
+
+  // ^id <b>: bare variable = implicit equality binding.
+  EXPECT_EQ(ce.attr_tests[0].attr, "id");
+  ASSERT_EQ(ce.attr_tests[0].tests.size(), 1u);
+  EXPECT_EQ(ce.attr_tests[0].tests[0].pred, TestPredicate::kEq);
+  EXPECT_EQ(ce.attr_tests[0].tests[0].operand.kind,
+            AstOperand::Kind::kVariable);
+  EXPECT_EQ(ce.attr_tests[0].tests[0].operand.var_name, "b");
+
+  // ^at dock: constant symbol.
+  EXPECT_EQ(ce.attr_tests[1].tests[0].operand.constant,
+            Value::Symbol("dock"));
+
+  // ^weight { > 10 <= <max> }: two-test conjunction.
+  ASSERT_EQ(ce.attr_tests[2].tests.size(), 2u);
+  EXPECT_EQ(ce.attr_tests[2].tests[0].pred, TestPredicate::kGt);
+  EXPECT_EQ(ce.attr_tests[2].tests[0].operand.constant, Value::Int(10));
+  EXPECT_EQ(ce.attr_tests[2].tests[1].pred, TestPredicate::kLe);
+  EXPECT_EQ(ce.attr_tests[2].tests[1].operand.var_name, "max");
+
+  // ^note { <> nil }.
+  EXPECT_EQ(ce.attr_tests[3].tests[0].pred, TestPredicate::kNe);
+  EXPECT_TRUE(ce.attr_tests[3].tests[0].operand.constant.is_nil());
+}
+
+TEST(Parser, NegatedConditionElement) {
+  auto program = MustParse(R"(
+    (rule r
+      (box ^id <b>)
+      -(blocked ^box <b>)
+      -->
+      (remove 1)))");
+  ASSERT_EQ(program.rules[0].lhs.size(), 2u);
+  EXPECT_FALSE(program.rules[0].lhs[0].negated);
+  EXPECT_TRUE(program.rules[0].lhs[1].negated);
+  EXPECT_EQ(program.rules[0].lhs[1].relation, "blocked");
+}
+
+TEST(Parser, Actions) {
+  auto program = MustParse(R"(
+    (rule r
+      (box ^id <b> ^weight <w>)
+      -->
+      (make event ^kind pickup ^box <b> ^score (+ (* <w> 2) 1))
+      (modify 1 ^weight (- <w> 1))
+      (remove 1)
+      (halt)))");
+  const auto& rhs = program.rules[0].rhs;
+  ASSERT_EQ(rhs.size(), 4u);
+
+  const auto& make = std::get<AstMakeAction>(rhs[0]);
+  EXPECT_EQ(make.relation, "event");
+  ASSERT_EQ(make.assigns.size(), 3u);
+  EXPECT_EQ(make.assigns[2].attr, "score");
+  const AstExpr& score = *make.assigns[2].expr;
+  EXPECT_EQ(score.kind, AstExpr::Kind::kBinary);
+  EXPECT_EQ(score.op, BinOp::kAdd);
+  EXPECT_EQ(score.lhs->kind, AstExpr::Kind::kBinary);
+  EXPECT_EQ(score.lhs->op, BinOp::kMul);
+  EXPECT_EQ(score.lhs->lhs->var_name, "w");
+  EXPECT_EQ(score.rhs->constant, Value::Int(1));
+
+  const auto& modify = std::get<AstModifyAction>(rhs[1]);
+  EXPECT_EQ(modify.ce_number, 1);
+  ASSERT_EQ(modify.assigns.size(), 1u);
+  EXPECT_EQ(modify.assigns[0].expr->op, BinOp::kSub);
+
+  EXPECT_EQ(std::get<AstRemoveAction>(rhs[2]).ce_number, 1);
+}
+
+TEST(Parser, TopLevelFacts) {
+  auto program = MustParse(R"(
+    (make box ^id 1 ^at dock)
+    (make box ^id 2))");
+  ASSERT_EQ(program.facts.size(), 2u);
+  EXPECT_EQ(program.facts[0].relation, "box");
+  EXPECT_EQ(program.facts[0].assigns.size(), 2u);
+}
+
+TEST(Parser, ModOperator) {
+  auto program = MustParse(R"(
+    (rule r (c ^v <v>) --> (modify 1 ^v (mod <v> 3))))");
+  const auto& modify = std::get<AstModifyAction>(program.rules[0].rhs[0]);
+  EXPECT_EQ(modify.assigns[0].expr->op, BinOp::kMod);
+}
+
+// --- errors ------------------------------------------------------------
+
+TEST(Parser, ErrorOnUnknownTopLevelForm) {
+  EXPECT_TRUE(Parse("(frobnicate x)").status().IsParseError());
+}
+
+TEST(Parser, ErrorOnRuleWithoutArrow) {
+  EXPECT_TRUE(Parse("(rule r (box ^id 1) (halt))").status().IsParseError());
+}
+
+TEST(Parser, ErrorOnRuleWithoutConditions) {
+  EXPECT_TRUE(Parse("(rule r --> (halt))").status().IsParseError());
+}
+
+TEST(Parser, ErrorOnEmptyRestriction) {
+  EXPECT_TRUE(
+      Parse("(rule r (box ^w { }) --> (halt))").status().IsParseError());
+}
+
+TEST(Parser, ErrorOnBadAttrType) {
+  EXPECT_TRUE(
+      Parse("(relation r (a widget))").status().IsParseError());
+}
+
+TEST(Parser, ErrorOnUnknownAction) {
+  EXPECT_TRUE(Parse("(rule r (b ^x 1) --> (explode 1))")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Parser, ErrorOnUnknownProperty) {
+  EXPECT_TRUE(Parse("(rule r :shiny 1 (b ^x 1) --> (halt))")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Parser, ErrorOnModifyWithoutAssigns) {
+  EXPECT_TRUE(
+      Parse("(rule r (b ^x 1) --> (modify 1))").status().IsParseError());
+}
+
+TEST(Parser, ErrorOnBadExprOperator) {
+  EXPECT_TRUE(Parse("(rule r (b ^x <v>) --> (make b ^x (pow <v> 2)))")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Parser, ErrorOnTruncatedInput) {
+  EXPECT_TRUE(Parse("(rule r (b ^x 1) -->").status().IsParseError());
+  EXPECT_TRUE(Parse("(relation").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace dbps

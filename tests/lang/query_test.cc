@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "lang/query.h"
+
+namespace dbps {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto rules = LoadProgram(R"(
+(relation emp  (name symbol) (dept symbol) (salary int))
+(relation dept (name symbol) (head symbol))
+(relation frozen (dept symbol))
+(make emp ^name ann   ^dept eng   ^salary 120)
+(make emp ^name bob   ^dept eng   ^salary 95)
+(make emp ^name carol ^dept sales ^salary 80)
+(make emp ^name dan   ^dept sales ^salary 110)
+(make dept ^name eng   ^head ann)
+(make dept ^name sales ^head dan)
+(make frozen ^dept sales)
+)",
+                             &wm_);
+    ASSERT_TRUE(rules.ok()) << rules.status();
+  }
+
+  WorkingMemory wm_;
+};
+
+TEST_F(QueryTest, SimpleSelection) {
+  auto rows = ExecuteQuery(wm_, "(emp ^salary { > 100 })");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);  // ann, dan
+  for (const auto& row : rows.ValueOrDie()) {
+    EXPECT_GT(row[0]->value(2).AsInt(), 100);
+  }
+}
+
+TEST_F(QueryTest, JoinAcrossRelations) {
+  // Department heads and their salaries.
+  auto rows = ExecuteQuery(wm_, R"(
+(dept ^name <d> ^head <h>)
+(emp ^name <h> ^dept <d> ^salary <s>))");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  for (const auto& row : rows.ValueOrDie()) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0]->value(1), row[1]->value(0));  // head == name
+  }
+}
+
+TEST_F(QueryTest, NegationFiltersRows) {
+  // Employees in departments that are not frozen.
+  auto rows = ExecuteQuery(wm_, R"(
+(emp ^name <n> ^dept <d>)
+-(frozen ^dept <d>))");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);  // the two eng employees
+  for (const auto& row : rows.ValueOrDie()) {
+    EXPECT_EQ(row[0]->value(1), Value::Symbol("eng"));
+  }
+}
+
+TEST_F(QueryTest, DisjunctionInQuery) {
+  auto count = CountQuery(wm_, "(emp ^name << ann dan >>)");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count.ValueOrDie(), 2u);
+}
+
+TEST_F(QueryTest, EmptyResult) {
+  auto rows = ExecuteQuery(wm_, "(emp ^salary { > 1000 })");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryTest, RowsAreDeterministicallyOrdered) {
+  auto a = ExecuteQuery(wm_, "(emp ^dept <d>) (dept ^name <d>)");
+  auto b = ExecuteQuery(wm_, "(emp ^dept <d>) (dept ^name <d>)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  ASSERT_EQ(a->size(), 4u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    for (size_t j = 0; j < (*a)[i].size(); ++j) {
+      EXPECT_EQ((*a)[i][j]->id(), (*b)[i][j]->id());
+    }
+  }
+}
+
+TEST_F(QueryTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(ExecuteQuery(wm_, "(nosuch ^x 1)").status().IsTypeError());
+  EXPECT_TRUE(ExecuteQuery(wm_, "(emp ^nope 1)").status().IsTypeError());
+  EXPECT_TRUE(ExecuteQuery(wm_, "(((").status().IsParseError());
+  // Unbound variable in a predicate is a compile error.
+  EXPECT_FALSE(ExecuteQuery(wm_, "(emp ^salary { > <x> })").ok());
+}
+
+TEST_F(QueryTest, QueryDoesNotMutateWorkingMemory) {
+  size_t before = wm_.TotalCount();
+  ASSERT_TRUE(ExecuteQuery(wm_, "(emp ^dept eng)").ok());
+  EXPECT_EQ(wm_.TotalCount(), before);
+}
+
+}  // namespace
+}  // namespace dbps

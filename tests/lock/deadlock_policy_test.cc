@@ -1,0 +1,166 @@
+// Deadlock prevention/avoidance/detection alternatives (§4.3's remark
+// that standard 2PL schemes apply unchanged), plus engine-level
+// consistency under every policy.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "engine/parallel_engine.h"
+#include "lang/compiler.h"
+#include "lock/lock_manager.h"
+#include "semantics/replay_validator.h"
+
+namespace dbps {
+namespace {
+
+LockObjectId Tuple(const char* relation, WmeId id) {
+  return LockObjectId{Sym(relation), id};
+}
+
+LockManager::Options Opts(DeadlockPolicy policy) {
+  LockManager::Options options;
+  options.protocol = LockProtocol::kTwoPhase;
+  options.deadlock_policy = policy;
+  options.wait_timeout = std::chrono::milliseconds(2000);
+  return options;
+}
+
+TEST(DeadlockPolicy, NoWaitRefusesImmediately) {
+  LockManager lm(Opts(DeadlockPolicy::kNoWait));
+  TxnId t1 = lm.Begin(), t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, Tuple("r", 1), LockMode::kWa).ok());
+  // No blocking, instant refusal.
+  Status st = lm.Acquire(t2, Tuple("r", 1), LockMode::kRc);
+  EXPECT_TRUE(st.IsDeadlock()) << st;
+  EXPECT_GE(lm.GetStats().deadlocks, 1u);
+  EXPECT_EQ(lm.GetStats().blocked, 0u);
+}
+
+TEST(DeadlockPolicy, NoWaitGrantsWhenFree) {
+  LockManager lm(Opts(DeadlockPolicy::kNoWait));
+  TxnId t1 = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t1, Tuple("r", 1), LockMode::kWa).ok());
+  EXPECT_TRUE(lm.Acquire(t1, Tuple("r", 2), LockMode::kRc).ok());
+}
+
+TEST(DeadlockPolicy, WoundWaitOlderWoundsYounger) {
+  LockManager lm(Opts(DeadlockPolicy::kWoundWait));
+  TxnId older = lm.Begin();   // smaller id
+  TxnId younger = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(younger, Tuple("r", 1), LockMode::kWa).ok());
+
+  // The older requester wounds the younger holder and then waits for its
+  // release.
+  auto request = std::async(std::launch::async, [&] {
+    return lm.Acquire(older, Tuple("r", 1), LockMode::kWa);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(lm.IsAborted(younger));
+  EXPECT_GE(lm.GetStats().wounds, 1u);
+  lm.Release(younger);  // the wounded transaction rolls back
+  EXPECT_TRUE(request.get().ok());
+}
+
+TEST(DeadlockPolicy, WoundWaitYoungerWaitsForOlder) {
+  LockManager lm(Opts(DeadlockPolicy::kWoundWait));
+  TxnId older = lm.Begin();
+  TxnId younger = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(older, Tuple("r", 1), LockMode::kWa).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status st = lm.Acquire(younger, Tuple("r", 1), LockMode::kWa);
+    EXPECT_TRUE(st.ok()) << st;
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  EXPECT_FALSE(lm.IsAborted(older));  // younger never wounds
+  lm.Release(older);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(DeadlockPolicy, WoundWaitResolvesUpgradeRace) {
+  // Both hold Rc, both upgrade to Wa: under wound-wait the older one
+  // wounds the younger instead of deadlocking.
+  LockManager lm(Opts(DeadlockPolicy::kWoundWait));
+  TxnId older = lm.Begin();
+  TxnId younger = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(older, Tuple("r", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(younger, Tuple("r", 1), LockMode::kRc).ok());
+
+  auto older_upgrade = std::async(std::launch::async, [&] {
+    return lm.Acquire(older, Tuple("r", 1), LockMode::kWa);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(lm.IsAborted(younger));
+  // The younger's own upgrade attempt fails with Aborted.
+  EXPECT_TRUE(
+      lm.Acquire(younger, Tuple("r", 1), LockMode::kWa).IsAborted());
+  lm.Release(younger);
+  EXPECT_TRUE(older_upgrade.get().ok());
+}
+
+TEST(DeadlockPolicy, ToStringNames) {
+  EXPECT_STREQ(DeadlockPolicyToString(DeadlockPolicy::kDetect), "detect");
+  EXPECT_STREQ(DeadlockPolicyToString(DeadlockPolicy::kWoundWait),
+               "wound-wait");
+  EXPECT_STREQ(DeadlockPolicyToString(DeadlockPolicy::kNoWait), "no-wait");
+}
+
+// Engine-level: the contended-counter workload stays exact and replayable
+// under every (protocol, deadlock policy) combination.
+class DeadlockPolicyEngine
+    : public ::testing::TestWithParam<std::tuple<LockProtocol,
+                                                 DeadlockPolicy>> {};
+
+TEST_P(DeadlockPolicyEngine, ContendedCounterStaysConsistent) {
+  auto [protocol, policy] = GetParam();
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation counter (v int))
+(rule bump (counter ^v { < 25 } ^v <v>) --> (modify 1 ^v (+ <v> 1)))
+(make counter ^v 0)
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto pristine = wm.Clone();
+  ParallelEngineOptions options;
+  options.num_workers = 6;
+  options.protocol = protocol;
+  options.deadlock_policy = policy;
+  ParallelEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 25u);
+  EXPECT_EQ(wm.Scan(Sym("counter"))[0]->value(0), Value::Int(25));
+  Status valid = ValidateReplay(pristine.get(), rules, result.log);
+  EXPECT_TRUE(valid.ok()) << valid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, DeadlockPolicyEngine,
+    ::testing::Combine(::testing::Values(LockProtocol::kTwoPhase,
+                                         LockProtocol::kRcRaWa),
+                       ::testing::Values(DeadlockPolicy::kDetect,
+                                         DeadlockPolicy::kWoundWait,
+                                         DeadlockPolicy::kNoWait)),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) == LockProtocol::kTwoPhase ? "TwoPhase"
+                                                             : "RcRaWa";
+      switch (std::get<1>(info.param)) {
+        case DeadlockPolicy::kDetect:
+          return name + "Detect";
+        case DeadlockPolicy::kWoundWait:
+          return name + "WoundWait";
+        case DeadlockPolicy::kNoWait:
+          return name + "NoWait";
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dbps

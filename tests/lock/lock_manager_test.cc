@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "lock/lock_manager.h"
+
+namespace dbps {
+namespace {
+
+LockObjectId Tuple(const char* relation, WmeId id) {
+  return LockObjectId{Sym(relation), id};
+}
+LockObjectId Relation(const char* relation) {
+  return LockObjectId{Sym(relation), kRelationLevel};
+}
+
+LockManager::Options FastOptions(LockProtocol protocol) {
+  LockManager::Options options;
+  options.protocol = protocol;
+  options.wait_timeout = std::chrono::milliseconds(2000);
+  return options;
+}
+
+// --- Table 4.1 ---------------------------------------------------------
+
+TEST(LockCompatibility, Table41RcRaWa) {
+  const LockProtocol p = LockProtocol::kRcRaWa;
+  // Row Rc: Y Y N
+  EXPECT_TRUE(Compatible(p, LockMode::kRc, LockMode::kRc));
+  EXPECT_TRUE(Compatible(p, LockMode::kRc, LockMode::kRa));
+  EXPECT_FALSE(Compatible(p, LockMode::kRc, LockMode::kWa));
+  // Row Ra: Y Y N
+  EXPECT_TRUE(Compatible(p, LockMode::kRa, LockMode::kRc));
+  EXPECT_TRUE(Compatible(p, LockMode::kRa, LockMode::kRa));
+  EXPECT_FALSE(Compatible(p, LockMode::kRa, LockMode::kWa));
+  // Row Wa: Y N N  — the paper's key cell: Wa over Rc is GRANTED.
+  EXPECT_TRUE(Compatible(p, LockMode::kWa, LockMode::kRc));
+  EXPECT_FALSE(Compatible(p, LockMode::kWa, LockMode::kRa));
+  EXPECT_FALSE(Compatible(p, LockMode::kWa, LockMode::kWa));
+}
+
+TEST(LockCompatibility, TwoPhaseBlocksWaOverRc) {
+  const LockProtocol p = LockProtocol::kTwoPhase;
+  EXPECT_FALSE(Compatible(p, LockMode::kWa, LockMode::kRc));
+  // Everything else identical to Table 4.1.
+  EXPECT_TRUE(Compatible(p, LockMode::kRc, LockMode::kRa));
+  EXPECT_FALSE(Compatible(p, LockMode::kRc, LockMode::kWa));
+  EXPECT_FALSE(Compatible(p, LockMode::kWa, LockMode::kWa));
+}
+
+TEST(LockCompatibility, MatrixRendering) {
+  std::string rc = CompatibilityMatrixToString(LockProtocol::kRcRaWa);
+  std::string two = CompatibilityMatrixToString(LockProtocol::kTwoPhase);
+  EXPECT_NE(rc, two);
+  EXPECT_NE(rc.find("req Wa:     Y"), std::string::npos);
+  EXPECT_NE(two.find("req Wa:     N"), std::string::npos);
+}
+
+// --- grants & conflicts --------------------------------------------------
+
+TEST(LockManager, SharedReadsCoexist) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId t1 = lm.Begin(), t2 = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t1, Tuple("r", 1), LockMode::kRc).ok());
+  EXPECT_TRUE(lm.Acquire(t2, Tuple("r", 1), LockMode::kRc).ok());
+  EXPECT_TRUE(lm.Acquire(t2, Tuple("r", 1), LockMode::kRa).ok());
+  EXPECT_TRUE(lm.Holds(t1, Tuple("r", 1), LockMode::kRc));
+  EXPECT_TRUE(lm.Holds(t2, Tuple("r", 1), LockMode::kRa));
+}
+
+TEST(LockManager, WaOverRcGrantedUnderRcRaWa) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId reader = lm.Begin(), writer = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(reader, Tuple("r", 1), LockMode::kRc).ok());
+  // The enhanced-parallelism grant: no blocking.
+  EXPECT_TRUE(lm.Acquire(writer, Tuple("r", 1), LockMode::kWa).ok());
+  // Settlement: the reader is a victim of the writer's commit.
+  auto victims = lm.CollectRcVictims(writer);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], reader);
+}
+
+TEST(LockManager, WaOverRcBlocksUnder2PL) {
+  LockManager lm(FastOptions(LockProtocol::kTwoPhase));
+  TxnId reader = lm.Begin(), writer = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(reader, Tuple("r", 1), LockMode::kRc).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    Status st = lm.Acquire(writer, Tuple("r", 1), LockMode::kWa);
+    EXPECT_TRUE(st.ok()) << st;
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());  // still waiting on the Rc holder
+  lm.Release(reader);
+  blocked.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_TRUE(lm.CollectRcVictims(writer).empty());  // 2PL never has victims
+}
+
+TEST(LockManager, RcBlocksOnOutstandingWa) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId writer = lm.Begin(), reader = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(writer, Tuple("r", 1), LockMode::kWa).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(lm.Acquire(reader, Tuple("r", 1), LockMode::kRc).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.Release(writer);
+  blocked.join();
+}
+
+TEST(LockManager, ReacquireOwnModesIsCheap) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId t = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kWa).ok());  // upgrade
+  EXPECT_TRUE(lm.Holds(t, Tuple("r", 1), LockMode::kWa));
+}
+
+TEST(LockManager, SelfConflictNeverBlocks) {
+  LockManager lm(FastOptions(LockProtocol::kTwoPhase));
+  TxnId t = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kWa).ok());
+  EXPECT_TRUE(lm.Acquire(t, Relation("r"), LockMode::kWa).ok());
+}
+
+// --- hierarchy -----------------------------------------------------------
+
+TEST(LockManager, RelationRcConflictsWithTupleWa) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId neg_reader = lm.Begin(), writer = lm.Begin();
+  // Negated CE: relation-level Rc.
+  ASSERT_TRUE(lm.Acquire(neg_reader, Relation("r"), LockMode::kRc).ok());
+  // Tuple write in the same relation is granted (Rc–Wa cell)...
+  ASSERT_TRUE(lm.Acquire(writer, Tuple("r", 7), LockMode::kWa).ok());
+  // ...but the negation holder is a commit victim (hierarchy check).
+  auto victims = lm.CollectRcVictims(writer);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], neg_reader);
+}
+
+TEST(LockManager, InsertIntentConflictsWithRelationRc) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId neg_reader = lm.Begin(), creator = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(neg_reader, Relation("r"), LockMode::kRc).ok());
+  LockObjectId intent{Sym("r"), kInsertLockBase + creator};
+  EXPECT_TRUE(intent.is_insert_intent());
+  ASSERT_TRUE(lm.Acquire(creator, intent, LockMode::kWa).ok());
+  auto victims = lm.CollectRcVictims(creator);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], neg_reader);
+}
+
+TEST(LockManager, InsertIntentsDoNotConflictWithEachOther) {
+  LockManager lm(FastOptions(LockProtocol::kTwoPhase));
+  TxnId c1 = lm.Begin(), c2 = lm.Begin();
+  ASSERT_TRUE(
+      lm.Acquire(c1, {Sym("r"), kInsertLockBase + c1}, LockMode::kWa).ok());
+  // Even under 2PL, two creators into one relation proceed in parallel.
+  ASSERT_TRUE(
+      lm.Acquire(c2, {Sym("r"), kInsertLockBase + c2}, LockMode::kWa).ok());
+}
+
+TEST(LockManager, RelationWaVictimizesTupleRcHolders) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId reader = lm.Begin(), bulk_writer = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(reader, Tuple("r", 3), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(bulk_writer, Relation("r"), LockMode::kWa).ok());
+  auto victims = lm.CollectRcVictims(bulk_writer);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], reader);
+}
+
+TEST(LockManager, TupleRcInOtherRelationIsUnaffected) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId reader = lm.Begin(), writer = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(reader, Tuple("other", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(writer, Tuple("r", 1), LockMode::kWa).ok());
+  EXPECT_TRUE(lm.CollectRcVictims(writer).empty());
+}
+
+TEST(LockManager, TwoPhaseRelationRcBlocksInsertIntent) {
+  LockManager lm(FastOptions(LockProtocol::kTwoPhase));
+  TxnId neg_reader = lm.Begin(), creator = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(neg_reader, Relation("r"), LockMode::kRc).ok());
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(lm.Acquire(creator, {Sym("r"), kInsertLockBase + creator},
+                           LockMode::kWa)
+                    .ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.Release(neg_reader);
+  blocked.join();
+}
+
+// --- abort marking ---------------------------------------------------------
+
+TEST(LockManager, MarkAbortedFailsFutureAcquires) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId t = lm.Begin();
+  lm.MarkAborted(t);
+  EXPECT_TRUE(lm.IsAborted(t));
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).IsAborted());
+}
+
+TEST(LockManager, MarkAbortedWakesBlockedAcquire) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId holder = lm.Begin(), waiter = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(holder, Tuple("r", 1), LockMode::kWa).ok());
+  auto result = std::async(std::launch::async, [&] {
+    return lm.Acquire(waiter, Tuple("r", 1), LockMode::kWa);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lm.MarkAborted(waiter);
+  EXPECT_TRUE(result.get().IsAborted());
+}
+
+// --- deadlocks ------------------------------------------------------------
+
+TEST(LockManager, DeadlockDetected) {
+  LockManager lm(FastOptions(LockProtocol::kTwoPhase));
+  TxnId t1 = lm.Begin(), t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, Tuple("r", 1), LockMode::kWa).ok());
+  ASSERT_TRUE(lm.Acquire(t2, Tuple("r", 2), LockMode::kWa).ok());
+
+  // t1 waits for 2; t2 requesting 1 closes the cycle and must die.
+  auto t1_wait = std::async(std::launch::async, [&] {
+    return lm.Acquire(t1, Tuple("r", 2), LockMode::kWa);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Status st = lm.Acquire(t2, Tuple("r", 1), LockMode::kWa);
+  EXPECT_TRUE(st.IsDeadlock()) << st;
+  lm.Release(t2);
+  EXPECT_TRUE(t1_wait.get().ok());
+  EXPECT_GE(lm.GetStats().deadlocks, 1u);
+}
+
+TEST(LockManager, UpgradeDeadlockDetected) {
+  // Two Rc holders both upgrading to Wa under 2PL: classic lock-upgrade
+  // deadlock.
+  LockManager lm(FastOptions(LockProtocol::kTwoPhase));
+  TxnId t1 = lm.Begin(), t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, Tuple("r", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(t2, Tuple("r", 1), LockMode::kRc).ok());
+  auto t1_wait = std::async(std::launch::async, [&] {
+    return lm.Acquire(t1, Tuple("r", 1), LockMode::kWa);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Status st = lm.Acquire(t2, Tuple("r", 1), LockMode::kWa);
+  EXPECT_TRUE(st.IsDeadlock());
+  lm.Release(t2);
+  EXPECT_TRUE(t1_wait.get().ok());
+}
+
+TEST(LockManager, NoFalseDeadlockOnSharedWait) {
+  // Two waiters on the same holder is a chain, not a cycle.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId holder = lm.Begin(), w1 = lm.Begin(), w2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(holder, Tuple("r", 1), LockMode::kWa).ok());
+  auto f1 = std::async(std::launch::async, [&] {
+    return lm.Acquire(w1, Tuple("r", 1), LockMode::kRc);
+  });
+  auto f2 = std::async(std::launch::async, [&] {
+    return lm.Acquire(w2, Tuple("r", 1), LockMode::kRc);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lm.Release(holder);
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+// --- release & bookkeeping ---------------------------------------------
+
+TEST(LockManager, ReleaseWakesWaiters) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId holder = lm.Begin(), waiter = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(holder, Tuple("r", 1), LockMode::kWa).ok());
+  auto pending = std::async(std::launch::async, [&] {
+    return lm.Acquire(waiter, Tuple("r", 1), LockMode::kWa);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lm.Release(holder);
+  EXPECT_TRUE(pending.get().ok());
+  EXPECT_EQ(lm.live_transactions(), 1u);
+}
+
+TEST(LockManager, StatsAccumulate) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId t = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(t, Tuple("r", 2), LockMode::kRa).ok());
+  EXPECT_EQ(lm.GetStats().acquired, 2u);
+  lm.Release(t);
+  EXPECT_EQ(lm.live_transactions(), 0u);
+}
+
+TEST(LockManager, TraceEventsEmitted) {
+  std::vector<LockEvent::Kind> kinds;
+  LockManager::Options options = FastOptions(LockProtocol::kRcRaWa);
+  options.trace = [&kinds](const LockEvent& event) {
+    kinds.push_back(event.kind);
+  };
+  LockManager lm(options);
+  TxnId t = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+  lm.MarkAborted(t);
+  lm.Release(t);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], LockEvent::Kind::kGrant);
+  EXPECT_EQ(kinds[1], LockEvent::Kind::kAbortMark);
+  EXPECT_EQ(kinds[2], LockEvent::Kind::kRelease);
+}
+
+TEST(LockObjectId, ToStringForms) {
+  EXPECT_NE(Tuple("rel-a", 3).ToString().find("#3"), std::string::npos);
+  EXPECT_NE(Relation("rel-a").ToString().find("*"), std::string::npos);
+  LockObjectId intent{Sym("rel-a"), kInsertLockBase + 2};
+  EXPECT_NE(intent.ToString().find("insert"), std::string::npos);
+}
+
+// --- Figure 4.3 / 4.4 scenarios at the lock level ----------------------
+
+TEST(LockManager, Figure43CommitFirstWins) {
+  // Pj holds Rc(q); Pi holds Wa(q). Whoever commits first decides:
+  // (a) Pj commits first: it just releases; Pi proceeds — serial PjPi.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId pj = lm.Begin(), pi = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(pj, Tuple("q", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(pi, Tuple("q", 1), LockMode::kWa).ok());
+
+  EXPECT_TRUE(lm.CollectRcVictims(pj).empty());  // Pj has no Wa set
+  lm.Release(pj);                                 // Pj commits
+  EXPECT_TRUE(lm.CollectRcVictims(pi).empty());  // nobody left to abort
+  lm.Release(pi);
+}
+
+TEST(LockManager, Figure43CommitSecondAborts) {
+  // (b) Pi (the writer) commits first: every Rc holder on q aborts.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId pj = lm.Begin(), pi = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(pj, Tuple("q", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(pi, Tuple("q", 1), LockMode::kWa).ok());
+
+  auto victims = lm.CollectRcVictims(pi);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], pj);
+  lm.MarkAborted(pj);
+  lm.Release(pi);
+  EXPECT_TRUE(lm.IsAborted(pj));
+}
+
+TEST(LockManager, Figure44CircularConflictOnlyOneSurvives) {
+  // Pi: Rc(q), Wa(r).  Pj: Rc(r), Wa(q). No blocking occurs, and the
+  // first committer always victimizes the other.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId pi = lm.Begin(), pj = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(pi, Tuple("d", 1), LockMode::kRc).ok());  // q
+  ASSERT_TRUE(lm.Acquire(pj, Tuple("d", 2), LockMode::kRc).ok());  // r
+  ASSERT_TRUE(lm.Acquire(pi, Tuple("d", 2), LockMode::kWa).ok());  // r
+  ASSERT_TRUE(lm.Acquire(pj, Tuple("d", 1), LockMode::kWa).ok());  // q
+
+  auto pi_victims = lm.CollectRcVictims(pi);
+  auto pj_victims = lm.CollectRcVictims(pj);
+  ASSERT_EQ(pi_victims.size(), 1u);
+  ASSERT_EQ(pj_victims.size(), 1u);
+  EXPECT_EQ(pi_victims[0], pj);
+  EXPECT_EQ(pj_victims[0], pi);
+}
+
+}  // namespace
+}  // namespace dbps

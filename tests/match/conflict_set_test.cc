@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "match/conflict_set.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+namespace {
+
+RulePtr MakeRule(const std::string& name, int priority = 0,
+                 size_t num_tests = 0) {
+  Condition cond;
+  cond.relation = Sym("thing");
+  for (size_t i = 0; i < num_tests; ++i) {
+    cond.constant_tests.push_back(
+        ConstantTest{0, TestPredicate::kGe, Value::Int(0)});
+  }
+  auto rule = std::make_shared<Rule>(
+      name, std::vector<Condition>{cond},
+      std::vector<Action>{RemoveAction{0}});
+  rule->set_priority(priority);
+  return rule;
+}
+
+WmePtr MakeWme(WmeId id, TimeTag tag) {
+  return std::make_shared<const Wme>(id, tag, Sym("thing"),
+                                     std::vector<Value>{Value::Int(0)});
+}
+
+InstPtr MakeInst(const RulePtr& rule, WmeId id, TimeTag tag) {
+  return std::make_shared<Instantiation>(
+      rule, std::vector<WmePtr>{MakeWme(id, tag)});
+}
+
+TEST(Instantiation, KeyIdentity) {
+  RulePtr rule = MakeRule("r");
+  InstPtr a = MakeInst(rule, 1, 10);
+  InstPtr b = MakeInst(rule, 1, 10);
+  InstPtr c = MakeInst(rule, 1, 11);  // same WME, newer version
+  EXPECT_EQ(a->key(), b->key());
+  EXPECT_FALSE(a->key() == c->key());
+  EXPECT_EQ(InstKeyHash{}(a->key()), InstKeyHash{}(b->key()));
+  EXPECT_EQ(a->RecencyTag(), 10u);
+}
+
+TEST(ConflictSet, ActivateDeactivateContains) {
+  ConflictSet cs;
+  RulePtr rule = MakeRule("r");
+  InstPtr inst = MakeInst(rule, 1, 1);
+  EXPECT_TRUE(cs.empty());
+  cs.Activate(inst);
+  EXPECT_TRUE(cs.Contains(inst->key()));
+  EXPECT_EQ(cs.size(), 1u);
+  cs.Activate(inst);  // idempotent
+  EXPECT_EQ(cs.size(), 1u);
+  cs.Deactivate(inst->key());
+  EXPECT_FALSE(cs.Contains(inst->key()));
+  cs.Deactivate(inst->key());  // no-op
+}
+
+TEST(ConflictSet, ClaimRemovesFromSelectable) {
+  ConflictSet cs;
+  RulePtr rule = MakeRule("r");
+  cs.Activate(MakeInst(rule, 1, 1));
+  cs.Activate(MakeInst(rule, 2, 2));
+  Random rng(1);
+
+  InstPtr first = cs.Claim(ConflictResolution::kLex, &rng);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cs.num_claimed(), 1u);
+  EXPECT_TRUE(cs.HasSelectable());
+
+  InstPtr second = cs.Claim(ConflictResolution::kLex, &rng);
+  ASSERT_NE(second, nullptr);
+  EXPECT_FALSE(first->key() == second->key());
+  EXPECT_FALSE(cs.HasSelectable());
+  EXPECT_EQ(cs.Claim(ConflictResolution::kLex, &rng), nullptr);
+}
+
+TEST(ConflictSet, UnclaimMakesSelectableAgain) {
+  ConflictSet cs;
+  cs.Activate(MakeInst(MakeRule("r"), 1, 1));
+  Random rng(1);
+  InstPtr inst = cs.Claim(ConflictResolution::kLex, &rng);
+  ASSERT_NE(inst, nullptr);
+  cs.Unclaim(inst->key());
+  EXPECT_TRUE(cs.HasSelectable());
+  EXPECT_NE(cs.Claim(ConflictResolution::kLex, &rng), nullptr);
+}
+
+TEST(ConflictSet, MarkFiredRemovesEntirely) {
+  ConflictSet cs;
+  InstPtr inst = MakeInst(MakeRule("r"), 1, 1);
+  cs.Activate(inst);
+  Random rng(1);
+  cs.Claim(ConflictResolution::kLex, &rng);
+  cs.MarkFired(inst->key());
+  EXPECT_TRUE(cs.empty());
+  EXPECT_EQ(cs.num_claimed(), 0u);
+}
+
+TEST(ConflictSet, DeactivateClaimedInstantiation) {
+  // A committer invalidating a claimed instantiation removes it from both
+  // the active and claimed sets.
+  ConflictSet cs;
+  InstPtr inst = MakeInst(MakeRule("r"), 1, 1);
+  cs.Activate(inst);
+  Random rng(1);
+  cs.Claim(ConflictResolution::kLex, &rng);
+  cs.Deactivate(inst->key());
+  EXPECT_FALSE(cs.Contains(inst->key()));
+  EXPECT_EQ(cs.num_claimed(), 0u);
+}
+
+TEST(ConflictSet, SnapshotsDistinguishClaimed) {
+  ConflictSet cs;
+  cs.Activate(MakeInst(MakeRule("r"), 1, 1));
+  cs.Activate(MakeInst(MakeRule("r"), 2, 2));
+  Random rng(1);
+  cs.Claim(ConflictResolution::kLex, &rng);
+  EXPECT_EQ(cs.Snapshot().size(), 2u);
+  EXPECT_EQ(cs.SelectableSnapshot().size(), 1u);
+}
+
+// --- conflict resolution strategies --------------------------------------
+
+TEST(ConflictResolution, LexPrefersRecency) {
+  RulePtr rule = MakeRule("r");
+  InstPtr old_inst = MakeInst(rule, 1, 5);
+  InstPtr new_inst = MakeInst(rule, 2, 9);
+  EXPECT_TRUE(LexDominates(*new_inst, *old_inst));
+  EXPECT_FALSE(LexDominates(*old_inst, *new_inst));
+}
+
+TEST(ConflictResolution, LexBreaksTiesBySpecificity) {
+  RulePtr plain = MakeRule("plain", 0, 0);
+  RulePtr fussy = MakeRule("fussy", 0, 3);
+  InstPtr a = MakeInst(plain, 1, 5);
+  InstPtr b = MakeInst(fussy, 1, 5);
+  EXPECT_TRUE(LexDominates(*b, *a));
+}
+
+TEST(ConflictResolution, MeaPrefersFirstCeRecency) {
+  Condition thing_cond;
+  thing_cond.relation = Sym("thing");
+  RulePtr rule2 = std::make_shared<Rule>(
+      "two", std::vector<Condition>{thing_cond, thing_cond},
+      std::vector<Action>{RemoveAction{0}});
+  // a: first CE tag 9, second 1.  b: first CE tag 5, second 20.
+  auto a = std::make_shared<Instantiation>(
+      rule2, std::vector<WmePtr>{MakeWme(1, 9), MakeWme(2, 1)});
+  auto b = std::make_shared<Instantiation>(
+      rule2, std::vector<WmePtr>{MakeWme(3, 5), MakeWme(4, 20)});
+  EXPECT_TRUE(MeaDominates(*a, *b));   // MEA: 9 > 5 on the first CE
+  EXPECT_TRUE(LexDominates(*b, *a));   // LEX: overall recency 20 > 9
+}
+
+TEST(ConflictResolution, PriorityWins) {
+  ConflictSet cs;
+  cs.Activate(MakeInst(MakeRule("low", 1), 1, 100));
+  InstPtr high = MakeInst(MakeRule("high", 9), 2, 1);
+  cs.Activate(high);
+  Random rng(1);
+  InstPtr selected = cs.Claim(ConflictResolution::kPriority, &rng);
+  ASSERT_NE(selected, nullptr);
+  EXPECT_EQ(selected->rule()->name(), "high");
+}
+
+TEST(ConflictResolution, FifoPrefersOldestActivation) {
+  ConflictSet cs;
+  InstPtr first = MakeInst(MakeRule("r"), 1, 50);
+  cs.Activate(first);
+  cs.Activate(MakeInst(MakeRule("r"), 2, 1));
+  Random rng(1);
+  InstPtr selected = cs.Claim(ConflictResolution::kFifo, &rng);
+  EXPECT_EQ(selected->key(), first->key());
+}
+
+TEST(ConflictResolution, RandomIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    ConflictSet cs;
+    RulePtr rule = MakeRule("r");
+    for (WmeId i = 1; i <= 10; ++i) cs.Activate(MakeInst(rule, i, i));
+    Random rng(seed);
+    std::vector<std::string> order;
+    while (InstPtr inst = cs.Claim(ConflictResolution::kRandom, &rng)) {
+      order.push_back(inst->key().ToString());
+      cs.MarkFired(inst->key());
+    }
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // overwhelmingly likely
+}
+
+TEST(ConflictResolution, SelectDominantEmpty) {
+  Random rng(1);
+  EXPECT_EQ(SelectDominant({}, ConflictResolution::kLex, &rng), nullptr);
+}
+
+}  // namespace
+}  // namespace dbps

@@ -1,0 +1,132 @@
+// Coverage for smaller surfaces: lock wait-timeouts, execution-graph DOT
+// output, TREAT internals, instantiation printing, engine lock-timeout
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "engine/parallel_engine.h"
+#include "lang/compiler.h"
+#include "lock/lock_manager.h"
+#include "match/treat.h"
+#include "semantics/replay_validator.h"
+#include "sim/paper_scenarios.h"
+
+namespace dbps {
+namespace {
+
+TEST(LockTimeout, ExpiringWaitReturnsLockTimeout) {
+  LockManager::Options options;
+  options.protocol = LockProtocol::kTwoPhase;
+  options.wait_timeout = std::chrono::milliseconds(30);
+  LockManager lm(options);
+  LockObjectId object{Sym("lt"), 1};
+  TxnId holder = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(holder, object, LockMode::kWa).ok());
+  TxnId waiter = lm.Begin();
+  Status st = lm.Acquire(waiter, object, LockMode::kWa);
+  EXPECT_TRUE(st.IsLockTimeout()) << st;
+  EXPECT_GE(lm.GetStats().timeouts, 1u);
+  lm.Release(holder);
+  // After the holder releases, the same request succeeds.
+  EXPECT_TRUE(lm.Acquire(waiter, object, LockMode::kWa).ok());
+}
+
+TEST(LockTimeout, EngineSurvivesLockTimeouts) {
+  // A tiny lock timeout degrades to abort-and-retry; the run must still
+  // complete and stay consistent.
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation hot (v int))
+(rule bump :cost 2000 (hot ^v { < 6 } ^v <v>) --> (modify 1 ^v (+ <v> 1)))
+(make hot ^v 0)
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto pristine = wm.Clone();
+  ParallelEngineOptions options;
+  options.num_workers = 4;
+  options.protocol = LockProtocol::kTwoPhase;  // upgrades block
+  options.lock_timeout = std::chrono::milliseconds(1);
+  ParallelEngine engine(&wm, rules, options);
+  auto result = engine.Run().ValueOrDie();
+  EXPECT_EQ(result.stats.firings, 6u);
+  EXPECT_TRUE(ValidateReplay(pristine.get(), rules, result.log).ok());
+}
+
+TEST(ExecutionGraphDot, RendersStatesAndEdges) {
+  AbstractSystem system = Section33System();
+  auto dot = system.ToDot();
+  ASSERT_TRUE(dot.ok()) << dot.status();
+  EXPECT_NE(dot->find("digraph execution_graph"), std::string::npos);
+  EXPECT_NE(dot->find("{p1,p2,p3,p5}"), std::string::npos);  // initial
+  EXPECT_NE(dot->find("doublecircle"), std::string::npos);   // terminal
+  EXPECT_NE(dot->find("label=\"p1\""), std::string::npos);
+}
+
+TEST(Treat, AlphaItemCountTracksState) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule a (t ^v { > 0 }) --> (remove 1))
+(rule b (t ^v { > 5 }) --> (remove 1))
+)",
+                           &wm)
+                   .ValueOrDie();
+  TreatMatcher matcher;
+  ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+  EXPECT_EQ(matcher.AlphaItemCount(), 0u);
+
+  Delta delta;
+  delta.Create(Sym("t"), {Value::Int(10)});  // enters both alpha memories
+  delta.Create(Sym("t"), {Value::Int(3)});   // enters only rule a's
+  auto change = wm.Apply(delta);
+  ASSERT_TRUE(change.ok());
+  matcher.ApplyChange(change.ValueOrDie());
+  EXPECT_EQ(matcher.AlphaItemCount(), 3u);
+  EXPECT_EQ(matcher.conflict_set().size(), 3u);
+
+  Delta remove;
+  for (const auto& wme : wm.Scan(Sym("t"))) remove.Delete(wme->id());
+  change = wm.Apply(remove);
+  ASSERT_TRUE(change.ok());
+  matcher.ApplyChange(change.ValueOrDie());
+  EXPECT_EQ(matcher.AlphaItemCount(), 0u);
+  EXPECT_EQ(matcher.conflict_set().size(), 0u);
+}
+
+TEST(Instantiation, ToStringShowsRuleAndWmes) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation t (v int))
+(rule show (t ^v <v>) --> (remove 1))
+(make t ^v 7)
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto matcher = CreateMatcher(MatcherKind::kRete);
+  ASSERT_TRUE(matcher->Initialize(rules, wm).ok());
+  auto inst = matcher->conflict_set().Snapshot()[0];
+  std::string text = inst->ToString();
+  EXPECT_NE(text.find("show"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(inst->key().ToString().find("show["), std::string::npos);
+}
+
+TEST(MatcherKind, Names) {
+  EXPECT_STREQ(MatcherKindToString(MatcherKind::kRete), "rete");
+  EXPECT_STREQ(MatcherKindToString(MatcherKind::kNaive), "naive");
+  EXPECT_STREQ(MatcherKindToString(MatcherKind::kTreat), "treat");
+}
+
+TEST(LockProtocolNames, Names) {
+  EXPECT_STREQ(LockProtocolToString(LockProtocol::kTwoPhase), "2PL");
+  EXPECT_STREQ(LockProtocolToString(LockProtocol::kRcRaWa), "Rc/Ra/Wa");
+  EXPECT_STREQ(AbortPolicyToString(AbortPolicy::kAbort), "abort");
+  EXPECT_STREQ(AbortPolicyToString(AbortPolicy::kRevalidate),
+               "revalidate");
+}
+
+}  // namespace
+}  // namespace dbps

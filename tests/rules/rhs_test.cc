@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "rules/rhs_evaluator.h"
+
+namespace dbps {
+namespace {
+
+// Builds (rule, matched WMEs) pairs from a tiny program so expression
+// evaluation can be tested through the real compile path.
+struct Fixture {
+  WorkingMemory wm;
+  RulePtr rule;
+  std::vector<WmePtr> matched;
+
+  explicit Fixture(const std::string& rule_body,
+                   int64_t a_value = 6, int64_t b_value = 3) {
+    std::string source = R"(
+(relation pair (a int) (b int))
+(relation out  (v any))
+)";
+    source += rule_body;
+    auto rules = LoadProgram(source, &wm).ValueOrDie();
+    rule = rules->rules()[0];
+    auto wme = wm.Insert("pair", {Value::Int(a_value), Value::Int(b_value)})
+                   .ValueOrDie();
+    matched = {wme};
+  }
+};
+
+Value EvalSingleMake(const Fixture& fixture) {
+  auto delta = EvaluateRhs(*fixture.rule, fixture.matched);
+  EXPECT_TRUE(delta.ok()) << delta.status();
+  const auto& ops = delta.ValueOrDie().ops();
+  EXPECT_EQ(ops.size(), 1u);
+  return std::get<CreateOp>(ops[0]).values[0];
+}
+
+TEST(RhsEvaluator, Arithmetic) {
+  EXPECT_EQ(EvalSingleMake(Fixture(
+                "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (+ <a> <b>)))")),
+            Value::Int(9));
+  EXPECT_EQ(EvalSingleMake(Fixture(
+                "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (- <a> <b>)))")),
+            Value::Int(3));
+  EXPECT_EQ(EvalSingleMake(Fixture(
+                "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (* <a> <b>)))")),
+            Value::Int(18));
+  EXPECT_EQ(EvalSingleMake(Fixture(
+                "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (/ <a> <b>)))")),
+            Value::Int(2));
+  EXPECT_EQ(EvalSingleMake(Fixture(
+                "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (mod <a> 4)))")),
+            Value::Int(2));
+}
+
+TEST(RhsEvaluator, NestedExpressions) {
+  EXPECT_EQ(
+      EvalSingleMake(Fixture("(rule r (pair ^a <a> ^b <b>) --> "
+                             "(make out ^v (+ (* <a> <a>) (- <b> 1))))")),
+      Value::Int(38));  // 36 + 2
+}
+
+TEST(RhsEvaluator, MixedIntFloatPromotes) {
+  Fixture fixture(
+      "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (* <a> 0.5)))");
+  EXPECT_EQ(EvalSingleMake(fixture), Value::Float(3.0));
+}
+
+TEST(RhsEvaluator, DivisionByZeroFails) {
+  Fixture fixture(
+      "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (/ <a> <b>)))",
+      /*a=*/1, /*b=*/0);
+  auto delta = EvaluateRhs(*fixture.rule, fixture.matched);
+  EXPECT_FALSE(delta.ok());
+  EXPECT_TRUE(delta.status().IsInvalidArgument());
+}
+
+TEST(RhsEvaluator, ModByZeroFails) {
+  Fixture fixture(
+      "(rule r (pair ^a <a> ^b <b>) --> (make out ^v (mod <a> <b>)))",
+      /*a=*/1, /*b=*/0);
+  EXPECT_FALSE(EvaluateRhs(*fixture.rule, fixture.matched).ok());
+}
+
+TEST(RhsEvaluator, ArithmeticOnSymbolFails) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation item (name symbol))
+(relation out (v any))
+(rule r (item ^name <n>) --> (make out ^v (+ <n> 1)))
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto wme = wm.Insert("item", {Value::Symbol("x")}).ValueOrDie();
+  auto delta = EvaluateRhs(*rules->rules()[0], {wme});
+  EXPECT_TRUE(delta.status().IsTypeError());
+}
+
+TEST(RhsEvaluator, ModifyTargetsMatchedWme) {
+  Fixture fixture(
+      "(rule r (pair ^a <a> ^b <b>) --> (modify 1 ^a (+ <a> <b>) ^b 0))");
+  auto delta = EvaluateRhs(*fixture.rule, fixture.matched).ValueOrDie();
+  ASSERT_EQ(delta.ops().size(), 1u);
+  const auto& modify = std::get<ModifyOp>(delta.ops()[0]);
+  EXPECT_EQ(modify.id, fixture.matched[0]->id());
+  ASSERT_EQ(modify.updates.size(), 2u);
+  EXPECT_EQ(modify.updates[0], std::make_pair(size_t{0}, Value::Int(9)));
+  EXPECT_EQ(modify.updates[1], std::make_pair(size_t{1}, Value::Int(0)));
+}
+
+TEST(RhsEvaluator, RemoveAndHalt) {
+  Fixture fixture("(rule r (pair ^a <a> ^b <b>) --> (remove 1) (halt))");
+  auto delta = EvaluateRhs(*fixture.rule, fixture.matched).ValueOrDie();
+  ASSERT_EQ(delta.ops().size(), 1u);
+  EXPECT_EQ(std::get<DeleteOp>(delta.ops()[0]).id,
+            fixture.matched[0]->id());
+  EXPECT_TRUE(delta.halt());
+}
+
+TEST(RhsEvaluator, ActionsKeepOrder) {
+  Fixture fixture(R"(
+(rule r (pair ^a <a> ^b <b>) -->
+  (make out ^v 1)
+  (modify 1 ^a 0)
+  (make out ^v 2)
+  (remove 1)))");
+  auto delta = EvaluateRhs(*fixture.rule, fixture.matched).ValueOrDie();
+  ASSERT_EQ(delta.ops().size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<CreateOp>(delta.ops()[0]));
+  EXPECT_TRUE(std::holds_alternative<ModifyOp>(delta.ops()[1]));
+  EXPECT_TRUE(std::holds_alternative<CreateOp>(delta.ops()[2]));
+  EXPECT_TRUE(std::holds_alternative<DeleteOp>(delta.ops()[3]));
+}
+
+TEST(RhsEvaluator, WrongMatchCountIsInternalError) {
+  Fixture fixture("(rule r (pair ^a <a> ^b <b>) --> (remove 1))");
+  auto delta = EvaluateRhs(*fixture.rule, {});
+  EXPECT_TRUE(delta.status().IsInternal());
+}
+
+TEST(Rule, ToStringIsInformative) {
+  Fixture fixture(
+      "(rule pretty :priority 2 (pair ^a <a> ^b { > <a> }) --> (remove 1))");
+  std::string text = fixture.rule->ToString();
+  EXPECT_NE(text.find("pretty"), std::string::npos);
+  EXPECT_NE(text.find(":priority 2"), std::string::npos);
+  EXPECT_NE(text.find("remove"), std::string::npos);
+}
+
+TEST(RuleSet, AddAndFind) {
+  RuleSet rules;
+  Condition cond;
+  cond.relation = Sym("pair");
+  auto rule = std::make_shared<Rule>("only", std::vector<Condition>{cond},
+                                     std::vector<Action>{RemoveAction{0}});
+  ASSERT_TRUE(rules.Add(rule).ok());
+  EXPECT_TRUE(rules.Add(rule).IsAlreadyExists());
+  EXPECT_EQ(rules.Find("only"), rule);
+  EXPECT_EQ(rules.Find("nope"), nullptr);
+}
+
+TEST(Predicates, EvalPredicateSemantics) {
+  EXPECT_TRUE(EvalPredicate(TestPredicate::kEq, Value::Int(3),
+                            Value::Float(3.0)));
+  EXPECT_TRUE(EvalPredicate(TestPredicate::kNe, Value::Symbol("a"),
+                            Value::Symbol("b")));
+  EXPECT_TRUE(EvalPredicate(TestPredicate::kLt, Value::Int(1),
+                            Value::Int(2)));
+  EXPECT_FALSE(EvalPredicate(TestPredicate::kLt, Value::Symbol("a"),
+                             Value::Int(2)));  // incomparable => false
+  EXPECT_TRUE(EvalPredicate(TestPredicate::kGe, Value::Int(2),
+                            Value::Int(2)));
+  EXPECT_TRUE(EvalPredicate(TestPredicate::kNe, Value::Symbol("a"),
+                            Value::Int(1)));  // different kinds are unequal
+}
+
+}  // namespace
+}  // namespace dbps

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "semantics/abstract_ps.h"
+#include "sim/paper_scenarios.h"
+
+namespace dbps {
+namespace {
+
+ConflictMask Mask(std::initializer_list<int> productions) {
+  ConflictMask mask = 0;
+  for (int p : productions) mask |= 1ULL << (p - 1);
+  return mask;
+}
+
+/// The hand-verified 4-production example:
+///   P1: add {P4}, del {P2}; P2: -; P3: del {P4}; P4: -.
+///   initial {P1,P2,P3}.
+AbstractSystem SmallSystem() {
+  return AbstractSystem(
+      {
+          AbstractProduction{"p1", Mask({4}), Mask({2})},
+          AbstractProduction{"p2", 0, 0},
+          AbstractProduction{"p3", 0, Mask({4})},
+          AbstractProduction{"p4", 0, 0},
+      },
+      Mask({1, 2, 3}));
+}
+
+TEST(AbstractSystem, FireAppliesRefractionDeleteAdd) {
+  AbstractSystem system = SmallSystem();
+  // Firing P1 from {1,2,3}: -self, -P2, +P4 = {3,4}.
+  EXPECT_EQ(system.Fire(Mask({1, 2, 3}), 0), Mask({3, 4}));
+  // Firing P3 from {3,4}: -self, -P4 = {}.
+  EXPECT_EQ(system.Fire(Mask({3, 4}), 2), 0u);
+}
+
+TEST(AbstractSystem, HandEnumeratedSequencesMatch) {
+  AbstractSystem system = SmallSystem();
+  auto sequences = system.EnumerateCompleteSequences().ValueOrDie();
+  std::set<std::string> rendered;
+  for (const auto& sequence : sequences) {
+    rendered.insert(system.SequenceToString(sequence));
+  }
+  // Hand enumeration (see Fire semantics above).
+  std::set<std::string> expected{
+      "p1 p3",       "p1 p4 p3",       "p2 p1 p3", "p2 p1 p4 p3",
+      "p2 p3 p1 p4", "p3 p1 p4",       "p3 p2 p1 p4"};
+  EXPECT_EQ(rendered, expected);
+}
+
+TEST(AbstractSystem, EveryEnumeratedSequenceIsValid) {
+  AbstractSystem system = SmallSystem();
+  auto sequences = system.EnumerateCompleteSequences().ValueOrDie();
+  for (const auto& sequence : sequences) {
+    EXPECT_TRUE(system.IsValidSequence(sequence));
+    // Every prefix is valid too (Definition 3.1 includes prefixes).
+    for (size_t len = 0; len < sequence.size(); ++len) {
+      std::vector<size_t> prefix(sequence.begin(),
+                                 sequence.begin() + len);
+      EXPECT_TRUE(system.IsValidSequence(prefix));
+    }
+  }
+}
+
+TEST(AbstractSystem, InvalidSequencesRejected) {
+  AbstractSystem system = SmallSystem();
+  EXPECT_FALSE(system.IsValidSequence({3}));       // P4 not initially active
+  EXPECT_FALSE(system.IsValidSequence({0, 1}));    // P2 deleted by P1
+  EXPECT_FALSE(system.IsValidSequence({0, 0}));    // refraction
+  EXPECT_FALSE(system.IsValidSequence({2, 3}));    // P3 deletes P4
+  EXPECT_FALSE(system.IsValidSequence({9}));       // unknown production
+  EXPECT_TRUE(system.IsValidSequence({}));         // empty prefix
+}
+
+TEST(AbstractSystem, ReachableStatesBounded) {
+  AbstractSystem system = SmallSystem();
+  auto states = system.ReachableStates().ValueOrDie();
+  // Initial {1,2,3} plus everything reachable; all distinct.
+  std::set<ConflictMask> unique(states.begin(), states.end());
+  EXPECT_EQ(unique.size(), states.size());
+  EXPECT_TRUE(unique.count(Mask({1, 2, 3})) > 0);
+  EXPECT_TRUE(unique.count(0) > 0);  // quiescent state reachable
+}
+
+TEST(AbstractSystem, NonQuiescingSystemReportsError) {
+  // P1 re-adds itself: never terminates.
+  AbstractSystem system({AbstractProduction{"p1", Mask({1}), 0}}, Mask({1}));
+  auto result = system.EnumerateCompleteSequences(/*max_length=*/16);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(AbstractSystem, MaskToStringNamesProductions) {
+  AbstractSystem system = SmallSystem();
+  EXPECT_EQ(system.MaskToString(Mask({1, 3})), "{p1,p3}");
+  EXPECT_EQ(system.MaskToString(0), "{}");
+}
+
+TEST(Section33System, EnumerationIsSelfConsistent) {
+  AbstractSystem system = Section33System();
+  EXPECT_EQ(system.num_productions(), 6u);
+  auto sequences = system.EnumerateCompleteSequences().ValueOrDie();
+  EXPECT_GT(sequences.size(), 1u);
+  std::set<std::vector<size_t>> unique(sequences.begin(), sequences.end());
+  EXPECT_EQ(unique.size(), sequences.size());
+  for (const auto& sequence : sequences) {
+    EXPECT_TRUE(system.IsValidSequence(sequence));
+  }
+  // Initial conflict set is {P1,P2,P3,P5} as in the paper's §3.3.
+  EXPECT_EQ(system.initial(), Mask({1, 2, 3, 5}));
+  // And a sequence violating the initial set is rejected.
+  EXPECT_FALSE(system.IsValidSequence({3}));  // p4 not initially active
+}
+
+}  // namespace
+}  // namespace dbps

@@ -1,0 +1,107 @@
+// Cross-module property: the §5 multiprocessor model's commit order is
+// always a member of ES_single of the corresponding abstract production
+// system (Definition 3.2 holds for the idealized model too — its commits
+// are serialized by construction, and this verifies our simulator
+// respects that).
+
+#include <gtest/gtest.h>
+
+#include "semantics/abstract_ps.h"
+#include "sim/paper_scenarios.h"
+#include "sim/speedup_model.h"
+#include "util/random.h"
+
+namespace dbps {
+namespace {
+
+/// Projects a SimConfig onto the abstract add/delete-set model.
+AbstractSystem ToAbstract(const sim::SimConfig& config) {
+  std::vector<AbstractProduction> productions;
+  for (const auto& sim_production : config.productions) {
+    AbstractProduction production;
+    production.name = sim_production.name;
+    for (size_t p : sim_production.add_set) {
+      production.add_set |= 1ULL << p;
+    }
+    for (size_t p : sim_production.delete_set) {
+      production.delete_set |= 1ULL << p;
+    }
+    productions.push_back(std::move(production));
+  }
+  ConflictMask initial = 0;
+  for (size_t p : config.initial) initial |= 1ULL << p;
+  return AbstractSystem(std::move(productions), initial);
+}
+
+TEST(SimSemantics, PaperScenariosCommitOrdersAreValidSequences) {
+  for (const auto& config :
+       {sim::Figure51Config(), sim::Figure52Config(), sim::Figure53Config(),
+        sim::Figure54Config()}) {
+    AbstractSystem abstract = ToAbstract(config);
+    auto result = sim::SimulateMultiThread(config);
+    EXPECT_TRUE(abstract.IsValidSequence(result.commit_order));
+  }
+}
+
+class RandomSimScenario : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSimScenario, CommitOrderIsAlwaysValid) {
+  Random rng(GetParam());
+  const size_t n = 3 + rng.Uniform(8);  // 3..10 productions
+
+  sim::SimConfig config;
+  for (size_t p = 0; p < n; ++p) {
+    sim::SimProduction production;
+    production.name = "p" + std::to_string(p + 1);
+    production.exec_time = 1.0 + static_cast<double>(rng.Uniform(8));
+    // Delete sets: up to 2 victims. Add sets: only higher-numbered
+    // productions, so activation is acyclic and the system quiesces.
+    for (int d = 0; d < 2; ++d) {
+      if (rng.Bernoulli(0.3)) {
+        production.delete_set.push_back(rng.Uniform(n));
+      }
+    }
+    if (p + 1 < n && rng.Bernoulli(0.4)) {
+      production.add_set.push_back(
+          p + 1 + rng.Uniform(n - p - 1));
+    }
+    config.productions.push_back(std::move(production));
+  }
+  // Initial conflict set: a random nonempty subset, in random order.
+  std::vector<size_t> all(n);
+  for (size_t p = 0; p < n; ++p) all[p] = p;
+  rng.Shuffle(&all);
+  size_t initial_size = 1 + rng.Uniform(n);
+  config.initial.assign(all.begin(), all.begin() + initial_size);
+  config.num_processors = 1 + rng.Uniform(5);
+
+  AbstractSystem abstract = ToAbstract(config);
+  auto result = sim::SimulateMultiThread(config);
+
+  EXPECT_TRUE(abstract.IsValidSequence(result.commit_order))
+      << "seed " << GetParam() << ": commit order "
+      << abstract.SequenceToString(result.commit_order)
+      << " is not a valid single-thread sequence";
+
+  // Sanity: the makespan is at least the longest committed production
+  // and at most the serial sum of everything that ran.
+  double longest = 0, serial_sum = 0;
+  for (size_t p : result.commit_order) {
+    longest = std::max(longest, config.productions[p].exec_time);
+    serial_sum += config.productions[p].exec_time;
+  }
+  serial_sum += result.wasted_time;
+  if (!result.commit_order.empty()) {
+    EXPECT_GE(result.makespan + 1e-9, longest);
+    EXPECT_LE(result.makespan, serial_sum + 1e-9);
+  }
+
+  // Useful + wasted time is exactly what the processors did.
+  EXPECT_GE(result.useful_time, longest - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSimScenario,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace dbps

@@ -1,0 +1,166 @@
+// Tests of the §5 idealized-multiprocessor model, asserting every number
+// the paper prints for Figures 5.1–5.4 and Example 5.1.
+
+#include <gtest/gtest.h>
+
+#include "sim/paper_scenarios.h"
+#include "sim/speedup_model.h"
+
+namespace dbps {
+namespace sim {
+namespace {
+
+TEST(SpeedupModel, Figure51BaseCase) {
+  SimConfig config = Figure51Config();
+  // T_single(σ1) = T(P3)+T(P2)+T(P4) = 2+3+4 = 9 (paper, §5).
+  auto t_single = SingleThreadTime(config, Sigma1());
+  ASSERT_TRUE(t_single.ok()) << t_single.status();
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie(), 9.0);
+
+  MultiThreadResult result = SimulateMultiThread(config);
+  // T_multi = 4; speedup 9/4 = 2.25 (paper, Figure 5.1).
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie() / result.makespan, 2.25);
+  // P1 is aborted by P2's commit ("Aborted by P2" in Figure 5.1).
+  EXPECT_EQ(result.aborts, 1u);
+  ASSERT_EQ(result.commit_order.size(), 3u);
+  // Commit order: P3 (t=2), P2 (t=3), P4 (t=4).
+  EXPECT_EQ(result.commit_order,
+            (std::vector<size_t>{2, 1, 3}));
+  // P1 ran from 0 until aborted at t=3.
+  EXPECT_DOUBLE_EQ(result.wasted_time, 3.0);
+}
+
+TEST(SpeedupModel, Figure52DegreeOfConflict) {
+  SimConfig config = Figure52Config();
+  // T_single(σ2) = T(P3)+T(P2) = 5 (paper, §5.1).
+  auto t_single = SingleThreadTime(config, Sigma2());
+  ASSERT_TRUE(t_single.ok());
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie(), 5.0);
+
+  MultiThreadResult result = SimulateMultiThread(config);
+  // T_multi = 3; speedup 5/3 ≈ 1.67 (paper, Figure 5.2).
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+  EXPECT_NEAR(t_single.ValueOrDie() / result.makespan, 1.67, 0.01);
+  // Both P1 and P4 are aborted under the higher degree of conflict.
+  EXPECT_EQ(result.aborts, 2u);
+  EXPECT_EQ(result.commit_order, (std::vector<size_t>{2, 1}));
+}
+
+TEST(SpeedupModel, Figure53ExecutionTimeVariation) {
+  SimConfig config = Figure53Config();
+  // T(P2)+1 ⇒ T_single(σ1) = 2+4+4 = 10 (paper, §5.2).
+  auto t_single = SingleThreadTime(config, Sigma1());
+  ASSERT_TRUE(t_single.ok());
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie(), 10.0);
+
+  MultiThreadResult result = SimulateMultiThread(config);
+  // T_multi stays 4; speedup rises to 10/4 = 2.5 (paper, Figure 5.3).
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie() / result.makespan, 2.5);
+}
+
+TEST(SpeedupModel, Figure54ProcessorVariation) {
+  SimConfig config = Figure54Config();
+  auto t_single = SingleThreadTime(config, Sigma1());
+  ASSERT_TRUE(t_single.ok());
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie(), 9.0);
+
+  MultiThreadResult result = SimulateMultiThread(config);
+  // With Np=3, P4 waits for a processor: T_multi = 6; speedup 9/6 = 1.5
+  // (paper, Figure 5.4).
+  EXPECT_DOUBLE_EQ(result.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(t_single.ValueOrDie() / result.makespan, 1.5);
+}
+
+TEST(SpeedupModel, Example51UniprocessorInequality) {
+  // Example 5.1: multi-thread on a uniprocessor is never faster than
+  // single-thread — T_multi_uni = Σ T(committed) + f·Σ T(aborted).
+  SimConfig config = Figure51Config();
+  MultiThreadResult result = SimulateMultiThread(config);
+  auto t_single = SingleThreadTime(config, Sigma1()).ValueOrDie();
+  for (double f : {0.0, 0.25, 0.5, 0.99}) {
+    EXPECT_GE(UniprocessorMultiThreadTime(config, result, f) + 1e-9,
+              t_single)
+        << "f=" << f;
+  }
+  // With f=0 it exactly equals the committed work.
+  EXPECT_DOUBLE_EQ(UniprocessorMultiThreadTime(config, result, 0.0), 9.0);
+  // With f=0.5, half of P1's T=5 is added.
+  EXPECT_DOUBLE_EQ(UniprocessorMultiThreadTime(config, result, 0.5), 11.5);
+}
+
+TEST(SpeedupModel, SingleThreadTimeValidatesSequences) {
+  SimConfig config = Figure51Config();
+  // P1 was never deleted from PA before firing... but σ=p2,p1 is fine?
+  // p2 deletes p1, so p2 then p1 is invalid.
+  EXPECT_FALSE(SingleThreadTime(config, {1, 0}).ok());
+  // Refiring is invalid.
+  EXPECT_FALSE(SingleThreadTime(config, {2, 2}).ok());
+  // Unknown production index.
+  EXPECT_FALSE(SingleThreadTime(config, {9}).ok());
+  // Full valid sequence including P1 first.
+  auto t = SingleThreadTime(config, {0, 1, 2, 3});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t.ValueOrDie(), 14.0);
+}
+
+TEST(SpeedupModel, AddSetsSpawnFollowOnWork) {
+  // A commits and adds B; B runs after A on the freed processor.
+  SimConfig config;
+  config.productions = {
+      SimProduction{"a", 2.0, {1}, {}},
+      SimProduction{"b", 3.0, {}, {}},
+  };
+  config.initial = {0};
+  config.num_processors = 2;
+  MultiThreadResult result = SimulateMultiThread(config);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+  EXPECT_EQ(result.commit_order, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(result.aborts, 0u);
+}
+
+TEST(SpeedupModel, QueuedVictimIsRemovedNotAborted) {
+  // Np=1: P2 (T=1) runs first (queue order), commits, deletes P1 while
+  // P1 is still queued — no wasted work.
+  SimConfig config;
+  config.productions = {
+      SimProduction{"p1", 5.0, {}, {}},
+      SimProduction{"p2", 1.0, {}, {0}},
+  };
+  config.initial = {1, 0};  // p2 first in queue
+  config.num_processors = 1;
+  MultiThreadResult result = SimulateMultiThread(config);
+  EXPECT_DOUBLE_EQ(result.makespan, 1.0);
+  EXPECT_EQ(result.aborts, 0u);  // removed from queue, not aborted
+  EXPECT_DOUBLE_EQ(result.wasted_time, 0.0);
+}
+
+TEST(SpeedupModel, MoreProcessorsNeverSlower) {
+  SimConfig config = Figure51Config();
+  double previous = 1e9;
+  for (size_t np = 1; np <= 5; ++np) {
+    config.num_processors = np;
+    double makespan = SimulateMultiThread(config).makespan;
+    EXPECT_LE(makespan, previous + 1e-9) << "np=" << np;
+    previous = makespan;
+  }
+  // Saturation: Np >= |PA| = 4 stops helping (paper §5.3).
+  config.num_processors = 4;
+  double at4 = SimulateMultiThread(config).makespan;
+  config.num_processors = 5;
+  EXPECT_DOUBLE_EQ(SimulateMultiThread(config).makespan, at4);
+}
+
+TEST(SpeedupModel, GanttRenders) {
+  SimConfig config = Figure51Config();
+  MultiThreadResult result = SimulateMultiThread(config);
+  std::string gantt = result.ToGantt(config);
+  EXPECT_NE(gantt.find("cpu0"), std::string::npos);
+  EXPECT_NE(gantt.find("cpu3"), std::string::npos);
+  EXPECT_NE(gantt.find("x"), std::string::npos);  // aborted work marked
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace dbps

@@ -1,0 +1,163 @@
+// Shared test workloads: hand-written DSL programs plus a seeded random
+// program/working-memory generator for property tests.
+
+#ifndef DBPS_TESTS_TESTING_WORKLOADS_H_
+#define DBPS_TESTS_TESTING_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+
+#include "lang/compiler.h"
+#include "util/random.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+namespace testing {
+
+/// The blocks-world-ish program used across matcher/engine tests: joins,
+/// a negation, predicates, all three action kinds.
+inline constexpr const char* kLogisticsProgram = R"(
+(relation box    (id int) (at symbol) (weight int) (status symbol))
+(relation robot  (name symbol) (at symbol) (holding int) (capacity int))
+(relation route  (from symbol) (to symbol))
+(relation done   (box int))
+
+; A free robot picks up a liftable box at its location, unless the
+; location is jammed by an already-held box.
+(rule pickup :priority 10
+  (box ^id <b> ^at <where> ^weight <w> ^status loose)
+  (robot ^name <r> ^at <where> ^holding 0 ^capacity { >= <w> })
+  -->
+  (modify 2 ^holding <b>)
+  (modify 1 ^status held))
+
+; A loaded robot moves along a route and drops *its* box.
+(rule deliver :priority 5
+  (robot ^name <r> ^at <from> ^holding { > 0 } ^holding <held>)
+  (route ^from <from> ^to <to>)
+  (box ^id <held> ^status held)
+  -->
+  (modify 1 ^at <to> ^holding 0)
+  (modify 3 ^at <to> ^status delivered))
+
+; Account a delivered box exactly once.
+(rule account :priority 1
+  (box ^id <b> ^status delivered)
+  -(done ^box <b>)
+  -->
+  (make done ^box <b>))
+)";
+
+/// Builds the standard logistics initial state: `boxes` loose boxes and
+/// `robots` robots spread over `sites` locations, with a ring of routes.
+inline std::unique_ptr<WorkingMemory> MakeLogisticsWm(int boxes, int robots,
+                                                      int sites,
+                                                      RuleSetPtr* rules) {
+  auto wm = std::make_unique<WorkingMemory>();
+  auto rules_or = LoadProgram(kLogisticsProgram, wm.get());
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  if (rules != nullptr) *rules = rules_or.ValueOrDie();
+
+  auto site = [&](int i) {
+    return Value::Symbol("site" + std::to_string(i % sites));
+  };
+  for (int i = 0; i < sites; ++i) {
+    DBPS_CHECK(wm->Insert("route", {site(i), site(i + 1)}).ok());
+  }
+  for (int b = 0; b < boxes; ++b) {
+    DBPS_CHECK(wm->Insert("box", {Value::Int(b + 1), site(b),
+                                  Value::Int(1 + b % 5),
+                                  Value::Symbol("loose")})
+                   .ok());
+  }
+  for (int r = 0; r < robots; ++r) {
+    DBPS_CHECK(wm->Insert("robot",
+                          {Value::Symbol("r" + std::to_string(r)), site(r),
+                           Value::Int(0), Value::Int(3 + r % 3)})
+                   .ok());
+  }
+  return wm;
+}
+
+/// A generator of random-but-terminating rule programs over a small
+/// token-passing schema. Every rule consumes a token (removes it) and may
+/// mint strictly "smaller" artifacts, so runs always quiesce. Randomness:
+/// number of rules, tests, negations, arithmetic, priorities.
+class RandomProgramBuilder {
+ public:
+  explicit RandomProgramBuilder(uint64_t seed) : rng_(seed) {}
+
+  /// Program text: relations + rules + facts.
+  std::string Build() {
+    std::string out = R"(
+(relation token (kind symbol) (value int) (gen int))
+(relation slot  (name symbol) (filled int))
+(relation mark  (value int))
+)";
+    const int num_rules = 2 + static_cast<int>(rng_.Uniform(5));
+    for (int r = 0; r < num_rules; ++r) out += BuildRule(r);
+    const int num_tokens = 3 + static_cast<int>(rng_.Uniform(8));
+    for (int t = 0; t < num_tokens; ++t) {
+      out += "(make token ^kind " + Kind() + " ^value " +
+             std::to_string(rng_.Uniform(6)) + " ^gen 0)\n";
+    }
+    const int num_slots = 1 + static_cast<int>(rng_.Uniform(3));
+    for (int s = 0; s < num_slots; ++s) {
+      out += "(make slot ^name s" + std::to_string(s) + " ^filled 0)\n";
+    }
+    return out;
+  }
+
+ private:
+  std::string Kind() {
+    static const char* kKinds[] = {"red", "green", "blue"};
+    return kKinds[rng_.Uniform(3)];
+  }
+
+  std::string BuildRule(int index) {
+    std::string name = "rule" + std::to_string(index);
+    std::string out = "(rule " + name;
+    if (rng_.Bernoulli(0.5)) {
+      out += " :priority " + std::to_string(rng_.Uniform(5));
+    }
+    // Sometimes the rule *starts* with a negated CE (constant-valued,
+    // since nothing is bound yet) — exercises leading-negation handling.
+    if (rng_.Bernoulli(0.25)) {
+      out += "\n  -(mark ^value " + std::to_string(rng_.Uniform(6)) + ")";
+    }
+    // One token CE (always consumed), optionally a slot CE and/or a
+    // negated mark CE. Half the rules select the kind with a value
+    // disjunction instead of a single constant.
+    if (rng_.Bernoulli(0.5)) {
+      out += "\n  (token ^kind << " + Kind() + " " + Kind() +
+             " >> ^value { >= " + std::to_string(rng_.Uniform(4)) +
+             " } ^value <v>)";
+    } else {
+      out += "\n  (token ^kind " + Kind() + " ^value { >= " +
+             std::to_string(rng_.Uniform(4)) + " } ^value <v>)";
+    }
+    const bool with_slot = rng_.Bernoulli(0.5);
+    if (with_slot) {
+      out += "\n  (slot ^name <s> ^filled { <= <v> })";
+    }
+    if (rng_.Bernoulli(0.4)) {
+      out += "\n  -(mark ^value <v>)";
+    }
+    out += "\n  -->\n  (remove 1)";
+    if (with_slot && rng_.Bernoulli(0.6)) {
+      out += "\n  (modify 2 ^filled (+ <v> 1))";
+    }
+    if (rng_.Bernoulli(0.5)) {
+      out += "\n  (make mark ^value <v>)";
+    }
+    out += ")\n";
+    return out;
+  }
+
+  Random rng_;
+};
+
+}  // namespace testing
+}  // namespace dbps
+
+#endif  // DBPS_TESTS_TESTING_WORKLOADS_H_

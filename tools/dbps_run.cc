@@ -1,0 +1,337 @@
+// dbps_run — command-line driver for the dbps engine.
+//
+//   dbps_run [flags] <program.dbps>
+//
+// Loads a rule-language program (relations, rules, facts), runs it on the
+// selected engine, and reports. Flags:
+//
+//   --engine=single|parallel|static   interpreter (default: single)
+//   --workers=N                       parallel/static worker count (4)
+//   --protocol=2pl|rcrawa             lock protocol (rcrawa)
+//   --abort-policy=abort|revalidate   Rc–Wa settlement policy (abort)
+//   --deadlock=detect|wound-wait|no-wait   deadlock handling (detect)
+//   --strategy=priority|lex|mea|fifo|random conflict resolution (priority)
+//   --seed=N                          PRNG seed (42)
+//   --max-firings=N                   safety cap (100000)
+//   --matcher=rete|naive|treat        match algorithm (rete)
+//   --cost-model=sleep|spin           how :cost occupies a processor
+//   --trace                           print every committed firing
+//   --validate                        replay-check the commit log
+//   --dump-final                      print the final working memory
+//   --snapshot-out=FILE               save final WM as a loadable program
+//   --query=LHS                       evaluate a query against the final
+//                                     WM and print the rows
+//   --journal-out=FILE                write the committed deltas as a
+//                                     replayable journal
+//   --quiet                           suppress the summary line
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dbps.h"
+
+namespace {
+
+using namespace dbps;
+
+struct Flags {
+  std::string engine = "single";
+  size_t workers = 4;
+  LockProtocol protocol = LockProtocol::kRcRaWa;
+  AbortPolicy abort_policy = AbortPolicy::kAbort;
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+  ConflictResolution strategy = ConflictResolution::kPriority;
+  uint64_t seed = 42;
+  uint64_t max_firings = 100000;
+  MatcherKind matcher = MatcherKind::kRete;
+  CostModel cost_model = CostModel::kSleep;
+  bool trace = false;
+  bool validate = false;
+  bool dump_final = false;
+  bool quiet = false;
+  std::string snapshot_out;
+  std::string journal_out;
+  std::string query;
+  std::string program_path;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--engine=single|parallel|static] [--workers=N]\n"
+               "  [--protocol=2pl|rcrawa] [--abort-policy=abort|revalidate]\n"
+               "  [--deadlock=detect|wound-wait|no-wait]\n"
+               "  [--strategy=priority|lex|mea|fifo|random] [--seed=N]\n"
+               "  [--max-firings=N] [--matcher=rete|naive|treat]\n"
+               "  [--cost-model=sleep|spin] [--trace] [--validate]\n"
+               "  [--dump-final] [--snapshot-out=FILE] [--query=LHS]\n"
+               "  [--journal-out=FILE]\n"
+               "  [--quiet]\n"
+               "  <program.dbps>\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name,
+               std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+StatusOr<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--trace") {
+      flags.trace = true;
+    } else if (arg == "--validate") {
+      flags.validate = true;
+    } else if (arg == "--dump-final") {
+      flags.dump_final = true;
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else if (ParseFlag(arg, "engine", &value)) {
+      if (value != "single" && value != "parallel" && value != "static") {
+        return Status::InvalidArgument("unknown engine '" + value + "'");
+      }
+      flags.engine = value;
+    } else if (ParseFlag(arg, "workers", &value)) {
+      flags.workers = std::stoul(value);
+    } else if (ParseFlag(arg, "protocol", &value)) {
+      if (value == "2pl") {
+        flags.protocol = LockProtocol::kTwoPhase;
+      } else if (value == "rcrawa") {
+        flags.protocol = LockProtocol::kRcRaWa;
+      } else {
+        return Status::InvalidArgument("unknown protocol '" + value + "'");
+      }
+    } else if (ParseFlag(arg, "abort-policy", &value)) {
+      if (value == "abort") {
+        flags.abort_policy = AbortPolicy::kAbort;
+      } else if (value == "revalidate") {
+        flags.abort_policy = AbortPolicy::kRevalidate;
+      } else {
+        return Status::InvalidArgument("unknown abort policy '" + value +
+                                       "'");
+      }
+    } else if (ParseFlag(arg, "deadlock", &value)) {
+      if (value == "detect") {
+        flags.deadlock_policy = DeadlockPolicy::kDetect;
+      } else if (value == "wound-wait") {
+        flags.deadlock_policy = DeadlockPolicy::kWoundWait;
+      } else if (value == "no-wait") {
+        flags.deadlock_policy = DeadlockPolicy::kNoWait;
+      } else {
+        return Status::InvalidArgument("unknown deadlock policy '" +
+                                       value + "'");
+      }
+    } else if (ParseFlag(arg, "strategy", &value)) {
+      if (value == "priority") {
+        flags.strategy = ConflictResolution::kPriority;
+      } else if (value == "lex") {
+        flags.strategy = ConflictResolution::kLex;
+      } else if (value == "mea") {
+        flags.strategy = ConflictResolution::kMea;
+      } else if (value == "fifo") {
+        flags.strategy = ConflictResolution::kFifo;
+      } else if (value == "random") {
+        flags.strategy = ConflictResolution::kRandom;
+      } else {
+        return Status::InvalidArgument("unknown strategy '" + value + "'");
+      }
+    } else if (ParseFlag(arg, "seed", &value)) {
+      flags.seed = std::stoull(value);
+    } else if (ParseFlag(arg, "max-firings", &value)) {
+      flags.max_firings = std::stoull(value);
+    } else if (ParseFlag(arg, "matcher", &value)) {
+      if (value == "rete") {
+        flags.matcher = MatcherKind::kRete;
+      } else if (value == "naive") {
+        flags.matcher = MatcherKind::kNaive;
+      } else if (value == "treat") {
+        flags.matcher = MatcherKind::kTreat;
+      } else {
+        return Status::InvalidArgument("unknown matcher '" + value + "'");
+      }
+    } else if (ParseFlag(arg, "cost-model", &value)) {
+      if (value == "sleep") {
+        flags.cost_model = CostModel::kSleep;
+      } else if (value == "spin") {
+        flags.cost_model = CostModel::kBusySpin;
+      } else {
+        return Status::InvalidArgument("unknown cost model '" + value +
+                                       "'");
+      }
+    } else if (ParseFlag(arg, "snapshot-out", &value)) {
+      flags.snapshot_out = value;
+    } else if (ParseFlag(arg, "query", &value)) {
+      flags.query = value;
+    } else if (ParseFlag(arg, "journal-out", &value)) {
+      flags.journal_out = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    } else if (flags.program_path.empty()) {
+      flags.program_path = arg;
+    } else {
+      return Status::InvalidArgument("multiple program files given");
+    }
+  }
+  if (flags.program_path.empty()) {
+    return Status::InvalidArgument("no program file given");
+  }
+  return flags;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Run(const Flags& flags) {
+  auto source = ReadFile(flags.program_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "error: %s\n", source.status().ToString().c_str());
+    return 1;
+  }
+
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(source.ValueOrDie(), &wm);
+  if (!rules_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", flags.program_path.c_str(),
+                 rules_or.status().ToString().c_str());
+    return 1;
+  }
+  RuleSetPtr rules = rules_or.ValueOrDie();
+
+  std::unique_ptr<WorkingMemory> pristine;
+  if (flags.validate) pristine = wm.Clone();
+
+  EngineOptions base;
+  base.strategy = flags.strategy;
+  base.matcher = flags.matcher;
+  base.seed = flags.seed;
+  base.max_firings = flags.max_firings;
+  base.cost_model = flags.cost_model;
+
+  StatusOr<RunResult> result_or{Status::Internal("engine not run")};
+  if (flags.engine == "single") {
+    SingleThreadEngine engine(&wm, rules, base);
+    result_or = engine.Run();
+  } else if (flags.engine == "parallel") {
+    ParallelEngineOptions options;
+    options.base = base;
+    options.num_workers = flags.workers;
+    options.protocol = flags.protocol;
+    options.abort_policy = flags.abort_policy;
+    options.deadlock_policy = flags.deadlock_policy;
+    ParallelEngine engine(&wm, rules, options);
+    result_or = engine.Run();
+  } else {
+    StaticPartitionOptions options;
+    options.base = base;
+    options.num_workers = flags.workers;
+    StaticPartitionEngine engine(&wm, rules, options);
+    result_or = engine.Run();
+  }
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const RunResult& result = result_or.ValueOrDie();
+
+  if (flags.trace) {
+    for (const auto& record : result.log) {
+      std::printf("%6llu  %-24s %s\n", (unsigned long long)record.seq,
+                  record.key.rule_name.c_str(),
+                  record.delta.ToString().c_str());
+    }
+  }
+  if (!flags.quiet) {
+    std::printf("%s engine: %s\n", flags.engine.c_str(),
+                result.stats.ToString().c_str());
+  }
+  if (flags.validate) {
+    Status valid = ValidateReplay(pristine.get(), rules, result.log);
+    std::printf("replay validation: %s\n", valid.ToString().c_str());
+    if (!valid.ok()) return 1;
+  }
+  if (flags.dump_final) {
+    std::printf("%s", wm.ToString().c_str());
+  }
+  if (!flags.query.empty()) {
+    auto rows = ExecuteQuery(wm, flags.query);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query matched %zu row(s):\n", rows->size());
+    for (const auto& row : rows.ValueOrDie()) {
+      for (const auto& wme : row) {
+        std::printf("  %s", wme->ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (!flags.journal_out.empty()) {
+    std::vector<Delta> deltas;
+    deltas.reserve(result.log.size());
+    for (const auto& record : result.log) deltas.push_back(record.delta);
+    auto journal = DeltasToJournal(deltas);
+    if (!journal.ok()) {
+      std::fprintf(stderr, "journal failed: %s\n",
+                   journal.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(flags.journal_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n",
+                   flags.journal_out.c_str());
+      return 1;
+    }
+    out << journal.ValueOrDie();
+    if (!flags.quiet) {
+      std::printf("journal written to %s\n", flags.journal_out.c_str());
+    }
+  }
+  if (!flags.snapshot_out.empty()) {
+    auto snapshot = SnapshotToSource(wm);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(flags.snapshot_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n",
+                   flags.snapshot_out.c_str());
+      return 1;
+    }
+    out << snapshot.ValueOrDie();
+    if (!flags.quiet) {
+      std::printf("snapshot written to %s\n", flags.snapshot_out.c_str());
+    }
+  }
+  return result.stats.hit_max_firings ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 flags.status().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  return Run(flags.ValueOrDie());
+}
