@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_speedup.dir/bench_engine_speedup.cc.o"
+  "CMakeFiles/bench_engine_speedup.dir/bench_engine_speedup.cc.o.d"
+  "bench_engine_speedup"
+  "bench_engine_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_protocols.dir/bench_lock_protocols.cc.o"
+  "CMakeFiles/bench_lock_protocols.dir/bench_lock_protocols.cc.o.d"
+  "bench_lock_protocols"
+  "bench_lock_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_manners.dir/bench_manners.cc.o"
+  "CMakeFiles/bench_manners.dir/bench_manners.cc.o.d"
+  "bench_manners"
+  "bench_manners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rc_advantage.dir/bench_rc_advantage.cc.o"
+  "CMakeFiles/bench_rc_advantage.dir/bench_rc_advantage.cc.o.d"
+  "bench_rc_advantage"
+  "bench_rc_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rc_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

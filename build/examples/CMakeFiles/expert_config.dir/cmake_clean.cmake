@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_config.dir/expert_config.cpp.o"
+  "CMakeFiles/expert_config.dir/expert_config.cpp.o.d"
+  "expert_config"
+  "expert_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

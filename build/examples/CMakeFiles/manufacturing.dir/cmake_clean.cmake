@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing.dir/manufacturing.cpp.o"
+  "CMakeFiles/manufacturing.dir/manufacturing.cpp.o.d"
+  "manufacturing"
+  "manufacturing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_analysis.dir/access_sets.cc.o"
+  "CMakeFiles/dbps_analysis.dir/access_sets.cc.o.d"
+  "CMakeFiles/dbps_analysis.dir/lock_sets.cc.o"
+  "CMakeFiles/dbps_analysis.dir/lock_sets.cc.o.d"
+  "CMakeFiles/dbps_analysis.dir/partitioner.cc.o"
+  "CMakeFiles/dbps_analysis.dir/partitioner.cc.o.d"
+  "libdbps_analysis.a"
+  "libdbps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_engine.dir/busy_work.cc.o"
+  "CMakeFiles/dbps_engine.dir/busy_work.cc.o.d"
+  "CMakeFiles/dbps_engine.dir/engine.cc.o"
+  "CMakeFiles/dbps_engine.dir/engine.cc.o.d"
+  "CMakeFiles/dbps_engine.dir/parallel_engine.cc.o"
+  "CMakeFiles/dbps_engine.dir/parallel_engine.cc.o.d"
+  "CMakeFiles/dbps_engine.dir/single_thread_engine.cc.o"
+  "CMakeFiles/dbps_engine.dir/single_thread_engine.cc.o.d"
+  "CMakeFiles/dbps_engine.dir/static_partition_engine.cc.o"
+  "CMakeFiles/dbps_engine.dir/static_partition_engine.cc.o.d"
+  "libdbps_engine.a"
+  "libdbps_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

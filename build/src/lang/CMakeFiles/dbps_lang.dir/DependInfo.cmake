@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/compiler.cc" "src/lang/CMakeFiles/dbps_lang.dir/compiler.cc.o" "gcc" "src/lang/CMakeFiles/dbps_lang.dir/compiler.cc.o.d"
+  "/root/repo/src/lang/journal.cc" "src/lang/CMakeFiles/dbps_lang.dir/journal.cc.o" "gcc" "src/lang/CMakeFiles/dbps_lang.dir/journal.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/dbps_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/dbps_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/dbps_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/dbps_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/lang/CMakeFiles/dbps_lang.dir/printer.cc.o" "gcc" "src/lang/CMakeFiles/dbps_lang.dir/printer.cc.o.d"
+  "/root/repo/src/lang/query.cc" "src/lang/CMakeFiles/dbps_lang.dir/query.cc.o" "gcc" "src/lang/CMakeFiles/dbps_lang.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/dbps_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/dbps_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/dbps_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/dbps_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_lang.dir/compiler.cc.o"
+  "CMakeFiles/dbps_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/dbps_lang.dir/journal.cc.o"
+  "CMakeFiles/dbps_lang.dir/journal.cc.o.d"
+  "CMakeFiles/dbps_lang.dir/lexer.cc.o"
+  "CMakeFiles/dbps_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/dbps_lang.dir/parser.cc.o"
+  "CMakeFiles/dbps_lang.dir/parser.cc.o.d"
+  "CMakeFiles/dbps_lang.dir/printer.cc.o"
+  "CMakeFiles/dbps_lang.dir/printer.cc.o.d"
+  "CMakeFiles/dbps_lang.dir/query.cc.o"
+  "CMakeFiles/dbps_lang.dir/query.cc.o.d"
+  "libdbps_lang.a"
+  "libdbps_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

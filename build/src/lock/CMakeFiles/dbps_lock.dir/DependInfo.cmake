@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/dbps_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/dbps_lock.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lock/lock_types.cc" "src/lock/CMakeFiles/dbps_lock.dir/lock_types.cc.o" "gcc" "src/lock/CMakeFiles/dbps_lock.dir/lock_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wm/CMakeFiles/dbps_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/dbps_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/dbps_lock.dir/lock_manager.cc.o.d"
+  "CMakeFiles/dbps_lock.dir/lock_types.cc.o"
+  "CMakeFiles/dbps_lock.dir/lock_types.cc.o.d"
+  "libdbps_lock.a"
+  "libdbps_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

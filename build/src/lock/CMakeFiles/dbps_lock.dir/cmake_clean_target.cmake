@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbps_lock.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/conflict_resolution.cc" "src/match/CMakeFiles/dbps_match.dir/conflict_resolution.cc.o" "gcc" "src/match/CMakeFiles/dbps_match.dir/conflict_resolution.cc.o.d"
+  "/root/repo/src/match/conflict_set.cc" "src/match/CMakeFiles/dbps_match.dir/conflict_set.cc.o" "gcc" "src/match/CMakeFiles/dbps_match.dir/conflict_set.cc.o.d"
+  "/root/repo/src/match/instantiation.cc" "src/match/CMakeFiles/dbps_match.dir/instantiation.cc.o" "gcc" "src/match/CMakeFiles/dbps_match.dir/instantiation.cc.o.d"
+  "/root/repo/src/match/naive_matcher.cc" "src/match/CMakeFiles/dbps_match.dir/naive_matcher.cc.o" "gcc" "src/match/CMakeFiles/dbps_match.dir/naive_matcher.cc.o.d"
+  "/root/repo/src/match/rete.cc" "src/match/CMakeFiles/dbps_match.dir/rete.cc.o" "gcc" "src/match/CMakeFiles/dbps_match.dir/rete.cc.o.d"
+  "/root/repo/src/match/treat.cc" "src/match/CMakeFiles/dbps_match.dir/treat.cc.o" "gcc" "src/match/CMakeFiles/dbps_match.dir/treat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/dbps_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/dbps_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/dbps_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_match.dir/conflict_resolution.cc.o"
+  "CMakeFiles/dbps_match.dir/conflict_resolution.cc.o.d"
+  "CMakeFiles/dbps_match.dir/conflict_set.cc.o"
+  "CMakeFiles/dbps_match.dir/conflict_set.cc.o.d"
+  "CMakeFiles/dbps_match.dir/instantiation.cc.o"
+  "CMakeFiles/dbps_match.dir/instantiation.cc.o.d"
+  "CMakeFiles/dbps_match.dir/naive_matcher.cc.o"
+  "CMakeFiles/dbps_match.dir/naive_matcher.cc.o.d"
+  "CMakeFiles/dbps_match.dir/rete.cc.o"
+  "CMakeFiles/dbps_match.dir/rete.cc.o.d"
+  "CMakeFiles/dbps_match.dir/treat.cc.o"
+  "CMakeFiles/dbps_match.dir/treat.cc.o.d"
+  "libdbps_match.a"
+  "libdbps_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

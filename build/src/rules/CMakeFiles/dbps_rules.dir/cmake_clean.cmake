@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_rules.dir/rhs_evaluator.cc.o"
+  "CMakeFiles/dbps_rules.dir/rhs_evaluator.cc.o.d"
+  "CMakeFiles/dbps_rules.dir/rule.cc.o"
+  "CMakeFiles/dbps_rules.dir/rule.cc.o.d"
+  "libdbps_rules.a"
+  "libdbps_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_semantics.dir/abstract_ps.cc.o"
+  "CMakeFiles/dbps_semantics.dir/abstract_ps.cc.o.d"
+  "CMakeFiles/dbps_semantics.dir/replay_validator.cc.o"
+  "CMakeFiles/dbps_semantics.dir/replay_validator.cc.o.d"
+  "libdbps_semantics.a"
+  "libdbps_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

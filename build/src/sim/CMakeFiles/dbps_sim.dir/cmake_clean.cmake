@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_sim.dir/paper_scenarios.cc.o"
+  "CMakeFiles/dbps_sim.dir/paper_scenarios.cc.o.d"
+  "CMakeFiles/dbps_sim.dir/speedup_model.cc.o"
+  "CMakeFiles/dbps_sim.dir/speedup_model.cc.o.d"
+  "libdbps_sim.a"
+  "libdbps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_util.dir/logging.cc.o"
+  "CMakeFiles/dbps_util.dir/logging.cc.o.d"
+  "CMakeFiles/dbps_util.dir/random.cc.o"
+  "CMakeFiles/dbps_util.dir/random.cc.o.d"
+  "CMakeFiles/dbps_util.dir/status.cc.o"
+  "CMakeFiles/dbps_util.dir/status.cc.o.d"
+  "CMakeFiles/dbps_util.dir/string_util.cc.o"
+  "CMakeFiles/dbps_util.dir/string_util.cc.o.d"
+  "CMakeFiles/dbps_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dbps_util.dir/thread_pool.cc.o.d"
+  "libdbps_util.a"
+  "libdbps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_value.dir/symbol_table.cc.o"
+  "CMakeFiles/dbps_value.dir/symbol_table.cc.o.d"
+  "CMakeFiles/dbps_value.dir/value.cc.o"
+  "CMakeFiles/dbps_value.dir/value.cc.o.d"
+  "libdbps_value.a"
+  "libdbps_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

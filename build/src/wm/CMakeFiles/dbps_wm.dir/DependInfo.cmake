@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wm/delta.cc" "src/wm/CMakeFiles/dbps_wm.dir/delta.cc.o" "gcc" "src/wm/CMakeFiles/dbps_wm.dir/delta.cc.o.d"
+  "/root/repo/src/wm/schema.cc" "src/wm/CMakeFiles/dbps_wm.dir/schema.cc.o" "gcc" "src/wm/CMakeFiles/dbps_wm.dir/schema.cc.o.d"
+  "/root/repo/src/wm/wme.cc" "src/wm/CMakeFiles/dbps_wm.dir/wme.cc.o" "gcc" "src/wm/CMakeFiles/dbps_wm.dir/wme.cc.o.d"
+  "/root/repo/src/wm/working_memory.cc" "src/wm/CMakeFiles/dbps_wm.dir/working_memory.cc.o" "gcc" "src/wm/CMakeFiles/dbps_wm.dir/working_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/dbps_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

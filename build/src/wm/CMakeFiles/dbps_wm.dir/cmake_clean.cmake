@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_wm.dir/delta.cc.o"
+  "CMakeFiles/dbps_wm.dir/delta.cc.o.d"
+  "CMakeFiles/dbps_wm.dir/schema.cc.o"
+  "CMakeFiles/dbps_wm.dir/schema.cc.o.d"
+  "CMakeFiles/dbps_wm.dir/wme.cc.o"
+  "CMakeFiles/dbps_wm.dir/wme.cc.o.d"
+  "CMakeFiles/dbps_wm.dir/working_memory.cc.o"
+  "CMakeFiles/dbps_wm.dir/working_memory.cc.o.d"
+  "libdbps_wm.a"
+  "libdbps_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_ps_test.dir/semantics/abstract_ps_test.cc.o"
+  "CMakeFiles/abstract_ps_test.dir/semantics/abstract_ps_test.cc.o.d"
+  "abstract_ps_test"
+  "abstract_ps_test.pdb"
+  "abstract_ps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_ps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

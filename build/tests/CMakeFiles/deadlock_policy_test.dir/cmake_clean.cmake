@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_policy_test.dir/lock/deadlock_policy_test.cc.o"
+  "CMakeFiles/deadlock_policy_test.dir/lock/deadlock_policy_test.cc.o.d"
+  "deadlock_policy_test"
+  "deadlock_policy_test.pdb"
+  "deadlock_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

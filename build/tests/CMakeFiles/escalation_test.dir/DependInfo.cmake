@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/escalation_test.cc" "tests/CMakeFiles/escalation_test.dir/analysis/escalation_test.cc.o" "gcc" "tests/CMakeFiles/escalation_test.dir/analysis/escalation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dbps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/dbps_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dbps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/dbps_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/dbps_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dbps_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/dbps_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/dbps_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/dbps_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observer_test.dir/engine/observer_test.cc.o"
+  "CMakeFiles/observer_test.dir/engine/observer_test.cc.o.d"
+  "observer_test"
+  "observer_test.pdb"
+  "observer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_stress_test.dir/match/rete_stress_test.cc.o"
+  "CMakeFiles/rete_stress_test.dir/match/rete_stress_test.cc.o.d"
+  "rete_stress_test"
+  "rete_stress_test.pdb"
+  "rete_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

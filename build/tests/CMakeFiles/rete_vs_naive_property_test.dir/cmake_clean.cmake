@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_vs_naive_property_test.dir/match/rete_vs_naive_property_test.cc.o"
+  "CMakeFiles/rete_vs_naive_property_test.dir/match/rete_vs_naive_property_test.cc.o.d"
+  "rete_vs_naive_property_test"
+  "rete_vs_naive_property_test.pdb"
+  "rete_vs_naive_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_vs_naive_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_thread_test.dir/engine/single_thread_test.cc.o"
+  "CMakeFiles/single_thread_test.dir/engine/single_thread_test.cc.o.d"
+  "single_thread_test"
+  "single_thread_test.pdb"
+  "single_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_model_test.dir/sim/speedup_model_test.cc.o"
+  "CMakeFiles/speedup_model_test.dir/sim/speedup_model_test.cc.o.d"
+  "speedup_model_test"
+  "speedup_model_test.pdb"
+  "speedup_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_partition_test.dir/engine/static_partition_test.cc.o"
+  "CMakeFiles/static_partition_test.dir/engine/static_partition_test.cc.o.d"
+  "static_partition_test"
+  "static_partition_test.pdb"
+  "static_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

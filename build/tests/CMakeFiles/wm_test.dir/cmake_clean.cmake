@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_test.dir/wm/wm_test.cc.o"
+  "CMakeFiles/wm_test.dir/wm/wm_test.cc.o.d"
+  "wm_test"
+  "wm_test.pdb"
+  "wm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

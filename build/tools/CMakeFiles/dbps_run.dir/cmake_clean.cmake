@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbps_run.dir/dbps_run.cc.o"
+  "CMakeFiles/dbps_run.dir/dbps_run.cc.o.d"
+  "dbps_run"
+  "dbps_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbps_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
