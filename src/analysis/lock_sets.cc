@@ -81,6 +81,31 @@ std::vector<LockRequest> EscalateConditionLocks(
   return out;
 }
 
+StatusOr<std::vector<LockRequest>> DeltaActionLocks(const WorkingMemory& wm,
+                                                    const Delta& delta,
+                                                    TxnId txn) {
+  std::vector<LockRequest> requests;
+  for (const WmOp& op : delta.ops()) {
+    if (const auto* create = std::get_if<CreateOp>(&op)) {
+      requests.push_back(LockRequest{
+          InsertIntentObject(create->relation, txn), LockMode::kWa});
+    } else {
+      const WmeId id = std::holds_alternative<ModifyOp>(op)
+                           ? std::get<ModifyOp>(op).id
+                           : std::get<DeleteOp>(op).id;
+      WmePtr wme = wm.Get(id);
+      if (wme == nullptr) {
+        return Status::NotFound("delta names dead WME id " +
+                                std::to_string(id));
+      }
+      requests.push_back(LockRequest{LockObjectId{wme->relation(), id},
+                                     LockMode::kWa});
+    }
+  }
+  SortAndDedupe(&requests);
+  return requests;
+}
+
 std::vector<LockRequest> ActionLocks(const Instantiation& inst, TxnId txn) {
   const Rule& rule = *inst.rule();
   std::set<size_t> wa_ces;    // positive CEs whose tuple gets Wa
@@ -89,9 +114,8 @@ std::vector<LockRequest> ActionLocks(const Instantiation& inst, TxnId txn) {
 
   for (const auto& action : rule.actions()) {
     if (const auto* make = std::get_if<MakeAction>(&action)) {
-      requests.push_back(LockRequest{
-          LockObjectId{make->relation, kInsertLockBase + txn},
-          LockMode::kWa});
+      requests.push_back(LockRequest{InsertIntentObject(make->relation, txn),
+                                     LockMode::kWa});
       for (const auto& expr : make->values) {
         CollectBindingCes(expr, &read_ces);
       }

@@ -8,6 +8,9 @@
 
 #include "lock/lock_types.h"
 #include "match/instantiation.h"
+#include "util/statusor.h"
+#include "wm/delta.h"
+#include "wm/working_memory.h"
 
 namespace dbps {
 
@@ -31,6 +34,15 @@ std::vector<LockRequest> ConditionLocks(const Instantiation& inst);
 /// escalation. Requests come back deduplicated and in canonical order.
 std::vector<LockRequest> EscalateConditionLocks(
     std::vector<LockRequest> requests, size_t threshold);
+
+/// Action locks for an external (client) transaction's write set: Wa on
+/// every tuple a modify/delete names, an insert-intent Wa per created-into
+/// relation. Fails with NotFound if a modify/delete names a dead WME (the
+/// caller aborts instead of discovering this at commit). `wm` is only
+/// read, to resolve WME ids to their relations.
+StatusOr<std::vector<LockRequest>> DeltaActionLocks(const WorkingMemory& wm,
+                                                    const Delta& delta,
+                                                    TxnId txn);
 
 /// Action locks (acquired when RHS execution begins — Figure 4.2):
 ///  * Wa on every tuple the RHS modifies or removes,

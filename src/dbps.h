@@ -48,6 +48,10 @@
 #include "rules/rule.h"
 #include "semantics/abstract_ps.h"
 #include "semantics/replay_validator.h"
+#include "server/admission.h"
+#include "server/journal_feed.h"
+#include "server/session.h"
+#include "server/session_manager.h"
 #include "sim/paper_scenarios.h"
 #include "sim/speedup_model.h"
 #include "util/logging.h"

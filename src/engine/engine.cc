@@ -4,14 +4,30 @@
 
 namespace dbps {
 
+bool IsClientFiring(const InstKey& key) {
+  return key.rule_name.rfind(kClientRulePrefix, 0) == 0;
+}
+
+InstKey MakeClientKey(const std::string& session_name) {
+  InstKey key;
+  key.rule_name = std::string(kClientRulePrefix) + session_name;
+  return key;
+}
+
 std::string EngineStats::ToString() const {
-  return StringPrintf(
+  std::string out = StringPrintf(
       "firings=%llu aborts=%llu deadlocks=%llu stale=%llu rhs_errors=%llu "
       "cycles=%llu halted=%d hit_max=%d elapsed=%.3fs",
       (unsigned long long)firings, (unsigned long long)aborts,
       (unsigned long long)deadlocks, (unsigned long long)stale_skips,
       (unsigned long long)rhs_errors, (unsigned long long)cycles,
       halted ? 1 : 0, hit_max_firings ? 1 : 0, elapsed_seconds);
+  if (client_commits != 0 || client_aborts != 0) {
+    out += StringPrintf(" client_commits=%llu client_aborts=%llu",
+                        (unsigned long long)client_commits,
+                        (unsigned long long)client_aborts);
+  }
+  return out;
 }
 
 }  // namespace dbps

@@ -34,6 +34,10 @@ struct EngineEvent {
   };
   Kind kind;
   const InstKey* key;  ///< the firing's identity (valid during the call)
+  /// The committed changes; non-null for kCommit, null otherwise (valid
+  /// during the call). Lets observers journal every commit — rule firings
+  /// and external client transactions alike — in commit order.
+  const Delta* delta = nullptr;
 };
 
 using EngineObserver = std::function<void(const EngineEvent&)>;
@@ -54,12 +58,25 @@ struct EngineOptions {
   EngineObserver observer;
 };
 
-/// \brief One committed firing.
+/// \brief One committed firing — or one committed external (client)
+/// transaction, whose key carries the kClientRulePrefix and no WMEs.
 struct FiringRecord {
   uint64_t seq = 0;       ///< commit order, starting at 0
   InstKey key;            ///< rule + matched WME versions
   Delta delta;            ///< the changes this firing applied
 };
+
+/// External transactions appear in the commit log under a pseudo rule name
+/// "@client/<session>". '@' cannot start a rule-language identifier, so
+/// these never collide with real rules.
+inline constexpr const char kClientRulePrefix[] = "@client/";
+
+/// True iff `key` records an external client transaction rather than a
+/// production firing.
+bool IsClientFiring(const InstKey& key);
+
+/// The log identity of one client session's commits.
+InstKey MakeClientKey(const std::string& session_name);
 
 /// \brief Aggregate counters of one run.
 struct EngineStats {
@@ -69,6 +86,10 @@ struct EngineStats {
   uint64_t stale_skips = 0;  ///< claims invalidated before execution began
   uint64_t rhs_errors = 0;   ///< firings skipped due to RHS evaluation errors
   uint64_t cycles = 0;       ///< production cycles (cycle-structured engines)
+  /// External (client session) transactions committed through the engine's
+  /// commit path — these interleave with rule firings in the log.
+  uint64_t client_commits = 0;
+  uint64_t client_aborts = 0;  ///< external transactions rolled back
   /// High-water mark of firings simultaneously in their execute phase
   /// (parallel engines only) — the achieved degree of parallelism.
   int peak_parallel_executions = 0;

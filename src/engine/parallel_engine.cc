@@ -38,6 +38,9 @@ StatusOr<RunResult> ParallelEngine::Run() {
   lock_options.deadlock_policy = options_.deadlock_policy;
   lock_options.wait_timeout = options_.lock_timeout;
   lock_manager_ = std::make_unique<LockManager>(lock_options);
+  // The release store publishes matcher_/lock_manager_ to client threads
+  // observing accepting_external().
+  accepting_.store(true, std::memory_order_release);
 
   Stopwatch stopwatch;
   std::vector<std::thread> workers;
@@ -46,7 +49,11 @@ StatusOr<RunResult> ParallelEngine::Run() {
     workers.emplace_back([this, i] { WorkerLoop(i); });
   }
   for (auto& worker : workers) worker.join();
+  accepting_.store(false, std::memory_order_release);
 
+  // Client threads may still be inside AbortExternal; compose the result
+  // under the engine mutex.
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
   stats_.peak_parallel_executions = peak_executing_.load();
   lock_stats_ = lock_manager_->GetStats();
@@ -75,14 +82,22 @@ void ParallelEngine::WorkerLoop(size_t worker_index) {
           }
         }
         if (in_flight_ == 0) {
-          // Nothing running, nothing claimable: the run is over.
-          if (!may_claim && stats_.firings >= options_.base.max_firings &&
-              matcher_->conflict_set().HasSelectable()) {
-            stats_.hit_max_firings = true;
+          // Nothing running, nothing claimable. With an external source
+          // attached and still undrained the run is not over — a client
+          // commit may activate new instantiations — so sleep instead.
+          const bool external_pending = may_claim &&
+                                        options_.external_source != nullptr &&
+                                        !options_.external_source->Drained();
+          if (!external_pending) {
+            if (!may_claim && stats_.firings >= options_.base.max_firings &&
+                matcher_->conflict_set().HasSelectable()) {
+              stats_.hit_max_firings = true;
+            }
+            done_ = true;
+            accepting_.store(false, std::memory_order_release);
+            cv_.notify_all();
+            return;
           }
-          done_ = true;
-          cv_.notify_all();
-          return;
         }
         cv_.wait(lock);
       }
@@ -217,9 +232,6 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
         FinishAborted(txn, key, /*deadlock=*/false);
         return false;
       }
-      // Settle Rc–Wa conflicts (empty under 2PL).
-      std::vector<TxnId> victims = lock_manager_->CollectRcVictims(txn);
-
       auto change_or = wm_->Apply(delta);
       if (!change_or.ok()) {
         // Cannot happen while the locking protocol is sound; surface it
@@ -234,25 +246,16 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
       matcher_->conflict_set().MarkFired(key);
       matcher_->ApplyChange(change_or.ValueOrDie());
 
-      for (TxnId victim : victims) {
-        if (options_.abort_policy == AbortPolicy::kAbort) {
-          lock_manager_->MarkAborted(victim);
-        } else {
-          // kRevalidate: spare victims whose match survived this commit.
-          auto it = txn_keys_.find(victim);
-          if (it != txn_keys_.end() &&
-              !matcher_->conflict_set().Contains(it->second)) {
-            lock_manager_->MarkAborted(victim);
-          }
-        }
-      }
+      // Settle Rc–Wa conflicts (empty under 2PL).
+      SettleRcVictimsLocked(txn);
 
       if (options_.base.record_log) {
-        log_.push_back(FiringRecord{stats_.firings, key, delta});
+        log_.push_back(FiringRecord{commit_seq_, key, delta});
       }
+      ++commit_seq_;
       if (options_.base.observer) {
         options_.base.observer(
-            EngineEvent{EngineEvent::Kind::kCommit, &key});
+            EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
       }
       ++stats_.firings;
       if (delta.halt()) {
@@ -267,5 +270,112 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
   }
   return false;
 }
+
+void ParallelEngine::SettleRcVictimsLocked(TxnId committer) {
+  for (TxnId victim : lock_manager_->CollectRcVictims(committer)) {
+    auto it = txn_keys_.find(victim);
+    if (it == txn_keys_.end()) {
+      // An external transaction: there is no instantiation to revalidate
+      // — its repeatable read is stale either way — so the paper's rule
+      // (ii) applies under both policies.
+      lock_manager_->MarkAborted(victim);
+    } else if (options_.abort_policy == AbortPolicy::kAbort ||
+               !matcher_->conflict_set().Contains(it->second)) {
+      lock_manager_->MarkAborted(victim);
+    }
+  }
+}
+
+bool ParallelEngine::WaitUntilAccepting(
+    std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!accepting_.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+StatusOr<TxnId> ParallelEngine::BeginExternal() {
+  if (!accepting_external()) {
+    return Status::Unavailable("engine is not serving");
+  }
+  return lock_manager_->Begin();
+}
+
+Status ParallelEngine::AcquireExternal(TxnId txn, const LockObjectId& object,
+                                       LockMode mode) {
+  if (!accepting_external()) {
+    return Status::Unavailable("engine is not serving");
+  }
+  return lock_manager_->Acquire(txn, object, mode);
+}
+
+bool ParallelEngine::IsExternalAborted(TxnId txn) const {
+  return lock_manager_ != nullptr && lock_manager_->IsAborted(txn);
+}
+
+StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
+                                                  const InstKey& key,
+                                                  const Delta& delta) {
+  DBPS_CHECK(IsClientFiring(key));
+  uint64_t seq = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (done_) return Status::Unavailable("engine has stopped");
+    if (lock_manager_->IsAborted(txn)) {
+      return Status::Aborted("aborted by a conflicting commit");
+    }
+
+    auto change_or = wm_->Apply(delta);
+    if (!change_or.ok()) {
+      // Unlike a rule commit this is reachable in normal operation: the
+      // client may have buffered a write against a tuple a rule deleted
+      // before the client locked it. No state has changed; the caller
+      // aborts the transaction.
+      return change_or.status();
+    }
+    matcher_->ApplyChange(change_or.ValueOrDie());
+
+    // A client writer's commit victimizes Rc-holding rule firings (and
+    // other client readers) exactly like a rule commit — §4.3.
+    SettleRcVictimsLocked(txn);
+
+    // An empty write set still commits (its repeatable reads were valid)
+    // but leaves no trace in the log or journal.
+    seq = commit_seq_;
+    if (!delta.empty()) {
+      if (options_.base.record_log) {
+        log_.push_back(FiringRecord{seq, key, delta});
+      }
+      ++commit_seq_;
+      if (options_.base.observer) {
+        options_.base.observer(
+            EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
+      }
+    }
+    ++stats_.client_commits;
+    if (delta.halt()) {
+      halted_ = true;
+      stats_.halted = true;
+    }
+  }
+  lock_manager_->Release(txn);
+  // New WMEs may have activated instantiations; wake sleeping workers.
+  cv_.notify_all();
+  return seq;
+}
+
+void ParallelEngine::AbortExternal(TxnId txn) {
+  if (lock_manager_ == nullptr) return;
+  lock_manager_->Release(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.client_aborts;
+  }
+  cv_.notify_all();
+}
+
+void ParallelEngine::NotifyExternalActivity() { cv_.notify_all(); }
 
 }  // namespace dbps

@@ -22,6 +22,16 @@
 //
 // The committed sequence is totally ordered by the engine mutex; it is
 // the execution string the semantics validator replays.
+//
+// External transactions (src/server/): when an ExternalSource is attached,
+// the engine doubles as a database server — client sessions run
+// Begin/Acquire/Commit transactions against the same lock manager and
+// commit through the same mutex-ordered path, so client writes interleave
+// with rule firings in one totally-ordered, replayable log. Under kRcRaWa
+// a client writer's commit victimizes rule firings holding conflicting Rc
+// locks (the §4.3 conflict), and vice versa. Workers do not declare the
+// run finished while the source still has clients attached; they sleep
+// until a client commit activates new instantiations or the source drains.
 
 #ifndef DBPS_ENGINE_PARALLEL_ENGINE_H_
 #define DBPS_ENGINE_PARALLEL_ENGINE_H_
@@ -50,6 +60,23 @@ enum class AbortPolicy : uint8_t {
 
 const char* AbortPolicyToString(AbortPolicy policy);
 
+/// \brief A source of external (client) transactions attached to a
+/// running ParallelEngine — implemented by server::SessionManager.
+///
+/// Workers poll Drained() (with the engine mutex held) when deciding
+/// whether the run may terminate: while it returns false the engine stays
+/// alive waiting for client commits even though the conflict set is
+/// empty. Implementations must be lock-free (atomics only) and must not
+/// call back into the engine from Drained().
+class ExternalSource {
+ public:
+  virtual ~ExternalSource() = default;
+
+  /// True once no further external transactions can arrive (e.g. the
+  /// session manager is closed and every session has disconnected).
+  virtual bool Drained() const = 0;
+};
+
 struct ParallelEngineOptions {
   EngineOptions base;
   size_t num_workers = 4;  ///< the paper's Np
@@ -60,6 +87,9 @@ struct ParallelEngineOptions {
   /// when it holds more than this many in a relation (0 = never) — §4.3.
   size_t rc_escalation_threshold = 0;
   std::chrono::milliseconds lock_timeout{10000};
+  /// When non-null, Run() keeps serving until the source is drained (and
+  /// the conflict set has emptied). Not owned; must outlive Run().
+  ExternalSource* external_source = nullptr;
 };
 
 class ParallelEngine {
@@ -67,11 +97,57 @@ class ParallelEngine {
   ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
                  ParallelEngineOptions options = {});
 
-  /// Runs to completion (empty conflict set with nothing in flight, halt,
-  /// or max_firings) and returns stats plus the committed firing log.
+  /// Runs to completion (empty conflict set with nothing in flight — and,
+  /// with an external source attached, the source drained — halt, or
+  /// max_firings) and returns stats plus the committed log.
   StatusOr<RunResult> Run();
 
   const LockManager::Stats& lock_stats() const { return lock_stats_; }
+
+  // --- External transactions (the src/server/ front door) -----------------
+  //
+  // All of these are thread-safe and may be called from client threads
+  // concurrently with Run(). They fail with Unavailable outside the
+  // window in which the engine is serving (after Run() set up the lock
+  // manager, before the run finished).
+
+  /// True while external transactions are being admitted.
+  bool accepting_external() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the engine accepts external transactions; false on
+  /// timeout (e.g. Run() was never called or already finished).
+  bool WaitUntilAccepting(std::chrono::milliseconds timeout) const;
+
+  /// Starts an external transaction against the engine's lock manager.
+  StatusOr<TxnId> BeginExternal();
+
+  /// Acquires `mode` on `object` for external transaction `txn`; blocks
+  /// on conflicts exactly like a rule firing's lock request.
+  Status AcquireExternal(TxnId txn, const LockObjectId& object,
+                         LockMode mode);
+
+  /// True iff a conflicting commit marked `txn` aborted (Rc–Wa rule).
+  bool IsExternalAborted(TxnId txn) const;
+
+  /// Commits `delta` under the engine mutex: settles Rc–Wa victims
+  /// (aborting conflicting rule firings and client readers), applies the
+  /// delta atomically, propagates it to the matcher, appends a
+  /// client-keyed record to the commit log, and releases `txn`'s locks.
+  /// `key` must be a client key (MakeClientKey). Returns the commit seq.
+  /// On failure no state changed and the caller still owns the
+  /// transaction — call AbortExternal.
+  StatusOr<uint64_t> CommitExternal(TxnId txn, const InstKey& key,
+                                    const Delta& delta);
+
+  /// Rolls back `txn`: discards nothing (writes were never applied),
+  /// releases its locks, counts a client abort.
+  void AbortExternal(TxnId txn);
+
+  /// Wakes sleeping workers so they re-check termination — call after the
+  /// external source's Drained() may have flipped to true.
+  void NotifyExternalActivity();
 
  private:
   void WorkerLoop(size_t worker_index);
@@ -86,6 +162,13 @@ class ParallelEngine {
   void FinishStale(TxnId txn, const InstKey& key);
   void FinishRetired(TxnId txn, const InstKey& key);  // RHS error
 
+  /// The §4.3 commit-time settlement, shared by rule and client commits:
+  /// marks aborted every live transaction holding an Rc lock conflicting
+  /// with `committer`'s Wa set (under kRevalidate, rule firings whose
+  /// match survived are spared; client readers cannot be revalidated and
+  /// are always aborted). Requires mu_ held.
+  void SettleRcVictimsLocked(TxnId committer);
+
   WorkingMemory* wm_;
   RuleSetPtr rules_;
   ParallelEngineOptions options_;
@@ -99,7 +182,11 @@ class ParallelEngine {
   size_t in_flight_ = 0;
   bool done_ = false;
   bool halted_ = false;
+  /// Whether external transactions are currently admitted; true from
+  /// Run()'s setup until the run finishes.
+  std::atomic<bool> accepting_{false};
   EngineStats stats_;
+  uint64_t commit_seq_ = 0;  ///< total commits (firings + client txns)
   std::vector<FiringRecord> log_;
   /// Live transactions' claimed instantiation (for kRevalidate).
   std::unordered_map<TxnId, InstKey> txn_keys_;

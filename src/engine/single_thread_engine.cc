@@ -65,7 +65,7 @@ StatusOr<bool> SingleThreadEngine::Step() {
   }
   if (options_.observer) {
     InstKey key = inst->key();
-    options_.observer(EngineEvent{EngineEvent::Kind::kCommit, &key});
+    options_.observer(EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
   }
   ++stats_.firings;
   ++stats_.cycles;

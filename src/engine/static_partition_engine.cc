@@ -105,6 +105,10 @@ StatusOr<RunResult> StaticPartitionEngine::Run() {
         log.push_back(
             FiringRecord{stats.firings, outcome.inst->key(), delta});
       }
+      if (options_.base.observer) {
+        options_.base.observer(EngineEvent{EngineEvent::Kind::kCommit,
+                                           &outcome.inst->key(), &delta});
+      }
       ++stats.firings;
       if (delta.halt()) {
         halted = true;

@@ -8,15 +8,23 @@
 
 namespace dbps {
 
-StatusOr<std::vector<QueryRow>> ExecuteQuery(const WorkingMemory& wm,
-                                             std::string_view lhs_source) {
-  // Wrap the LHS into a throwaway rule so the ordinary compile pipeline
-  // (name resolution, variable binding, type checks) applies verbatim.
+namespace {
+
+// Wraps the LHS into a throwaway rule so the ordinary compile pipeline
+// (name resolution, variable binding, type checks) applies verbatim.
+StatusOr<CompiledProgram> CompileLhs(const WorkingMemory& wm,
+                                     std::string_view lhs_source) {
   std::string source = "(rule __query__\n";
   source += lhs_source;
   source += "\n--> (remove 1))";
-  DBPS_ASSIGN_OR_RETURN(CompiledProgram program,
-                        CompileProgram(source, &wm.catalog()));
+  return CompileProgram(source, &wm.catalog());
+}
+
+}  // namespace
+
+StatusOr<std::vector<QueryRow>> ExecuteQuery(const WorkingMemory& wm,
+                                             std::string_view lhs_source) {
+  DBPS_ASSIGN_OR_RETURN(CompiledProgram program, CompileLhs(wm, lhs_source));
 
   auto matcher = CreateMatcher(MatcherKind::kNaive);
   DBPS_RETURN_NOT_OK(matcher->Initialize(program.rules, wm));
@@ -40,6 +48,21 @@ StatusOr<size_t> CountQuery(const WorkingMemory& wm,
   DBPS_ASSIGN_OR_RETURN(std::vector<QueryRow> rows,
                         ExecuteQuery(wm, lhs_source));
   return rows.size();
+}
+
+StatusOr<std::vector<SymbolId>> QueryRelations(const WorkingMemory& wm,
+                                               std::string_view lhs_source) {
+  DBPS_ASSIGN_OR_RETURN(CompiledProgram program, CompileLhs(wm, lhs_source));
+  std::vector<SymbolId> relations;
+  for (const auto& rule : program.rules->rules()) {
+    for (const auto& cond : rule->conditions()) {
+      if (std::find(relations.begin(), relations.end(), cond.relation) ==
+          relations.end()) {
+        relations.push_back(cond.relation);
+      }
+    }
+  }
+  return relations;
 }
 
 }  // namespace dbps

@@ -36,6 +36,12 @@ StatusOr<std::vector<QueryRow>> ExecuteQuery(const WorkingMemory& wm,
 StatusOr<size_t> CountQuery(const WorkingMemory& wm,
                             std::string_view lhs_source);
 
+/// The relations `lhs_source` touches (positive and negated CEs alike),
+/// deduplicated, in first-mention order. Sessions use this to take
+/// relation-level Rc locks before running a repeatable-read query.
+StatusOr<std::vector<SymbolId>> QueryRelations(const WorkingMemory& wm,
+                                               std::string_view lhs_source);
+
 }  // namespace dbps
 
 #endif  // DBPS_LANG_QUERY_H_

@@ -44,6 +44,13 @@ struct LockObjectId {
   std::string ToString() const;
 };
 
+/// The per-transaction insert-intent lock object for creates into
+/// `relation`. Intents of different transactions never conflict with each
+/// other, only (via the hierarchy) with relation-level locks.
+inline LockObjectId InsertIntentObject(SymbolId relation, TxnId txn) {
+  return LockObjectId{relation, kInsertLockBase + txn};
+}
+
 struct LockObjectIdHash {
   size_t operator()(const LockObjectId& id) const {
     return Mix64((static_cast<uint64_t>(id.relation) << 48) ^ id.wme);

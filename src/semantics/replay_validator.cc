@@ -14,6 +14,23 @@ Status ValidateReplay(WorkingMemory* initial_wm, const RuleSetPtr& rules,
   for (size_t step = 0; step < log.size(); ++step) {
     const FiringRecord& record = log[step];
 
+    // External client transactions are *inputs* to the production system,
+    // not firings: Definition 3.2 extends to "a single-thread execution
+    // interleaved with the logged external updates at exactly their
+    // logged commit points". They replay by applying their delta; it must
+    // still be applicable here, or the log's total order was violated.
+    if (IsClientFiring(record.key)) {
+      auto change_or = initial_wm->Apply(record.delta);
+      if (!change_or.ok()) {
+        return Status::Internal(StringPrintf(
+            "step %zu: applying client transaction %s failed: %s", step,
+            record.key.rule_name.c_str(),
+            change_or.status().ToString().c_str()));
+      }
+      matcher->ApplyChange(change_or.ValueOrDie());
+      continue;
+    }
+
     // (1) Membership: the fired instantiation must be active here — this
     // is exactly "the commit sequence is a root-originating path".
     const InstPtr* inst = matcher->conflict_set().Find(record.key);

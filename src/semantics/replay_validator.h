@@ -11,6 +11,12 @@
 //
 // Theorems 1 and 2 (and the §4.3 extension) assert every log the engines
 // produce passes this check; the property tests exercise it heavily.
+//
+// Logs may contain external client transactions (src/server/), recorded
+// under client keys (kClientRulePrefix). These replay as given inputs —
+// their deltas are applied at exactly their logged commit points — and
+// the rule firings around them must remain valid, which is how Def. 3.2
+// extends to the multi-user setting.
 
 #ifndef DBPS_SEMANTICS_REPLAY_VALIDATOR_H_
 #define DBPS_SEMANTICS_REPLAY_VALIDATOR_H_

@@ -1,0 +1,55 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace dbps {
+
+Status AdmissionGate::Enter(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (capacity_ != 0 && in_use_ >= capacity_) {
+    ++stats_.waited;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (capacity_ != 0 && in_use_ >= capacity_ && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (capacity_ == 0 || in_use_ < capacity_ || closed_) break;
+        ++stats_.timeouts;
+        return Status::ResourceExhausted(
+            "admission gate full (capacity " + std::to_string(capacity_) +
+            ")");
+      }
+    }
+  }
+  if (closed_) return Status::Unavailable("admission gate closed");
+  ++in_use_;
+  ++stats_.admitted;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, in_use_);
+  return Status::OK();
+}
+
+void AdmissionGate::Leave() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_use_ > 0) --in_use_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionGate::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionGate::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+AdmissionGate::Stats AdmissionGate::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dbps

@@ -1,0 +1,61 @@
+// Bounded admission: the server's backpressure primitive.
+//
+// An AdmissionGate holds a fixed number of slots. Enter() blocks while
+// the gate is full — callers (client sessions opening transactions, or
+// connections being admitted) feel backpressure instead of overrunning
+// the engine — and fails with ResourceExhausted when the wait times out,
+// or Unavailable once the gate is closed. Leave() frees a slot and wakes
+// one waiter. The gate is fair in the weak sense of condition variables:
+// no queue jumping is prevented, only starvation by wakeup loss.
+
+#ifndef DBPS_SERVER_ADMISSION_H_
+#define DBPS_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace dbps {
+
+class AdmissionGate {
+ public:
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t waited = 0;    ///< Enter calls that blocked at least once
+    uint64_t timeouts = 0;  ///< Enter calls that gave up
+    size_t peak_in_use = 0;
+  };
+
+  /// `capacity` == 0 means unbounded (Enter never blocks).
+  explicit AdmissionGate(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Takes one slot, blocking up to `timeout` while the gate is full.
+  Status Enter(std::chrono::milliseconds timeout);
+
+  /// Returns one slot and wakes a waiter.
+  void Leave();
+
+  /// Fails all current and future Enter calls with Unavailable.
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+  size_t in_use() const;
+  Stats GetStats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_use_ = 0;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_SERVER_ADMISSION_H_

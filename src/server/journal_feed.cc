@@ -1,0 +1,64 @@
+#include "server/journal_feed.h"
+
+#include <utility>
+
+#include "lang/journal.h"
+
+namespace dbps {
+
+EngineObserver JournalFeed::MakeObserver(EngineObserver next) {
+  return [this, next = std::move(next)](const EngineEvent& event) {
+    if (event.kind == EngineEvent::Kind::kCommit && event.delta != nullptr) {
+      Append(*event.delta);
+    }
+    if (next) next(event);
+  };
+}
+
+void JournalFeed::Append(const Delta& delta) {
+  auto line_or = DeltaToJournalLine(delta);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!line_or.ok()) {
+      ++serialize_errors_;
+      return;
+    }
+    lines_.push_back(std::move(line_or).ValueOrDie());
+  }
+  cv_.notify_all();
+}
+
+size_t JournalFeed::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+std::vector<std::string> JournalFeed::LinesFrom(size_t cursor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cursor >= lines_.size()) return {};
+  return std::vector<std::string>(lines_.begin() + cursor, lines_.end());
+}
+
+std::string JournalFeed::TextFrom(size_t cursor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (size_t i = cursor; i < lines_.size(); ++i) {
+    out += lines_[i];
+    out += '\n';
+  }
+  return out;
+}
+
+size_t JournalFeed::WaitForSize(size_t target,
+                                std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return lines_.size() >= target; });
+  return lines_.size();
+}
+
+uint64_t JournalFeed::serialize_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serialize_errors_;
+}
+
+}  // namespace dbps

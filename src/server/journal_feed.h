@@ -1,0 +1,66 @@
+// JournalFeed: the durability fan-out of the server.
+//
+// One feed accumulates every committed delta — rule firings and external
+// client transactions alike — as journal lines (lang/journal.h format),
+// in commit order. Install MakeObserver() as the engine's observer:
+// commit events are delivered under the engine's commit lock, so the
+// feed's order IS the commit order, and replaying its text against the
+// initial working memory reproduces the final database exactly.
+//
+// Sessions subscribe by keeping a cursor (an index into the line
+// sequence) and draining LinesFrom(cursor) — e.g. to ship lines to disk
+// or a replica. The feed never drops lines; bound its growth by draining.
+
+#ifndef DBPS_SERVER_JOURNAL_FEED_H_
+#define DBPS_SERVER_JOURNAL_FEED_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "wm/delta.h"
+
+namespace dbps {
+
+class JournalFeed {
+ public:
+  JournalFeed() = default;
+  JournalFeed(const JournalFeed&) = delete;
+  JournalFeed& operator=(const JournalFeed&) = delete;
+
+  /// An engine observer that appends every kCommit delta to this feed and
+  /// then forwards the event to `next` (chain a user observer through).
+  EngineObserver MakeObserver(EngineObserver next = nullptr);
+
+  /// Appends one committed delta as a journal line. Serialization
+  /// failures are counted, not propagated (the commit already happened).
+  void Append(const Delta& delta);
+
+  size_t size() const;
+
+  /// Lines [cursor, size()). The caller owns and advances its cursor.
+  std::vector<std::string> LinesFrom(size_t cursor) const;
+
+  /// Newline-joined text of lines [cursor, size()); TextFrom(0) is the
+  /// whole journal, directly replayable via ReplayJournal().
+  std::string TextFrom(size_t cursor) const;
+
+  /// Blocks until size() >= target or `timeout` elapses; returns the
+  /// current size either way.
+  size_t WaitForSize(size_t target, std::chrono::milliseconds timeout) const;
+
+  uint64_t serialize_errors() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<std::string> lines_;
+  uint64_t serialize_errors_ = 0;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_SERVER_JOURNAL_FEED_H_

@@ -1,0 +1,126 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "analysis/lock_sets.h"
+#include "server/session_manager.h"
+#include "util/logging.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+Session::Session(SessionManager* manager, std::string name, uint64_t id,
+                 SessionOptions options)
+    : manager_(manager),
+      engine_(manager->engine()),
+      wm_(manager->wm()),
+      name_(std::move(name)),
+      id_(id),
+      options_(options),
+      client_key_(MakeClientKey(name_)) {
+  DBPS_CHECK(engine_ != nullptr);
+}
+
+Session::~Session() { Close(); }
+
+Status Session::Begin() {
+  if (!open_) return Status::Unavailable("session is closed");
+  if (in_txn_) {
+    return Status::InvalidArgument("transaction already open");
+  }
+  DBPS_RETURN_NOT_OK(
+      manager_->txn_gate().Enter(options_.txn_admission_timeout));
+  auto txn_or = engine_->BeginExternal();
+  if (!txn_or.ok()) {
+    manager_->txn_gate().Leave();
+    return txn_or.status();
+  }
+  txn_ = txn_or.ValueOrDie();
+  pending_ = Delta();
+  in_txn_ = true;
+  ++stats_.begins;
+  return Status::OK();
+}
+
+StatusOr<std::vector<WmePtr>> Session::Read(std::string_view relation) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  const SymbolId rel = Sym(relation);
+  if (!wm_->catalog().HasRelation(rel)) {
+    return Status::NotFound("unknown relation '" + std::string(relation) +
+                            "'");
+  }
+  if (options_.repeatable_reads) {
+    Status st = engine_->AcquireExternal(
+        txn_, LockObjectId{rel, kRelationLevel}, LockMode::kRc);
+    if (!st.ok()) return FailTxn(std::move(st));
+  }
+  ++stats_.reads;
+  return wm_->Scan(rel);
+}
+
+StatusOr<std::vector<QueryRow>> Session::Query(std::string_view lhs) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  if (options_.repeatable_reads) {
+    // Lock every relation the query touches before evaluating, so the
+    // answer stays valid until commit (or we become a §4.3 victim).
+    DBPS_ASSIGN_OR_RETURN(std::vector<SymbolId> relations,
+                          QueryRelations(*wm_, lhs));
+    for (SymbolId rel : relations) {
+      Status st = engine_->AcquireExternal(
+          txn_, LockObjectId{rel, kRelationLevel}, LockMode::kRc);
+      if (!st.ok()) return FailTxn(std::move(st));
+    }
+  }
+  ++stats_.queries;
+  return ExecuteQuery(*wm_, lhs);
+}
+
+Status Session::Write(const Delta& delta) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  auto locks_or = DeltaActionLocks(*wm_, delta, txn_);
+  if (!locks_or.ok()) return FailTxn(locks_or.status());
+  for (const LockRequest& request : locks_or.ValueOrDie()) {
+    Status st = engine_->AcquireExternal(txn_, request.object, request.mode);
+    if (!st.ok()) return FailTxn(std::move(st));
+  }
+  pending_.Append(delta);
+  stats_.write_ops += delta.ops().size();
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Session::Commit() {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  auto seq_or = engine_->CommitExternal(txn_, client_key_, pending_);
+  if (!seq_or.ok()) return FailTxn(seq_or.status());
+  in_txn_ = false;
+  txn_ = 0;
+  pending_ = Delta();
+  manager_->txn_gate().Leave();
+  ++stats_.commits;
+  return seq_or;
+}
+
+void Session::Abort() {
+  if (!in_txn_) return;
+  engine_->AbortExternal(txn_);
+  in_txn_ = false;
+  txn_ = 0;
+  pending_ = Delta();
+  manager_->txn_gate().Leave();
+  ++stats_.aborts;
+}
+
+Status Session::FailTxn(Status cause) {
+  if (cause.IsAborted()) ++stats_.rc_victim_aborts;
+  Abort();
+  return cause;
+}
+
+void Session::Close() {
+  if (!open_) return;
+  Abort();
+  open_ = false;
+  manager_->Disconnect(this);
+}
+
+}  // namespace dbps

@@ -1,0 +1,142 @@
+// Session: one external client's handle onto the shared working memory.
+//
+// A session issues external transactions against a running
+// ParallelEngine:
+//
+//   auto session = manager.Connect("alice").ValueOrDie();
+//   DBPS_CHECK_OK(session->Begin());
+//   auto rows = session->Read("order");          // relation-level Rc
+//   Delta delta;
+//   delta.Create(Sym("order"), {...});
+//   DBPS_CHECK_OK(session->Write(delta));        // Wa / insert-intent
+//   auto seq = session->Commit();                // engine commit path
+//
+// Locks come from the engine's own Rc/Ra/Wa LockManager, so client
+// transactions obey the same protocol as rule firings: under kTwoPhase
+// every conflict blocks; under kRcRaWa a client writer is granted Wa over
+// outstanding Rc locks and its *commit* aborts the Rc holders — client
+// readers and in-flight rule firings alike (the §4.3 conflict). A
+// victimized session sees its next operation or Commit fail with
+// kAborted; retry the whole transaction.
+//
+// With SessionOptions::repeatable_reads (default) Read/Query take
+// relation-level Rc locks held to commit, giving repeatable reads at the
+// price of victimization; without it reads are read-committed snapshots
+// and take no locks.
+//
+// A Session is NOT thread-safe — one session per client thread.
+// Server-side concurrency comes from many sessions.
+
+#ifndef DBPS_SERVER_SESSION_H_
+#define DBPS_SERVER_SESSION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/parallel_engine.h"
+#include "lang/query.h"
+#include "util/statusor.h"
+#include "wm/delta.h"
+#include "wm/wme.h"
+
+namespace dbps {
+
+class SessionManager;
+
+/// \brief Per-session behavior knobs (defaults come from ServerOptions).
+struct SessionOptions {
+  /// Take relation-level Rc locks on Read/Query targets, held to commit.
+  bool repeatable_reads = true;
+  /// How long Begin() may wait on the transaction admission gate.
+  std::chrono::milliseconds txn_admission_timeout{10000};
+};
+
+/// \brief Per-session counters.
+struct SessionStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  /// Aborts caused by a conflicting commit victimizing this session's Rc
+  /// locks (subset of `aborts`).
+  uint64_t rc_victim_aborts = 0;
+  uint64_t reads = 0;
+  uint64_t queries = 0;
+  uint64_t write_ops = 0;  ///< delta operations buffered via Write()
+};
+
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t id() const { return id_; }
+  bool in_txn() const { return in_txn_; }
+  const SessionStats& stats() const { return stats_; }
+
+  /// Opens a transaction: takes a slot on the manager's transaction
+  /// admission gate (backpressure; ResourceExhausted on timeout) and
+  /// begins against the engine's lock manager.
+  Status Begin();
+
+  /// All live WMEs of `relation` (snapshot). Under repeatable_reads the
+  /// relation-level Rc lock is acquired first and held to commit.
+  StatusOr<std::vector<WmePtr>> Read(std::string_view relation);
+
+  /// Evaluates a rule-language LHS against working memory. Under
+  /// repeatable_reads every relation the query touches is Rc-locked.
+  StatusOr<std::vector<QueryRow>> Query(std::string_view lhs);
+
+  /// Buffers `delta` into the transaction's write set after acquiring its
+  /// Wa / insert-intent locks. Nothing is applied until Commit(). Fails
+  /// (aborting the transaction) if a lock cannot be granted or the delta
+  /// names a dead WME.
+  Status Write(const Delta& delta);
+
+  /// Commits the buffered write set through the engine's commit path: the
+  /// delta is applied atomically, propagated to the matcher, appended to
+  /// the replayable log under this session's client key, and Rc-holding
+  /// victims are settled. Returns the commit sequence number (0 if the
+  /// write set was empty). On failure the transaction is aborted.
+  StatusOr<uint64_t> Commit();
+
+  /// Rolls back the open transaction (no-op without one).
+  void Abort();
+
+  /// Aborts any open transaction and detaches from the manager. Called by
+  /// the destructor; idempotent.
+  void Close();
+
+ private:
+  friend class SessionManager;
+
+  Session(SessionManager* manager, std::string name, uint64_t id,
+          SessionOptions options);
+
+  /// Aborts the open transaction because `cause` made it unusable;
+  /// classifies victimization and returns `cause`.
+  Status FailTxn(Status cause);
+
+  SessionManager* manager_;
+  ParallelEngine* engine_;
+  const WorkingMemory* wm_;
+  std::string name_;
+  uint64_t id_;
+  SessionOptions options_;
+  InstKey client_key_;
+
+  bool open_ = true;
+  bool in_txn_ = false;
+  TxnId txn_ = 0;
+  Delta pending_;
+  SessionStats stats_;
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+}  // namespace dbps
+
+#endif  // DBPS_SERVER_SESSION_H_

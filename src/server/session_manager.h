@@ -1,0 +1,138 @@
+// SessionManager: the multi-user front door of the engine (§2's
+// user-visible parallelism over one shared database).
+//
+// The manager admits up to max_sessions concurrent client sessions, hands
+// out Session handles whose transactions run against the engine's
+// Rc/Ra/Wa lock manager, and implements the engine's ExternalSource hook:
+// while the manager has live sessions (or is still accepting), the
+// engine's workers idle instead of terminating, so client commits can
+// keep activating rules indefinitely — a server, not a batch run.
+//
+// Because ParallelEngineOptions is consumed at engine construction, the
+// manager is constructed first (it does not need the engine yet), becomes
+// the engine's external_source, and is then bound to the engine:
+//
+//   WorkingMemory wm;  ... LoadProgram ...
+//   SessionManager manager(&wm);
+//   JournalFeed journal;
+//   ParallelEngineOptions options;
+//   options.base.observer = journal.MakeObserver();
+//   options.external_source = &manager;
+//   ParallelEngine engine(&wm, rules, options);
+//   manager.BindEngine(&engine);
+//   std::thread serve([&] { result = engine.Run(); });
+//   auto s = manager.Connect("alice").ValueOrDie();
+//   ... transactions ...
+//   s->Close();
+//   manager.Close();          // drained -> engine.Run() returns
+//   serve.join();
+//
+// Shutdown: Close() stops admission; once every session disconnects the
+// manager reports Drained() and wakes the engine so the run can finish.
+
+#ifndef DBPS_SERVER_SESSION_MANAGER_H_
+#define DBPS_SERVER_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/parallel_engine.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "util/statusor.h"
+
+namespace dbps {
+
+/// \brief Server-wide policy.
+struct ServerOptions {
+  /// Hard cap on concurrently connected sessions; Connect fails with
+  /// ResourceExhausted beyond it (admission control, not queueing).
+  size_t max_sessions = 64;
+  /// Bound on transactions open at once across all sessions; 0 means
+  /// unbounded. Session::Begin blocks on this gate — the server's
+  /// backpressure toward clients.
+  size_t max_concurrent_txns = 0;
+  /// How long Connect() waits for the engine to start serving.
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Defaults for every admitted session.
+  SessionOptions session;
+};
+
+/// \brief Aggregate counters over all sessions, live and closed.
+struct ServerStats {
+  uint64_t sessions_admitted = 0;
+  uint64_t sessions_rejected = 0;
+  size_t peak_sessions = 0;
+  /// Folded SessionStats of disconnected sessions (live sessions report
+  /// their own until they close).
+  SessionStats closed_sessions;
+  AdmissionGate::Stats txn_gate;
+};
+
+class SessionManager : public ExternalSource {
+ public:
+  /// `wm` is the engine's working memory (used for catalog lookups and
+  /// snapshot reads). The engine is attached separately via BindEngine()
+  /// so the manager can be handed to ParallelEngineOptions first.
+  explicit SessionManager(const WorkingMemory* wm, ServerOptions options = {});
+  ~SessionManager() override;
+
+  /// Attaches the engine the sessions will transact against. Must happen
+  /// before the first Connect.
+  void BindEngine(ParallelEngine* engine);
+
+  /// Admits one client session, waiting up to connect_timeout for the
+  /// engine to start serving. Fails with ResourceExhausted when
+  /// max_sessions are connected, Unavailable once Close()d (or when the
+  /// engine never starts serving).
+  StatusOr<SessionPtr> Connect(std::string name);
+
+  /// Stops admitting sessions. Existing sessions keep working; once the
+  /// last disconnects the manager is Drained and the engine may finish.
+  void Close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// ExternalSource: lock-free — polled by engine workers under their
+  /// mutex.
+  bool Drained() const override {
+    return closed_.load(std::memory_order_acquire) &&
+           live_sessions_.load(std::memory_order_acquire) == 0;
+  }
+
+  size_t live_sessions() const {
+    return live_sessions_.load(std::memory_order_acquire);
+  }
+
+  ServerStats GetStats() const;
+
+  ParallelEngine* engine() const { return engine_; }
+  const WorkingMemory* wm() const { return wm_; }
+  const ServerOptions& options() const { return options_; }
+  AdmissionGate& txn_gate() { return txn_gate_; }
+
+ private:
+  friend class Session;
+
+  /// Session::Close path: folds the session's stats and, if that was the
+  /// last session after Close(), wakes the engine (now drained).
+  void Disconnect(Session* session);
+
+  const WorkingMemory* wm_;
+  ServerOptions options_;
+  ParallelEngine* engine_ = nullptr;
+  AdmissionGate txn_gate_;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<size_t> live_sessions_{0};
+
+  mutable std::mutex mu_;  // guards the counters below
+  uint64_t next_session_id_ = 1;
+  ServerStats stats_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_SERVER_SESSION_MANAGER_H_

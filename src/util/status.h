@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kAborted = 8,           ///< Production firing aborted (Rc-Wa rule).
   kInternal = 9,          ///< Invariant violation inside the library.
   kUnimplemented = 10,    ///< Feature intentionally not supported.
+  kUnavailable = 11,      ///< Service (engine, session manager) not running.
+  kResourceExhausted = 12,  ///< Admission/backpressure limit reached.
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -83,6 +85,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -106,6 +114,10 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnimplemented() const {
     return code() == StatusCode::kUnimplemented;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CodeName>: <message>".

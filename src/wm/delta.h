@@ -50,6 +50,13 @@ class Delta {
   void Delete(WmeId id) { ops_.emplace_back(DeleteOp{id}); }
   void SetHalt() { halt_ = true; }
 
+  /// Appends every operation (and the halt flag) of `other` — used by
+  /// sessions accumulating a transaction's write set across Write calls.
+  void Append(const Delta& other) {
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+    halt_ = halt_ || other.halt_;
+  }
+
   const std::vector<WmOp>& ops() const { return ops_; }
   bool halt() const { return halt_; }
   bool empty() const { return ops_.empty() && !halt_; }

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 check: configure, build, run the full test suite.
+#
+#   tools/check.sh                      # plain RelWithDebInfo build
+#   DBPS_SANITIZE=thread tools/check.sh # TSan build (covers src/server/)
+#   DBPS_SANITIZE=address tools/check.sh
+#
+# The build directory is build/ for plain runs and build-<sanitizer>/
+# for sanitizer runs, so they never poison each other's caches.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${DBPS_SANITIZE:-}"
+if [ -n "$SANITIZE" ]; then
+  BUILD_DIR="build-$SANITIZE"
+else
+  BUILD_DIR="build"
+fi
+
+cmake -B "$BUILD_DIR" -S . -DDBPS_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure

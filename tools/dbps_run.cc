@@ -23,13 +23,23 @@
 //                                     WM and print the rows
 //   --journal-out=FILE                write the committed deltas as a
 //                                     replayable journal
+//   --sessions=N                      serve N concurrent client sessions
+//                                     (parallel engine only); each session
+//                                     submits external transactions that
+//                                     interleave with rule firings
+//   --client-ops=M                    transactions per session (16)
+//   --client-relation=NAME            relation the clients insert into
+//                                     (default: first declared relation)
 //   --quiet                           suppress the summary line
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "dbps.h"
 
@@ -52,6 +62,9 @@ struct Flags {
   bool validate = false;
   bool dump_final = false;
   bool quiet = false;
+  size_t sessions = 0;
+  uint64_t client_ops = 16;
+  std::string client_relation;
   std::string snapshot_out;
   std::string journal_out;
   std::string query;
@@ -68,6 +81,7 @@ int Usage(const char* argv0) {
                "  [--cost-model=sleep|spin] [--trace] [--validate]\n"
                "  [--dump-final] [--snapshot-out=FILE] [--query=LHS]\n"
                "  [--journal-out=FILE]\n"
+               "  [--sessions=N] [--client-ops=M] [--client-relation=NAME]\n"
                "  [--quiet]\n"
                "  <program.dbps>\n",
                argv0);
@@ -173,6 +187,12 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.query = value;
     } else if (ParseFlag(arg, "journal-out", &value)) {
       flags.journal_out = value;
+    } else if (ParseFlag(arg, "sessions", &value)) {
+      flags.sessions = std::stoul(value);
+    } else if (ParseFlag(arg, "client-ops", &value)) {
+      flags.client_ops = std::stoull(value);
+    } else if (ParseFlag(arg, "client-relation", &value)) {
+      flags.client_relation = value;
     } else if (!arg.empty() && arg[0] == '-') {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     } else if (flags.program_path.empty()) {
@@ -184,7 +204,104 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
   if (flags.program_path.empty()) {
     return Status::InvalidArgument("no program file given");
   }
+  if (flags.sessions > 0 && flags.engine != "parallel") {
+    return Status::InvalidArgument(
+        "--sessions requires --engine=parallel");
+  }
   return flags;
+}
+
+/// Default client tuple for `schema`, distinct per (session, op).
+std::vector<Value> ClientTuple(const RelationSchema& schema, size_t session,
+                               uint64_t op) {
+  std::vector<Value> values;
+  values.reserve(schema.arity());
+  for (const AttrDef& attr : schema.attrs()) {
+    switch (attr.type) {
+      case AttrType::kFloat:
+        values.push_back(Value::Float(static_cast<double>(op)));
+        break;
+      case AttrType::kSymbol:
+        values.push_back(
+            Value::Symbol("client-" + std::to_string(session)));
+        break;
+      case AttrType::kString:
+        values.push_back(
+            Value::String("session-" + std::to_string(session)));
+        break;
+      case AttrType::kInt:
+      case AttrType::kNumber:
+      case AttrType::kAny:
+        values.push_back(Value::Int(
+            static_cast<int64_t>(session) * 1000000 +
+            static_cast<int64_t>(op)));
+        break;
+    }
+  }
+  return values;
+}
+
+/// Runs the parallel engine as a server: N closed-loop client sessions
+/// insert tuples into `target` while rules fire against the same working
+/// memory. Returns the engine result once all sessions have drained.
+StatusOr<RunResult> ServeSessions(const Flags& flags, WorkingMemory* wm,
+                                  RuleSetPtr rules,
+                                  ParallelEngineOptions options,
+                                  ServerStats* server_stats) {
+  SymbolId target;
+  if (!flags.client_relation.empty()) {
+    target = Sym(flags.client_relation);
+  } else if (!wm->catalog().relation_names().empty()) {
+    target = wm->catalog().relation_names().front();
+  } else {
+    return Status::InvalidArgument(
+        "--sessions needs at least one relation in the program");
+  }
+  auto schema_or = wm->catalog().GetRelation(target);
+  if (!schema_or.ok()) return schema_or.status();
+  const RelationSchema& schema = *schema_or.ValueOrDie();
+
+  SessionManager manager(wm);
+  options.external_source = &manager;
+  ParallelEngine engine(wm, rules, options);
+  manager.BindEngine(&engine);
+
+  StatusOr<RunResult> result{Status::Internal("engine not run")};
+  std::thread serve([&] { result = engine.Run(); });
+
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < flags.sessions; ++c) {
+    clients.emplace_back([&, c] {
+      auto session_or = manager.Connect("cli-" + std::to_string(c));
+      if (!session_or.ok()) {
+        failures.fetch_add(flags.client_ops);
+        return;
+      }
+      SessionPtr session = session_or.ValueOrDie();
+      for (uint64_t i = 0; i < flags.client_ops; ++i) {
+        bool committed = false;
+        for (int attempt = 0; attempt < 16 && !committed; ++attempt) {
+          if (!session->Begin().ok()) break;
+          Delta delta;
+          delta.Create(target, ClientTuple(schema, c, i));
+          if (!session->Write(delta).ok()) continue;
+          committed = session->Commit().ok();
+        }
+        if (!committed) failures.fetch_add(1);
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  manager.Close();
+  serve.join();
+  *server_stats = manager.GetStats();
+  if (failures.load() > 0 && !flags.quiet) {
+    std::fprintf(stderr, "warning: %llu client transaction(s) never "
+                 "committed\n", (unsigned long long)failures.load());
+  }
+  return result;
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
@@ -222,6 +339,7 @@ int Run(const Flags& flags) {
   base.cost_model = flags.cost_model;
 
   StatusOr<RunResult> result_or{Status::Internal("engine not run")};
+  ServerStats server_stats;
   if (flags.engine == "single") {
     SingleThreadEngine engine(&wm, rules, base);
     result_or = engine.Run();
@@ -232,8 +350,13 @@ int Run(const Flags& flags) {
     options.protocol = flags.protocol;
     options.abort_policy = flags.abort_policy;
     options.deadlock_policy = flags.deadlock_policy;
-    ParallelEngine engine(&wm, rules, options);
-    result_or = engine.Run();
+    if (flags.sessions > 0) {
+      result_or =
+          ServeSessions(flags, &wm, rules, options, &server_stats);
+    } else {
+      ParallelEngine engine(&wm, rules, options);
+      result_or = engine.Run();
+    }
   } else {
     StaticPartitionOptions options;
     options.base = base;
@@ -258,6 +381,17 @@ int Run(const Flags& flags) {
   if (!flags.quiet) {
     std::printf("%s engine: %s\n", flags.engine.c_str(),
                 result.stats.ToString().c_str());
+    if (flags.sessions > 0) {
+      std::printf(
+          "sessions: admitted=%llu peak=%zu txns=%llu commits=%llu "
+          "aborts=%llu (rc victims %llu)\n",
+          (unsigned long long)server_stats.sessions_admitted,
+          server_stats.peak_sessions,
+          (unsigned long long)server_stats.closed_sessions.begins,
+          (unsigned long long)server_stats.closed_sessions.commits,
+          (unsigned long long)server_stats.closed_sessions.aborts,
+          (unsigned long long)server_stats.closed_sessions.rc_victim_aborts);
+    }
   }
   if (flags.validate) {
     Status valid = ValidateReplay(pristine.get(), rules, result.log);
