@@ -54,6 +54,7 @@
 #include "server/session_manager.h"
 #include "sim/paper_scenarios.h"
 #include "sim/speedup_model.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/status.h"

@@ -27,6 +27,18 @@ std::string EngineStats::ToString() const {
                         (unsigned long long)client_commits,
                         (unsigned long long)client_aborts);
   }
+  if (injected_faults != 0 || firing_retries != 0 || escalations != 0 ||
+      worker_exceptions != 0) {
+    out += StringPrintf(
+        " faults=%llu retries=%llu max_streak=%llu escalations=%llu "
+        "backoff_us=%llu exceptions=%llu",
+        (unsigned long long)injected_faults,
+        (unsigned long long)firing_retries,
+        (unsigned long long)max_abort_streak,
+        (unsigned long long)escalations,
+        (unsigned long long)backoff_micros,
+        (unsigned long long)worker_exceptions);
+  }
   return out;
 }
 

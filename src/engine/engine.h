@@ -90,6 +90,22 @@ struct EngineStats {
   /// commit path — these interleave with rule firings in the log.
   uint64_t client_commits = 0;
   uint64_t client_aborts = 0;  ///< external transactions rolled back
+  // --- Robustness counters (parallel engines) ---------------------------
+  /// Failpoint fires observed during the run (process-global delta; see
+  /// util/failpoint.h). Zero unless fault injection is armed.
+  uint64_t injected_faults = 0;
+  /// Claims of an instantiation that had already been aborted at least
+  /// once — the retry traffic behind `aborts`.
+  uint64_t firing_retries = 0;
+  /// Worst per-instantiation consecutive-abort streak seen.
+  uint64_t max_abort_streak = 0;
+  /// Starving firings escalated to blocking (2PL-style) Rc acquisition.
+  uint64_t escalations = 0;
+  /// Total worker backoff sleep after aborted firings, microseconds.
+  uint64_t backoff_micros = 0;
+  /// Exceptions that escaped ProcessFiring (injected or real); each is
+  /// contained by the worker's in-flight guard and counted as an abort.
+  uint64_t worker_exceptions = 0;
   /// High-water mark of firings simultaneously in their execute phase
   /// (parallel engines only) — the achieved degree of parallelism.
   int peak_parallel_executions = 0;

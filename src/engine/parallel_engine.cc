@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include <exception>
+
 #include "analysis/lock_sets.h"
 #include "engine/busy_work.h"
 #include "rules/rhs_evaluator.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -42,6 +45,9 @@ StatusOr<RunResult> ParallelEngine::Run() {
   // observing accepting_external().
   accepting_.store(true, std::memory_order_release);
 
+  const uint64_t faults_before =
+      FailpointRegistry::Instance().total_fires();
+
   Stopwatch stopwatch;
   std::vector<std::thread> workers;
   workers.reserve(options_.num_workers);
@@ -56,16 +62,18 @@ StatusOr<RunResult> ParallelEngine::Run() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
   stats_.peak_parallel_executions = peak_executing_.load();
+  stats_.backoff_micros = backoff_micros_.load();
+  // (DisableAll resets the cumulative counter; saturate instead of
+  // underflowing if that happened mid-run.)
+  const uint64_t faults_now = FailpointRegistry::Instance().total_fires();
+  stats_.injected_faults =
+      faults_now >= faults_before ? faults_now - faults_before : faults_now;
   lock_stats_ = lock_manager_->GetStats();
   return RunResult{stats_, log_};
 }
 
 void ParallelEngine::WorkerLoop(size_t worker_index) {
   Random rng(options_.base.seed + 0x9e37 * (worker_index + 1));
-  // Consecutive deadlock-victim count; drives exponential backoff so
-  // repeated lock-upgrade collisions (classic under 2PL, §4.2) do not
-  // degenerate into abort/retry storms.
-  int deadlock_streak = 0;
   for (;;) {
     InstPtr inst;
     {
@@ -102,33 +110,56 @@ void ParallelEngine::WorkerLoop(size_t worker_index) {
         cv_.wait(lock);
       }
     }
-    if (ProcessFiring(inst, &rng)) {
-      deadlock_streak = std::min(deadlock_streak + 1, 6);
-      int64_t backoff_us = (50LL << deadlock_streak) +
-                           static_cast<int64_t>(rng.Uniform(100));
+    // An aborted firing reports its instantiation's consecutive-abort
+    // streak; back off exponentially in it (capped, jittered) so Rc
+    // victimization and lock-upgrade collisions (classic under 2PL, §4.2)
+    // do not degenerate into abort/retry storms. Exceptions — injected
+    // worker failures or real bugs — are contained here: the firing's
+    // guard has already rolled the transaction back.
+    int streak = 0;
+    try {
+      streak = ProcessFiring(inst, &rng);
+    } catch (const std::exception& e) {
+      DBPS_LOG(Warning) << "worker " << worker_index
+                        << " exception in firing: " << e.what();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.worker_exceptions;
+      streak = 1;
+    }
+    if (streak > 0) {
+      const int shift = std::min(streak, 8);
+      int64_t backoff_us =
+          std::min(options_.retry_backoff_base.count() << shift,
+                   options_.retry_backoff_max.count()) +
+          static_cast<int64_t>(rng.Uniform(100));
       SleepMicros(backoff_us);
-    } else {
-      deadlock_streak = 0;
+      backoff_micros_.fetch_add(static_cast<uint64_t>(backoff_us),
+                                std::memory_order_relaxed);
     }
   }
 }
 
-void ParallelEngine::FinishAborted(TxnId txn, const InstKey& key,
-                                   bool deadlock) {
+int ParallelEngine::FinishAborted(TxnId txn, const InstKey& key,
+                                  bool deadlock) {
   if (options_.base.observer) {
     options_.base.observer(
         EngineEvent{EngineEvent::Kind::kAbort, &key});
   }
   lock_manager_->Release(txn);
+  int streak;
   {
     std::lock_guard<std::mutex> lock(mu_);
     txn_keys_.erase(txn);
     matcher_->conflict_set().Unclaim(key);
     ++stats_.aborts;
     if (deadlock) ++stats_.deadlocks;
+    streak = ++abort_streaks_[key];
+    stats_.max_abort_streak =
+        std::max(stats_.max_abort_streak, static_cast<uint64_t>(streak));
     --in_flight_;
   }
   cv_.notify_all();
+  return streak;
 }
 
 void ParallelEngine::FinishStale(TxnId txn, const InstKey& key) {
@@ -142,6 +173,7 @@ void ParallelEngine::FinishStale(TxnId txn, const InstKey& key) {
     txn_keys_.erase(txn);
     matcher_->conflict_set().Unclaim(key);
     ++stats_.stale_skips;
+    abort_streaks_.erase(key);
     --in_flight_;
   }
   cv_.notify_all();
@@ -154,27 +186,45 @@ void ParallelEngine::FinishRetired(TxnId txn, const InstKey& key) {
     txn_keys_.erase(txn);
     matcher_->conflict_set().MarkFired(key);  // never try this match again
     ++stats_.rhs_errors;
+    abort_streaks_.erase(key);
     --in_flight_;
   }
   cv_.notify_all();
 }
 
-bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
+int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
   (void)rng;
   const InstKey& key = inst->key();
   TxnId txn = lock_manager_->Begin();
+  bool escalate = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     txn_keys_.emplace(txn, key);
+    auto streak_it = abort_streaks_.find(key);
+    if (streak_it != abort_streaks_.end() && streak_it->second > 0) {
+      ++stats_.firing_retries;
+      // Starvation guarantee: a firing victimized this often runs its
+      // next attempt with blocking (2PL-style) acquisition, so
+      // committing writers wait behind its Rc instead of aborting it.
+      escalate = options_.protocol == LockProtocol::kRcRaWa &&
+                 options_.escalate_after_aborts > 0 &&
+                 streak_it->second >= options_.escalate_after_aborts;
+      if (escalate) ++stats_.escalations;
+    }
   }
+  if (escalate) lock_manager_->SetBlocking(txn);
+
+  // From here on every exit — including exceptions and injected crashes —
+  // must roll the transaction back; the guard enforces it.
+  FiringGuard guard(this, txn, key);
 
   // Phase 1: condition locks (Rc), possibly escalated.
   for (const LockRequest& request : EscalateConditionLocks(
            ConditionLocks(*inst), options_.rc_escalation_threshold)) {
     Status st = lock_manager_->Acquire(txn, request.object, request.mode);
     if (!st.ok()) {
-      FinishAborted(txn, key, st.IsDeadlock());
-      return st.IsDeadlock();
+      guard.Dismiss();
+      return FinishAborted(txn, key, st.IsDeadlock());
     }
   }
 
@@ -186,27 +236,40 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
     still_valid = matcher_->conflict_set().Contains(key);
   }
   if (!still_valid) {
+    guard.Dismiss();
     FinishStale(txn, key);
-    return false;
+    return 0;
+  }
+
+  // Chaos site: a worker dying mid-firing (exception). The guard rolls
+  // the transaction back and WorkerLoop contains it — the RAII shape this
+  // site exists to regression-test.
+  if (DBPS_FAILPOINT("engine.firing.throw")) {
+    throw std::runtime_error("injected worker failure in firing of '" +
+                             inst->rule()->name() + "'");
   }
 
   {
     // Phase 3: evaluate the RHS (pure — reads only the immutable matched
     // WME versions) and acquire the action locks (Ra/Wa).
     auto delta_or = EvaluateRhs(*inst->rule(), inst->matched());
+    if (DBPS_FAILPOINT("engine.firing.rhs_error")) {
+      delta_or = Status::Internal("injected RHS evaluation error");
+    }
     if (!delta_or.ok()) {
       DBPS_LOG(Warning) << "rule '" << inst->rule()->name()
                         << "' RHS failed: " << delta_or.status().ToString();
+      guard.Dismiss();
       FinishRetired(txn, key);
-      return false;
+      return 0;
     }
     Delta delta = std::move(delta_or).ValueOrDie();
 
     for (const LockRequest& request : ActionLocks(*inst, txn)) {
       Status st = lock_manager_->Acquire(txn, request.object, request.mode);
       if (!st.ok()) {
-        FinishAborted(txn, key, st.IsDeadlock());
-        return st.IsDeadlock();
+        guard.Dismiss();
+        return FinishAborted(txn, key, st.IsDeadlock());
       }
     }
 
@@ -222,15 +285,31 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
     if (options_.base.simulate_cost && inst->rule()->cost_us() > 0) {
       SimulateCost(inst->rule()->cost_us(), options_.base.cost_model);
     }
+    // Chaos site: a worker stalling mid-firing (sleep-safe: no lock
+    // held), widening the window in which committers victimize us.
+    (void)DBPS_FAILPOINT("engine.firing.stall");
     executing_.fetch_sub(1);
+
+    // Chaos site: forced Rc victimization — as if a conflicting commit
+    // settled against this firing while it executed.
+    if (DBPS_FAILPOINT("engine.firing.victimize")) {
+      lock_manager_->MarkAborted(txn);
+    }
 
     // Phase 5: commit.
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (lock_manager_->IsAborted(txn)) {
         lock.unlock();
-        FinishAborted(txn, key, /*deadlock=*/false);
-        return false;
+        guard.Dismiss();
+        return FinishAborted(txn, key, /*deadlock=*/false);
+      }
+      // Chaos site: the worker crashes at the last instant before the
+      // delta applies — the whole firing must roll back cleanly.
+      if (DBPS_FAILPOINT("engine.firing.crash_before_apply")) {
+        lock.unlock();
+        guard.Dismiss();
+        return FinishAborted(txn, key, /*deadlock=*/false);
       }
       auto change_or = wm_->Apply(delta);
       if (!change_or.ok()) {
@@ -240,8 +319,8 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
                         << change_or.status().ToString();
         DBPS_DCHECK(false);
         lock.unlock();
-        FinishAborted(txn, key, /*deadlock=*/false);
-        return false;
+        guard.Dismiss();
+        return FinishAborted(txn, key, /*deadlock=*/false);
       }
       matcher_->conflict_set().MarkFired(key);
       matcher_->ApplyChange(change_or.ValueOrDie());
@@ -263,12 +342,14 @@ bool ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
         stats_.halted = true;
       }
       txn_keys_.erase(txn);
+      abort_streaks_.erase(key);
       --in_flight_;
+      guard.Dismiss();
     }
     lock_manager_->Release(txn);
     cv_.notify_all();
   }
-  return false;
+  return 0;
 }
 
 void ParallelEngine::SettleRcVictimsLocked(TxnId committer) {
@@ -325,6 +406,11 @@ StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
     if (done_) return Status::Unavailable("engine has stopped");
     if (lock_manager_->IsAborted(txn)) {
       return Status::Aborted("aborted by a conflicting commit");
+    }
+    // Chaos site: commit fails at the last instant. Surfaced as kAborted
+    // so sessions treat it as transient and retry; no state has changed.
+    if (DBPS_FAILPOINT("server.commit.fail")) {
+      return Status::Aborted("injected commit failure");
     }
 
     auto change_or = wm_->Apply(delta);

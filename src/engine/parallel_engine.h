@@ -87,6 +87,17 @@ struct ParallelEngineOptions {
   /// when it holds more than this many in a relation (0 = never) — §4.3.
   size_t rc_escalation_threshold = 0;
   std::chrono::milliseconds lock_timeout{10000};
+  /// Starvation guarantee: once the SAME instantiation has been aborted
+  /// this many times in a row (Rc victimization, deadlock, wound...), its
+  /// next attempt acquires locks in blocking (2PL-style) mode, so
+  /// committing writers wait behind its Rc instead of victimizing it
+  /// again — repeatedly-victimized firings eventually commit. kRcRaWa
+  /// only; 0 disables escalation.
+  int escalate_after_aborts = 4;
+  /// Capped exponential backoff applied by a worker after an aborted
+  /// firing, scaled by that instantiation's abort streak (plus jitter).
+  std::chrono::microseconds retry_backoff_base{50};
+  std::chrono::microseconds retry_backoff_max{20000};
   /// When non-null, Run() keeps serving until the source is drained (and
   /// the conflict set has emptied). Not owned; must outlive Run().
   ExternalSource* external_source = nullptr;
@@ -103,6 +114,13 @@ class ParallelEngine {
   StatusOr<RunResult> Run();
 
   const LockManager::Stats& lock_stats() const { return lock_stats_; }
+
+  /// Transactions still live in the lock manager — 0 after a clean run
+  /// (the chaos harness's leak check). 0 before Run().
+  size_t live_lock_transactions() const {
+    return lock_manager_ == nullptr ? 0
+                                    : lock_manager_->live_transactions();
+  }
 
   // --- External transactions (the src/server/ front door) -----------------
   //
@@ -150,15 +168,41 @@ class ParallelEngine {
   void NotifyExternalActivity();
 
  private:
+  /// RAII containment for one claimed firing: unless dismissed by a
+  /// normal completion path, its destructor rolls the transaction back
+  /// (release locks, unclaim, decrement in_flight_, notify) — so an
+  /// exception or injected failure anywhere inside ProcessFiring can
+  /// never leave in_flight_ undecremented and hang Run().
+  class FiringGuard {
+   public:
+    FiringGuard(ParallelEngine* engine, TxnId txn, const InstKey& key)
+        : engine_(engine), txn_(txn), key_(key) {}
+    FiringGuard(const FiringGuard&) = delete;
+    FiringGuard& operator=(const FiringGuard&) = delete;
+    ~FiringGuard() {
+      if (!dismissed_) engine_->FinishAborted(txn_, key_, /*deadlock=*/false);
+    }
+    void Dismiss() { dismissed_ = true; }
+
+   private:
+    ParallelEngine* engine_;
+    TxnId txn_;
+    const InstKey& key_;
+    bool dismissed_ = false;
+  };
+
   void WorkerLoop(size_t worker_index);
   /// Runs one claimed instantiation as a transaction. Must be called
-  /// outside mu_; decrements in_flight_ and notifies before returning.
-  /// Returns true if the firing was aborted as a deadlock victim (the
-  /// caller backs off before reclaiming, to break retry storms).
-  bool ProcessFiring(const InstPtr& inst, Random* rng);
+  /// outside mu_; decrements in_flight_ and notifies before returning
+  /// (via its FiringGuard even if it throws). Returns the instantiation's
+  /// consecutive-abort streak — 0 for commit/stale/retired, >0 when the
+  /// firing was aborted (the caller backs off proportionally before
+  /// reclaiming, to break retry storms).
+  int ProcessFiring(const InstPtr& inst, Random* rng);
 
   /// Abort/skip paths; each re-enters mu_, cleans up, and notifies.
-  void FinishAborted(TxnId txn, const InstKey& key, bool deadlock);
+  /// FinishAborted returns the instantiation's new abort streak.
+  int FinishAborted(TxnId txn, const InstKey& key, bool deadlock);
   void FinishStale(TxnId txn, const InstKey& key);
   void FinishRetired(TxnId txn, const InstKey& key);  // RHS error
 
@@ -190,6 +234,10 @@ class ParallelEngine {
   std::vector<FiringRecord> log_;
   /// Live transactions' claimed instantiation (for kRevalidate).
   std::unordered_map<TxnId, InstKey> txn_keys_;
+  /// Consecutive aborts per instantiation (cleared on commit/stale/
+  /// retire) — drives per-firing backoff and blocking escalation.
+  std::unordered_map<InstKey, int, InstKeyHash> abort_streaks_;
+  std::atomic<uint64_t> backoff_micros_{0};
 
   LockManager::Stats lock_stats_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace dbps {
@@ -60,14 +61,28 @@ TxnId LockManager::Begin() {
   return txn;
 }
 
+bool LockManager::BlockingLocked(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it != txns_.end() && it->second.blocking;
+}
+
+LockProtocol LockManager::ProtocolFor(TxnId requester, TxnId holder) const {
+  if (options_.protocol == LockProtocol::kRcRaWa &&
+      (BlockingLocked(requester) || BlockingLocked(holder))) {
+    return LockProtocol::kTwoPhase;
+  }
+  return options_.protocol;
+}
+
 void LockManager::CollectBucketConflicts(const Bucket& bucket, TxnId txn,
                                          LockMode mode,
                                          std::vector<TxnId>* out) const {
   for (const auto& [holder, counts] : bucket.holds) {
     if (holder == txn) continue;  // a transaction never conflicts with itself
+    const LockProtocol protocol = ProtocolFor(txn, holder);
     for (int m = 0; m < kNumLockModes; ++m) {
       if (counts[m] > 0 &&
-          !Compatible(options_.protocol, mode, static_cast<LockMode>(m))) {
+          !Compatible(protocol, mode, static_cast<LockMode>(m))) {
         out->push_back(holder);
         break;
       }
@@ -90,10 +105,10 @@ std::vector<TxnId> LockManager::FindConflicts(TxnId txn,
     if (summary_it != relation_summaries_.end()) {
       for (const auto& [holder, counts] : summary_it->second) {
         if (holder == txn) continue;
+        const LockProtocol protocol = ProtocolFor(txn, holder);
         for (int m = 0; m < kNumLockModes; ++m) {
           if (counts[m] > 0 &&
-              !Compatible(options_.protocol, mode,
-                          static_cast<LockMode>(m))) {
+              !Compatible(protocol, mode, static_cast<LockMode>(m))) {
             conflicts.push_back(holder);
             break;
           }
@@ -133,6 +148,10 @@ bool LockManager::WouldDeadlock(TxnId txn,
 }
 
 Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
+  // Chaos site: a delayed grant — the request stalls before it even
+  // reaches the manager (sleep-safe: no lock held here).
+  (void)DBPS_FAILPOINT("lock.acquire.delay");
+
   std::unique_lock<std::mutex> lock(mu_);
   auto txn_it = txns_.find(txn);
   if (txn_it == txns_.end()) {
@@ -140,6 +159,19 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
   }
   if (txn_it->second.aborted) {
     return Status::Aborted("transaction was aborted");
+  }
+  // Chaos sites: a spurious wait-timeout, and a wound storm (the request
+  // loses to an imaginary older transaction and is marked aborted) —
+  // exactly the failures callers must already survive. No delays here:
+  // mu_ is held.
+  if (DBPS_FAILPOINT("lock.acquire.timeout")) {
+    ++stats_.timeouts;
+    return Status::LockTimeout("injected timeout on " + object.ToString());
+  }
+  if (DBPS_FAILPOINT("lock.acquire.wound")) {
+    ++stats_.wounds;
+    MarkAbortedLocked(txn);
+    return Status::Aborted("injected wound on " + object.ToString());
   }
 
   // Fast path: already holding this mode on this object.
@@ -230,9 +262,13 @@ std::vector<TxnId> LockManager::CollectRcVictims(TxnId txn) const {
   if (txn_it == txns_.end()) return {};
 
   std::unordered_set<TxnId> victims;
+  // Blocking (escalated) transactions are never victims: their Rc locks
+  // conflict with Wa at grant time, so a committer holding Wa cannot have
+  // raced past them (and exempting them is the starvation guarantee).
   auto add_rc_holders = [&](const Bucket& bucket) {
     for (const auto& [holder, counts] : bucket.holds) {
-      if (holder != txn && counts[static_cast<int>(LockMode::kRc)] > 0) {
+      if (holder != txn && counts[static_cast<int>(LockMode::kRc)] > 0 &&
+          !BlockingLocked(holder)) {
         victims.insert(holder);
       }
     }
@@ -251,7 +287,8 @@ std::vector<TxnId> LockManager::CollectRcVictims(TxnId txn) const {
       if (summary_it != relation_summaries_.end()) {
         for (const auto& [holder, counts2] : summary_it->second) {
           if (holder != txn &&
-              counts2[static_cast<int>(LockMode::kRc)] > 0) {
+              counts2[static_cast<int>(LockMode::kRc)] > 0 &&
+              !BlockingLocked(holder)) {
             victims.insert(holder);
           }
         }
@@ -286,10 +323,31 @@ bool LockManager::IsAborted(TxnId txn) const {
   return it != txns_.end() && it->second.aborted;
 }
 
+void LockManager::SetBlocking(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.blocking) return;
+  DBPS_DCHECK(it->second.holds.empty())
+      << "SetBlocking after locks were acquired";
+  it->second.blocking = true;
+  ++stats_.blocking_txns;
+}
+
+bool LockManager::IsBlocking(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return BlockingLocked(txn);
+}
+
 void LockManager::Release(TxnId txn) {
   std::lock_guard<std::mutex> guard(mu_);
   auto it = txns_.find(txn);
-  if (it == txns_.end()) return;
+  if (it == txns_.end()) {
+    // Unknown or double release: tolerate (the caller's rollback paths
+    // may race a victimizing committer) but count — waits_for_ and the
+    // buckets are left untouched.
+    ++stats_.unknown_releases;
+    return;
+  }
   for (const auto& [object, counts] : it->second.holds) {
     auto bucket_it = buckets_.find(object);
     if (bucket_it != buckets_.end()) {

@@ -94,6 +94,12 @@ class LockManager {
     uint64_t wounds = 0;     // kWoundWait victims
     uint64_t timeouts = 0;
     uint64_t aborts_marked = 0;
+    /// Release calls naming an unknown (never begun or already released)
+    /// transaction — tolerated as no-ops but counted, since a nonzero
+    /// value usually means a caller double-released.
+    uint64_t unknown_releases = 0;
+    /// Transactions escalated to blocking (2PL-style) acquisition.
+    uint64_t blocking_txns = 0;
   };
 
   explicit LockManager(Options options);
@@ -129,7 +135,21 @@ class LockManager {
 
   bool IsAborted(TxnId txn) const;
 
-  /// Releases every lock of `txn` and forgets it. Wakes waiters.
+  /// Starvation escalation (the progress guarantee behind the Rc/Ra/Wa
+  /// scheme's known livelock: an Rc holder can be victimized by
+  /// committing writers forever). A blocking transaction acquires and
+  /// holds its locks under the kTwoPhase compatibility matrix even when
+  /// the manager runs kRcRaWa: a Wa is no longer granted over its Rc (the
+  /// writer waits instead), it waits behind outstanding Wa holders, and
+  /// CollectRcVictims never names it. Call right after Begin, before the
+  /// transaction acquires any lock.
+  void SetBlocking(TxnId txn);
+
+  bool IsBlocking(TxnId txn) const;
+
+  /// Releases every lock of `txn` and forgets it. Wakes waiters. Calling
+  /// it for an unknown or already-released transaction is a safe no-op
+  /// (counted in Stats::unknown_releases).
   void Release(TxnId txn);
 
   /// True iff `txn` currently holds `mode` on `object` (tests).
@@ -151,7 +171,17 @@ class LockManager {
     /// object -> per-mode hold counts.
     std::unordered_map<LockObjectId, ModeCounts, LockObjectIdHash> holds;
     bool aborted = false;
+    /// 2PL-style acquisition (starvation escalation); see SetBlocking.
+    bool blocking = false;
   };
+
+  /// True iff `txn` is live and escalated to blocking. Requires mu_ held.
+  bool BlockingLocked(TxnId txn) const;
+
+  /// The compatibility matrix governing a (requester, holder) pair: the
+  /// configured protocol, downgraded to kTwoPhase when either side is a
+  /// blocking (escalated) transaction. Requires mu_ held.
+  LockProtocol ProtocolFor(TxnId requester, TxnId holder) const;
 
   /// All transactions (other than `txn`) whose holds on relevant buckets
   /// conflict with (object, mode). Requires mu_ held.

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace dbps {
 
 Status AdmissionGate::Enter(std::chrono::milliseconds timeout) {
+  // Chaos site: the gate spuriously rejects an admission, as if full.
+  // Evaluated before the mutex so a configured delay cannot stall the
+  // gate for everyone.
+  if (DBPS_FAILPOINT("server.admission.reject")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.injected_rejections;
+    return Status::ResourceExhausted("injected admission rejection");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   if (capacity_ != 0 && in_use_ >= capacity_) {
     ++stats_.waited;

@@ -25,6 +25,7 @@ class AdmissionGate {
     uint64_t admitted = 0;
     uint64_t waited = 0;    ///< Enter calls that blocked at least once
     uint64_t timeouts = 0;  ///< Enter calls that gave up
+    uint64_t injected_rejections = 0;  ///< failpoint-forced rejections
     size_t peak_in_use = 0;
   };
 

@@ -1,9 +1,12 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "analysis/lock_sets.h"
+#include "engine/busy_work.h"
 #include "server/session_manager.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "wm/working_memory.h"
 
@@ -17,7 +20,8 @@ Session::Session(SessionManager* manager, std::string name, uint64_t id,
       name_(std::move(name)),
       id_(id),
       options_(options),
-      client_key_(MakeClientKey(name_)) {
+      client_key_(MakeClientKey(name_)),
+      rng_(id) {
   DBPS_CHECK(engine_ != nullptr);
 }
 
@@ -90,6 +94,11 @@ Status Session::Write(const Delta& delta) {
 
 StatusOr<uint64_t> Session::Commit() {
   if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  // Chaos site: the connection drops mid-transaction, right at commit.
+  // Surfaced as kAborted so Perform() treats it as transient.
+  if (DBPS_FAILPOINT("server.session.drop")) {
+    return FailTxn(Status::Aborted("injected session drop"));
+  }
   auto seq_or = engine_->CommitExternal(txn_, client_key_, pending_);
   if (!seq_or.ok()) return FailTxn(seq_or.status());
   in_txn_ = false;
@@ -108,6 +117,34 @@ void Session::Abort() {
   pending_ = Delta();
   manager_->txn_gate().Leave();
   ++stats_.aborts;
+}
+
+Status Session::Perform(const std::function<Status(Session&)>& body) {
+  int streak = 0;
+  for (int attempt = 0;; ++attempt) {
+    Status st = body(*this);
+    // A body that errored out mid-transaction must not leak it into the
+    // next attempt (or past Perform).
+    if (in_txn_) Abort();
+    const bool transient = st.IsAborted() || st.IsDeadlock() ||
+                           st.IsLockTimeout() || st.IsResourceExhausted();
+    if (st.ok() || !transient || attempt + 1 >= options_.max_txn_retries) {
+      return st;
+    }
+    ++streak;
+    ++stats_.retries;
+    stats_.max_abort_streak = std::max(stats_.max_abort_streak,
+                                       static_cast<uint64_t>(streak));
+    // Capped exponential backoff + jitter, mirroring the engine's
+    // per-firing retry policy (see ParallelEngineOptions).
+    const int shift = std::min(streak, 8);
+    const int64_t backoff_us =
+        std::min(options_.retry_backoff_base.count() << shift,
+                 options_.retry_backoff_max.count()) +
+        static_cast<int64_t>(rng_.Uniform(100));
+    SleepMicros(backoff_us);
+    stats_.backoff_micros += static_cast<uint64_t>(backoff_us);
+  }
 }
 
 Status Session::FailTxn(Status cause) {

@@ -30,12 +30,14 @@
 #ifndef DBPS_SERVER_SESSION_H_
 #define DBPS_SERVER_SESSION_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "engine/parallel_engine.h"
 #include "lang/query.h"
+#include "util/random.h"
 #include "util/statusor.h"
 #include "wm/delta.h"
 #include "wm/wme.h"
@@ -50,6 +52,15 @@ struct SessionOptions {
   bool repeatable_reads = true;
   /// How long Begin() may wait on the transaction admission gate.
   std::chrono::milliseconds txn_admission_timeout{10000};
+  /// Perform(): how many times a transaction body is attempted before its
+  /// transient failure (kAborted, kDeadlock, kLockTimeout,
+  /// kResourceExhausted) is surfaced to the caller.
+  int max_txn_retries = 16;
+  /// Perform(): capped exponential backoff between attempts, scaled by
+  /// the consecutive-failure streak (plus seeded jitter) — mirrors the
+  /// engine's per-firing backoff so client retry storms die out too.
+  std::chrono::microseconds retry_backoff_base{100};
+  std::chrono::microseconds retry_backoff_max{50000};
 };
 
 /// \brief Per-session counters.
@@ -63,6 +74,10 @@ struct SessionStats {
   uint64_t reads = 0;
   uint64_t queries = 0;
   uint64_t write_ops = 0;  ///< delta operations buffered via Write()
+  // --- Perform() retry loop ---------------------------------------------
+  uint64_t retries = 0;           ///< re-attempts after transient failures
+  uint64_t max_abort_streak = 0;  ///< worst consecutive-failure streak
+  uint64_t backoff_micros = 0;    ///< total backoff sleep between attempts
 };
 
 class Session {
@@ -106,6 +121,16 @@ class Session {
   /// Rolls back the open transaction (no-op without one).
   void Abort();
 
+  /// Runs `body` as one transaction with bounded retry: on a transient
+  /// failure (kAborted — Rc victimization or injected fault — kDeadlock,
+  /// kLockTimeout, kResourceExhausted) the open transaction is rolled
+  /// back and `body` re-runs after capped exponential backoff with
+  /// seeded jitter, up to SessionOptions::max_txn_retries attempts.
+  /// Non-transient statuses and exhausted retries surface to the caller;
+  /// either way no transaction is left open. `body` should contain the
+  /// whole transaction, Begin() through Commit().
+  Status Perform(const std::function<Status(Session&)>& body);
+
   /// Aborts any open transaction and detaches from the manager. Called by
   /// the destructor; idempotent.
   void Close();
@@ -133,6 +158,7 @@ class Session {
   TxnId txn_ = 0;
   Delta pending_;
   SessionStats stats_;
+  Random rng_;  ///< Perform() backoff jitter (seeded by session id)
 };
 
 using SessionPtr = std::shared_ptr<Session>;

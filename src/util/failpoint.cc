@@ -1,0 +1,213 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace dbps {
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() : rng_(0x5eedf417ULL) {
+  if (const char* seed = std::getenv("DBPS_FAILPOINT_SEED")) {
+    rng_.Seed(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* config = std::getenv("DBPS_FAILPOINTS")) {
+    // Environment misconfiguration should be loud but not fatal.
+    Status st = ConfigureFromString(config);
+    if (!st.ok()) {
+      std::fprintf(stderr, "DBPS_FAILPOINTS ignored: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+void FailpointRegistry::Configure(const std::string& site,
+                                  FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& entry = sites_[site];
+  if (!entry.armed) armed_sites_.fetch_add(1, std::memory_order_acq_rel);
+  entry.spec = spec;
+  entry.stats = SiteStats{};
+  entry.armed = true;
+}
+
+Status FailpointRegistry::ConfigureFromString(const std::string& config) {
+  for (std::string_view part : Split(config, ';')) {
+    part = StripWhitespace(part);
+    if (part.empty()) continue;
+    size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint spec '" + std::string(part) +
+                                     "' is not site=triggers");
+    }
+    std::string site(StripWhitespace(part.substr(0, eq)));
+    if (site.empty()) {
+      return Status::InvalidArgument("empty failpoint site name");
+    }
+    FailpointSpec spec;
+    bool off = false;
+    for (std::string_view trigger : Split(part.substr(eq + 1), ',')) {
+      trigger = StripWhitespace(trigger);
+      if (trigger == "off") {
+        off = true;
+        continue;
+      }
+      size_t colon = trigger.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("failpoint trigger '" +
+                                       std::string(trigger) +
+                                       "' is not key:value");
+      }
+      std::string key(StripWhitespace(trigger.substr(0, colon)));
+      std::string value(StripWhitespace(trigger.substr(colon + 1)));
+      char* end = nullptr;
+      if (key == "p") {
+        spec.probability = std::strtod(value.c_str(), &end);
+      } else if (key == "1in") {
+        spec.one_in = std::strtoull(value.c_str(), &end, 10);
+      } else if (key == "skip") {
+        spec.skip = std::strtoull(value.c_str(), &end, 10);
+      } else if (key == "max") {
+        spec.max_fires = std::strtoull(value.c_str(), &end, 10);
+      } else if (key == "delay") {
+        spec.delay = std::chrono::microseconds(
+            std::strtoll(value.c_str(), &end, 10));
+      } else {
+        return Status::InvalidArgument("unknown failpoint trigger key '" +
+                                       key + "'");
+      }
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad failpoint trigger value '" +
+                                       value + "' for key '" + key + "'");
+      }
+    }
+    if (off) {
+      Disable(site);
+    } else {
+      Configure(site, spec);
+    }
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_sites_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, entry] : sites_) {
+    if (entry.armed) armed_sites_.fetch_sub(1, std::memory_order_acq_rel);
+    entry.armed = false;
+  }
+  sites_.clear();
+  total_fires_.store(0, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+}
+
+bool FailpointRegistry::Evaluate(const char* site) {
+  std::chrono::microseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return false;
+    Site& entry = it->second;
+    const uint64_t hit = ++entry.stats.hits;
+    if (hit <= entry.spec.skip) return false;
+    if (entry.spec.max_fires > 0 &&
+        entry.stats.fires >= entry.spec.max_fires) {
+      return false;
+    }
+    bool fires = false;
+    if (entry.spec.one_in > 0 &&
+        (hit - entry.spec.skip) % entry.spec.one_in == 0) {
+      fires = true;
+    } else if (entry.spec.probability > 0.0 &&
+               rng_.Bernoulli(entry.spec.probability)) {
+      fires = true;
+    }
+    if (!fires) return false;
+    ++entry.stats.fires;
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+    delay = entry.spec.delay;
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return true;
+}
+
+FailpointRegistry::SiteStats FailpointRegistry::GetSiteStats(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? SiteStats{} : it->second.stats;
+}
+
+std::vector<std::pair<std::string, FailpointRegistry::SiteStats>>
+FailpointRegistry::GetAllStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, SiteStats>> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, entry] : sites_) {
+    out.emplace_back(site, entry.stats);
+  }
+  return out;
+}
+
+const std::vector<std::string>& DefaultChaosSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "lock.acquire.delay",
+      "lock.acquire.timeout",
+      "lock.acquire.wound",
+      "engine.firing.throw",
+      "engine.firing.rhs_error",
+      "engine.firing.stall",
+      "engine.firing.victimize",
+      "engine.firing.crash_before_apply",
+      "server.session.drop",
+      "server.commit.fail",
+      "server.admission.reject",
+  };
+  return *sites;
+}
+
+void ApplyChaosProfile(double fail_rate, uint64_t seed) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.SetSeed(seed);
+  for (const std::string& site : DefaultChaosSites()) {
+    FailpointSpec spec;
+    spec.probability = fail_rate;
+    // Stall-style sites (evaluated outside any lock) sleep; catastrophic
+    // sites that permanently retire work or reject clients fire rarer so
+    // a chaotic run still makes progress.
+    if (site == "lock.acquire.delay" || site == "engine.firing.stall") {
+      spec.delay = std::chrono::microseconds(300);
+    } else if (site == "engine.firing.rhs_error" ||
+               site == "engine.firing.throw" ||
+               site == "server.admission.reject") {
+      spec.probability = fail_rate / 4.0;
+    } else if (site == "lock.acquire.timeout" ||
+               site == "lock.acquire.wound" ||
+               site == "engine.firing.crash_before_apply" ||
+               site == "server.session.drop" ||
+               site == "server.commit.fail") {
+      spec.probability = fail_rate / 2.0;
+    }
+    registry.Configure(site, spec);
+  }
+}
+
+}  // namespace dbps

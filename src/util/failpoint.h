@@ -1,0 +1,150 @@
+// Failpoints: deterministic, seed-driven fault injection.
+//
+// A failpoint is a named site in production code where a fault can be
+// forced at test time: a spurious error return, an injected stall, a
+// simulated crash. Sites cost one relaxed atomic load when no failpoint
+// is configured, so they stay compiled into release binaries and every
+// fragile path (lock manager, parallel engine, server layer) keeps its
+// sites permanently.
+//
+//   // In production code:
+//   if (DBPS_FAILPOINT("lock.acquire.timeout")) {
+//     return Status::LockTimeout("injected");
+//   }
+//
+//   // In a test or via DBPS_FAILPOINTS=lock.acquire.timeout=p:0.05:
+//   auto& reg = FailpointRegistry::Instance();
+//   reg.SetSeed(1234);
+//   reg.Configure("lock.acquire.timeout", {.probability = 0.05});
+//   ... run workload ...
+//   reg.DisableAll();
+//
+// Triggers compose per site: fire every Nth hit (`one_in`), fire with a
+// probability per hit (`probability`, drawn from one seeded PRNG so a
+// trial's fault schedule is reproducible from its seed), skip the first
+// `skip` hits, stop after `max_fires` fires, and/or sleep `delay` when
+// firing (stall injection; only configure delays on sites documented as
+// sleep-safe — see docs/ROBUSTNESS.md).
+//
+// Environment activation (read once, at first Instance() use):
+//   DBPS_FAILPOINTS      e.g. "lock.acquire.timeout=p:0.01;engine.firing.stall=p:0.05,delay:500"
+//   DBPS_FAILPOINT_SEED  PRNG seed for probabilistic triggers
+
+#ifndef DBPS_UTIL_FAILPOINT_H_
+#define DBPS_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dbps {
+
+/// \brief When and how a configured failpoint fires.
+struct FailpointSpec {
+  /// Fire with this probability on each hit (seeded PRNG).
+  double probability = 0.0;
+  /// Fire deterministically on every Nth hit (after `skip`); 0 disables.
+  uint64_t one_in = 0;
+  /// Ignore the first `skip` hits entirely.
+  uint64_t skip = 0;
+  /// Stop firing after this many fires; 0 means unlimited.
+  uint64_t max_fires = 0;
+  /// Sleep this long when firing (stall injection). Only safe on sites
+  /// evaluated outside locks.
+  std::chrono::microseconds delay{0};
+};
+
+/// \brief Global registry of failpoint sites. Thread-safe; a process has
+/// exactly one (tests sharing a binary must DisableAll() between trials).
+class FailpointRegistry {
+ public:
+  struct SiteStats {
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  static FailpointRegistry& Instance();
+
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  /// Arms `site` with `spec` (replacing any previous spec, zeroing its
+  /// hit/fire counters).
+  void Configure(const std::string& site, FailpointSpec spec);
+
+  /// Parses and applies "site=k:v,k:v;site2=...". Keys: p (probability),
+  /// 1in, skip, max, delay (microseconds), off. Unknown keys fail.
+  Status ConfigureFromString(const std::string& config);
+
+  /// Disarms one site (its stats survive until the next Configure).
+  void Disable(const std::string& site);
+
+  /// Disarms every site and clears all stats and the cumulative fire
+  /// counter. Call between chaos trials.
+  void DisableAll();
+
+  /// Re-seeds the PRNG behind probabilistic triggers.
+  void SetSeed(uint64_t seed);
+
+  /// The hot-path gate: true iff any site is armed.
+  bool enabled() const {
+    return armed_sites_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Records a hit on `site` and decides whether the fault fires. Sleeps
+  /// the configured delay (outside the registry mutex) when firing.
+  bool Evaluate(const char* site);
+
+  SiteStats GetSiteStats(const std::string& site) const;
+  std::vector<std::pair<std::string, SiteStats>> GetAllStats() const;
+
+  /// Total fires across all sites since the last DisableAll() — cheap
+  /// (one atomic load); engines diff it around a run to report
+  /// `injected_faults`.
+  uint64_t total_fires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FailpointRegistry();
+
+  struct Site {
+    FailpointSpec spec;
+    SiteStats stats;
+    bool armed = false;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+  Random rng_;
+  std::atomic<int> armed_sites_{0};
+  std::atomic<uint64_t> total_fires_{0};
+};
+
+/// The canonical chaos sites (every injection point threaded through the
+/// lock manager, parallel engine, and server layer), in a stable order.
+const std::vector<std::string>& DefaultChaosSites();
+
+/// Arms the default chaos profile: every site in DefaultChaosSites() at a
+/// probability derived from `fail_rate` (delay-style sites get a small
+/// stall, rarer catastrophic sites a reduced rate), PRNG seeded with
+/// `seed`. One call makes a whole run chaotic and reproducible.
+void ApplyChaosProfile(double fail_rate, uint64_t seed);
+
+}  // namespace dbps
+
+/// True iff the named failpoint fires at this hit. Near-zero cost while
+/// no failpoint is configured anywhere.
+#define DBPS_FAILPOINT(site)                              \
+  (::dbps::FailpointRegistry::Instance().enabled() &&     \
+   ::dbps::FailpointRegistry::Instance().Evaluate(site))
+
+#endif  // DBPS_UTIL_FAILPOINT_H_

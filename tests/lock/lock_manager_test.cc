@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "lock/lock_manager.h"
+#include "util/failpoint.h"
 
 namespace dbps {
 namespace {
@@ -329,6 +330,140 @@ TEST(LockObjectId, ToStringForms) {
   EXPECT_NE(Relation("rel-a").ToString().find("*"), std::string::npos);
   LockObjectId intent{Sym("rel-a"), kInsertLockBase + 2};
   EXPECT_NE(intent.ToString().find("insert"), std::string::npos);
+}
+
+TEST(LockManager, ReleaseUnknownTxnIsCountedNoOp) {
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  // A transaction id that was never begun: safe no-op, counted.
+  lm.Release(12345);
+  EXPECT_EQ(lm.GetStats().unknown_releases, 1u);
+  // Double release — e.g. a session tearing down a transaction the
+  // engine already rolled back — must also be a safe no-op.
+  TxnId t = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+  lm.Release(t);
+  lm.Release(t);
+  EXPECT_EQ(lm.GetStats().unknown_releases, 2u);
+  EXPECT_EQ(lm.live_transactions(), 0u);
+  // A fresh transaction still works after the stray releases.
+  TxnId t2 = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t2, Tuple("r", 1), LockMode::kWa).ok());
+}
+
+// --- blocking escalation (starvation guarantee) ------------------------
+
+TEST(LockManager, BlockingTxnRcBlocksWaUnderRcRaWa) {
+  // A blocking (escalated) transaction's Rc uses the 2PL matrix even
+  // under kRcRaWa: a writer's Wa request WAITS instead of being granted
+  // over it — so the committer can never victimize the escalated reader.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId reader = lm.Begin(), writer = lm.Begin();
+  lm.SetBlocking(reader);
+  EXPECT_TRUE(lm.IsBlocking(reader));
+  EXPECT_EQ(lm.GetStats().blocking_txns, 1u);
+  ASSERT_TRUE(lm.Acquire(reader, Tuple("r", 1), LockMode::kRc).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(lm.Acquire(writer, Tuple("r", 1), LockMode::kWa).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());  // Wa-over-Rc grant is suspended
+  lm.Release(reader);
+  blocked.join();
+}
+
+TEST(LockManager, BlockingTxnWaitsBehindOutstandingWa) {
+  // Symmetric direction: escalation must not weaken the protocol — an
+  // escalated transaction still waits behind an already-granted Wa
+  // (Rc-over-Wa is denied in both matrices), it never jumps ahead.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId writer = lm.Begin(), reader = lm.Begin();
+  lm.SetBlocking(reader);
+  ASSERT_TRUE(lm.Acquire(writer, Tuple("r", 5), LockMode::kWa).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(lm.Acquire(reader, Relation("r"), LockMode::kRc).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.Release(writer);
+  blocked.join();
+}
+
+TEST(LockManager, BlockingHolderIsNeverAVictim) {
+  // normal and escalated both hold Rc on the same tuple. The writer's Wa
+  // is NOT granted over the mix (the escalated holder forces the 2PL
+  // cell), so the writer waits until the escalated reader commits — an
+  // escalated firing can never appear in a committer's victim list. The
+  // normal Rc holder, released later, is victimized as usual.
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId normal = lm.Begin(), escalated = lm.Begin(), writer = lm.Begin();
+  lm.SetBlocking(escalated);
+  ASSERT_TRUE(lm.Acquire(normal, Tuple("r", 1), LockMode::kRc).ok());
+  ASSERT_TRUE(lm.Acquire(escalated, Tuple("r", 1), LockMode::kRc).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(lm.Acquire(writer, Tuple("r", 1), LockMode::kWa).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.Release(escalated);  // the escalated reader commits untouched
+  blocked.join();
+  // Now the Wa is granted over the remaining (normal) Rc holder, and
+  // settlement victimizes exactly that one.
+  auto victims = lm.CollectRcVictims(writer);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], normal);
+}
+
+// --- injected lock faults ----------------------------------------------
+
+class LockFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisableAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisableAll(); }
+};
+
+TEST_F(LockFailpointTest, InjectedTimeoutSurfacesAsLockTimeout) {
+  FailpointSpec spec;
+  spec.one_in = 1;
+  spec.max_fires = 1;
+  FailpointRegistry::Instance().Configure("lock.acquire.timeout", spec);
+
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId t = lm.Begin();
+  Status st = lm.Acquire(t, Tuple("r", 1), LockMode::kRc);
+  EXPECT_TRUE(st.IsLockTimeout()) << st;
+  EXPECT_EQ(lm.GetStats().timeouts, 1u);
+  // The next acquire (failpoint exhausted) succeeds: spurious timeouts
+  // are transient, not sticky.
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 1), LockMode::kRc).ok());
+}
+
+TEST_F(LockFailpointTest, InjectedWoundAbortsTheTransaction) {
+  FailpointSpec spec;
+  spec.one_in = 1;
+  spec.max_fires = 1;
+  FailpointRegistry::Instance().Configure("lock.acquire.wound", spec);
+
+  LockManager lm(FastOptions(LockProtocol::kRcRaWa));
+  TxnId t = lm.Begin();
+  Status st = lm.Acquire(t, Tuple("r", 1), LockMode::kRc);
+  EXPECT_TRUE(st.IsAborted()) << st;
+  EXPECT_TRUE(lm.IsAborted(t));
+  EXPECT_GE(lm.GetStats().wounds, 1u);
+  // A wound is sticky for the wounded transaction...
+  EXPECT_TRUE(lm.Acquire(t, Tuple("r", 2), LockMode::kRc).IsAborted());
+  lm.Release(t);
+  // ...but a fresh transaction is unaffected.
+  TxnId t2 = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t2, Tuple("r", 1), LockMode::kRc).ok());
 }
 
 // --- Figure 4.3 / 4.4 scenarios at the lock level ----------------------

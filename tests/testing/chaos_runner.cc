@@ -1,0 +1,200 @@
+#include "testing/chaos_runner.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/busy_work.h"
+#include "testing/workloads.h"
+#include "util/string_util.h"
+
+namespace dbps {
+namespace testing {
+namespace {
+
+// The multi-user chaos program: clients file requests, rules triage and
+// resolve them, and every third client transaction takes a repeatable
+// read over `resolved` — so rule commits victimize clients under kRcRaWa
+// and block behind them under kTwoPhase (same contention shape as the
+// multi-user property test, now with faults layered on top).
+constexpr const char* kChaosProgram = R"(
+(relation request (id int) (state symbol))
+(relation resolved (id int))
+
+(rule triage :cost 30
+  (request ^id <i> ^state new)
+  -->
+  (modify 1 ^state triaged))
+
+(rule resolve :cost 30
+  (request ^id <i> ^state triaged)
+  -->
+  (remove 1)
+  (make resolved ^id <i>))
+)";
+
+/// Disarms every failpoint on scope exit, no matter how the trial ends.
+struct FailpointDisarm {
+  ~FailpointDisarm() { FailpointRegistry::Instance().DisableAll(); }
+};
+
+ParallelEngineOptions EngineOptionsFor(const ChaosOptions& options) {
+  ParallelEngineOptions eo;
+  eo.base.seed = options.seed;
+  eo.num_workers = options.num_workers;
+  eo.protocol = options.protocol;
+  eo.abort_policy = options.abort_policy;
+  eo.deadlock_policy = options.deadlock_policy;
+  return eo;
+}
+
+/// The post-run safety checks shared by both workloads.
+Status CheckRun(const StatusOr<RunResult>& result_or, WorkingMemory* wm,
+                WorkingMemory* pristine, const RuleSetPtr& rules,
+                size_t live_transactions) {
+  if (!result_or.ok()) {
+    return Status::Internal("run failed: " + result_or.status().ToString());
+  }
+  const RunResult& result = result_or.ValueOrDie();
+  if (live_transactions != 0) {
+    return Status::Internal(
+        StringPrintf("leaked %zu live transactions", live_transactions));
+  }
+  Status replay = ValidateReplay(pristine, rules, result.log);
+  if (!replay.ok()) {
+    return Status::Internal("replay validation failed: " +
+                            replay.ToString());
+  }
+  if (pristine->TotalCount() != wm->TotalCount()) {
+    return Status::Internal(StringPrintf(
+        "replayed database diverged: replay has %zu WMEs, run has %zu",
+        pristine->TotalCount(), wm->TotalCount()));
+  }
+  return Status::OK();
+}
+
+ChaosReport RunRulesOnlyTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  RuleSetPtr rules;
+  auto wm = MakeLogisticsWm(/*boxes=*/12, /*robots=*/4, /*sites=*/4, &rules);
+  auto pristine = wm->Clone();
+
+  FailpointDisarm disarm;
+  ApplyChaosProfile(options.fail_rate, options.seed);
+
+  ParallelEngine engine(wm.get(), rules, EngineOptionsFor(options));
+  auto result_or = engine.Run();
+  FailpointRegistry::Instance().DisableAll();
+
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, wm.get(), pristine.get(), rules,
+                            report.live_transactions);
+  return report;
+}
+
+ChaosReport RunMultiUserTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(kChaosProgram, &wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  RuleSetPtr rules = rules_or.ValueOrDie();
+  auto pristine = wm.Clone();
+
+  SessionManager manager(&wm);
+  ParallelEngineOptions eo = EngineOptionsFor(options);
+  eo.external_source = &manager;
+  ParallelEngine engine(&wm, rules, eo);
+  manager.BindEngine(&engine);
+
+  FailpointDisarm disarm;
+  ApplyChaosProfile(options.fail_rate, options.seed);
+
+  StatusOr<RunResult> result_or{Status::Internal("not run")};
+  std::thread serve([&] { result_or = engine.Run(); });
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> gave_up{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < options.client_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      // Connect can be rejected by the injected admission failpoint;
+      // retry like a real client would.
+      SessionPtr session;
+      for (int attempt = 0; attempt < 64 && session == nullptr; ++attempt) {
+        auto session_or = manager.Connect("chaos-" + std::to_string(c));
+        if (session_or.ok()) {
+          session = session_or.ValueOrDie();
+        } else {
+          SleepMicros(200);
+        }
+      }
+      if (session == nullptr) {
+        gave_up.fetch_add(options.txns_per_session);
+        return;
+      }
+      for (uint64_t i = 0; i < options.txns_per_session; ++i) {
+        Status st = session->Perform([&, i](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          if (i % 3 == 0) {
+            auto rows_or = s.Read("resolved");
+            if (!rows_or.ok()) return rows_or.status();
+          }
+          Delta delta;
+          delta.Create(Sym("request"),
+                       {Value::Int(static_cast<int64_t>(c * 1000 + i)),
+                        Value::Symbol("new")});
+          DBPS_RETURN_NOT_OK(s.Write(delta));
+          return s.Commit().status();
+        });
+        if (st.ok()) {
+          committed.fetch_add(1);
+        } else {
+          gave_up.fetch_add(1);
+        }
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  manager.Close();
+  serve.join();
+  // Disarm before validation so the replay cannot trip engine/lock sites.
+  FailpointRegistry::Instance().DisableAll();
+
+  report.committed_client_txns = committed.load();
+  report.client_give_ups = gave_up.load();
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
+                            report.live_transactions);
+  return report;
+}
+
+}  // namespace
+
+std::string ChaosReport::ToString() const {
+  return StringPrintf(
+      "verdict=%s committed=%llu give_ups=%llu live_txns=%zu [%s]",
+      verdict.ToString().c_str(),
+      (unsigned long long)committed_client_txns,
+      (unsigned long long)client_give_ups, live_transactions,
+      stats.ToString().c_str());
+}
+
+ChaosReport ChaosRunner::RunTrial(const ChaosOptions& options) {
+  switch (options.workload) {
+    case ChaosWorkload::kRulesOnly:
+      return RunRulesOnlyTrial(options);
+    case ChaosWorkload::kMultiUser:
+      return RunMultiUserTrial(options);
+  }
+  ChaosReport report;
+  report.verdict = Status::InvalidArgument("unknown chaos workload");
+  return report;
+}
+
+}  // namespace testing
+}  // namespace dbps

@@ -1,0 +1,74 @@
+// ChaosRunner: seeded fault-injection trials for the robustness suite.
+//
+// One trial = one full engine run (rule-only, or multi-user with client
+// sessions attached) executed with the failpoint registry armed from a
+// deterministic seed (util/failpoint.h, ApplyChaosProfile). After the run
+// the trial asserts the paper's safety property survived the faults:
+//
+//   (a) the run terminated (we only get here if it did; ctest timeouts
+//       catch hangs),
+//   (b) the committed log replay-validates single-threaded (Definition
+//       3.2, extended to external client records),
+//   (c) no transaction leaked — live_lock_transactions() == 0, and
+//   (d) the replayed database equals the parallel run's final database.
+//
+// The verdict is a Status: OK, or the first violated check. Failpoints
+// are always disarmed before the trial returns (RAII), so trials cannot
+// perturb each other or the rest of the test binary.
+
+#ifndef DBPS_TESTS_TESTING_CHAOS_RUNNER_H_
+#define DBPS_TESTS_TESTING_CHAOS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dbps.h"
+
+namespace dbps {
+namespace testing {
+
+/// Which workload a trial runs under fault injection.
+enum class ChaosWorkload : uint8_t {
+  kMultiUser,   ///< rule firings + concurrent client sessions (server)
+  kRulesOnly,   ///< the logistics program, no external transactions
+};
+
+struct ChaosOptions {
+  ChaosWorkload workload = ChaosWorkload::kMultiUser;
+  LockProtocol protocol = LockProtocol::kRcRaWa;
+  AbortPolicy abort_policy = AbortPolicy::kAbort;
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+  /// Seeds the failpoint registry AND the engine/workload PRNGs, so a
+  /// failing trial reproduces from its printed seed alone.
+  uint64_t seed = 1;
+  /// Base failpoint probability (see ApplyChaosProfile).
+  double fail_rate = 0.05;
+  size_t num_workers = 4;
+  // Multi-user workload shape:
+  size_t client_sessions = 3;
+  uint64_t txns_per_session = 8;
+};
+
+struct ChaosReport {
+  /// OK iff every check passed; otherwise describes the first violation.
+  Status verdict = Status::OK();
+  EngineStats stats;
+  uint64_t committed_client_txns = 0;
+  /// Client transactions whose Perform() exhausted its retry budget —
+  /// allowed under faults (bounded retry is the point), but reported.
+  uint64_t client_give_ups = 0;
+  size_t live_transactions = 0;
+
+  std::string ToString() const;
+};
+
+class ChaosRunner {
+ public:
+  /// Runs one seeded trial; never leaves failpoints armed.
+  static ChaosReport RunTrial(const ChaosOptions& options);
+};
+
+}  // namespace testing
+}  // namespace dbps
+
+#endif  // DBPS_TESTS_TESTING_CHAOS_RUNNER_H_

@@ -1,0 +1,218 @@
+// Unit tests for the failpoint registry: trigger kinds, determinism,
+// config-string parsing, the enabled() fast path, and stats.
+
+#include "util/failpoint.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace dbps {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisableAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisableAll(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefault) {
+  auto& reg = FailpointRegistry::Instance();
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(DBPS_FAILPOINT("test.nonexistent"));
+  // The fast path short-circuits: an unarmed registry records no hits.
+  EXPECT_EQ(reg.GetSiteStats("test.nonexistent").hits, 0u);
+}
+
+TEST_F(FailpointTest, OneInFiresDeterministically) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 3;
+  reg.Configure("test.one_in", spec);
+  EXPECT_TRUE(reg.enabled());
+
+  int fires = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (DBPS_FAILPOINT("test.one_in")) ++fires;
+  }
+  EXPECT_EQ(fires, 3);  // hits 3, 6, 9
+  auto stats = reg.GetSiteStats("test.one_in");
+  EXPECT_EQ(stats.hits, 9u);
+  EXPECT_EQ(stats.fires, 3u);
+}
+
+TEST_F(FailpointTest, SkipSuppressesEarlyHits) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 1;  // fire on every non-skipped hit
+  spec.skip = 5;
+  reg.Configure("test.skip", spec);
+
+  int fires = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (DBPS_FAILPOINT("test.skip")) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST_F(FailpointTest, MaxFiresCapsTotal) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 1;
+  spec.max_fires = 2;
+  reg.Configure("test.max", spec);
+
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (DBPS_FAILPOINT("test.max")) ++fires;
+  }
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(reg.GetSiteStats("test.max").hits, 10u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.probability = 0.5;
+
+  auto run = [&](uint64_t seed) {
+    reg.DisableAll();
+    reg.SetSeed(seed);
+    reg.Configure("test.prob", spec);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(DBPS_FAILPOINT("test.prob"));
+    }
+    return outcomes;
+  };
+
+  auto a = run(42);
+  auto b = run(42);
+  auto c = run(43);
+  EXPECT_EQ(a, b) << "same seed must give the same fault schedule";
+  EXPECT_NE(a, c) << "different seeds should diverge (p=0.5, 64 draws)";
+  // Sanity: p=0.5 over 64 draws fires sometimes and not always.
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST_F(FailpointTest, ProbabilityOneAlwaysFires) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.probability = 1.0;
+  reg.Configure("test.always", spec);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(DBPS_FAILPOINT("test.always"));
+  }
+}
+
+TEST_F(FailpointTest, DelaySleepsWhenFiring) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 1;
+  spec.delay = std::chrono::microseconds(5000);
+  reg.Configure("test.delay", spec);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(DBPS_FAILPOINT("test.delay"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(4000));
+}
+
+TEST_F(FailpointTest, DisableOneSiteLeavesOthersArmed) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 1;
+  reg.Configure("test.a", spec);
+  reg.Configure("test.b", spec);
+  reg.Disable("test.a");
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_FALSE(DBPS_FAILPOINT("test.a"));
+  EXPECT_TRUE(DBPS_FAILPOINT("test.b"));
+  reg.Disable("test.b");
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(FailpointTest, DisableAllResetsFireCounter) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 1;
+  reg.Configure("test.total", spec);
+  for (int i = 0; i < 4; ++i) (void)DBPS_FAILPOINT("test.total");
+  EXPECT_EQ(reg.total_fires(), 4u);
+  reg.DisableAll();
+  EXPECT_EQ(reg.total_fires(), 0u);
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(FailpointTest, ConfigureFromStringParsesAllKeys) {
+  auto& reg = FailpointRegistry::Instance();
+  ASSERT_TRUE(reg.ConfigureFromString(
+                     "test.x=p:0.25,delay:300;test.y=1in:4,skip:2,max:7")
+                  .ok());
+  EXPECT_TRUE(reg.enabled());
+  // test.y: skip 2 then every 4th hit, capped at 7 fires.
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (DBPS_FAILPOINT("test.y")) ++fires;
+  }
+  EXPECT_EQ(fires, 2);  // hits 6 and 10 (post-skip counts 4 and 8)
+}
+
+TEST_F(FailpointTest, ConfigureFromStringOffDisables) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 1;
+  reg.Configure("test.off", spec);
+  ASSERT_TRUE(reg.ConfigureFromString("test.off=off").ok());
+  EXPECT_FALSE(DBPS_FAILPOINT("test.off"));
+}
+
+TEST_F(FailpointTest, ConfigureFromStringRejectsGarbage) {
+  auto& reg = FailpointRegistry::Instance();
+  EXPECT_FALSE(reg.ConfigureFromString("test.bad=nope:1").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("test.bad=p:notanumber").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("justasite").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("=p:0.5").ok());
+  // Failed parses must not leave half-armed state behind.
+  EXPECT_FALSE(DBPS_FAILPOINT("test.bad"));
+}
+
+TEST_F(FailpointTest, ChaosProfileArmsCanonicalSites) {
+  ApplyChaosProfile(/*fail_rate=*/0.5, /*seed=*/7);
+  auto& reg = FailpointRegistry::Instance();
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_FALSE(DefaultChaosSites().empty());
+  // Every canonical site must be configured (stats entry exists after a
+  // hit even if it does not fire).
+  for (const std::string& site : DefaultChaosSites()) {
+    (void)reg.Evaluate(site.c_str());
+    EXPECT_GE(reg.GetSiteStats(site).hits, 1u) << site;
+  }
+  reg.DisableAll();
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(FailpointTest, GetAllStatsListsConfiguredSites) {
+  auto& reg = FailpointRegistry::Instance();
+  FailpointSpec spec;
+  spec.one_in = 2;
+  reg.Configure("test.stats", spec);
+  (void)DBPS_FAILPOINT("test.stats");
+  (void)DBPS_FAILPOINT("test.stats");
+  auto all = reg.GetAllStats();
+  bool found = false;
+  for (const auto& [site, stats] : all) {
+    if (site == "test.stats") {
+      found = true;
+      EXPECT_EQ(stats.hits, 2u);
+      EXPECT_EQ(stats.fires, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dbps

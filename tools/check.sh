@@ -4,6 +4,11 @@
 #   tools/check.sh                      # plain RelWithDebInfo build
 #   DBPS_SANITIZE=thread tools/check.sh # TSan build (covers src/server/)
 #   DBPS_SANITIZE=address tools/check.sh
+#   DBPS_TIER=chaos tools/check.sh      # fault-injection tier: runs only the
+#                                       # failpoint/fault/chaos suites, then a
+#                                       # fixed-seed chaos smoke of dbps_run
+#                                       # (combine with DBPS_SANITIZE=thread
+#                                       # for the full robustness gate)
 #
 # The build directory is build/ for plain runs and build-<sanitizer>/
 # for sanitizer runs, so they never poison each other's caches.
@@ -12,6 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SANITIZE="${DBPS_SANITIZE:-}"
+TIER="${DBPS_TIER:-}"
 if [ -n "$SANITIZE" ]; then
   BUILD_DIR="build-$SANITIZE"
 else
@@ -20,4 +26,20 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DDBPS_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure
+
+if [ "$TIER" = "chaos" ]; then
+  # Robustness tier: the failpoint unit tests, the engine fault-injection
+  # suite, and the seeded chaos trials (see docs/ROBUSTNESS.md).
+  ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure \
+    -R 'Failpoint|FaultInjection|Chaos|chaos'
+  # Deterministic end-to-end smoke: a multi-session server run with the
+  # chaos profile armed must still replay-validate its commit log.
+  for seed in 11 23 47; do
+    "$BUILD_DIR/tools/dbps_run" --engine=parallel --workers=4 \
+      --sessions=3 --client-ops=6 --chaos-seed="$seed" --fail-rate=0.05 \
+      --validate --quiet examples/programs/server_inbox.dbps
+  done
+  echo "chaos tier passed"
+else
+  ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure
+fi

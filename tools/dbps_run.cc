@@ -30,6 +30,11 @@
 //   --client-ops=M                    transactions per session (16)
 //   --client-relation=NAME            relation the clients insert into
 //                                     (default: first declared relation)
+//   --chaos-seed=N                    arm the failpoint chaos profile
+//                                     (util/failpoint.h) seeded with N;
+//                                     the run injects deterministic faults
+//   --fail-rate=P                     base failpoint probability for
+//                                     --chaos-seed (0.05)
 //   --quiet                           suppress the summary line
 
 #include <atomic>
@@ -42,6 +47,7 @@
 #include <vector>
 
 #include "dbps.h"
+#include "engine/busy_work.h"
 
 namespace {
 
@@ -65,6 +71,9 @@ struct Flags {
   size_t sessions = 0;
   uint64_t client_ops = 16;
   std::string client_relation;
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  double fail_rate = 0.05;
   std::string snapshot_out;
   std::string journal_out;
   std::string query;
@@ -82,7 +91,7 @@ int Usage(const char* argv0) {
                "  [--dump-final] [--snapshot-out=FILE] [--query=LHS]\n"
                "  [--journal-out=FILE]\n"
                "  [--sessions=N] [--client-ops=M] [--client-relation=NAME]\n"
-               "  [--quiet]\n"
+               "  [--chaos-seed=N] [--fail-rate=P] [--quiet]\n"
                "  <program.dbps>\n",
                argv0);
   return 2;
@@ -193,6 +202,14 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.client_ops = std::stoull(value);
     } else if (ParseFlag(arg, "client-relation", &value)) {
       flags.client_relation = value;
+    } else if (ParseFlag(arg, "chaos-seed", &value)) {
+      flags.chaos = true;
+      flags.chaos_seed = std::stoull(value);
+    } else if (ParseFlag(arg, "fail-rate", &value)) {
+      flags.fail_rate = std::stod(value);
+      if (flags.fail_rate < 0.0 || flags.fail_rate > 1.0) {
+        return Status::InvalidArgument("--fail-rate must be in [0,1]");
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     } else if (flags.program_path.empty()) {
@@ -273,22 +290,28 @@ StatusOr<RunResult> ServeSessions(const Flags& flags, WorkingMemory* wm,
   std::vector<std::thread> clients;
   for (size_t c = 0; c < flags.sessions; ++c) {
     clients.emplace_back([&, c] {
-      auto session_or = manager.Connect("cli-" + std::to_string(c));
+      // Under --chaos-seed the admission layer may inject rejections, so
+      // connecting deserves the same bounded retry as the transactions.
+      StatusOr<SessionPtr> session_or{Status::Internal("not connected")};
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        session_or = manager.Connect("cli-" + std::to_string(c));
+        if (session_or.ok()) break;
+        SleepMicros(200);
+      }
       if (!session_or.ok()) {
         failures.fetch_add(flags.client_ops);
         return;
       }
       SessionPtr session = session_or.ValueOrDie();
       for (uint64_t i = 0; i < flags.client_ops; ++i) {
-        bool committed = false;
-        for (int attempt = 0; attempt < 16 && !committed; ++attempt) {
-          if (!session->Begin().ok()) break;
+        Status st = session->Perform([&, i](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
           Delta delta;
           delta.Create(target, ClientTuple(schema, c, i));
-          if (!session->Write(delta).ok()) continue;
-          committed = session->Commit().ok();
-        }
-        if (!committed) failures.fetch_add(1);
+          DBPS_RETURN_NOT_OK(s.Write(delta));
+          return s.Commit().status();
+        });
+        if (!st.ok()) failures.fetch_add(1);
       }
       session->Close();
     });
@@ -331,6 +354,10 @@ int Run(const Flags& flags) {
   std::unique_ptr<WorkingMemory> pristine;
   if (flags.validate) pristine = wm.Clone();
 
+  if (flags.chaos) {
+    ApplyChaosProfile(flags.fail_rate, flags.chaos_seed);
+  }
+
   EngineOptions base;
   base.strategy = flags.strategy;
   base.matcher = flags.matcher;
@@ -364,6 +391,11 @@ int Run(const Flags& flags) {
     StaticPartitionEngine engine(&wm, rules, options);
     result_or = engine.Run();
   }
+  uint64_t chaos_fires = 0;
+  if (flags.chaos) {
+    chaos_fires = FailpointRegistry::Instance().total_fires();
+    FailpointRegistry::Instance().DisableAll();
+  }
   if (!result_or.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  result_or.status().ToString().c_str());
@@ -391,6 +423,11 @@ int Run(const Flags& flags) {
           (unsigned long long)server_stats.closed_sessions.commits,
           (unsigned long long)server_stats.closed_sessions.aborts,
           (unsigned long long)server_stats.closed_sessions.rc_victim_aborts);
+    }
+    if (flags.chaos) {
+      std::printf("chaos: seed=%llu rate=%.3f failpoint fires=%llu\n",
+                  (unsigned long long)flags.chaos_seed, flags.fail_rate,
+                  (unsigned long long)chaos_fires);
     }
   }
   if (flags.validate) {
