@@ -16,6 +16,7 @@
 #include "dbps.h"
 #include "engine/busy_work.h"
 #include "lock/lock_manager.h"
+#include "report.h"
 #include "util/logging.h"
 
 namespace dbps {
@@ -146,7 +147,8 @@ constexpr const char* kAbortStormProgram = R"(
   (modify 1 ^state done))
 )";
 
-EngineStats RunAbortStorm(int escalate_after) {
+EngineStats RunAbortStorm(int escalate_after, size_t workers,
+                          double* wall_ms) {
   constexpr size_t kClients = 3;
   constexpr uint64_t kWritesPerClient = 24;
   constexpr uint64_t kJobEvery = 8;
@@ -156,7 +158,7 @@ EngineStats RunAbortStorm(int escalate_after) {
 
   SessionManager manager(&wm);
   ParallelEngineOptions options;
-  options.num_workers = 4;
+  options.num_workers = workers;
   options.protocol = LockProtocol::kRcRaWa;
   options.abort_policy = AbortPolicy::kAbort;
   options.escalate_after_aborts = escalate_after;
@@ -167,6 +169,7 @@ EngineStats RunAbortStorm(int escalate_after) {
   manager.BindEngine(&engine);
 
   StatusOr<RunResult> result{Status::Internal("not run")};
+  Stopwatch stopwatch;
   std::thread serve([&] { result = engine.Run(); });
 
   std::vector<std::thread> clients;
@@ -199,17 +202,22 @@ EngineStats RunAbortStorm(int escalate_after) {
   for (auto& t : clients) t.join();
   manager.Close();
   serve.join();
+  if (wall_ms != nullptr) *wall_ms = stopwatch.ElapsedSeconds() * 1e3;
   return result.ValueOrDie().stats;
 }
 
 void PrintAbortStormReport() {
+  const size_t workers = bench::MaxBenchThreads(4);
   std::printf(
       "abort-storm: hot relation-level Rc vs continuous writers "
-      "(kRcRaWa+kAbort, 4 workers)\n");
+      "(kRcRaWa+kAbort, %zu workers)\n",
+      workers);
   std::printf("  %-22s %8s %8s %8s %10s %10s %12s\n", "escalation", "firings",
               "aborts", "retries", "maxstreak", "escalated", "backoff_us");
+  bench::JsonReport report("lock_protocols");
   for (int escalate_after : {0, 2}) {
-    EngineStats stats = RunAbortStorm(escalate_after);
+    double wall_ms = 0;
+    EngineStats stats = RunAbortStorm(escalate_after, workers, &wall_ms);
     char label[32];
     if (escalate_after == 0) {
       std::snprintf(label, sizeof(label), "off");
@@ -224,7 +232,17 @@ void PrintAbortStormReport() {
                 (unsigned long long)stats.max_abort_streak,
                 (unsigned long long)stats.escalations,
                 (unsigned long long)stats.backoff_micros);
+    bench::JsonRow row;
+    row.workload = escalate_after == 0 ? "abort_storm_no_escalation"
+                                       : "abort_storm_escalation";
+    row.threads = workers;
+    row.protocol = "rcrawa";
+    row.wall_ms = wall_ms;
+    row.aborts = stats.aborts;
+    row.committed = stats.firings;
+    report.Add(row);
   }
+  report.WriteIfRequested();
   std::printf("\n");
 }
 

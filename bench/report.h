@@ -3,8 +3,12 @@
 #ifndef DBPS_BENCH_REPORT_H_
 #define DBPS_BENCH_REPORT_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace dbps {
 namespace bench {
@@ -18,6 +22,75 @@ inline void Header(const std::string& title) {
 inline void Section(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
 }
+
+// Maximum thread/worker count a bench should sweep to, from the
+// DBPS_BENCH_THREADS environment variable. Lets the check.sh bench tier
+// smoke the binaries at 2 threads while a full run keeps the default.
+inline size_t MaxBenchThreads(size_t default_max) {
+  const char* env = std::getenv("DBPS_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return default_max;
+  const long parsed = std::strtol(env, nullptr, 10);
+  if (parsed < 1) return 1;
+  return static_cast<size_t>(parsed);
+}
+
+// Machine-readable benchmark results. Each bench accumulates one row per
+// configuration and writes BENCH_<name>.json into $DBPS_BENCH_JSON_DIR
+// (a no-op when the variable is unset, so ad-hoc runs stay side-effect
+// free). The schema is intentionally flat so CI can diff runs:
+//   {"bench": "...", "rows": [{"workload": ..., "threads": N,
+//     "protocol": ..., "wall_ms": X, "aborts": N, "committed": N}]}
+struct JsonRow {
+  std::string workload;
+  size_t threads = 0;
+  std::string protocol;
+  double wall_ms = 0;
+  uint64_t aborts = 0;
+  uint64_t committed = 0;
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(JsonRow row) { rows_.push_back(std::move(row)); }
+
+  // Writes BENCH_<bench_name>.json under $DBPS_BENCH_JSON_DIR and returns
+  // the path, or returns "" without touching the filesystem when the
+  // variable is unset.
+  std::string WriteIfRequested() const {
+    const char* dir = std::getenv("DBPS_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return "";
+    const std::string path =
+        std::string(dir) + "/BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return "";
+    }
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const JsonRow& row = rows_[i];
+      char wall[32];
+      std::snprintf(wall, sizeof(wall), "%.3f", row.wall_ms);
+      out << "    {\"workload\": \"" << row.workload << "\", "
+          << "\"threads\": " << row.threads << ", "
+          << "\"protocol\": \"" << row.protocol << "\", "
+          << "\"wall_ms\": " << wall << ", "
+          << "\"aborts\": " << row.aborts << ", "
+          << "\"committed\": " << row.committed << "}"
+          << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonRow> rows_;
+};
 
 }  // namespace bench
 }  // namespace dbps

@@ -39,6 +39,22 @@ std::string EngineStats::ToString() const {
         (unsigned long long)backoff_micros,
         (unsigned long long)worker_exceptions);
   }
+  if (commit_tickets != 0) {
+    out += StringPrintf(" tickets=%llu seq_stall_us=%llu",
+                        (unsigned long long)commit_tickets,
+                        (unsigned long long)sequencer_stall_micros);
+  }
+  if (!lock_shards.empty()) {
+    uint64_t waits = 0, contentions = 0;
+    for (const LockShardCounters& shard : lock_shards) {
+      waits += shard.waits;
+      contentions += shard.mutex_contentions;
+    }
+    out += StringPrintf(" lock_shards=%zu shard_waits=%llu "
+                        "shard_mutex_contentions=%llu",
+                        lock_shards.size(), (unsigned long long)waits,
+                        (unsigned long long)contentions);
+  }
   return out;
 }
 

@@ -78,6 +78,15 @@ bool IsClientFiring(const InstKey& key);
 /// The log identity of one client session's commits.
 InstKey MakeClientKey(const std::string& session_name);
 
+/// \brief Per-shard contention counters of the striped lock table,
+/// mirrored from the lock manager at the end of a parallel run.
+struct LockShardCounters {
+  uint64_t acquires = 0;           ///< grants routed to this shard
+  uint64_t waits = 0;              ///< acquisitions that blocked here
+  uint64_t mutex_contentions = 0;  ///< shard-mutex acquisitions that spun
+  uint64_t hold_ns = 0;            ///< cumulative shard-mutex hold time
+};
+
 /// \brief Aggregate counters of one run.
 struct EngineStats {
   uint64_t firings = 0;      ///< committed productions
@@ -109,6 +118,15 @@ struct EngineStats {
   /// High-water mark of firings simultaneously in their execute phase
   /// (parallel engines only) — the achieved degree of parallelism.
   int peak_parallel_executions = 0;
+  // --- Commit sequencer / lock sharding (parallel engines) --------------
+  /// Commit tickets issued by the pipelined commit sequencer (every
+  /// commit attempt that reached the ordered apply stage).
+  uint64_t commit_tickets = 0;
+  /// Total time committers spent waiting for their ticket's turn,
+  /// microseconds — the pipeline's ordering cost.
+  uint64_t sequencer_stall_micros = 0;
+  /// Per-shard lock-table contention counters (empty for serial engines).
+  std::vector<LockShardCounters> lock_shards;
   bool halted = false;       ///< a (halt) action committed
   bool hit_max_firings = false;
   double elapsed_seconds = 0.0;

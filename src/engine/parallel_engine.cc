@@ -24,6 +24,24 @@ const char* AbortPolicyToString(AbortPolicy policy) {
   return "?";
 }
 
+uint64_t ParallelEngine::CommitSequencer::WaitForTurn(uint64_t ticket) {
+  if (turn_.load(std::memory_order_acquire) == ticket) return 0;
+  Stopwatch stall;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return turn_.load(std::memory_order_relaxed) == ticket;
+  });
+  return static_cast<uint64_t>(stall.ElapsedNanos());
+}
+
+void ParallelEngine::CommitSequencer::Complete(uint64_t ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    turn_.store(ticket + 1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
 ParallelEngine::ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
                                ParallelEngineOptions options)
     : wm_(wm), rules_(std::move(rules)), options_(options) {
@@ -40,6 +58,7 @@ StatusOr<RunResult> ParallelEngine::Run() {
   lock_options.protocol = options_.protocol;
   lock_options.deadlock_policy = options_.deadlock_policy;
   lock_options.wait_timeout = options_.lock_timeout;
+  lock_options.num_shards = options_.num_lock_shards;
   lock_manager_ = std::make_unique<LockManager>(lock_options);
   // The release store publishes matcher_/lock_manager_ to client threads
   // observing accepting_external().
@@ -57,18 +76,29 @@ StatusOr<RunResult> ParallelEngine::Run() {
   for (auto& worker : workers) worker.join();
   accepting_.store(false, std::memory_order_release);
 
-  // Client threads may still be inside AbortExternal; compose the result
-  // under the engine mutex.
-  std::lock_guard<std::mutex> lock(mu_);
+  // Client threads may still be inside CommitExternal/AbortExternal;
+  // drain them before composing the result (the log and commit_seq_ are
+  // only stable once the pipeline is empty).
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return ext_inflight_ == 0; });
   stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
   stats_.peak_parallel_executions = peak_executing_.load();
   stats_.backoff_micros = backoff_micros_.load();
+  stats_.commit_tickets = sequencer_.tickets_issued();
+  stats_.sequencer_stall_micros =
+      sequencer_stall_ns_.load(std::memory_order_relaxed) / 1000;
   // (DisableAll resets the cumulative counter; saturate instead of
   // underflowing if that happened mid-run.)
   const uint64_t faults_now = FailpointRegistry::Instance().total_fires();
   stats_.injected_faults =
       faults_now >= faults_before ? faults_now - faults_before : faults_now;
   lock_stats_ = lock_manager_->GetStats();
+  stats_.lock_shards.clear();
+  stats_.lock_shards.reserve(lock_stats_.shards.size());
+  for (const LockManager::ShardStats& shard : lock_stats_.shards) {
+    stats_.lock_shards.push_back(LockShardCounters{
+        shard.acquires, shard.waits, shard.mutex_contentions, shard.hold_ns});
+  }
   return RunResult{stats_, log_};
 }
 
@@ -91,11 +121,14 @@ void ParallelEngine::WorkerLoop(size_t worker_index) {
         }
         if (in_flight_ == 0) {
           // Nothing running, nothing claimable. With an external source
-          // attached and still undrained the run is not over — a client
-          // commit may activate new instantiations — so sleep instead.
-          const bool external_pending = may_claim &&
-                                        options_.external_source != nullptr &&
-                                        !options_.external_source->Drained();
+          // attached and still undrained — or a client commit already in
+          // the pipeline — the run is not over: the commit may activate
+          // new instantiations. Sleep instead of exiting.
+          const bool external_pending =
+              may_claim &&
+              ((options_.external_source != nullptr &&
+                !options_.external_source->Drained()) ||
+               ext_inflight_ > 0);
           if (!external_pending) {
             if (!may_claim && stats_.firings >= options_.base.max_firings &&
                 matcher_->conflict_set().HasSelectable()) {
@@ -146,11 +179,11 @@ int ParallelEngine::FinishAborted(TxnId txn, const InstKey& key,
         EngineEvent{EngineEvent::Kind::kAbort, &key});
   }
   lock_manager_->Release(txn);
+  matcher_->conflict_set().Unclaim(key);
   int streak;
   {
     std::lock_guard<std::mutex> lock(mu_);
     txn_keys_.erase(txn);
-    matcher_->conflict_set().Unclaim(key);
     ++stats_.aborts;
     if (deadlock) ++stats_.deadlocks;
     streak = ++abort_streaks_[key];
@@ -168,10 +201,10 @@ void ParallelEngine::FinishStale(TxnId txn, const InstKey& key) {
         EngineEvent{EngineEvent::Kind::kStale, &key});
   }
   lock_manager_->Release(txn);
+  matcher_->conflict_set().Unclaim(key);
   {
     std::lock_guard<std::mutex> lock(mu_);
     txn_keys_.erase(txn);
-    matcher_->conflict_set().Unclaim(key);
     ++stats_.stale_skips;
     abort_streaks_.erase(key);
     --in_flight_;
@@ -181,10 +214,10 @@ void ParallelEngine::FinishStale(TxnId txn, const InstKey& key) {
 
 void ParallelEngine::FinishRetired(TxnId txn, const InstKey& key) {
   lock_manager_->Release(txn);
+  matcher_->conflict_set().MarkFired(key);  // never try this match again
   {
     std::lock_guard<std::mutex> lock(mu_);
     txn_keys_.erase(txn);
-    matcher_->conflict_set().MarkFired(key);  // never try this match again
     ++stats_.rhs_errors;
     abort_streaks_.erase(key);
     --in_flight_;
@@ -229,13 +262,9 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
   }
 
   // Phase 2: validate the claim still holds. A commit that beat our Rc
-  // acquisition may have deactivated the instantiation.
-  bool still_valid;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    still_valid = matcher_->conflict_set().Contains(key);
-  }
-  if (!still_valid) {
+  // acquisition may have deactivated the instantiation. (The conflict set
+  // is internally synchronized; no engine lock needed.)
+  if (!matcher_->conflict_set().Contains(key)) {
     guard.Dismiss();
     FinishStale(txn, key);
     return 0;
@@ -296,18 +325,33 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
       lock_manager_->MarkAborted(txn);
     }
 
-    // Phase 5: commit.
+    // Phase 5: commit through the sequencer. The aborted check and the
+    // last-instant crash site run before a ticket exists, so those paths
+    // never occupy a pipeline slot.
+    if (lock_manager_->IsAborted(txn)) {
+      guard.Dismiss();
+      return FinishAborted(txn, key, /*deadlock=*/false);
+    }
+    // Chaos site: the worker crashes at the last instant before the
+    // delta applies — the whole firing must roll back cleanly.
+    if (DBPS_FAILPOINT("engine.firing.crash_before_apply")) {
+      guard.Dismiss();
+      return FinishAborted(txn, key, /*deadlock=*/false);
+    }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      // Take a ticket, then overlap the per-shard Rc–Wa victim sweep with
+      // earlier commits still applying. The sweep is stable outside any
+      // global section: this transaction holds its Wa locks, so no new
+      // conflicting Rc can be granted until Release.
+      TicketGuard ticket(this);
+      const std::vector<TxnId> victims =
+          lock_manager_->CollectRcVictims(txn);
+      ticket.WaitForTurn();
+
+      // --- Ordered stage: one committer at a time, in ticket order. ---
+      // Re-check aborted: an earlier ticket may have settled against us
+      // while we waited for our turn.
       if (lock_manager_->IsAborted(txn)) {
-        lock.unlock();
-        guard.Dismiss();
-        return FinishAborted(txn, key, /*deadlock=*/false);
-      }
-      // Chaos site: the worker crashes at the last instant before the
-      // delta applies — the whole firing must roll back cleanly.
-      if (DBPS_FAILPOINT("engine.firing.crash_before_apply")) {
-        lock.unlock();
         guard.Dismiss();
         return FinishAborted(txn, key, /*deadlock=*/false);
       }
@@ -318,7 +362,6 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
         DBPS_LOG(Error) << "commit failed applying delta: "
                         << change_or.status().ToString();
         DBPS_DCHECK(false);
-        lock.unlock();
         guard.Dismiss();
         return FinishAborted(txn, key, /*deadlock=*/false);
       }
@@ -326,7 +369,7 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
       matcher_->ApplyChange(change_or.ValueOrDie());
 
       // Settle Rc–Wa conflicts (empty under 2PL).
-      SettleRcVictimsLocked(txn);
+      SettleVictims(txn, victims);
 
       if (options_.base.record_log) {
         log_.push_back(FiringRecord{commit_seq_, key, delta});
@@ -336,34 +379,65 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
         options_.base.observer(
             EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
       }
-      ++stats_.firings;
-      if (delta.halt()) {
-        halted_ = true;
-        stats_.halted = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.firings;
+        if (delta.halt()) {
+          halted_ = true;
+          stats_.halted = true;
+        }
+        txn_keys_.erase(txn);
+        abort_streaks_.erase(key);
+        --in_flight_;
+        guard.Dismiss();
       }
-      txn_keys_.erase(txn);
-      abort_streaks_.erase(key);
-      --in_flight_;
-      guard.Dismiss();
-    }
+    }  // ticket completes: the next committer may enter the ordered stage
     lock_manager_->Release(txn);
     cv_.notify_all();
   }
   return 0;
 }
 
-void ParallelEngine::SettleRcVictimsLocked(TxnId committer) {
-  for (TxnId victim : lock_manager_->CollectRcVictims(committer)) {
-    auto it = txn_keys_.find(victim);
-    if (it == txn_keys_.end()) {
-      // An external transaction: there is no instantiation to revalidate
-      // — its repeatable read is stale either way — so the paper's rule
-      // (ii) applies under both policies.
-      lock_manager_->MarkAborted(victim);
-    } else if (options_.abort_policy == AbortPolicy::kAbort ||
-               !matcher_->conflict_set().Contains(it->second)) {
-      lock_manager_->MarkAborted(victim);
+void ParallelEngine::SettleVictims(TxnId committer,
+                                   const std::vector<TxnId>& victims) {
+  if (victims.empty()) return;
+  // Pin the post-commit state once; every revalidation reads this CSN.
+  WmSnapshot snap;
+  if (options_.abort_policy == AbortPolicy::kRevalidate) {
+    snap = wm_->SnapshotAt();
+  }
+  for (TxnId victim : victims) {
+    if (victim == committer) continue;
+    bool is_firing = false;
+    InstKey key;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = txn_keys_.find(victim);
+      if (it != txn_keys_.end()) {
+        is_firing = true;
+        key = it->second;
+      }
     }
+    if (!is_firing) {
+      // An external transaction (or one already finished — MarkAborted of
+      // a released txn is a no-op): there is no instantiation to
+      // revalidate — its repeatable read is stale either way — so the
+      // paper's rule (ii) applies under both policies.
+      lock_manager_->MarkAborted(victim);
+      continue;
+    }
+    if (options_.abort_policy == AbortPolicy::kAbort) {
+      lock_manager_->MarkAborted(victim);
+      continue;
+    }
+    // kRevalidate: spare the firing iff this commit left its match intact
+    // — instantiation still active and every matched WME version still
+    // current at the pinned snapshot.
+    bool intact = matcher_->conflict_set().Contains(key);
+    for (size_t i = 0; intact && i < key.wmes.size(); ++i) {
+      intact = snap.IsCurrent(key.wmes[i].first, key.wmes[i].second);
+    }
+    if (!intact) lock_manager_->MarkAborted(victim);
   }
 }
 
@@ -400,19 +474,45 @@ StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
                                                   const InstKey& key,
                                                   const Delta& delta) {
   DBPS_CHECK(IsClientFiring(key));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return Status::Unavailable("engine has stopped");
+    // Once counted in-flight, workers keep the run alive (and done_
+    // stays false) until this commit finishes.
+    ++ext_inflight_;
+  }
+  // Decrement + wake sleeping workers on every exit: a commit may have
+  // activated instantiations, and the termination check waits on us.
+  struct ExtGuard {
+    ParallelEngine* engine;
+    ~ExtGuard() {
+      {
+        std::lock_guard<std::mutex> lock(engine->mu_);
+        --engine->ext_inflight_;
+      }
+      engine->cv_.notify_all();
+    }
+  } ext_guard{this};
+
+  if (lock_manager_->IsAborted(txn)) {
+    return Status::Aborted("aborted by a conflicting commit");
+  }
+  // Chaos site: commit fails at the last instant. Surfaced as kAborted
+  // so sessions treat it as transient and retry; no state has changed.
+  if (DBPS_FAILPOINT("server.commit.fail")) {
+    return Status::Aborted("injected commit failure");
+  }
+
   uint64_t seq = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (done_) return Status::Unavailable("engine has stopped");
+    TicketGuard ticket(this);
+    const std::vector<TxnId> victims = lock_manager_->CollectRcVictims(txn);
+    ticket.WaitForTurn();
+
+    // --- Ordered stage (see ProcessFiring). ---
     if (lock_manager_->IsAborted(txn)) {
       return Status::Aborted("aborted by a conflicting commit");
     }
-    // Chaos site: commit fails at the last instant. Surfaced as kAborted
-    // so sessions treat it as transient and retry; no state has changed.
-    if (DBPS_FAILPOINT("server.commit.fail")) {
-      return Status::Aborted("injected commit failure");
-    }
-
     auto change_or = wm_->Apply(delta);
     if (!change_or.ok()) {
       // Unlike a rule commit this is reachable in normal operation: the
@@ -425,7 +525,7 @@ StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
 
     // A client writer's commit victimizes Rc-holding rule firings (and
     // other client readers) exactly like a rule commit — §4.3.
-    SettleRcVictimsLocked(txn);
+    SettleVictims(txn, victims);
 
     // An empty write set still commits (its repeatable reads were valid)
     // but leaves no trace in the log or journal.
@@ -440,15 +540,16 @@ StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
             EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
       }
     }
-    ++stats_.client_commits;
-    if (delta.halt()) {
-      halted_ = true;
-      stats_.halted = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.client_commits;
+      if (delta.halt()) {
+        halted_ = true;
+        stats_.halted = true;
+      }
     }
-  }
+  }  // ticket completes
   lock_manager_->Release(txn);
-  // New WMEs may have activated instantiations; wake sleeping workers.
-  cv_.notify_all();
   return seq;
 }
 

@@ -9,9 +9,7 @@
 //      invalidated between selection and lock grant)
 //   3. evaluate the RHS into a Delta (pure), acquire Ra/Wa action locks
 //   4. busy-spin the rule's synthetic cost
-//   5. commit under the engine mutex: settle Rc–Wa conflicts (collect
-//      victims, abort or revalidate them), apply the Delta atomically,
-//      propagate to the matcher, append to the commit log
+//   5. commit through the pipelined commit sequencer (below)
 //
 // Under LockProtocol::kTwoPhase the lock manager blocks every conflict,
 // so no Rc–Wa victims ever arise (§4.2, Theorem 2). Under kRcRaWa a Wa is
@@ -20,18 +18,29 @@
 // conflicting Rc holder — and kRevalidate is the paper's refinement —
 // abort only those whose instantiation the commit actually invalidated.
 //
-// The committed sequence is totally ordered by the engine mutex; it is
-// the execution string the semantics validator replays.
+// The commit sequencer replaces the old engine-mutex commit. A committer
+// (a) takes a ticket (one atomic increment), (b) sweeps the striped lock
+// table for Rc–Wa victims while earlier tickets are still applying — the
+// sweep is stable outside any global section because the committer holds
+// its Wa locks, so no NEW conflicting Rc can be granted — then (c) waits
+// for its turn and applies its delta, propagates it to the matcher,
+// settles victims, and appends to the commit log. Only stage (c) is
+// serialized, in ticket order, so the committed sequence is still totally
+// ordered — it is the execution string the semantics validator replays —
+// while victim collection and lock release overlap between commits. No
+// engine-wide mutex is held anywhere on the commit path; mu_ only guards
+// worker scheduling state and is taken briefly for bookkeeping.
 //
 // External transactions (src/server/): when an ExternalSource is attached,
 // the engine doubles as a database server — client sessions run
 // Begin/Acquire/Commit transactions against the same lock manager and
-// commit through the same mutex-ordered path, so client writes interleave
-// with rule firings in one totally-ordered, replayable log. Under kRcRaWa
+// commit through the same sequencer, so client writes interleave with
+// rule firings in one totally-ordered, replayable log. Under kRcRaWa
 // a client writer's commit victimizes rule firings holding conflicting Rc
 // locks (the §4.3 conflict), and vice versa. Workers do not declare the
-// run finished while the source still has clients attached; they sleep
-// until a client commit activates new instantiations or the source drains.
+// run finished while the source still has clients attached or a client
+// commit is in flight; they sleep until a client commit activates new
+// instantiations or the source drains.
 
 #ifndef DBPS_ENGINE_PARALLEL_ENGINE_H_
 #define DBPS_ENGINE_PARALLEL_ENGINE_H_
@@ -80,6 +89,8 @@ class ExternalSource {
 struct ParallelEngineOptions {
   EngineOptions base;
   size_t num_workers = 4;  ///< the paper's Np
+  /// Shards of the striped lock table (see LockManager::Options).
+  size_t num_lock_shards = 8;
   LockProtocol protocol = LockProtocol::kRcRaWa;
   AbortPolicy abort_policy = AbortPolicy::kAbort;
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
@@ -149,13 +160,13 @@ class ParallelEngine {
   /// True iff a conflicting commit marked `txn` aborted (Rc–Wa rule).
   bool IsExternalAborted(TxnId txn) const;
 
-  /// Commits `delta` under the engine mutex: settles Rc–Wa victims
+  /// Commits `delta` through the commit sequencer: settles Rc–Wa victims
   /// (aborting conflicting rule firings and client readers), applies the
-  /// delta atomically, propagates it to the matcher, appends a
-  /// client-keyed record to the commit log, and releases `txn`'s locks.
-  /// `key` must be a client key (MakeClientKey). Returns the commit seq.
-  /// On failure no state changed and the caller still owns the
-  /// transaction — call AbortExternal.
+  /// delta atomically in ticket order, propagates it to the matcher,
+  /// appends a client-keyed record to the commit log, and releases
+  /// `txn`'s locks. `key` must be a client key (MakeClientKey). Returns
+  /// the commit seq. On failure no state changed and the caller still
+  /// owns the transaction — call AbortExternal.
   StatusOr<uint64_t> CommitExternal(TxnId txn, const InstKey& key,
                                     const Delta& delta);
 
@@ -206,12 +217,71 @@ class ParallelEngine {
   void FinishStale(TxnId txn, const InstKey& key);
   void FinishRetired(TxnId txn, const InstKey& key);  // RHS error
 
+  /// Pipelined commit sequencer: commit order = ticket order. A committer
+  /// takes a ticket with NextTicket() (one relaxed atomic increment),
+  /// overlaps its victim sweep with earlier commits still applying, then
+  /// WaitForTurn() admits exactly one committer at a time, in ticket
+  /// order. Every ticket taken MUST reach Complete() — use TicketGuard.
+  class CommitSequencer {
+   public:
+    uint64_t NextTicket() {
+      return next_.fetch_add(1, std::memory_order_relaxed);
+    }
+    /// Blocks until it is `ticket`'s turn; returns the stall nanoseconds.
+    uint64_t WaitForTurn(uint64_t ticket);
+    /// Advances the turn past `ticket`. The caller must hold the turn.
+    void Complete(uint64_t ticket);
+    uint64_t tickets_issued() const {
+      return next_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    std::atomic<uint64_t> next_{0};
+    std::atomic<uint64_t> turn_{0};  ///< written under mu_
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+
+  /// RAII for one commit ticket: guarantees the turn is taken and then
+  /// completed exactly once on every path out of the ordered stage —
+  /// abort, apply failure, exception, success — so one failed committer
+  /// can never stall the pipeline behind it.
+  class TicketGuard {
+   public:
+    explicit TicketGuard(ParallelEngine* engine)
+        : engine_(engine), ticket_(engine->sequencer_.NextTicket()) {}
+    TicketGuard(const TicketGuard&) = delete;
+    TicketGuard& operator=(const TicketGuard&) = delete;
+    ~TicketGuard() {
+      WaitForTurn();
+      engine_->sequencer_.Complete(ticket_);
+    }
+    /// Idempotent; the first call charges the stall to engine stats.
+    void WaitForTurn() {
+      if (waited_) return;
+      waited_ = true;
+      engine_->sequencer_stall_ns_.fetch_add(
+          engine_->sequencer_.WaitForTurn(ticket_),
+          std::memory_order_relaxed);
+    }
+
+   private:
+    ParallelEngine* engine_;
+    uint64_t ticket_;
+    bool waited_ = false;
+  };
+
   /// The §4.3 commit-time settlement, shared by rule and client commits:
-  /// marks aborted every live transaction holding an Rc lock conflicting
-  /// with `committer`'s Wa set (under kRevalidate, rule firings whose
-  /// match survived are spared; client readers cannot be revalidated and
-  /// are always aborted). Requires mu_ held.
-  void SettleRcVictimsLocked(TxnId committer);
+  /// marks aborted every still-live transaction in `victims` (under
+  /// kRevalidate, rule firings whose match survived — instantiation still
+  /// active and every matched version still current at a pinned post-
+  /// commit snapshot — are spared; client readers cannot be revalidated
+  /// and are always aborted). `victims` must have been collected while
+  /// `committer` held its Wa locks: Rc–Wa incompatibility then guarantees
+  /// the sweep is stable with no global section. Runs in the ordered
+  /// commit stage after matcher propagation; takes mu_ only briefly for
+  /// the txn-key lookup.
+  void SettleVictims(TxnId committer, const std::vector<TxnId>& victims);
 
   WorkingMemory* wm_;
   RuleSetPtr rules_;
@@ -219,17 +289,28 @@ class ParallelEngine {
   std::unique_ptr<Matcher> matcher_;
   std::unique_ptr<LockManager> lock_manager_;
 
-  std::mutex mu_;  // guards everything below + commit path
+  /// Worker-scheduling mutex: guards in_flight_, done_, halted_, stats_,
+  /// txn_keys_, abort_streaks_, ext_inflight_. NOT held across the commit
+  /// apply stage — commit ordering is the sequencer's job. Lock order:
+  /// never wait for a sequencer turn while holding mu_.
+  std::mutex mu_;
   std::condition_variable cv_;
   std::atomic<int> executing_{0};       // firings currently in phase 3/4
   std::atomic<int> peak_executing_{0};  // high-water mark (stats)
   size_t in_flight_ = 0;
+  /// External commits past their done_ check but not yet finished; the
+  /// run does not terminate while nonzero.
+  size_t ext_inflight_ = 0;
   bool done_ = false;
   bool halted_ = false;
   /// Whether external transactions are currently admitted; true from
   /// Run()'s setup until the run finishes.
   std::atomic<bool> accepting_{false};
   EngineStats stats_;
+  CommitSequencer sequencer_;
+  std::atomic<uint64_t> sequencer_stall_ns_{0};
+  /// Only the ordered commit stage (one thread at a time, by ticket)
+  /// touches these; Run() reads them after the pipeline drains.
   uint64_t commit_seq_ = 0;  ///< total commits (firings + client txns)
   std::vector<FiringRecord> log_;
   /// Live transactions' claimed instantiation (for kRevalidate).

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/failpoint.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace dbps {
@@ -45,82 +46,114 @@ const char* DeadlockPolicyToString(DeadlockPolicy policy) {
   return "?";
 }
 
-LockManager::LockManager(Options options) : options_(std::move(options)) {}
+LockManager::LockManager(Options options) : options_(std::move(options)) {
+  const size_t n = std::max<size_t>(1, options_.num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
 
-void LockManager::Trace(LockEvent::Kind kind, TxnId txn,
-                        const LockObjectId& object, LockMode mode) const {
-  if (options_.trace) {
-    options_.trace(LockEvent{kind, txn, object, mode});
-  }
+size_t LockManager::ShardIndex(SymbolId relation) const {
+  return static_cast<size_t>(Mix64(relation)) % shards_.size();
 }
 
 TxnId LockManager::Begin() {
-  std::lock_guard<std::mutex> guard(mu_);
-  TxnId txn = next_txn_++;
-  txns_.emplace(txn, TxnState{});
+  TxnId txn = next_txn_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<TxnState>();
+  TxnStripe& stripe = txn_stripes_[txn % kTxnStripes];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  stripe.txns.emplace(txn, std::move(state));
   return txn;
 }
 
-bool LockManager::BlockingLocked(TxnId txn) const {
-  auto it = txns_.find(txn);
-  return it != txns_.end() && it->second.blocking;
+LockManager::TxnPtr LockManager::FindTxn(TxnId txn) const {
+  const TxnStripe& stripe = txn_stripes_[txn % kTxnStripes];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.txns.find(txn);
+  return it == stripe.txns.end() ? nullptr : it->second;
 }
 
-LockProtocol LockManager::ProtocolFor(TxnId requester, TxnId holder) const {
-  if (options_.protocol == LockProtocol::kRcRaWa &&
-      (BlockingLocked(requester) || BlockingLocked(holder))) {
-    return LockProtocol::kTwoPhase;
+LockManager::TxnPtr LockManager::TakeTxn(TxnId txn) {
+  TxnStripe& stripe = txn_stripes_[txn % kTxnStripes];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.txns.find(txn);
+  if (it == stripe.txns.end()) return nullptr;
+  TxnPtr state = std::move(it->second);
+  stripe.txns.erase(it);
+  return state;
+}
+
+bool LockManager::IsBlockingTxn(TxnId txn) const {
+  TxnPtr state = FindTxn(txn);
+  return state != nullptr && state->blocking.load(std::memory_order_acquire);
+}
+
+bool LockManager::ConflictsWithHolder(bool requester_blocking, LockMode mode,
+                                      TxnId holder,
+                                      const ModeCounts& counts) const {
+  const LockProtocol base =
+      requester_blocking ? LockProtocol::kTwoPhase : options_.protocol;
+  bool rcrawa_ok = true;      // compatible under the configured matrix
+  bool twophase_ok = true;    // compatible under strict 2PL
+  for (int m = 0; m < kNumLockModes; ++m) {
+    if (counts[m] == 0) continue;
+    const LockMode held = static_cast<LockMode>(m);
+    if (!Compatible(base, mode, held)) rcrawa_ok = false;
+    if (!Compatible(LockProtocol::kTwoPhase, mode, held)) twophase_ok = false;
   }
-  return options_.protocol;
+  if (!rcrawa_ok) return true;
+  // Compatible under the configured matrix. The only cell where the
+  // matrices differ is Wa-over-Rc; if the holder escalated to blocking
+  // (2PL-style) acquisition, that cell conflicts after all. Only then is
+  // the (registry-lookup) blocking check needed.
+  if (base == LockProtocol::kRcRaWa && !twophase_ok &&
+      IsBlockingTxn(holder)) {
+    return true;
+  }
+  return false;
 }
 
 void LockManager::CollectBucketConflicts(const Bucket& bucket, TxnId txn,
+                                         bool requester_blocking,
                                          LockMode mode,
                                          std::vector<TxnId>* out) const {
   for (const auto& [holder, counts] : bucket.holds) {
     if (holder == txn) continue;  // a transaction never conflicts with itself
-    const LockProtocol protocol = ProtocolFor(txn, holder);
-    for (int m = 0; m < kNumLockModes; ++m) {
-      if (counts[m] > 0 &&
-          !Compatible(protocol, mode, static_cast<LockMode>(m))) {
-        out->push_back(holder);
-        break;
-      }
+    if (ConflictsWithHolder(requester_blocking, mode, holder, counts)) {
+      out->push_back(holder);
     }
   }
 }
 
-std::vector<TxnId> LockManager::FindConflicts(TxnId txn,
+std::vector<TxnId> LockManager::FindConflicts(const Shard& shard, TxnId txn,
+                                              bool requester_blocking,
                                               const LockObjectId& object,
                                               LockMode mode) const {
   std::vector<TxnId> conflicts;
   // Direct bucket.
-  auto bucket_it = buckets_.find(object);
-  if (bucket_it != buckets_.end()) {
-    CollectBucketConflicts(bucket_it->second, txn, mode, &conflicts);
+  auto bucket_it = shard.buckets.find(object);
+  if (bucket_it != shard.buckets.end()) {
+    CollectBucketConflicts(bucket_it->second, txn, requester_blocking, mode,
+                           &conflicts);
   }
   if (object.is_relation_level()) {
     // Relation-level request vs every tuple/insert hold in the relation.
-    auto summary_it = relation_summaries_.find(object.relation);
-    if (summary_it != relation_summaries_.end()) {
+    auto summary_it = shard.relation_summaries.find(object.relation);
+    if (summary_it != shard.relation_summaries.end()) {
       for (const auto& [holder, counts] : summary_it->second) {
         if (holder == txn) continue;
-        const LockProtocol protocol = ProtocolFor(txn, holder);
-        for (int m = 0; m < kNumLockModes; ++m) {
-          if (counts[m] > 0 &&
-              !Compatible(protocol, mode, static_cast<LockMode>(m))) {
-            conflicts.push_back(holder);
-            break;
-          }
+        if (ConflictsWithHolder(requester_blocking, mode, holder, counts)) {
+          conflicts.push_back(holder);
         }
       }
     }
   } else {
-    // Tuple/insert request vs the relation-level bucket.
+    // Tuple/insert request vs the relation-level bucket (same shard: the
+    // whole relation hashes to one stripe).
     auto rel_it =
-        buckets_.find(LockObjectId{object.relation, kRelationLevel});
-    if (rel_it != buckets_.end()) {
-      CollectBucketConflicts(rel_it->second, txn, mode, &conflicts);
+        shard.buckets.find(LockObjectId{object.relation, kRelationLevel});
+    if (rel_it != shard.buckets.end()) {
+      CollectBucketConflicts(rel_it->second, txn, requester_blocking, mode,
+                             &conflicts);
     }
   }
   std::sort(conflicts.begin(), conflicts.end());
@@ -131,7 +164,10 @@ std::vector<TxnId> LockManager::FindConflicts(TxnId txn,
 
 bool LockManager::WouldDeadlock(TxnId txn,
                                 const std::vector<TxnId>& blockers) const {
-  // DFS from each blocker through waits_for_, looking for txn.
+  // DFS from each blocker through waits_for_, looking for txn. The graph
+  // is global (edges from waiters on every shard), so cycles whose waits
+  // span shards are found here even though the lock table is striped.
+  std::lock_guard<std::mutex> guard(slow_mu_);
   std::vector<TxnId> stack(blockers.begin(), blockers.end());
   std::unordered_set<TxnId> visited;
   while (!stack.empty()) {
@@ -147,75 +183,128 @@ bool LockManager::WouldDeadlock(TxnId txn,
   return false;
 }
 
+void LockManager::NotifyAllShardsFenced() {
+  for (auto& shard : shards_) {
+    // Lock/unlock (never nested) so a waiter that checked its predicate
+    // but has not yet parked cannot miss the notification.
+    { std::lock_guard<std::mutex> fence(shard->mu); }
+    shard->cv.notify_all();
+  }
+}
+
+void LockManager::MarkAbortedTxn(TxnId txn, const TxnPtr& state,
+                                 TraceBuffer* events) {
+  if (state == nullptr) return;
+  if (state->aborted.exchange(true, std::memory_order_acq_rel)) return;
+  aborts_marked_.fetch_add(1, std::memory_order_relaxed);
+  events->Add(LockEvent::Kind::kAbortMark, txn, LockObjectId{}, LockMode::kRc);
+  NotifyAllShardsFenced();
+}
+
 Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
   // Chaos site: a delayed grant — the request stalls before it even
   // reaches the manager (sleep-safe: no lock held here).
   (void)DBPS_FAILPOINT("lock.acquire.delay");
 
-  std::unique_lock<std::mutex> lock(mu_);
-  auto txn_it = txns_.find(txn);
-  if (txn_it == txns_.end()) {
+  TraceBuffer events(this);  // flushes after every guard below unwinds
+
+  TxnPtr state = FindTxn(txn);
+  if (state == nullptr) {
     return Status::Internal("Acquire on unknown transaction");
   }
-  if (txn_it->second.aborted) {
+  if (state->aborted.load(std::memory_order_acquire)) {
     return Status::Aborted("transaction was aborted");
   }
   // Chaos sites: a spurious wait-timeout, and a wound storm (the request
   // loses to an imaginary older transaction and is marked aborted) —
-  // exactly the failures callers must already survive. No delays here:
-  // mu_ is held.
+  // exactly the failures callers must already survive.
   if (DBPS_FAILPOINT("lock.acquire.timeout")) {
-    ++stats_.timeouts;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
     return Status::LockTimeout("injected timeout on " + object.ToString());
   }
   if (DBPS_FAILPOINT("lock.acquire.wound")) {
-    ++stats_.wounds;
-    MarkAbortedLocked(txn);
+    wounds_.fetch_add(1, std::memory_order_relaxed);
+    MarkAbortedTxn(txn, state, &events);
     return Status::Aborted("injected wound on " + object.ToString());
   }
 
+  const bool requester_blocking =
+      state->blocking.load(std::memory_order_acquire);
+  Shard& shard = ShardForObject(object);
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.wait_timeout;
+  bool waited = false;
+
+  std::unique_lock<std::mutex> shard_lock(shard.mu, std::try_to_lock);
+  if (!shard_lock.owns_lock()) {
+    shard_lock.lock();
+    ++shard.stats.mutex_contentions;
+  }
+  const auto hold_start = std::chrono::steady_clock::now();
+
   // Fast path: already holding this mode on this object.
   {
-    auto hold_it = txn_it->second.holds.find(object);
-    if (hold_it != txn_it->second.holds.end() &&
+    std::lock_guard<std::mutex> txn_guard(state->mu);
+    auto hold_it = state->holds.find(object);
+    if (hold_it != state->holds.end() &&
         hold_it->second[static_cast<int>(mode)] > 0) {
       ++hold_it->second[static_cast<int>(mode)];
-      ++buckets_[object].holds[txn][static_cast<int>(mode)];
+      ++shard.buckets[object].holds[txn][static_cast<int>(mode)];
       if (!object.is_relation_level()) {
-        ++relation_summaries_[object.relation][txn][static_cast<int>(mode)];
+        ++shard.relation_summaries[object.relation][txn]
+                                  [static_cast<int>(mode)];
       }
-      ++stats_.acquired;
+      ++shard.stats.acquires;
+      shard.stats.hold_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - hold_start)
+              .count());
+      acquired_.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
   }
 
-  bool waited = false;
-  const auto deadline =
-      std::chrono::steady_clock::now() + options_.wait_timeout;
   for (;;) {
-    std::vector<TxnId> conflicts = FindConflicts(txn, object, mode);
+    std::vector<TxnId> conflicts =
+        FindConflicts(shard, txn, requester_blocking, object, mode);
     if (conflicts.empty()) break;
 
     switch (options_.deadlock_policy) {
       case DeadlockPolicy::kNoWait:
-        ++stats_.deadlocks;
-        Trace(LockEvent::Kind::kDeadlock, txn, object, mode);
+        deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        events.Add(LockEvent::Kind::kDeadlock, txn, object, mode);
         return Status::Deadlock("no-wait: " + object.ToString() +
                                 " is held in a conflicting mode");
-      case DeadlockPolicy::kWoundWait:
+      case DeadlockPolicy::kWoundWait: {
         // Wound every younger conflicting holder, then wait: waits only
-        // ever target older transactions, so no cycle can form.
+        // ever target older transactions, so no cycle can form. Marking
+        // fences every shard, so it must happen with this shard's mutex
+        // dropped — wound, then re-enter the loop to recompute conflicts.
+        std::vector<TxnId> prey;
         for (TxnId holder : conflicts) {
-          if (holder > txn && !txns_.at(holder).aborted) {
-            MarkAbortedLocked(holder);
-            ++stats_.wounds;
+          if (holder > txn) prey.push_back(holder);
+        }
+        bool wounded_any = false;
+        if (!prey.empty()) {
+          shard_lock.unlock();
+          for (TxnId holder : prey) {
+            TxnPtr holder_state = FindTxn(holder);
+            if (holder_state != nullptr &&
+                !holder_state->aborted.load(std::memory_order_acquire)) {
+              wounds_.fetch_add(1, std::memory_order_relaxed);
+              MarkAbortedTxn(holder, holder_state, &events);
+              wounded_any = true;
+            }
           }
+          shard_lock.lock();
+          if (wounded_any) continue;  // holders will release; recompute
         }
         break;
+      }
       case DeadlockPolicy::kDetect:
         if (WouldDeadlock(txn, conflicts)) {
-          ++stats_.deadlocks;
-          Trace(LockEvent::Kind::kDeadlock, txn, object, mode);
+          deadlocks_.fetch_add(1, std::memory_order_relaxed);
+          events.Add(LockEvent::Kind::kDeadlock, txn, object, mode);
           return Status::Deadlock("waiting for " + object.ToString() +
                                   " would close a waits-for cycle");
         }
@@ -223,19 +312,27 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
     }
     if (!waited) {
       waited = true;
-      ++stats_.blocked;
-      Trace(LockEvent::Kind::kBlock, txn, object, mode);
+      blocked_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.stats.waits;
+      events.Add(LockEvent::Kind::kBlock, txn, object, mode);
     }
-    waits_for_[txn] = std::move(conflicts);
-    auto wait_result = cv_.wait_until(lock, deadline);
-    waits_for_.erase(txn);
-    if (txns_.at(txn).aborted) {
+    {
+      std::lock_guard<std::mutex> slow_guard(slow_mu_);
+      waits_for_[txn] = std::move(conflicts);
+    }
+    auto wait_result = shard.cv.wait_until(shard_lock, deadline);
+    {
+      std::lock_guard<std::mutex> slow_guard(slow_mu_);
+      waits_for_.erase(txn);
+    }
+    if (state->aborted.load(std::memory_order_acquire)) {
       return Status::Aborted("transaction aborted while waiting for " +
                              object.ToString());
     }
     if (wait_result == std::cv_status::timeout) {
-      if (!FindConflicts(txn, object, mode).empty()) {
-        ++stats_.timeouts;
+      if (!FindConflicts(shard, txn, requester_blocking, object, mode)
+               .empty()) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
         return Status::LockTimeout("gave up waiting for " +
                                    object.ToString());
       }
@@ -244,22 +341,49 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
   }
 
   // Grant.
-  auto& state = txns_.at(txn);
-  auto [hold_it, unused] = state.holds.try_emplace(object, ModeCounts{});
-  ++hold_it->second[static_cast<int>(mode)];
-  ++buckets_[object].holds[txn][static_cast<int>(mode)];
+  ++shard.buckets[object].holds[txn][static_cast<int>(mode)];
   if (!object.is_relation_level()) {
-    ++relation_summaries_[object.relation][txn][static_cast<int>(mode)];
+    ++shard.relation_summaries[object.relation][txn][static_cast<int>(mode)];
   }
-  ++stats_.acquired;
-  Trace(LockEvent::Kind::kGrant, txn, object, mode);
+  {
+    std::lock_guard<std::mutex> txn_guard(state->mu);
+    auto [hold_it, unused] = state->holds.try_emplace(object, ModeCounts{});
+    ++hold_it->second[static_cast<int>(mode)];
+  }
+  ++shard.stats.acquires;
+  if (!waited) {
+    shard.stats.hold_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - hold_start)
+            .count());
+  }
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  events.Add(LockEvent::Kind::kGrant, txn, object, mode);
   return Status::OK();
 }
 
 std::vector<TxnId> LockManager::CollectRcVictims(TxnId txn) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto txn_it = txns_.find(txn);
-  if (txn_it == txns_.end()) return {};
+  // Under kTwoPhase the Wa-over-Rc cell is incompatible at *grant* time,
+  // so a committer can never hold Wa concurrently with a conflicting Rc:
+  // there is nothing to sweep.
+  if (options_.protocol == LockProtocol::kTwoPhase) return {};
+
+  TxnPtr state = FindTxn(txn);
+  if (state == nullptr) return {};
+
+  // Snapshot the committer's Wa objects. The committer's own thread calls
+  // this, so the set is stable; and because Rc-vs-Wa is incompatible in
+  // Table 4.1, no *new* conflicting Rc can be granted while these Wa
+  // locks are held — the per-shard sweep below needs no global section.
+  std::vector<std::vector<LockObjectId>> wa_by_shard(shards_.size());
+  {
+    std::lock_guard<std::mutex> txn_guard(state->mu);
+    for (const auto& [object, counts] : state->holds) {
+      if (counts[static_cast<int>(LockMode::kWa)] > 0) {
+        wa_by_shard[ShardIndex(object.relation)].push_back(object);
+      }
+    }
+  }
 
   std::unordered_set<TxnId> victims;
   // Blocking (escalated) transactions are never victims: their Rc locks
@@ -268,125 +392,162 @@ std::vector<TxnId> LockManager::CollectRcVictims(TxnId txn) const {
   auto add_rc_holders = [&](const Bucket& bucket) {
     for (const auto& [holder, counts] : bucket.holds) {
       if (holder != txn && counts[static_cast<int>(LockMode::kRc)] > 0 &&
-          !BlockingLocked(holder)) {
+          !IsBlockingTxn(holder)) {
         victims.insert(holder);
       }
     }
   };
 
-  for (const auto& [object, counts] : txn_it->second.holds) {
-    if (counts[static_cast<int>(LockMode::kWa)] == 0) continue;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (wa_by_shard[s].empty()) continue;
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> shard_guard(shard.mu);
+    for (const LockObjectId& object : wa_by_shard[s]) {
+      // Rc holders on the same object.
+      auto bucket_it = shard.buckets.find(object);
+      if (bucket_it != shard.buckets.end()) add_rc_holders(bucket_it->second);
 
-    // Rc holders on the same object.
-    auto bucket_it = buckets_.find(object);
-    if (bucket_it != buckets_.end()) add_rc_holders(bucket_it->second);
-
-    if (object.is_relation_level()) {
-      // Relation-level Wa vs tuple-level Rc anywhere in the relation.
-      auto summary_it = relation_summaries_.find(object.relation);
-      if (summary_it != relation_summaries_.end()) {
-        for (const auto& [holder, counts2] : summary_it->second) {
-          if (holder != txn &&
-              counts2[static_cast<int>(LockMode::kRc)] > 0 &&
-              !BlockingLocked(holder)) {
-            victims.insert(holder);
+      if (object.is_relation_level()) {
+        // Relation-level Wa vs tuple-level Rc anywhere in the relation.
+        auto summary_it = shard.relation_summaries.find(object.relation);
+        if (summary_it != shard.relation_summaries.end()) {
+          for (const auto& [holder, counts2] : summary_it->second) {
+            if (holder != txn &&
+                counts2[static_cast<int>(LockMode::kRc)] > 0 &&
+                !IsBlockingTxn(holder)) {
+              victims.insert(holder);
+            }
           }
         }
+      } else {
+        // Tuple/insert Wa vs relation-level Rc (negation escalations).
+        auto rel_it = shard.buckets.find(
+            LockObjectId{object.relation, kRelationLevel});
+        if (rel_it != shard.buckets.end()) add_rc_holders(rel_it->second);
       }
-    } else {
-      // Tuple/insert Wa vs relation-level Rc (negation escalations).
-      auto rel_it =
-          buckets_.find(LockObjectId{object.relation, kRelationLevel});
-      if (rel_it != buckets_.end()) add_rc_holders(rel_it->second);
     }
   }
   return std::vector<TxnId>(victims.begin(), victims.end());
 }
 
 void LockManager::MarkAborted(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  MarkAbortedLocked(txn);
-}
-
-void LockManager::MarkAbortedLocked(TxnId txn) {
-  auto it = txns_.find(txn);
-  if (it == txns_.end() || it->second.aborted) return;
-  it->second.aborted = true;
-  ++stats_.aborts_marked;
-  Trace(LockEvent::Kind::kAbortMark, txn, LockObjectId{}, LockMode::kRc);
-  cv_.notify_all();
+  TraceBuffer events(this);
+  MarkAbortedTxn(txn, FindTxn(txn), &events);
 }
 
 bool LockManager::IsAborted(TxnId txn) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = txns_.find(txn);
-  return it != txns_.end() && it->second.aborted;
+  TxnPtr state = FindTxn(txn);
+  return state != nullptr && state->aborted.load(std::memory_order_acquire);
 }
 
 void LockManager::SetBlocking(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = txns_.find(txn);
-  if (it == txns_.end() || it->second.blocking) return;
-  DBPS_DCHECK(it->second.holds.empty())
-      << "SetBlocking after locks were acquired";
-  it->second.blocking = true;
-  ++stats_.blocking_txns;
+  TxnPtr state = FindTxn(txn);
+  if (state == nullptr) return;
+#ifndef NDEBUG
+  {
+    std::lock_guard<std::mutex> txn_guard(state->mu);
+    DBPS_DCHECK(state->holds.empty())
+        << "SetBlocking after locks were acquired";
+  }
+#endif
+  if (!state->blocking.exchange(true, std::memory_order_acq_rel)) {
+    blocking_txns_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-bool LockManager::IsBlocking(TxnId txn) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return BlockingLocked(txn);
-}
+bool LockManager::IsBlocking(TxnId txn) const { return IsBlockingTxn(txn); }
 
 void LockManager::Release(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) {
+  TraceBuffer events(this);
+  TxnPtr state = TakeTxn(txn);
+  if (state == nullptr) {
     // Unknown or double release: tolerate (the caller's rollback paths
     // may race a victimizing committer) but count — waits_for_ and the
     // buckets are left untouched.
-    ++stats_.unknown_releases;
+    unknown_releases_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  for (const auto& [object, counts] : it->second.holds) {
-    auto bucket_it = buckets_.find(object);
-    if (bucket_it != buckets_.end()) {
-      bucket_it->second.holds.erase(txn);
-      if (bucket_it->second.holds.empty()) buckets_.erase(bucket_it);
-    }
-    if (!object.is_relation_level()) {
-      auto summary_it = relation_summaries_.find(object.relation);
-      if (summary_it != relation_summaries_.end()) {
-        summary_it->second.erase(txn);
-        if (summary_it->second.empty()) {
-          relation_summaries_.erase(summary_it);
+  // The txn is out of the registry, so no new grants can appear; move the
+  // holds out (never hold state->mu while taking a shard mutex — lock
+  // order is shard.mu -> state.mu).
+  std::unordered_map<LockObjectId, ModeCounts, LockObjectIdHash> holds;
+  {
+    std::lock_guard<std::mutex> txn_guard(state->mu);
+    holds.swap(state->holds);
+  }
+  std::vector<std::vector<LockObjectId>> by_shard(shards_.size());
+  for (const auto& [object, counts] : holds) {
+    by_shard[ShardIndex(object.relation)].push_back(object);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    {
+      std::lock_guard<std::mutex> shard_guard(shard.mu);
+      for (const LockObjectId& object : by_shard[s]) {
+        auto bucket_it = shard.buckets.find(object);
+        if (bucket_it != shard.buckets.end()) {
+          bucket_it->second.holds.erase(txn);
+          if (bucket_it->second.holds.empty()) {
+            shard.buckets.erase(bucket_it);
+          }
+        }
+        if (!object.is_relation_level()) {
+          auto summary_it = shard.relation_summaries.find(object.relation);
+          if (summary_it != shard.relation_summaries.end()) {
+            summary_it->second.erase(txn);
+            if (summary_it->second.empty()) {
+              shard.relation_summaries.erase(summary_it);
+            }
+          }
         }
       }
     }
+    // Any waiter blocked on this txn's holds is parked on one of the
+    // shards those holds live in; wake them to recompute conflicts.
+    shard.cv.notify_all();
   }
-  txns_.erase(it);
-  waits_for_.erase(txn);
-  Trace(LockEvent::Kind::kRelease, txn, LockObjectId{}, LockMode::kRc);
-  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> slow_guard(slow_mu_);
+    waits_for_.erase(txn);
+  }
+  events.Add(LockEvent::Kind::kRelease, txn, LockObjectId{}, LockMode::kRc);
 }
 
 bool LockManager::Holds(TxnId txn, LockObjectId object, LockMode mode) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) return false;
-  auto hold_it = it->second.holds.find(object);
-  return hold_it != it->second.holds.end() &&
+  TxnPtr state = FindTxn(txn);
+  if (state == nullptr) return false;
+  std::lock_guard<std::mutex> txn_guard(state->mu);
+  auto hold_it = state->holds.find(object);
+  return hold_it != state->holds.end() &&
          hold_it->second[static_cast<int>(mode)] > 0;
 }
 
 size_t LockManager::live_transactions() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return txns_.size();
+  size_t total = 0;
+  for (const TxnStripe& stripe : txn_stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    total += stripe.txns.size();
+  }
+  return total;
 }
 
 LockManager::Stats LockManager::GetStats() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return stats_;
+  Stats stats;
+  stats.acquired = acquired_.load(std::memory_order_relaxed);
+  stats.blocked = blocked_.load(std::memory_order_relaxed);
+  stats.deadlocks = deadlocks_.load(std::memory_order_relaxed);
+  stats.wounds = wounds_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.aborts_marked = aborts_marked_.load(std::memory_order_relaxed);
+  stats.unknown_releases = unknown_releases_.load(std::memory_order_relaxed);
+  stats.blocking_txns = blocking_txns_.load(std::memory_order_relaxed);
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_guard(shard->mu);
+    stats.shards.push_back(shard->stats);
+  }
+  return stats;
 }
 
 }  // namespace dbps

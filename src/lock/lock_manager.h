@@ -1,4 +1,4 @@
-// The centralized lock manager (§4.2, §4.3).
+// The striped lock manager (§4.2, §4.3).
 //
 // One manager instance serves one parallel engine run. It implements both
 // protocols behind the same interface:
@@ -10,6 +10,29 @@
 //    CollectRcVictims() returns every transaction whose outstanding Rc
 //    lock conflicts with the committer's Wa set, and the engine aborts
 //    (or revalidates) them — the paper's rules (i)/(ii) of §4.3.
+//
+// Decentralization: the paper assumes a *centralized* lock manager; this
+// implementation keeps its semantics while sharding the mechanism so no
+// fast-path operation takes a process-global mutex:
+//
+//  * The lock table is striped into Options::num_shards LockShards, each
+//    with its own mutex + condition variable. An object hashes to a shard
+//    by its *relation*, so a relation-level bucket, all tuple buckets of
+//    that relation, its insert intents, and the per-relation summary live
+//    in one shard — the relation/tuple hierarchy check never crosses a
+//    shard boundary.
+//  * Transaction state lives in a separately striped registry; the
+//    aborted/blocking flags are atomics so commit-time victimization and
+//    wound-wait marking never touch a lock shard.
+//  * The waits-for graph (deadlock detection) sits behind one slow-path
+//    mutex that is touched only when a request actually blocks — the
+//    grant fast path never takes it. Cycles spanning shards are detected
+//    because the graph is global even though the lock table is not.
+//  * CollectRcVictims is a per-shard sweep over the shards the
+//    committer's Wa set touches, merged into one victim set. This is
+//    stable outside any global section because Rc-vs-Wa is incompatible
+//    in Table 4.1: no *new* conflicting Rc can be granted while the
+//    committer still holds its Wa locks.
 //
 // Hierarchy: a tuple-level request also checks the relation-level bucket
 // of its relation, and a relation-level request checks the per-relation
@@ -25,9 +48,11 @@
 #define DBPS_LOCK_LOCK_MANAGER_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -82,9 +107,33 @@ class LockManager {
     DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
     /// Upper bound on a single wait; expiring yields kLockTimeout.
     std::chrono::milliseconds wait_timeout{10000};
-    /// Optional event sink (called with the manager's mutex held — keep
-    /// it fast and do not call back into the manager).
+    /// Lock-table stripes (clamped to >= 1). Every object of one relation
+    /// hashes to the same shard, so the hierarchy check is shard-local;
+    /// striping distributes *relations* across shards.
+    size_t num_shards = 8;
+    /// Optional event sink. Contract (changed when the table was
+    /// striped): events are buffered inside the manager's critical
+    /// sections and emitted only after every internal lock has been
+    /// dropped, so the sink may block, take its own locks, and even call
+    /// back into the manager. It may be invoked concurrently from
+    /// different threads; events of one thread arrive in that thread's
+    /// order, but there is no total order across threads. Sinks shared
+    /// by concurrent transactions must synchronize internally.
     std::function<void(const LockEvent&)> trace;
+  };
+
+  /// Per-stripe contention counters (observability for the sharded
+  /// refactor; surfaced through Stats::shards and EngineStats).
+  struct ShardStats {
+    uint64_t acquires = 0;  ///< grants (incl. re-acquires) this shard served
+    uint64_t waits = 0;     ///< requests that blocked at least once here
+    /// Shard-mutex acquisitions that found the mutex already held (a
+    /// try_lock failed first) — the direct measure of stripe contention.
+    uint64_t mutex_contentions = 0;
+    /// Total shard-mutex hold time of non-blocking acquires, nanoseconds.
+    /// (Blocking acquires park on the shard condvar and are excluded;
+    /// they are counted in `waits` instead.)
+    uint64_t hold_ns = 0;
   };
 
   struct Stats {
@@ -100,6 +149,8 @@ class LockManager {
     uint64_t unknown_releases = 0;
     /// Transactions escalated to blocking (2PL-style) acquisition.
     uint64_t blocking_txns = 0;
+    /// One entry per lock-table stripe.
+    std::vector<ShardStats> shards;
   };
 
   explicit LockManager(Options options);
@@ -108,6 +159,14 @@ class LockManager {
   LockManager& operator=(const LockManager&) = delete;
 
   LockProtocol protocol() const { return options_.protocol; }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The stripe `object` hashes to — exposed so tests and benches can
+  /// construct same-shard / cross-shard scenarios deterministically.
+  size_t ShardOf(const LockObjectId& object) const {
+    return ShardIndex(object.relation);
+  }
 
   /// Starts a transaction (one production firing).
   TxnId Begin();
@@ -126,11 +185,15 @@ class LockManager {
   ///     (tuple write or insert intent),
   ///   * tuple-level Rc in a relation where `txn` holds relation-level Wa.
   /// Under kTwoPhase this is always empty (conflicts blocked earlier).
+  /// Implemented as a per-shard sweep of the shards the Wa set touches;
+  /// the result is stable until `txn` releases its Wa locks (Rc-vs-Wa is
+  /// incompatible, so no new conflicting Rc can be granted meanwhile).
   std::vector<TxnId> CollectRcVictims(TxnId txn) const;
 
   /// Marks `txn` aborted: its blocked and future Acquires fail with
   /// kAborted. The engine decides when to actually roll back (discard the
-  /// delta) and Release.
+  /// delta) and Release. Safe to call from a trace sink (sinks run
+  /// outside all manager locks).
   void MarkAborted(TxnId txn);
 
   bool IsAborted(TxnId txn) const;
@@ -167,54 +230,130 @@ class LockManager {
     std::unordered_map<TxnId, ModeCounts> holds;
   };
 
-  struct TxnState {
-    /// object -> per-mode hold counts.
-    std::unordered_map<LockObjectId, ModeCounts, LockObjectIdHash> holds;
-    bool aborted = false;
-    /// 2PL-style acquisition (starvation escalation); see SetBlocking.
-    bool blocking = false;
+  /// One lock-table stripe. Everything inside is guarded by `mu`; `cv`
+  /// parks requests blocked on objects of this shard.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockObjectId, Bucket, LockObjectIdHash> buckets;
+    /// Per relation: tuple/insert-level holds summary (for relation-level
+    /// conflict checks), txn -> mode counts.
+    std::unordered_map<SymbolId, std::unordered_map<TxnId, ModeCounts>>
+        relation_summaries;
+    ShardStats stats;
   };
 
-  /// True iff `txn` is live and escalated to blocking. Requires mu_ held.
-  bool BlockingLocked(TxnId txn) const;
+  struct TxnState {
+    /// Set by conflicting committers (Rc–Wa rule) and wound-wait; read on
+    /// every Acquire. Atomic so marking never touches a lock shard.
+    std::atomic<bool> aborted{false};
+    /// 2PL-style acquisition (starvation escalation); see SetBlocking.
+    std::atomic<bool> blocking{false};
+    /// Guards `holds`. Normally only the owning thread touches it, but
+    /// Holds()/Release() may be called cross-thread, so it is locked.
+    /// Never acquired while holding a shard mutex's *waiter* path — lock
+    /// order is shard.mu -> state.mu (leaf).
+    mutable std::mutex mu;
+    /// object -> per-mode hold counts.
+    std::unordered_map<LockObjectId, ModeCounts, LockObjectIdHash> holds;
+  };
+  using TxnPtr = std::shared_ptr<TxnState>;
 
-  /// The compatibility matrix governing a (requester, holder) pair: the
-  /// configured protocol, downgraded to kTwoPhase when either side is a
-  /// blocking (escalated) transaction. Requires mu_ held.
-  LockProtocol ProtocolFor(TxnId requester, TxnId holder) const;
+  /// One stripe of the transaction registry (txn-id -> state).
+  struct TxnStripe {
+    mutable std::mutex mu;
+    std::unordered_map<TxnId, TxnPtr> txns;
+  };
+  static constexpr size_t kTxnStripes = 16;
 
-  /// All transactions (other than `txn`) whose holds on relevant buckets
-  /// conflict with (object, mode). Requires mu_ held.
-  std::vector<TxnId> FindConflicts(TxnId txn, const LockObjectId& object,
-                                   LockMode mode) const;
+  /// Buffers trace events inside critical sections; flushes to the sink
+  /// at destruction, after the caller has dropped every internal lock.
+  /// Declare one *before* any lock guard so it flushes after unlock.
+  class TraceBuffer {
+   public:
+    explicit TraceBuffer(const LockManager* lm) : lm_(lm) {}
+    TraceBuffer(const TraceBuffer&) = delete;
+    TraceBuffer& operator=(const TraceBuffer&) = delete;
+    ~TraceBuffer() {
+      for (const LockEvent& event : events_) lm_->options_.trace(event);
+    }
+    void Add(LockEvent::Kind kind, TxnId txn, const LockObjectId& object,
+             LockMode mode) {
+      if (lm_->options_.trace) events_.push_back(LockEvent{kind, txn, object, mode});
+    }
 
-  /// Conflicting holders within one bucket. Requires mu_ held.
-  void CollectBucketConflicts(const Bucket& bucket, TxnId txn, LockMode mode,
+   private:
+    const LockManager* lm_;
+    std::vector<LockEvent> events_;
+  };
+
+  size_t ShardIndex(SymbolId relation) const;
+  Shard& ShardForObject(const LockObjectId& object) {
+    return *shards_[ShardIndex(object.relation)];
+  }
+
+  TxnPtr FindTxn(TxnId txn) const;
+  /// Removes `txn` from the registry and returns its state (null if
+  /// unknown).
+  TxnPtr TakeTxn(TxnId txn);
+
+  /// True iff `txn` is live and escalated to blocking.
+  bool IsBlockingTxn(TxnId txn) const;
+
+  /// Conflicting holders within one bucket under the striped protocol
+  /// rules. `requester_blocking` caches the requester's escalation state.
+  /// Requires the owning shard's mu held.
+  void CollectBucketConflicts(const Bucket& bucket, TxnId txn,
+                              bool requester_blocking, LockMode mode,
                               std::vector<TxnId>* out) const;
 
-  /// True iff adding edge txn -> blockers closes a cycle. Requires mu_.
+  /// All transactions (other than `txn`) whose holds on relevant buckets
+  /// of `shard` conflict with (object, mode). Requires shard.mu held.
+  std::vector<TxnId> FindConflicts(const Shard& shard, TxnId txn,
+                                   bool requester_blocking,
+                                   const LockObjectId& object,
+                                   LockMode mode) const;
+
+  /// True iff a (requester holds-conflict holder) pair conflicts, given
+  /// the holder's per-mode counts.
+  bool ConflictsWithHolder(bool requester_blocking, LockMode mode,
+                           TxnId holder, const ModeCounts& counts) const;
+
+  /// True iff adding edge txn -> blockers closes a cycle. Takes the
+  /// slow-path mutex internally.
   bool WouldDeadlock(TxnId txn, const std::vector<TxnId>& blockers) const;
 
-  /// Marks a transaction aborted. Requires mu_ held.
-  void MarkAbortedLocked(TxnId txn);
+  /// Marks `state` aborted and wakes any shard it may be parked on.
+  /// Must be called with NO shard mutex held (it fences every shard's
+  /// mutex to close the check-then-wait race).
+  void MarkAbortedTxn(TxnId txn, const TxnPtr& state, TraceBuffer* events);
 
-  void Trace(LockEvent::Kind kind, TxnId txn, const LockObjectId& object,
-             LockMode mode) const;
+  /// Lock/unlock every shard mutex in turn (never nested) and notify its
+  /// condvar — the lost-wakeup fence for flag-only state changes.
+  void NotifyAllShardsFenced();
 
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  TxnId next_txn_ = 1;
-  std::unordered_map<TxnId, TxnState> txns_;
-  std::unordered_map<LockObjectId, Bucket, LockObjectIdHash> buckets_;
-  /// Per relation: tuple/insert-level holds summary (for relation-level
-  /// conflict checks), txn -> mode counts.
-  std::unordered_map<SymbolId, std::unordered_map<TxnId, ModeCounts>>
-      relation_summaries_;
-  /// Waits-for edges of currently blocked requesters.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<TxnStripe, kTxnStripes> txn_stripes_;
+
+  /// Slow path only: waits-for edges of currently blocked requesters.
+  /// Touched exclusively when a request blocks (register/erase/DFS) —
+  /// never on the grant fast path.
+  mutable std::mutex slow_mu_;
   std::unordered_map<TxnId, std::vector<TxnId>> waits_for_;
-  Stats stats_;
+
+  std::atomic<TxnId> next_txn_{1};
+
+  // Aggregate counters (Stats); per-shard counters live in Shard::stats.
+  std::atomic<uint64_t> acquired_{0};
+  std::atomic<uint64_t> blocked_{0};
+  std::atomic<uint64_t> deadlocks_{0};
+  std::atomic<uint64_t> wounds_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> aborts_marked_{0};
+  std::atomic<uint64_t> unknown_releases_{0};
+  std::atomic<uint64_t> blocking_txns_{0};
 };
 
 }  // namespace dbps

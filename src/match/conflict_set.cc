@@ -9,20 +9,24 @@ namespace dbps {
 void ConflictSet::Activate(InstPtr inst) {
   DBPS_CHECK(inst != nullptr);
   InstKey key = inst->key();
+  std::lock_guard<std::mutex> lock(mu_);
   active_.emplace(std::move(key), Entry{std::move(inst), next_seq_++});
 }
 
 void ConflictSet::Deactivate(const InstKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   active_.erase(key);
   claimed_.erase(key);
 }
 
-const InstPtr* ConflictSet::Find(const InstKey& key) const {
+InstPtr ConflictSet::Find(const InstKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = active_.find(key);
-  return it == active_.end() ? nullptr : &it->second.inst;
+  return it == active_.end() ? nullptr : it->second.inst;
 }
 
 InstPtr ConflictSet::Claim(ConflictResolution strategy, Random* rng) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Candidate> candidates;
   candidates.reserve(active_.size());
   for (const auto& [key, entry] : active_) {
@@ -36,14 +40,19 @@ InstPtr ConflictSet::Claim(ConflictResolution strategy, Random* rng) {
   return *selected;
 }
 
-void ConflictSet::Unclaim(const InstKey& key) { claimed_.erase(key); }
+void ConflictSet::Unclaim(const InstKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claimed_.erase(key);
+}
 
 void ConflictSet::MarkFired(const InstKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   active_.erase(key);
   claimed_.erase(key);
 }
 
 std::vector<InstPtr> ConflictSet::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<InstPtr> out;
   out.reserve(active_.size());
   for (const auto& [key, entry] : active_) out.push_back(entry.inst);
@@ -51,6 +60,7 @@ std::vector<InstPtr> ConflictSet::Snapshot() const {
 }
 
 std::vector<InstPtr> ConflictSet::SelectableSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<InstPtr> out;
   out.reserve(active_.size());
   for (const auto& [key, entry] : active_) {
@@ -60,6 +70,7 @@ std::vector<InstPtr> ConflictSet::SelectableSnapshot() const {
 }
 
 std::string ConflictSet::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << "conflict set (" << active_.size() << "):";
   for (const auto& [key, entry] : active_) {

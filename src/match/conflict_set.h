@@ -5,12 +5,18 @@
 // executed by some worker and is not selectable, but remains subject to
 // deactivation if a committing writer invalidates it.
 //
-// Not thread-safe by itself; engines guard it with their own mutex.
+// Thread-safe: every operation takes an internal mutex, so workers can
+// claim/validate concurrently with the committer's matcher propagation
+// without any engine-wide lock. Compound read-modify sequences (e.g.
+// "Contains then Claim") are NOT atomic across calls; engines that need
+// a stable answer must tolerate the race (a stale claim is detected at
+// commit validation).
 
 #ifndef DBPS_MATCH_CONFLICT_SET_H_
 #define DBPS_MATCH_CONFLICT_SET_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,10 +38,13 @@ class ConflictSet {
   void Deactivate(const InstKey& key);
 
   bool Contains(const InstKey& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return active_.count(key) != 0;
   }
 
-  const InstPtr* Find(const InstKey& key) const;
+  /// The active instantiation for `key`, or nullptr. Returned by value:
+  /// a pointer into the set would dangle under concurrent deactivation.
+  InstPtr Find(const InstKey& key) const;
 
   /// Selects the dominant unclaimed instantiation under `strategy` and
   /// marks it claimed. Returns nullptr if none is selectable.
@@ -48,12 +57,24 @@ class ConflictSet {
   /// Marks a claimed instantiation as fired: removes it entirely.
   void MarkFired(const InstKey& key);
 
-  size_t size() const { return active_.size(); }
-  size_t num_claimed() const { return claimed_.size(); }
-  bool empty() const { return active_.empty(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.size();
+  }
+  size_t num_claimed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return claimed_.size();
+  }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.empty();
+  }
 
   /// True iff at least one active instantiation is unclaimed.
-  bool HasSelectable() const { return active_.size() > claimed_.size(); }
+  bool HasSelectable() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.size() > claimed_.size();
+  }
 
   /// Snapshot of all active instantiations (unspecified order).
   std::vector<InstPtr> Snapshot() const;
@@ -68,6 +89,7 @@ class ConflictSet {
     InstPtr inst;
     uint64_t activation_seq;
   };
+  mutable std::mutex mu_;
   std::unordered_map<InstKey, Entry, InstKeyHash> active_;
   std::unordered_set<InstKey, InstKeyHash> claimed_;
   uint64_t next_seq_ = 0;

@@ -18,9 +18,11 @@ void NaiveMatcher::ApplyChange(const WmChange& change) {
 }
 
 void NaiveMatcher::Recompute() {
+  // Pin the snapshot once: every Scan in this rematch reads the same CSN.
+  const WmSnapshot snap = wm_->SnapshotAt();
   std::unordered_map<InstKey, InstPtr, InstKeyHash> current;
   for (const auto& rule : rules_->rules()) {
-    MatchRule(rule, &current);
+    MatchRule(rule, snap, &current);
   }
   // Deactivate vanished instantiations...
   std::vector<InstKey> gone;
@@ -35,7 +37,7 @@ void NaiveMatcher::Recompute() {
 }
 
 void NaiveMatcher::MatchRule(
-    const RulePtr& rule,
+    const RulePtr& rule, const WmSnapshot& snap,
     std::unordered_map<InstKey, InstPtr, InstKeyHash>* out) const {
   std::vector<const Condition*> positives;
   for (const auto& cond : rule->conditions()) {
@@ -43,28 +45,29 @@ void NaiveMatcher::MatchRule(
   }
   std::vector<WmePtr> matched;
   matched.reserve(positives.size());
-  MatchPositive(rule, positives, 0, &matched, out);
+  MatchPositive(rule, snap, positives, 0, &matched, out);
 }
 
 void NaiveMatcher::MatchPositive(
-    const RulePtr& rule, const std::vector<const Condition*>& positives,
-    size_t depth, std::vector<WmePtr>* matched,
+    const RulePtr& rule, const WmSnapshot& snap,
+    const std::vector<const Condition*>& positives, size_t depth,
+    std::vector<WmePtr>* matched,
     std::unordered_map<InstKey, InstPtr, InstKeyHash>* out) const {
   if (depth == positives.size()) {
     // All positive CEs matched; check the negated ones.
     for (const auto& cond : rule->conditions()) {
-      if (cond.negated && NegationBlocked(cond, *matched)) return;
+      if (cond.negated && NegationBlocked(cond, snap, *matched)) return;
     }
     auto inst = std::make_shared<Instantiation>(rule, *matched);
     out->emplace(inst->key(), std::move(inst));
     return;
   }
   const Condition& cond = *positives[depth];
-  for (const WmePtr& wme : wm_->Scan(cond.relation)) {
+  for (const WmePtr& wme : snap.Scan(cond.relation)) {
     if (!PassesLocalTests(cond, *wme)) continue;
     if (!PassesJoinTests(cond, *wme, *matched)) continue;
     matched->push_back(wme);
-    MatchPositive(rule, positives, depth + 1, matched, out);
+    MatchPositive(rule, snap, positives, depth + 1, matched, out);
     matched->pop_back();
   }
 }
@@ -100,8 +103,9 @@ bool NaiveMatcher::PassesJoinTests(const Condition& cond, const Wme& wme,
 }
 
 bool NaiveMatcher::NegationBlocked(const Condition& cond,
+                                   const WmSnapshot& snap,
                                    const std::vector<WmePtr>& matched) const {
-  for (const WmePtr& wme : wm_->Scan(cond.relation)) {
+  for (const WmePtr& wme : snap.Scan(cond.relation)) {
     if (PassesLocalTests(cond, *wme) &&
         PassesJoinTests(cond, *wme, matched)) {
       return true;

@@ -4,6 +4,10 @@
 // It is deliberately simple — the correctness oracle the Rete network is
 // property-tested against, and the baseline for the match benchmarks
 // (OPS5-era systems predating Rete rematched like this).
+//
+// Each recompute reads through a pinned WmSnapshot at the CSN of the
+// change being applied, so the whole rematch observes one consistent
+// commit boundary even while later commits race ahead in other threads.
 
 #ifndef DBPS_MATCH_NAIVE_MATCHER_H_
 #define DBPS_MATCH_NAIVE_MATCHER_H_
@@ -22,12 +26,12 @@ class NaiveMatcher : public Matcher {
  private:
   void Recompute();
 
-  /// All current matches of `rule`, appended to `out`.
-  void MatchRule(const RulePtr& rule,
+  /// All matches of `rule` visible in `snap`, appended to `out`.
+  void MatchRule(const RulePtr& rule, const WmSnapshot& snap,
                  std::unordered_map<InstKey, InstPtr, InstKeyHash>* out) const;
 
   /// Depth-first extension over positive CEs.
-  void MatchPositive(const RulePtr& rule,
+  void MatchPositive(const RulePtr& rule, const WmSnapshot& snap,
                      const std::vector<const Condition*>& positives,
                      size_t depth, std::vector<WmePtr>* matched,
                      std::unordered_map<InstKey, InstPtr, InstKeyHash>* out)
@@ -40,8 +44,8 @@ class NaiveMatcher : public Matcher {
   static bool PassesJoinTests(const Condition& cond, const Wme& wme,
                               const std::vector<WmePtr>& matched);
 
-  /// True iff some live WME satisfies the negated condition.
-  bool NegationBlocked(const Condition& cond,
+  /// True iff some WME visible in `snap` satisfies the negated condition.
+  bool NegationBlocked(const Condition& cond, const WmSnapshot& snap,
                        const std::vector<WmePtr>& matched) const;
 
   RuleSetPtr rules_;

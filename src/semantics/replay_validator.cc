@@ -33,7 +33,7 @@ Status ValidateReplay(WorkingMemory* initial_wm, const RuleSetPtr& rules,
 
     // (1) Membership: the fired instantiation must be active here — this
     // is exactly "the commit sequence is a root-originating path".
-    const InstPtr* inst = matcher->conflict_set().Find(record.key);
+    const InstPtr inst = matcher->conflict_set().Find(record.key);
     if (inst == nullptr) {
       return Status::Internal(StringPrintf(
           "step %zu: fired instantiation %s is not in the replayed "
@@ -44,7 +44,7 @@ Status ValidateReplay(WorkingMemory* initial_wm, const RuleSetPtr& rules,
 
     // (2) Effect equality: the RHS evaluated at this replay state must
     // produce the very Delta the original run committed.
-    auto delta_or = EvaluateRhs(*(*inst)->rule(), (*inst)->matched());
+    auto delta_or = EvaluateRhs(*inst->rule(), inst->matched());
     if (!delta_or.ok()) {
       return Status::Internal(StringPrintf(
           "step %zu: RHS re-evaluation failed: %s", step,

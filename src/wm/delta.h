@@ -76,6 +76,11 @@ class Delta {
 struct WmChange {
   std::vector<WmePtr> removed;
   std::vector<WmePtr> added;
+  /// The commit sequence number WorkingMemory::Apply stamped on this
+  /// change: every `added` version was created at `csn`, every `removed`
+  /// version was killed at `csn`. A WmSnapshot at `csn` sees exactly this
+  /// commit and everything before it.
+  uint64_t csn = 0;
 };
 
 }  // namespace dbps

@@ -1,11 +1,88 @@
 #include "wm/working_memory.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace dbps {
+
+namespace {
+/// deleted_csn of a version that is still live.
+constexpr uint64_t kLiveCsn = ~0ULL;
+}  // namespace
+
+// --- WmSnapshot -------------------------------------------------------------
+
+WmSnapshot::WmSnapshot(WmSnapshot&& other) noexcept
+    : wm_(other.wm_), csn_(other.csn_) {
+  other.wm_ = nullptr;
+}
+
+WmSnapshot& WmSnapshot::operator=(WmSnapshot&& other) noexcept {
+  if (this != &other) {
+    if (wm_ != nullptr) wm_->UnregisterSnapshot(csn_);
+    wm_ = other.wm_;
+    csn_ = other.csn_;
+    other.wm_ = nullptr;
+  }
+  return *this;
+}
+
+WmSnapshot::~WmSnapshot() {
+  if (wm_ != nullptr) wm_->UnregisterSnapshot(csn_);
+}
+
+WmePtr WmSnapshot::Get(WmeId id) const {
+  if (wm_ == nullptr) return nullptr;
+  std::shared_lock lock(wm_->mu_);
+  return wm_->VisibleVersionLocked(id, csn_);
+}
+
+bool WmSnapshot::IsCurrent(WmeId id, TimeTag tag) const {
+  if (wm_ == nullptr) return false;
+  std::shared_lock lock(wm_->mu_);
+  WmePtr wme = wm_->VisibleVersionLocked(id, csn_);
+  return wme != nullptr && wme->tag() == tag;
+}
+
+std::vector<WmePtr> WmSnapshot::Scan(SymbolId relation) const {
+  std::vector<WmePtr> out;
+  if (wm_ == nullptr) return out;
+  std::shared_lock lock(wm_->mu_);
+  auto live_it = wm_->by_relation_.find(relation);
+  if (live_it != wm_->by_relation_.end()) {
+    for (WmeId id : live_it->second) {
+      WmePtr wme = wm_->VisibleVersionLocked(id, csn_);
+      if (wme != nullptr) out.push_back(std::move(wme));
+    }
+  }
+  // Ids with only dead versions left (deleted, or modified after csn_ and
+  // no longer live under this relation).
+  auto dead_it = wm_->dead_by_relation_.find(relation);
+  if (dead_it != wm_->dead_by_relation_.end()) {
+    auto live_ids = live_it != wm_->by_relation_.end()
+                        ? &live_it->second
+                        : nullptr;
+    for (WmeId id : dead_it->second) {
+      if (live_ids != nullptr && live_ids->count(id) != 0) {
+        continue;  // already resolved through the live pass
+      }
+      WmePtr wme = wm_->VisibleVersionLocked(id, csn_);
+      if (wme != nullptr && wme->relation() == relation) {
+        out.push_back(std::move(wme));
+      }
+    }
+  }
+  return out;
+}
+
+size_t WmSnapshot::Count(SymbolId relation) const {
+  return Scan(relation).size();
+}
+
+// --- WorkingMemory ----------------------------------------------------------
 
 Status WorkingMemory::CreateRelation(RelationSchema schema) {
   std::unique_lock lock(mu_);
@@ -50,7 +127,13 @@ Status WorkingMemory::CreateIndex(SymbolId relation, SymbolId attr) {
 StatusOr<WmePtr> WorkingMemory::Insert(SymbolId relation,
                                        std::vector<Value> values) {
   std::unique_lock lock(mu_);
-  return InsertLocked(relation, std::move(values));
+  const uint64_t csn = csn_.load(std::memory_order_relaxed) + 1;
+  auto wme_or = InsertLocked(relation, std::move(values), csn);
+  if (wme_or.ok()) {
+    csn_.store(csn, std::memory_order_release);
+    PruneHistoryLocked(csn);
+  }
+  return wme_or;
 }
 
 StatusOr<WmePtr> WorkingMemory::Insert(std::string_view relation,
@@ -59,13 +142,15 @@ StatusOr<WmePtr> WorkingMemory::Insert(std::string_view relation,
 }
 
 StatusOr<WmePtr> WorkingMemory::InsertLocked(SymbolId relation,
-                                             std::vector<Value> values) {
+                                             std::vector<Value> values,
+                                             uint64_t csn) {
   DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
                         catalog_.GetRelation(relation));
   DBPS_RETURN_NOT_OK(schema->CheckTuple(values));
   auto wme = std::make_shared<const Wme>(next_id_++, next_tag_++, relation,
                                          std::move(values));
   live_.emplace(wme->id(), wme);
+  live_created_csn_[wme->id()] = csn;
   by_relation_[relation].insert(wme->id());
   IndexAdd(wme);
   return WmePtr(wme);
@@ -73,10 +158,16 @@ StatusOr<WmePtr> WorkingMemory::InsertLocked(SymbolId relation,
 
 StatusOr<WmePtr> WorkingMemory::Delete(WmeId id) {
   std::unique_lock lock(mu_);
-  return DeleteLocked(id);
+  const uint64_t csn = csn_.load(std::memory_order_relaxed) + 1;
+  auto wme_or = DeleteLocked(id, csn);
+  if (wme_or.ok()) {
+    csn_.store(csn, std::memory_order_release);
+    PruneHistoryLocked(csn);
+  }
+  return wme_or;
 }
 
-StatusOr<WmePtr> WorkingMemory::DeleteLocked(WmeId id) {
+StatusOr<WmePtr> WorkingMemory::DeleteLocked(WmeId id, uint64_t csn) {
   auto it = live_.find(id);
   if (it == live_.end()) {
     return Status::NotFound(StringPrintf("WME #%llu is not live",
@@ -86,7 +177,100 @@ StatusOr<WmePtr> WorkingMemory::DeleteLocked(WmeId id) {
   IndexRemove(wme);
   by_relation_[wme->relation()].erase(id);
   live_.erase(it);
+  auto created_it = live_created_csn_.find(id);
+  const uint64_t created =
+      created_it == live_created_csn_.end() ? 0 : created_it->second;
+  live_created_csn_.erase(id);
+  KillVersionLocked(wme, created, csn);
   return wme;
+}
+
+void WorkingMemory::KillVersionLocked(const WmePtr& wme,
+                                      uint64_t created_csn, uint64_t csn) {
+  // Retain the dying version only if some live snapshot could read it:
+  // a snapshot at S sees it iff created_csn <= S < csn.
+  const uint64_t horizon = SnapshotHorizon(csn);
+  if (horizon >= csn) return;  // no snapshot below csn — nothing to keep
+  history_[wme->id()].push_back(DeadVersion{wme, created_csn, csn});
+  dead_by_relation_[wme->relation()].insert(wme->id());
+  dead_order_.emplace_back(csn, wme->id());
+}
+
+void WorkingMemory::PruneHistoryLocked(uint64_t next_csn) {
+  const uint64_t horizon = SnapshotHorizon(next_csn);
+  while (!dead_order_.empty() && dead_order_.front().first <= horizon) {
+    const WmeId id = dead_order_.front().second;
+    dead_order_.pop_front();
+    auto it = history_.find(id);
+    if (it == history_.end()) continue;
+    auto& chain = it->second;
+    // Chains are in CSN order; invisible versions sit at the front.
+    size_t drop = 0;
+    while (drop < chain.size() && chain[drop].deleted_csn <= horizon) {
+      ++drop;
+    }
+    if (drop == 0) continue;
+    const SymbolId relation = chain.front().wme->relation();
+    chain.erase(chain.begin(), chain.begin() + drop);
+    if (chain.empty()) {
+      history_.erase(it);
+      auto dead_it = dead_by_relation_.find(relation);
+      if (dead_it != dead_by_relation_.end()) {
+        dead_it->second.erase(id);
+        if (dead_it->second.empty()) dead_by_relation_.erase(dead_it);
+      }
+    }
+  }
+}
+
+WmePtr WorkingMemory::VisibleVersionLocked(WmeId id, uint64_t csn) const {
+  auto live_it = live_.find(id);
+  if (live_it != live_.end()) {
+    auto created_it = live_created_csn_.find(id);
+    const uint64_t created =
+        created_it == live_created_csn_.end() ? 0 : created_it->second;
+    if (created <= csn) return live_it->second;
+  }
+  auto hist_it = history_.find(id);
+  if (hist_it != history_.end()) {
+    for (const DeadVersion& version : hist_it->second) {
+      if (version.created_csn <= csn && csn < version.deleted_csn) {
+        return version.wme;
+      }
+    }
+  }
+  return nullptr;
+}
+
+uint64_t WorkingMemory::SnapshotHorizon(uint64_t fallback) const {
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  return active_snapshots_.empty() ? fallback : *active_snapshots_.begin();
+}
+
+void WorkingMemory::RegisterSnapshot(uint64_t csn) const {
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  active_snapshots_.insert(csn);
+}
+
+void WorkingMemory::UnregisterSnapshot(uint64_t csn) const {
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  auto it = active_snapshots_.find(csn);
+  DBPS_DCHECK(it != active_snapshots_.end());
+  if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+}
+
+WmSnapshot WorkingMemory::SnapshotAt() const {
+  std::shared_lock lock(mu_);
+  const uint64_t csn = csn_.load(std::memory_order_acquire);
+  RegisterSnapshot(csn);
+  return WmSnapshot(this, csn);
+}
+
+size_t WorkingMemory::retained_versions() const {
+  std::shared_lock lock(mu_);
+  size_t total = 0;
+  for (const auto& [id, chain] : history_) total += chain.size();
+  return total;
 }
 
 WmePtr WorkingMemory::Get(WmeId id) const {
@@ -183,13 +367,18 @@ StatusOr<WmChange> WorkingMemory::Apply(const Delta& delta) {
     }
   }
 
+  // The whole delta is one commit: every version it creates or kills is
+  // stamped with the same CSN.
+  const uint64_t csn = csn_.load(std::memory_order_relaxed) + 1;
   WmChange change;
+  change.csn = csn;
   for (const auto& op : delta.ops()) {
     if (const auto* create = std::get_if<CreateOp>(&op)) {
       auto wme = std::make_shared<const Wme>(next_id_++, next_tag_++,
                                              create->relation,
                                              create->values);
       live_.emplace(wme->id(), wme);
+      live_created_csn_[wme->id()] = csn;
       by_relation_[create->relation].insert(wme->id());
       IndexAdd(wme);
       change.added.push_back(std::move(wme));
@@ -202,16 +391,23 @@ StatusOr<WmChange> WorkingMemory::Apply(const Delta& delta) {
       auto updated = std::make_shared<const Wme>(
           old->id(), next_tag_++, old->relation(), std::move(values));
       IndexRemove(old);
+      auto created_it = live_created_csn_.find(old->id());
+      const uint64_t old_created =
+          created_it == live_created_csn_.end() ? 0 : created_it->second;
+      KillVersionLocked(old, old_created, csn);
       live_[old->id()] = updated;
+      live_created_csn_[old->id()] = csn;
       IndexAdd(updated);
       change.removed.push_back(std::move(old));
       change.added.push_back(std::move(updated));
     } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
-      auto removed = DeleteLocked(del->id);
+      auto removed = DeleteLocked(del->id, csn);
       DBPS_CHECK(removed.ok());  // validated above
       change.removed.push_back(std::move(removed).ValueOrDie());
     }
   }
+  csn_.store(csn, std::memory_order_release);
+  PruneHistoryLocked(csn);
   return change;
 }
 
@@ -244,10 +440,13 @@ std::unique_ptr<WorkingMemory> WorkingMemory::Clone() const {
   auto copy = std::make_unique<WorkingMemory>();
   copy->catalog_ = catalog_;
   copy->live_ = live_;
+  copy->live_created_csn_ = live_created_csn_;
   copy->by_relation_ = by_relation_;
   copy->indexes_ = indexes_;
   copy->next_id_ = next_id_;
   copy->next_tag_ = next_tag_;
+  copy->csn_.store(csn_.load(std::memory_order_acquire),
+                   std::memory_order_release);
   return copy;
 }
 

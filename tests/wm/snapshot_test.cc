@@ -1,0 +1,181 @@
+// Versioned snapshot reads: WmSnapshot pins a CSN and observes working
+// memory exactly as of that commit, while later commits proceed; dead
+// versions are retained only while a snapshot can see them.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "wm/working_memory.h"
+
+namespace dbps {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(wm_.CreateRelation("item", {{"id", AttrType::kInt},
+                                            {"qty", AttrType::kInt}})
+                    .ok());
+  }
+
+  WmePtr Insert(int64_t id, int64_t qty) {
+    auto wme = wm_.Insert("item", {Value::Int(id), Value::Int(qty)});
+    EXPECT_TRUE(wme.ok());
+    return wme.ValueOrDie();
+  }
+
+  WorkingMemory wm_;
+};
+
+TEST_F(SnapshotTest, CsnAdvancesPerCommit) {
+  EXPECT_EQ(wm_.csn(), 0u);
+  WmePtr a = Insert(1, 10);
+  EXPECT_EQ(wm_.csn(), 1u);
+  ASSERT_TRUE(wm_.Delete(a->id()).ok());
+  EXPECT_EQ(wm_.csn(), 2u);
+
+  Delta delta;
+  delta.Create(Sym("item"), {Value::Int(2), Value::Int(5)});
+  delta.Create(Sym("item"), {Value::Int(3), Value::Int(6)});
+  auto change = wm_.Apply(delta);
+  ASSERT_TRUE(change.ok());
+  // One Apply = one commit = one CSN, stamped on the change.
+  EXPECT_EQ(wm_.csn(), 3u);
+  EXPECT_EQ(change.ValueOrDie().csn, 3u);
+}
+
+TEST_F(SnapshotTest, SnapshotIsImmuneToLaterCommits) {
+  WmePtr a = Insert(1, 10);
+  WmePtr b = Insert(2, 20);
+
+  WmSnapshot snap = wm_.SnapshotAt();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.csn(), 2u);
+
+  // Later commits: delete a, modify b, insert c.
+  ASSERT_TRUE(wm_.Delete(a->id()).ok());
+  Delta delta;
+  delta.Modify(b->id(), {{1, Value::Int(99)}});
+  delta.Create(Sym("item"), {Value::Int(3), Value::Int(30)});
+  ASSERT_TRUE(wm_.Apply(delta).ok());
+
+  // Live view moved on...
+  EXPECT_EQ(wm_.Count(Sym("item")), 2u);
+  EXPECT_EQ(wm_.Get(a->id()), nullptr);
+  // ...but the snapshot still reads the pinned commit.
+  EXPECT_EQ(snap.Count(Sym("item")), 2u);
+  WmePtr snap_a = snap.Get(a->id());
+  ASSERT_NE(snap_a, nullptr);
+  EXPECT_EQ(snap_a->value(1), Value::Int(10));
+  WmePtr snap_b = snap.Get(b->id());
+  ASSERT_NE(snap_b, nullptr);
+  EXPECT_EQ(snap_b->value(1), Value::Int(20));  // pre-modify version
+  EXPECT_TRUE(snap.IsCurrent(b->id(), b->tag()));
+  EXPECT_FALSE(wm_.IsCurrent(b->id(), b->tag()));
+
+  std::vector<WmePtr> scanned = snap.Scan(Sym("item"));
+  EXPECT_EQ(scanned.size(), 2u);
+  for (const WmePtr& wme : scanned) {
+    EXPECT_NE(wme->value(1), Value::Int(99));
+    EXPECT_NE(wme->value(0), Value::Int(3));
+  }
+}
+
+TEST_F(SnapshotTest, VersionsPrunedOnceUnobservable) {
+  WmePtr a = Insert(1, 10);
+  {
+    WmSnapshot snap = wm_.SnapshotAt();
+    ASSERT_TRUE(wm_.Delete(a->id()).ok());
+    // The dead version is retained for the live snapshot...
+    EXPECT_EQ(wm_.retained_versions(), 1u);
+    EXPECT_NE(snap.Get(a->id()), nullptr);
+  }
+  // ...and dropped by the next commit after the snapshot dies.
+  Insert(2, 20);
+  EXPECT_EQ(wm_.retained_versions(), 0u);
+}
+
+TEST_F(SnapshotTest, NoSnapshotsMeansNoRetention) {
+  WmePtr a = Insert(1, 10);
+  ASSERT_TRUE(wm_.Delete(a->id()).ok());
+  Delta delta;
+  delta.Create(Sym("item"), {Value::Int(2), Value::Int(7)});
+  ASSERT_TRUE(wm_.Apply(delta).ok());
+  EXPECT_EQ(wm_.retained_versions(), 0u);
+}
+
+TEST_F(SnapshotTest, OlderSnapshotHoldsTheHorizon) {
+  WmePtr a = Insert(1, 10);
+  WmSnapshot old_snap = wm_.SnapshotAt();  // csn 1
+  WmePtr b = Insert(2, 20);
+  WmSnapshot new_snap = wm_.SnapshotAt();  // csn 2
+  ASSERT_TRUE(wm_.Delete(a->id()).ok());
+  ASSERT_TRUE(wm_.Delete(b->id()).ok());
+  EXPECT_EQ(wm_.retained_versions(), 2u);
+
+  // Destroying the NEWER snapshot must not free what the older one sees.
+  new_snap = WmSnapshot();
+  Insert(3, 30);  // a commit gives pruning a chance to run
+  EXPECT_NE(old_snap.Get(a->id()), nullptr);
+  EXPECT_EQ(old_snap.Get(b->id()), nullptr);  // b was never visible at csn 1
+}
+
+TEST_F(SnapshotTest, MoveTransfersThePin) {
+  WmePtr a = Insert(1, 10);
+  WmSnapshot snap = wm_.SnapshotAt();
+  WmSnapshot moved = std::move(snap);
+  EXPECT_FALSE(snap.valid());  // NOLINT(bugprone-use-after-move): asserting
+  ASSERT_TRUE(moved.valid());
+  ASSERT_TRUE(wm_.Delete(a->id()).ok());
+  EXPECT_NE(moved.Get(a->id()), nullptr);
+}
+
+TEST_F(SnapshotTest, CloneCarriesTheCsnButNotTheHistory) {
+  WmePtr a = Insert(1, 10);
+  WmSnapshot snap = wm_.SnapshotAt();
+  ASSERT_TRUE(wm_.Delete(a->id()).ok());
+
+  std::unique_ptr<WorkingMemory> clone = wm_.Clone();
+  EXPECT_EQ(clone->csn(), wm_.csn());
+  EXPECT_EQ(clone->retained_versions(), 0u);
+  // New commits in the clone continue the CSN sequence.
+  ASSERT_TRUE(clone->Insert("item", {Value::Int(5), Value::Int(50)})
+                  .ok());
+  EXPECT_EQ(clone->csn(), wm_.csn() + 1);
+}
+
+TEST_F(SnapshotTest, ConcurrentReadersSeeTheirOwnCsn) {
+  // Writers commit while readers pin/read/drop snapshots — under TSan
+  // this exercises the mu_/snap_mu_ interplay.
+  constexpr int kCommits = 50;
+  std::thread writer([&] {
+    for (int i = 0; i < kCommits; ++i) {
+      auto wme = wm_.Insert("item",
+                            {Value::Int(100 + i), Value::Int(i)});
+      ASSERT_TRUE(wme.ok());
+      if (i % 2 == 0) {
+        ASSERT_TRUE(wm_.Delete(wme.ValueOrDie()->id()).ok());
+      }
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < kCommits; ++i) {
+      WmSnapshot snap = wm_.SnapshotAt();
+      const size_t count = snap.Count(Sym("item"));
+      // The count at a pinned CSN must be stable across re-reads.
+      EXPECT_EQ(snap.Scan(Sym("item")).size(), count);
+      EXPECT_EQ(snap.Count(Sym("item")), count);
+    }
+  });
+  writer.join();
+  reader.join();
+  // Pruning is piggybacked on commits; one more commit with no snapshots
+  // alive must drain the whole history.
+  Insert(999, 0);
+  EXPECT_EQ(wm_.retained_versions(), 0u);
+}
+
+}  // namespace
+}  // namespace dbps

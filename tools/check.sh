@@ -9,6 +9,10 @@
 #                                       # fixed-seed chaos smoke of dbps_run
 #                                       # (combine with DBPS_SANITIZE=thread
 #                                       # for the full robustness gate)
+#   DBPS_TIER=bench tools/check.sh      # bench smoke tier: runs the two
+#                                       # JSON-emitting benches at 2 threads
+#                                       # and fails if BENCH_*.json is
+#                                       # missing or malformed
 #
 # The build directory is build/ for plain runs and build-<sanitizer>/
 # for sanitizer runs, so they never poison each other's caches.
@@ -40,6 +44,32 @@ if [ "$TIER" = "chaos" ]; then
       --validate --quiet examples/programs/server_inbox.dbps
   done
   echo "chaos tier passed"
+elif [ "$TIER" = "bench" ]; then
+  # Bench smoke tier: both JSON-emitting benches at 2 threads. The point
+  # is not performance numbers but that the binaries run end-to-end and
+  # emit well-formed BENCH_*.json artifacts (see bench/report.h).
+  JSON_DIR="$BUILD_DIR/bench-json"
+  rm -rf "$JSON_DIR"
+  mkdir -p "$JSON_DIR"
+  DBPS_BENCH_THREADS=2 DBPS_BENCH_JSON_DIR="$JSON_DIR" \
+    "$BUILD_DIR/bench/bench_multi_user"
+  DBPS_BENCH_THREADS=2 DBPS_BENCH_JSON_DIR="$JSON_DIR" \
+    "$BUILD_DIR/bench/bench_lock_protocols" --benchmark_filter='^$'
+  for name in multi_user lock_protocols; do
+    python3 - "$JSON_DIR/BENCH_$name.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["bench"], path
+assert doc["rows"], f"{path}: no rows"
+for row in doc["rows"]:
+    for key in ("workload", "threads", "protocol", "wall_ms", "aborts"):
+        assert key in row, f"{path}: row missing {key}"
+print(f"{path}: OK ({len(doc['rows'])} rows)")
+EOF
+  done
+  echo "bench tier passed"
 else
   ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure
 fi

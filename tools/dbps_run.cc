@@ -7,6 +7,7 @@
 //
 //   --engine=single|parallel|static   interpreter (default: single)
 //   --workers=N                       parallel/static worker count (4)
+//   --lock-shards=N                   lock-table shard count (8, parallel)
 //   --protocol=2pl|rcrawa             lock protocol (rcrawa)
 //   --abort-policy=abort|revalidate   Rc–Wa settlement policy (abort)
 //   --deadlock=detect|wound-wait|no-wait   deadlock handling (detect)
@@ -56,6 +57,7 @@ using namespace dbps;
 struct Flags {
   std::string engine = "single";
   size_t workers = 4;
+  size_t lock_shards = 8;
   LockProtocol protocol = LockProtocol::kRcRaWa;
   AbortPolicy abort_policy = AbortPolicy::kAbort;
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
@@ -83,6 +85,7 @@ struct Flags {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=single|parallel|static] [--workers=N]\n"
+               "  [--lock-shards=N]\n"
                "  [--protocol=2pl|rcrawa] [--abort-policy=abort|revalidate]\n"
                "  [--deadlock=detect|wound-wait|no-wait]\n"
                "  [--strategy=priority|lex|mea|fifo|random] [--seed=N]\n"
@@ -125,6 +128,8 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.engine = value;
     } else if (ParseFlag(arg, "workers", &value)) {
       flags.workers = std::stoul(value);
+    } else if (ParseFlag(arg, "lock-shards", &value)) {
+      flags.lock_shards = std::stoul(value);
     } else if (ParseFlag(arg, "protocol", &value)) {
       if (value == "2pl") {
         flags.protocol = LockProtocol::kTwoPhase;
@@ -374,6 +379,7 @@ int Run(const Flags& flags) {
     ParallelEngineOptions options;
     options.base = base;
     options.num_workers = flags.workers;
+    options.num_lock_shards = flags.lock_shards;
     options.protocol = flags.protocol;
     options.abort_policy = flags.abort_policy;
     options.deadlock_policy = flags.deadlock_policy;
