@@ -128,6 +128,60 @@ void BM_RelationEscalationCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_RelationEscalationCheck)->Arg(4)->Arg(64);
 
+// --- Uncontended fast-path sweep -------------------------------------------
+//
+// Single-threaded begin/acquire/release loops over DISTINCT tuples per
+// mode (Rc, Ra, Wa each on their own object — re-locking the same tuple
+// in a stronger mode is a self-upgrade, which deliberately falls back to
+// the slow path). With nobody else holding anything, every grant should
+// complete on the CAS fast path; the check.sh bench tier fails the run
+// if fast_path_grants stays zero here.
+
+void PrintUncontendedSweepReport(bench::JsonReport* report) {
+  constexpr uint64_t kTxns = 20000;
+  std::printf("uncontended sweep: %llu txns x {Rc,Ra,Wa} on distinct "
+              "tuples, 1 thread\n",
+              (unsigned long long)kTxns);
+  std::printf("  %-10s %10s %12s %12s %9s %9s\n", "protocol", "wall_ms",
+              "grants", "fast_grants", "fast%", "cas_retry");
+  for (LockProtocol protocol :
+       {LockProtocol::kTwoPhase, LockProtocol::kRcRaWa}) {
+    const char* name =
+        protocol == LockProtocol::kTwoPhase ? "2pl" : "rcrawa";
+    LockManager lm(Opts(protocol));
+    SymbolId relation = Sym("r");
+    Stopwatch stopwatch;
+    for (uint64_t i = 0; i < kTxns; ++i) {
+      TxnId txn = lm.Begin();
+      DBPS_CHECK_OK(lm.Acquire(txn, {relation, 1}, LockMode::kRc));
+      DBPS_CHECK_OK(lm.Acquire(txn, {relation, 2}, LockMode::kRa));
+      DBPS_CHECK_OK(lm.Acquire(txn, {relation, 3}, LockMode::kWa));
+      lm.Release(txn);
+    }
+    const double wall_ms = stopwatch.ElapsedSeconds() * 1e3;
+    LockManager::Stats stats = lm.GetStats();
+    const double hit_pct =
+        stats.acquired == 0
+            ? 0.0
+            : 100.0 * stats.fast_path_grants / stats.acquired;
+    std::printf("  %-10s %10.1f %12llu %12llu %8.1f%% %9llu\n", name,
+                wall_ms, (unsigned long long)stats.acquired,
+                (unsigned long long)stats.fast_path_grants, hit_pct,
+                (unsigned long long)stats.fast_path_cas_retries);
+    bench::JsonRow row;
+    row.workload = "uncontended_sweep";
+    row.threads = 1;
+    row.protocol = name;
+    row.wall_ms = wall_ms;
+    row.aborts = 0;
+    row.committed = kTxns;
+    row.fast_path_grants = stats.fast_path_grants;
+    row.fast_hit_pct = hit_pct;
+    report->Add(row);
+  }
+  std::printf("\n");
+}
+
 // --- Abort-storm report ----------------------------------------------------
 //
 // The `work` rule holds a relation-level Rc on `hot` (negated CE) while
@@ -206,7 +260,7 @@ EngineStats RunAbortStorm(int escalate_after, size_t workers,
   return result.ValueOrDie().stats;
 }
 
-void PrintAbortStormReport() {
+void PrintAbortStormReport(bench::JsonReport* report) {
   const size_t workers = bench::MaxBenchThreads(4);
   std::printf(
       "abort-storm: hot relation-level Rc vs continuous writers "
@@ -214,7 +268,6 @@ void PrintAbortStormReport() {
       workers);
   std::printf("  %-22s %8s %8s %8s %10s %10s %12s\n", "escalation", "firings",
               "aborts", "retries", "maxstreak", "escalated", "backoff_us");
-  bench::JsonReport report("lock_protocols");
   for (int escalate_after : {0, 2}) {
     double wall_ms = 0;
     EngineStats stats = RunAbortStorm(escalate_after, workers, &wall_ms);
@@ -240,9 +293,18 @@ void PrintAbortStormReport() {
     row.wall_ms = wall_ms;
     row.aborts = stats.aborts;
     row.committed = stats.firings;
-    report.Add(row);
+    uint64_t slow_grants = 0;
+    for (const LockShardCounters& shard : stats.lock_shards) {
+      row.fast_path_grants += shard.fast_path_grants;
+      slow_grants += shard.acquires;
+    }
+    const uint64_t total_grants = row.fast_path_grants + slow_grants;
+    row.fast_hit_pct = total_grants == 0
+                           ? 0.0
+                           : 100.0 * row.fast_path_grants / total_grants;
+    row.batched_commits = stats.batched_commits;
+    report->Add(row);
   }
-  report.WriteIfRequested();
   std::printf("\n");
 }
 
@@ -250,7 +312,10 @@ void PrintAbortStormReport() {
 }  // namespace dbps
 
 int main(int argc, char** argv) {
-  dbps::PrintAbortStormReport();
+  dbps::bench::JsonReport report("lock_protocols");
+  dbps::PrintUncontendedSweepReport(&report);
+  dbps::PrintAbortStormReport(&report);
+  report.WriteIfRequested();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

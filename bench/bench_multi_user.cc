@@ -47,8 +47,16 @@ struct Outcome {
   uint64_t rc_victims = 0;
   uint64_t firings = 0;
   uint64_t rule_aborts = 0;
+  uint64_t fast_path_grants = 0;  // lock grants on the CAS fast path
+  uint64_t slow_path_grants = 0;  // grants under the shard mutex
+  uint64_t batched_commits = 0;   // commits folded into multi-commit batches
   int peak_parallel = 0;
   bool valid = false;
+
+  double FastHitPct() const {
+    const uint64_t total = fast_path_grants + slow_path_grants;
+    return total == 0 ? 0.0 : 100.0 * fast_path_grants / total;
+  }
 };
 
 Outcome Run(size_t workers, LockProtocol protocol) {
@@ -112,6 +120,11 @@ Outcome Run(size_t workers, LockProtocol protocol) {
   out.rc_victims = stats.closed_sessions.rc_victim_aborts;
   out.firings = run.stats.firings;
   out.rule_aborts = run.stats.aborts;
+  for (const LockShardCounters& shard : run.stats.lock_shards) {
+    out.fast_path_grants += shard.fast_path_grants;
+    out.slow_path_grants += shard.acquires;
+  }
+  out.batched_commits = run.stats.batched_commits;
   out.peak_parallel = run.stats.peak_parallel_executions;
   out.valid = ValidateReplay(pristine.get(), rules, run.log).ok() &&
               wm.Count(Sym("inbox")) == 0 &&
@@ -130,9 +143,9 @@ int main() {
       "replay-validated per Definition 3.2)");
 
   std::printf(
-      "\n  %-8s %-7s %9s %10s %8s %8s %8s %6s %6s\n", "protocol",
-      "workers", "ms", "txn/s", "commits", "victims", "firings", "peak",
-      "valid");
+      "\n  %-8s %-7s %9s %10s %8s %8s %8s %8s %8s %6s %6s\n", "protocol",
+      "workers", "ms", "txn/s", "commits", "victims", "firings", "fast%",
+      "batched", "peak", "valid");
 
   const size_t max_workers = bench::MaxBenchThreads(8);
   bench::JsonReport report("multi_user");
@@ -145,11 +158,13 @@ int main() {
       if (workers > max_workers) continue;
       Outcome out = Run(workers, protocol);
       std::printf(
-          "  %-8s %-7zu %9.1f %10.0f %8llu %8llu %8llu %6d %6s\n", name,
-          workers, out.ms, out.client_commits / (out.ms / 1e3),
+          "  %-8s %-7zu %9.1f %10.0f %8llu %8llu %8llu %7.1f%% %8llu %6d "
+          "%6s\n",
+          name, workers, out.ms, out.client_commits / (out.ms / 1e3),
           (unsigned long long)out.client_commits,
           (unsigned long long)out.rc_victims,
-          (unsigned long long)out.firings, out.peak_parallel,
+          (unsigned long long)out.firings, out.FastHitPct(),
+          (unsigned long long)out.batched_commits, out.peak_parallel,
           out.valid ? "OK" : "FAIL");
       DBPS_CHECK(out.valid) << "replay validation failed for " << name
                             << " workers=" << workers;
@@ -164,6 +179,9 @@ int main() {
       row.wall_ms = out.ms;
       row.aborts = out.rule_aborts + out.rc_victims;
       row.committed = out.client_commits + out.firings;
+      row.fast_path_grants = out.fast_path_grants;
+      row.fast_hit_pct = out.FastHitPct();
+      row.batched_commits = out.batched_commits;
       report.Add(row);
     }
   }

@@ -39,7 +39,11 @@ inline size_t MaxBenchThreads(size_t default_max) {
 // (a no-op when the variable is unset, so ad-hoc runs stay side-effect
 // free). The schema is intentionally flat so CI can diff runs:
 //   {"bench": "...", "rows": [{"workload": ..., "threads": N,
-//     "protocol": ..., "wall_ms": X, "aborts": N, "committed": N}]}
+//     "protocol": ..., "wall_ms": X, "aborts": N, "committed": N,
+//     "fast_path_grants": N, "fast_hit_pct": X, "batched_commits": N}]}
+// The lock-manager fast-path / commit-batching fields are always
+// emitted (zero when a workload never exercises them) so CI can key on
+// their presence.
 struct JsonRow {
   std::string workload;
   size_t threads = 0;
@@ -47,6 +51,12 @@ struct JsonRow {
   double wall_ms = 0;
   uint64_t aborts = 0;
   uint64_t committed = 0;
+  /// Lock grants that completed on the CAS fast path, and the share of
+  /// all grants they represent (percent, 0 when nothing was acquired).
+  uint64_t fast_path_grants = 0;
+  double fast_hit_pct = 0;
+  /// Commits that rode a multi-commit sequencer batch.
+  uint64_t batched_commits = 0;
 };
 
 class JsonReport {
@@ -74,12 +84,17 @@ class JsonReport {
       const JsonRow& row = rows_[i];
       char wall[32];
       std::snprintf(wall, sizeof(wall), "%.3f", row.wall_ms);
+      char hit[32];
+      std::snprintf(hit, sizeof(hit), "%.1f", row.fast_hit_pct);
       out << "    {\"workload\": \"" << row.workload << "\", "
           << "\"threads\": " << row.threads << ", "
           << "\"protocol\": \"" << row.protocol << "\", "
           << "\"wall_ms\": " << wall << ", "
           << "\"aborts\": " << row.aborts << ", "
-          << "\"committed\": " << row.committed << "}"
+          << "\"committed\": " << row.committed << ", "
+          << "\"fast_path_grants\": " << row.fast_path_grants << ", "
+          << "\"fast_hit_pct\": " << hit << ", "
+          << "\"batched_commits\": " << row.batched_commits << "}"
           << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

@@ -152,4 +152,34 @@ bool Interferes(const InstAccess& a, const InstAccess& b) {
          any_overlap(b.writes, a.reads);
 }
 
+std::vector<WmeId> DeltaWriteSet(const Delta& delta) {
+  std::vector<WmeId> writes;
+  for (const WmOp& op : delta.ops()) {
+    if (const auto* modify = std::get_if<ModifyOp>(&op)) {
+      writes.push_back(modify->id);
+    } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
+      writes.push_back(del->id);
+    }
+  }
+  std::sort(writes.begin(), writes.end());
+  writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+  return writes;
+}
+
+bool WriteSetsOverlap(const std::vector<WmeId>& a,
+                      const std::vector<WmeId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace dbps

@@ -21,6 +21,7 @@
 #include "lock/lock_types.h"
 #include "match/instantiation.h"
 #include "rules/rule.h"
+#include "wm/delta.h"
 
 namespace dbps {
 
@@ -74,6 +75,18 @@ bool ObjectsOverlap(const LockObjectId& a, const LockObjectId& b);
 
 /// Dynamic interference between two firings (write-read / write-write).
 bool Interferes(const InstAccess& a, const InstAccess& b);
+
+/// The sorted, deduplicated set of *existing* WMEs a committed delta
+/// writes: modify and delete targets. Creates are deliberately excluded —
+/// they allocate fresh monotonic ids inside WorkingMemory::Apply, so two
+/// deltas' creates can never collide, and no delta built before an apply
+/// can name an id that apply will allocate. Used by the commit
+/// sequencer's batch-eligibility check.
+std::vector<WmeId> DeltaWriteSet(const Delta& delta);
+
+/// Do two sorted write sets (from DeltaWriteSet) intersect?
+bool WriteSetsOverlap(const std::vector<WmeId>& a,
+                      const std::vector<WmeId>& b);
 
 }  // namespace dbps
 

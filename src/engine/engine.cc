@@ -44,16 +44,35 @@ std::string EngineStats::ToString() const {
                         (unsigned long long)commit_tickets,
                         (unsigned long long)sequencer_stall_micros);
   }
+  if (commit_batches != 0) {
+    out += StringPrintf(" batches=%llu batched_commits=%llu batch_hist=[",
+                        (unsigned long long)commit_batches,
+                        (unsigned long long)batched_commits);
+    bool first = true;
+    for (size_t size = 0; size < batch_size_histogram.size(); ++size) {
+      if (batch_size_histogram[size] == 0) continue;
+      out += StringPrintf("%s%zu%s:%llu", first ? "" : " ", size,
+                          size + 1 == batch_size_histogram.size() ? "+" : "",
+                          (unsigned long long)batch_size_histogram[size]);
+      first = false;
+    }
+    out += "]";
+  }
   if (!lock_shards.empty()) {
-    uint64_t waits = 0, contentions = 0;
+    uint64_t waits = 0, contentions = 0, fast = 0, retries = 0;
     for (const LockShardCounters& shard : lock_shards) {
       waits += shard.waits;
       contentions += shard.mutex_contentions;
+      fast += shard.fast_path_grants;
+      retries += shard.fast_path_cas_retries;
     }
     out += StringPrintf(" lock_shards=%zu shard_waits=%llu "
-                        "shard_mutex_contentions=%llu",
+                        "shard_mutex_contentions=%llu fast_path_grants=%llu "
+                        "fast_path_cas_retries=%llu",
                         lock_shards.size(), (unsigned long long)waits,
-                        (unsigned long long)contentions);
+                        (unsigned long long)contentions,
+                        (unsigned long long)fast,
+                        (unsigned long long)retries);
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #ifndef DBPS_ENGINE_ENGINE_H_
 #define DBPS_ENGINE_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -81,10 +82,14 @@ InstKey MakeClientKey(const std::string& session_name);
 /// \brief Per-shard contention counters of the striped lock table,
 /// mirrored from the lock manager at the end of a parallel run.
 struct LockShardCounters {
-  uint64_t acquires = 0;           ///< grants routed to this shard
+  uint64_t acquires = 0;           ///< slow-path grants routed to this shard
   uint64_t waits = 0;              ///< acquisitions that blocked here
   uint64_t mutex_contentions = 0;  ///< shard-mutex acquisitions that spun
   uint64_t hold_ns = 0;            ///< cumulative shard-mutex hold time
+  /// Grants that completed on the lock-free CAS fast path (no shard
+  /// mutex touched) and the CAS retries they burned doing it.
+  uint64_t fast_path_grants = 0;
+  uint64_t fast_path_cas_retries = 0;
 };
 
 /// \brief Aggregate counters of one run.
@@ -125,6 +130,16 @@ struct EngineStats {
   /// Total time committers spent waiting for their ticket's turn,
   /// microseconds — the pipeline's ordering cost.
   uint64_t sequencer_stall_micros = 0;
+  /// Batches executed by the head-of-ticket-order committer (every head
+  /// execution counts, including batches of one).
+  uint64_t commit_batches = 0;
+  /// Commits that rode a multi-commit batch (applied + propagated with at
+  /// least one sibling in a single ordered pass).
+  uint64_t batched_commits = 0;
+  /// Histogram of live commits per executed batch: index i counts batches
+  /// that committed i members (index 0: batches whose members all turned
+  /// out cancelled/aborted); the last bucket absorbs larger batches.
+  std::array<uint64_t, 9> batch_size_histogram{};
   /// Per-shard lock-table contention counters (empty for serial engines).
   std::vector<LockShardCounters> lock_shards;
   bool halted = false;       ///< a (halt) action committed

@@ -5,6 +5,7 @@
 
 #include <exception>
 
+#include "analysis/access_sets.h"
 #include "analysis/lock_sets.h"
 #include "engine/busy_work.h"
 #include "rules/rhs_evaluator.h"
@@ -24,22 +25,166 @@ const char* AbortPolicyToString(AbortPolicy policy) {
   return "?";
 }
 
-uint64_t ParallelEngine::CommitSequencer::WaitForTurn(uint64_t ticket) {
-  if (turn_.load(std::memory_order_acquire) == ticket) return 0;
-  Stopwatch stall;
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return turn_.load(std::memory_order_relaxed) == ticket;
-  });
-  return static_cast<uint64_t>(stall.ElapsedNanos());
+bool ParallelEngine::CommitSequencer::CanFold(
+    const std::vector<PendingCommit*>& batch, const PendingCommit& next) {
+  if (next.cancelled) return true;  // a no-op folds with anything
+  for (const PendingCommit* member : batch) {
+    if (member->cancelled) continue;
+    if (WriteSetsOverlap(member->write_set, next.write_set)) return false;
+    // No victimization across the batch: a member that would abort (or
+    // be aborted by) another member must execute in its own turn, after
+    // the earlier member's settlement actually ran.
+    if (std::find(member->victims.begin(), member->victims.end(),
+                  next.txn) != member->victims.end()) {
+      return false;
+    }
+    if (std::find(next.victims.begin(), next.victims.end(), member->txn) !=
+        next.victims.end()) {
+      return false;
+    }
+  }
+  return true;
 }
 
-void ParallelEngine::CommitSequencer::Complete(uint64_t ticket) {
+std::vector<ParallelEngine::PendingCommit*>
+ParallelEngine::CommitSequencer::AwaitTurn(uint64_t ticket,
+                                           PendingCommit* pending,
+                                           size_t max_batch,
+                                           uint64_t* stall_ns) {
+  Stopwatch stall;
+  std::unique_lock<std::mutex> lock(mu_);
+  submitted_.emplace(ticket, pending);
+  cv_.wait(lock, [&] { return pending->executed || turn_ == ticket; });
+  *stall_ns = static_cast<uint64_t>(stall.ElapsedNanos());
+  if (pending->executed) return {};
+  // This committer is the head: gather the batch. Only tickets already
+  // submitted at this instant ride along — later arrivals form the next
+  // batch (the turn cannot advance past them unexecuted).
+  std::vector<PendingCommit*> batch;
+  batch.push_back(pending);
+  submitted_.erase(ticket);
+  for (uint64_t next = ticket + 1; batch.size() < max_batch; ++next) {
+    auto it = submitted_.find(next);
+    if (it == submitted_.end() || !CanFold(batch, *it->second)) break;
+    batch.push_back(it->second);
+    submitted_.erase(it);
+  }
+  return batch;
+}
+
+void ParallelEngine::CommitSequencer::FinishBatch(
+    uint64_t ticket, const std::vector<PendingCommit*>& batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    turn_.store(ticket + 1, std::memory_order_release);
+    turn_ = ticket + batch.size();
+    // Publishing under mu_ is the happens-before edge for the result
+    // fields the head wrote while executing.
+    for (PendingCommit* member : batch) member->executed = true;
   }
   cv_.notify_all();
+}
+
+void ParallelEngine::SequencedCommit::Commit(PendingCommit* pending) {
+  DBPS_DCHECK(!submitted_);
+  submitted_ = true;
+  uint64_t stall_ns = 0;
+  std::vector<PendingCommit*> batch = engine_->sequencer_.AwaitTurn(
+      ticket_, pending, std::max<size_t>(1, engine_->options_.commit_batch_limit),
+      &stall_ns);
+  engine_->sequencer_stall_ns_.fetch_add(stall_ns,
+                                         std::memory_order_relaxed);
+  if (batch.empty()) return;  // a prior head executed this commit
+  // The head must advance the turn no matter what execution does, or the
+  // pipeline stalls behind this ticket forever.
+  try {
+    engine_->ExecuteBatch(batch);
+  } catch (...) {
+    engine_->sequencer_.FinishBatch(ticket_, batch);
+    throw;
+  }
+  engine_->sequencer_.FinishBatch(ticket_, batch);
+}
+
+void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
+  // Apply deltas in ticket order, skipping cancelled members and members
+  // an earlier ticket (outside this batch — members never victimize each
+  // other, by CanFold) already aborted.
+  std::vector<WmChange> changes;
+  changes.reserve(batch.size());
+  std::vector<PendingCommit*> live;
+  live.reserve(batch.size());
+  for (PendingCommit* member : batch) {
+    if (member->cancelled) continue;
+    if (lock_manager_->IsAborted(member->txn)) continue;
+    // Chaos site: one member "crashes" inside the batch before its delta
+    // applies — it must abort and retry while its batch-mates commit, and
+    // nothing of it may reach the log.
+    if (DBPS_FAILPOINT("engine.commit.crash_in_batch")) continue;
+    auto change_or = wm_->Apply(*member->delta);
+    if (!change_or.ok()) {
+      if (member->is_client) {
+        // Reachable in normal operation: the client may have buffered a
+        // write against a tuple a rule deleted before the client locked
+        // it. Nothing applied; the submitter aborts the transaction.
+        member->apply_status = change_or.status();
+        continue;
+      }
+      // Cannot happen for a rule firing while the locking protocol is
+      // sound; surface it loudly in debug builds, degrade to an abort.
+      DBPS_LOG(Error) << "commit failed applying delta: "
+                      << change_or.status().ToString();
+      DBPS_DCHECK(false);
+      continue;
+    }
+    if (!member->is_client) matcher_->conflict_set().MarkFired(*member->key);
+    changes.push_back(std::move(change_or).ValueOrDie());
+    live.push_back(member);
+  }
+
+  // One matcher propagation pass for the whole batch — the amortization
+  // this sequencer exists for. Sound because CanFold admitted only
+  // pairwise-disjoint write sets (no change removes a version a sibling
+  // adds).
+  if (!changes.empty()) matcher_->ApplyChanges(changes);
+
+  // Settle each member's Rc–Wa victims in ticket order. Under
+  // kRevalidate the sparing snapshot is pinned after the WHOLE batch
+  // applied rather than after each member: revalidation can only see
+  // *more* invalidation, so every spared firing would also have been
+  // spared per-commit, and every extra abort is admissible under the
+  // paper's rule (ii).
+  for (PendingCommit* member : live) {
+    SettleVictims(member->txn, member->victims);
+  }
+
+  // Emit the log in ticket order — exactly the records and sequence
+  // numbers a batch-of-one pipeline would have produced.
+  for (PendingCommit* member : live) {
+    member->seq = commit_seq_;
+    // An empty client write set commits (its repeatable reads were
+    // valid) but leaves no trace in the log or journal.
+    if (!member->is_client || !member->delta->empty()) {
+      if (options_.base.record_log) {
+        log_.push_back(FiringRecord{commit_seq_, *member->key,
+                                    *member->delta});
+      }
+      ++commit_seq_;
+      if (options_.base.observer) {
+        options_.base.observer(EngineEvent{EngineEvent::Kind::kCommit,
+                                           member->key, member->delta});
+      }
+    }
+    member->committed = true;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.commit_batches;
+    if (live.size() > 1) stats_.batched_commits += live.size();
+    const size_t bucket =
+        std::min(live.size(), stats_.batch_size_histogram.size() - 1);
+    ++stats_.batch_size_histogram[bucket];
+  }
 }
 
 ParallelEngine::ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
@@ -97,7 +242,8 @@ StatusOr<RunResult> ParallelEngine::Run() {
   stats_.lock_shards.reserve(lock_stats_.shards.size());
   for (const LockManager::ShardStats& shard : lock_stats_.shards) {
     stats_.lock_shards.push_back(LockShardCounters{
-        shard.acquires, shard.waits, shard.mutex_contentions, shard.hold_ns});
+        shard.acquires, shard.waits, shard.mutex_contentions, shard.hold_ns,
+        shard.fast_path_grants, shard.fast_path_cas_retries});
   }
   return RunResult{stats_, log_};
 }
@@ -338,60 +484,43 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
       guard.Dismiss();
       return FinishAborted(txn, key, /*deadlock=*/false);
     }
+    PendingCommit pending;
+    pending.txn = txn;
+    pending.key = &key;
+    pending.delta = &delta;
     {
-      // Take a ticket, then overlap the per-shard Rc–Wa victim sweep with
-      // earlier commits still applying. The sweep is stable outside any
-      // global section: this transaction holds its Wa locks, so no new
-      // conflicting Rc can be granted until Release.
-      TicketGuard ticket(this);
-      const std::vector<TxnId> victims =
-          lock_manager_->CollectRcVictims(txn);
-      ticket.WaitForTurn();
-
-      // --- Ordered stage: one committer at a time, in ticket order. ---
-      // Re-check aborted: an earlier ticket may have settled against us
-      // while we waited for our turn.
-      if (lock_manager_->IsAborted(txn)) {
-        guard.Dismiss();
-        return FinishAborted(txn, key, /*deadlock=*/false);
+      // Take a ticket, then overlap the per-shard Rc–Wa victim sweep and
+      // the write-set extraction with earlier commits still applying. The
+      // sweep is stable outside any global section: this transaction
+      // holds its Wa locks, so no new conflicting Rc can be granted until
+      // Release.
+      SequencedCommit commit(this);
+      pending.victims = lock_manager_->CollectRcVictims(txn);
+      pending.write_set = DeltaWriteSet(delta);
+      // Chaos/test site: widen the batching window (sleep-safe, no locks
+      // held) so successors pile up behind the current head.
+      (void)DBPS_FAILPOINT("engine.commit.batch_window");
+      commit.Commit(&pending);
+    }
+    // The head executed this commit (possibly as part of a batch). It
+    // re-checked aborted in ticket order: an earlier ticket may have
+    // settled against us while we waited.
+    if (!pending.committed) {
+      guard.Dismiss();
+      return FinishAborted(txn, key, /*deadlock=*/false);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.firings;
+      if (delta.halt()) {
+        halted_ = true;
+        stats_.halted = true;
       }
-      auto change_or = wm_->Apply(delta);
-      if (!change_or.ok()) {
-        // Cannot happen while the locking protocol is sound; surface it
-        // loudly in debug builds, degrade to an abort otherwise.
-        DBPS_LOG(Error) << "commit failed applying delta: "
-                        << change_or.status().ToString();
-        DBPS_DCHECK(false);
-        guard.Dismiss();
-        return FinishAborted(txn, key, /*deadlock=*/false);
-      }
-      matcher_->conflict_set().MarkFired(key);
-      matcher_->ApplyChange(change_or.ValueOrDie());
-
-      // Settle Rc–Wa conflicts (empty under 2PL).
-      SettleVictims(txn, victims);
-
-      if (options_.base.record_log) {
-        log_.push_back(FiringRecord{commit_seq_, key, delta});
-      }
-      ++commit_seq_;
-      if (options_.base.observer) {
-        options_.base.observer(
-            EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.firings;
-        if (delta.halt()) {
-          halted_ = true;
-          stats_.halted = true;
-        }
-        txn_keys_.erase(txn);
-        abort_streaks_.erase(key);
-        --in_flight_;
-        guard.Dismiss();
-      }
-    }  // ticket completes: the next committer may enter the ordered stage
+      txn_keys_.erase(txn);
+      abort_streaks_.erase(key);
+      --in_flight_;
+      guard.Dismiss();
+    }
     lock_manager_->Release(txn);
     cv_.notify_all();
   }
@@ -503,54 +632,36 @@ StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
     return Status::Aborted("injected commit failure");
   }
 
-  uint64_t seq = 0;
+  PendingCommit pending;
+  pending.txn = txn;
+  pending.key = &key;
+  pending.delta = &delta;
+  pending.is_client = true;
   {
-    TicketGuard ticket(this);
-    const std::vector<TxnId> victims = lock_manager_->CollectRcVictims(txn);
-    ticket.WaitForTurn();
-
-    // --- Ordered stage (see ProcessFiring). ---
-    if (lock_manager_->IsAborted(txn)) {
-      return Status::Aborted("aborted by a conflicting commit");
+    // A client writer's commit rides the same batching sequencer as a
+    // rule firing: its victims (Rc-holding rule firings and other client
+    // readers — §4.3) settle in its ticket's turn, and its record lands
+    // at its ticket position in the log.
+    SequencedCommit commit(this);
+    pending.victims = lock_manager_->CollectRcVictims(txn);
+    pending.write_set = DeltaWriteSet(delta);
+    (void)DBPS_FAILPOINT("engine.commit.batch_window");
+    commit.Commit(&pending);
+  }
+  if (!pending.committed) {
+    if (!pending.apply_status.ok()) return pending.apply_status;
+    return Status::Aborted("aborted by a conflicting commit");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.client_commits;
+    if (delta.halt()) {
+      halted_ = true;
+      stats_.halted = true;
     }
-    auto change_or = wm_->Apply(delta);
-    if (!change_or.ok()) {
-      // Unlike a rule commit this is reachable in normal operation: the
-      // client may have buffered a write against a tuple a rule deleted
-      // before the client locked it. No state has changed; the caller
-      // aborts the transaction.
-      return change_or.status();
-    }
-    matcher_->ApplyChange(change_or.ValueOrDie());
-
-    // A client writer's commit victimizes Rc-holding rule firings (and
-    // other client readers) exactly like a rule commit — §4.3.
-    SettleVictims(txn, victims);
-
-    // An empty write set still commits (its repeatable reads were valid)
-    // but leaves no trace in the log or journal.
-    seq = commit_seq_;
-    if (!delta.empty()) {
-      if (options_.base.record_log) {
-        log_.push_back(FiringRecord{seq, key, delta});
-      }
-      ++commit_seq_;
-      if (options_.base.observer) {
-        options_.base.observer(
-            EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.client_commits;
-      if (delta.halt()) {
-        halted_ = true;
-        stats_.halted = true;
-      }
-    }
-  }  // ticket completes
+  }
   lock_manager_->Release(txn);
-  return seq;
+  return pending.seq;
 }
 
 void ParallelEngine::AbortExternal(TxnId txn) {

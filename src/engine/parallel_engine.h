@@ -22,14 +22,21 @@
 // (a) takes a ticket (one atomic increment), (b) sweeps the striped lock
 // table for Rc–Wa victims while earlier tickets are still applying — the
 // sweep is stable outside any global section because the committer holds
-// its Wa locks, so no NEW conflicting Rc can be granted — then (c) waits
-// for its turn and applies its delta, propagates it to the matcher,
-// settles victims, and appends to the commit log. Only stage (c) is
-// serialized, in ticket order, so the committed sequence is still totally
-// ordered — it is the execution string the semantics validator replays —
-// while victim collection and lock release overlap between commits. No
-// engine-wide mutex is held anywhere on the commit path; mu_ only guards
-// worker scheduling state and is taken briefly for bookkeeping.
+// its Wa locks, so no NEW conflicting Rc can be granted — then (c)
+// submits its delta to the sequencer. The committer holding the turn is
+// the *head*: it folds its commit together with adjacent already-
+// submitted tickets whose write sets are disjoint (and that don't
+// victimize each other) and executes them as ONE ordered batch — the
+// deltas apply in ticket order, matcher propagation runs once for the
+// whole batch, and the log records each commit at its ticket position,
+// byte-identical to an unbatched run. Only the head stage is serialized,
+// so the committed sequence is still totally ordered — it is the
+// execution string the semantics validator replays — while victim
+// collection and lock release overlap between commits, and batching
+// amortizes the remaining per-commit apply/propagate cost. No engine-wide
+// mutex is held anywhere on the commit path; mu_ only guards worker
+// scheduling state and is taken briefly for bookkeeping. DESIGN.md §4.1
+// has the batching soundness argument.
 //
 // External transactions (src/server/): when an ExternalSource is attached,
 // the engine doubles as a database server — client sessions run
@@ -89,8 +96,14 @@ class ExternalSource {
 struct ParallelEngineOptions {
   EngineOptions base;
   size_t num_workers = 4;  ///< the paper's Np
-  /// Shards of the striped lock table (see LockManager::Options).
-  size_t num_lock_shards = 8;
+  /// Shards of the striped lock table (see LockManager::Options); sized
+  /// from the hardware by default (DefaultNumLockShards).
+  size_t num_lock_shards = DefaultNumLockShards();
+  /// Most commits the head-of-ticket-order committer may fold into one
+  /// ordered batch (apply + matcher propagation amortized across the
+  /// batch; the log keeps the per-ticket order either way). 1 disables
+  /// batching; clamped to at least 1.
+  size_t commit_batch_limit = 8;
   LockProtocol protocol = LockProtocol::kRcRaWa;
   AbortPolicy abort_policy = AbortPolicy::kAbort;
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
@@ -217,59 +230,118 @@ class ParallelEngine {
   void FinishStale(TxnId txn, const InstKey& key);
   void FinishRetired(TxnId txn, const InstKey& key);  // RHS error
 
-  /// Pipelined commit sequencer: commit order = ticket order. A committer
+  /// One commit submitted to the sequencer: everything the head of the
+  /// ticket order needs to apply it on the submitter's behalf, plus the
+  /// result fields the head reports back. The submitter stack-allocates
+  /// it and blocks inside AwaitTurn until `executed`, so the pointed-to
+  /// key/delta stay alive for the executing head.
+  struct PendingCommit {
+    TxnId txn = 0;
+    const InstKey* key = nullptr;
+    const Delta* delta = nullptr;
+    /// Rc–Wa victims collected pre-turn (while the Wa locks pin them).
+    std::vector<TxnId> victims;
+    /// Sorted modify/delete WME targets (DeltaWriteSet) — the batch
+    /// disjointness check.
+    std::vector<WmeId> write_set;
+    bool is_client = false;
+    /// The ticket was abandoned (exception before submission): fold
+    /// through the pipeline as a no-op.
+    bool cancelled = false;
+    // --- Filled by the executing head, read after `executed`. ----------
+    /// Set under the sequencer mutex by FinishBatch; the happens-before
+    /// edge that publishes the result fields below to the submitter.
+    bool executed = false;
+    /// The commit happened (delta applied + logged). False: the txn was
+    /// aborted/skipped — or, for clients, the apply failed (see
+    /// apply_status).
+    bool committed = false;
+    Status apply_status = Status::OK();  ///< client-only apply failure
+    uint64_t seq = 0;                    ///< assigned commit sequence
+  };
+
+  /// Batching commit sequencer: commit order = ticket order. A committer
   /// takes a ticket with NextTicket() (one relaxed atomic increment),
   /// overlaps its victim sweep with earlier commits still applying, then
-  /// WaitForTurn() admits exactly one committer at a time, in ticket
-  /// order. Every ticket taken MUST reach Complete() — use TicketGuard.
+  /// submits its PendingCommit to AwaitTurn(). The committer whose ticket
+  /// holds the turn becomes the *head*: it gathers its own commit plus up
+  /// to `max_batch - 1` already-submitted, contiguous successors whose
+  /// write sets are disjoint and that do not victimize each other
+  /// (CanFold), executes the whole batch in ticket order, and advances
+  /// the turn past it with FinishBatch(). Followers return from
+  /// AwaitTurn with their result filled in. Every ticket taken MUST be
+  /// submitted exactly once — use SequencedCommit.
   class CommitSequencer {
    public:
     uint64_t NextTicket() {
       return next_.fetch_add(1, std::memory_order_relaxed);
     }
-    /// Blocks until it is `ticket`'s turn; returns the stall nanoseconds.
-    uint64_t WaitForTurn(uint64_t ticket);
-    /// Advances the turn past `ticket`. The caller must hold the turn.
-    void Complete(uint64_t ticket);
+    /// Submits `pending` for `ticket` and blocks. Returns empty when a
+    /// prior head executed `pending` (its result fields are valid), or
+    /// the batch (front() == pending, ticket order) when this committer
+    /// is the head — the caller must execute it and call FinishBatch.
+    std::vector<PendingCommit*> AwaitTurn(uint64_t ticket,
+                                          PendingCommit* pending,
+                                          size_t max_batch,
+                                          uint64_t* stall_ns);
+    /// Marks every batch member executed and advances the turn past the
+    /// batch. The caller must be the head that gathered `batch` at
+    /// `ticket`.
+    void FinishBatch(uint64_t ticket,
+                     const std::vector<PendingCommit*>& batch);
     uint64_t tickets_issued() const {
       return next_.load(std::memory_order_relaxed);
     }
 
    private:
+    /// May `next` join a batch currently holding `batch`? Yes iff its
+    /// write set is disjoint from every member's and no victimization
+    /// crosses the batch (members must not abort each other mid-batch).
+    static bool CanFold(const std::vector<PendingCommit*>& batch,
+                        const PendingCommit& next);
+
     std::atomic<uint64_t> next_{0};
-    std::atomic<uint64_t> turn_{0};  ///< written under mu_
+    uint64_t turn_ = 0;  ///< under mu_
+    /// Submitted-but-not-executed commits, by ticket; under mu_.
+    std::unordered_map<uint64_t, PendingCommit*> submitted_;
     std::mutex mu_;
     std::condition_variable cv_;
   };
 
-  /// RAII for one commit ticket: guarantees the turn is taken and then
-  /// completed exactly once on every path out of the ordered stage —
-  /// abort, apply failure, exception, success — so one failed committer
-  /// can never stall the pipeline behind it.
-  class TicketGuard {
+  /// RAII for one commit ticket: guarantees the ticket is submitted (and,
+  /// if this committer becomes the head, its batch executed and finished)
+  /// exactly once on every path — abort, exception, success — so one
+  /// failed committer can never stall the pipeline behind it. If Commit()
+  /// is never reached, the destructor folds a cancelled no-op through.
+  class SequencedCommit {
    public:
-    explicit TicketGuard(ParallelEngine* engine)
+    explicit SequencedCommit(ParallelEngine* engine)
         : engine_(engine), ticket_(engine->sequencer_.NextTicket()) {}
-    TicketGuard(const TicketGuard&) = delete;
-    TicketGuard& operator=(const TicketGuard&) = delete;
-    ~TicketGuard() {
-      WaitForTurn();
-      engine_->sequencer_.Complete(ticket_);
+    SequencedCommit(const SequencedCommit&) = delete;
+    SequencedCommit& operator=(const SequencedCommit&) = delete;
+    ~SequencedCommit() {
+      if (submitted_) return;
+      PendingCommit cancelled;
+      cancelled.cancelled = true;
+      Commit(&cancelled);
     }
-    /// Idempotent; the first call charges the stall to engine stats.
-    void WaitForTurn() {
-      if (waited_) return;
-      waited_ = true;
-      engine_->sequencer_stall_ns_.fetch_add(
-          engine_->sequencer_.WaitForTurn(ticket_),
-          std::memory_order_relaxed);
-    }
+    /// Runs the submit → (execute batch, if head) → finish protocol for
+    /// `pending`; on return pending->executed is true and its result
+    /// fields are valid. Call at most once.
+    void Commit(PendingCommit* pending);
 
    private:
     ParallelEngine* engine_;
     uint64_t ticket_;
-    bool waited_ = false;
+    bool submitted_ = false;
   };
+
+  /// Applies a gathered batch in ticket order: per-member abort checks,
+  /// WM applies, one matcher propagation pass (Matcher::ApplyChanges),
+  /// victim settlement, and log/observer emission — producing exactly the
+  /// log bytes a batch-of-one pipeline would. Only the head of the ticket
+  /// order runs this, one head at a time, so it owns commit_seq_/log_.
+  void ExecuteBatch(const std::vector<PendingCommit*>& batch);
 
   /// The §4.3 commit-time settlement, shared by rule and client commits:
   /// marks aborted every still-live transaction in `victims` (under

@@ -10,6 +10,7 @@
 #define DBPS_MATCH_MATCHER_H_
 
 #include <memory>
+#include <vector>
 
 #include "match/conflict_set.h"
 #include "rules/rule.h"
@@ -29,6 +30,17 @@ class Matcher {
   /// Processes one committed change: `change.removed` WME versions leave,
   /// `change.added` versions enter. Updates the conflict set.
   virtual void ApplyChange(const WmChange& change) = 0;
+
+  /// Processes a batch of committed changes as one propagation pass.
+  /// Equivalent to calling ApplyChange element-by-element in order
+  /// *provided the changes are pairwise disjoint* — no change removes a
+  /// WME version another change in the batch adds (the commit sequencer's
+  /// batch-eligibility check guarantees exactly this). Implementations
+  /// may reorder work across the batch (e.g. all removals before all
+  /// additions, or a single recompute) to amortize propagation.
+  virtual void ApplyChanges(const std::vector<WmChange>& changes) {
+    for (const WmChange& change : changes) ApplyChange(change);
+  }
 
   ConflictSet& conflict_set() { return conflict_set_; }
   const ConflictSet& conflict_set() const { return conflict_set_; }

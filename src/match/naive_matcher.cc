@@ -17,6 +17,12 @@ void NaiveMatcher::ApplyChange(const WmChange& change) {
   Recompute();
 }
 
+void NaiveMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
+  // The clearest amortization win: one full rematch for the whole batch
+  // instead of one per change.
+  if (!changes.empty()) Recompute();
+}
+
 void NaiveMatcher::Recompute() {
   // Pin the snapshot once: every Scan in this rematch reads the same CSN.
   const WmSnapshot snap = wm_->SnapshotAt();

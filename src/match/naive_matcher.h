@@ -22,6 +22,7 @@ class NaiveMatcher : public Matcher {
  public:
   Status Initialize(RuleSetPtr rules, const WorkingMemory& wm) override;
   void ApplyChange(const WmChange& change) override;
+  void ApplyChanges(const std::vector<WmChange>& changes) override;
 
  private:
   void Recompute();

@@ -661,6 +661,20 @@ void ReteMatcher::ApplyChange(const WmChange& change) {
   for (const WmePtr& wme : change.added) network_->AddWme(wme);
 }
 
+void ReteMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
+  // One pass: every removal leaves the network before any addition joins,
+  // so an added WME never pairs with a dying version from a sibling
+  // change. Sound because batch members are pairwise disjoint (no change
+  // removes a version another adds); within one change the removed/added
+  // pairing of a modify is preserved as in ApplyChange.
+  for (const WmChange& change : changes) {
+    for (const WmePtr& wme : change.removed) network_->RemoveWme(wme.get());
+  }
+  for (const WmChange& change : changes) {
+    for (const WmePtr& wme : change.added) network_->AddWme(wme);
+  }
+}
+
 ReteMatcher::Stats ReteMatcher::GetStats() const {
   return network_->GetStats();
 }

@@ -38,6 +38,7 @@ class ReteMatcher : public Matcher {
 
   Status Initialize(RuleSetPtr rules, const WorkingMemory& wm) override;
   void ApplyChange(const WmChange& change) override;
+  void ApplyChanges(const std::vector<WmChange>& changes) override;
 
   /// Network shape / size counters (for tests and benches).
   struct Stats {

@@ -34,6 +34,17 @@ void TreatMatcher::ApplyChange(const WmChange& change) {
   for (const WmePtr& wme : change.added) AddWme(wme);
 }
 
+void TreatMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
+  // All removals, then all additions — see ReteMatcher::ApplyChanges for
+  // why this is sound on pairwise-disjoint batches.
+  for (const WmChange& change : changes) {
+    for (const WmePtr& wme : change.removed) RemoveWme(wme);
+  }
+  for (const WmChange& change : changes) {
+    for (const WmePtr& wme : change.added) AddWme(wme);
+  }
+}
+
 size_t TreatMatcher::AlphaItemCount() const {
   size_t total = 0;
   for (const auto& state : states_) {

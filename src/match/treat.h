@@ -31,6 +31,7 @@ class TreatMatcher : public Matcher {
  public:
   Status Initialize(RuleSetPtr rules, const WorkingMemory& wm) override;
   void ApplyChange(const WmChange& change) override;
+  void ApplyChanges(const std::vector<WmChange>& changes) override;
 
   /// Total alpha-memory entries (for tests/benches: TREAT's only state).
   size_t AlphaItemCount() const;

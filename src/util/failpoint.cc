@@ -177,6 +177,8 @@ const std::vector<std::string>& DefaultChaosSites() {
       "engine.firing.stall",
       "engine.firing.victimize",
       "engine.firing.crash_before_apply",
+      "engine.commit.batch_window",
+      "engine.commit.crash_in_batch",
       "server.session.drop",
       "server.commit.fail",
       "server.admission.reject",
@@ -195,6 +197,10 @@ void ApplyChaosProfile(double fail_rate, uint64_t seed) {
     // a chaotic run still makes progress.
     if (site == "lock.acquire.delay" || site == "engine.firing.stall") {
       spec.delay = std::chrono::microseconds(300);
+    } else if (site == "engine.commit.batch_window") {
+      // Sleep-safe pre-sequencer stall: widens the commit window so
+      // chaotic runs actually form multi-commit batches.
+      spec.delay = std::chrono::microseconds(500);
     } else if (site == "engine.firing.rhs_error" ||
                site == "engine.firing.throw" ||
                site == "server.admission.reject") {
@@ -202,6 +208,7 @@ void ApplyChaosProfile(double fail_rate, uint64_t seed) {
     } else if (site == "lock.acquire.timeout" ||
                site == "lock.acquire.wound" ||
                site == "engine.firing.crash_before_apply" ||
+               site == "engine.commit.crash_in_batch" ||
                site == "server.session.drop" ||
                site == "server.commit.fail") {
       spec.probability = fail_rate / 2.0;

@@ -82,6 +82,43 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// --- Batched commit apply under faults -------------------------------------
+//
+// The chaos profile stalls engine.commit.batch_window (so multi-commit
+// batches form) and crashes members at engine.commit.crash_in_batch
+// (mid-batch, after batch-mates were gathered). Every trial must still
+// replay-validate: a crashed member's work never reaches the log while
+// its batch-mates commit — the partial-batch safety property.
+
+TEST(ChaosBatchingTest, CrashMidBatchTrialsStayConsistent) {
+  uint64_t total_committed = 0;
+  for (uint64_t seed = 101; seed <= 106; ++seed) {
+    ChaosOptions options;
+    options.workload = ChaosWorkload::kMultiUser;
+    options.protocol = LockProtocol::kRcRaWa;
+    options.abort_policy = AbortPolicy::kAbort;
+    options.seed = seed;
+    options.fail_rate = 0.08;
+    options.commit_batch_limit = 8;
+    ChaosReport report = ChaosRunner::RunTrial(options);
+    ASSERT_TRUE(report.verdict.ok())
+        << "seed " << seed << ": " << report.ToString();
+    total_committed += report.committed_client_txns;
+  }
+  EXPECT_GT(total_committed, 0u);
+}
+
+TEST(ChaosBatchingTest, BatchingDisabledControlTrialStaysConsistent) {
+  ChaosOptions options;
+  options.workload = ChaosWorkload::kMultiUser;
+  options.seed = 131;
+  options.fail_rate = 0.08;
+  options.commit_batch_limit = 1;  // folding off; same fault schedule
+  ChaosReport report = ChaosRunner::RunTrial(options);
+  ASSERT_TRUE(report.verdict.ok()) << report.ToString();
+  EXPECT_EQ(report.stats.batched_commits, 0u);
+}
+
 // --- Starvation stress -----------------------------------------------------
 //
 // The paper's known livelock (§4.3): under kRcRaWa + kAbort a firing

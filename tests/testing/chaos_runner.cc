@@ -47,6 +47,7 @@ ParallelEngineOptions EngineOptionsFor(const ChaosOptions& options) {
   eo.protocol = options.protocol;
   eo.abort_policy = options.abort_policy;
   eo.deadlock_policy = options.deadlock_policy;
+  eo.commit_batch_limit = options.commit_batch_limit;
   return eo;
 }
 

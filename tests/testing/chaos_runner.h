@@ -44,6 +44,11 @@ struct ChaosOptions {
   /// Base failpoint probability (see ApplyChaosProfile).
   double fail_rate = 0.05;
   size_t num_workers = 4;
+  /// Commit-sequencer fold limit (1 disables batching). The chaos
+  /// profile stalls the engine.commit.batch_window site and crashes
+  /// members at engine.commit.crash_in_batch, so trials with a limit
+  /// above 1 exercise partial-batch failure ordering.
+  size_t commit_batch_limit = 8;
   // Multi-user workload shape:
   size_t client_sessions = 3;
   uint64_t txns_per_session = 8;

@@ -7,7 +7,12 @@
 //
 //   --engine=single|parallel|static   interpreter (default: single)
 //   --workers=N                       parallel/static worker count (4)
-//   --lock-shards=N                   lock-table shard count (8, parallel)
+//   --lock-shards=N                   lock-table shard count (parallel;
+//                                     default: hardware concurrency
+//                                     rounded up to a power of two, min 8)
+//   --commit-batch=N                  max commits the sequencer head folds
+//                                     into one ordered batch (8; 1
+//                                     disables batching)
 //   --protocol=2pl|rcrawa             lock protocol (rcrawa)
 //   --abort-policy=abort|revalidate   Rc–Wa settlement policy (abort)
 //   --deadlock=detect|wound-wait|no-wait   deadlock handling (detect)
@@ -57,7 +62,8 @@ using namespace dbps;
 struct Flags {
   std::string engine = "single";
   size_t workers = 4;
-  size_t lock_shards = 8;
+  size_t lock_shards = DefaultNumLockShards();
+  size_t commit_batch = 8;
   LockProtocol protocol = LockProtocol::kRcRaWa;
   AbortPolicy abort_policy = AbortPolicy::kAbort;
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
@@ -85,7 +91,7 @@ struct Flags {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=single|parallel|static] [--workers=N]\n"
-               "  [--lock-shards=N]\n"
+               "  [--lock-shards=N] [--commit-batch=N]\n"
                "  [--protocol=2pl|rcrawa] [--abort-policy=abort|revalidate]\n"
                "  [--deadlock=detect|wound-wait|no-wait]\n"
                "  [--strategy=priority|lex|mea|fifo|random] [--seed=N]\n"
@@ -130,6 +136,11 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.workers = std::stoul(value);
     } else if (ParseFlag(arg, "lock-shards", &value)) {
       flags.lock_shards = std::stoul(value);
+    } else if (ParseFlag(arg, "commit-batch", &value)) {
+      flags.commit_batch = std::stoul(value);
+      if (flags.commit_batch == 0) {
+        return Status::InvalidArgument("--commit-batch must be >= 1");
+      }
     } else if (ParseFlag(arg, "protocol", &value)) {
       if (value == "2pl") {
         flags.protocol = LockProtocol::kTwoPhase;
@@ -380,6 +391,7 @@ int Run(const Flags& flags) {
     options.base = base;
     options.num_workers = flags.workers;
     options.num_lock_shards = flags.lock_shards;
+    options.commit_batch_limit = flags.commit_batch;
     options.protocol = flags.protocol;
     options.abort_policy = flags.abort_policy;
     options.deadlock_policy = flags.deadlock_policy;
