@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -52,6 +53,7 @@ struct Outcome {
   uint64_t batched_commits = 0;   // commits folded into multi-commit batches
   int peak_parallel = 0;
   bool valid = false;
+  bench::LatencyRecorder latency;  // per committed write txn, ms
 
   double FastHitPct() const {
     const uint64_t total = fast_path_grants + slow_path_grants;
@@ -77,12 +79,16 @@ Outcome Run(size_t workers, LockProtocol protocol) {
   std::thread serve([&] { result = engine.Run(); });
 
   std::atomic<uint64_t> writes_committed{0};
+  std::mutex latency_mu;
+  bench::LatencyRecorder latency;
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kSessions; ++c) {
     clients.emplace_back([&, c] {
       auto session = manager.Connect("bench-" + std::to_string(c))
                          .ValueOrDie();
+      bench::LatencyRecorder local;
       for (uint64_t i = 0; i < kOpsPerSession; ++i) {
+        Stopwatch txn_clock;
         for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
           if (!session->Begin().ok()) break;
           if (i % 5 == 0) {
@@ -100,11 +106,16 @@ Outcome Run(size_t workers, LockProtocol protocol) {
           if (!session->Write(delta).ok()) continue;
           if (session->Commit().ok()) {
             writes_committed.fetch_add(1);
+            // Latency of the whole transaction including retries — what
+            // a user of the closed-loop session experiences.
+            local.Add(txn_clock.ElapsedSeconds() * 1e3);
             break;
           }
         }
       }
       session->Close();
+      std::lock_guard<std::mutex> lock(latency_mu);
+      latency.Merge(local);
     });
   }
   for (auto& t : clients) t.join();
@@ -126,6 +137,7 @@ Outcome Run(size_t workers, LockProtocol protocol) {
   }
   out.batched_commits = run.stats.batched_commits;
   out.peak_parallel = run.stats.peak_parallel_executions;
+  out.latency = std::move(latency);
   out.valid = ValidateReplay(pristine.get(), rules, run.log).ok() &&
               wm.Count(Sym("inbox")) == 0 &&
               wm.Count(Sym("done")) == out.writes_committed;
@@ -143,9 +155,9 @@ int main() {
       "replay-validated per Definition 3.2)");
 
   std::printf(
-      "\n  %-8s %-7s %9s %10s %8s %8s %8s %8s %8s %6s %6s\n", "protocol",
-      "workers", "ms", "txn/s", "commits", "victims", "firings", "fast%",
-      "batched", "peak", "valid");
+      "\n  %-8s %-7s %9s %10s %8s %8s %8s %8s %8s %8s %8s %6s %6s\n",
+      "protocol", "workers", "ms", "txn/s", "commits", "victims", "firings",
+      "fast%", "batched", "p50ms", "p99ms", "peak", "valid");
 
   const size_t max_workers = bench::MaxBenchThreads(8);
   bench::JsonReport report("multi_user");
@@ -158,14 +170,15 @@ int main() {
       if (workers > max_workers) continue;
       Outcome out = Run(workers, protocol);
       std::printf(
-          "  %-8s %-7zu %9.1f %10.0f %8llu %8llu %8llu %7.1f%% %8llu %6d "
-          "%6s\n",
+          "  %-8s %-7zu %9.1f %10.0f %8llu %8llu %8llu %7.1f%% %8llu "
+          "%8.2f %8.2f %6d %6s\n",
           name, workers, out.ms, out.client_commits / (out.ms / 1e3),
           (unsigned long long)out.client_commits,
           (unsigned long long)out.rc_victims,
           (unsigned long long)out.firings, out.FastHitPct(),
-          (unsigned long long)out.batched_commits, out.peak_parallel,
-          out.valid ? "OK" : "FAIL");
+          (unsigned long long)out.batched_commits,
+          out.latency.Percentile(50), out.latency.Percentile(99),
+          out.peak_parallel, out.valid ? "OK" : "FAIL");
       DBPS_CHECK(out.valid) << "replay validation failed for " << name
                             << " workers=" << workers;
       DBPS_CHECK_EQ(out.writes_committed, kSessions * kOpsPerSession);
@@ -182,6 +195,7 @@ int main() {
       row.fast_path_grants = out.fast_path_grants;
       row.fast_hit_pct = out.FastHitPct();
       row.batched_commits = out.batched_commits;
+      row.SetLatencies(out.latency);
       report.Add(row);
     }
   }

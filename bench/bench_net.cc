@@ -1,0 +1,483 @@
+// Network front-end throughput and latency — pipelined binary-protocol
+// clients over loopback against the epoll server, with a durable journal
+// on a simulated device so group commit's fsync amortization is the
+// measured effect.
+//
+// Phase 1 (closed loop): C connections each run T transactions; every
+// transaction is a 3-frame pipelined burst (Begin + Write + Commit) so a
+// connection has a full transaction in flight at all times. Client
+// threads multiplex their connections over poll() — one thread drives
+// dozens of sockets, the shape the front-end is built for. The phase
+// runs three ways over identical workloads:
+//
+//   in_process  — sessions directly on the SessionManager, per-commit
+//                 fsync (the pre-network baseline),
+//   ungrouped   — over the wire, per-commit fsync,
+//   group       — over the wire, one fsync per engine commit batch.
+//
+// Asserted invariants (the PR's acceptance bar):
+//   * group-commit network throughput >= the in-process per-commit-fsync
+//     baseline (the wire costs less than the fsyncs it amortizes away),
+//   * fsyncs/commit < 0.25 with group commit on,
+//   * grouped and ungrouped runs journal the same line multiset —
+//     grouping changes fsync cadence, never bytes,
+//   * every journal replays to the final database state.
+//
+// Phase 2 (open loop): transactions are launched on idle connections at
+// a fixed target rate regardless of completions; latency is measured
+// from the *scheduled* launch time (coordinated-omission safe) to the
+// CommitOk. p50/p95/p99 land in BENCH_net.json.
+//
+// --smoke scales everything down for the check.sh net tier and gates
+// open-loop p99 < 50ms at the smoke target rate.
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbps.h"
+#include "report.h"
+
+namespace {
+
+using namespace dbps;
+using net::DbpsClient;
+using net::Frame;
+using net::FrameType;
+
+constexpr const char* kProgram = R"(
+(relation order (id int))
+)";
+
+constexpr auto kFsyncCost = std::chrono::microseconds(300);
+
+struct Config {
+  size_t connections = 256;
+  size_t client_threads = 4;
+  size_t txns_per_conn = 8;
+  size_t server_loops = 8;
+  // Dispatchers bound the commits that can wait in the sequencer at
+  // once, which bounds the group size an fsync can cover — give the
+  // bench enough to let batches reach the engine's commit_batch_limit.
+  size_t server_dispatchers = 16;
+  double open_loop_rate = 2000;  // txn/s
+  size_t open_loop_txns = 2000;
+  bool smoke = false;
+};
+
+std::string OrderLine(uint64_t id) {
+  return "(delta (make order " + std::to_string(id) + "))";
+}
+
+/// Engine + manager (+ optional NetServer) with a durable journal feed.
+class Server {
+ public:
+  Server(const Config& config, bool group_commit, bool with_net) {
+    rules_ = LoadProgram(kProgram, &wm_).ValueOrDie();
+    pristine_ = wm_.Clone();
+    DurabilityOptions durability;
+    durability.group_commit = group_commit;
+    durability.simulated_fsync_cost = kFsyncCost;
+    DBPS_CHECK_OK(feed_.EnableDurability(durability));
+    ServerOptions server_options;
+    server_options.max_sessions = 2 * config.connections + 16;
+    server_options.durable_feed = &feed_;
+    manager_ =
+        std::make_unique<SessionManager>(&wm_, std::move(server_options));
+    ParallelEngineOptions engine_options;
+    engine_options.num_workers = 2;
+    engine_options.external_source = manager_.get();
+    engine_options.base.observer = feed_.MakeObserver();
+    engine_ = std::make_unique<ParallelEngine>(&wm_, rules_, engine_options);
+    manager_->BindEngine(engine_.get());
+    thread_ = std::thread([this] { result_ = engine_->Run(); });
+    if (with_net) {
+      net::NetServerOptions net_options;
+      net_options.num_loops = config.server_loops;
+      net_options.num_dispatchers = config.server_dispatchers;
+      net_ = std::make_unique<net::NetServer>(manager_.get(), net_options);
+      DBPS_CHECK_OK(net_->Start());
+    }
+  }
+
+  ~Server() { Finish(); }
+
+  /// Tears down (net, manager, engine — in that order) and returns the
+  /// engine's run result. Idempotent.
+  const RunResult& Finish() {
+    if (net_ != nullptr) net_->Stop();
+    manager_->Close();
+    if (thread_.joinable()) thread_.join();
+    DBPS_CHECK(result_.ok()) << result_.status().ToString();
+    return result_.ValueOrDie();
+  }
+
+  uint16_t port() const { return net_->port(); }
+  SessionManager& manager() { return *manager_; }
+  JournalFeed& feed() { return feed_; }
+
+  /// Replays the feed's journal against a pristine clone and checks the
+  /// expected row count — every bench mode must pass this.
+  void ValidateJournal(uint64_t expected_rows) {
+    auto replay = pristine_->Clone();
+    DBPS_CHECK_OK(ReplayJournal(feed_.TextFrom(0), replay.get()));
+    DBPS_CHECK_EQ(replay->Count(Sym("order")), expected_rows);
+  }
+
+ private:
+  WorkingMemory wm_;
+  RuleSetPtr rules_;
+  std::unique_ptr<WorkingMemory> pristine_;
+  JournalFeed feed_;
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<ParallelEngine> engine_;
+  std::unique_ptr<net::NetServer> net_;
+  std::thread thread_;
+  StatusOr<RunResult> result_{Status::Internal("engine not run")};
+};
+
+struct PhaseResult {
+  double wall_ms = 0;
+  uint64_t committed = 0;
+  uint64_t fsyncs = 0;
+  uint64_t batched_commits = 0;
+  bench::LatencyRecorder latency;
+  std::vector<std::string> journal_lines;
+
+  double TxnPerSec() const { return committed / (wall_ms / 1e3); }
+  double FsyncsPerCommit() const {
+    return committed == 0 ? 0.0 : static_cast<double>(fsyncs) / committed;
+  }
+};
+
+// --- phase 1: closed loop ------------------------------------------------
+
+/// One connection's in-flight transaction: the request id of the commit
+/// frame terminating the current 3-frame burst (0 = idle).
+struct ConnState {
+  std::unique_ptr<DbpsClient> client;
+  uint64_t commit_id = 0;
+  size_t done = 0;
+  Stopwatch clock;
+};
+
+void StartTxn(ConnState* conn, uint64_t txn_id) {
+  conn->clock.Restart();
+  std::string body;
+  net::PutString(&body, OrderLine(txn_id));
+  DBPS_CHECK_OK(conn->client->Send(FrameType::kBegin).status());
+  DBPS_CHECK_OK(conn->client->Send(FrameType::kWrite, body).status());
+  conn->commit_id =
+      conn->client->Send(FrameType::kCommit).ValueOrDie();
+}
+
+/// Drives `conns` connections to `txns` transactions each, multiplexed
+/// over poll(). Returns per-transaction latencies.
+bench::LatencyRecorder DriveClosedLoop(std::vector<ConnState>* conns,
+                                       size_t txns, uint64_t id_base) {
+  bench::LatencyRecorder latency;
+  size_t remaining = conns->size() * txns;
+  for (size_t c = 0; c < conns->size(); ++c) {
+    StartTxn(&(*conns)[c], id_base + c * txns);
+  }
+  std::vector<pollfd> fds(conns->size());
+  while (remaining > 0) {
+    for (size_t c = 0; c < conns->size(); ++c) {
+      ConnState& conn = (*conns)[c];
+      fds[c].fd = conn.done < txns ? conn.client->fd() : -1;
+      fds[c].events = POLLIN;
+      fds[c].revents = 0;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 1000);
+    DBPS_CHECK(ready >= 0 || errno == EINTR) << std::strerror(errno);
+    for (size_t c = 0; c < conns->size(); ++c) {
+      if ((fds[c].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      ConnState& conn = (*conns)[c];
+      Frame frame;
+      for (;;) {
+        auto got = conn.client->TryNext(&frame);
+        DBPS_CHECK_OK(got.status());
+        if (!got.ValueOrDie()) break;
+        if (frame.request_id != conn.commit_id) {
+          // Begin/Write ack mid-burst; must be a plain Ok.
+          DBPS_CHECK_OK(DbpsClient::ExpectOk(frame));
+          continue;
+        }
+        DBPS_CHECK_OK(DbpsClient::ExpectCommitOk(frame).status());
+        latency.Add(conn.clock.ElapsedSeconds() * 1e3);
+        ++conn.done;
+        --remaining;
+        if (conn.done < txns) {
+          StartTxn(&conn, id_base + c * txns + conn.done);
+        } else {
+          conn.commit_id = 0;
+        }
+      }
+    }
+  }
+  return latency;
+}
+
+PhaseResult RunNetworkClosedLoop(const Config& config, bool group_commit) {
+  Server server(config, group_commit, /*with_net=*/true);
+  const size_t per_thread = config.connections / config.client_threads;
+  std::mutex mu;
+  PhaseResult out;
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < config.client_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<ConnState> conns(per_thread);
+      for (size_t c = 0; c < per_thread; ++c) {
+        conns[c].client =
+            DbpsClient::Connect("127.0.0.1", server.port(),
+                                "bench-" + std::to_string(t) + "-" +
+                                    std::to_string(c))
+                .ValueOrDie();
+      }
+      bench::LatencyRecorder latency = DriveClosedLoop(
+          &conns, config.txns_per_conn,
+          /*id_base=*/(t + 1) * 1000000);
+      for (ConnState& conn : conns) (void)conn.client->Goodbye();
+      std::lock_guard<std::mutex> lock(mu);
+      out.latency.Merge(latency);
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.wall_ms = wall.ElapsedSeconds() * 1e3;
+  out.committed = config.connections * config.txns_per_conn;
+  out.batched_commits = server.Finish().stats.batched_commits;
+
+  DurabilityStats stats = server.feed().durability();
+  DBPS_CHECK_EQ(stats.records_synced, out.committed);
+  DBPS_CHECK_EQ(stats.sync_failures, 0u);
+  out.fsyncs = stats.fsyncs;
+  out.journal_lines = server.feed().LinesFrom(0);
+  server.ValidateJournal(out.committed);
+  return out;
+}
+
+PhaseResult RunInProcessBaseline(const Config& config) {
+  // Same transaction count, sessions driven directly — what the system
+  // could do before the network front-end existed: per-commit fsync,
+  // no wire. One driver thread per client thread the network phase uses.
+  Server server(config, /*group_commit=*/false, /*with_net=*/false);
+  const size_t sessions = config.client_threads * 2;
+  const size_t total = config.connections * config.txns_per_conn;
+  const size_t per_session = total / sessions;
+  std::mutex mu;
+  PhaseResult out;
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < sessions; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = server.manager()
+                         .Connect("base-" + std::to_string(t))
+                         .ValueOrDie();
+      bench::LatencyRecorder latency;
+      for (size_t i = 0; i < per_session; ++i) {
+        Stopwatch clock;
+        Delta delta;
+        delta.Create(Sym("order"),
+                     {Value::Int(static_cast<int64_t>(
+                         (t + 1) * 10000000 + i))});
+        DBPS_CHECK_OK(session->Begin());
+        DBPS_CHECK_OK(session->Write(delta));
+        DBPS_CHECK_OK(session->Commit().status());
+        latency.Add(clock.ElapsedSeconds() * 1e3);
+      }
+      session->Close();
+      std::lock_guard<std::mutex> lock(mu);
+      out.latency.Merge(latency);
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.wall_ms = wall.ElapsedSeconds() * 1e3;
+  out.committed = sessions * per_session;
+  DurabilityStats stats = server.feed().durability();
+  out.fsyncs = stats.fsyncs;
+  server.ValidateJournal(out.committed);
+  return out;
+}
+
+// --- phase 2: open loop --------------------------------------------------
+
+PhaseResult RunOpenLoop(const Config& config) {
+  Server server(config, /*group_commit=*/true, /*with_net=*/true);
+  const size_t conns_count =
+      std::min<size_t>(config.connections, 64);
+  std::vector<ConnState> conns(conns_count);
+  std::vector<double> launch_ms(conns_count, 0);
+  for (size_t c = 0; c < conns_count; ++c) {
+    conns[c].client = DbpsClient::Connect("127.0.0.1", server.port(),
+                                          "open-" + std::to_string(c))
+                          .ValueOrDie();
+  }
+  PhaseResult out;
+  const double interval_ms = 1e3 / config.open_loop_rate;
+  size_t launched = 0, completed = 0;
+  Stopwatch wall;
+  std::vector<pollfd> fds(conns_count);
+  while (completed < config.open_loop_txns) {
+    const double now_ms = wall.ElapsedSeconds() * 1e3;
+    // Launch every transaction whose scheduled time has arrived, each on
+    // an idle connection. Open loop: the schedule does not slow down when
+    // the server lags; a late launch is charged its queueing delay
+    // because latency counts from the *scheduled* time.
+    while (launched < config.open_loop_txns &&
+           launched * interval_ms <= now_ms) {
+      ConnState* idle = nullptr;
+      size_t idle_index = 0;
+      for (size_t c = 0; c < conns_count; ++c) {
+        if (conns[c].commit_id == 0) {
+          idle = &conns[c];
+          idle_index = c;
+          break;
+        }
+      }
+      if (idle == nullptr) break;  // all busy; completions will free one
+      StartTxn(idle, 900000000 + launched);
+      launch_ms[idle_index] = launched * interval_ms;
+      ++launched;
+    }
+    for (size_t c = 0; c < conns_count; ++c) {
+      fds[c].fd = conns[c].commit_id != 0 ? conns[c].client->fd() : -1;
+      fds[c].events = POLLIN;
+      fds[c].revents = 0;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 1);
+    DBPS_CHECK(ready >= 0 || errno == EINTR) << std::strerror(errno);
+    for (size_t c = 0; c < conns_count; ++c) {
+      if ((fds[c].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Frame frame;
+      for (;;) {
+        auto got = conns[c].client->TryNext(&frame);
+        DBPS_CHECK_OK(got.status());
+        if (!got.ValueOrDie()) break;
+        if (frame.request_id != conns[c].commit_id) {
+          DBPS_CHECK_OK(DbpsClient::ExpectOk(frame));
+          continue;
+        }
+        DBPS_CHECK_OK(DbpsClient::ExpectCommitOk(frame).status());
+        out.latency.Add(wall.ElapsedSeconds() * 1e3 - launch_ms[c]);
+        conns[c].commit_id = 0;
+        ++completed;
+      }
+    }
+  }
+  out.wall_ms = wall.ElapsedSeconds() * 1e3;
+  out.committed = completed;
+  for (ConnState& conn : conns) (void)conn.client->Goodbye();
+  DurabilityStats stats = server.feed().durability();
+  out.fsyncs = stats.fsyncs;
+  server.ValidateJournal(out.committed);
+  return out;
+}
+
+void PrintRow(const char* name, const PhaseResult& result) {
+  std::printf(
+      "  %-12s %9.1f %10.0f %8llu %8llu %8.3f %8.2f %8.2f %8.2f\n", name,
+      result.wall_ms, result.TxnPerSec(),
+      (unsigned long long)result.committed,
+      (unsigned long long)result.fsyncs, result.FsyncsPerCommit(),
+      result.latency.Percentile(50), result.latency.Percentile(95),
+      result.latency.Percentile(99));
+}
+
+bench::JsonRow MakeRow(const std::string& workload,
+                       const std::string& protocol, const Config& config,
+                       const PhaseResult& result) {
+  bench::JsonRow row;
+  row.workload = workload;
+  row.threads = config.connections;
+  row.protocol = protocol;
+  row.wall_ms = result.wall_ms;
+  row.committed = result.committed;
+  row.batched_commits = result.batched_commits;
+  row.SetLatencies(result.latency);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") config.smoke = true;
+  }
+  // DBPS_BENCH_THREADS <= 2 also selects the smoke shape, so the bench
+  // tier of check.sh scales down without a flag.
+  if (bench::MaxBenchThreads(8) <= 2) config.smoke = true;
+  if (config.smoke) {
+    config.connections = 64;
+    config.client_threads = 2;
+    config.txns_per_conn = 4;
+    config.server_loops = 2;
+    config.server_dispatchers = 12;
+    config.open_loop_rate = 1000;
+    config.open_loop_txns = 500;
+  }
+
+  bench::Header(
+      "Network front-end — " + std::to_string(config.connections) +
+      " pipelined loopback connections, durable journal @" +
+      std::to_string(kFsyncCost.count()) +
+      "us fsync\n(closed loop vs in-process baseline, then open loop at " +
+      std::to_string((int)config.open_loop_rate) + " txn/s)");
+
+  std::printf("\n  %-12s %9s %10s %8s %8s %8s %8s %8s %8s\n", "mode", "ms",
+              "txn/s", "commits", "fsyncs", "fs/txn", "p50ms", "p95ms",
+              "p99ms");
+
+  PhaseResult in_process = RunInProcessBaseline(config);
+  PrintRow("in_process", in_process);
+  PhaseResult ungrouped = RunNetworkClosedLoop(config, false);
+  PrintRow("net", ungrouped);
+  PhaseResult grouped = RunNetworkClosedLoop(config, true);
+  PrintRow("net+group", grouped);
+
+  // Group commit changes fsync cadence, never journal content: the two
+  // network runs committed the same transactions, so their journals hold
+  // the same line multiset (order differs with scheduling).
+  std::vector<std::string> a = ungrouped.journal_lines;
+  std::vector<std::string> b = grouped.journal_lines;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  DBPS_CHECK(a == b) << "grouped and ungrouped journals diverge";
+
+  DBPS_CHECK_LT(grouped.FsyncsPerCommit(), 0.25)
+      << "group commit failed to amortize fsyncs";
+  DBPS_CHECK_GE(grouped.TxnPerSec(), in_process.TxnPerSec())
+      << "network + group commit slower than the in-process "
+         "per-commit-fsync baseline";
+
+  PhaseResult open_loop = RunOpenLoop(config);
+  PrintRow("open_loop", open_loop);
+  if (config.smoke) {
+    // The check.sh net tier gate: tail latency at the smoke target rate.
+    DBPS_CHECK_LT(open_loop.latency.Percentile(99), 50.0)
+        << "open-loop p99 above the 50ms smoke gate";
+  }
+
+  bench::JsonReport report("net");
+  report.Add(MakeRow("net_closed_loop", "in_process", config, in_process));
+  report.Add(MakeRow("net_closed_loop", "ungrouped", config, ungrouped));
+  report.Add(MakeRow("net_closed_loop", "group_commit", config, grouped));
+  report.Add(MakeRow("net_open_loop", "group_commit", config, open_loop));
+  report.WriteIfRequested();
+
+  std::printf(
+      "\ngroup commit rides the commit sequencer's batches: one fsync\n"
+      "covers every commit in the batch (%.3f fsyncs/txn vs %.3f\n"
+      "ungrouped) while the journal bytes stay identical.\n",
+      grouped.FsyncsPerCommit(), ungrouped.FsyncsPerCommit());
+  return 0;
+}

@@ -3,6 +3,8 @@
 #ifndef DBPS_BENCH_REPORT_H_
 #define DBPS_BENCH_REPORT_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -34,13 +36,51 @@ inline size_t MaxBenchThreads(size_t default_max) {
   return static_cast<size_t>(parsed);
 }
 
+// Per-operation latency samples with percentile reporting, shared by the
+// closed-loop session bench (bench_multi_user) and the network bench
+// (bench_net). Accumulate per worker thread, Merge into one recorder,
+// then read Percentile(50/95/99). Nearest-rank on the sorted sample set:
+// the reported value is an actual observed latency, never an interpolated
+// one.
+class LatencyRecorder {
+ public:
+  void Add(double ms) { samples_.push_back(ms); }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  // p in [0, 100]. Returns 0 with no samples.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = std::ceil(p / 100.0 * sorted.size());
+    size_t index = rank <= 1 ? 0 : static_cast<size_t>(rank) - 1;
+    if (index >= sorted.size()) index = sorted.size() - 1;
+    return sorted[index];
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
 // Machine-readable benchmark results. Each bench accumulates one row per
 // configuration and writes BENCH_<name>.json into $DBPS_BENCH_JSON_DIR
 // (a no-op when the variable is unset, so ad-hoc runs stay side-effect
 // free). The schema is intentionally flat so CI can diff runs:
 //   {"bench": "...", "rows": [{"workload": ..., "threads": N,
 //     "protocol": ..., "wall_ms": X, "aborts": N, "committed": N,
-//     "fast_path_grants": N, "fast_hit_pct": X, "batched_commits": N}]}
+//     "fast_path_grants": N, "fast_hit_pct": X, "batched_commits": N,
+//     "p50_ms": X, "p95_ms": X, "p99_ms": X}]}
 // The lock-manager fast-path / commit-batching fields are always
 // emitted (zero when a workload never exercises them) so CI can key on
 // their presence.
@@ -57,6 +97,18 @@ struct JsonRow {
   double fast_hit_pct = 0;
   /// Commits that rode a multi-commit sequencer batch.
   uint64_t batched_commits = 0;
+  /// Per-transaction latency percentiles in milliseconds (0 when the
+  /// bench does not record per-operation latencies). Fill from a
+  /// LatencyRecorder via SetLatencies().
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+
+  void SetLatencies(const LatencyRecorder& recorder) {
+    p50_ms = recorder.Percentile(50);
+    p95_ms = recorder.Percentile(95);
+    p99_ms = recorder.Percentile(99);
+  }
 };
 
 class JsonReport {
@@ -86,6 +138,12 @@ class JsonReport {
       std::snprintf(wall, sizeof(wall), "%.3f", row.wall_ms);
       char hit[32];
       std::snprintf(hit, sizeof(hit), "%.1f", row.fast_hit_pct);
+      char p50[32], p95[32], p99[32];
+      // Four decimals: in-process medians sit at single-digit
+      // microseconds and must not round to zero.
+      std::snprintf(p50, sizeof(p50), "%.4f", row.p50_ms);
+      std::snprintf(p95, sizeof(p95), "%.4f", row.p95_ms);
+      std::snprintf(p99, sizeof(p99), "%.4f", row.p99_ms);
       out << "    {\"workload\": \"" << row.workload << "\", "
           << "\"threads\": " << row.threads << ", "
           << "\"protocol\": \"" << row.protocol << "\", "
@@ -94,7 +152,10 @@ class JsonReport {
           << "\"committed\": " << row.committed << ", "
           << "\"fast_path_grants\": " << row.fast_path_grants << ", "
           << "\"fast_hit_pct\": " << hit << ", "
-          << "\"batched_commits\": " << row.batched_commits << "}"
+          << "\"batched_commits\": " << row.batched_commits << ", "
+          << "\"p50_ms\": " << p50 << ", "
+          << "\"p95_ms\": " << p95 << ", "
+          << "\"p99_ms\": " << p99 << "}"
           << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

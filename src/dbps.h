@@ -44,6 +44,9 @@
 #include "match/matcher.h"
 #include "match/naive_matcher.h"
 #include "match/rete.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "net/wire.h"
 #include "rules/rhs_evaluator.h"
 #include "rules/rule.h"
 #include "semantics/abstract_ps.h"

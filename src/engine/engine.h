@@ -29,9 +29,16 @@ namespace dbps {
 /// concurrently. Keep observers fast and do not call back into the engine.
 struct EngineEvent {
   enum class Kind : uint8_t {
-    kCommit,  ///< a firing committed
-    kAbort,   ///< a firing was rolled back (Rc–Wa victim, deadlock, wound)
-    kStale,   ///< a claim was invalidated before execution began
+    kCommit,    ///< a firing committed
+    kAbort,     ///< a firing was rolled back (Rc–Wa victim, deadlock, wound)
+    kStale,     ///< a claim was invalidated before execution began
+    /// The commit batch that contained the preceding kCommit events is
+    /// complete (key/delta null). Parallel engines emit one per executed
+    /// sequencer batch; serial engines after every commit (batches of
+    /// one). Durability sinks (JournalFeed's group-commit mode) fsync
+    /// here — once per batch instead of once per commit — and must do so
+    /// before returning, because commit acks are released afterwards.
+    kBatchEnd,
   };
   Kind kind;
   const InstKey* key;  ///< the firing's identity (valid during the call)
@@ -39,6 +46,10 @@ struct EngineEvent {
   /// during the call). Lets observers journal every commit — rule firings
   /// and external client transactions alike — in commit order.
   const Delta* delta = nullptr;
+  /// For kCommit: this commit's sequence number (== FiringRecord::seq,
+  /// dense from 0). For kBatchEnd: the post-batch sequence high-water —
+  /// every commit with seq below it has been delivered.
+  uint64_t seq = 0;
 };
 
 using EngineObserver = std::function<void(const EngineEvent&)>;

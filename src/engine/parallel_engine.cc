@@ -159,6 +159,7 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
 
   // Emit the log in ticket order — exactly the records and sequence
   // numbers a batch-of-one pipeline would have produced.
+  bool emitted = false;
   for (PendingCommit* member : live) {
     member->seq = commit_seq_;
     // An empty client write set commits (its repeatable reads were
@@ -171,10 +172,19 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
       ++commit_seq_;
       if (options_.base.observer) {
         options_.base.observer(EngineEvent{EngineEvent::Kind::kCommit,
-                                           member->key, member->delta});
+                                           member->key, member->delta,
+                                           member->seq});
+        emitted = true;
       }
     }
     member->committed = true;
+  }
+  // Batch boundary: group-commit sinks amortize one fsync over every
+  // kCommit above, and must be durable before we return — FinishBatch
+  // releases the member commits (and their client acks) afterwards.
+  if (emitted) {
+    options_.base.observer(EngineEvent{EngineEvent::Kind::kBatchEnd, nullptr,
+                                       nullptr, commit_seq_});
   }
 
   {

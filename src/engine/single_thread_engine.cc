@@ -65,7 +65,10 @@ StatusOr<bool> SingleThreadEngine::Step() {
   }
   if (options_.observer) {
     InstKey key = inst->key();
-    options_.observer(EngineEvent{EngineEvent::Kind::kCommit, &key, &delta});
+    options_.observer(EngineEvent{EngineEvent::Kind::kCommit, &key, &delta,
+                                  stats_.firings});
+    options_.observer(EngineEvent{EngineEvent::Kind::kBatchEnd, nullptr,
+                                  nullptr, stats_.firings + 1});
   }
   ++stats_.firings;
   ++stats_.cycles;

@@ -107,7 +107,11 @@ StatusOr<RunResult> StaticPartitionEngine::Run() {
       }
       if (options_.base.observer) {
         options_.base.observer(EngineEvent{EngineEvent::Kind::kCommit,
-                                           &outcome.inst->key(), &delta});
+                                           &outcome.inst->key(), &delta,
+                                           stats.firings});
+        options_.base.observer(EngineEvent{EngineEvent::Kind::kBatchEnd,
+                                           nullptr, nullptr,
+                                           stats.firings + 1});
       }
       ++stats.firings;
       if (delta.halt()) {

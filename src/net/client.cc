@@ -1,0 +1,279 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dbps {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DbpsClient>> DbpsClient::Connect(
+    const std::string& host, uint16_t port, const std::string& name,
+    ClientOptions options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = options.recv_timeout.count() / 1000;
+    tv.tv_usec = (options.recv_timeout.count() % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  std::unique_ptr<DbpsClient> client(new DbpsClient(fd, options));
+  std::string body;
+  PutString(&body, name);
+  DBPS_ASSIGN_OR_RETURN(uint64_t id,
+                        client->Send(FrameType::kHello, body));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, client->Await(id));
+  if (frame.type != FrameType::kHelloOk) {
+    return ExpectOk(frame).ok()
+               ? Status::Internal("unexpected Hello response")
+               : ExpectOk(frame);
+  }
+  BodyReader reader(frame.body);
+  DBPS_ASSIGN_OR_RETURN(client->session_id_, reader.U64());
+  return client;
+}
+
+DbpsClient::~DbpsClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DbpsClient::SendBytes(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> DbpsClient::Send(FrameType type, std::string_view body) {
+  if (fd_ < 0) return Status::Unavailable("client closed");
+  const uint64_t id = next_request_id_++;
+  DBPS_RETURN_NOT_OK(SendBytes(EncodeFrame(type, id, body)));
+  ++in_flight_;
+  return id;
+}
+
+Status DbpsClient::FillReader(bool blocking, bool* progress) {
+  char buf[65536];
+  const ssize_t n =
+      ::recv(fd_, buf, sizeof(buf), blocking ? 0 : MSG_DONTWAIT);
+  if (n > 0) {
+    reader_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    *progress = true;
+    return Status::OK();
+  }
+  *progress = false;
+  if (n == 0) return Status::Unavailable("server closed connection");
+  if (errno == EINTR) return Status::OK();
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    // For a blocking read this is SO_RCVTIMEO expiring.
+    return blocking ? Status::Unavailable("receive timeout")
+                    : Status::OK();
+  }
+  return Errno("recv");
+}
+
+StatusOr<Frame> DbpsClient::Await(uint64_t request_id) {
+  for (;;) {
+    auto it = completed_.find(request_id);
+    if (it != completed_.end()) {
+      Frame frame = std::move(it->second);
+      completed_.erase(it);
+      --in_flight_;
+      return frame;
+    }
+    Frame frame;
+    DBPS_ASSIGN_OR_RETURN(bool got, reader_.Next(&frame));
+    if (got) {
+      completed_.emplace(frame.request_id, std::move(frame));
+      continue;
+    }
+    bool progress = false;
+    DBPS_RETURN_NOT_OK(FillReader(/*blocking=*/true, &progress));
+    if (!progress) return Status::Unavailable("receive timeout");
+  }
+}
+
+StatusOr<bool> DbpsClient::TryNext(Frame* frame) {
+  for (;;) {
+    if (!completed_.empty()) {
+      auto it = completed_.begin();
+      *frame = std::move(it->second);
+      completed_.erase(it);
+      --in_flight_;
+      return true;
+    }
+    DBPS_ASSIGN_OR_RETURN(bool got, reader_.Next(frame));
+    if (got) {
+      --in_flight_;
+      return true;
+    }
+    bool progress = false;
+    DBPS_RETURN_NOT_OK(FillReader(/*blocking=*/false, &progress));
+    if (!progress) return false;
+  }
+}
+
+// --- response decoding --------------------------------------------------
+
+Status DbpsClient::ExpectOk(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kOk:
+    case FrameType::kPong:
+    case FrameType::kHelloOk:
+    case FrameType::kCommitOk:
+    case FrameType::kRows:
+      return Status::OK();
+    case FrameType::kBusy:
+      return DecodeBusy(frame);
+    case FrameType::kError:
+      return DecodeError(frame);
+    default:
+      return Status::Internal(std::string("unexpected response frame '") +
+                              FrameTypeToString(frame.type) + "'");
+  }
+}
+
+StatusOr<uint64_t> DbpsClient::ExpectCommitOk(const Frame& frame) {
+  if (frame.type != FrameType::kCommitOk) {
+    Status st = ExpectOk(frame);
+    if (!st.ok()) return st;
+    return Status::Internal(std::string("expected CommitOk, got '") +
+                            FrameTypeToString(frame.type) + "'");
+  }
+  BodyReader reader(frame.body);
+  return reader.U64();
+}
+
+StatusOr<std::vector<std::string>> DbpsClient::ExpectRows(
+    const Frame& frame) {
+  if (frame.type != FrameType::kRows) {
+    Status st = ExpectOk(frame);
+    if (!st.ok()) return st;
+    return Status::Internal(std::string("expected Rows, got '") +
+                            FrameTypeToString(frame.type) + "'");
+  }
+  BodyReader reader(frame.body);
+  DBPS_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  DBPS_ASSIGN_OR_RETURN(std::string text, reader.String());
+  std::vector<std::string> rows = SplitLines(text);
+  if (rows.size() != count) {
+    return Status::Internal("Rows count mismatch: header says " +
+                            std::to_string(count) + ", body has " +
+                            std::to_string(rows.size()));
+  }
+  return rows;
+}
+
+// --- synchronous convenience --------------------------------------------
+
+Status DbpsClient::Begin() {
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kBegin));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectOk(frame);
+}
+
+StatusOr<std::vector<std::string>> DbpsClient::Read(
+    const std::string& relation) {
+  std::string body;
+  PutString(&body, relation);
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kRead, body));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectRows(frame);
+}
+
+StatusOr<std::vector<std::string>> DbpsClient::Query(
+    const std::string& lhs) {
+  std::string body;
+  PutString(&body, lhs);
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kQuery, body));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectRows(frame);
+}
+
+Status DbpsClient::WriteLine(const std::string& journal_line) {
+  std::string body;
+  PutString(&body, journal_line);
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kWrite, body));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectOk(frame);
+}
+
+StatusOr<uint64_t> DbpsClient::Commit() {
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kCommit));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectCommitOk(frame);
+}
+
+Status DbpsClient::Abort() {
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kAbortTxn));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectOk(frame);
+}
+
+Status DbpsClient::Ping() {
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kPing));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectOk(frame);
+}
+
+Status DbpsClient::Goodbye() {
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kGoodbye));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  Status st = ExpectOk(frame);
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+}  // namespace net
+}  // namespace dbps

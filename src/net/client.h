@@ -1,0 +1,128 @@
+// DbpsClient: the client side of the binary wire protocol.
+//
+// A thin, dependency-light library over one TCP connection. Two styles:
+//
+//   * Synchronous convenience — Begin/Read/Query/WriteLine/Commit each
+//     send one request and block for its response:
+//
+//       auto client = DbpsClient::Connect("127.0.0.1", port, "alice")
+//                         .ValueOrDie();
+//       DBPS_RETURN_NOT_OK(client->Begin());
+//       DBPS_RETURN_NOT_OK(client->WriteLine("(create order ...)"));
+//       auto seq = client->Commit();          // acked after fsync
+//
+//   * Pipelined — Send() pushes a request and returns its id without
+//     waiting; Await(id) blocks until that response arrives (buffering
+//     any earlier ones); TryNext() is the non-blocking variant for
+//     poll()-driven callers that multiplex many clients on one thread
+//     (see bench/bench_net.cc):
+//
+//       uint64_t b = client->Send(FrameType::kBegin).ValueOrDie();
+//       uint64_t w = client->Send(FrameType::kWrite, wbody).ValueOrDie();
+//       uint64_t c = client->Send(FrameType::kCommit).ValueOrDie();
+//       ... three requests are now in flight on one connection ...
+//       auto seq = DbpsClient::ExpectCommitOk(client->Await(c).ValueOrDie());
+//
+// Busy responses (the server's backpressure frames) surface as
+// ResourceExhausted statuses with the retry hint in the message; the
+// caller owns the backoff loop.
+//
+// A DbpsClient is NOT thread-safe — one per thread, or external locking.
+
+#ifndef DBPS_NET_CLIENT_H_
+#define DBPS_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dbps {
+namespace net {
+
+struct ClientOptions {
+  /// Blocking receives (Await and the sync calls) fail with Unavailable
+  /// after this long without a response.
+  std::chrono::milliseconds recv_timeout{30000};
+};
+
+class DbpsClient {
+ public:
+  /// Connects, sends Hello{name}, and waits for HelloOk.
+  static StatusOr<std::unique_ptr<DbpsClient>> Connect(
+      const std::string& host, uint16_t port, const std::string& name,
+      ClientOptions options = {});
+
+  ~DbpsClient();
+  DbpsClient(const DbpsClient&) = delete;
+  DbpsClient& operator=(const DbpsClient&) = delete;
+
+  int fd() const { return fd_; }  ///< for poll()-based multiplexing
+  uint64_t session_id() const { return session_id_; }
+  /// Requests sent whose responses have not been consumed yet.
+  size_t in_flight() const { return in_flight_; }
+
+  // --- synchronous convenience ------------------------------------------
+
+  Status Begin();
+  /// Rows of `relation`, one printed WME per line.
+  StatusOr<std::vector<std::string>> Read(const std::string& relation);
+  /// Query rows, one per line (tab-separated WMEs).
+  StatusOr<std::vector<std::string>> Query(const std::string& lhs);
+  /// Buffers one delta, given as a lang/journal.h journal line.
+  Status WriteLine(const std::string& journal_line);
+  /// Commit sequence number; the server acks only after the journal
+  /// fsync (group commit), so success here means durable.
+  StatusOr<uint64_t> Commit();
+  Status Abort();
+  Status Ping();
+  /// Orderly close: Goodbye, await Ok, shut the socket down.
+  Status Goodbye();
+
+  // --- pipelined --------------------------------------------------------
+
+  /// Sends one request frame; returns its request id immediately.
+  StatusOr<uint64_t> Send(FrameType type, std::string_view body = {});
+  /// Blocks until the response for `request_id` arrives. Responses for
+  /// other ids encountered on the way are buffered for their own Await.
+  StatusOr<Frame> Await(uint64_t request_id);
+  /// Non-blocking: true and fills *frame if a complete response is
+  /// available (buffered or readable right now), false otherwise.
+  StatusOr<bool> TryNext(Frame* frame);
+
+  // --- response decoding (usable on Await/TryNext results) --------------
+
+  /// kOk/kPong → OK; kBusy → ResourceExhausted; kError → its Status.
+  static Status ExpectOk(const Frame& frame);
+  static StatusOr<uint64_t> ExpectCommitOk(const Frame& frame);
+  static StatusOr<std::vector<std::string>> ExpectRows(const Frame& frame);
+
+ private:
+  DbpsClient(int fd, ClientOptions options)
+      : fd_(fd), options_(options) {}
+
+  Status SendBytes(std::string_view bytes);
+  /// Reads once from the socket into the frame reader. `blocking` waits
+  /// (subject to recv_timeout); otherwise MSG_DONTWAIT.
+  Status FillReader(bool blocking, bool* progress);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  uint64_t session_id_ = 0;
+  uint64_t next_request_id_ = 1;
+  size_t in_flight_ = 0;
+  FrameReader reader_;
+  /// Out-of-order pickup buffer for Await.
+  std::unordered_map<uint64_t, Frame> completed_;
+};
+
+}  // namespace net
+}  // namespace dbps
+
+#endif  // DBPS_NET_CLIENT_H_

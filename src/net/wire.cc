@@ -1,0 +1,253 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace dbps {
+namespace net {
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "Hello";
+    case FrameType::kBegin: return "Begin";
+    case FrameType::kRead: return "Read";
+    case FrameType::kQuery: return "Query";
+    case FrameType::kWrite: return "Write";
+    case FrameType::kCommit: return "Commit";
+    case FrameType::kAbortTxn: return "AbortTxn";
+    case FrameType::kPing: return "Ping";
+    case FrameType::kGoodbye: return "Goodbye";
+    case FrameType::kHelloOk: return "HelloOk";
+    case FrameType::kOk: return "Ok";
+    case FrameType::kCommitOk: return "CommitOk";
+    case FrameType::kRows: return "Rows";
+    case FrameType::kPong: return "Pong";
+    case FrameType::kError: return "Error";
+    case FrameType::kBusy: return "Busy";
+  }
+  return "?";
+}
+
+namespace {
+
+bool KnownFrameType(uint8_t value) {
+  switch (static_cast<FrameType>(value)) {
+    case FrameType::kHello:
+    case FrameType::kBegin:
+    case FrameType::kRead:
+    case FrameType::kQuery:
+    case FrameType::kWrite:
+    case FrameType::kCommit:
+    case FrameType::kAbortTxn:
+    case FrameType::kPing:
+    case FrameType::kGoodbye:
+    case FrameType::kHelloOk:
+    case FrameType::kOk:
+    case FrameType::kCommitOk:
+    case FrameType::kRows:
+    case FrameType::kPong:
+    case FrameType::kError:
+    case FrameType::kBusy:
+      return true;
+  }
+  return false;
+}
+
+uint32_t LoadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+uint64_t LoadU64(const char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+StatusOr<uint8_t> BodyReader::U8() {
+  if (pos_ + 1 > body_.size()) {
+    return Status::InvalidArgument("frame body truncated (u8)");
+  }
+  return static_cast<uint8_t>(body_[pos_++]);
+}
+
+StatusOr<uint32_t> BodyReader::U32() {
+  if (pos_ + 4 > body_.size()) {
+    return Status::InvalidArgument("frame body truncated (u32)");
+  }
+  const uint32_t v = LoadU32(body_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> BodyReader::U64() {
+  if (pos_ + 8 > body_.size()) {
+    return Status::InvalidArgument("frame body truncated (u64)");
+  }
+  const uint64_t v = LoadU64(body_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> BodyReader::String() {
+  DBPS_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (pos_ + len > body_.size()) {
+    return Status::InvalidArgument("frame body truncated (string)");
+  }
+  std::string out(body_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view body) {
+  std::string out;
+  out.reserve(4 + 1 + 8 + body.size());
+  PutU32(&out, static_cast<uint32_t>(1 + 8 + body.size()));
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU64(&out, request_id);
+  out.append(body);
+  return out;
+}
+
+std::string EncodeHello(uint64_t request_id, std::string_view name) {
+  std::string body;
+  PutString(&body, name);
+  return EncodeFrame(FrameType::kHello, request_id, body);
+}
+
+std::string EncodeRead(uint64_t request_id, std::string_view relation) {
+  std::string body;
+  PutString(&body, relation);
+  return EncodeFrame(FrameType::kRead, request_id, body);
+}
+
+std::string EncodeQuery(uint64_t request_id, std::string_view lhs) {
+  std::string body;
+  PutString(&body, lhs);
+  return EncodeFrame(FrameType::kQuery, request_id, body);
+}
+
+std::string EncodeWrite(uint64_t request_id, std::string_view journal_line) {
+  std::string body;
+  PutString(&body, journal_line);
+  return EncodeFrame(FrameType::kWrite, request_id, body);
+}
+
+std::string EncodeHelloOk(uint64_t request_id, uint64_t session_id) {
+  std::string body;
+  PutU64(&body, session_id);
+  return EncodeFrame(FrameType::kHelloOk, request_id, body);
+}
+
+std::string EncodeCommitOk(uint64_t request_id, uint64_t seq) {
+  std::string body;
+  PutU64(&body, seq);
+  return EncodeFrame(FrameType::kCommitOk, request_id, body);
+}
+
+std::string EncodeRows(uint64_t request_id, uint32_t count,
+                       std::string_view text) {
+  std::string body;
+  PutU32(&body, count);
+  PutString(&body, text);
+  return EncodeFrame(FrameType::kRows, request_id, body);
+}
+
+std::string EncodeError(uint64_t request_id, const Status& status) {
+  std::string body;
+  PutU8(&body, static_cast<uint8_t>(status.code()));
+  PutString(&body, status.message());
+  return EncodeFrame(FrameType::kError, request_id, body);
+}
+
+std::string EncodeBusy(uint64_t request_id, uint32_t retry_after_ms,
+                       std::string_view message) {
+  std::string body;
+  PutU32(&body, retry_after_ms);
+  PutString(&body, message);
+  return EncodeFrame(FrameType::kBusy, request_id, body);
+}
+
+Status DecodeError(const Frame& frame) {
+  BodyReader reader(frame.body);
+  auto code_or = reader.U8();
+  auto msg_or = reader.String();
+  if (!code_or.ok() || !msg_or.ok()) {
+    return Status::InvalidArgument("malformed Error frame");
+  }
+  const auto code = static_cast<StatusCode>(code_or.ValueOrDie());
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, msg_or.ValueOrDie());
+}
+
+Status DecodeBusy(const Frame& frame) {
+  BodyReader reader(frame.body);
+  auto retry_or = reader.U32();
+  auto msg_or = reader.String();
+  if (!retry_or.ok() || !msg_or.ok()) {
+    return Status::InvalidArgument("malformed Busy frame");
+  }
+  return Status::ResourceExhausted(
+      "server busy (retry after " + std::to_string(retry_or.ValueOrDie()) +
+      "ms): " + msg_or.ValueOrDie());
+}
+
+void FrameReader::Feed(std::string_view bytes) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+StatusOr<bool> FrameReader::Next(Frame* frame) {
+  if (!failed_.ok()) return failed_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  const char* base = buffer_.data() + consumed_;
+  const uint32_t payload_len = LoadU32(base);
+  if (payload_len < 1 + 8 || payload_len > 1 + 8 + kMaxFrameBody) {
+    failed_ = Status::InvalidArgument(
+        "malformed frame: payload length " + std::to_string(payload_len));
+    return failed_;
+  }
+  if (avail < 4 + payload_len) return false;
+  const uint8_t type = static_cast<uint8_t>(base[4]);
+  if (!KnownFrameType(type)) {
+    failed_ = Status::InvalidArgument("unknown frame type " +
+                                      std::to_string(type));
+    return failed_;
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->request_id = LoadU64(base + 5);
+  frame->body.assign(base + 13, payload_len - 9);
+  consumed_ += 4 + payload_len;
+  return true;
+}
+
+}  // namespace net
+}  // namespace dbps

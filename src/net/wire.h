@@ -1,0 +1,161 @@
+// The dbps binary wire protocol (v1).
+//
+// Every message is one length-prefixed frame:
+//
+//   [u32 payload_len][u8 type][u64 request_id][body ...]
+//
+// payload_len counts everything after itself (type + request_id + body);
+// all integers are little-endian; strings are u32-length-prefixed byte
+// runs. The request_id correlates a response to its request, so one
+// connection can PIPELINE: a client may have many requests in flight and
+// the server answers each with the same id. The server processes one
+// connection's frames strictly in arrival order (a session is a serial
+// transaction stream), so responses also arrive in order — the ids make
+// interleaved bookkeeping trivial and survive future out-of-order
+// server implementations.
+//
+// Request frames (client → server):
+//   Hello    {name}          open a session (must be first)
+//   Begin    {}              open a transaction
+//   Read     {relation}      snapshot/repeatable read of one relation
+//   Query    {lhs}           rule-language LHS query
+//   Write    {journal_line}  buffer a delta (lang/journal.h line format)
+//   Commit   {}              commit the buffered write set
+//   AbortTxn {}              roll back the open transaction
+//   Ping     {}              liveness/latency probe
+//   Goodbye  {}              orderly close (server flushes, then closes)
+//
+// Response frames (server → client):
+//   HelloOk  {session_id}
+//   Ok       {}
+//   CommitOk {seq}           commit sequence number; sent only after the
+//                            commit is fsync-durable (ack-after-fsync)
+//   Rows     {count, text}   result rows as newline-separated text
+//   Pong     {}
+//   Error    {code, message} StatusCode + human-readable message
+//   Busy     {retry_ms, msg} BACKPRESSURE: admission gate / session cap
+//                            is full — retry after the hint instead of
+//                            queueing inside the server
+//
+// The delta payload of Write reuses the journal line s-expression from
+// lang/journal.h — the one serialization the system already proves
+// replayable — so the wire format adds no second delta codec.
+
+#ifndef DBPS_NET_WIRE_H_
+#define DBPS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dbps {
+namespace net {
+
+enum class FrameType : uint8_t {
+  // Requests.
+  kHello = 1,
+  kBegin = 2,
+  kRead = 3,
+  kQuery = 4,
+  kWrite = 5,
+  kCommit = 6,
+  kAbortTxn = 7,
+  kPing = 8,
+  kGoodbye = 9,
+  // Responses.
+  kHelloOk = 64,
+  kOk = 65,
+  kCommitOk = 66,
+  kRows = 67,
+  kPong = 68,
+  kError = 69,
+  kBusy = 70,
+};
+
+const char* FrameTypeToString(FrameType type);
+
+/// Frames with a body larger than this are rejected as malformed — a
+/// corrupt length prefix must not make the server allocate gigabytes.
+inline constexpr size_t kMaxFrameBody = 4u << 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string body;
+};
+
+// --- body primitives ----------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, std::string_view s);
+
+/// Bounds-checked cursor over a frame body.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+  StatusOr<uint8_t> U8();
+  StatusOr<uint32_t> U32();
+  StatusOr<uint64_t> U64();
+  StatusOr<std::string> String();
+  bool AtEnd() const { return pos_ == body_.size(); }
+
+ private:
+  std::string_view body_;
+  size_t pos_ = 0;
+};
+
+// --- frame encode -------------------------------------------------------
+
+/// Wire bytes of one frame (length prefix included).
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view body = {});
+
+std::string EncodeHello(uint64_t request_id, std::string_view name);
+std::string EncodeRead(uint64_t request_id, std::string_view relation);
+std::string EncodeQuery(uint64_t request_id, std::string_view lhs);
+std::string EncodeWrite(uint64_t request_id, std::string_view journal_line);
+std::string EncodeHelloOk(uint64_t request_id, uint64_t session_id);
+std::string EncodeCommitOk(uint64_t request_id, uint64_t seq);
+std::string EncodeRows(uint64_t request_id, uint32_t count,
+                       std::string_view text);
+std::string EncodeError(uint64_t request_id, const Status& status);
+std::string EncodeBusy(uint64_t request_id, uint32_t retry_after_ms,
+                       std::string_view message);
+
+/// Decodes an Error body back into the Status it carried.
+Status DecodeError(const Frame& frame);
+/// Decodes a Busy body into ResourceExhausted (retry hint in message).
+Status DecodeBusy(const Frame& frame);
+
+// --- frame decode -------------------------------------------------------
+
+/// Incremental frame parser for one byte stream. Feed() whatever arrived;
+/// Next() yields complete frames in order. Framing violations (oversized
+/// or truncated-impossible lengths, unknown type bytes) are sticky
+/// errors: the stream is unrecoverable and the connection must die.
+class FrameReader {
+ public:
+  void Feed(std::string_view bytes);
+
+  /// True: *frame holds the next complete frame. False: need more bytes.
+  /// Error: the stream is malformed (sticky).
+  StatusOr<bool> Next(Frame* frame);
+
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< bytes of buffer_ already parsed away
+  Status failed_ = Status::OK();
+};
+
+}  // namespace net
+}  // namespace dbps
+
+#endif  // DBPS_NET_WIRE_H_

@@ -1,30 +1,109 @@
 #include "server/journal_feed.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "lang/journal.h"
+#include "util/failpoint.h"
 
 namespace dbps {
+
+JournalFeed::~JournalFeed() {
+  if (fd_ >= 0) ::close(fd_);
+}
 
 EngineObserver JournalFeed::MakeObserver(EngineObserver next) {
   return [this, next = std::move(next)](const EngineEvent& event) {
     if (event.kind == EngineEvent::Kind::kCommit && event.delta != nullptr) {
-      Append(*event.delta);
+      AppendLine(*event.delta, event.seq);
+    } else if (event.kind == EngineEvent::Kind::kBatchEnd) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (durable_enabled_ && durable_options_.group_commit &&
+          !staged_.empty()) {
+        SyncStaged(lock);
+      }
     }
     if (next) next(event);
   };
 }
 
 void JournalFeed::Append(const Delta& delta) {
+  // Cursor-only use (no engine seq available): synthesize the dense seq.
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t seq = lines_.size();
+  lock.unlock();
+  AppendLine(delta, seq);
+}
+
+void JournalFeed::AppendLine(const Delta& delta, uint64_t seq) {
   auto line_or = DeltaToJournalLine(delta);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!line_or.ok()) {
       ++serialize_errors_;
       return;
     }
-    lines_.push_back(std::move(line_or).ValueOrDie());
+    lines_.push_back(line_or.ValueOrDie());
+    if (durable_enabled_) {
+      staged_.push_back(std::move(line_or).ValueOrDie());
+      staged_high_seq_ = seq + 1;
+      // Per-commit fsync mode: every commit is its own group of one.
+      if (!durable_options_.group_commit) SyncStaged(lock);
+    }
   }
+  cv_.notify_all();
+}
+
+void JournalFeed::SyncStaged(std::unique_lock<std::mutex>& lock) {
+  // The observer delivers commits from the engine's ordered commit stage
+  // (one thread at a time), so holding mu_ across the write+fsync only
+  // ever delays readers, never another writer.
+  (void)lock;
+  bool failed = sync_failed_;
+  if (!failed) {
+    // Chaos/durability site: the device fails the flush. The WHOLE group
+    // stays un-durable — no partial ack — and the feed is failed for
+    // good (later groups would leave a hole before them in the log).
+    if (DBPS_FAILPOINT("server.journal.fsync_fail")) failed = true;
+  }
+  if (!failed && fd_ >= 0) {
+    for (const std::string& line : staged_) {
+      std::string buf = line + '\n';
+      size_t off = 0;
+      while (off < buf.size()) {
+        const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+          failed = true;
+          break;
+        }
+        off += static_cast<size_t>(n);
+      }
+      if (failed) break;
+    }
+    if (!failed && ::fsync(fd_) != 0) failed = true;
+  }
+  if (!failed) {
+    // Delay-style site (sleep-safe) + configured device latency model.
+    (void)DBPS_FAILPOINT("server.journal.fsync_delay");
+    if (durable_options_.simulated_fsync_cost.count() > 0) {
+      std::this_thread::sleep_for(durable_options_.simulated_fsync_cost);
+    }
+  }
+  if (failed) {
+    sync_failed_ = true;
+    ++durability_stats_.sync_failures;
+  } else {
+    ++durability_stats_.fsyncs;
+    durability_stats_.records_synced += staged_.size();
+    durability_stats_.max_group =
+        std::max<uint64_t>(durability_stats_.max_group, staged_.size());
+    durable_seq_ = staged_high_seq_;
+  }
+  staged_.clear();
   cv_.notify_all();
 }
 
@@ -59,6 +138,56 @@ size_t JournalFeed::WaitForSize(size_t target,
 uint64_t JournalFeed::serialize_errors() const {
   std::lock_guard<std::mutex> lock(mu_);
   return serialize_errors_;
+}
+
+Status JournalFeed::EnableDurability(DurabilityOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_enabled_) {
+    return Status::InvalidArgument("durability already enabled");
+  }
+  if (!options.path.empty()) {
+    const int fd = ::open(options.path.c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::Unavailable("cannot open journal file '" +
+                                 options.path + "'");
+    }
+    fd_ = fd;
+  }
+  durable_options_ = std::move(options);
+  durable_enabled_ = true;
+  return Status::OK();
+}
+
+bool JournalFeed::durable_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_enabled_;
+}
+
+Status JournalFeed::WaitDurable(uint64_t seq,
+                                std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!durable_enabled_) return Status::OK();  // nothing promised, nothing owed
+  cv_.wait_for(lock, timeout,
+               [&] { return sync_failed_ || durable_seq_ > seq; });
+  if (durable_seq_ > seq) return Status::OK();
+  if (sync_failed_) {
+    return Status::Internal(
+        "journal sync failed; commit " + std::to_string(seq) +
+        " is not durable (no member of its group was acknowledged)");
+  }
+  return Status::Internal("timed out waiting for commit " +
+                          std::to_string(seq) + " to become durable");
+}
+
+uint64_t JournalFeed::durable_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_seq_;
+}
+
+DurabilityStats JournalFeed::durability() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durability_stats_;
 }
 
 }  // namespace dbps

@@ -10,6 +10,22 @@
 // Sessions subscribe by keeping a cursor (an index into the line
 // sequence) and draining LinesFrom(cursor) — e.g. to ship lines to disk
 // or a replica. The feed never drops lines; bound its growth by draining.
+//
+// Durability / group commit: EnableDurability() turns the feed into the
+// engine's write-ahead log. Every kCommit event's line is written to the
+// log file (or an in-memory simulated device when no path is given) and
+// made durable with an fsync; a commit is acknowledged to its client
+// (Session::Commit returns) only once its line is durable. With
+// group_commit=true the fsync is amortized over the commit sequencer's
+// already-batched ticket groups: lines accumulate across one engine
+// commit batch and the kBatchEnd boundary event issues ONE fsync for all
+// of them, then every member commit is releasable at once — the journal
+// bytes and order are identical to per-commit fsync mode, only the
+// fsync count drops (by roughly the mean commit batch size). A failed
+// fsync aborts the whole group's acknowledgement: none of the batch's
+// commits becomes durable, WaitDurable reports the failure for every
+// member, and the feed stays failed (a write-ahead log with a hole must
+// not ack anything later, either).
 
 #ifndef DBPS_SERVER_JOURNAL_FEED_H_
 #define DBPS_SERVER_JOURNAL_FEED_H_
@@ -21,18 +37,50 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "util/status.h"
 #include "wm/delta.h"
 
 namespace dbps {
 
+/// \brief How EnableDurability persists the journal.
+struct DurabilityOptions {
+  /// Log file path (created/truncated). Empty: no real file — writes and
+  /// fsyncs are simulated in memory, which keeps the ack protocol and
+  /// counters exact without disk I/O (benches, loopback smoke).
+  std::string path;
+  /// Fsync once per engine commit batch (at kBatchEnd) instead of once
+  /// per commit. Requires the observer to receive kBatchEnd events (all
+  /// engines emit them).
+  bool group_commit = false;
+  /// Added to every (real or simulated) fsync — models device latency so
+  /// group-commit amortization is measurable on fast filesystems.
+  std::chrono::microseconds simulated_fsync_cost{0};
+};
+
+/// \brief Durability counters (all zero until EnableDurability).
+struct DurabilityStats {
+  uint64_t fsyncs = 0;          ///< successful fsync calls (real or simulated)
+  uint64_t records_synced = 0;  ///< journal lines made durable
+  uint64_t sync_failures = 0;   ///< failed fsyncs (each fails a whole group)
+  uint64_t max_group = 0;       ///< most records covered by one fsync
+  /// Mean records per fsync — the group-commit amortization factor; its
+  /// inverse is the bench's fsyncs-per-commit figure.
+  double MeanGroup() const {
+    return fsyncs == 0 ? 0.0 : static_cast<double>(records_synced) / fsyncs;
+  }
+};
+
 class JournalFeed {
  public:
   JournalFeed() = default;
+  ~JournalFeed();
   JournalFeed(const JournalFeed&) = delete;
   JournalFeed& operator=(const JournalFeed&) = delete;
 
   /// An engine observer that appends every kCommit delta to this feed and
   /// then forwards the event to `next` (chain a user observer through).
+  /// With durability enabled it also writes/fsyncs per the configured
+  /// mode (kBatchEnd triggers the group fsync).
   EngineObserver MakeObserver(EngineObserver next = nullptr);
 
   /// Appends one committed delta as a journal line. Serialization
@@ -54,11 +102,55 @@ class JournalFeed {
 
   uint64_t serialize_errors() const;
 
+  // --- Durability / group commit ----------------------------------------
+
+  /// Arms the durability path (before the run starts). Opens/truncates
+  /// `options.path` when given. Not idempotent; call once per feed.
+  Status EnableDurability(DurabilityOptions options);
+
+  bool durable_enabled() const;
+
+  /// Blocks until the commit with engine sequence `seq` is fsync-durable,
+  /// the feed reports a sync failure, or `timeout` elapses. OK only on
+  /// durable; Internal("journal sync failed...") after a failed fsync —
+  /// the caller must not acknowledge the commit. With group commit the
+  /// engine fsyncs inside the batch boundary before commits are released,
+  /// so by the time a committer can call this the verdict is usually
+  /// already in and the wait is free.
+  Status WaitDurable(uint64_t seq, std::chrono::milliseconds timeout) const;
+
+  /// Engine commit sequences strictly below this are durable.
+  uint64_t durable_seq() const;
+
+  DurabilityStats durability() const;
+
  private:
+  /// Appends under mu_ and, when durability is armed, stages the line for
+  /// sync; `seq` is the engine commit sequence (dense, equals the line
+  /// index for a feed observing from commit 0).
+  void AppendLine(const Delta& delta, uint64_t seq);
+
+  /// Writes + fsyncs every staged line (one group). On failure marks the
+  /// feed sync-failed — staged lines are NOT marked durable. Called with
+  /// mu_ held; the write/fsync happens under it by design: the observer
+  /// runs on the engine's ordered commit stage, so nothing else contends,
+  /// and readers see durable_seq_ advance atomically with the fsync.
+  void SyncStaged(std::unique_lock<std::mutex>& lock);
+
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::vector<std::string> lines_;
   uint64_t serialize_errors_ = 0;
+
+  // Durability state (all under mu_).
+  bool durable_enabled_ = false;
+  DurabilityOptions durable_options_;
+  int fd_ = -1;                       ///< -1: simulated device
+  std::vector<std::string> staged_;   ///< appended, not yet fsynced
+  uint64_t staged_high_seq_ = 0;      ///< seq high-water of staged_
+  uint64_t durable_seq_ = 0;          ///< commits below this are durable
+  bool sync_failed_ = false;          ///< sticky: a group fsync failed
+  DurabilityStats durability_stats_;
 };
 
 }  // namespace dbps

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analysis/lock_sets.h"
+#include "server/journal_feed.h"
 #include "engine/busy_work.h"
 #include "server/session_manager.h"
 #include "util/failpoint.h"
@@ -99,6 +100,7 @@ StatusOr<uint64_t> Session::Commit() {
   if (DBPS_FAILPOINT("server.session.drop")) {
     return FailTxn(Status::Aborted("injected session drop"));
   }
+  const bool had_writes = !pending_.empty();
   auto seq_or = engine_->CommitExternal(txn_, client_key_, pending_);
   if (!seq_or.ok()) return FailTxn(seq_or.status());
   in_txn_ = false;
@@ -106,6 +108,21 @@ StatusOr<uint64_t> Session::Commit() {
   pending_ = Delta();
   manager_->txn_gate().Leave();
   ++stats_.commits;
+  // Ack-after-fsync: with a durable feed attached, the commit is only
+  // acknowledged once its journal record is fsynced (under group commit
+  // the batch boundary fsynced before the engine released us, so this
+  // returns immediately). The commit has applied either way; a failure
+  // here means durability — not atomicity — was lost, and the caller
+  // must not report the transaction as safely committed.
+  JournalFeed* feed = manager_->options().durable_feed;
+  if (had_writes && feed != nullptr) {
+    Status durable = feed->WaitDurable(
+        seq_or.ValueOrDie(), manager_->options().durable_wait_timeout);
+    if (!durable.ok()) {
+      ++stats_.durable_ack_failures;
+      return durable;
+    }
+  }
   return seq_or;
 }
 

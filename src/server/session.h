@@ -74,6 +74,9 @@ struct SessionStats {
   uint64_t reads = 0;
   uint64_t queries = 0;
   uint64_t write_ops = 0;  ///< delta operations buffered via Write()
+  /// Commits that applied but whose durable (fsync) acknowledgement
+  /// failed or timed out — only possible with a durable JournalFeed.
+  uint64_t durable_ack_failures = 0;
   // --- Perform() retry loop ---------------------------------------------
   uint64_t retries = 0;           ///< re-attempts after transient failures
   uint64_t max_abort_streak = 0;  ///< worst consecutive-failure streak

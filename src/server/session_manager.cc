@@ -29,6 +29,11 @@ void SessionManager::BindEngine(ParallelEngine* engine) {
 }
 
 StatusOr<SessionPtr> SessionManager::Connect(std::string name) {
+  return Connect(std::move(name), options_.session);
+}
+
+StatusOr<SessionPtr> SessionManager::Connect(std::string name,
+                                             SessionOptions session_options) {
   DBPS_CHECK(engine_ != nullptr) << "BindEngine before Connect";
   if (closed()) return Status::Unavailable("session manager is closed");
   if (!engine_->WaitUntilAccepting(options_.connect_timeout)) {
@@ -65,7 +70,7 @@ StatusOr<SessionPtr> SessionManager::Connect(std::string name) {
                  live_sessions_.load(std::memory_order_acquire));
   }
   return SessionPtr(
-      new Session(this, std::move(name), id, options_.session));
+      new Session(this, std::move(name), id, session_options));
 }
 
 void SessionManager::Close() {
@@ -87,6 +92,7 @@ void SessionManager::Disconnect(Session* session) {
     stats_.closed_sessions.reads += s.reads;
     stats_.closed_sessions.queries += s.queries;
     stats_.closed_sessions.write_ops += s.write_ops;
+    stats_.closed_sessions.durable_ack_failures += s.durable_ack_failures;
   }
   live_sessions_.fetch_sub(1, std::memory_order_acq_rel);
   if (Drained()) engine_->NotifyExternalActivity();

@@ -58,6 +58,12 @@ struct ServerOptions {
   std::chrono::milliseconds connect_timeout{5000};
   /// Defaults for every admitted session.
   SessionOptions session;
+  /// When set, sessions acknowledge commits only after the feed reports
+  /// them fsync-durable (ack-after-fsync; see JournalFeed group commit).
+  /// The feed must have durability enabled and outlive the manager.
+  class JournalFeed* durable_feed = nullptr;
+  /// Bound on the (normally instantaneous) durable-ack wait.
+  std::chrono::milliseconds durable_wait_timeout{10000};
 };
 
 /// \brief Aggregate counters over all sessions, live and closed.
@@ -88,6 +94,11 @@ class SessionManager : public ExternalSource {
   /// max_sessions are connected, Unavailable once Close()d (or when the
   /// engine never starts serving).
   StatusOr<SessionPtr> Connect(std::string name);
+
+  /// Connect with per-session option overrides (the network front-end
+  /// uses short admission timeouts so gate pressure surfaces as Busy
+  /// frames instead of parked connections).
+  StatusOr<SessionPtr> Connect(std::string name, SessionOptions options);
 
   /// Stops admitting sessions. Existing sessions keep working; once the
   /// last disconnects the manager is Drained and the engine may finish.

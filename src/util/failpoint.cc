@@ -217,4 +217,36 @@ void ApplyChaosProfile(double fail_rate, uint64_t seed) {
   }
 }
 
+const std::vector<std::string>& NetworkChaosSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "net.accept.drop",
+      "net.read.error",
+      "net.write.partial",
+      "net.conn.drop",
+      "server.journal.fsync_delay",
+  };
+  return *sites;
+}
+
+void ApplyNetworkChaosProfile(double fail_rate, uint64_t seed) {
+  ApplyChaosProfile(fail_rate, seed);
+  auto& registry = FailpointRegistry::Instance();
+  for (const std::string& site : NetworkChaosSites()) {
+    FailpointSpec spec;
+    spec.probability = fail_rate;
+    if (site == "server.journal.fsync_delay") {
+      // Sleep-safe: stretches the group-commit window, so chaotic runs
+      // exercise multi-record fsync groups.
+      spec.delay = std::chrono::microseconds(500);
+    } else if (site == "net.conn.drop" || site == "net.read.error") {
+      // Losing a connection kills every transaction pipelined on it;
+      // keep it rare enough that trials make progress.
+      spec.probability = fail_rate / 2.0;
+    } else if (site == "net.accept.drop") {
+      spec.probability = fail_rate / 4.0;
+    }
+    registry.Configure(site, spec);
+  }
+}
+
 }  // namespace dbps

@@ -139,6 +139,15 @@ const std::vector<std::string>& DefaultChaosSites();
 /// `seed`. One call makes a whole run chaotic and reproducible.
 void ApplyChaosProfile(double fail_rate, uint64_t seed);
 
+/// The network front-end's chaos sites (src/net/ + journal durability):
+/// dropped/refused connections, injected read errors, forced partial
+/// writes, and delayed group-commit fsyncs.
+const std::vector<std::string>& NetworkChaosSites();
+
+/// ApplyChaosProfile plus the network sites — the profile for chaos
+/// trials that drive the engine through the socket front-end.
+void ApplyNetworkChaosProfile(double fail_rate, uint64_t seed);
+
 }  // namespace dbps
 
 /// True iff the named failpoint fires at this hit. Near-zero cost while

@@ -1,0 +1,61 @@
+// Network chaos: seeded fault-injection trials driven through the socket
+// front-end — dropped connections mid-commit, injected read errors,
+// forced partial writes, delayed group-commit fsyncs — each trial
+// replay-validated (Definition 3.2 with external client records).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "testing/chaos_runner.h"
+
+namespace dbps {
+namespace {
+
+using testing::ChaosOptions;
+using testing::ChaosReport;
+using testing::ChaosRunner;
+using testing::ChaosWorkload;
+
+TEST(NetChaosTest, SeededNetworkTrialsReplayValidate) {
+  // 16 seeded trials (more with DBPS_CHAOS_TRIALS); every one must
+  // replay-validate regardless of which faults its seed drew.
+  int trials = 16;
+  if (const char* env = std::getenv("DBPS_CHAOS_TRIALS")) {
+    trials = std::max(1, std::atoi(env));
+  }
+  uint64_t total_committed = 0;
+  uint64_t total_reconnects = 0;
+  for (int i = 0; i < trials; ++i) {
+    ChaosOptions options;
+    options.workload = ChaosWorkload::kNetwork;
+    options.seed = 9000 + static_cast<uint64_t>(i);
+    options.fail_rate = 0.04;
+    options.client_sessions = 4;
+    options.txns_per_session = 6;
+    ChaosReport report = ChaosRunner::RunTrial(options);
+    ASSERT_TRUE(report.verdict.ok())
+        << "seed " << options.seed << ": " << report.ToString();
+    total_committed += report.committed_client_txns;
+    total_reconnects += report.reconnects;
+  }
+  // The suite as a whole must have made real progress under faults.
+  EXPECT_GT(total_committed, 0u);
+  // And the faults must have actually bitten (injected connection churn);
+  // a fleet of 16 trials with zero reconnects means the profile is dead.
+  EXPECT_GT(total_reconnects, 0u);
+}
+
+TEST(NetChaosTest, HigherFaultRateTrialStillValidates) {
+  ChaosOptions options;
+  options.workload = ChaosWorkload::kNetwork;
+  options.seed = 4242;
+  options.fail_rate = 0.15;
+  options.client_sessions = 3;
+  options.txns_per_session = 5;
+  ChaosReport report = ChaosRunner::RunTrial(options);
+  ASSERT_TRUE(report.verdict.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace dbps

@@ -24,15 +24,26 @@ TEST(Observer, SingleThreadCommitEvents) {
                            &wm)
                    .ValueOrDie();
   std::vector<std::string> commits;
+  uint64_t batch_ends = 0;
+  uint64_t last_seq = 0;
   EngineOptions options;
-  options.observer = [&commits](const EngineEvent& event) {
+  options.observer = [&](const EngineEvent& event) {
+    if (event.kind == EngineEvent::Kind::kBatchEnd) {
+      ++batch_ends;
+      return;
+    }
     ASSERT_EQ(event.kind, EngineEvent::Kind::kCommit);
     commits.push_back(event.key->rule_name);
+    last_seq = event.seq;
   };
   SingleThreadEngine engine(&wm, rules, options);
   auto result = engine.Run().ValueOrDie();
   ASSERT_EQ(commits.size(), result.stats.firings);
   for (const auto& name : commits) EXPECT_EQ(name, "consume");
+  // The single-thread engine commits in batches of one: every commit is
+  // followed by its own batch-end, and commit seqs count up from 0.
+  EXPECT_EQ(batch_ends, commits.size());
+  EXPECT_EQ(last_seq + 1, result.stats.firings);
 }
 
 TEST(Observer, ParallelEventsMatchStats) {
@@ -45,7 +56,8 @@ TEST(Observer, ParallelEventsMatchStats) {
                            &wm)
                    .ValueOrDie();
   std::mutex mu;
-  uint64_t commits = 0, aborts = 0, stales = 0;
+  uint64_t commits = 0, aborts = 0, stales = 0, batch_ends = 0;
+  uint64_t commits_at_last_batch_end = 0;
   ParallelEngineOptions options;
   options.num_workers = 4;
   options.base.observer = [&](const EngineEvent& event) {
@@ -60,6 +72,13 @@ TEST(Observer, ParallelEventsMatchStats) {
       case EngineEvent::Kind::kStale:
         ++stales;
         break;
+      case EngineEvent::Kind::kBatchEnd:
+        ++batch_ends;
+        commits_at_last_batch_end = commits;
+        // The post-batch high-water mark equals commits seen so far: no
+        // commit event is ever still pending at its batch boundary.
+        EXPECT_EQ(event.seq, commits);
+        break;
     }
   };
   ParallelEngine engine(&wm, rules, options);
@@ -68,6 +87,10 @@ TEST(Observer, ParallelEventsMatchStats) {
   EXPECT_EQ(aborts, result.stats.aborts);
   EXPECT_EQ(stales, result.stats.stale_skips);
   EXPECT_EQ(commits, 25u);
+  // Batches group >= 1 commits, and every commit belongs to a batch.
+  EXPECT_GE(batch_ends, 1u);
+  EXPECT_LE(batch_ends, commits);
+  EXPECT_EQ(commits_at_last_batch_end, commits);
 }
 
 TEST(Observer, CommitEventsAreInCommitOrder) {

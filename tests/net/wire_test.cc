@@ -1,0 +1,149 @@
+// Binary wire protocol: encode/decode round trips, incremental framing,
+// and malformed-stream rejection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace dbps {
+namespace net {
+namespace {
+
+TEST(WireTest, FrameLayoutIsLengthTypeIdBody) {
+  const std::string bytes = EncodeFrame(FrameType::kPing, 0x1122334455667788);
+  ASSERT_EQ(bytes.size(), 4u + 1u + 8u);
+  // payload_len = 9 (type + request_id), little-endian.
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 9);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), static_cast<uint8_t>(FrameType::kPing));
+  EXPECT_EQ(static_cast<uint8_t>(bytes[5]), 0x88);  // id little-endian
+  EXPECT_EQ(static_cast<uint8_t>(bytes[12]), 0x11);
+}
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  FrameReader reader;
+  reader.Feed(EncodeHello(1, "alice"));
+  reader.Feed(EncodeWrite(2, "(create item 7)"));
+  reader.Feed(EncodeCommitOk(3, 42));
+  reader.Feed(EncodeRows(4, 2, "a\nb\n"));
+
+  Frame frame;
+  ASSERT_TRUE(reader.Next(&frame).ValueOrDie());
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  EXPECT_EQ(frame.request_id, 1u);
+  BodyReader hello(frame.body);
+  EXPECT_EQ(hello.String().ValueOrDie(), "alice");
+  EXPECT_TRUE(hello.AtEnd());
+
+  ASSERT_TRUE(reader.Next(&frame).ValueOrDie());
+  EXPECT_EQ(frame.type, FrameType::kWrite);
+  BodyReader write(frame.body);
+  EXPECT_EQ(write.String().ValueOrDie(), "(create item 7)");
+
+  ASSERT_TRUE(reader.Next(&frame).ValueOrDie());
+  EXPECT_EQ(frame.type, FrameType::kCommitOk);
+  BodyReader commit(frame.body);
+  EXPECT_EQ(commit.U64().ValueOrDie(), 42u);
+
+  ASSERT_TRUE(reader.Next(&frame).ValueOrDie());
+  EXPECT_EQ(frame.type, FrameType::kRows);
+  BodyReader rows(frame.body);
+  EXPECT_EQ(rows.U32().ValueOrDie(), 2u);
+  EXPECT_EQ(rows.String().ValueOrDie(), "a\nb\n");
+
+  EXPECT_FALSE(reader.Next(&frame).ValueOrDie());  // drained
+}
+
+TEST(WireTest, ByteAtATimeFeedingStillParses) {
+  const std::string bytes =
+      EncodeBusy(9, 5, "gate full") + EncodeFrame(FrameType::kOk, 10);
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char c : bytes) {
+    reader.Feed(std::string_view(&c, 1));
+    Frame frame;
+    while (reader.Next(&frame).ValueOrDie()) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kBusy);
+  Status busy = DecodeBusy(frames[0]);
+  EXPECT_TRUE(busy.IsResourceExhausted());
+  EXPECT_NE(busy.message().find("5ms"), std::string::npos);
+  EXPECT_EQ(frames[1].type, FrameType::kOk);
+  EXPECT_EQ(frames[1].request_id, 10u);
+}
+
+TEST(WireTest, ErrorFrameCarriesStatus) {
+  const Status in = Status::LockTimeout("no lock for you");
+  FrameReader reader;
+  reader.Feed(EncodeError(7, in));
+  Frame frame;
+  ASSERT_TRUE(reader.Next(&frame).ValueOrDie());
+  ASSERT_EQ(frame.type, FrameType::kError);
+  Status out = DecodeError(frame);
+  EXPECT_EQ(out.code(), in.code());
+  EXPECT_EQ(out.message(), in.message());
+}
+
+TEST(WireTest, OversizedLengthIsStickyError) {
+  std::string bytes;
+  PutU32(&bytes, static_cast<uint32_t>(1 + 8 + kMaxFrameBody + 1));
+  bytes += EncodeFrame(FrameType::kPing, 1);  // valid frame behind it
+  FrameReader reader;
+  reader.Feed(bytes);
+  Frame frame;
+  EXPECT_TRUE(reader.Next(&frame).status().IsInvalidArgument());
+  // Sticky: the stream is dead even though valid bytes follow.
+  EXPECT_TRUE(reader.Next(&frame).status().IsInvalidArgument());
+}
+
+TEST(WireTest, UndersizedLengthIsRejected) {
+  std::string bytes;
+  PutU32(&bytes, 3);  // < type + request_id
+  bytes.append(16, '\0');
+  FrameReader reader;
+  reader.Feed(bytes);
+  Frame frame;
+  EXPECT_TRUE(reader.Next(&frame).status().IsInvalidArgument());
+}
+
+TEST(WireTest, UnknownTypeByteIsRejected) {
+  std::string bytes;
+  PutU32(&bytes, 9);
+  PutU8(&bytes, 200);  // not a FrameType
+  PutU64(&bytes, 1);
+  FrameReader reader;
+  reader.Feed(bytes);
+  Frame frame;
+  EXPECT_TRUE(reader.Next(&frame).status().IsInvalidArgument());
+}
+
+TEST(WireTest, TruncatedBodyReadsFailCleanly) {
+  std::string body;
+  PutU32(&body, 100);  // claims a 100-byte string...
+  body += "short";     // ...delivers 5
+  BodyReader reader(body);
+  EXPECT_TRUE(reader.String().status().IsInvalidArgument());
+  BodyReader empty("");
+  EXPECT_TRUE(empty.U8().status().IsInvalidArgument());
+  EXPECT_TRUE(empty.U32().status().IsInvalidArgument());
+  EXPECT_TRUE(empty.U64().status().IsInvalidArgument());
+}
+
+TEST(WireTest, ReaderCompactionKeepsParsingAcrossManyFrames) {
+  FrameReader reader;
+  Frame frame;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    reader.Feed(EncodeWrite(i, std::string(64, 'x')));
+    ASSERT_TRUE(reader.Next(&frame).ValueOrDie());
+    ASSERT_EQ(frame.request_id, i);
+    ASSERT_EQ(reader.buffered(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dbps

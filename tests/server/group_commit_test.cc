@@ -1,0 +1,263 @@
+// Group commit durability: ack-after-fsync ordering, journal byte
+// identity between the durable feed and the engine's own commit log,
+// fsync amortization over commit batches, and whole-group failure on a
+// failed fsync (no partial acknowledgement, sticky thereafter).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbps.h"
+
+namespace dbps {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr const char* kPlainProgram = R"(
+(relation item (id int))
+)";
+
+/// Engine + manager + durable journal feed, torn down in order.
+class DurableServer {
+ public:
+  explicit DurableServer(DurabilityOptions durability,
+                         ServerOptions server_options = {},
+                         size_t workers = 2) {
+    rules_ = LoadProgram(kPlainProgram, &wm_).ValueOrDie();
+    pristine_ = wm_.Clone();
+    DBPS_CHECK_OK(feed_.EnableDurability(std::move(durability)));
+    server_options.durable_feed = &feed_;
+    manager_ =
+        std::make_unique<SessionManager>(&wm_, std::move(server_options));
+    ParallelEngineOptions engine_options;
+    engine_options.num_workers = workers;
+    engine_options.external_source = manager_.get();
+    engine_options.base.observer = feed_.MakeObserver();
+    engine_ = std::make_unique<ParallelEngine>(&wm_, rules_, engine_options);
+    manager_->BindEngine(engine_.get());
+    thread_ = std::thread([this] { result_ = engine_->Run(); });
+  }
+
+  ~DurableServer() { Shutdown(); }
+
+  void Shutdown() {
+    manager_->Close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const RunResult& Finish() {
+    Shutdown();
+    EXPECT_TRUE(result_.ok()) << result_.status().ToString();
+    return result_.ValueOrDie();
+  }
+
+  SessionManager& manager() { return *manager_; }
+  JournalFeed& feed() { return feed_; }
+  WorkingMemory& wm() { return wm_; }
+  WorkingMemory* pristine() { return pristine_.get(); }
+
+ private:
+  WorkingMemory wm_;
+  RuleSetPtr rules_;
+  std::unique_ptr<WorkingMemory> pristine_;
+  JournalFeed feed_;
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<ParallelEngine> engine_;
+  std::thread thread_;
+  StatusOr<RunResult> result_{Status::Internal("engine not run")};
+};
+
+Delta MakeItem(int64_t id) {
+  Delta delta;
+  delta.Create(Sym("item"), {Value::Int(id)});
+  return delta;
+}
+
+TEST(GroupCommitTest, DurableFileMatchesFeedAndReplays) {
+  const std::string path =
+      testing::TempDir() + "group_commit_journal.log";
+  DurabilityOptions durability;
+  durability.path = path;
+  durability.group_commit = true;
+  DurableServer server(durability);
+  auto session = server.manager().Connect("alice").ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(session->Begin().ok());
+    ASSERT_TRUE(session->Write(MakeItem(i)).ok());
+    auto seq = session->Commit();
+    ASSERT_TRUE(seq.ok()) << seq.status();
+    // Ack-after-fsync: by the time Commit returns, this commit's line is
+    // durable.
+    EXPECT_GT(server.feed().durable_seq(), seq.ValueOrDie());
+  }
+  session->Close();
+  server.Finish();
+
+  DurabilityStats stats = server.feed().durability();
+  EXPECT_EQ(stats.records_synced, 5u);
+  EXPECT_EQ(stats.sync_failures, 0u);
+  EXPECT_GE(stats.fsyncs, 1u);
+  EXPECT_LE(stats.fsyncs, 5u);
+
+  // The on-disk log is byte-identical to the feed's in-memory journal.
+  std::ifstream in(path);
+  std::stringstream file_text;
+  file_text << in.rdbuf();
+  EXPECT_EQ(file_text.str(), server.feed().TextFrom(0));
+
+  // And it replays to the final database.
+  ASSERT_TRUE(ReplayJournal(file_text.str(), server.pristine()).ok());
+  EXPECT_EQ(server.pristine()->Count(Sym("item")), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(GroupCommitTest, ConcurrentCommitsByteIdenticalToEngineLog) {
+  DurabilityOptions durability;
+  durability.group_commit = true;  // simulated device, no path
+  ServerOptions server_options;
+  server_options.session.max_txn_retries = 64;
+  DurableServer server(durability, server_options, /*workers=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kTxns = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, t] {
+      auto session =
+          server.manager().Connect("w" + std::to_string(t)).ValueOrDie();
+      for (int i = 0; i < kTxns; ++i) {
+        Status st = session->Perform([&](Session& s) {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          DBPS_RETURN_NOT_OK(s.Write(MakeItem(t * 1000 + i)));
+          return s.Commit().status();
+        });
+        ASSERT_TRUE(st.ok()) << st;
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RunResult& result = server.Finish();
+
+  // Within this run, the durable feed must be the engine's commit log,
+  // byte for byte and in the same order (the feed observes the ordered
+  // commit stage, so parallel interleaving cannot reorder it).
+  ASSERT_EQ(result.log.size(),
+            static_cast<size_t>(kThreads * kTxns));
+  std::vector<std::string> feed_lines = server.feed().LinesFrom(0);
+  ASSERT_EQ(feed_lines.size(), result.log.size());
+  for (size_t i = 0; i < result.log.size(); ++i) {
+    auto line = DeltaToJournalLine(result.log[i].delta);
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(feed_lines[i], line.ValueOrDie()) << "line " << i;
+  }
+
+  DurabilityStats stats = server.feed().durability();
+  EXPECT_EQ(stats.records_synced, feed_lines.size());
+  EXPECT_LE(stats.fsyncs, stats.records_synced);
+  EXPECT_GE(stats.max_group, 1u);
+
+  // The journal replays to the same final database.
+  ASSERT_TRUE(
+      ReplayJournal(server.feed().TextFrom(0), server.pristine()).ok());
+  EXPECT_EQ(server.pristine()->Count(Sym("item")),
+            static_cast<size_t>(kThreads * kTxns));
+}
+
+TEST(GroupCommitTest, FsyncFailureFailsWholeGroupWithNoPartialAck) {
+  DurabilityOptions durability;
+  durability.group_commit = true;
+  DurableServer server(durability);
+  auto session = server.manager().Connect("alice").ValueOrDie();
+
+  // First commit succeeds normally.
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Write(MakeItem(1)).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  const uint64_t durable_before = server.feed().durable_seq();
+
+  // Arm the fsync failure: the next group's sync fails.
+  FailpointRegistry::Instance().Configure("server.journal.fsync_fail",
+                                          {.probability = 1.0});
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Write(MakeItem(2)).ok());
+  Status st = session->Commit().status();
+  EXPECT_TRUE(st.IsInternal()) << st;
+  FailpointRegistry::Instance().DisableAll();
+
+  // No partial acknowledgement: durable_seq did not advance.
+  EXPECT_EQ(server.feed().durable_seq(), durable_before);
+  EXPECT_GE(server.feed().durability().sync_failures, 1u);
+
+  // Sticky: a WAL with a hole must never acknowledge again, even though
+  // the failpoint is gone and later fsyncs would "succeed".
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Write(MakeItem(3)).ok());
+  EXPECT_TRUE(session->Commit().status().IsInternal());
+  EXPECT_EQ(server.feed().durable_seq(), durable_before);
+  EXPECT_EQ(session->stats().durable_ack_failures, 2u);
+
+  session->Close();
+  server.Finish();
+}
+
+TEST(GroupCommitTest, ConcurrentFsyncFailureNeverAcksNonDurableCommit) {
+  DurabilityOptions durability;
+  durability.group_commit = true;
+  ServerOptions server_options;
+  server_options.durable_wait_timeout = milliseconds(2000);
+  DurableServer server(durability, server_options, /*workers=*/4);
+
+  // Fail exactly one group fsync somewhere mid-run.
+  FailpointRegistry::Instance().SetSeed(7);
+  FailpointRegistry::Instance().Configure(
+      "server.journal.fsync_fail", {.one_in = 1, .skip = 5, .max_fires = 1});
+
+  constexpr int kThreads = 6;
+  constexpr int kTxns = 8;
+  std::mutex mu;
+  std::vector<uint64_t> acked_seqs;
+  std::atomic<int> failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session =
+          server.manager().Connect("w" + std::to_string(t)).ValueOrDie();
+      for (int i = 0; i < kTxns; ++i) {
+        if (!session->Begin().ok()) break;
+        if (!session->Write(MakeItem(t * 100 + i)).ok()) continue;
+        auto seq = session->Commit();
+        if (seq.ok()) {
+          std::lock_guard<std::mutex> guard(mu);
+          acked_seqs.push_back(seq.ValueOrDie());
+        } else {
+          ++failed;
+        }
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  FailpointRegistry::Instance().DisableAll();
+  server.Finish();
+
+  // At least one group failed, and every acknowledged commit is below the
+  // frozen durable high-water — an OK ack for a non-durable commit would
+  // be a durability lie.
+  EXPECT_GE(failed.load(), 1);
+  const uint64_t durable = server.feed().durable_seq();
+  for (uint64_t seq : acked_seqs) {
+    EXPECT_LT(seq, durable) << "acked but not durable";
+  }
+  EXPECT_GE(server.feed().durability().sync_failures, 1u);
+}
+
+}  // namespace
+}  // namespace dbps

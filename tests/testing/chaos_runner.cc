@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "engine/busy_work.h"
+#include "net/client.h"
+#include "net/net_server.h"
 #include "testing/workloads.h"
 #include "util/string_util.h"
 
@@ -174,14 +176,150 @@ ChaosReport RunMultiUserTrial(const ChaosOptions& options) {
   return report;
 }
 
+ChaosReport RunNetworkTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(kChaosProgram, &wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  RuleSetPtr rules = rules_or.ValueOrDie();
+  auto pristine = wm.Clone();
+
+  // Durable group-commit journal: commit acks over the wire are
+  // fsync-acknowledged, so the chaos faults also stress the ack path.
+  JournalFeed feed;
+  DurabilityOptions durability;
+  durability.group_commit = true;
+  DBPS_CHECK_OK(feed.EnableDurability(durability));
+
+  ServerOptions server_options;
+  server_options.durable_feed = &feed;
+  SessionManager manager(&wm, server_options);
+  ParallelEngineOptions eo = EngineOptionsFor(options);
+  eo.external_source = &manager;
+  eo.base.observer = feed.MakeObserver();
+  ParallelEngine engine(&wm, rules, eo);
+  manager.BindEngine(&engine);
+
+  StatusOr<RunResult> result_or{Status::Internal("not run")};
+  std::thread serve([&] { result_or = engine.Run(); });
+
+  net::NetServerOptions net_options;
+  net_options.num_loops = 2;
+  net_options.num_dispatchers = 4;
+  net::NetServer net(&manager, net_options);
+  DBPS_CHECK_OK(net.Start());
+  const uint16_t port = net.port();
+
+  FailpointDisarm disarm;
+  ApplyNetworkChaosProfile(options.fail_rate, options.seed);
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> gave_up{0};
+  std::atomic<uint64_t> unknown{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < options.client_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string name = "net-chaos-" + std::to_string(c);
+      std::unique_ptr<net::DbpsClient> client;
+      // (Re)connects through injected accept drops and Busy rejections.
+      auto ensure_connected = [&]() -> bool {
+        if (client != nullptr) return true;
+        // Short receive timeout: under chaos a response can legitimately
+        // never arrive (dropped connection); fail fast and reconnect
+        // rather than park the trial on the default 30s timeout.
+        net::ClientOptions client_options;
+        client_options.recv_timeout = std::chrono::milliseconds(2000);
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          auto client_or =
+              net::DbpsClient::Connect("127.0.0.1", port, name, client_options);
+          if (client_or.ok()) {
+            client = std::move(client_or).ValueOrDie();
+            return true;
+          }
+          SleepMicros(300);
+        }
+        return false;
+      };
+      for (uint64_t i = 0; i < options.txns_per_session; ++i) {
+        bool done = false;
+        for (int attempt = 0; attempt < 32 && !done; ++attempt) {
+          if (!ensure_connected()) break;
+          Status st = client->Begin();
+          if (st.ok()) {
+            auto line_or = DeltaToJournalLine([&] {
+              Delta delta;
+              delta.Create(Sym("request"),
+                           {Value::Int(static_cast<int64_t>(c * 1000 + i)),
+                            Value::Symbol("new")});
+              return delta;
+            }());
+            DBPS_CHECK(line_or.ok());
+            st = client->WriteLine(line_or.ValueOrDie());
+            if (st.ok()) {
+              auto seq_or = client->Commit();
+              if (seq_or.ok()) {
+                committed.fetch_add(1);
+                done = true;
+                continue;
+              }
+              st = seq_or.status();
+              if (st.IsUnavailable()) {
+                // Connection died carrying the commit verdict: the
+                // outcome is unknown; do NOT re-run this transaction
+                // (it may have committed — replay decides the truth).
+                unknown.fetch_add(1);
+                done = true;
+              }
+            }
+          }
+          if (!done && st.IsUnavailable()) {
+            // Dead connection: drop it and reconnect.
+            client.reset();
+            reconnects.fetch_add(1);
+          }
+          if (!done) SleepMicros(300);
+        }
+        if (!done) gave_up.fetch_add(1);
+      }
+      if (client != nullptr) (void)client->Goodbye();
+    });
+  }
+  for (auto& t : clients) t.join();
+  net.Stop();
+  manager.Close();
+  serve.join();
+  FailpointRegistry::Instance().DisableAll();
+
+  report.committed_client_txns = committed.load();
+  report.client_give_ups = gave_up.load();
+  report.unknown_outcomes = unknown.load();
+  report.reconnects = reconnects.load();
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
+                            report.live_transactions);
+  // The durable journal must never over-promise: everything below the
+  // durable high-water actually reached the feed.
+  if (report.verdict.ok() && feed.durable_seq() > feed.size()) {
+    report.verdict = Status::Internal(StringPrintf(
+        "durable_seq %llu exceeds journal size %zu",
+        (unsigned long long)feed.durable_seq(), feed.size()));
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string ChaosReport::ToString() const {
   return StringPrintf(
-      "verdict=%s committed=%llu give_ups=%llu live_txns=%zu [%s]",
+      "verdict=%s committed=%llu give_ups=%llu unknown=%llu "
+      "reconnects=%llu live_txns=%zu [%s]",
       verdict.ToString().c_str(),
       (unsigned long long)committed_client_txns,
-      (unsigned long long)client_give_ups, live_transactions,
+      (unsigned long long)client_give_ups,
+      (unsigned long long)unknown_outcomes,
+      (unsigned long long)reconnects, live_transactions,
       stats.ToString().c_str());
 }
 
@@ -191,6 +329,8 @@ ChaosReport ChaosRunner::RunTrial(const ChaosOptions& options) {
       return RunRulesOnlyTrial(options);
     case ChaosWorkload::kMultiUser:
       return RunMultiUserTrial(options);
+    case ChaosWorkload::kNetwork:
+      return RunNetworkTrial(options);
   }
   ChaosReport report;
   report.verdict = Status::InvalidArgument("unknown chaos workload");

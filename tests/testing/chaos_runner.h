@@ -31,6 +31,12 @@ namespace testing {
 enum class ChaosWorkload : uint8_t {
   kMultiUser,   ///< rule firings + concurrent client sessions (server)
   kRulesOnly,   ///< the logistics program, no external transactions
+  /// Clients drive the engine through the socket front-end (src/net/)
+  /// with the network chaos profile layered on: dropped connections
+  /// mid-commit, injected read errors, one-byte partial writes, delayed
+  /// group-commit fsyncs (ApplyNetworkChaosProfile). Clients reconnect
+  /// and retry like real ones; the trial then replay-validates.
+  kNetwork,
 };
 
 struct ChaosOptions {
@@ -62,6 +68,11 @@ struct ChaosReport {
   /// Client transactions whose Perform() exhausted its retry budget —
   /// allowed under faults (bounded retry is the point), but reported.
   uint64_t client_give_ups = 0;
+  /// kNetwork only: commits whose connection died before the response —
+  /// the client never learned the outcome (ambiguous; allowed).
+  uint64_t unknown_outcomes = 0;
+  /// kNetwork only: times a client had to re-Connect mid-workload.
+  uint64_t reconnects = 0;
   size_t live_transactions = 0;
 
   std::string ToString() const;

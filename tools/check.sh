@@ -9,14 +9,20 @@
 #                                       # fixed-seed chaos smoke of dbps_run
 #                                       # (combine with DBPS_SANITIZE=thread
 #                                       # for the full robustness gate)
-#   DBPS_TIER=bench tools/check.sh      # bench smoke tier: runs the two
+#   DBPS_TIER=bench tools/check.sh      # bench smoke tier: runs the
 #                                       # JSON-emitting benches at 2 threads,
 #                                       # fails if BENCH_*.json is missing or
 #                                       # malformed or if the lock manager's
 #                                       # CAS fast path never fired on the
 #                                       # uncontended sweep, then refreshes
-#                                       # the checked-in copies at the repo
-#                                       # root and under bench/results/
+#                                       # bench/results/ (canonical) and the
+#                                       # repo-root copies from it in one place
+#   DBPS_TIER=net tools/check.sh        # network tier: wire/server/group-
+#                                       # commit/net-chaos suites, then a
+#                                       # loopback smoke (server + 64
+#                                       # pipelined connections, replay-
+#                                       # validated) gating open-loop
+#                                       # p99 < 50ms at the smoke rate
 #
 # The build directory is build/ for plain runs and build-<sanitizer>/
 # for sanitizer runs, so they never poison each other's caches.
@@ -49,7 +55,7 @@ if [ "$TIER" = "chaos" ]; then
   done
   echo "chaos tier passed"
 elif [ "$TIER" = "bench" ]; then
-  # Bench smoke tier: both JSON-emitting benches at 2 threads. The point
+  # Bench smoke tier: the JSON-emitting benches at 2 threads. The point
   # is not performance numbers but that the binaries run end-to-end and
   # emit well-formed BENCH_*.json artifacts (see bench/report.h).
   JSON_DIR="$BUILD_DIR/bench-json"
@@ -59,7 +65,9 @@ elif [ "$TIER" = "bench" ]; then
     "$BUILD_DIR/bench/bench_multi_user"
   DBPS_BENCH_THREADS=2 DBPS_BENCH_JSON_DIR="$JSON_DIR" \
     "$BUILD_DIR/bench/bench_lock_protocols" --benchmark_filter='^$'
-  for name in multi_user lock_protocols; do
+  DBPS_BENCH_THREADS=2 DBPS_BENCH_JSON_DIR="$JSON_DIR" \
+    "$BUILD_DIR/bench/bench_net" --smoke
+  for name in multi_user lock_protocols net; do
     python3 - "$JSON_DIR/BENCH_$name.json" <<'EOF'
 import json, sys
 path = sys.argv[1]
@@ -69,7 +77,7 @@ assert doc["bench"], path
 assert doc["rows"], f"{path}: no rows"
 keys = ("workload", "threads", "protocol", "wall_ms", "aborts",
         "committed", "fast_path_grants", "fast_hit_pct",
-        "batched_commits")
+        "batched_commits", "p50_ms", "p95_ms", "p99_ms")
 sweep_rows = 0
 for row in doc["rows"]:
     for key in keys:
@@ -86,17 +94,34 @@ for row in doc["rows"]:
             f"{row['fast_hit_pct']}% <= 90% ({row['protocol']})")
 if doc["bench"] == "lock_protocols":
     assert sweep_rows > 0, f"{path}: uncontended sweep rows missing"
+if doc["bench"] in ("multi_user", "net"):
+    # These benches record per-transaction latencies; percentiles must
+    # be populated and ordered.
+    for row in doc["rows"]:
+        assert row["p50_ms"] > 0, f"{path}: p50 missing"
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], (
+            f"{path}: percentiles out of order")
 print(f"{path}: OK ({len(doc['rows'])} rows)")
 EOF
   done
-  # Refresh the checked-in result snapshots: BENCH_*.json at the repo
-  # root (the headline artifacts) and a copy under bench/results/.
+  # Refresh the checked-in snapshots: bench/results/ is canonical; the
+  # repo-root copies are derived from it HERE and nowhere else (keeping
+  # the two locations from drifting apart).
   mkdir -p bench/results
-  for name in multi_user lock_protocols; do
-    cp "$JSON_DIR/BENCH_$name.json" "BENCH_$name.json"
-    cp "$JSON_DIR/BENCH_$name.json" "bench/results/BENCH_$name.json"
+  cp "$JSON_DIR"/BENCH_*.json bench/results/
+  for f in bench/results/BENCH_*.json; do
+    cp "$f" "$(basename "$f")"
   done
-  echo "bench tier passed (BENCH_*.json refreshed at repo root and bench/results/)"
+  echo "bench tier passed (bench/results/ refreshed; root copies derived)"
+elif [ "$TIER" = "net" ]; then
+  # Network tier: the wire-protocol, socket-server, group-commit, and
+  # network-chaos suites, then a loopback smoke — epoll server + 64
+  # pipelined connections whose journal is replay-validated, with the
+  # open-loop p99 < 50ms gate enforced inside bench_net --smoke.
+  ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure \
+    -R 'Wire|NetServer|GroupCommit|NetChaos'
+  DBPS_BENCH_THREADS=2 "$BUILD_DIR/bench/bench_net" --smoke
+  echo "net tier passed"
 else
   ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure
 fi

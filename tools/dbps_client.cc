@@ -1,0 +1,252 @@
+// dbps_client — command-line front end for the binary wire protocol.
+//
+// Client commands (talk to a running server):
+//
+//   dbps_client --port=P ping                     liveness round trip
+//   dbps_client --port=P read RELATION            print rows, one per line
+//   dbps_client --port=P query "(order ^id <x>)"  print query rows
+//   dbps_client --port=P txn LINE...              one transaction: Begin,
+//                                                 Write each journal line,
+//                                                 Commit; prints the commit
+//                                                 sequence number
+//   dbps_client --port=P txn -                    journal lines from stdin
+//
+// Server command (host a program over the wire):
+//
+//   dbps_client serve PROGRAM.dbps [--port=P] [--workers=N]
+//               [--journal=PATH] [--group-commit]
+//
+// serve prints "listening on <port>" and runs until stdin reaches EOF
+// (so `dbps_client serve p.dbps < /dev/null` exits after draining).
+// With --journal the commit log is written durably, acked after fsync;
+// --group-commit amortizes fsyncs over commit batches.
+//
+// Journal lines use the lang/journal.h grammar, e.g.
+//   (delta (make order 7) (modify 3 (id 9)) (delete 4))
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbps.h"
+
+namespace {
+
+using namespace dbps;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host=H] [--port=P] [--name=NAME] COMMAND [ARGS...]\n"
+      "client commands: ping | read RELATION | query LHS | txn LINE...|-\n"
+      "server command:  serve PROGRAM.dbps [--port=P] [--workers=N]\n"
+      "                 [--journal=PATH] [--group-commit]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string name = "dbps-client";
+  size_t workers = 2;
+  std::string journal_path;
+  bool group_commit = false;
+  std::string command;
+  std::vector<std::string> args;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Serve(const Options& options) {
+  if (options.args.empty()) {
+    std::fprintf(stderr, "serve: missing PROGRAM.dbps\n");
+    return 2;
+  }
+  std::ifstream in(options.args[0]);
+  if (!in) {
+    std::fprintf(stderr, "serve: cannot read %s\n", options.args[0].c_str());
+    return 1;
+  }
+  std::stringstream source;
+  source << in.rdbuf();
+
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(source.str(), &wm);
+  if (!rules_or.ok()) return Fail(rules_or.status());
+  auto rules = rules_or.ValueOrDie();
+
+  JournalFeed feed;
+  ServerOptions server_options;
+  if (!options.journal_path.empty() || options.group_commit) {
+    DurabilityOptions durability;
+    durability.path = options.journal_path;
+    durability.group_commit = options.group_commit;
+    Status st = feed.EnableDurability(durability);
+    if (!st.ok()) return Fail(st);
+    server_options.durable_feed = &feed;
+  }
+  SessionManager manager(&wm, server_options);
+  ParallelEngineOptions engine_options;
+  engine_options.num_workers = options.workers;
+  engine_options.external_source = &manager;
+  if (server_options.durable_feed != nullptr) {
+    engine_options.base.observer = feed.MakeObserver();
+  }
+  ParallelEngine engine(&wm, rules, engine_options);
+  manager.BindEngine(&engine);
+  StatusOr<RunResult> result{Status::Internal("engine not run")};
+  std::thread engine_thread([&] { result = engine.Run(); });
+
+  net::NetServerOptions net_options;
+  net_options.port = options.port;
+  net::NetServer server(&manager, net_options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    manager.Close();
+    engine_thread.join();
+    return Fail(st);
+  }
+  std::printf("listening on %u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until stdin closes — works for both interactive use (^D) and
+  // scripted runs (`< /dev/null` exits once the engine drains).
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server.Stop();
+  manager.Close();
+  engine_thread.join();
+  if (!result.ok()) return Fail(result.status());
+  const net::NetStats stats = server.GetStats();
+  std::printf(
+      "served %llu connections, %llu frames in, %llu frames out, "
+      "%llu commits, %llu firings\n",
+      (unsigned long long)stats.connections_accepted,
+      (unsigned long long)stats.frames_in,
+      (unsigned long long)stats.frames_out,
+      (unsigned long long)result.ValueOrDie().stats.client_commits,
+      (unsigned long long)result.ValueOrDie().stats.firings);
+  return 0;
+}
+
+int RunClient(const Options& options) {
+  if (options.port == 0) {
+    std::fprintf(stderr, "%s: --port is required\n",
+                 options.command.c_str());
+    return 2;
+  }
+  auto client_or =
+      net::DbpsClient::Connect(options.host, options.port, options.name);
+  if (!client_or.ok()) return Fail(client_or.status());
+  auto client = std::move(client_or).ValueOrDie();
+
+  if (options.command == "ping") {
+    Status st = client->Ping();
+    if (!st.ok()) return Fail(st);
+    std::printf("pong (session %llu)\n",
+                (unsigned long long)client->session_id());
+  } else if (options.command == "read" || options.command == "query") {
+    if (options.args.size() != 1) {
+      std::fprintf(stderr, "%s: exactly one argument expected\n",
+                   options.command.c_str());
+      return 2;
+    }
+    // Reads run inside a transaction; wrap the one-shot in a read-only
+    // Begin/Abort pair.
+    Status st = client->Begin();
+    if (!st.ok()) return Fail(st);
+    auto rows_or = options.command == "read"
+                       ? client->Read(options.args[0])
+                       : client->Query(options.args[0]);
+    (void)client->Abort();
+    if (!rows_or.ok()) return Fail(rows_or.status());
+    for (const std::string& row : rows_or.ValueOrDie()) {
+      std::printf("%s\n", row.c_str());
+    }
+  } else if (options.command == "txn") {
+    std::vector<std::string> lines = options.args;
+    if (lines.size() == 1 && lines[0] == "-") {
+      lines.clear();
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (!line.empty()) lines.push_back(line);
+      }
+    }
+    if (lines.empty()) {
+      std::fprintf(stderr, "txn: no journal lines\n");
+      return 2;
+    }
+    Status st = client->Begin();
+    if (!st.ok()) return Fail(st);
+    for (const std::string& line : lines) {
+      st = client->WriteLine(line);
+      if (!st.ok()) {
+        (void)client->Abort();
+        return Fail(st);
+      }
+    }
+    auto seq_or = client->Commit();
+    if (!seq_or.ok()) return Fail(seq_or.status());
+    std::printf("committed seq %llu\n",
+                (unsigned long long)seq_or.ValueOrDie());
+  } else {
+    return 2;
+  }
+  (void)client->Goodbye();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseFlag(arg, "host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(arg, "port", &value)) {
+      options.port = static_cast<uint16_t>(std::stoul(value));
+    } else if (ParseFlag(arg, "name", &value)) {
+      options.name = value;
+    } else if (ParseFlag(arg, "workers", &value)) {
+      options.workers = std::stoul(value);
+    } else if (ParseFlag(arg, "journal", &value)) {
+      options.journal_path = value;
+    } else if (arg == "--group-commit") {
+      options.group_commit = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else if (options.command.empty()) {
+      options.command = arg;
+    } else {
+      options.args.push_back(arg);
+    }
+  }
+  if (options.command.empty()) return Usage(argv[0]);
+  if (options.command == "serve") return Serve(options);
+  if (options.command == "ping" || options.command == "read" ||
+      options.command == "query" || options.command == "txn") {
+    return RunClient(options);
+  }
+  std::fprintf(stderr, "unknown command %s\n", options.command.c_str());
+  return Usage(argv[0]);
+}
