@@ -1,0 +1,186 @@
+// Recovery time vs journal length — how long a crashed server takes to
+// come back, and what snapshot checkpoints buy.
+//
+// For each journal length N the bench builds the same delta history
+// twice: once as a plain WAL (recovery = full replay) and once with
+// periodic checkpoint records (recovery = restore last checkpoint +
+// replay the suffix). It then times RecoveryManager::Recover from a cold
+// file for each and asserts both recoveries land on the byte-identical
+// database (CanonicalWmDump) — the checkpoint is an accelerator, never a
+// semantic fork. Rows land in BENCH_recovery.json: wall_ms is the
+// recovery time, committed the journal's delta count, batched_commits
+// the checkpoint count of that variant.
+//
+// --smoke scales the lengths down for the check.sh recovery tier.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dbps.h"
+#include "report.h"
+
+namespace {
+
+using namespace dbps;
+
+constexpr const char* kProgram = R"(
+(relation item (id int))
+)";
+
+WorkingMemory* LoadPlain(WorkingMemory* wm) {
+  auto rules_or = LoadProgram(kProgram, wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  return wm;
+}
+
+/// The shared delta history: a bounded live set (the first records/16
+/// deltas are inserts, at most 512 rows) churned by updates ever after —
+/// the update-heavy shape checkpoints exist for, where the live state is
+/// far smaller than the history that produced it.
+std::vector<std::string> BuildLines(size_t records, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> lines;
+  lines.reserve(records);
+  const uint64_t rows = std::max<uint64_t>(
+      1, std::min<uint64_t>(512, records / 16));
+  for (size_t i = 0; i < records; ++i) {
+    Delta delta;
+    if (i < rows) {
+      delta.Create(Sym("item"), {Value::Int(static_cast<int64_t>(i))});
+    } else {
+      // WME ids were assigned densely from 1 by the initial makes.
+      delta.Modify(1 + rng.Uniform(rows),
+                   {{0, Value::Int(rng.UniformInt(0, 1 << 20))}});
+    }
+    auto line_or = DeltaToJournalLine(delta);
+    DBPS_CHECK(line_or.ok()) << line_or.status();
+    lines.push_back(line_or.ValueOrDie());
+  }
+  return lines;
+}
+
+/// Writes the history as a WAL, inserting a checkpoint record every
+/// `checkpoint_every` deltas (0 = plain log). Returns the checkpoint
+/// count.
+size_t WriteWal(const std::string& path,
+                const std::vector<std::string>& lines,
+                size_t checkpoint_every) {
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  std::string bytes;
+  size_t checkpoints = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    WalRecord record;
+    record.seq = i;
+    record.type = WalRecordType::kDelta;
+    record.payload = lines[i];
+    EncodeWalRecord(record, &bytes);
+    if (checkpoint_every > 0) {
+      auto delta_or = DeltaFromJournalLine(lines[i]);
+      DBPS_CHECK(delta_or.ok());
+      DBPS_CHECK(wm.Apply(delta_or.ValueOrDie()).ok());
+      if ((i + 1) % checkpoint_every == 0) {
+        auto checkpoint_or = CheckpointToSource(wm, i + 1);
+        DBPS_CHECK(checkpoint_or.ok()) << checkpoint_or.status();
+        WalRecord fence;
+        fence.seq = i + 1;
+        fence.type = WalRecordType::kCheckpoint;
+        fence.payload = checkpoint_or.ValueOrDie();
+        EncodeWalRecord(fence, &bytes);
+        ++checkpoints;
+      }
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DBPS_CHECK(out.good());
+  out << bytes;
+  DBPS_CHECK(out.good());
+  return checkpoints;
+}
+
+struct Measured {
+  double wall_ms = 0;
+  RecoveryStats stats;
+  std::string dump;
+};
+
+Measured TimeRecovery(const std::string& path) {
+  Measured measured;
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryManager recovery(path);
+  auto stats_or = recovery.Recover(&wm);
+  DBPS_CHECK(stats_or.ok()) << stats_or.status();
+  measured.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  measured.stats = stats_or.ValueOrDie();
+  measured.dump = CanonicalWmDump(wm);
+  return measured;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::Header("Recovery time vs journal length (replay vs checkpoint)");
+  std::vector<size_t> lengths =
+      smoke ? std::vector<size_t>{500, 2000}
+            : std::vector<size_t>{2000, 8000, 32000};
+
+  bench::JsonReport report("recovery");
+  std::printf("%10s  %12s  %14s  %12s  %12s\n", "records", "replay_ms",
+              "checkpoint_ms", "checkpoints", "suffix");
+  for (size_t records : lengths) {
+    const std::vector<std::string> lines = BuildLines(records, 42);
+    const std::string plain_path = "bench_recovery_plain.wal";
+    const std::string cp_path = "bench_recovery_checkpoint.wal";
+    // A cadence that does not divide the length, so the last checkpoint
+    // leaves a genuine replay suffix.
+    WriteWal(plain_path, lines, 0);
+    const size_t checkpoints = WriteWal(cp_path, lines, records / 8 + 7);
+
+    const Measured plain = TimeRecovery(plain_path);
+    const Measured checkpointed = TimeRecovery(cp_path);
+    DBPS_CHECK(plain.stats.replayed_deltas == records);
+    DBPS_CHECK(checkpointed.stats.used_checkpoint);
+    // Same database, byte for byte, or the bench (and the feature) is
+    // broken — this is the correctness gate, timing is the payload.
+    DBPS_CHECK(plain.dump == checkpointed.dump)
+        << "checkpoint recovery diverged from replay at " << records;
+
+    std::printf("%10zu  %12.3f  %14.3f  %12zu  %12llu\n", records,
+                plain.wall_ms, checkpointed.wall_ms, checkpoints,
+                (unsigned long long)checkpointed.stats.replayed_deltas);
+
+    bench::JsonRow plain_row;
+    plain_row.workload = "recovery";
+    plain_row.threads = 1;
+    plain_row.protocol = "replay_only";
+    plain_row.wall_ms = plain.wall_ms;
+    plain_row.committed = records;
+    report.Add(plain_row);
+
+    bench::JsonRow cp_row;
+    cp_row.workload = "recovery";
+    cp_row.threads = 1;
+    cp_row.protocol = "checkpointed";
+    cp_row.wall_ms = checkpointed.wall_ms;
+    cp_row.committed = records;
+    cp_row.batched_commits = checkpoints;
+    report.Add(cp_row);
+
+    std::remove(plain_path.c_str());
+    std::remove(cp_path.c_str());
+  }
+  report.WriteIfRequested();
+  return 0;
+}

@@ -36,6 +36,7 @@
 #include "lang/parser.h"
 #include "lang/printer.h"
 #include "lang/query.h"
+#include "lang/wal.h"
 #include "lock/lock_manager.h"
 #include "lock/lock_types.h"
 #include "match/conflict_resolution.h"
@@ -53,6 +54,7 @@
 #include "semantics/replay_validator.h"
 #include "server/admission.h"
 #include "server/journal_feed.h"
+#include "server/recovery.h"
 #include "server/session.h"
 #include "server/session_manager.h"
 #include "sim/paper_scenarios.h"

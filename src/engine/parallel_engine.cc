@@ -200,6 +200,7 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
 ParallelEngine::ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
                                ParallelEngineOptions options)
     : wm_(wm), rules_(std::move(rules)), options_(options) {
+  commit_seq_ = options_.start_seq;
   DBPS_CHECK(wm_ != nullptr);
   DBPS_CHECK(rules_ != nullptr);
   DBPS_CHECK_GT(options_.num_workers, 0u);

@@ -125,6 +125,11 @@ struct ParallelEngineOptions {
   /// When non-null, Run() keeps serving until the source is drained (and
   /// the conflict set has emptied). Not owned; must outlive Run().
   ExternalSource* external_source = nullptr;
+  /// First commit sequence this run assigns. Non-zero after crash
+  /// recovery (server/recovery.h): the journal already holds seqs
+  /// [0, start_seq), and the restarted engine's commits must extend that
+  /// numbering without a gap or overlap.
+  uint64_t start_seq = 0;
 };
 
 class ParallelEngine {

@@ -1,5 +1,6 @@
 #include "lang/printer.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <map>
@@ -409,6 +410,38 @@ StatusOr<std::string> SnapshotToSource(const WorkingMemory& wm) {
         DBPS_ASSIGN_OR_RETURN(std::string value,
                               ValueToSource(wme->value(field)));
         out += " ^" + SymName(schema->attrs()[field].name) + " " + value;
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> CheckpointToSource(const WorkingMemory& wm,
+                                         uint64_t seq) {
+  std::string out = StringPrintf(
+      "(checkpoint (seq %llu) (csn %llu) (next-id %llu) (next-tag %llu))\n",
+      (unsigned long long)seq, (unsigned long long)wm.csn(),
+      (unsigned long long)wm.next_id(), (unsigned long long)wm.next_tag());
+  for (SymbolId relation : wm.catalog().relation_names()) {
+    DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                          wm.catalog().GetRelation(relation));
+    out += SchemaToSource(*schema);
+  }
+  for (SymbolId relation : wm.catalog().relation_names()) {
+    std::vector<WmePtr> wmes = wm.Scan(relation);
+    std::sort(wmes.begin(), wmes.end(),
+              [](const WmePtr& a, const WmePtr& b) {
+                return a->id() < b->id();
+              });
+    for (const WmePtr& wme : wmes) {
+      out += StringPrintf("(wme %llu %llu %s", (unsigned long long)wme->id(),
+                          (unsigned long long)wme->tag(),
+                          SymName(relation).c_str());
+      for (size_t field = 0; field < wme->arity(); ++field) {
+        DBPS_ASSIGN_OR_RETURN(std::string value,
+                              ValueToSource(wme->value(field)));
+        out += " " + value;
       }
       out += ")\n";
     }

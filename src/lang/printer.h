@@ -38,6 +38,22 @@ StatusOr<std::string> ProgramToSource(const Catalog& catalog,
 /// fresh ids/time tags — persistence preserves content, not identity).
 StatusOr<std::string> SnapshotToSource(const WorkingMemory& wm);
 
+/// Renders the working memory as a recovery checkpoint — unlike
+/// SnapshotToSource this preserves WME ids and time tags (journal deltas
+/// after the checkpoint reference both) plus the id/tag/CSN counters:
+///
+///   (checkpoint (seq S) (csn C) (next-id I) (next-tag T))
+///   (relation name (attr type)...)        ; one per declared relation
+///   (wme ID TAG relation value...)        ; one per live WME, id order
+///
+/// `seq` is the replay fence: the checkpoint captures the state after
+/// every commit with engine seq < S. Values use ValueToSource, so the
+/// printer limits (finite floats, identifier symbols) apply; nil fields
+/// print as `nil`. Output is deterministic (catalog order, id order) so
+/// identical states render identical checkpoints.
+StatusOr<std::string> CheckpointToSource(const WorkingMemory& wm,
+                                         uint64_t seq);
+
 }  // namespace dbps
 
 #endif  // DBPS_LANG_PRINTER_H_

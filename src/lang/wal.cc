@@ -1,0 +1,145 @@
+#include "lang/wal.h"
+
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+void PutLE32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutLE64(std::string* out, uint64_t v) {
+  PutLE32(out, static_cast<uint32_t>(v));
+  PutLE32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t LoadLE32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+uint64_t LoadLE64(const char* p) {
+  return static_cast<uint64_t>(LoadLE32(p)) |
+         static_cast<uint64_t>(LoadLE32(p + 4)) << 32;
+}
+
+bool KnownRecordType(uint8_t value) {
+  return value == static_cast<uint8_t>(WalRecordType::kDelta) ||
+         value == static_cast<uint8_t>(WalRecordType::kCheckpoint);
+}
+
+}  // namespace
+
+const char* WalRecordTypeToString(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kDelta: return "delta";
+    case WalRecordType::kCheckpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+const char* WalTailToString(WalTail tail) {
+  switch (tail) {
+    case WalTail::kClean: return "clean";
+    case WalTail::kTorn: return "torn";
+    case WalTail::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+void EncodeWalRecord(const WalRecord& record, std::string* out) {
+  // Build seq+type+payload first so the crc covers the final bytes.
+  std::string body;
+  body.reserve(9 + record.payload.size());
+  PutLE64(&body, record.seq);
+  body.push_back(static_cast<char>(record.type));
+  body.append(record.payload);
+  PutLE32(out, static_cast<uint32_t>(body.size()));
+  PutLE32(out, Crc32(body));
+  out->append(body);
+}
+
+StatusOr<WalRecord> DecodeWalRecord(std::string_view buf, size_t offset,
+                                    size_t* consumed) {
+  const size_t remaining = buf.size() - offset;
+  if (remaining < 8) {
+    return Status::ResourceExhausted("torn frame header");
+  }
+  const uint32_t len = LoadLE32(buf.data() + offset);
+  const uint32_t crc = LoadLE32(buf.data() + offset + 4);
+  if (len < 9 || len - 9 > kMaxWalPayload) {
+    return Status::ParseError(StringPrintf("impossible frame length %u",
+                                           (unsigned)len));
+  }
+  if (remaining - 8 < len) {
+    return Status::ResourceExhausted("torn frame body");
+  }
+  const char* body = buf.data() + offset + 8;
+  if (Crc32Update(0, body, len) != crc) {
+    return Status::ParseError("frame checksum mismatch");
+  }
+  const uint8_t type = static_cast<uint8_t>(body[8]);
+  if (!KnownRecordType(type)) {
+    return Status::ParseError(StringPrintf("unknown record type %u",
+                                           (unsigned)type));
+  }
+  WalRecord record;
+  record.seq = LoadLE64(body);
+  record.type = static_cast<WalRecordType>(type);
+  record.payload.assign(body + 9, len - 9);
+  *consumed = 8 + static_cast<size_t>(len);
+  return record;
+}
+
+WalScan ScanWalBuffer(std::string_view buf) {
+  WalScan scan;
+  size_t offset = 0;
+  bool have_next_seq = false;
+  uint64_t next_seq = 0;  // seq the next delta record must carry
+  while (offset < buf.size()) {
+    size_t consumed = 0;
+    auto record_or = DecodeWalRecord(buf, offset, &consumed);
+    if (!record_or.ok()) {
+      scan.tail = record_or.status().IsResourceExhausted() ? WalTail::kTorn
+                                                           : WalTail::kCorrupt;
+      scan.tail_detail = record_or.status().message();
+      break;
+    }
+    WalRecord record = std::move(record_or).ValueOrDie();
+    if (record.type == WalRecordType::kDelta) {
+      if (have_next_seq && record.seq != next_seq) {
+        scan.tail = WalTail::kCorrupt;
+        scan.tail_detail = StringPrintf(
+            "sequence break: delta record carries seq %llu, expected %llu",
+            (unsigned long long)record.seq, (unsigned long long)next_seq);
+        break;
+      }
+      next_seq = record.seq + 1;
+      have_next_seq = true;
+    } else {  // checkpoint: fences exactly the commits already scanned
+      if (have_next_seq && record.seq != next_seq) {
+        scan.tail = WalTail::kCorrupt;
+        scan.tail_detail = StringPrintf(
+            "checkpoint fence %llu does not match next commit seq %llu",
+            (unsigned long long)record.seq, (unsigned long long)next_seq);
+        break;
+      }
+      next_seq = record.seq;
+      have_next_seq = true;
+    }
+    scan.records.push_back(std::move(record));
+    offset += consumed;
+  }
+  scan.valid_bytes = offset;
+  scan.truncated_bytes = buf.size() - offset;
+  return scan;
+}
+
+}  // namespace dbps

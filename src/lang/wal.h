@@ -1,0 +1,104 @@
+// Framed, checksummed on-disk records for the durable journal (the WAL).
+//
+// The in-memory journal stays what it always was — one text line per
+// committed delta (lang/journal.h) — but bare text on disk cannot tell a
+// crash-torn tail from a corrupt record from a clean end. The WAL wraps
+// each line (and each checkpoint, see printer.h CheckpointToSource) in a
+// self-describing frame:
+//
+//   [u32 len][u32 crc32][u64 seq][u8 type][payload ...]
+//
+// All integers little-endian. `len` counts everything after the crc
+// field (seq + type + payload, i.e. 9 + payload bytes); `crc32`
+// (util/crc32.h) covers exactly those `len` bytes. `seq` is the engine
+// commit sequence for kDelta records — dense, so a reader can prove no
+// record in the durable prefix is missing — and the replay *fence* for
+// kCheckpoint records: a checkpoint at seq S captures the database state
+// after every commit with seq < S, so replay resumes at S.
+//
+// Scanning stops at the first frame that does not validate and classifies
+// the tail:
+//   * torn    — the buffer ends inside a frame (length or payload cut
+//               short). This is the expected crash shape: the process
+//               died mid-write. Recovery truncates it silently.
+//   * corrupt — a complete frame with a bad checksum, an impossible
+//               length, an unknown type, or a sequence break. Also
+//               truncated (the log is unusable past it), but reported
+//               distinctly because it means bit rot or a bug, not a
+//               crash.
+// Everything before the first invalid byte is trusted — that is the
+// durable prefix the ack protocol promised.
+
+#ifndef DBPS_LANG_WAL_H_
+#define DBPS_LANG_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace dbps {
+
+enum class WalRecordType : uint8_t {
+  kDelta = 1,       ///< payload = one journal line (lang/journal.h)
+  kCheckpoint = 2,  ///< payload = checkpoint text (printer.h); seq = fence
+};
+
+const char* WalRecordTypeToString(WalRecordType type);
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kDelta;
+  std::string payload;
+};
+
+/// Frames with a payload larger than this are treated as corrupt — a
+/// damaged length prefix must not make recovery allocate gigabytes.
+inline constexpr uint64_t kMaxWalPayload = 256u << 20;
+
+/// Frame header bytes before the payload (len + crc + seq + type).
+inline constexpr size_t kWalHeaderSize = 4 + 4 + 8 + 1;
+
+/// Appends the framed wire bytes of one record to `out`.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+/// Why a scan stopped where it did.
+enum class WalTail : uint8_t {
+  kClean,    ///< the buffer ends exactly on a frame boundary
+  kTorn,     ///< ends mid-frame (the crash case)
+  kCorrupt,  ///< a full frame failed crc/type/length/seq validation
+};
+
+const char* WalTailToString(WalTail tail);
+
+/// Result of scanning a WAL buffer front to back.
+struct WalScan {
+  std::vector<WalRecord> records;  ///< every record before the first bad byte
+  uint64_t valid_bytes = 0;        ///< trusted prefix length
+  uint64_t truncated_bytes = 0;    ///< bytes past the trusted prefix
+  WalTail tail = WalTail::kClean;
+  /// Human-readable cause when tail != kClean (for recovery stats).
+  std::string tail_detail;
+};
+
+/// Scans `buf`, validating each frame's checksum and the delta-record
+/// sequence invariants: delta seqs are dense (each exactly one above the
+/// previous delta's), and a checkpoint's fence seq equals the next
+/// expected delta seq (it summarizes exactly the commits before it).
+/// The first delta record may carry any seq (a journal opened in append
+/// mode on a restarted server continues where the disk left off).
+/// Never fails: an unreadable tail is truncation, not an error.
+WalScan ScanWalBuffer(std::string_view buf);
+
+/// Decodes the single frame at buf[offset...]. Returns the record and
+/// writes the frame's size to *consumed; a torn frame yields
+/// kResourceExhausted (need more bytes), a corrupt one kParseError.
+StatusOr<WalRecord> DecodeWalRecord(std::string_view buf, size_t offset,
+                                    size_t* consumed);
+
+}  // namespace dbps
+
+#endif  // DBPS_LANG_WAL_H_

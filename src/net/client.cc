@@ -265,6 +265,12 @@ Status DbpsClient::Ping() {
   return ExpectOk(frame);
 }
 
+Status DbpsClient::Checkpoint() {
+  DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kCheckpoint));
+  DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));
+  return ExpectOk(frame);
+}
+
 Status DbpsClient::Goodbye() {
   DBPS_ASSIGN_OR_RETURN(uint64_t id, Send(FrameType::kGoodbye));
   DBPS_ASSIGN_OR_RETURN(Frame frame, Await(id));

@@ -82,6 +82,9 @@ class DbpsClient {
   StatusOr<uint64_t> Commit();
   Status Abort();
   Status Ping();
+  /// Admin: ask the server to write a journal snapshot checkpoint at its
+  /// next commit-batch boundary. OK means scheduled, not yet written.
+  Status Checkpoint();
   /// Orderly close: Goodbye, await Ok, shut the socket down.
   Status Goodbye();
 

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "lang/journal.h"
+#include "server/journal_feed.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "wm/wme.h"
@@ -450,6 +451,19 @@ std::string NetServer::HandleFrame(const ConnPtr& conn, const Frame& frame) {
     case FrameType::kGoodbye: {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->goodbye = true;
+      return EncodeFrame(FrameType::kOk, id);
+    }
+
+    case FrameType::kCheckpoint: {
+      // Admin verb, no session needed: schedule a snapshot checkpoint at
+      // the next commit-batch boundary of the durable journal.
+      JournalFeed* feed = manager_->options().durable_feed;
+      if (feed == nullptr) {
+        return error(Status::Unavailable(
+            "server has no durable journal; checkpointing is unavailable"));
+      }
+      Status status = feed->RequestCheckpoint();
+      if (!status.ok()) return error(status);
       return EncodeFrame(FrameType::kOk, id);
     }
 

@@ -16,6 +16,7 @@ const char* FrameTypeToString(FrameType type) {
     case FrameType::kAbortTxn: return "AbortTxn";
     case FrameType::kPing: return "Ping";
     case FrameType::kGoodbye: return "Goodbye";
+    case FrameType::kCheckpoint: return "Checkpoint";
     case FrameType::kHelloOk: return "HelloOk";
     case FrameType::kOk: return "Ok";
     case FrameType::kCommitOk: return "CommitOk";
@@ -40,6 +41,7 @@ bool KnownFrameType(uint8_t value) {
     case FrameType::kAbortTxn:
     case FrameType::kPing:
     case FrameType::kGoodbye:
+    case FrameType::kCheckpoint:
     case FrameType::kHelloOk:
     case FrameType::kOk:
     case FrameType::kCommitOk:

@@ -24,6 +24,8 @@
 //   AbortTxn {}              roll back the open transaction
 //   Ping     {}              liveness/latency probe
 //   Goodbye  {}              orderly close (server flushes, then closes)
+//   Checkpoint {}            admin: schedule a journal snapshot checkpoint
+//                            at the next commit-batch boundary
 //
 // Response frames (server → client):
 //   HelloOk  {session_id}
@@ -65,6 +67,7 @@ enum class FrameType : uint8_t {
   kAbortTxn = 7,
   kPing = 8,
   kGoodbye = 9,
+  kCheckpoint = 10,
   // Responses.
   kHelloOk = 64,
   kOk = 65,

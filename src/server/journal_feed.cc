@@ -8,9 +8,20 @@
 #include <utility>
 
 #include "lang/journal.h"
+#include "lang/printer.h"
 #include "util/failpoint.h"
+#include "wm/working_memory.h"
 
 namespace dbps {
+
+const char* JournalOpenModeToString(JournalOpenMode mode) {
+  switch (mode) {
+    case JournalOpenMode::kAppend: return "append";
+    case JournalOpenMode::kTruncate: return "truncate";
+    case JournalOpenMode::kFailIfExists: return "fail-if-exists";
+  }
+  return "?";
+}
 
 JournalFeed::~JournalFeed() {
   if (fd_ >= 0) ::close(fd_);
@@ -26,6 +37,11 @@ EngineObserver JournalFeed::MakeObserver(EngineObserver next) {
           !staged_.empty()) {
         SyncStaged(lock);
       }
+      // Checkpoints only here: at the batch boundary the working memory
+      // IS the replay of every record written so far (the head thread
+      // applied all earlier commits, none of the next batch started), so
+      // event.seq is an exact fence.
+      if (durable_enabled_) MaybeWriteCheckpoint(lock, event.seq);
     }
     if (next) next(event);
   };
@@ -34,7 +50,7 @@ EngineObserver JournalFeed::MakeObserver(EngineObserver next) {
 void JournalFeed::Append(const Delta& delta) {
   // Cursor-only use (no engine seq available): synthesize the dense seq.
   std::unique_lock<std::mutex> lock(mu_);
-  const uint64_t seq = lines_.size();
+  const uint64_t seq = durable_options_.start_seq + lines_.size();
   lock.unlock();
   AppendLine(delta, seq);
 }
@@ -49,13 +65,34 @@ void JournalFeed::AppendLine(const Delta& delta, uint64_t seq) {
     }
     lines_.push_back(line_or.ValueOrDie());
     if (durable_enabled_) {
-      staged_.push_back(std::move(line_or).ValueOrDie());
+      WalRecord record;
+      record.seq = seq;
+      record.type = WalRecordType::kDelta;
+      record.payload = std::move(line_or).ValueOrDie();
+      staged_.push_back(std::move(record));
       staged_high_seq_ = seq + 1;
+      ++records_since_checkpoint_;
       // Per-commit fsync mode: every commit is its own group of one.
       if (!durable_options_.group_commit) SyncStaged(lock);
     }
   }
   cv_.notify_all();
+}
+
+bool JournalFeed::WriteFramedLocked(const WalRecord& record) {
+  std::string frame;
+  EncodeWalRecord(record, &frame);
+  if (fd_ >= 0) {
+    size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+      if (n < 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd_) != 0) return false;
+  }
+  durability_stats_.bytes_written += frame.size();
+  return true;
 }
 
 void JournalFeed::SyncStaged(std::unique_lock<std::mutex>& lock) {
@@ -70,21 +107,56 @@ void JournalFeed::SyncStaged(std::unique_lock<std::mutex>& lock) {
     // good (later groups would leave a hole before them in the log).
     if (DBPS_FAILPOINT("server.journal.fsync_fail")) failed = true;
   }
-  if (!failed && fd_ >= 0) {
-    for (const std::string& line : staged_) {
-      std::string buf = line + '\n';
+  // Crash sites: the process "dies" inside the sync. Unlike fsync_fail
+  // the bytes (or a prefix of them) DO reach the file — exactly the
+  // states recovery must cope with — but no ack is ever delivered and
+  // the feed is dead thereafter.
+  bool crash = false;
+  size_t full_records = staged_.size();  // records written completely
+  size_t partial_bytes = 0;              // then this prefix of the next
+  if (!failed && !crashed_) {
+    if (DBPS_FAILPOINT("server.journal.crash_after_write")) {
+      crash = true;  // every staged record lands, the ack does not
+    } else if (DBPS_FAILPOINT("server.journal.crash_mid_record")) {
+      crash = true;  // the final record is cut mid-frame (torn tail)
+      if (!staged_.empty()) {
+        full_records = staged_.size() - 1;
+        std::string frame;
+        EncodeWalRecord(staged_.back(), &frame);
+        partial_bytes = std::max<size_t>(1, frame.size() / 2);
+      }
+    }
+  }
+  if (!failed && !crashed_ && fd_ >= 0) {
+    for (size_t i = 0; i < full_records && !failed; ++i) {
+      std::string frame;
+      EncodeWalRecord(staged_[i], &frame);
       size_t off = 0;
-      while (off < buf.size()) {
-        const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+      while (off < frame.size()) {
+        const ssize_t n = ::write(fd_, frame.data() + off,
+                                  frame.size() - off);
         if (n < 0) {
           failed = true;
           break;
         }
         off += static_cast<size_t>(n);
       }
-      if (failed) break;
+      if (!failed) durability_stats_.bytes_written += frame.size();
     }
-    if (!failed && ::fsync(fd_) != 0) failed = true;
+    if (!failed && crash && partial_bytes > 0 && !staged_.empty()) {
+      std::string frame;
+      EncodeWalRecord(staged_.back(), &frame);
+      (void)!::write(fd_, frame.data(), partial_bytes);
+      durability_stats_.bytes_written += partial_bytes;
+    }
+    if (!failed && !crash && ::fsync(fd_) != 0) failed = true;
+  } else if (!failed && !crashed_ && crash) {
+    // Simulated device: nothing to write, the crash still kills the feed.
+  }
+  if (crash) {
+    crashed_ = true;
+    ++durability_stats_.injected_crashes;
+    failed = true;
   }
   if (!failed) {
     // Delay-style site (sleep-safe) + configured device latency model.
@@ -105,6 +177,41 @@ void JournalFeed::SyncStaged(std::unique_lock<std::mutex>& lock) {
   }
   staged_.clear();
   cv_.notify_all();
+}
+
+void JournalFeed::MaybeWriteCheckpoint(std::unique_lock<std::mutex>& lock,
+                                       uint64_t seq) {
+  (void)lock;
+  if (checkpoint_wm_ == nullptr || sync_failed_ || crashed_) return;
+  const bool due =
+      checkpoint_requested_.load(std::memory_order_acquire) ||
+      (durable_options_.checkpoint_every > 0 &&
+       records_since_checkpoint_ >= durable_options_.checkpoint_every);
+  if (!due) return;
+  auto payload_or = CheckpointToSource(*checkpoint_wm_, seq);
+  if (!payload_or.ok()) {
+    // Unprintable state (printer limits). Nothing was written, so the
+    // log has no hole — count it and try again at a later boundary.
+    ++durability_stats_.checkpoint_render_failures;
+    checkpoint_requested_.store(false, std::memory_order_release);
+    return;
+  }
+  WalRecord record;
+  record.seq = seq;
+  record.type = WalRecordType::kCheckpoint;
+  record.payload = std::move(payload_or).ValueOrDie();
+  if (!WriteFramedLocked(record)) {
+    // A partially-written checkpoint is a hole mid-log: same sticky
+    // whole-feed failure as a lost fsync.
+    sync_failed_ = true;
+    ++durability_stats_.sync_failures;
+    cv_.notify_all();
+    return;
+  }
+  ++durability_stats_.fsyncs;
+  ++durability_stats_.checkpoints_written;
+  records_since_checkpoint_ = 0;
+  checkpoint_requested_.store(false, std::memory_order_release);
 }
 
 size_t JournalFeed::size() const {
@@ -146,14 +253,32 @@ Status JournalFeed::EnableDurability(DurabilityOptions options) {
     return Status::InvalidArgument("durability already enabled");
   }
   if (!options.path.empty()) {
-    const int fd = ::open(options.path.c_str(),
-                          O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    int flags = O_CREAT | O_WRONLY | O_CLOEXEC;
+    switch (options.open_mode) {
+      case JournalOpenMode::kAppend:
+        flags |= O_APPEND;
+        break;
+      case JournalOpenMode::kTruncate:
+        flags |= O_TRUNC;
+        break;
+      case JournalOpenMode::kFailIfExists:
+        flags |= O_EXCL;
+        break;
+    }
+    const int fd = ::open(options.path.c_str(), flags, 0644);
     if (fd < 0) {
+      if (options.open_mode == JournalOpenMode::kFailIfExists &&
+          errno == EEXIST) {
+        return Status::AlreadyExists("journal file '" + options.path +
+                                     "' already exists");
+      }
       return Status::Unavailable("cannot open journal file '" +
                                  options.path + "'");
     }
     fd_ = fd;
   }
+  durable_seq_ = options.start_seq;
+  staged_high_seq_ = options.start_seq;
   durable_options_ = std::move(options);
   durable_enabled_ = true;
   return Status::OK();
@@ -162,6 +287,34 @@ Status JournalFeed::EnableDurability(DurabilityOptions options) {
 bool JournalFeed::durable_enabled() const {
   std::lock_guard<std::mutex> lock(mu_);
   return durable_enabled_;
+}
+
+Status JournalFeed::EnableCheckpoints(const WorkingMemory* wm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!durable_enabled_) {
+    return Status::InvalidArgument(
+        "EnableCheckpoints requires durability to be enabled first");
+  }
+  if (wm == nullptr) {
+    return Status::InvalidArgument("EnableCheckpoints: null working memory");
+  }
+  checkpoint_wm_ = wm;
+  return Status::OK();
+}
+
+Status JournalFeed::RequestCheckpoint() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!durable_enabled_ || checkpoint_wm_ == nullptr) {
+      return Status::InvalidArgument(
+          "checkpointing is not enabled on this journal");
+    }
+    if (sync_failed_ || crashed_) {
+      return Status::Internal("journal is failed; cannot checkpoint");
+    }
+  }
+  checkpoint_requested_.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 Status JournalFeed::WaitDurable(uint64_t seq,

@@ -12,24 +12,39 @@
 // or a replica. The feed never drops lines; bound its growth by draining.
 //
 // Durability / group commit: EnableDurability() turns the feed into the
-// engine's write-ahead log. Every kCommit event's line is written to the
-// log file (or an in-memory simulated device when no path is given) and
-// made durable with an fsync; a commit is acknowledged to its client
-// (Session::Commit returns) only once its line is durable. With
-// group_commit=true the fsync is amortized over the commit sequencer's
-// already-batched ticket groups: lines accumulate across one engine
-// commit batch and the kBatchEnd boundary event issues ONE fsync for all
-// of them, then every member commit is releasable at once — the journal
-// bytes and order are identical to per-commit fsync mode, only the
-// fsync count drops (by roughly the mean commit batch size). A failed
-// fsync aborts the whole group's acknowledgement: none of the batch's
-// commits becomes durable, WaitDurable reports the failure for every
-// member, and the feed stays failed (a write-ahead log with a hole must
-// not ack anything later, either).
+// engine's write-ahead log. Every kCommit event's line is wrapped in a
+// checksummed frame (lang/wal.h: [u32 len][u32 crc32][u64 seq][u8 type]
+// [payload]) and written to the log file (or an in-memory simulated
+// device when no path is given), then made durable with an fsync; a
+// commit is acknowledged to its client (Session::Commit returns) only
+// once its record is durable. The in-memory feed (LinesFrom/TextFrom)
+// stays plain text — the frame exists only on disk, where recovery
+// (server/recovery.h) needs checksums and sequence numbers to tell a
+// crash-torn tail from valid history. With group_commit=true the fsync
+// is amortized over the commit sequencer's already-batched ticket
+// groups: records accumulate across one engine commit batch and the
+// kBatchEnd boundary event issues ONE fsync for all of them, then every
+// member commit is releasable at once — the journal payload bytes and
+// order are identical to per-commit fsync mode, only the fsync count
+// drops (by roughly the mean commit batch size). A failed fsync aborts
+// the whole group's acknowledgement: none of the batch's commits becomes
+// durable, WaitDurable reports the failure for every member, and the
+// feed stays failed (a write-ahead log with a hole must not ack anything
+// later, either).
+//
+// Checkpoints: EnableCheckpoints() lets the feed write snapshot
+// checkpoint records (printer.h CheckpointToSource) into the same log.
+// A checkpoint is only captured at a kBatchEnd boundary — the one point
+// where the working memory is exactly the replay of every record already
+// in the log (the engine's head thread has applied all earlier commits
+// and released none of the next batch) — so the checkpoint's fence seq
+// is precise by construction. Request one explicitly (RequestCheckpoint,
+// the admin verb) or automatically every checkpoint_every records.
 
 #ifndef DBPS_SERVER_JOURNAL_FEED_H_
 #define DBPS_SERVER_JOURNAL_FEED_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -37,17 +52,36 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "lang/wal.h"
 #include "util/status.h"
 #include "wm/delta.h"
 
 namespace dbps {
 
+class WorkingMemory;
+
+/// \brief How EnableDurability treats an existing file at `path`.
+enum class JournalOpenMode : uint8_t {
+  /// Open for append, creating if absent. The default: a restarted
+  /// server must extend its journal, not destroy the history recovery
+  /// depends on.
+  kAppend,
+  /// Truncate any existing file (fresh runs, tests, benches).
+  kTruncate,
+  /// Fail with AlreadyExists if the file exists — for callers that must
+  /// never clobber and never silently continue someone else's log.
+  kFailIfExists,
+};
+
+const char* JournalOpenModeToString(JournalOpenMode mode);
+
 /// \brief How EnableDurability persists the journal.
 struct DurabilityOptions {
-  /// Log file path (created/truncated). Empty: no real file — writes and
-  /// fsyncs are simulated in memory, which keeps the ack protocol and
-  /// counters exact without disk I/O (benches, loopback smoke).
+  /// Log file path. Empty: no real file — writes and fsyncs are simulated
+  /// in memory, which keeps the ack protocol and counters exact without
+  /// disk I/O (benches, loopback smoke).
   std::string path;
+  JournalOpenMode open_mode = JournalOpenMode::kAppend;
   /// Fsync once per engine commit batch (at kBatchEnd) instead of once
   /// per commit. Requires the observer to receive kBatchEnd events (all
   /// engines emit them).
@@ -55,14 +89,31 @@ struct DurabilityOptions {
   /// Added to every (real or simulated) fsync — models device latency so
   /// group-commit amortization is measurable on fast filesystems.
   std::chrono::microseconds simulated_fsync_cost{0};
+  /// First commit seq this feed will observe — non-zero after recovery,
+  /// when the reopened journal already holds seqs [.., start_seq).
+  /// Initializes the durable horizon, so WaitDurable on an already-
+  /// recovered seq returns immediately.
+  uint64_t start_seq = 0;
+  /// Write a checkpoint record automatically once this many delta
+  /// records accumulated since the last one (0 = only on request).
+  /// Requires EnableCheckpoints.
+  size_t checkpoint_every = 0;
 };
 
 /// \brief Durability counters (all zero until EnableDurability).
 struct DurabilityStats {
   uint64_t fsyncs = 0;          ///< successful fsync calls (real or simulated)
-  uint64_t records_synced = 0;  ///< journal lines made durable
+  uint64_t records_synced = 0;  ///< journal records made durable
   uint64_t sync_failures = 0;   ///< failed fsyncs (each fails a whole group)
   uint64_t max_group = 0;       ///< most records covered by one fsync
+  uint64_t bytes_written = 0;   ///< framed bytes written to the device
+  uint64_t checkpoints_written = 0;  ///< checkpoint records made durable
+  /// Checkpoints skipped because the state would not serialize (printer
+  /// limits). Nothing reaches the disk, so skipping is safe.
+  uint64_t checkpoint_render_failures = 0;
+  /// Simulated crashes injected by the server.journal.crash_* failpoints
+  /// (the device "died" mid-group; the feed is failed thereafter).
+  uint64_t injected_crashes = 0;
   /// Mean records per fsync — the group-commit amortization factor; its
   /// inverse is the bench's fsyncs-per-commit figure.
   double MeanGroup() const {
@@ -80,7 +131,7 @@ class JournalFeed {
   /// An engine observer that appends every kCommit delta to this feed and
   /// then forwards the event to `next` (chain a user observer through).
   /// With durability enabled it also writes/fsyncs per the configured
-  /// mode (kBatchEnd triggers the group fsync).
+  /// mode (kBatchEnd triggers the group fsync and any due checkpoint).
   EngineObserver MakeObserver(EngineObserver next = nullptr);
 
   /// Appends one committed delta as a journal line. Serialization
@@ -104,8 +155,10 @@ class JournalFeed {
 
   // --- Durability / group commit ----------------------------------------
 
-  /// Arms the durability path (before the run starts). Opens/truncates
-  /// `options.path` when given. Not idempotent; call once per feed.
+  /// Arms the durability path (before the run starts). Opens
+  /// `options.path` when given, honouring options.open_mode (default:
+  /// append — restarts extend history). Not idempotent; call once per
+  /// feed.
   Status EnableDurability(DurabilityOptions options);
 
   bool durable_enabled() const;
@@ -124,18 +177,44 @@ class JournalFeed {
 
   DurabilityStats durability() const;
 
+  // --- Checkpoints -------------------------------------------------------
+
+  /// Arms checkpoint capture: `wm` is the engine's working memory (not
+  /// owned; must outlive the run). Call before the run, after
+  /// EnableDurability. Checkpoints are captured only at batch
+  /// boundaries, where `wm` equals the exact replay of the log so far.
+  Status EnableCheckpoints(const WorkingMemory* wm);
+
+  /// Schedules a checkpoint at the NEXT commit-batch boundary (the admin
+  /// verb). Returns InvalidArgument when durability or checkpoints are
+  /// not enabled. The write itself happens on the engine thread; a
+  /// request on an idle engine waits for the next commit.
+  Status RequestCheckpoint();
+
  private:
-  /// Appends under mu_ and, when durability is armed, stages the line for
-  /// sync; `seq` is the engine commit sequence (dense, equals the line
-  /// index for a feed observing from commit 0).
+  /// Appends under mu_ and, when durability is armed, stages the record
+  /// for sync; `seq` is the engine commit sequence (dense; equals the
+  /// line index plus start_seq for a feed observing from the start).
   void AppendLine(const Delta& delta, uint64_t seq);
 
-  /// Writes + fsyncs every staged line (one group). On failure marks the
-  /// feed sync-failed — staged lines are NOT marked durable. Called with
-  /// mu_ held; the write/fsync happens under it by design: the observer
-  /// runs on the engine's ordered commit stage, so nothing else contends,
-  /// and readers see durable_seq_ advance atomically with the fsync.
+  /// Writes + fsyncs every staged record (one group). On failure marks
+  /// the feed sync-failed — staged records are NOT marked durable. Called
+  /// with mu_ held; the write/fsync happens under it by design: the
+  /// observer runs on the engine's ordered commit stage, so nothing else
+  /// contends, and readers see durable_seq_ advance atomically with the
+  /// fsync. Evaluates the server.journal.crash_after_write /
+  /// crash_mid_record failpoints (simulated process death: bytes may
+  /// reach the file, the ack never happens, the feed is dead after).
   void SyncStaged(std::unique_lock<std::mutex>& lock);
+
+  /// Writes a checkpoint record at fence `seq` if one is due (requested,
+  /// or checkpoint_every reached). Called at kBatchEnd with mu_ held.
+  void MaybeWriteCheckpoint(std::unique_lock<std::mutex>& lock,
+                            uint64_t seq);
+
+  /// Writes one framed record + fsync to the device; false = the device
+  /// failed (caller marks the feed sync-failed). Requires mu_.
+  bool WriteFramedLocked(const WalRecord& record);
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -146,11 +225,17 @@ class JournalFeed {
   bool durable_enabled_ = false;
   DurabilityOptions durable_options_;
   int fd_ = -1;                       ///< -1: simulated device
-  std::vector<std::string> staged_;   ///< appended, not yet fsynced
+  std::vector<WalRecord> staged_;     ///< appended, not yet fsynced
   uint64_t staged_high_seq_ = 0;      ///< seq high-water of staged_
   uint64_t durable_seq_ = 0;          ///< commits below this are durable
   bool sync_failed_ = false;          ///< sticky: a group fsync failed
+  bool crashed_ = false;              ///< sticky: injected device death
   DurabilityStats durability_stats_;
+
+  // Checkpoint state.
+  const WorkingMemory* checkpoint_wm_ = nullptr;  ///< armed when non-null
+  std::atomic<bool> checkpoint_requested_{false};
+  uint64_t records_since_checkpoint_ = 0;  ///< under mu_
 };
 
 }  // namespace dbps

@@ -1,0 +1,376 @@
+#include "server/recovery.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "lang/journal.h"
+#include "lang/lexer.h"
+#include "util/string_util.h"
+#include "value/symbol_table.h"
+
+namespace dbps {
+
+namespace {
+
+StatusOr<std::string> ReadWholeFile(const std::string& path, bool* missing) {
+  *missing = false;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *missing = true;
+      return std::string();
+    }
+    return Status::Unavailable("cannot open journal '" + path + "'");
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return Status::Unavailable("cannot read journal '" + path + "'");
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool AttrTypeFromString(const std::string& name, AttrType* out) {
+  if (name == "any") *out = AttrType::kAny;
+  else if (name == "int") *out = AttrType::kInt;
+  else if (name == "float") *out = AttrType::kFloat;
+  else if (name == "symbol") *out = AttrType::kSymbol;
+  else if (name == "string") *out = AttrType::kString;
+  else if (name == "number") *out = AttrType::kNumber;
+  else return false;
+  return true;
+}
+
+/// Parses a CheckpointToSource payload and rebuilds `wm` from it (the WM
+/// is wiped first). The payload's s-expressions reuse the rule-language
+/// lexer; the grammar is fixed, so anything unexpected is corruption that
+/// slipped past the CRC — fail loudly rather than restore half a state.
+class CheckpointRestorer {
+ public:
+  CheckpointRestorer(std::string_view payload, WorkingMemory* wm)
+      : payload_(payload), wm_(wm) {}
+
+  Status Run() {
+    DBPS_ASSIGN_OR_RETURN(tokens_, Lex(payload_));
+    DBPS_RETURN_NOT_OK(ParseHeader());
+    wm_->ClearForRestore();
+    while (!AtEnd()) {
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+      DBPS_ASSIGN_OR_RETURN(std::string head, ExpectSymbol());
+      if (head == "relation") {
+        DBPS_RETURN_NOT_OK(ParseRelation());
+      } else if (head == "wme") {
+        DBPS_RETURN_NOT_OK(ParseWme());
+      } else {
+        return Corrupt("unexpected form '" + head + "'");
+      }
+    }
+    wm_->RestoreCounters(next_id_, next_tag_, csn_);
+    return Status::OK();
+  }
+
+ private:
+  Status ParseHeader() {
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    DBPS_ASSIGN_OR_RETURN(std::string head, ExpectSymbol());
+    if (head != "checkpoint") return Corrupt("missing (checkpoint ...) head");
+    DBPS_ASSIGN_OR_RETURN(seq_, ExpectNamedInt("seq"));
+    DBPS_ASSIGN_OR_RETURN(csn_, ExpectNamedInt("csn"));
+    DBPS_ASSIGN_OR_RETURN(next_id_, ExpectNamedInt("next-id"));
+    DBPS_ASSIGN_OR_RETURN(next_tag_, ExpectNamedInt("next-tag"));
+    return Expect(TokenType::kRParen);
+  }
+
+  Status ParseRelation() {
+    DBPS_ASSIGN_OR_RETURN(std::string name, ExpectSymbol());
+    std::vector<std::pair<std::string, AttrType>> attrs;
+    while (Peek().type == TokenType::kLParen) {
+      Advance();
+      DBPS_ASSIGN_OR_RETURN(std::string attr, ExpectSymbol());
+      DBPS_ASSIGN_OR_RETURN(std::string type_name, ExpectSymbol());
+      AttrType type;
+      if (!AttrTypeFromString(type_name, &type)) {
+        return Corrupt("unknown attribute type '" + type_name + "'");
+      }
+      attrs.emplace_back(std::move(attr), type);
+      DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    // The running program usually declared this relation already (the
+    // checkpoint came from the same program); only add what's missing.
+    if (!wm_->catalog().HasRelation(Sym(name))) {
+      return wm_->CreateRelation(name, attrs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseWme() {
+    DBPS_ASSIGN_OR_RETURN(uint64_t id, ExpectInt());
+    DBPS_ASSIGN_OR_RETURN(uint64_t tag, ExpectInt());
+    DBPS_ASSIGN_OR_RETURN(std::string relation, ExpectSymbol());
+    std::vector<Value> values;
+    while (Peek().type != TokenType::kRParen &&
+           Peek().type != TokenType::kEof) {
+      DBPS_ASSIGN_OR_RETURN(Value v, ParseValue());
+      values.push_back(std::move(v));
+    }
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return wm_->RestoreWme(Sym(relation), id, tag, std::move(values));
+  }
+
+  StatusOr<Value> ParseValue() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+        Advance();
+        return Value::Int(t.int_value);
+      case TokenType::kFloat:
+        Advance();
+        return Value::Float(t.float_value);
+      case TokenType::kString:
+        Advance();
+        return Value::String(t.text);
+      case TokenType::kSymbol: {
+        Advance();
+        if (t.text == "nil") return Value::Nil();
+        return Value::Symbol(t.text);
+      }
+      default:
+        return Corrupt(StringPrintf("unexpected %s in wme tuple",
+                                    TokenTypeToString(t.type)));
+    }
+  }
+
+  StatusOr<uint64_t> ExpectNamedInt(const char* name) {
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    DBPS_ASSIGN_OR_RETURN(std::string head, ExpectSymbol());
+    if (head != name) {
+      return Corrupt(StringPrintf("expected (%s ...), got (%s ...)", name,
+                                  head.c_str()));
+    }
+    DBPS_ASSIGN_OR_RETURN(uint64_t value, ExpectInt());
+    DBPS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return value;
+  }
+
+  StatusOr<uint64_t> ExpectInt() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kInt || t.int_value < 0) {
+      return Corrupt("expected a non-negative integer");
+    }
+    Advance();
+    return static_cast<uint64_t>(t.int_value);
+  }
+
+  StatusOr<std::string> ExpectSymbol() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kSymbol) {
+      return Corrupt(StringPrintf("expected a symbol, got %s",
+                                  TokenTypeToString(t.type)));
+    }
+    Advance();
+    return t.text;
+  }
+
+  Status Expect(TokenType type) {
+    if (Peek().type != type) {
+      return Corrupt(StringPrintf("expected %s, got %s",
+                                  TokenTypeToString(type),
+                                  TokenTypeToString(Peek().type)));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (tokens_[pos_].type != TokenType::kEof) ++pos_;
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEof; }
+
+  Status Corrupt(std::string detail) const {
+    return Status::ParseError("checkpoint record: " + detail);
+  }
+
+  std::string_view payload_;
+  WorkingMemory* wm_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t csn_ = 0;
+  uint64_t next_id_ = 0;
+  uint64_t next_tag_ = 0;
+};
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Unavailable("cannot reopen journal '" + path +
+                               "' for truncation");
+  }
+  const int rc = ::ftruncate(fd, static_cast<off_t>(size));
+  if (rc == 0) ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Unavailable("cannot truncate journal '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void FillScanStats(const WalScan& scan, RecoveryStats* stats) {
+  stats->records_scanned = scan.records.size();
+  stats->bytes_scanned = scan.valid_bytes;
+  stats->bytes_truncated = scan.truncated_bytes;
+  stats->tail = scan.tail;
+  for (const WalRecord& record : scan.records) {
+    if (record.type == WalRecordType::kDelta) {
+      ++stats->delta_records;
+    } else {
+      ++stats->checkpoint_records;
+    }
+  }
+}
+
+}  // namespace
+
+std::string RecoveryStats::ToString() const {
+  std::string out = StringPrintf(
+      "scanned %llu records (%llu deltas, %llu checkpoints) in %llu bytes",
+      (unsigned long long)records_scanned, (unsigned long long)delta_records,
+      (unsigned long long)checkpoint_records, (unsigned long long)bytes_scanned);
+  if (bytes_truncated > 0 || tail != WalTail::kClean) {
+    out += StringPrintf("; truncated %llu-byte %s tail",
+                        (unsigned long long)bytes_truncated,
+                        WalTailToString(tail));
+  }
+  if (used_checkpoint) {
+    out += StringPrintf("; restored checkpoint at seq %llu",
+                        (unsigned long long)checkpoint_seq);
+  }
+  out += StringPrintf("; replayed %llu deltas; next seq %llu",
+                      (unsigned long long)replayed_deltas,
+                      (unsigned long long)next_seq);
+  return out;
+}
+
+std::string RecoveryManager::JournalFileInDir(const std::string& dir) {
+  if (dir.empty() || dir.back() == '/') return dir + "journal.wal";
+  return dir + "/journal.wal";
+}
+
+StatusOr<RecoveryStats> RecoveryManager::Validate() const {
+  RecoveryStats stats;
+  bool missing = false;
+  DBPS_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path_, &missing));
+  if (missing) return stats;
+  const WalScan scan = ScanWalBuffer(bytes);
+  FillScanStats(scan, &stats);
+  uint64_t next_seq = 0;
+  for (const WalRecord& record : scan.records) {
+    next_seq = record.type == WalRecordType::kDelta ? record.seq + 1
+                                                    : record.seq;
+    if (record.type == WalRecordType::kCheckpoint) {
+      stats.used_checkpoint = true;
+      stats.checkpoint_seq = record.seq;
+    }
+  }
+  stats.next_seq = next_seq;
+  return stats;
+}
+
+StatusOr<RecoveryStats> RecoveryManager::Recover(WorkingMemory* wm) {
+  RecoveryStats stats;
+  bool missing = false;
+  DBPS_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path_, &missing));
+  if (missing) return stats;  // fresh start: nothing was ever durable
+
+  const WalScan scan = ScanWalBuffer(bytes);
+  FillScanStats(scan, &stats);
+
+  // Drop the invalid tail on disk FIRST: recovery must leave a journal
+  // that scans clean, and the restarted feed appends where the valid
+  // prefix ends. A torn final frame is the normal crash shape; corruption
+  // earlier in the file costs the suffix from that point either way.
+  if (scan.truncated_bytes > 0) {
+    DBPS_RETURN_NOT_OK(TruncateFile(path_, scan.valid_bytes));
+  }
+
+  // Find the newest checkpoint; everything before its fence is already
+  // folded into it.
+  ptrdiff_t checkpoint_index = -1;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    if (scan.records[i].type == WalRecordType::kCheckpoint) {
+      checkpoint_index = static_cast<ptrdiff_t>(i);
+    }
+  }
+
+  uint64_t next_seq = 0;
+  if (checkpoint_index >= 0) {
+    const WalRecord& checkpoint = scan.records[checkpoint_index];
+    DBPS_RETURN_NOT_OK(CheckpointRestorer(checkpoint.payload, wm).Run());
+    stats.used_checkpoint = true;
+    stats.checkpoint_seq = checkpoint.seq;
+    next_seq = checkpoint.seq;
+  } else if (!scan.records.empty() && scan.records.front().seq != 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "journal '%s' begins at seq %llu with no checkpoint; the history "
+        "needed to replay it is gone",
+        path_.c_str(), (unsigned long long)scan.records.front().seq));
+  }
+
+  for (size_t i = static_cast<size_t>(checkpoint_index + 1);
+       i < scan.records.size(); ++i) {
+    const WalRecord& record = scan.records[i];
+    if (record.type != WalRecordType::kDelta) continue;
+    DBPS_ASSIGN_OR_RETURN(Delta delta, DeltaFromJournalLine(record.payload));
+    auto change_or = wm->Apply(delta);
+    if (!change_or.ok()) {
+      return Status::Internal(StringPrintf(
+          "journal '%s': delta at seq %llu no longer applies: %s",
+          path_.c_str(), (unsigned long long)record.seq,
+          change_or.status().ToString().c_str()));
+    }
+    ++stats.replayed_deltas;
+    next_seq = record.seq + 1;
+  }
+  stats.next_seq = next_seq;
+  return stats;
+}
+
+std::string CanonicalWmDump(const WorkingMemory& wm) {
+  std::string out = StringPrintf(
+      "counters next-id=%llu next-tag=%llu csn=%llu\n",
+      (unsigned long long)wm.next_id(), (unsigned long long)wm.next_tag(),
+      (unsigned long long)wm.csn());
+  for (SymbolId relation : wm.catalog().relation_names()) {
+    std::vector<WmePtr> wmes = wm.Scan(relation);
+    std::sort(wmes.begin(), wmes.end(), [](const WmePtr& a, const WmePtr& b) {
+      return a->id() < b->id();
+    });
+    for (const WmePtr& wme : wmes) {
+      out += StringPrintf("%llu %llu %s", (unsigned long long)wme->id(),
+                          (unsigned long long)wme->tag(),
+                          SymName(relation).c_str());
+      for (size_t field = 0; field < wme->arity(); ++field) {
+        out += " " + wme->value(field).ToString();
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dbps

@@ -1,0 +1,100 @@
+// RecoveryManager: crash recovery from a checksummed journal.
+//
+// The durable journal (server/journal_feed.h with a file path) is a
+// write-ahead log of framed records (lang/wal.h): delta records carrying
+// journal lines (lang/journal.h) plus snapshot checkpoint records
+// (lang/printer.h CheckpointToSource). After a crash — a kill -9, a torn
+// final write, a power cut mid-record — RecoveryManager rebuilds the
+// database exactly as the clients saw it:
+//
+//   1. Scan the log forward validating every frame's length, CRC-32, and
+//      sequence continuity.
+//   2. Truncate the invalid tail. A partial final frame is the expected
+//      crash shape (the write was cut mid-record), not an error; a
+//      checksum mismatch earlier in the file is real corruption, and the
+//      suffix from that point is likewise dropped. Either way the
+//      retained prefix is exactly the fsync-durable history, and every
+//      ACKNOWLEDGED commit lives in that prefix (the feed only releases
+//      an ack after its group's fsync returned).
+//   3. Restore the latest checkpoint, if any: wipe the working memory
+//      and rebuild WMEs with their ORIGINAL ids and time tags (deltas
+//      after the checkpoint reference them), plus the id/tag/CSN
+//      counters.
+//   4. Replay every delta record past the checkpoint fence.
+//
+// The returned stats carry next_seq: the engine restarts with
+// ParallelEngineOptions::start_seq = next_seq and the reopened feed with
+// DurabilityOptions{open_mode = kAppend, start_seq = next_seq}, so new
+// commits extend the same log with contiguous sequence numbers.
+
+#ifndef DBPS_SERVER_RECOVERY_H_
+#define DBPS_SERVER_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lang/wal.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "wm/working_memory.h"
+
+namespace dbps {
+
+/// \brief What one recovery pass found and did.
+struct RecoveryStats {
+  uint64_t records_scanned = 0;     ///< valid frames (deltas + checkpoints)
+  uint64_t delta_records = 0;
+  uint64_t checkpoint_records = 0;
+  uint64_t bytes_scanned = 0;       ///< valid prefix length
+  uint64_t bytes_truncated = 0;     ///< dropped tail length
+  WalTail tail = WalTail::kClean;   ///< why the tail (if any) was dropped
+  bool used_checkpoint = false;
+  uint64_t checkpoint_seq = 0;      ///< fence of the checkpoint used
+  uint64_t replayed_deltas = 0;     ///< deltas applied past the fence
+  uint64_t next_seq = 0;            ///< first seq for the restarted engine
+
+  /// One-line human-readable summary (startup banner).
+  std::string ToString() const;
+};
+
+/// \brief Opens a journal file and recovers working-memory state from it.
+class RecoveryManager {
+ public:
+  /// `path` is the journal FILE (use JournalFileInDir for the standard
+  /// per-directory layout the tools' --journal-dir flag uses).
+  explicit RecoveryManager(std::string path) : path_(std::move(path)) {}
+
+  /// The canonical journal file inside a journal directory.
+  static std::string JournalFileInDir(const std::string& dir);
+
+  /// Full recovery: scan, truncate the invalid tail ON DISK, rebuild
+  /// `wm` (checkpoint restore + delta replay). A missing file is a
+  /// fresh start (empty stats, next_seq 0), not an error. `wm` must hold
+  /// the program's initial state (schema + initial facts): a journal
+  /// with no checkpoint replays on top of it; a checkpoint replaces its
+  /// facts outright. Fails — with `wm` possibly half-rebuilt — only on
+  /// real damage: a delta that no longer applies, an unparseable
+  /// checkpoint, or a log that starts mid-history (first delta seq > 0
+  /// with no preceding checkpoint).
+  StatusOr<RecoveryStats> Recover(WorkingMemory* wm);
+
+  /// Scan-only validation: same stats as Recover but NOTHING is
+  /// modified — no truncation, no replay. After a Recover, a Validate of
+  /// the same file must report a clean tail and zero truncated bytes
+  /// (the chaos suite's replay-validation check).
+  StatusOr<RecoveryStats> Validate() const;
+
+ private:
+  std::string path_;
+};
+
+/// Deterministic, never-failing dump of the full working-memory state —
+/// ids, time tags, counters, and every live tuple in (catalog, id)
+/// order. Two WorkingMemories are equivalent for recovery purposes iff
+/// their dumps are byte-identical; chaos tests compare a recovered WM
+/// against an independent full-journal replay with it.
+std::string CanonicalWmDump(const WorkingMemory& wm);
+
+}  // namespace dbps
+
+#endif  // DBPS_SERVER_RECOVERY_H_

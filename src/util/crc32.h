@@ -1,0 +1,52 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding the
+// on-disk write-ahead log records (lang/wal.h). Table-driven, header-only;
+// the table is built at compile time so there is no init-order hazard for
+// static-constructed feeds.
+
+#ifndef DBPS_UTIL_CRC32_H_
+#define DBPS_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dbps {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = BuildCrc32Table();
+
+}  // namespace internal
+
+/// Extends a running CRC-32 with `data` (pass the previous return value
+/// to checksum discontiguous buffers as one stream).
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = internal::kCrc32Table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// One-shot CRC-32 of `data`.
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace dbps
+
+#endif  // DBPS_UTIL_CRC32_H_

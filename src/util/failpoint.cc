@@ -228,6 +228,14 @@ const std::vector<std::string>& NetworkChaosSites() {
   return *sites;
 }
 
+const std::vector<std::string>& CrashChaosSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "server.journal.crash_after_write",
+      "server.journal.crash_mid_record",
+  };
+  return *sites;
+}
+
 void ApplyNetworkChaosProfile(double fail_rate, uint64_t seed) {
   ApplyChaosProfile(fail_rate, seed);
   auto& registry = FailpointRegistry::Instance();

@@ -148,6 +148,15 @@ const std::vector<std::string>& NetworkChaosSites();
 /// trials that drive the engine through the socket front-end.
 void ApplyNetworkChaosProfile(double fail_rate, uint64_t seed);
 
+/// The durable journal's process-death sites (server/journal_feed.cc):
+/// `server.journal.crash_after_write` (the whole group reaches the file,
+/// the ack never happens) and `server.journal.crash_mid_record` (the
+/// final frame is cut partway — the torn-tail case). Deliberately NOT
+/// part of any rate-based profile: one fire kills the feed for the rest
+/// of the process, so kill-and-recover trials arm exactly one of them
+/// deterministically (one_in:1 with a seed-derived skip) per run.
+const std::vector<std::string>& CrashChaosSites();
+
 }  // namespace dbps
 
 /// True iff the named failpoint fires at this hit. Near-zero cost while

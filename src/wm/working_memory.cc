@@ -435,6 +435,58 @@ void WorkingMemory::IndexRemove(const WmePtr& wme) {
   }
 }
 
+Status WorkingMemory::RestoreWme(SymbolId relation, WmeId id, TimeTag tag,
+                                 std::vector<Value> values) {
+  std::unique_lock lock(mu_);
+  DBPS_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                        catalog_.GetRelation(relation));
+  DBPS_RETURN_NOT_OK(schema->CheckTuple(values));
+  if (live_.count(id) != 0) {
+    return Status::AlreadyExists(StringPrintf(
+        "restore of WME #%llu: id already live", (unsigned long long)id));
+  }
+  auto wme = std::make_shared<const Wme>(id, tag, relation,
+                                         std::move(values));
+  live_.emplace(id, wme);
+  // created_csn 0: visible to every snapshot — recovery runs before any
+  // snapshot exists, and the true creation CSN predates the checkpoint.
+  live_created_csn_[id] = 0;
+  by_relation_[relation].insert(id);
+  IndexAdd(wme);
+  next_id_ = std::max(next_id_, id + 1);
+  next_tag_ = std::max(next_tag_, tag + 1);
+  return Status::OK();
+}
+
+void WorkingMemory::RestoreCounters(WmeId next_id, TimeTag next_tag,
+                                    uint64_t csn) {
+  std::unique_lock lock(mu_);
+  next_id_ = std::max(next_id_, next_id);
+  next_tag_ = std::max(next_tag_, next_tag);
+  csn_.store(csn, std::memory_order_release);
+}
+
+void WorkingMemory::ClearForRestore() {
+  std::unique_lock lock(mu_);
+  live_.clear();
+  live_created_csn_.clear();
+  by_relation_.clear();
+  for (auto& [key, index] : indexes_) index.clear();
+  history_.clear();
+  dead_by_relation_.clear();
+  dead_order_.clear();
+}
+
+WmeId WorkingMemory::next_id() const {
+  std::shared_lock lock(mu_);
+  return next_id_;
+}
+
+TimeTag WorkingMemory::next_tag() const {
+  std::shared_lock lock(mu_);
+  return next_tag_;
+}
+
 std::unique_ptr<WorkingMemory> WorkingMemory::Clone() const {
   std::shared_lock lock(mu_);
   auto copy = std::make_unique<WorkingMemory>();

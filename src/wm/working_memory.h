@@ -167,6 +167,31 @@ class WorkingMemory {
   /// shared). Version history and active snapshots are not cloned.
   std::unique_ptr<WorkingMemory> Clone() const;
 
+  // --- Recovery (server/recovery.h) ---------------------------------------
+  //
+  // Journal replay references WMEs by id, so rebuilding state from a
+  // checkpoint must reproduce ids and time tags EXACTLY — Insert()'s
+  // fresh-id assignment would break every modify/delete that follows the
+  // checkpoint. These are setup-time calls (no concurrent readers).
+
+  /// Re-creates one WME with its original identity. Fails if the id is
+  /// already live or the tuple violates the relation's schema. Bumps
+  /// next_id/next_tag past the restored identity but does not advance the
+  /// CSN (the checkpoint's counters arrive via RestoreCounters).
+  Status RestoreWme(SymbolId relation, WmeId id, TimeTag tag,
+                    std::vector<Value> values);
+
+  /// Overwrites the id/tag/CSN counters with checkpoint metadata so
+  /// post-recovery commits continue the original numbering.
+  void RestoreCounters(WmeId next_id, TimeTag next_tag, uint64_t csn);
+
+  /// Deletes every live WME without recording version history (recovery
+  /// wipes the program's initial facts before loading a checkpoint).
+  void ClearForRestore();
+
+  WmeId next_id() const;
+  TimeTag next_tag() const;
+
   std::string ToString() const;
 
  private:

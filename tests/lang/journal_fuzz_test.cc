@@ -1,0 +1,147 @@
+// Round-trip fuzz for the journal line grammar: seeded random deltas
+// serialize (DeltaToJournalLine) and parse back (DeltaFromJournalLine)
+// to an equal Delta, and values outside the printer's limits —
+// non-finite floats, exponent-range floats, non-identifier symbols —
+// are rejected at serialization time rather than producing lines that
+// cannot replay.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dbps.h"
+
+namespace dbps {
+namespace {
+
+Value RandomValue(Random* rng) {
+  switch (rng->Uniform(5)) {
+    case 0:
+      return Value::Int(rng->UniformInt(-1000000, 1000000));
+    case 1:
+      // Exact binary fractions in a modest range: %.17g prints them
+      // without exponent notation, so they are always serializable.
+      return Value::Float(
+          static_cast<double>(rng->UniformInt(-1000000, 1000000)) / 256.0);
+    case 2: {
+      std::string name = "s";
+      const char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-_";
+      const size_t len = rng->Uniform(12);
+      for (size_t i = 0; i < len; ++i) {
+        name.push_back(alphabet[rng->Uniform(sizeof(alphabet) - 1)]);
+      }
+      return Value::Symbol(name);
+    }
+    case 3: {
+      // Strings exercise the escaper: quotes, backslashes, newlines,
+      // tabs, spaces, parens.
+      std::string text;
+      const char alphabet[] = "ab(){} \"\\\n\t;^<>";
+      const size_t len = rng->Uniform(16);
+      for (size_t i = 0; i < len; ++i) {
+        text.push_back(alphabet[rng->Uniform(sizeof(alphabet) - 1)]);
+      }
+      return Value::String(text);
+    }
+    default:
+      return Value::Nil();
+  }
+}
+
+Delta RandomDelta(Random* rng) {
+  Delta delta;
+  const size_t ops = 1 + rng->Uniform(6);
+  for (size_t i = 0; i < ops; ++i) {
+    switch (rng->Uniform(3)) {
+      case 0: {
+        std::vector<Value> values;
+        const size_t arity = rng->Uniform(5);
+        for (size_t v = 0; v < arity; ++v) values.push_back(RandomValue(rng));
+        delta.Create(Sym(rng->Uniform(2) ? "order" : "shipment"),
+                     std::move(values));
+        break;
+      }
+      case 1: {
+        std::vector<std::pair<size_t, Value>> updates;
+        const size_t fields = 1 + rng->Uniform(3);
+        for (size_t f = 0; f < fields; ++f) {
+          updates.emplace_back(rng->Uniform(8), RandomValue(rng));
+        }
+        delta.Modify(rng->Uniform(1000), std::move(updates));
+        break;
+      }
+      default:
+        delta.Delete(rng->Uniform(1000));
+        break;
+    }
+  }
+  if (rng->Uniform(8) == 0) delta.SetHalt();
+  return delta;
+}
+
+TEST(JournalFuzzTest, RandomDeltasRoundTripExactly) {
+  Random rng(20260808);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Delta delta = RandomDelta(&rng);
+    auto line_or = DeltaToJournalLine(delta);
+    ASSERT_TRUE(line_or.ok()) << "trial " << trial << ": "
+                              << line_or.status();
+    auto parsed_or = DeltaFromJournalLine(line_or.ValueOrDie());
+    ASSERT_TRUE(parsed_or.ok())
+        << "trial " << trial << " line: " << line_or.ValueOrDie()
+        << " error: " << parsed_or.status();
+    EXPECT_TRUE(parsed_or.ValueOrDie() == delta)
+        << "trial " << trial << " diverged, line: " << line_or.ValueOrDie();
+    // Second generation is a fixpoint: parse(print(x)) prints identically.
+    auto again_or = DeltaToJournalLine(parsed_or.ValueOrDie());
+    ASSERT_TRUE(again_or.ok());
+    EXPECT_EQ(again_or.ValueOrDie(), line_or.ValueOrDie());
+  }
+}
+
+TEST(JournalFuzzTest, NonFiniteFloatsAreRejectedNotEmitted) {
+  for (double d : {std::numeric_limits<double>::quiet_NaN(),
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()}) {
+    Delta delta;
+    delta.Create(Sym("order"), {Value::Float(d)});
+    EXPECT_FALSE(DeltaToJournalLine(delta).ok()) << d;
+  }
+}
+
+TEST(JournalFuzzTest, ExponentRangeFloatsAreRejected) {
+  // %.17g would need exponent notation, which the rule language cannot
+  // read back — serialization must refuse, not emit an unreplayable line.
+  for (double d : {1e30, -3.5e-12}) {
+    Delta delta;
+    delta.Create(Sym("order"), {Value::Float(d)});
+    EXPECT_FALSE(DeltaToJournalLine(delta).ok()) << d;
+  }
+}
+
+TEST(JournalFuzzTest, NonIdentifierSymbolsAreRejected) {
+  for (const char* name : {"has space", "", "paren(", "\"quoted\""}) {
+    Delta delta;
+    delta.Create(Sym("order"), {Value::Symbol(name)});
+    EXPECT_FALSE(DeltaToJournalLine(delta).ok()) << "'" << name << "'";
+  }
+}
+
+TEST(JournalFuzzTest, NilSymbolCollapsesToNilValue) {
+  // "nil" is the nil literal, not a symbol — the parser maps it back to
+  // Value::Nil(), so a symbol spelled "nil" cannot round-trip as a
+  // symbol. The generator avoids it; this pins the behavior.
+  Delta delta;
+  delta.Create(Sym("order"), {Value::Nil()});
+  auto line_or = DeltaToJournalLine(delta);
+  ASSERT_TRUE(line_or.ok());
+  auto parsed_or = DeltaFromJournalLine(line_or.ValueOrDie());
+  ASSERT_TRUE(parsed_or.ok());
+  EXPECT_TRUE(parsed_or.ValueOrDie() == delta);
+}
+
+}  // namespace
+}  // namespace dbps

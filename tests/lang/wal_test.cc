@@ -1,0 +1,177 @@
+// WAL framing (lang/wal.h): encode/decode round trips, torn-tail vs
+// corrupt-frame classification at every cut point, delta sequence
+// density, and checkpoint fence validation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dbps.h"
+
+namespace dbps {
+namespace {
+
+WalRecord Delta_(uint64_t seq, const std::string& payload) {
+  WalRecord record;
+  record.seq = seq;
+  record.type = WalRecordType::kDelta;
+  record.payload = payload;
+  return record;
+}
+
+WalRecord Checkpoint(uint64_t fence, const std::string& payload) {
+  WalRecord record;
+  record.seq = fence;
+  record.type = WalRecordType::kCheckpoint;
+  record.payload = payload;
+  return record;
+}
+
+std::string Encode(const std::vector<WalRecord>& records) {
+  std::string buf;
+  for (const WalRecord& record : records) EncodeWalRecord(record, &buf);
+  return buf;
+}
+
+TEST(WalTest, EmptyBufferScansClean) {
+  const WalScan scan = ScanWalBuffer("");
+  EXPECT_EQ(scan.tail, WalTail::kClean);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_EQ(scan.truncated_bytes, 0u);
+}
+
+TEST(WalTest, EncodeScanRoundTrip) {
+  const std::vector<WalRecord> records = {
+      Delta_(0, "(delta (make order 1))"),
+      Delta_(1, ""),  // empty payloads are legal frames
+      Checkpoint(2, "(checkpoint (seq 2))"),
+      Delta_(2, "(delta (delete 1))"),
+  };
+  const std::string buf = Encode(records);
+  const WalScan scan = ScanWalBuffer(buf);
+  EXPECT_EQ(scan.tail, WalTail::kClean) << scan.tail_detail;
+  EXPECT_EQ(scan.valid_bytes, buf.size());
+  EXPECT_EQ(scan.truncated_bytes, 0u);
+  ASSERT_EQ(scan.records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(scan.records[i].seq, records[i].seq) << "record " << i;
+    EXPECT_EQ(scan.records[i].type, records[i].type) << "record " << i;
+    EXPECT_EQ(scan.records[i].payload, records[i].payload) << "record " << i;
+  }
+}
+
+TEST(WalTest, DecodeSingleRecordReportsConsumedBytes) {
+  std::string buf;
+  EncodeWalRecord(Delta_(7, "payload"), &buf);
+  size_t consumed = 0;
+  auto record_or = DecodeWalRecord(buf, 0, &consumed);
+  ASSERT_TRUE(record_or.ok()) << record_or.status();
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(record_or.ValueOrDie().seq, 7u);
+  EXPECT_EQ(record_or.ValueOrDie().payload, "payload");
+}
+
+TEST(WalTest, EveryPossibleTornCutIsTornNeverCorrupt) {
+  // Two full records, then cut the buffer at EVERY byte inside the third:
+  // each prefix must scan as exactly two records with a torn tail — a
+  // crash can stop a write anywhere, and none of those states is
+  // "corruption".
+  const std::string head = Encode({Delta_(0, "(delta (make order 1))"),
+                                   Delta_(1, "(delta (make order 2))")});
+  std::string full = head;
+  EncodeWalRecord(Delta_(2, "(delta (make order 3))"), &full);
+  for (size_t cut = head.size() + 1; cut < full.size(); ++cut) {
+    const WalScan scan = ScanWalBuffer(std::string_view(full).substr(0, cut));
+    EXPECT_EQ(scan.records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(scan.tail, WalTail::kTorn)
+        << "cut at " << cut << ": " << scan.tail_detail;
+    EXPECT_EQ(scan.valid_bytes, head.size()) << "cut at " << cut;
+    EXPECT_EQ(scan.truncated_bytes, cut - head.size()) << "cut at " << cut;
+  }
+}
+
+TEST(WalTest, FlippedPayloadByteIsCorrupt) {
+  const std::string head = Encode({Delta_(0, "(delta (make order 1))")});
+  std::string buf = head;
+  EncodeWalRecord(Delta_(1, "(delta (make order 2))"), &buf);
+  buf[buf.size() - 3] ^= 0x40;  // damage the middle of the last payload
+  const WalScan scan = ScanWalBuffer(buf);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.tail, WalTail::kCorrupt);
+  EXPECT_EQ(scan.valid_bytes, head.size());
+  EXPECT_EQ(scan.truncated_bytes, buf.size() - head.size());
+}
+
+TEST(WalTest, ImpossibleLengthIsCorruptNotAllocated) {
+  // A length below the 9-byte minimum body, and one beyond kMaxWalPayload:
+  // both are corrupt headers even though the buffer is "long enough" to
+  // be torn.
+  std::string small;
+  for (char c : {'\x03', '\x00', '\x00', '\x00'}) small.push_back(c);
+  small.append(8, '\x00');
+  EXPECT_EQ(ScanWalBuffer(small).tail, WalTail::kCorrupt);
+
+  std::string huge;
+  for (char c : {'\xff', '\xff', '\xff', '\xff'}) huge.push_back(c);
+  huge.append(8, '\x00');
+  EXPECT_EQ(ScanWalBuffer(huge).tail, WalTail::kCorrupt);
+}
+
+TEST(WalTest, UnknownRecordTypeIsCorrupt) {
+  WalRecord bogus = Delta_(0, "x");
+  bogus.type = static_cast<WalRecordType>(77);
+  std::string buf;
+  EncodeWalRecord(bogus, &buf);  // crc is valid; the TYPE is the problem
+  const WalScan scan = ScanWalBuffer(buf);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.tail, WalTail::kCorrupt);
+}
+
+TEST(WalTest, DeltaSequenceMustBeDense) {
+  const std::string buf =
+      Encode({Delta_(0, "a"), Delta_(1, "b"), Delta_(3, "gap")});
+  const WalScan scan = ScanWalBuffer(buf);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.tail, WalTail::kCorrupt);
+  EXPECT_NE(scan.tail_detail.find("sequence break"), std::string::npos)
+      << scan.tail_detail;
+}
+
+TEST(WalTest, FirstDeltaMayCarryAnySeq) {
+  // An append-mode restart continues mid-history: the first record's seq
+  // anchors the density check instead of failing it.
+  const std::string buf = Encode({Delta_(42, "a"), Delta_(43, "b")});
+  const WalScan scan = ScanWalBuffer(buf);
+  EXPECT_EQ(scan.tail, WalTail::kClean) << scan.tail_detail;
+  EXPECT_EQ(scan.records.size(), 2u);
+}
+
+TEST(WalTest, CheckpointFenceMustMatchNextSeq) {
+  // Fence == next expected delta seq: valid, and does not advance it.
+  const std::string good = Encode(
+      {Delta_(0, "a"), Delta_(1, "b"), Checkpoint(2, "cp"), Delta_(2, "c")});
+  EXPECT_EQ(ScanWalBuffer(good).tail, WalTail::kClean);
+  EXPECT_EQ(ScanWalBuffer(good).records.size(), 4u);
+
+  const std::string bad =
+      Encode({Delta_(0, "a"), Delta_(1, "b"), Checkpoint(5, "cp")});
+  const WalScan scan = ScanWalBuffer(bad);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.tail, WalTail::kCorrupt);
+  EXPECT_NE(scan.tail_detail.find("fence"), std::string::npos)
+      << scan.tail_detail;
+}
+
+TEST(WalTest, LeadingCheckpointAnchorsTheSequence) {
+  // A recovered server can checkpoint before its first new commit; the
+  // checkpoint's fence then anchors where deltas must continue.
+  const std::string good = Encode({Checkpoint(10, "cp"), Delta_(10, "a")});
+  EXPECT_EQ(ScanWalBuffer(good).tail, WalTail::kClean);
+  const std::string bad = Encode({Checkpoint(10, "cp"), Delta_(12, "a")});
+  EXPECT_EQ(ScanWalBuffer(bad).tail, WalTail::kCorrupt);
+}
+
+}  // namespace
+}  // namespace dbps

@@ -86,6 +86,7 @@ TEST(GroupCommitTest, DurableFileMatchesFeedAndReplays) {
       testing::TempDir() + "group_commit_journal.log";
   DurabilityOptions durability;
   durability.path = path;
+  durability.open_mode = JournalOpenMode::kTruncate;  // hermetic re-runs
   durability.group_commit = true;
   DurableServer server(durability);
   auto session = server.manager().Connect("alice").ValueOrDie();
@@ -107,14 +108,27 @@ TEST(GroupCommitTest, DurableFileMatchesFeedAndReplays) {
   EXPECT_GE(stats.fsyncs, 1u);
   EXPECT_LE(stats.fsyncs, 5u);
 
-  // The on-disk log is byte-identical to the feed's in-memory journal.
-  std::ifstream in(path);
-  std::stringstream file_text;
-  file_text << in.rdbuf();
-  EXPECT_EQ(file_text.str(), server.feed().TextFrom(0));
+  // The on-disk log is framed (lang/wal.h); its decoded payloads are
+  // byte-identical to the feed's in-memory journal, with contiguous seqs
+  // and a clean tail.
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream file_bytes;
+  file_bytes << in.rdbuf();
+  const WalScan scan = ScanWalBuffer(file_bytes.str());
+  EXPECT_EQ(scan.tail, WalTail::kClean) << scan.tail_detail;
+  EXPECT_EQ(scan.truncated_bytes, 0u);
+  ASSERT_EQ(scan.records.size(), 5u);
+  std::string decoded;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    EXPECT_EQ(scan.records[i].seq, i);
+    EXPECT_EQ(scan.records[i].type, WalRecordType::kDelta);
+    decoded += scan.records[i].payload;
+    decoded += '\n';
+  }
+  EXPECT_EQ(decoded, server.feed().TextFrom(0));
 
   // And it replays to the final database.
-  ASSERT_TRUE(ReplayJournal(file_text.str(), server.pristine()).ok());
+  ASSERT_TRUE(ReplayJournal(decoded, server.pristine()).ok());
   EXPECT_EQ(server.pristine()->Count(Sym("item")), 5u);
   std::remove(path.c_str());
 }

@@ -1,0 +1,171 @@
+// JournalFeed durability edges: WaitDurable before the fsync happened,
+// on an already-durable seq, and after a sticky sync failure; and the
+// journal open modes — append preserves history (the recovery
+// contract), fail-if-exists refuses to clobber, truncate only destroys
+// when explicitly asked.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dbps.h"
+
+namespace dbps {
+namespace {
+
+using std::chrono::milliseconds;
+
+Delta MakeItem(int64_t id) {
+  Delta delta;
+  delta.Create(Sym("item"), {Value::Int(id)});
+  return delta;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+TEST(JournalFeedTest, WaitDurableWithoutDurabilityOwesNothing) {
+  JournalFeed feed;
+  feed.Append(MakeItem(1));
+  EXPECT_TRUE(feed.WaitDurable(0, milliseconds(0)).ok());
+}
+
+TEST(JournalFeedTest, WaitDurableTimesOutBeforeGroupFsync) {
+  // Group mode syncs at batch boundaries; a bare Append stages the
+  // record without fsyncing, so a bounded wait must time out — and say
+  // so, distinctly from a sync failure.
+  JournalFeed feed;
+  DurabilityOptions durability;
+  durability.group_commit = true;  // simulated device
+  ASSERT_TRUE(feed.EnableDurability(durability).ok());
+  feed.Append(MakeItem(1));
+  Status st = feed.WaitDurable(0, milliseconds(50));
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("timed out"), std::string::npos) << st;
+  EXPECT_EQ(feed.durable_seq(), 0u);
+}
+
+TEST(JournalFeedTest, WaitDurableAlreadyDurableReturnsImmediately) {
+  JournalFeed feed;
+  DurabilityOptions durability;  // per-commit: Append syncs inline
+  ASSERT_TRUE(feed.EnableDurability(durability).ok());
+  feed.Append(MakeItem(1));
+  EXPECT_EQ(feed.durable_seq(), 1u);
+  // Zero timeout: the verdict must already be in.
+  EXPECT_TRUE(feed.WaitDurable(0, milliseconds(0)).ok());
+}
+
+TEST(JournalFeedTest, StartSeqInitializesTheDurableHorizon) {
+  // After recovery the reopened feed starts at next_seq: every recovered
+  // seq below it is already durable and must not block.
+  JournalFeed feed;
+  DurabilityOptions durability;
+  durability.start_seq = 5;
+  ASSERT_TRUE(feed.EnableDurability(durability).ok());
+  EXPECT_EQ(feed.durable_seq(), 5u);
+  EXPECT_TRUE(feed.WaitDurable(4, milliseconds(0)).ok());
+  EXPECT_FALSE(feed.WaitDurable(5, milliseconds(10)).ok());
+}
+
+TEST(JournalFeedTest, WaitDurableAfterSyncFailureIsStickyInternal) {
+  JournalFeed feed;
+  DurabilityOptions durability;
+  ASSERT_TRUE(feed.EnableDurability(durability).ok());
+  feed.Append(MakeItem(1));  // seq 0 becomes durable
+  FailpointRegistry::Instance().Configure("server.journal.fsync_fail",
+                                          {.probability = 1.0});
+  feed.Append(MakeItem(2));  // seq 1: its fsync fails
+  FailpointRegistry::Instance().DisableAll();
+
+  Status st = feed.WaitDurable(1, milliseconds(0));
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("sync failed"), std::string::npos) << st;
+  // Sticky: the failpoint is gone, but the log has a hole — later
+  // records must not become durable either.
+  feed.Append(MakeItem(3));
+  EXPECT_FALSE(feed.WaitDurable(2, milliseconds(0)).ok());
+  EXPECT_EQ(feed.durable_seq(), 1u);
+  EXPECT_GE(feed.durability().sync_failures, 2u);
+  // The already-durable prefix is still acknowledged.
+  EXPECT_TRUE(feed.WaitDurable(0, milliseconds(0)).ok());
+}
+
+TEST(JournalFeedTest, DefaultOpenModeIsAppend) {
+  EXPECT_EQ(DurabilityOptions{}.open_mode, JournalOpenMode::kAppend);
+}
+
+TEST(JournalFeedTest, AppendModePreservesHistoryAcrossReopen) {
+  const std::string path = testing::TempDir() + "feed_append_journal.wal";
+  std::remove(path.c_str());
+  {
+    JournalFeed feed;
+    DurabilityOptions durability;
+    durability.path = path;
+    durability.open_mode = JournalOpenMode::kTruncate;
+    ASSERT_TRUE(feed.EnableDurability(durability).ok());
+    for (int i = 0; i < 3; ++i) feed.Append(MakeItem(i));
+  }
+  {
+    // The restart: append mode with start_seq where the log left off.
+    JournalFeed feed;
+    DurabilityOptions durability;
+    durability.path = path;
+    durability.start_seq = 3;  // open_mode defaults to kAppend
+    ASSERT_TRUE(feed.EnableDurability(durability).ok());
+    for (int i = 3; i < 5; ++i) feed.Append(MakeItem(i));
+  }
+  const WalScan scan = ScanWalBuffer(ReadFileBytes(path));
+  EXPECT_EQ(scan.tail, WalTail::kClean) << scan.tail_detail;
+  ASSERT_EQ(scan.records.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(scan.records[i].seq, i);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFeedTest, TruncateModeStartsAFreshLog) {
+  const std::string path = testing::TempDir() + "feed_truncate_journal.wal";
+  for (int round = 0; round < 2; ++round) {
+    JournalFeed feed;
+    DurabilityOptions durability;
+    durability.path = path;
+    durability.open_mode = JournalOpenMode::kTruncate;
+    ASSERT_TRUE(feed.EnableDurability(durability).ok());
+    feed.Append(MakeItem(round));
+  }
+  const WalScan scan = ScanWalBuffer(ReadFileBytes(path));
+  ASSERT_EQ(scan.records.size(), 1u);  // round 2 destroyed round 1
+  EXPECT_EQ(scan.records[0].seq, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFeedTest, FailIfExistsRefusesToClobber) {
+  const std::string path = testing::TempDir() + "feed_exclusive_journal.wal";
+  std::remove(path.c_str());
+  {
+    JournalFeed feed;
+    DurabilityOptions durability;
+    durability.path = path;
+    durability.open_mode = JournalOpenMode::kFailIfExists;
+    ASSERT_TRUE(feed.EnableDurability(durability).ok());  // fresh: fine
+    feed.Append(MakeItem(1));
+  }
+  JournalFeed second;
+  DurabilityOptions durability;
+  durability.path = path;
+  durability.open_mode = JournalOpenMode::kFailIfExists;
+  Status st = second.EnableDurability(durability);
+  EXPECT_TRUE(st.IsAlreadyExists()) << st;
+  // The existing log was not touched.
+  EXPECT_EQ(ScanWalBuffer(ReadFileBytes(path)).records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbps

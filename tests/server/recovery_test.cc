@@ -1,0 +1,365 @@
+// RecoveryManager: checkpoint restore exactness, torn/corrupt tail
+// truncation on disk, fresh starts, mid-history logs, the full
+// crash-restart-append cycle, and grouped vs ungrouped journals
+// recovering to identical state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbps.h"
+
+namespace dbps {
+namespace {
+
+constexpr const char* kPlainProgram = R"(
+(relation item (id int))
+)";
+
+std::string TempPath(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+WorkingMemory* LoadPlain(WorkingMemory* wm) {
+  auto rules_or = LoadProgram(kPlainProgram, wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  return wm;
+}
+
+std::string MakeItemLine(int64_t id) {
+  return "(delta (make item " + std::to_string(id) + "))";
+}
+
+/// Frames journal lines as consecutive delta records from `first_seq`.
+std::string FramedDeltas(const std::vector<std::string>& lines,
+                         uint64_t first_seq = 0) {
+  std::string buf;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    WalRecord record;
+    record.seq = first_seq + i;
+    record.type = WalRecordType::kDelta;
+    record.payload = lines[i];
+    EncodeWalRecord(record, &buf);
+  }
+  return buf;
+}
+
+TEST(RecoveryTest, MissingFileIsAFreshStart) {
+  const std::string path = TempPath("recovery_missing.wal");
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  RecoveryManager recovery(path);
+  auto stats_or = recovery.Recover(&wm);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  EXPECT_EQ(stats_or.ValueOrDie().records_scanned, 0u);
+  EXPECT_EQ(stats_or.ValueOrDie().next_seq, 0u);
+  EXPECT_EQ(wm.Count(Sym("item")), 0u);
+}
+
+TEST(RecoveryTest, ReplaysAWholeLogWithNoCheckpoint) {
+  const std::string path = TempPath("recovery_plain.wal");
+  WriteFileBytes(path, FramedDeltas({MakeItemLine(10), MakeItemLine(11),
+                                     MakeItemLine(12)}));
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  auto stats_or = RecoveryManager(path).Recover(&wm);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  const RecoveryStats& stats = stats_or.ValueOrDie();
+  EXPECT_EQ(stats.delta_records, 3u);
+  EXPECT_FALSE(stats.used_checkpoint);
+  EXPECT_EQ(stats.replayed_deltas, 3u);
+  EXPECT_EQ(stats.next_seq, 3u);
+  EXPECT_EQ(wm.Count(Sym("item")), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, TornTailIsTruncatedOnDisk) {
+  const std::string path = TempPath("recovery_torn.wal");
+  const std::string whole = FramedDeltas(
+      {MakeItemLine(1), MakeItemLine(2), MakeItemLine(3)});
+  const std::string head = FramedDeltas({MakeItemLine(1), MakeItemLine(2)});
+  // Crash shape: the final frame only half reached the disk.
+  WriteFileBytes(path,
+                 whole.substr(0, head.size() + (whole.size() - head.size()) / 2));
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  auto stats_or = RecoveryManager(path).Recover(&wm);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  EXPECT_EQ(stats_or.ValueOrDie().tail, WalTail::kTorn);
+  EXPECT_GT(stats_or.ValueOrDie().bytes_truncated, 0u);
+  EXPECT_EQ(stats_or.ValueOrDie().next_seq, 2u);
+  EXPECT_EQ(wm.Count(Sym("item")), 2u);
+  // The invalid tail is gone from the FILE, not just ignored: a re-scan
+  // is clean and the size is exactly the durable prefix.
+  EXPECT_EQ(ReadFileBytes(path).size(), head.size());
+  auto validate_or = RecoveryManager(path).Validate();
+  ASSERT_TRUE(validate_or.ok());
+  EXPECT_EQ(validate_or.ValueOrDie().tail, WalTail::kClean);
+  EXPECT_EQ(validate_or.ValueOrDie().bytes_truncated, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, CorruptRecordDropsTheSuffix) {
+  const std::string path = TempPath("recovery_corrupt.wal");
+  std::string bytes = FramedDeltas(
+      {MakeItemLine(1), MakeItemLine(2), MakeItemLine(3)});
+  const size_t head = FramedDeltas({MakeItemLine(1)}).size();
+  bytes[head + 10] ^= 0x20;  // bit rot inside the second frame
+  WriteFileBytes(path, bytes);
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  auto stats_or = RecoveryManager(path).Recover(&wm);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  EXPECT_EQ(stats_or.ValueOrDie().tail, WalTail::kCorrupt);
+  EXPECT_EQ(stats_or.ValueOrDie().next_seq, 1u);
+  EXPECT_EQ(wm.Count(Sym("item")), 1u);
+  EXPECT_EQ(ReadFileBytes(path).size(), head);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, MidHistoryLogWithoutCheckpointIsRejected) {
+  const std::string path = TempPath("recovery_midhistory.wal");
+  WriteFileBytes(path, FramedDeltas({MakeItemLine(1)}, /*first_seq=*/5));
+  WorkingMemory wm;
+  LoadPlain(&wm);
+  auto stats_or = RecoveryManager(path).Recover(&wm);
+  EXPECT_FALSE(stats_or.ok());
+  EXPECT_TRUE(stats_or.status().IsInvalidArgument()) << stats_or.status();
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, CheckpointRestorePreservesIdsTagsAndCounters) {
+  const std::string path = TempPath("recovery_checkpoint.wal");
+  const std::vector<std::string> lines = {
+      MakeItemLine(1), MakeItemLine(2), "(delta (delete 1))",
+      MakeItemLine(3), "(delta (make item 4) (make item 5))"};
+
+  // Build the fenced state by replaying the first three lines, exactly
+  // as a running engine would have, and checkpoint it at fence 3.
+  WorkingMemory fenced;
+  LoadPlain(&fenced);
+  for (size_t i = 0; i < 3; ++i) {
+    auto delta_or = DeltaFromJournalLine(lines[i]);
+    ASSERT_TRUE(delta_or.ok());
+    ASSERT_TRUE(fenced.Apply(delta_or.ValueOrDie()).ok());
+  }
+  auto checkpoint_or = CheckpointToSource(fenced, /*seq=*/3);
+  ASSERT_TRUE(checkpoint_or.ok()) << checkpoint_or.status();
+
+  std::string bytes = FramedDeltas({lines[0], lines[1], lines[2]});
+  WalRecord checkpoint;
+  checkpoint.seq = 3;
+  checkpoint.type = WalRecordType::kCheckpoint;
+  checkpoint.payload = checkpoint_or.ValueOrDie();
+  EncodeWalRecord(checkpoint, &bytes);
+  bytes += FramedDeltas({lines[3], lines[4]}, /*first_seq=*/3);
+  WriteFileBytes(path, bytes);
+
+  WorkingMemory recovered;
+  LoadPlain(&recovered);
+  auto stats_or = RecoveryManager(path).Recover(&recovered);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  const RecoveryStats& stats = stats_or.ValueOrDie();
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_EQ(stats.checkpoint_seq, 3u);
+  EXPECT_EQ(stats.replayed_deltas, 2u);  // only the suffix past the fence
+  EXPECT_EQ(stats.next_seq, 5u);
+
+  // Identity, not just content: the checkpoint path must equal a full
+  // replay byte for byte — ids, time tags, and all three counters.
+  WorkingMemory replayed;
+  LoadPlain(&replayed);
+  std::string text;
+  for (const std::string& line : lines) text += line + "\n";
+  ASSERT_TRUE(ReplayJournal(text, &replayed).ok());
+  EXPECT_EQ(CanonicalWmDump(recovered), CanonicalWmDump(replayed));
+  std::remove(path.c_str());
+}
+
+/// Engine + durable journal against a real file, as the tools wire it.
+struct MiniServer {
+  explicit MiniServer(DurabilityOptions durability, bool recover_first) {
+    rules = LoadProgram(kPlainProgram, &wm).ValueOrDie();
+    if (recover_first) {
+      RecoveryManager recovery(durability.path);
+      auto stats_or = recovery.Recover(&wm);
+      DBPS_CHECK(stats_or.ok()) << stats_or.status();
+      recovered = stats_or.ValueOrDie();
+      durability.open_mode = JournalOpenMode::kAppend;
+      durability.start_seq = recovered.next_seq;
+    }
+    start_seq = durability.start_seq;
+    DBPS_CHECK_OK(feed.EnableDurability(std::move(durability)));
+    DBPS_CHECK_OK(feed.EnableCheckpoints(&wm));
+    ServerOptions server_options;
+    server_options.durable_feed = &feed;
+    manager = std::make_unique<SessionManager>(&wm, server_options);
+    ParallelEngineOptions engine_options;
+    engine_options.num_workers = 2;
+    engine_options.external_source = manager.get();
+    engine_options.start_seq = start_seq;
+    engine_options.base.observer = feed.MakeObserver();
+    engine = std::make_unique<ParallelEngine>(&wm, rules, engine_options);
+    manager->BindEngine(engine.get());
+    thread = std::thread([this] { result = engine->Run(); });
+  }
+
+  ~MiniServer() { Finish(); }
+
+  void Finish() {
+    if (!thread.joinable()) return;
+    manager->Close();
+    thread.join();
+    EXPECT_TRUE(result.ok()) << result.status();
+  }
+
+  void CommitItems(int64_t first, int64_t count) {
+    auto session = manager->Connect("writer").ValueOrDie();
+    for (int64_t i = first; i < first + count; ++i) {
+      ASSERT_TRUE(session->Begin().ok());
+      Delta delta;
+      delta.Create(Sym("item"), {Value::Int(i)});
+      ASSERT_TRUE(session->Write(delta).ok());
+      auto seq = session->Commit();
+      ASSERT_TRUE(seq.ok()) << seq.status();
+    }
+    session->Close();
+  }
+
+  WorkingMemory wm;
+  RuleSetPtr rules;
+  JournalFeed feed;
+  RecoveryStats recovered;
+  uint64_t start_seq = 0;
+  std::unique_ptr<SessionManager> manager;
+  std::unique_ptr<ParallelEngine> engine;
+  std::thread thread;
+  StatusOr<RunResult> result{Status::Internal("engine not run")};
+};
+
+TEST(RecoveryTest, GroupedAndUngroupedJournalsRecoverIdentically) {
+  // The same sequential workload under per-commit fsync and group
+  // commit: the framing and payloads must be identical, and so must the
+  // recovered databases.
+  std::string dumps[2];
+  for (int grouped = 0; grouped < 2; ++grouped) {
+    const std::string path = TempPath(
+        grouped ? "recovery_grouped.wal" : "recovery_ungrouped.wal");
+    {
+      DurabilityOptions durability;
+      durability.path = path;
+      durability.open_mode = JournalOpenMode::kTruncate;
+      durability.group_commit = grouped != 0;
+      MiniServer server(durability, /*recover_first=*/false);
+      server.CommitItems(0, 6);
+    }
+    WorkingMemory recovered;
+    LoadPlain(&recovered);
+    auto stats_or = RecoveryManager(path).Recover(&recovered);
+    ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+    EXPECT_EQ(stats_or.ValueOrDie().next_seq, 6u);
+    EXPECT_EQ(recovered.Count(Sym("item")), 6u);
+    dumps[grouped] = CanonicalWmDump(recovered);
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(RecoveryTest, RestartCycleResumesWhereItDied) {
+  // Run, stop, recover + append, run again, recover again: the second
+  // life's commits extend the same log with contiguous seqs, and the
+  // final recovery sees both lives.
+  const std::string path = TempPath("recovery_restart.wal");
+  {
+    DurabilityOptions durability;
+    durability.path = path;
+    durability.open_mode = JournalOpenMode::kTruncate;
+    durability.group_commit = true;
+    MiniServer first(durability, /*recover_first=*/false);
+    first.CommitItems(0, 4);
+  }
+  {
+    DurabilityOptions durability;
+    durability.path = path;
+    MiniServer second(durability, /*recover_first=*/true);
+    EXPECT_EQ(second.recovered.next_seq, 4u);
+    EXPECT_EQ(second.wm.Count(Sym("item")), 4u);
+    second.CommitItems(100, 3);
+  }
+  WorkingMemory recovered;
+  LoadPlain(&recovered);
+  auto stats_or = RecoveryManager(path).Recover(&recovered);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  EXPECT_EQ(stats_or.ValueOrDie().next_seq, 7u);
+  EXPECT_EQ(recovered.Count(Sym("item")), 7u);
+  // Both lives' items are present.
+  EXPECT_EQ(recovered.Lookup(Sym("item"), 0, Value::Int(3)).size(), 1u);
+  EXPECT_EQ(recovered.Lookup(Sym("item"), 0, Value::Int(102)).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, EngineCheckpointsFenceAndAccelerateRecovery) {
+  // Auto-checkpoints every 2 records: recovery must restore from the
+  // LAST checkpoint and replay only the suffix, landing on the same
+  // state as a full replay.
+  const std::string path = TempPath("recovery_auto_checkpoint.wal");
+  {
+    DurabilityOptions durability;
+    durability.path = path;
+    durability.open_mode = JournalOpenMode::kTruncate;
+    durability.group_commit = true;
+    durability.checkpoint_every = 2;
+    MiniServer server(durability, /*recover_first=*/false);
+    server.CommitItems(0, 7);
+  }
+  const WalScan scan = ScanWalBuffer(ReadFileBytes(path));
+  ASSERT_EQ(scan.tail, WalTail::kClean) << scan.tail_detail;
+  uint64_t checkpoints = 0;
+  std::string text;
+  for (const WalRecord& record : scan.records) {
+    if (record.type == WalRecordType::kCheckpoint) {
+      ++checkpoints;
+    } else {
+      text += record.payload + "\n";
+    }
+  }
+  EXPECT_GE(checkpoints, 2u);
+
+  WorkingMemory recovered;
+  LoadPlain(&recovered);
+  auto stats_or = RecoveryManager(path).Recover(&recovered);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status();
+  EXPECT_TRUE(stats_or.ValueOrDie().used_checkpoint);
+  EXPECT_LT(stats_or.ValueOrDie().replayed_deltas, 7u);
+  EXPECT_EQ(stats_or.ValueOrDie().next_seq, 7u);
+
+  WorkingMemory replayed;
+  LoadPlain(&replayed);
+  ASSERT_TRUE(ReplayJournal(text, &replayed).ok());
+  EXPECT_EQ(CanonicalWmDump(recovered), CanonicalWmDump(replayed));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbps

@@ -1,7 +1,10 @@
 #include "testing/chaos_runner.h"
 
 #include <atomic>
+#include <fstream>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -309,18 +312,220 @@ ChaosReport RunNetworkTrial(const ChaosOptions& options) {
   return report;
 }
 
+ChaosReport RunCrashRecoverTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  if (options.journal_path.empty()) {
+    report.verdict = Status::InvalidArgument(
+        "kCrashRecover requires ChaosOptions::journal_path");
+    return report;
+  }
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(kChaosProgram, &wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  RuleSetPtr rules = rules_or.ValueOrDie();
+  auto pristine = wm.Clone();
+
+  // File-backed durable journal: a fresh WAL per trial, optionally with
+  // group commit and auto-checkpoints, per the seeded matrix.
+  JournalFeed feed;
+  DurabilityOptions durability;
+  durability.path = options.journal_path;
+  durability.open_mode = JournalOpenMode::kTruncate;
+  durability.group_commit = options.group_commit;
+  durability.checkpoint_every = options.checkpoint_every;
+  Status enabled = feed.EnableDurability(durability);
+  if (enabled.ok()) enabled = feed.EnableCheckpoints(&wm);
+  if (!enabled.ok()) {
+    report.verdict = enabled;
+    return report;
+  }
+
+  ServerOptions server_options;
+  server_options.durable_feed = &feed;
+  SessionManager manager(&wm, server_options);
+  ParallelEngineOptions eo = EngineOptionsFor(options);
+  eo.external_source = &manager;
+  eo.base.observer = feed.MakeObserver();
+  ParallelEngine engine(&wm, rules, eo);
+  manager.BindEngine(&engine);
+
+  // Arm exactly ONE crash site, both choices derived from the seed: which
+  // failure shape (all frames written vs torn mid-frame) and how many
+  // successful syncs happen first. one_in=1 makes the armed site fire
+  // deterministically once the skip count is spent.
+  FailpointDisarm disarm;
+  FailpointRegistry::Instance().SetSeed(options.seed);
+  const std::vector<std::string>& sites = CrashChaosSites();
+  const std::string site = sites[options.seed % sites.size()];
+  const uint64_t skip =
+      1 + options.seed % (options.group_commit ? 6 : 16);
+  FailpointRegistry::Instance().Configure(
+      site, {.one_in = 1, .skip = skip, .max_fires = 1});
+
+  StatusOr<RunResult> result_or{Status::Internal("not run")};
+  std::thread serve([&] { result_or = engine.Run(); });
+
+  // Clients record every ACKED commit: Session::Commit only returns OK
+  // after the commit's journal frame is fsync-durable, so (id, seq) here
+  // is exactly the set recovery must preserve.
+  std::mutex mu;
+  std::vector<std::pair<int64_t, uint64_t>> acked;
+  std::atomic<uint64_t> gave_up{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < options.client_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      auto session_or = manager.Connect("crash-" + std::to_string(c));
+      if (!session_or.ok()) {
+        gave_up.fetch_add(options.txns_per_session);
+        return;
+      }
+      SessionPtr session = session_or.ValueOrDie();
+      for (uint64_t i = 0; i < options.txns_per_session; ++i) {
+        const int64_t id = static_cast<int64_t>(c * 1000 + i);
+        uint64_t seq = 0;
+        Status st = session->Perform([&](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          Delta delta;
+          delta.Create(Sym("request"),
+                       {Value::Int(id), Value::Symbol("new")});
+          DBPS_RETURN_NOT_OK(s.Write(delta));
+          auto seq_or = s.Commit();
+          if (seq_or.ok()) seq = seq_or.ValueOrDie();
+          return seq_or.status();
+        });
+        if (st.ok()) {
+          std::lock_guard<std::mutex> guard(mu);
+          acked.emplace_back(id, seq);
+        } else {
+          // After the injected crash every commit fails its durable
+          // wait — bounded give-up is the correct client behavior.
+          gave_up.fetch_add(1);
+        }
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  manager.Close();
+  serve.join();
+  FailpointRegistry::Instance().DisableAll();
+
+  report.committed_client_txns = acked.size();
+  report.acked_commits = acked.size();
+  report.client_give_ups = gave_up.load();
+  report.injected_crashes = feed.durability().injected_crashes;
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
+                            report.live_transactions);
+  if (!report.verdict.ok()) return report;
+
+  // --- The crash happened (or the workload outran the crash point);
+  // either way, recover the on-disk journal into a fresh program WM. ---
+  WorkingMemory recovered;
+  DBPS_CHECK(LoadProgram(kChaosProgram, &recovered).ok());
+  RecoveryManager recovery(options.journal_path);
+  auto recover_or = recovery.Recover(&recovered);
+  if (!recover_or.ok()) {
+    report.verdict = Status::Internal("recovery failed: " +
+                                      recover_or.status().ToString());
+    return report;
+  }
+  report.recovery = recover_or.ValueOrDie();
+
+  // (b) Nothing durable was lost: recovery reaches at least the feed's
+  // frozen durable high-water.
+  if (report.recovery.next_seq < feed.durable_seq()) {
+    report.verdict = Status::Internal(StringPrintf(
+        "durable suffix lost: recovery stops at seq %llu, durable "
+        "high-water is %llu",
+        (unsigned long long)report.recovery.next_seq,
+        (unsigned long long)feed.durable_seq()));
+    return report;
+  }
+
+  // (a) Every ACKED commit survived: its seq is inside the recovered
+  // prefix AND its tuple is present (as `request`, or as `resolved` if a
+  // logged rule firing already consumed it).
+  for (const auto& entry : acked) {
+    const int64_t id = entry.first;
+    const uint64_t seq = entry.second;
+    if (seq >= report.recovery.next_seq) {
+      report.verdict = Status::Internal(StringPrintf(
+          "acked commit seq %llu lost: recovery stops at seq %llu",
+          (unsigned long long)seq,
+          (unsigned long long)report.recovery.next_seq));
+      return report;
+    }
+    const bool survived =
+        !recovered.Lookup(Sym("request"), 0, Value::Int(id)).empty() ||
+        !recovered.Lookup(Sym("resolved"), 0, Value::Int(id)).empty();
+    if (!survived) {
+      report.verdict = Status::Internal(StringPrintf(
+          "acked request id %lld (seq %llu) missing from recovered state",
+          (long long)id, (unsigned long long)seq));
+      return report;
+    }
+  }
+
+  // (c) The recovered (truncated) journal scans clean end to end.
+  auto validate_or = recovery.Validate();
+  if (!validate_or.ok()) {
+    report.verdict = Status::Internal("post-recovery validate failed: " +
+                                      validate_or.status().ToString());
+    return report;
+  }
+  const RecoveryStats& revalidated = validate_or.ValueOrDie();
+  if (revalidated.tail != WalTail::kClean ||
+      revalidated.bytes_truncated != 0) {
+    report.verdict = Status::Internal(
+        "recovered journal does not scan clean: " + revalidated.ToString());
+    return report;
+  }
+
+  // (d) Checkpoint-based recovery equals an independent full replay of
+  // the same log's delta payloads onto a fresh program WM — the
+  // checkpoint is a pure accelerator, never a semantic shortcut.
+  std::ifstream in(options.journal_path, std::ios::binary);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  const WalScan scan = ScanWalBuffer(bytes.str());
+  std::string text;
+  for (const WalRecord& record : scan.records) {
+    if (record.type != WalRecordType::kDelta) continue;
+    text += record.payload;
+    text += '\n';
+  }
+  WorkingMemory replayed;
+  DBPS_CHECK(LoadProgram(kChaosProgram, &replayed).ok());
+  Status replay = ReplayJournal(text, &replayed);
+  if (!replay.ok()) {
+    report.verdict =
+        Status::Internal("recovered journal does not replay: " +
+                         replay.ToString());
+    return report;
+  }
+  if (CanonicalWmDump(recovered) != CanonicalWmDump(replayed)) {
+    report.verdict = Status::Internal(
+        "checkpoint recovery diverged from full journal replay");
+    return report;
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string ChaosReport::ToString() const {
   return StringPrintf(
       "verdict=%s committed=%llu give_ups=%llu unknown=%llu "
-      "reconnects=%llu live_txns=%zu [%s]",
+      "reconnects=%llu live_txns=%zu acked=%llu crashes=%llu [%s]",
       verdict.ToString().c_str(),
       (unsigned long long)committed_client_txns,
       (unsigned long long)client_give_ups,
       (unsigned long long)unknown_outcomes,
       (unsigned long long)reconnects, live_transactions,
-      stats.ToString().c_str());
+      (unsigned long long)acked_commits,
+      (unsigned long long)injected_crashes, stats.ToString().c_str());
 }
 
 ChaosReport ChaosRunner::RunTrial(const ChaosOptions& options) {
@@ -331,6 +536,8 @@ ChaosReport ChaosRunner::RunTrial(const ChaosOptions& options) {
       return RunMultiUserTrial(options);
     case ChaosWorkload::kNetwork:
       return RunNetworkTrial(options);
+    case ChaosWorkload::kCrashRecover:
+      return RunCrashRecoverTrial(options);
   }
   ChaosReport report;
   report.verdict = Status::InvalidArgument("unknown chaos workload");

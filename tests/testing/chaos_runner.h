@@ -37,6 +37,16 @@ enum class ChaosWorkload : uint8_t {
   /// group-commit fsyncs (ApplyNetworkChaosProfile). Clients reconnect
   /// and retry like real ones; the trial then replay-validates.
   kNetwork,
+  /// Kill-and-recover: clients commit against a file-backed durable
+  /// journal (journal_path) until a seed-chosen crash failpoint
+  /// (CrashChaosSites) kills the journal device mid-sync — after all
+  /// staged frames landed, or mid-frame (torn tail). The trial then
+  /// recovers the journal (server/recovery.h) into a fresh program
+  /// working memory and asserts (a) every ACKED client commit survived,
+  /// (b) nothing durable was lost (next_seq >= the durable horizon),
+  /// (c) the recovered log scans clean, and (d) checkpoint-based
+  /// recovery equals an independent full replay of the same log.
+  kCrashRecover,
 };
 
 struct ChaosOptions {
@@ -58,6 +68,13 @@ struct ChaosOptions {
   // Multi-user workload shape:
   size_t client_sessions = 3;
   uint64_t txns_per_session = 8;
+  // kCrashRecover workload shape:
+  /// Journal file for the trial (the trial truncates it at start).
+  std::string journal_path;
+  /// Fsync once per commit batch instead of once per commit.
+  bool group_commit = false;
+  /// Auto-checkpoint cadence (records); 0 = no checkpoints.
+  size_t checkpoint_every = 0;
 };
 
 struct ChaosReport {
@@ -74,6 +91,14 @@ struct ChaosReport {
   /// kNetwork only: times a client had to re-Connect mid-workload.
   uint64_t reconnects = 0;
   size_t live_transactions = 0;
+  // kCrashRecover only:
+  /// Client commits acknowledged (fsync-durable) before the crash.
+  uint64_t acked_commits = 0;
+  /// Crashes the journal failpoints injected (0 if the workload finished
+  /// before the armed crash point — still a valid recovery trial).
+  uint64_t injected_crashes = 0;
+  /// What recovery scanned/truncated/replayed.
+  RecoveryStats recovery;
 
   std::string ToString() const;
 };

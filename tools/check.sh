@@ -23,6 +23,14 @@
 #                                       # pipelined connections, replay-
 #                                       # validated) gating open-loop
 #                                       # p99 < 50ms at the smoke rate
+#   DBPS_TIER=recovery tools/check.sh   # crash-recovery tier: WAL framing,
+#                                       # recovery, journal-feed and fuzz
+#                                       # suites, the 32-trial seeded
+#                                       # kill-and-recover chaos matrix plus
+#                                       # the real fork/kill -9 suite, a
+#                                       # dbps_run crash/--recover smoke, and
+#                                       # bench_recovery --smoke with its
+#                                       # BENCH_recovery.json validated
 #
 # The build directory is build/ for plain runs and build-<sanitizer>/
 # for sanitizer runs, so they never poison each other's caches.
@@ -122,6 +130,58 @@ elif [ "$TIER" = "net" ]; then
     -R 'Wire|NetServer|GroupCommit|NetChaos'
   DBPS_BENCH_THREADS=2 "$BUILD_DIR/bench/bench_net" --smoke
   echo "net tier passed"
+elif [ "$TIER" = "recovery" ]; then
+  # Crash-recovery tier: WAL framing + recovery + durability-edge suites,
+  # the seeded kill-and-recover chaos matrix (32 trials, both fsync modes
+  # and crash shapes) and the real fork/kill -9 suite.
+  ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure \
+    -R 'Wal|JournalFuzz|JournalFeed|Recovery|KillRecover|GroupCommit'
+  # End-to-end restart smoke: run with a WAL + checkpoints, then restart
+  # from the same journal directory with --recover; both runs must
+  # replay-validate.
+  JDIR="$BUILD_DIR/recovery-smoke"
+  rm -rf "$JDIR"
+  mkdir -p "$JDIR"
+  "$BUILD_DIR/tools/dbps_run" --engine=parallel --workers=4 --sessions=3 \
+    --client-ops=6 --journal-dir="$JDIR" --group-commit \
+    --checkpoint-every=8 --validate --quiet \
+    examples/programs/server_inbox.dbps
+  "$BUILD_DIR/tools/dbps_run" --engine=parallel --workers=4 \
+    --journal-dir="$JDIR" --recover --validate --quiet \
+    examples/programs/server_inbox.dbps
+  # Recovery-time bench smoke; its JSON artifact is validated and then
+  # snapshotted (bench/results/ canonical, root copy derived) — this
+  # bench is owned by the recovery tier, not the bench tier.
+  JSON_DIR="$BUILD_DIR/bench-json"
+  mkdir -p "$JSON_DIR"
+  DBPS_BENCH_JSON_DIR="$JSON_DIR" "$BUILD_DIR/bench/bench_recovery" --smoke
+  python3 - "$JSON_DIR/BENCH_recovery.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["bench"] == "recovery", path
+assert doc["rows"], f"{path}: no rows"
+keys = ("workload", "threads", "protocol", "wall_ms", "aborts",
+        "committed", "fast_path_grants", "fast_hit_pct",
+        "batched_commits", "p50_ms", "p95_ms", "p99_ms")
+protocols = set()
+for row in doc["rows"]:
+    for key in keys:
+        assert key in row, f"{path}: row missing {key}"
+    assert row["committed"] > 0, f"{path}: empty journal row"
+    protocols.add(row["protocol"])
+    if row["protocol"] == "checkpointed":
+        assert row["batched_commits"] > 0, (
+            f"{path}: checkpointed row wrote no checkpoints")
+assert {"replay_only", "checkpointed"} <= protocols, (
+    f"{path}: need both replay_only and checkpointed rows")
+print(f"{path}: OK ({len(doc['rows'])} rows)")
+EOF
+  mkdir -p bench/results
+  cp "$JSON_DIR/BENCH_recovery.json" bench/results/
+  cp bench/results/BENCH_recovery.json BENCH_recovery.json
+  echo "recovery tier passed"
 else
   ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure
 fi

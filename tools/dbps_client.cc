@@ -10,19 +10,29 @@
 //                                                 Commit; prints the commit
 //                                                 sequence number
 //   dbps_client --port=P txn -                    journal lines from stdin
+//   dbps_client --port=P checkpoint               admin: schedule a journal
+//                                                 snapshot checkpoint at the
+//                                                 next commit batch
 //
 // Server command (host a program over the wire):
 //
 //   dbps_client serve PROGRAM.dbps [--port=P] [--workers=N]
-//               [--journal=PATH] [--group-commit]
+//               [--journal=PATH] [--journal-dir=DIR] [--recover]
+//               [--group-commit] [--checkpoint-every=N]
 //
 // serve prints "listening on <port>" and runs until stdin reaches EOF
 // (so `dbps_client serve p.dbps < /dev/null` exits after draining).
-// With --journal the commit log is written durably, acked after fsync;
-// --group-commit amortizes fsyncs over commit batches.
+// With --journal the commit log is written durably (fresh file), acked
+// after fsync; --group-commit amortizes fsyncs over commit batches.
+// --journal-dir keeps a checksummed WAL at DIR/journal.wal; adding
+// --recover first rebuilds the database from that WAL (checkpoint
+// restore + replay, torn tail truncated, stats printed) and then appends
+// to it — the server restarts exactly where it died.
 //
 // Journal lines use the lang/journal.h grammar, e.g.
 //   (delta (make order 7) (modify 3 (id 9)) (delete 4))
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <fstream>
@@ -44,8 +54,10 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host=H] [--port=P] [--name=NAME] COMMAND [ARGS...]\n"
       "client commands: ping | read RELATION | query LHS | txn LINE...|-\n"
+      "                 | checkpoint\n"
       "server command:  serve PROGRAM.dbps [--port=P] [--workers=N]\n"
-      "                 [--journal=PATH] [--group-commit]\n",
+      "                 [--journal=PATH] [--journal-dir=DIR] [--recover]\n"
+      "                 [--group-commit] [--checkpoint-every=N]\n",
       argv0);
   return 2;
 }
@@ -63,7 +75,10 @@ struct Options {
   std::string name = "dbps-client";
   size_t workers = 2;
   std::string journal_path;
+  std::string journal_dir;
+  bool recover = false;
   bool group_commit = false;
+  size_t checkpoint_every = 0;
   std::string command;
   std::vector<std::string> args;
 };
@@ -93,11 +108,34 @@ int Serve(const Options& options) {
 
   JournalFeed feed;
   ServerOptions server_options;
-  if (!options.journal_path.empty() || options.group_commit) {
+  uint64_t start_seq = 0;
+  const bool durable = !options.journal_path.empty() ||
+                       !options.journal_dir.empty() || options.group_commit;
+  if (durable) {
     DurabilityOptions durability;
     durability.path = options.journal_path;
+    if (!options.journal_dir.empty()) {
+      ::mkdir(options.journal_dir.c_str(), 0755);  // EEXIST is fine
+      durability.path =
+          RecoveryManager::JournalFileInDir(options.journal_dir);
+    }
+    if (options.recover) {
+      // Rebuild the database from the WAL before the engine starts, then
+      // append — the restarted server resumes exactly where it died.
+      RecoveryManager recovery(durability.path);
+      auto stats_or = recovery.Recover(&wm);
+      if (!stats_or.ok()) return Fail(stats_or.status());
+      start_seq = stats_or.ValueOrDie().next_seq;
+      std::printf("recovery: %s\n",
+                  stats_or.ValueOrDie().ToString().c_str());
+    }
+    durability.open_mode = options.recover ? JournalOpenMode::kAppend
+                                           : JournalOpenMode::kTruncate;
     durability.group_commit = options.group_commit;
+    durability.start_seq = start_seq;
+    durability.checkpoint_every = options.checkpoint_every;
     Status st = feed.EnableDurability(durability);
+    if (st.ok()) st = feed.EnableCheckpoints(&wm);
     if (!st.ok()) return Fail(st);
     server_options.durable_feed = &feed;
   }
@@ -105,6 +143,7 @@ int Serve(const Options& options) {
   ParallelEngineOptions engine_options;
   engine_options.num_workers = options.workers;
   engine_options.external_source = &manager;
+  engine_options.start_seq = start_seq;
   if (server_options.durable_feed != nullptr) {
     engine_options.base.observer = feed.MakeObserver();
   }
@@ -162,6 +201,10 @@ int RunClient(const Options& options) {
     if (!st.ok()) return Fail(st);
     std::printf("pong (session %llu)\n",
                 (unsigned long long)client->session_id());
+  } else if (options.command == "checkpoint") {
+    Status st = client->Checkpoint();
+    if (!st.ok()) return Fail(st);
+    std::printf("checkpoint scheduled\n");
   } else if (options.command == "read" || options.command == "query") {
     if (options.args.size() != 1) {
       std::fprintf(stderr, "%s: exactly one argument expected\n",
@@ -230,6 +273,12 @@ int main(int argc, char** argv) {
       options.workers = std::stoul(value);
     } else if (ParseFlag(arg, "journal", &value)) {
       options.journal_path = value;
+    } else if (ParseFlag(arg, "journal-dir", &value)) {
+      options.journal_dir = value;
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      options.checkpoint_every = std::stoul(value);
+    } else if (arg == "--recover") {
+      options.recover = true;
     } else if (arg == "--group-commit") {
       options.group_commit = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -244,7 +293,8 @@ int main(int argc, char** argv) {
   if (options.command.empty()) return Usage(argv[0]);
   if (options.command == "serve") return Serve(options);
   if (options.command == "ping" || options.command == "read" ||
-      options.command == "query" || options.command == "txn") {
+      options.command == "query" || options.command == "txn" ||
+      options.command == "checkpoint") {
     return RunClient(options);
   }
   std::fprintf(stderr, "unknown command %s\n", options.command.c_str());

@@ -41,7 +41,23 @@
 //                                     the run injects deterministic faults
 //   --fail-rate=P                     base failpoint probability for
 //                                     --chaos-seed (0.05)
+//   --journal-dir=DIR                 keep a durable, checksummed WAL at
+//                                     DIR/journal.wal (parallel engine);
+//                                     commits are fsynced before being
+//                                     acknowledged
+//   --recover                         rebuild working memory from the WAL
+//                                     in --journal-dir before running
+//                                     (checkpoint restore + delta replay;
+//                                     a torn tail is truncated), then
+//                                     append to it; without --recover the
+//                                     run starts a fresh log
+//   --group-commit                    one fsync per commit batch instead
+//                                     of one per commit
+//   --checkpoint-every=N              write a snapshot checkpoint record
+//                                     into the WAL every N commits
 //   --quiet                           suppress the summary line
+
+#include <sys/stat.h>
 
 #include <atomic>
 #include <cstdio>
@@ -82,6 +98,10 @@ struct Flags {
   bool chaos = false;
   uint64_t chaos_seed = 0;
   double fail_rate = 0.05;
+  std::string journal_dir;
+  bool recover = false;
+  bool group_commit = false;
+  size_t checkpoint_every = 0;
   std::string snapshot_out;
   std::string journal_out;
   std::string query;
@@ -101,6 +121,8 @@ int Usage(const char* argv0) {
                "  [--journal-out=FILE]\n"
                "  [--sessions=N] [--client-ops=M] [--client-relation=NAME]\n"
                "  [--chaos-seed=N] [--fail-rate=P] [--quiet]\n"
+               "  [--journal-dir=DIR] [--recover] [--group-commit]\n"
+               "  [--checkpoint-every=N]\n"
                "  <program.dbps>\n",
                argv0);
   return 2;
@@ -218,6 +240,14 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.client_ops = std::stoull(value);
     } else if (ParseFlag(arg, "client-relation", &value)) {
       flags.client_relation = value;
+    } else if (arg == "--recover") {
+      flags.recover = true;
+    } else if (arg == "--group-commit") {
+      flags.group_commit = true;
+    } else if (ParseFlag(arg, "journal-dir", &value)) {
+      flags.journal_dir = value;
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      flags.checkpoint_every = std::stoul(value);
     } else if (ParseFlag(arg, "chaos-seed", &value)) {
       flags.chaos = true;
       flags.chaos_seed = std::stoull(value);
@@ -240,6 +270,18 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
   if (flags.sessions > 0 && flags.engine != "parallel") {
     return Status::InvalidArgument(
         "--sessions requires --engine=parallel");
+  }
+  if (!flags.journal_dir.empty() && flags.engine != "parallel") {
+    return Status::InvalidArgument(
+        "--journal-dir requires --engine=parallel");
+  }
+  if (flags.recover && flags.journal_dir.empty()) {
+    return Status::InvalidArgument("--recover requires --journal-dir");
+  }
+  if ((flags.group_commit || flags.checkpoint_every > 0) &&
+      flags.journal_dir.empty()) {
+    return Status::InvalidArgument(
+        "--group-commit/--checkpoint-every require --journal-dir");
   }
   return flags;
 }
@@ -280,6 +322,7 @@ std::vector<Value> ClientTuple(const RelationSchema& schema, size_t session,
 StatusOr<RunResult> ServeSessions(const Flags& flags, WorkingMemory* wm,
                                   RuleSetPtr rules,
                                   ParallelEngineOptions options,
+                                  JournalFeed* durable_feed,
                                   ServerStats* server_stats) {
   SymbolId target;
   if (!flags.client_relation.empty()) {
@@ -294,7 +337,9 @@ StatusOr<RunResult> ServeSessions(const Flags& flags, WorkingMemory* wm,
   if (!schema_or.ok()) return schema_or.status();
   const RelationSchema& schema = *schema_or.ValueOrDie();
 
-  SessionManager manager(wm);
+  ServerOptions server_options;
+  server_options.durable_feed = durable_feed;  // ack-after-fsync when set
+  SessionManager manager(wm, server_options);
   options.external_source = &manager;
   ParallelEngine engine(wm, rules, options);
   manager.BindEngine(&engine);
@@ -367,6 +412,45 @@ int Run(const Flags& flags) {
   }
   RuleSetPtr rules = rules_or.ValueOrDie();
 
+  // Crash recovery runs against the freshly loaded program state, BEFORE
+  // anything else observes the working memory: a checkpoint replaces the
+  // program's initial facts, a checkpoint-less journal replays onto them.
+  JournalFeed feed;
+  uint64_t start_seq = 0;
+  if (!flags.journal_dir.empty()) {
+    ::mkdir(flags.journal_dir.c_str(), 0755);  // EEXIST is fine
+    const std::string wal =
+        RecoveryManager::JournalFileInDir(flags.journal_dir);
+    if (flags.recover) {
+      RecoveryManager recovery(wal);
+      auto stats_or = recovery.Recover(&wm);
+      if (!stats_or.ok()) {
+        std::fprintf(stderr, "recovery failed: %s\n",
+                     stats_or.status().ToString().c_str());
+        return 1;
+      }
+      const RecoveryStats& rstats = stats_or.ValueOrDie();
+      start_seq = rstats.next_seq;
+      if (!flags.quiet) {
+        std::printf("recovery: %s\n", rstats.ToString().c_str());
+      }
+    }
+    DurabilityOptions durability;
+    durability.path = wal;
+    durability.open_mode = flags.recover ? JournalOpenMode::kAppend
+                                         : JournalOpenMode::kTruncate;
+    durability.group_commit = flags.group_commit;
+    durability.start_seq = start_seq;
+    durability.checkpoint_every = flags.checkpoint_every;
+    Status st = feed.EnableDurability(durability);
+    if (st.ok()) st = feed.EnableCheckpoints(&wm);
+    if (!st.ok()) {
+      std::fprintf(stderr, "journal setup failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
   std::unique_ptr<WorkingMemory> pristine;
   if (flags.validate) pristine = wm.Clone();
 
@@ -395,9 +479,15 @@ int Run(const Flags& flags) {
     options.protocol = flags.protocol;
     options.abort_policy = flags.abort_policy;
     options.deadlock_policy = flags.deadlock_policy;
+    options.start_seq = start_seq;
+    JournalFeed* durable = nullptr;
+    if (!flags.journal_dir.empty()) {
+      durable = &feed;
+      options.base.observer = feed.MakeObserver(base.observer);
+    }
     if (flags.sessions > 0) {
       result_or =
-          ServeSessions(flags, &wm, rules, options, &server_stats);
+          ServeSessions(flags, &wm, rules, options, durable, &server_stats);
     } else {
       ParallelEngine engine(&wm, rules, options);
       result_or = engine.Run();
@@ -446,6 +536,18 @@ int Run(const Flags& flags) {
       std::printf("chaos: seed=%llu rate=%.3f failpoint fires=%llu\n",
                   (unsigned long long)flags.chaos_seed, flags.fail_rate,
                   (unsigned long long)chaos_fires);
+    }
+    if (!flags.journal_dir.empty()) {
+      const DurabilityStats dstats = feed.durability();
+      std::printf(
+          "journal: durable_seq=%llu fsyncs=%llu records=%llu "
+          "mean_group=%.2f checkpoints=%llu bytes=%llu failures=%llu\n",
+          (unsigned long long)feed.durable_seq(),
+          (unsigned long long)dstats.fsyncs,
+          (unsigned long long)dstats.records_synced, dstats.MeanGroup(),
+          (unsigned long long)dstats.checkpoints_written,
+          (unsigned long long)dstats.bytes_written,
+          (unsigned long long)dstats.sync_failures);
     }
   }
   if (flags.validate) {
