@@ -1,0 +1,214 @@
+#include "audit/audit_record.h"
+
+#include <utility>
+#include <vector>
+
+#include "lang/journal.h"
+#include "lang/lexer.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+void AppendPairs(const std::vector<ReadVersion>& pairs, std::string* out) {
+  for (const auto& [id, tag] : pairs) {
+    *out += StringPrintf(" (%llu %llu)", (unsigned long long)id,
+                         (unsigned long long)tag);
+  }
+}
+
+/// Minimal token walker over the audit clause (same Lex tokens the
+/// journal parser uses).
+class ClauseCursor {
+ public:
+  explicit ClauseCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  Status Expect(TokenType type) {
+    if (Check(type)) {
+      Advance();
+      return Status::OK();
+    }
+    return Status::ParseError("audit clause: expected " +
+                              std::string(TokenTypeToString(type)) +
+                              ", found " + Peek().ToString());
+  }
+  StatusOr<std::string> ExpectSymbol() {
+    if (!Check(TokenType::kSymbol)) {
+      return Status::ParseError("audit clause: expected symbol, found " +
+                                Peek().ToString());
+    }
+    return Advance().text;
+  }
+  StatusOr<uint64_t> ExpectU64() {
+    if (!Check(TokenType::kInt) || Peek().int_value < 0) {
+      return Status::ParseError(
+          "audit clause: expected a non-negative integer, found " +
+          Peek().ToString());
+    }
+    return static_cast<uint64_t>(Advance().int_value);
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Status ParsePairList(ClauseCursor* cursor, std::vector<ReadVersion>* out) {
+  while (cursor->Check(TokenType::kLParen)) {
+    cursor->Advance();
+    DBPS_ASSIGN_OR_RETURN(uint64_t id, cursor->ExpectU64());
+    DBPS_ASSIGN_OR_RETURN(uint64_t tag, cursor->ExpectU64());
+    DBPS_RETURN_NOT_OK(cursor->Expect(TokenType::kRParen));
+    out->emplace_back(id, tag);
+  }
+  return Status::OK();
+}
+
+/// Parses the "(audit ...)" s-expression (the text after the ";a"
+/// marker) into seq + TxnAudit.
+Status ParseAuditClause(std::string_view clause, uint64_t* seq,
+                        TxnAudit* audit) {
+  DBPS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(clause));
+  ClauseCursor cursor(std::move(tokens));
+  DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kLParen));
+  DBPS_ASSIGN_OR_RETURN(std::string head, cursor.ExpectSymbol());
+  if (head != "audit") {
+    return Status::ParseError("audit clause: expected (audit ...), got '" +
+                              head + "'");
+  }
+  bool have_seq = false;
+  bool have_reads = false;
+  while (!cursor.Check(TokenType::kRParen)) {
+    DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kLParen));
+    DBPS_ASSIGN_OR_RETURN(std::string field, cursor.ExpectSymbol());
+    if (field == "seq") {
+      DBPS_ASSIGN_OR_RETURN(*seq, cursor.ExpectU64());
+      have_seq = true;
+    } else if (field == "csn") {
+      DBPS_ASSIGN_OR_RETURN(audit->csn, cursor.ExpectU64());
+    } else if (field == "rc") {
+      if (have_reads) {
+        return Status::ParseError("audit clause: duplicate reads clause");
+      }
+      have_reads = true;
+      audit->snapshot_reads = false;
+      DBPS_RETURN_NOT_OK(ParsePairList(&cursor, &audit->reads));
+    } else if (field == "sr") {
+      if (have_reads) {
+        return Status::ParseError("audit clause: duplicate reads clause");
+      }
+      have_reads = true;
+      audit->snapshot_reads = true;
+      DBPS_ASSIGN_OR_RETURN(audit->read_csn, cursor.ExpectU64());
+      DBPS_RETURN_NOT_OK(ParsePairList(&cursor, &audit->reads));
+    } else if (field == "wr") {
+      DBPS_RETURN_NOT_OK(ParsePairList(&cursor, &audit->writes));
+    } else if (field == "v") {
+      DBPS_ASSIGN_OR_RETURN(audit->victims, cursor.ExpectU64());
+    } else if (field == "vt") {
+      DBPS_ASSIGN_OR_RETURN(audit->victims_total, cursor.ExpectU64());
+    } else {
+      return Status::ParseError("audit clause: unknown field '" + field +
+                                "'");
+    }
+    DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kRParen));
+  }
+  DBPS_RETURN_NOT_OK(cursor.Expect(TokenType::kRParen));
+  if (!cursor.Check(TokenType::kEof)) {
+    return Status::ParseError("audit clause: trailing tokens");
+  }
+  if (!have_seq) {
+    return Status::ParseError("audit clause: missing (seq N)");
+  }
+  if (!audit->snapshot_reads) audit->read_csn = audit->csn;
+  audit->present = true;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string AuditCommentSuffix(uint64_t seq, const TxnAudit* audit) {
+  if (audit == nullptr || !audit->present) return std::string();
+  std::string out = " ;a(audit";
+  out += StringPrintf(" (seq %llu) (csn %llu)", (unsigned long long)seq,
+                      (unsigned long long)audit->csn);
+  if (audit->snapshot_reads) {
+    out += StringPrintf(" (sr %llu", (unsigned long long)audit->read_csn);
+    AppendPairs(audit->reads, &out);
+    out += ")";
+  } else {
+    out += " (rc";
+    AppendPairs(audit->reads, &out);
+    out += ")";
+  }
+  out += " (wr";
+  AppendPairs(audit->writes, &out);
+  out += ")";
+  out += StringPrintf(" (v %llu) (vt %llu))", (unsigned long long)audit->victims,
+                      (unsigned long long)audit->victims_total);
+  return out;
+}
+
+StatusOr<std::string> AuditedJournalLine(const Delta& delta, uint64_t seq,
+                                         const TxnAudit* audit) {
+  DBPS_ASSIGN_OR_RETURN(std::string line, DeltaToJournalLine(delta));
+  line += AuditCommentSuffix(seq, audit);
+  return line;
+}
+
+size_t CommentStart(std::string_view line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\' && i + 1 < line.size()) {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == ';') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+std::string StripAuditComment(std::string_view line) {
+  const size_t start = CommentStart(line);
+  std::string_view body =
+      start == std::string_view::npos ? line : line.substr(0, start);
+  while (!body.empty() &&
+         (body.back() == ' ' || body.back() == '\t' || body.back() == '\r')) {
+    body.remove_suffix(1);
+  }
+  return std::string(body);
+}
+
+StatusOr<AuditedRecord> ParseAuditedLine(std::string_view line) {
+  AuditedRecord record;
+  const size_t comment = CommentStart(line);
+  // The delta parser lexes the whole line; the audit comment is skipped
+  // as a comment, so the full line is valid input.
+  DBPS_ASSIGN_OR_RETURN(record.delta, DeltaFromJournalLine(line));
+  if (comment == std::string_view::npos) return record;
+  std::string_view tail = line.substr(comment);
+  if (tail.rfind(kAuditCommentMarker, 0) != 0) {
+    return record;  // a plain comment: the record stays unaudited
+  }
+  // ";a" + "(audit ...)": the clause starts at the '('.
+  std::string_view clause = tail.substr(2);
+  DBPS_RETURN_NOT_OK(ParseAuditClause(clause, &record.seq, &record.audit));
+  record.has_seq = true;
+  return record;
+}
+
+}  // namespace dbps

@@ -1,0 +1,79 @@
+// The audit comment: how TxnAudit evidence rides inside a journal line.
+//
+// The journal grammar ("(delta ...)" per line, lang/journal.h) and the
+// WAL's dense-seq framing are load-bearing for replay and recovery, so
+// audit evidence cannot be a new record type or a new line. Instead it is
+// appended to the delta's own line as a rule-language COMMENT — the lexer
+// skips ";" to end of line, so DeltaFromJournalLine, ReplayJournal,
+// RecoveryManager, and every other consumer parse an audited line exactly
+// as before:
+//
+//   (delta (modify 7 (1 12))) ;a(audit (seq 41) (csn 57) (rc (7 30))
+//                                      (wr (7 58)) (v 1) (vt 9))
+//
+// Clause grammar, all on one line:
+//   (seq N)          the commit sequence the engine assigned
+//   (csn C)          the CSN WorkingMemory::Apply stamped on the delta
+//   (rc (id tag)*)   versions read under Rc locking / match (read-commit)
+//   (sr R (id tag)*) versions read from a pinned CSN-R snapshot
+//                    (exactly one of rc/sr appears)
+//   (wr (id tag)*)   versions produced, one per create/modify op in order
+//   (v N)            Rc holders this commit victimized
+//   (vt N)           the running victimization ledger after this commit
+//
+// A comment that starts with ";a(" MUST parse as an audit clause (a
+// malformed one is reported, not ignored); any other comment is plain
+// text and leaves the record unaudited. The locator is string-aware: a
+// ';' inside a quoted string literal never starts a comment.
+
+#ifndef DBPS_AUDIT_AUDIT_RECORD_H_
+#define DBPS_AUDIT_AUDIT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "audit/txn_audit.h"
+#include "util/statusor.h"
+#include "wm/delta.h"
+
+namespace dbps {
+
+/// The marker that opens an audit comment.
+inline constexpr const char kAuditCommentMarker[] = ";a(";
+
+/// One fully parsed journal record: the delta, its seq (from the audit
+/// clause when present), and the audit evidence.
+struct AuditedRecord {
+  bool has_seq = false;  ///< an audit clause supplied the seq
+  uint64_t seq = 0;
+  Delta delta;
+  TxnAudit audit;  ///< audit.present false when the line had no clause
+};
+
+/// Renders " ;a(audit ...)" for one commit — empty when `audit` is null
+/// or not present (nothing to attest).
+std::string AuditCommentSuffix(uint64_t seq, const TxnAudit* audit);
+
+/// Renders the full audited journal line: DeltaToJournalLine(delta) plus
+/// the audit suffix. With a null/absent audit this is exactly the plain
+/// journal line.
+StatusOr<std::string> AuditedJournalLine(const Delta& delta, uint64_t seq,
+                                         const TxnAudit* audit);
+
+/// Byte offset of the first comment (';' outside any string literal) in
+/// `line`, or std::string_view::npos when the line has none.
+size_t CommentStart(std::string_view line);
+
+/// `line` without its trailing comment (audit or otherwise) and without
+/// trailing whitespace — the canonical pre-audit journal line, for
+/// byte-comparing logs across runs whose audit evidence differs.
+std::string StripAuditComment(std::string_view line);
+
+/// Parses one journal line with an optional audit comment. Fails when the
+/// delta does not parse or when a ";a(" comment is present but malformed.
+StatusOr<AuditedRecord> ParseAuditedLine(std::string_view line);
+
+}  // namespace dbps
+
+#endif  // DBPS_AUDIT_AUDIT_RECORD_H_

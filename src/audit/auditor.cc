@@ -1,0 +1,500 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "lang/wal.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+const char* AuditViolationClassToString(AuditViolationClass cls) {
+  switch (cls) {
+    case AuditViolationClass::kMalformedRecord: return "malformed-record";
+    case AuditViolationClass::kSequenceGap: return "sequence-gap";
+    case AuditViolationClass::kDuplicateSeq: return "duplicate-seq";
+    case AuditViolationClass::kCsnChain: return "csn-chain";
+    case AuditViolationClass::kWriteConflict: return "write-conflict";
+    case AuditViolationClass::kStaleRead: return "stale-read";
+    case AuditViolationClass::kFutureRead: return "future-read";
+    case AuditViolationClass::kSnapshotRead: return "snapshot-read";
+    case AuditViolationClass::kTagOrder: return "tag-order";
+    case AuditViolationClass::kVictimLedger: return "victim-ledger";
+    case AuditViolationClass::kTornLog: return "torn-log";
+    case AuditViolationClass::kMissingAudit: return "missing-audit";
+  }
+  return "?";
+}
+
+std::string AuditViolation::ToString() const {
+  return StringPrintf("[%s] seq %llu: %s", AuditViolationClassToString(cls),
+                      (unsigned long long)seq, detail.c_str());
+}
+
+std::string AuditReport::ToString() const {
+  std::string out = StringPrintf(
+      "audited %llu records (%llu with evidence): %llu reads, %llu writes, "
+      "%llu WR / %llu WW / %llu RW edges — %s",
+      (unsigned long long)records, (unsigned long long)audited_records,
+      (unsigned long long)reads_checked, (unsigned long long)writes_checked,
+      (unsigned long long)wr_edges, (unsigned long long)ww_edges,
+      (unsigned long long)rw_edges,
+      clean() ? "CONSISTENT"
+              : StringPrintf("%zu VIOLATIONS", violations.size()).c_str());
+  for (const AuditViolation& violation : violations) {
+    out += "\n  " + violation.ToString();
+  }
+  return out;
+}
+
+ConsistencyAuditor::ConsistencyAuditor(AuditOptions options)
+    : options_(options) {}
+
+void ConsistencyAuditor::Report(AuditViolationClass cls, uint64_t seq,
+                                std::string detail) {
+  if (report_.violations.size() >= options_.max_violations) return;
+  report_.violations.push_back(AuditViolation{cls, seq, std::move(detail)});
+}
+
+void ConsistencyAuditor::CloseLive(WmeId id, uint64_t deleted_csn,
+                                   bool deleted_known) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  ClosedVersion closed;
+  closed.tag = it->second.tag;
+  closed.created_csn = it->second.created_csn;
+  closed.created_known = it->second.created_known;
+  closed.deleted_csn = deleted_csn;
+  closed.deleted_known = deleted_known;
+  closed.reads = it->second.reads;
+  history_[id].push_back(closed);
+  live_.erase(it);
+}
+
+void ConsistencyAuditor::CheckReads(const AuditedRecord& record) {
+  const TxnAudit& audit = record.audit;
+  const uint64_t seq = record.seq;
+  for (const auto& [id, tag] : audit.reads) {
+    ++report_.reads_checked;
+    if (untracked_.count(id) > 0) continue;
+    auto live_it = live_.find(id);
+    if (audit.snapshot_reads) {
+      // Snapshot read at CSN R: the version must have been visible in
+      // [created_csn, deleted_csn) at R.
+      const uint64_t r = audit.read_csn;
+      if (live_it != live_.end() && live_it->second.tag == tag) {
+        if (live_it->second.created_known) ++report_.wr_edges;
+        ++live_it->second.reads;
+        if (live_it->second.created_known &&
+            live_it->second.created_csn > r) {
+          Report(AuditViolationClass::kSnapshotRead, seq,
+                 StringPrintf("snapshot at csn %llu reads (%llu %llu) "
+                              "created later, at csn %llu",
+                              (unsigned long long)r, (unsigned long long)id,
+                              (unsigned long long)tag,
+                              (unsigned long long)live_it->second.created_csn));
+        }
+        continue;
+      }
+      // Not the live version: look through the id's closed history.
+      auto hist_it = history_.find(id);
+      ClosedVersion* found = nullptr;
+      if (hist_it != history_.end()) {
+        for (ClosedVersion& closed : hist_it->second) {
+          if (closed.tag == tag) {
+            found = &closed;
+            break;
+          }
+        }
+      }
+      if (found != nullptr) {
+        if (found->created_known) ++report_.wr_edges;
+        ++found->reads;
+        ++report_.rw_edges;  // its overwriter committed before this reader
+        if (found->created_known && found->created_csn > r) {
+          Report(AuditViolationClass::kSnapshotRead, seq,
+                 StringPrintf("snapshot at csn %llu reads (%llu %llu) "
+                              "created later, at csn %llu",
+                              (unsigned long long)r, (unsigned long long)id,
+                              (unsigned long long)tag,
+                              (unsigned long long)found->created_csn));
+        } else if (found->deleted_known && found->deleted_csn <= r) {
+          Report(AuditViolationClass::kSnapshotRead, seq,
+                 StringPrintf("snapshot at csn %llu reads (%llu %llu), "
+                              "which died at csn %llu",
+                              (unsigned long long)r, (unsigned long long)id,
+                              (unsigned long long)tag,
+                              (unsigned long long)found->deleted_csn));
+        }
+        continue;
+      }
+      if (origin_known_.count(id) > 0 ||
+          (live_it != live_.end() && live_it->second.created_known)) {
+        // The id's full in-log version history is known and `tag` is not
+        // in it: the snapshot read a version that never existed.
+        Report(AuditViolationClass::kSnapshotRead, seq,
+               StringPrintf("snapshot reads version (%llu %llu), which the "
+                            "log never produced",
+                            (unsigned long long)id, (unsigned long long)tag));
+        continue;
+      }
+      // A pre-log version of a pre-log id: window unknown, nothing to
+      // check, but remember the reference for future-read detection.
+      ClosedVersion pre;
+      pre.tag = tag;
+      ++pre.reads;
+      history_[id].push_back(pre);
+      pre_log_origin_.emplace(id, seq);
+      continue;
+    }
+    // Rc-locked (or matched) read: the version must be LIVE at this
+    // commit — anything else means a concurrent committed writer clobbered
+    // it without this reader being victimized (§4.3 violation).
+    if (live_it != live_.end()) {
+      if (live_it->second.tag == tag) {
+        if (live_it->second.created_known) ++report_.wr_edges;
+        ++live_it->second.reads;
+        continue;
+      }
+      if (tag > live_it->second.tag) {
+        Report(AuditViolationClass::kFutureRead, seq,
+               StringPrintf("reads (%llu %llu) before that version exists "
+                            "(live tag is %llu)",
+                            (unsigned long long)id, (unsigned long long)tag,
+                            (unsigned long long)live_it->second.tag));
+      } else {
+        Report(AuditViolationClass::kStaleRead, seq,
+               StringPrintf("reads superseded version (%llu %llu); live "
+                            "tag is %llu",
+                            (unsigned long long)id, (unsigned long long)tag,
+                            (unsigned long long)live_it->second.tag));
+      }
+      continue;
+    }
+    if (history_.count(id) > 0 || origin_known_.count(id) > 0) {
+      Report(AuditViolationClass::kStaleRead, seq,
+             StringPrintf("reads (%llu %llu) of a deleted tuple",
+                          (unsigned long long)id, (unsigned long long)tag));
+      continue;
+    }
+    // First sight of this id: a pre-log tuple, live by witness of this
+    // Rc read. If the log later CREATES this id, this read was from the
+    // future — remember where it happened.
+    LiveVersion pre;
+    pre.tag = tag;
+    pre.created_seq = seq;
+    pre.writer_seq = seq;
+    ++pre.reads;
+    live_.emplace(id, pre);
+    pre_log_origin_.emplace(id, seq);
+  }
+}
+
+void ConsistencyAuditor::CheckWrites(const AuditedRecord& record) {
+  const TxnAudit& audit = record.audit;
+  const uint64_t seq = record.seq;
+  size_t cursor = 0;
+  for (const WmOp& op : record.delta.ops()) {
+    if (std::holds_alternative<DeleteOp>(op)) {
+      const WmeId id = std::get<DeleteOp>(op).id;
+      if (untracked_.count(id) > 0) {
+        untracked_.erase(id);
+        ClosedVersion closed;
+        closed.deleted_csn = audit.csn;
+        closed.deleted_known = true;
+        history_[id].push_back(closed);
+        continue;
+      }
+      auto live_it = live_.find(id);
+      if (live_it != live_.end()) {
+        if (live_it->second.created_known) ++report_.ww_edges;
+        report_.rw_edges += live_it->second.reads;
+        CloseLive(id, audit.csn, /*deleted_known=*/true);
+      } else if (history_.count(id) > 0 || origin_known_.count(id) > 0) {
+        Report(AuditViolationClass::kWriteConflict, seq,
+               StringPrintf("deletes tuple %llu, which is already dead",
+                            (unsigned long long)id));
+      } else {
+        // Pre-log tuple deleted before the log ever read it: record the
+        // id as dead.
+        ClosedVersion closed;
+        closed.deleted_csn = audit.csn;
+        closed.deleted_known = true;
+        history_[id].push_back(closed);
+        pre_log_origin_.emplace(id, seq);
+      }
+      continue;
+    }
+    // Create and modify both produce exactly one new version, in op
+    // order — that is the write-evidence contract (WmChange::added).
+    if (cursor >= audit.writes.size()) {
+      Report(AuditViolationClass::kMalformedRecord, seq,
+             StringPrintf("write evidence lists %zu versions for %zu "
+                          "create/modify ops",
+                          audit.writes.size(), cursor + 1));
+      return;
+    }
+    const auto [wid, wtag] = audit.writes[cursor++];
+    ++report_.writes_checked;
+    if (have_tag_ && wtag <= last_tag_) {
+      Report(AuditViolationClass::kTagOrder, seq,
+             StringPrintf("produces time tag %llu after tag %llu — tags "
+                          "are allocated in commit order",
+                          (unsigned long long)wtag,
+                          (unsigned long long)last_tag_));
+    }
+    last_tag_ = std::max(last_tag_, wtag);
+    have_tag_ = true;
+    if (const auto* create = std::get_if<CreateOp>(&op)) {
+      (void)create;
+      if (untracked_.count(wid) > 0 || live_.count(wid) > 0 ||
+          history_.count(wid) > 0) {
+        auto origin = pre_log_origin_.find(wid);
+        if (origin != pre_log_origin_.end()) {
+          // The id was referenced BEFORE this create: that reference read
+          // a version from the future. Flag the referencing record — it
+          // is the one that observed impossible state.
+          Report(AuditViolationClass::kFutureRead, origin->second,
+                 StringPrintf("references tuple %llu, which is only "
+                              "created later, at seq %llu",
+                              (unsigned long long)wid,
+                              (unsigned long long)seq));
+        } else {
+          Report(AuditViolationClass::kWriteConflict, seq,
+                 StringPrintf("creates tuple %llu, but that id was "
+                              "already used (ids are never reused)",
+                              (unsigned long long)wid));
+        }
+        untracked_.erase(wid);
+        live_.erase(wid);
+      }
+      LiveVersion version;
+      version.tag = wtag;
+      version.created_csn = audit.csn;
+      version.created_known = true;
+      version.created_seq = seq;
+      version.writer_seq = seq;
+      live_[wid] = version;
+      origin_known_.insert(wid);
+    } else {
+      const auto& modify = std::get<ModifyOp>(op);
+      if (wid != modify.id) {
+        Report(AuditViolationClass::kMalformedRecord, seq,
+               StringPrintf("write evidence names tuple %llu where the "
+                            "delta modifies %llu",
+                            (unsigned long long)wid,
+                            (unsigned long long)modify.id));
+      }
+      if (untracked_.count(modify.id) > 0) {
+        // The id's state was lost to an unaudited record; this modify
+        // re-establishes it.
+        untracked_.erase(modify.id);
+      } else {
+        auto live_it = live_.find(modify.id);
+        if (live_it != live_.end()) {
+          if (live_it->second.created_known) ++report_.ww_edges;
+          report_.rw_edges += live_it->second.reads;
+          CloseLive(modify.id, audit.csn, /*deleted_known=*/true);
+        } else if (history_.count(modify.id) > 0 ||
+                   origin_known_.count(modify.id) > 0) {
+          Report(AuditViolationClass::kWriteConflict, seq,
+                 StringPrintf("modifies tuple %llu, which is already dead",
+                              (unsigned long long)modify.id));
+        } else {
+          // Pre-log tuple first seen through a modify (no read evidence
+          // named it — e.g. a recovered suffix): it was live; its old
+          // version is simply unknown.
+          pre_log_origin_.emplace(modify.id, seq);
+        }
+      }
+      LiveVersion version;
+      version.tag = wtag;
+      version.created_csn = audit.csn;
+      version.created_known = true;
+      version.created_seq = seq;
+      version.writer_seq = seq;
+      live_[modify.id] = version;
+    }
+  }
+  if (cursor != audit.writes.size()) {
+    Report(AuditViolationClass::kMalformedRecord, seq,
+           StringPrintf("write evidence lists %zu versions for %zu "
+                        "create/modify ops",
+                        audit.writes.size(), cursor));
+  }
+}
+
+void ConsistencyAuditor::CheckLedger(const AuditedRecord& record) {
+  const uint64_t v = record.audit.victims;
+  const uint64_t vt = record.audit.victims_total;
+  if (have_vt_) {
+    // The total must extend the previous ledger by exactly this commit's
+    // count — or restart at its own count (an engine restart after
+    // recovery begins a fresh ledger).
+    if (vt != last_vt_ + v && vt != v) {
+      Report(AuditViolationClass::kVictimLedger, record.seq,
+             StringPrintf("victim ledger reads %llu after %llu with %llu "
+                          "victims charged — a victimization record is "
+                          "missing or forged",
+                          (unsigned long long)vt,
+                          (unsigned long long)last_vt_,
+                          (unsigned long long)v));
+    }
+  }
+  last_vt_ = vt;
+  have_vt_ = true;
+}
+
+void ConsistencyAuditor::AddRecord(const AuditedRecord& record) {
+  DBPS_CHECK(!finished_);
+  ++report_.records;
+  AuditedRecord local = record;
+  if (local.has_seq) {
+    if (have_seq_) {
+      if (local.seq < next_seq_) {
+        Report(AuditViolationClass::kDuplicateSeq, local.seq,
+               StringPrintf("commit seq %llu repeats or regresses "
+                            "(expected %llu)",
+                            (unsigned long long)local.seq,
+                            (unsigned long long)next_seq_));
+      } else if (local.seq > next_seq_) {
+        Report(AuditViolationClass::kSequenceGap, local.seq,
+               StringPrintf("commit seq jumps from %llu to %llu — %llu "
+                            "record(s) missing",
+                            (unsigned long long)(next_seq_ - 1),
+                            (unsigned long long)local.seq,
+                            (unsigned long long)(local.seq - next_seq_)));
+        next_seq_ = local.seq + 1;
+      } else {
+        next_seq_ = local.seq + 1;
+      }
+    } else {
+      have_seq_ = true;
+      next_seq_ = local.seq + 1;
+    }
+  } else {
+    // No seq evidence: the record occupies the next slot by position.
+    local.seq = have_seq_ ? next_seq_ : 0;
+    have_seq_ = true;
+    next_seq_ = local.seq + 1;
+  }
+
+  if (!local.audit.present) {
+    if (options_.require_audit) {
+      Report(AuditViolationClass::kMissingAudit, local.seq,
+             "record carries no audit evidence");
+    }
+    // Track what we can: the ids this opaque record wrote are now in an
+    // unknown state — exempt them from future checks rather than report
+    // phantom violations.
+    for (const WmOp& op : local.delta.ops()) {
+      WmeId id = 0;
+      if (const auto* modify = std::get_if<ModifyOp>(&op)) {
+        id = modify->id;
+      } else if (const auto* del = std::get_if<DeleteOp>(&op)) {
+        id = del->id;
+      } else {
+        continue;  // a create's assigned id is unknowable without evidence
+      }
+      live_.erase(id);
+      untracked_.insert(id);
+    }
+    return;
+  }
+
+  ++report_.audited_records;
+  if (have_csn_ && local.audit.csn <= last_csn_) {
+    Report(AuditViolationClass::kCsnChain, local.seq,
+           StringPrintf("csn %llu does not advance past %llu",
+                        (unsigned long long)local.audit.csn,
+                        (unsigned long long)last_csn_));
+  }
+  last_csn_ = std::max(last_csn_, local.audit.csn);
+  have_csn_ = true;
+
+  CheckReads(local);
+  CheckWrites(local);
+  CheckLedger(local);
+}
+
+void ConsistencyAuditor::AddLine(std::string_view line) {
+  std::string_view trimmed = StripWhitespace(line);
+  if (trimmed.empty() || trimmed[0] == ';') return;
+  auto record_or = ParseAuditedLine(trimmed);
+  if (!record_or.ok()) {
+    ++report_.records;
+    Report(AuditViolationClass::kMalformedRecord,
+           have_seq_ ? next_seq_ : 0,
+           record_or.status().message());
+    return;
+  }
+  AddRecord(record_or.ValueOrDie());
+}
+
+void ConsistencyAuditor::AddCommit(uint64_t seq, const Delta& delta,
+                                   const TxnAudit& audit) {
+  AuditedRecord record;
+  record.has_seq = true;
+  record.seq = seq;
+  record.delta = delta;
+  record.audit = audit;
+  AddRecord(record);
+}
+
+AuditReport ConsistencyAuditor::Finish() {
+  DBPS_CHECK(!finished_);
+  finished_ = true;
+  return std::move(report_);
+}
+
+AuditReport ConsistencyAuditor::AuditJournalText(std::string_view text,
+                                                 AuditOptions options) {
+  ConsistencyAuditor auditor(options);
+  for (std::string_view line : Split(text, '\n')) {
+    auditor.AddLine(line);
+  }
+  return auditor.Finish();
+}
+
+StatusOr<AuditReport> ConsistencyAuditor::AuditWalFile(const std::string& path,
+                                                       AuditOptions options) {
+  DBPS_ASSIGN_OR_RETURN(WalIterator it, WalIterator::OpenFile(path));
+  ConsistencyAuditor auditor(options);
+  if (it.file_missing()) return auditor.Finish();
+  WalRecord record;
+  while (it.Next(&record)) {
+    if (record.type != WalRecordType::kDelta) continue;  // checkpoint fence
+    auto parsed_or = ParseAuditedLine(record.payload);
+    if (!parsed_or.ok()) {
+      ++auditor.report_.records;
+      auditor.Report(AuditViolationClass::kMalformedRecord, record.seq,
+                     parsed_or.status().message());
+      continue;
+    }
+    AuditedRecord parsed = std::move(parsed_or).ValueOrDie();
+    if (parsed.has_seq && parsed.seq != record.seq) {
+      auditor.Report(
+          AuditViolationClass::kMalformedRecord, record.seq,
+          StringPrintf("audit clause claims seq %llu inside frame seq %llu",
+                       (unsigned long long)parsed.seq,
+                       (unsigned long long)record.seq));
+    }
+    // The frame seq is authoritative — it is CRC-protected.
+    parsed.seq = record.seq;
+    parsed.has_seq = true;
+    auditor.AddRecord(parsed);
+  }
+  if (options.flag_tail && it.scan().tail != WalTail::kClean) {
+    auditor.Report(AuditViolationClass::kTornLog,
+                   auditor.have_seq_ ? auditor.next_seq_ : 0,
+                   StringPrintf("%s tail after %llu valid bytes: %s",
+                                WalTailToString(it.scan().tail),
+                                (unsigned long long)it.scan().valid_bytes,
+                                it.scan().tail_detail.c_str()));
+  }
+  return auditor.Finish();
+}
+
+}  // namespace dbps

@@ -1,0 +1,203 @@
+// ConsistencyAuditor: the engine-independent commit-log checker.
+//
+// Every other correctness oracle in this repo (ReplayValidator, the
+// recovery dump comparisons) replays the log with the same WorkingMemory
+// apply code that produced it, so a bug shared by engine and validator is
+// invisible. The auditor closes that hole: it parses a replayable journal
+// or WAL with its own walker — lang/wal.h framing, the journal line
+// grammar, the audit comment (audit_record.h) — and re-derives the §4.3
+// concurrency guarantees from first principles, touching NONE of the
+// engine's apply, lock, or matcher code.
+//
+// What it verifies, per Biswas & Enea ("On the Complexity of Checking
+// Transactional Consistency"): with the commit log's TOTAL order given,
+// conflict-serializability checking collapses from NP-hard to a single
+// linear pass — a history ordered by commit seq is conflict-serializable
+// iff no WR/WW/RW dependency edge points BACKWARD against that order. The
+// auditor replays only the version bookkeeping (never the data): it keeps
+// a version store id -> {live version, closed versions with
+// [created_csn, deleted_csn) windows} built purely from the log's write
+// evidence, and checks each record against it:
+//
+//   * serializability / Rc semantics — every version a committed
+//     transaction read under Rc locking must still be the LIVE version of
+//     its id at the transaction's commit position (a mismatch is a
+//     backward RW or WR edge: someone clobbered the read before the
+//     reader committed, without the reader being victimized — the §4.3
+//     violation);
+//   * write integrity — creates name fresh ids (ids are never reused),
+//     modifies/deletes hit live ids (a write to a dead or future version
+//     is a backward WW edge), produced time tags strictly increase in
+//     commit order (tags are allocated at apply time, so any reordering
+//     of history shows up here);
+//   * snapshot-read consistency — a version read from a CSN-R snapshot
+//     must satisfy created_csn <= R < deleted_csn (reads from the future
+//     or of pre-snapshot-deleted versions are flagged);
+//   * commit-seq density and CSN monotonicity;
+//   * the victimization ledger — each record's (vt N) must extend the
+//     previous total by exactly its own (v N) (or restart the ledger at
+//     its own count after recovery), so a dropped victimization record
+//     leaves an unexplained jump.
+//
+// The log may begin mid-history (after a checkpoint, or as a chaos
+// trial's suffix): versions referenced before any logged write are
+// registered as pre-log versions with unknown creation windows, and the
+// registration seq is remembered — if the log later CREATES such an id,
+// the earlier reference was a read from the future, flagged at the
+// referencing record.
+
+#ifndef DBPS_AUDIT_AUDITOR_H_
+#define DBPS_AUDIT_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "audit/audit_record.h"
+#include "util/statusor.h"
+
+namespace dbps {
+
+enum class AuditViolationClass : uint8_t {
+  kMalformedRecord,  ///< unparseable line / write evidence mismatch
+  kSequenceGap,      ///< commit seq jumped forward (a record is missing)
+  kDuplicateSeq,     ///< commit seq repeated or went backward
+  kCsnChain,         ///< CSN did not strictly increase
+  kWriteConflict,    ///< write to a dead id, or a reused/unknown id
+  kStaleRead,        ///< Rc read of a version that was not live (§4.3)
+  kFutureRead,       ///< read of a version before its creating commit
+  kSnapshotRead,     ///< snapshot read outside its CSN visibility window
+  kTagOrder,         ///< produced time tags regressed in commit order
+  kVictimLedger,     ///< (vt) total unexplained by (v) counts
+  kTornLog,          ///< WAL tail not clean where a clean log was required
+  kMissingAudit,     ///< record lacks audit evidence (require_audit only)
+};
+
+const char* AuditViolationClassToString(AuditViolationClass cls);
+
+struct AuditViolation {
+  AuditViolationClass cls;
+  uint64_t seq = 0;  ///< the offending record's commit seq
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct AuditOptions {
+  /// Stop collecting after this many violations (the pass still runs).
+  size_t max_violations = 64;
+  /// Flag records without audit evidence instead of tracking them as
+  /// opaque write-only history.
+  bool require_audit = false;
+  /// Flag a non-clean WAL tail (AuditWalFile only). Leave true for logs
+  /// that are supposed to be recovered/clean; recovery itself expects
+  /// torn tails and uses RecoveryManager instead.
+  bool flag_tail = true;
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  uint64_t records = 0;          ///< delta records examined
+  uint64_t audited_records = 0;  ///< ... carrying audit evidence
+  uint64_t reads_checked = 0;
+  uint64_t writes_checked = 0;
+  /// Dependency-edge census of the history (forward edges are the normal
+  /// case; the violation classes above are the backward ones).
+  uint64_t wr_edges = 0;
+  uint64_t ww_edges = 0;
+  uint64_t rw_edges = 0;
+
+  bool clean() const { return violations.empty(); }
+  /// Multi-line human-readable summary (one line per violation).
+  std::string ToString() const;
+};
+
+class ConsistencyAuditor {
+ public:
+  explicit ConsistencyAuditor(AuditOptions options = {});
+
+  /// Feeds one parsed record, in log order.
+  void AddRecord(const AuditedRecord& record);
+
+  /// Parses and feeds one journal line (blank lines and non-audit comment
+  /// lines are skipped; a malformed line is a kMalformedRecord).
+  void AddLine(std::string_view line);
+
+  /// Feeds one commit directly from an engine's in-memory log.
+  void AddCommit(uint64_t seq, const Delta& delta, const TxnAudit& audit);
+
+  /// Finishes the pass and returns the report. The auditor is spent.
+  AuditReport Finish();
+
+  // --- One-shot entry points --------------------------------------------
+
+  /// Audits newline-separated journal text.
+  static AuditReport AuditJournalText(std::string_view text,
+                                      AuditOptions options = {});
+
+  /// Audits a framed WAL file (lang/wal.h): walks it with WalIterator,
+  /// cross-checks each frame's seq against the payload's audit clause,
+  /// skips checkpoint records, and (with flag_tail) reports a non-clean
+  /// tail. A missing file yields an empty, clean report.
+  static StatusOr<AuditReport> AuditWalFile(const std::string& path,
+                                            AuditOptions options = {});
+
+ private:
+  struct LiveVersion {
+    TimeTag tag = 0;
+    uint64_t created_csn = 0;
+    bool created_known = false;  ///< false for pre-log registrations
+    uint64_t created_seq = 0;    ///< the creating (or registering) record
+    uint64_t writer_seq = 0;     ///< last record that produced this version
+    uint64_t reads = 0;          ///< RW-edge census
+  };
+  struct ClosedVersion {
+    TimeTag tag = 0;
+    uint64_t created_csn = 0;
+    bool created_known = false;
+    uint64_t deleted_csn = 0;
+    bool deleted_known = false;
+    uint64_t reads = 0;  ///< RW-edge census
+  };
+
+  void Report(AuditViolationClass cls, uint64_t seq, std::string detail);
+  void CheckReads(const AuditedRecord& record);
+  void CheckWrites(const AuditedRecord& record);
+  void CheckLedger(const AuditedRecord& record);
+  /// Moves the live version of `id` (if any) into its closed history.
+  void CloseLive(WmeId id, uint64_t deleted_csn, bool deleted_known);
+
+  AuditOptions options_;
+  AuditReport report_;
+  bool finished_ = false;
+
+  bool have_seq_ = false;
+  uint64_t next_seq_ = 0;
+  bool have_csn_ = false;
+  uint64_t last_csn_ = 0;
+  bool have_vt_ = false;
+  uint64_t last_vt_ = 0;
+  bool have_tag_ = false;
+  uint64_t last_tag_ = 0;
+
+  std::unordered_map<WmeId, LiveVersion> live_;
+  std::unordered_map<WmeId, std::vector<ClosedVersion>> history_;
+  /// Ids written by an unaudited record — their state is unknown, so
+  /// later references to them are exempt from checks.
+  std::unordered_set<WmeId> untracked_;
+  /// Ids whose CREATE was observed in-log (their full version history is
+  /// known, so a read of an unknown tag is a violation, not a pre-log
+  /// version).
+  std::unordered_set<WmeId> origin_known_;
+  /// id -> seq of the record that first referenced it pre-log. If the
+  /// log later creates the id, that reference was a future read, flagged
+  /// there.
+  std::unordered_map<WmeId, uint64_t> pre_log_origin_;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_AUDIT_AUDITOR_H_

@@ -1,0 +1,330 @@
+#include "audit/mutator.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "audit/audit_record.h"
+#include "lang/wal.h"
+#include "util/string_util.h"
+
+namespace dbps {
+
+namespace {
+
+struct Entry {
+  std::string raw;
+  bool is_record = false;  ///< an audited delta record (mutation-eligible)
+  AuditedRecord record;
+};
+
+StatusOr<std::vector<Entry>> ParseEntries(std::string_view text) {
+  std::vector<Entry> entries;
+  for (const std::string& line : Split(text, '\n')) {
+    Entry entry;
+    entry.raw = line;
+    std::string_view trimmed = StripWhitespace(line);
+    if (!trimmed.empty() && trimmed[0] != ';') {
+      DBPS_ASSIGN_OR_RETURN(entry.record, ParseAuditedLine(trimmed));
+      entry.is_record = entry.record.audit.present && entry.record.has_seq;
+      if (!entry.is_record) {
+        return Status::InvalidArgument(
+            "mutation harness needs a fully audited journal; line lacks an "
+            "audit clause: " +
+            entry.raw);
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status Render(Entry* entry) {
+  DBPS_ASSIGN_OR_RETURN(
+      entry->raw, AuditedJournalLine(entry->record.delta, entry->record.seq,
+                                     &entry->record.audit));
+  return Status::OK();
+}
+
+std::string Join(const std::vector<Entry>& entries) {
+  std::string out;
+  for (const Entry& entry : entries) {
+    out += entry.raw;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Indices of the audited-record entries, in order.
+std::vector<size_t> RecordIndices(const std::vector<Entry>& entries) {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].is_record) indices.push_back(i);
+  }
+  return indices;
+}
+
+bool WritesContain(const TxnAudit& audit, const ReadVersion& version) {
+  return std::find(audit.writes.begin(), audit.writes.end(), version) !=
+         audit.writes.end();
+}
+
+StatusOr<MutationResult> SwapConflictingCommits(std::vector<Entry> entries,
+                                                uint64_t seed) {
+  const std::vector<size_t> records = RecordIndices(entries);
+  // A candidate pair: the second commit Rc-reads a version the first one
+  // produces, and that version's id is already established in the prefix
+  // (created by the first commit, or mentioned before it) — so after the
+  // swap the reader provably observes state from its own future instead
+  // of silently re-deriving an unknown tuple.
+  struct Candidate {
+    size_t first;
+    size_t second;
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_set<WmeId> seen;
+  for (size_t k = 0; k + 1 < records.size(); ++k) {
+    const AuditedRecord& first = entries[records[k]].record;
+    const AuditedRecord& second = entries[records[k + 1]].record;
+    if (!second.audit.snapshot_reads) {
+      for (const ReadVersion& read : second.audit.reads) {
+        if (!WritesContain(first.audit, read)) continue;
+        // Was read.first CREATED by the first commit? Creates/modifies
+        // align with the write evidence in op order.
+        bool created_by_first = false;
+        size_t cursor = 0;
+        for (const WmOp& op : first.delta.ops()) {
+          if (std::holds_alternative<DeleteOp>(op)) continue;
+          if (cursor >= first.audit.writes.size()) break;
+          if (first.audit.writes[cursor] == read) {
+            created_by_first = std::holds_alternative<CreateOp>(op);
+            break;
+          }
+          ++cursor;
+        }
+        if (created_by_first || seen.count(read.first) > 0) {
+          candidates.push_back(Candidate{records[k], records[k + 1]});
+          break;
+        }
+      }
+    }
+    for (const auto& [id, tag] : first.audit.reads) seen.insert(id);
+    for (const auto& [id, tag] : first.audit.writes) seen.insert(id);
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no adjacent WR-dependent commit pair to swap");
+  }
+  const Candidate& pick = candidates[seed % candidates.size()];
+  Entry& a = entries[pick.first];
+  Entry& b = entries[pick.second];
+  const uint64_t seq_a = a.record.seq;
+  const uint64_t seq_b = b.record.seq;
+  const uint64_t csn_a = a.record.audit.csn;
+  const uint64_t csn_b = b.record.audit.csn;
+  // The ledger total before the pair (valid either as a chained or a
+  // freshly restarted ledger).
+  const uint64_t prev_vt = a.record.audit.victims_total - a.record.audit.victims;
+  std::swap(a.record, b.record);
+  // Renumber so seq stays dense, CSN stays increasing, and the victim
+  // ledger still adds up: the ONLY inconsistency left is the backward
+  // dependency.
+  a.record.seq = seq_a;
+  b.record.seq = seq_b;
+  a.record.audit.csn = csn_a;
+  a.record.audit.read_csn = csn_a;
+  b.record.audit.csn = csn_b;
+  b.record.audit.read_csn = csn_b;
+  a.record.audit.victims_total = prev_vt + a.record.audit.victims;
+  b.record.audit.victims_total =
+      a.record.audit.victims_total + b.record.audit.victims;
+  DBPS_RETURN_NOT_OK(Render(&a));
+  DBPS_RETURN_NOT_OK(Render(&b));
+  return MutationResult{Join(entries), seq_a, seq_a};
+}
+
+StatusOr<MutationResult> DropVictimisation(std::vector<Entry> entries,
+                                           uint64_t seed) {
+  const std::vector<size_t> records = RecordIndices(entries);
+  std::vector<size_t> candidates;
+  // Skip the log's first record: the auditor accepts any opening ledger
+  // total (a log may begin mid-history), so a drop there is undetectable
+  // by construction.
+  for (size_t k = 1; k < records.size(); ++k) {
+    if (entries[records[k]].record.audit.victims > 0) {
+      candidates.push_back(records[k]);
+    }
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no victimizing commit past the first record");
+  }
+  Entry& entry = entries[candidates[seed % candidates.size()]];
+  entry.record.audit.victims = 0;
+  DBPS_RETURN_NOT_OK(Render(&entry));
+  const uint64_t seq = entry.record.seq;
+  return MutationResult{Join(entries), seq, seq};
+}
+
+StatusOr<MutationResult> SpliceStaleRead(std::vector<Entry> entries,
+                                         uint64_t seed) {
+  const std::vector<size_t> records = RecordIndices(entries);
+  struct Candidate {
+    size_t entry;
+    size_t read_index;
+    TimeTag stale_tag;
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_map<WmeId, std::vector<TimeTag>> produced;
+  for (size_t index : records) {
+    const AuditedRecord& record = entries[index].record;
+    if (!record.audit.snapshot_reads) {
+      for (size_t r = 0; r < record.audit.reads.size(); ++r) {
+        const auto& [id, tag] = record.audit.reads[r];
+        auto it = produced.find(id);
+        if (it == produced.end()) continue;
+        for (TimeTag old_tag : it->second) {
+          if (old_tag < tag) {
+            candidates.push_back(Candidate{index, r, old_tag});
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& [id, tag] : record.audit.writes) {
+      produced[id].push_back(tag);
+    }
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no read with a superseded older version");
+  }
+  const Candidate& pick = candidates[seed % candidates.size()];
+  Entry& entry = entries[pick.entry];
+  entry.record.audit.reads[pick.read_index].second = pick.stale_tag;
+  DBPS_RETURN_NOT_OK(Render(&entry));
+  const uint64_t seq = entry.record.seq;
+  return MutationResult{Join(entries), seq, seq};
+}
+
+StatusOr<MutationResult> StaleSnapshotRead(std::vector<Entry> entries,
+                                           uint64_t seed) {
+  const std::vector<size_t> records = RecordIndices(entries);
+  struct Candidate {
+    size_t entry;
+    ReadVersion version;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t reader_index : records) {
+    const AuditedRecord& reader = entries[reader_index].record;
+    if (!reader.audit.snapshot_reads) continue;
+    const uint64_t r = reader.audit.read_csn;
+    // Prefer a version committed BEFORE the reader in the log but AFTER
+    // its snapshot CSN — invisible at R yet fully known to the auditor.
+    const Candidate* best = nullptr;
+    Candidate fallback{0, {0, 0}};
+    bool have_fallback = false;
+    for (size_t writer_index : records) {
+      if (writer_index == reader_index) break;
+      const AuditedRecord& writer = entries[writer_index].record;
+      if (writer.audit.csn <= r || writer.audit.writes.empty()) continue;
+      for (const ReadVersion& version : writer.audit.writes) {
+        if (std::find(reader.audit.reads.begin(), reader.audit.reads.end(),
+                      version) != reader.audit.reads.end()) {
+          continue;
+        }
+        candidates.push_back(Candidate{reader_index, version});
+        best = &candidates.back();
+        break;
+      }
+      if (best != nullptr) break;
+    }
+    if (best != nullptr) continue;
+    // Fallback: any later-committed version (the reader then references a
+    // version the log only produces afterwards — still flagged at the
+    // reader).
+    for (size_t writer_index : records) {
+      const AuditedRecord& writer = entries[writer_index].record;
+      if (writer_index == reader_index || writer.audit.csn <= r ||
+          writer.audit.writes.empty()) {
+        continue;
+      }
+      fallback = Candidate{reader_index, writer.audit.writes.front()};
+      have_fallback = true;
+      break;
+    }
+    if (have_fallback) candidates.push_back(fallback);
+  }
+  if (candidates.empty()) {
+    return Status::NotFound(
+        "no snapshot reader with a concurrently committed version to splice");
+  }
+  const Candidate& pick = candidates[seed % candidates.size()];
+  Entry& entry = entries[pick.entry];
+  entry.record.audit.reads.push_back(pick.version);
+  DBPS_RETURN_NOT_OK(Render(&entry));
+  const uint64_t seq = entry.record.seq;
+  return MutationResult{Join(entries), seq, seq};
+}
+
+StatusOr<MutationResult> DuplicateSeq(std::vector<Entry> entries,
+                                      uint64_t seed) {
+  const std::vector<size_t> records = RecordIndices(entries);
+  if (records.empty()) return Status::NotFound("no record to duplicate");
+  const size_t index = records[seed % records.size()];
+  Entry copy = entries[index];
+  const uint64_t seq = copy.record.seq;
+  entries.insert(entries.begin() + static_cast<ptrdiff_t>(index) + 1,
+                 std::move(copy));
+  return MutationResult{Join(entries), seq, seq};
+}
+
+}  // namespace
+
+const char* LogMutationToString(LogMutation mutation) {
+  switch (mutation) {
+    case LogMutation::kSwapConflictingCommits: return "swap-conflicting-commits";
+    case LogMutation::kDropVictimisation: return "drop-victimisation";
+    case LogMutation::kSpliceStaleRead: return "splice-stale-read";
+    case LogMutation::kStaleSnapshotRead: return "stale-snapshot-read";
+    case LogMutation::kDuplicateSeq: return "duplicate-seq";
+  }
+  return "?";
+}
+
+StatusOr<MutationResult> MutateJournalText(std::string_view text,
+                                           LogMutation mutation,
+                                           uint64_t seed) {
+  DBPS_ASSIGN_OR_RETURN(std::vector<Entry> entries, ParseEntries(text));
+  switch (mutation) {
+    case LogMutation::kSwapConflictingCommits:
+      return SwapConflictingCommits(std::move(entries), seed);
+    case LogMutation::kDropVictimisation:
+      return DropVictimisation(std::move(entries), seed);
+    case LogMutation::kSpliceStaleRead:
+      return SpliceStaleRead(std::move(entries), seed);
+    case LogMutation::kStaleSnapshotRead:
+      return StaleSnapshotRead(std::move(entries), seed);
+    case LogMutation::kDuplicateSeq:
+      return DuplicateSeq(std::move(entries), seed);
+  }
+  return Status::InvalidArgument("unknown mutation");
+}
+
+std::string EncodeTextAsWal(std::string_view text, uint64_t start_seq) {
+  std::string out;
+  uint64_t seq = start_seq;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == ';') continue;
+    WalRecord record;
+    record.seq = seq++;
+    record.type = WalRecordType::kDelta;
+    record.payload = std::string(trimmed);
+    EncodeWalRecord(record, &out);
+  }
+  return out;
+}
+
+}  // namespace dbps

@@ -1,0 +1,71 @@
+// Log-mutation harness: proves the auditor has teeth.
+//
+// A checker that never fires is indistinguishable from one that checks
+// nothing (the classic validator trap). This harness takes a KNOWN-GOOD
+// audited journal, applies one targeted corruption — the kind a real
+// concurrency-control or recovery bug would leave behind — and reports
+// exactly which commit seq the auditor must flag. The mutation tests then
+// assert that every mutation of every clean log is (a) detected at all
+// and (b) detected at the right record.
+//
+// Each mutation is constructed so the corrupted log is LOCALLY plausible
+// (seq dense, CSNs increasing, ledger totals recomputed where the
+// mutation is not about them) — only the targeted inconsistency remains,
+// so a detection cannot be a trivial side effect of sloppy splicing.
+
+#ifndef DBPS_AUDIT_MUTATOR_H_
+#define DBPS_AUDIT_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace dbps {
+
+enum class LogMutation : uint8_t {
+  /// Swaps two adjacent commits with a WR dependency between them
+  /// (renumbering seq/csn/ledger so ONLY the dependency points backward).
+  /// The §4.3 serializability violation.
+  kSwapConflictingCommits,
+  /// Zeroes one commit's (v N) victim count while keeping the running
+  /// (vt N) ledger — as if a victimization were never logged.
+  kDropVictimisation,
+  /// Rewrites one Rc read's time tag to an older, superseded version of
+  /// the same tuple — a read a concurrent writer clobbered.
+  kSpliceStaleRead,
+  /// Splices into a snapshot reader's read set a version that was not
+  /// visible at its snapshot CSN.
+  kStaleSnapshotRead,
+  /// Duplicates one commit record in place (a replayed/forked log).
+  kDuplicateSeq,
+};
+
+const char* LogMutationToString(LogMutation mutation);
+
+struct MutationResult {
+  std::string text;      ///< the corrupted journal text
+  uint64_t mutated_seq;  ///< seq of the record the mutation touched
+  /// The seq at which the auditor must report a violation. (Usually
+  /// mutated_seq; for the swap it is the earlier slot of the pair, where
+  /// the reader now observes state from its own future.)
+  uint64_t expect_seq;
+};
+
+/// Applies `mutation` to audited journal text. `seed` picks among the
+/// eligible candidate sites deterministically. Fails with NotFound when
+/// the log offers no site for this mutation (e.g. no victimizations to
+/// drop), and InvalidArgument when the text does not parse.
+StatusOr<MutationResult> MutateJournalText(std::string_view text,
+                                           LogMutation mutation,
+                                           uint64_t seed);
+
+/// Frames journal text as a WAL buffer (one kDelta record per non-empty,
+/// non-comment line), assigning dense seqs from `start_seq`. For testing
+/// AuditWalFile against mutated logs.
+std::string EncodeTextAsWal(std::string_view text, uint64_t start_seq);
+
+}  // namespace dbps
+
+#endif  // DBPS_AUDIT_MUTATOR_H_

@@ -1,0 +1,74 @@
+// Per-transaction audit evidence attached to each committed delta.
+//
+// The offline consistency auditor (src/audit/auditor.h) checks a commit
+// log without re-running the engine, but the log alone cannot say WHAT a
+// transaction read — a rule firing reads the WME versions it matched, a
+// client transaction reads whatever Session::Read/Query returned. TxnAudit
+// is that missing evidence: the exact (id, time-tag) version pairs the
+// transaction observed, the CSN it committed at, and the victimization
+// counts the commit charged. The engine fills one per commit; the journal
+// feed renders it as a lexer-skipped comment suffix on the journal line
+// (audit_record.h), so replay, recovery, and every existing consumer of
+// the log see the same grammar they always did.
+//
+// This header is deliberately standalone (engine and server both include
+// it; the audit library does not link the engine) — it depends only on
+// wm/wme.h for the id/tag typedefs.
+
+#ifndef DBPS_AUDIT_TXN_AUDIT_H_
+#define DBPS_AUDIT_TXN_AUDIT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "wm/wme.h"
+
+namespace dbps {
+
+/// One observed or produced WME version: (id, time tag).
+using ReadVersion = std::pair<WmeId, TimeTag>;
+
+/// What an external (client) transaction read, carried from Session to
+/// ParallelEngine::CommitExternal so the commit's TxnAudit can record it.
+struct TxnReadSet {
+  /// CSN of the snapshot the reads were served from (snapshot mode), or
+  /// the commit-time CSN floor for locking-mode reads.
+  uint64_t read_csn = 0;
+  /// True when the session read from a pinned CSN snapshot (no Rc locks);
+  /// false for the default locking (Rc) read path.
+  bool snapshot = false;
+  /// Every version the transaction observed, deduplicated.
+  std::vector<ReadVersion> reads;
+};
+
+/// Audit evidence for one committed transaction (rule firing or client).
+struct TxnAudit {
+  /// False when the producer recorded no evidence (e.g. a log line
+  /// synthesized by tests via JournalFeed::Append) — the auditor then
+  /// treats the record as write-only history.
+  bool present = false;
+  /// CSN WorkingMemory::Apply assigned this commit's delta.
+  uint64_t csn = 0;
+  /// CSN the reads were valid at. For locking reads (rule firings,
+  /// default sessions) this equals the commit CSN minus one — reads were
+  /// revalidated or lock-protected up to the commit point. For snapshot
+  /// sessions it is the pinned snapshot's CSN, typically far older.
+  uint64_t read_csn = 0;
+  /// True when reads came from a pinned snapshot (no Rc locking).
+  bool snapshot_reads = false;
+  /// Versions observed: matched WMEs for a firing, Read/Query results
+  /// for a client transaction.
+  std::vector<ReadVersion> reads;
+  /// Versions produced: one entry per create/modify op, in delta order.
+  std::vector<ReadVersion> writes;
+  /// Rc holders victimized by THIS commit.
+  uint64_t victims = 0;
+  /// Running victimization total after this commit (the ledger the
+  /// auditor cross-checks so a dropped victimization record is visible).
+  uint64_t victims_total = 0;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_AUDIT_TXN_AUDIT_H_

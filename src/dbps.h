@@ -27,6 +27,10 @@
 #include "analysis/access_sets.h"
 #include "analysis/lock_sets.h"
 #include "analysis/partitioner.h"
+#include "audit/audit_record.h"
+#include "audit/auditor.h"
+#include "audit/mutator.h"
+#include "audit/txn_audit.h"
 #include "engine/engine.h"
 #include "engine/parallel_engine.h"
 #include "engine/single_thread_engine.h"

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/txn_audit.h"
 #include "engine/busy_work.h"
 #include "match/conflict_resolution.h"
 #include "match/instantiation.h"
@@ -50,6 +51,10 @@ struct EngineEvent {
   /// dense from 0). For kBatchEnd: the post-batch sequence high-water —
   /// every commit with seq below it has been delivered.
   uint64_t seq = 0;
+  /// For kCommit: the transaction's audit evidence (read/write versions,
+  /// CSN, victimization counts — see audit/txn_audit.h). Null when the
+  /// engine recorded none; valid only during the call.
+  const TxnAudit* audit = nullptr;
 };
 
 using EngineObserver = std::function<void(const EngineEvent&)>;
@@ -76,6 +81,7 @@ struct FiringRecord {
   uint64_t seq = 0;       ///< commit order, starting at 0
   InstKey key;            ///< rule + matched WME versions
   Delta delta;            ///< the changes this firing applied
+  TxnAudit audit;         ///< read/write evidence (audit/txn_audit.h)
 };
 
 /// External transactions appear in the commit log under a pseudo rule name

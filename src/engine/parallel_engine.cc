@@ -153,27 +153,59 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
   // *more* invalidation, so every spared firing would also have been
   // spared per-commit, and every extra abort is admissible under the
   // paper's rule (ii).
+  std::vector<size_t> victim_counts;
+  victim_counts.reserve(live.size());
   for (PendingCommit* member : live) {
-    SettleVictims(member->txn, member->victims);
+    victim_counts.push_back(SettleVictims(member->txn, member->victims));
   }
 
   // Emit the log in ticket order — exactly the records and sequence
   // numbers a batch-of-one pipeline would have produced.
   bool emitted = false;
-  for (PendingCommit* member : live) {
+  for (size_t i = 0; i < live.size(); ++i) {
+    PendingCommit* member = live[i];
     member->seq = commit_seq_;
     // An empty client write set commits (its repeatable reads were
     // valid) but leaves no trace in the log or journal.
     if (!member->is_client || !member->delta->empty()) {
+      // Audit evidence for the offline consistency auditor: the exact
+      // versions this transaction read and produced, its CSN, and the
+      // victimization ledger (only LOGGED commits feed the ledger, so
+      // the (v)/(vt) chain in the journal is self-consistent).
+      victims_total_ += victim_counts[i];
+      TxnAudit audit;
+      audit.present = true;
+      audit.csn = changes[i].csn;
+      if (member->is_client) {
+        audit.read_csn = changes[i].csn;
+        if (member->reads != nullptr) {
+          audit.snapshot_reads = member->reads->snapshot;
+          audit.reads = member->reads->reads;
+          // Snapshot reads were valid at the pinned CSN, not at commit.
+          if (member->reads->snapshot) audit.read_csn = member->reads->read_csn;
+        }
+      } else {
+        // A rule firing read the versions it matched, lock-protected (or
+        // revalidated) up to this commit.
+        audit.read_csn = changes[i].csn;
+        audit.reads = member->key->wmes;
+      }
+      audit.writes.reserve(changes[i].added.size());
+      for (const WmePtr& added : changes[i].added) {
+        audit.writes.emplace_back(added->id(), added->tag());
+      }
+      audit.victims = victim_counts[i];
+      audit.victims_total = victims_total_;
       if (options_.base.record_log) {
         log_.push_back(FiringRecord{commit_seq_, *member->key,
-                                    *member->delta});
+                                    *member->delta, audit});
       }
       ++commit_seq_;
       if (options_.base.observer) {
-        options_.base.observer(EngineEvent{EngineEvent::Kind::kCommit,
-                                           member->key, member->delta,
-                                           member->seq});
+        EngineEvent event{EngineEvent::Kind::kCommit, member->key,
+                          member->delta, member->seq};
+        event.audit = &audit;
+        options_.base.observer(event);
         emitted = true;
       }
     }
@@ -538,14 +570,15 @@ int ParallelEngine::ProcessFiring(const InstPtr& inst, Random* rng) {
   return 0;
 }
 
-void ParallelEngine::SettleVictims(TxnId committer,
-                                   const std::vector<TxnId>& victims) {
-  if (victims.empty()) return;
+size_t ParallelEngine::SettleVictims(TxnId committer,
+                                     const std::vector<TxnId>& victims) {
+  if (victims.empty()) return 0;
   // Pin the post-commit state once; every revalidation reads this CSN.
   WmSnapshot snap;
   if (options_.abort_policy == AbortPolicy::kRevalidate) {
     snap = wm_->SnapshotAt();
   }
+  size_t aborted = 0;
   for (TxnId victim : victims) {
     if (victim == committer) continue;
     bool is_firing = false;
@@ -564,10 +597,12 @@ void ParallelEngine::SettleVictims(TxnId committer,
       // revalidate — its repeatable read is stale either way — so the
       // paper's rule (ii) applies under both policies.
       lock_manager_->MarkAborted(victim);
+      ++aborted;
       continue;
     }
     if (options_.abort_policy == AbortPolicy::kAbort) {
       lock_manager_->MarkAborted(victim);
+      ++aborted;
       continue;
     }
     // kRevalidate: spare the firing iff this commit left its match intact
@@ -577,8 +612,12 @@ void ParallelEngine::SettleVictims(TxnId committer,
     for (size_t i = 0; intact && i < key.wmes.size(); ++i) {
       intact = snap.IsCurrent(key.wmes[i].first, key.wmes[i].second);
     }
-    if (!intact) lock_manager_->MarkAborted(victim);
+    if (!intact) {
+      lock_manager_->MarkAborted(victim);
+      ++aborted;
+    }
   }
+  return aborted;
 }
 
 bool ParallelEngine::WaitUntilAccepting(
@@ -612,7 +651,8 @@ bool ParallelEngine::IsExternalAborted(TxnId txn) const {
 
 StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
                                                   const InstKey& key,
-                                                  const Delta& delta) {
+                                                  const Delta& delta,
+                                                  const TxnReadSet* reads) {
   DBPS_CHECK(IsClientFiring(key));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -647,6 +687,7 @@ StatusOr<uint64_t> ParallelEngine::CommitExternal(TxnId txn,
   pending.txn = txn;
   pending.key = &key;
   pending.delta = &delta;
+  pending.reads = reads;
   pending.is_client = true;
   {
     // A client writer's commit rides the same batching sequencer as a

@@ -184,9 +184,12 @@ class ParallelEngine {
   /// appends a client-keyed record to the commit log, and releases
   /// `txn`'s locks. `key` must be a client key (MakeClientKey). Returns
   /// the commit seq. On failure no state changed and the caller still
-  /// owns the transaction — call AbortExternal.
+  /// owns the transaction — call AbortExternal. `reads`, when non-null,
+  /// is the transaction's observed read set (alive until return); it is
+  /// recorded in the commit's TxnAudit for the offline auditor.
   StatusOr<uint64_t> CommitExternal(TxnId txn, const InstKey& key,
-                                    const Delta& delta);
+                                    const Delta& delta,
+                                    const TxnReadSet* reads = nullptr);
 
   /// Rolls back `txn`: discards nothing (writes were never applied),
   /// releases its locks, counts a client abort.
@@ -249,6 +252,10 @@ class ParallelEngine {
     /// Sorted modify/delete WME targets (DeltaWriteSet) — the batch
     /// disjointness check.
     std::vector<WmeId> write_set;
+    /// Client-only: what the transaction read (Session's read set), for
+    /// the commit's TxnAudit. Null for rule firings (their reads are the
+    /// key's matched versions) and for clients that recorded none.
+    const TxnReadSet* reads = nullptr;
     bool is_client = false;
     /// The ticket was abandoned (exception before submission): fold
     /// through the pipeline as a no-op.
@@ -357,8 +364,9 @@ class ParallelEngine {
   /// `committer` held its Wa locks: Rc–Wa incompatibility then guarantees
   /// the sweep is stable with no global section. Runs in the ordered
   /// commit stage after matcher propagation; takes mu_ only briefly for
-  /// the txn-key lookup.
-  void SettleVictims(TxnId committer, const std::vector<TxnId>& victims);
+  /// the txn-key lookup. Returns how many victims were actually marked
+  /// aborted (the commit's TxnAudit victim count).
+  size_t SettleVictims(TxnId committer, const std::vector<TxnId>& victims);
 
   WorkingMemory* wm_;
   RuleSetPtr rules_;
@@ -389,6 +397,9 @@ class ParallelEngine {
   /// Only the ordered commit stage (one thread at a time, by ticket)
   /// touches these; Run() reads them after the pipeline drains.
   uint64_t commit_seq_ = 0;  ///< total commits (firings + client txns)
+  /// Running count of victims charged to LOGGED commits — the ledger the
+  /// auditor cross-checks ((vt N) in each record's audit suffix).
+  uint64_t victims_total_ = 0;
   std::vector<FiringRecord> log_;
   /// Live transactions' claimed instantiation (for kRevalidate).
   std::unordered_map<TxnId, InstKey> txn_keys_;

@@ -58,15 +58,30 @@ StatusOr<bool> SingleThreadEngine::Step() {
   matcher_->conflict_set().MarkFired(inst->key());
   auto change_or = wm_->Apply(delta);
   if (!change_or.ok()) return change_or.status();
-  matcher_->ApplyChange(change_or.ValueOrDie());
+  const WmChange& change = change_or.ValueOrDie();
+  matcher_->ApplyChange(change);
+
+  // Audit evidence: a serial firing reads exactly its matched versions at
+  // the commit point; no victimization exists here.
+  TxnAudit audit;
+  audit.present = true;
+  audit.csn = change.csn;
+  audit.read_csn = change.csn;
+  audit.reads = inst->key().wmes;
+  audit.writes.reserve(change.added.size());
+  for (const WmePtr& added : change.added) {
+    audit.writes.emplace_back(added->id(), added->tag());
+  }
 
   if (options_.record_log) {
-    log_.push_back(FiringRecord{stats_.firings, inst->key(), delta});
+    log_.push_back(FiringRecord{stats_.firings, inst->key(), delta, audit});
   }
   if (options_.observer) {
     InstKey key = inst->key();
-    options_.observer(EngineEvent{EngineEvent::Kind::kCommit, &key, &delta,
-                                  stats_.firings});
+    EngineEvent event{EngineEvent::Kind::kCommit, &key, &delta,
+                      stats_.firings};
+    event.audit = &audit;
+    options_.observer(event);
     options_.observer(EngineEvent{EngineEvent::Kind::kBatchEnd, nullptr,
                                   nullptr, stats_.firings + 1});
   }

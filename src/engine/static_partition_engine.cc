@@ -100,15 +100,26 @@ StatusOr<RunResult> StaticPartitionEngine::Run() {
       const Delta& delta = outcome.delta.ValueOrDie();
       auto change_or = wm_->Apply(delta);
       if (!change_or.ok()) return change_or.status();
-      matcher->ApplyChange(change_or.ValueOrDie());
+      const WmChange& change = change_or.ValueOrDie();
+      matcher->ApplyChange(change);
+      TxnAudit audit;
+      audit.present = true;
+      audit.csn = change.csn;
+      audit.read_csn = change.csn;
+      audit.reads = outcome.inst->key().wmes;
+      audit.writes.reserve(change.added.size());
+      for (const WmePtr& added : change.added) {
+        audit.writes.emplace_back(added->id(), added->tag());
+      }
       if (options_.base.record_log) {
-        log.push_back(
-            FiringRecord{stats.firings, outcome.inst->key(), delta});
+        log.push_back(FiringRecord{stats.firings, outcome.inst->key(), delta,
+                                   audit});
       }
       if (options_.base.observer) {
-        options_.base.observer(EngineEvent{EngineEvent::Kind::kCommit,
-                                           &outcome.inst->key(), &delta,
-                                           stats.firings});
+        EngineEvent event{EngineEvent::Kind::kCommit, &outcome.inst->key(),
+                          &delta, stats.firings};
+        event.audit = &audit;
+        options_.base.observer(event);
         options_.base.observer(EngineEvent{EngineEvent::Kind::kBatchEnd,
                                            nullptr, nullptr,
                                            stats.firings + 1});

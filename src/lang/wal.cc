@@ -1,5 +1,11 @@
 #include "lang/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
 #include "util/crc32.h"
 #include "util/string_util.h"
 
@@ -140,6 +146,41 @@ WalScan ScanWalBuffer(std::string_view buf) {
   scan.valid_bytes = offset;
   scan.truncated_bytes = buf.size() - offset;
   return scan;
+}
+
+WalIterator::WalIterator(std::string bytes) : bytes_(std::move(bytes)) {
+  scan_ = ScanWalBuffer(bytes_);
+}
+
+StatusOr<WalIterator> WalIterator::OpenFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      WalIterator it;
+      it.file_missing_ = true;
+      return it;
+    }
+    return Status::Unavailable("cannot open journal '" + path + "'");
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return Status::Unavailable("cannot read journal '" + path + "'");
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return WalIterator(std::move(bytes));
+}
+
+bool WalIterator::Next(WalRecord* record) {
+  if (pos_ >= scan_.records.size()) return false;
+  *record = scan_.records[pos_++];
+  return true;
 }
 
 }  // namespace dbps

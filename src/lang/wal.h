@@ -99,6 +99,47 @@ WalScan ScanWalBuffer(std::string_view buf);
 StatusOr<WalRecord> DecodeWalRecord(std::string_view buf, size_t offset,
                                     size_t* consumed);
 
+/// Read-only walker over a framed WAL — the one shared record iterator
+/// used by RecoveryManager, the consistency auditor (src/audit/), and the
+/// chaos tests, instead of each keeping its own open/read/scan loop. The
+/// iterator owns the bytes and the scan: records() is the full trusted
+/// prefix, Next() hands them out one at a time, and scan() exposes the
+/// tail classification so callers can decide whether a torn/corrupt tail
+/// is expected (crash recovery) or a violation (audit of a supposedly
+/// clean log).
+class WalIterator {
+ public:
+  /// Scans an in-memory WAL image (e.g. a feed's byte buffer).
+  explicit WalIterator(std::string bytes);
+
+  /// Opens and scans a journal file. A missing file is not an error: the
+  /// returned iterator is empty with file_missing() true (a fresh start
+  /// for recovery, an empty history for the auditor). Real I/O failures
+  /// return kUnavailable.
+  static StatusOr<WalIterator> OpenFile(const std::string& path);
+
+  /// True when OpenFile found no file at the path (ENOENT).
+  bool file_missing() const { return file_missing_; }
+
+  /// Copies the next record of the trusted prefix into *record and
+  /// advances. Returns false once the prefix is exhausted.
+  bool Next(WalRecord* record);
+
+  /// Every record in the trusted prefix, in log order.
+  const std::vector<WalRecord>& records() const { return scan_.records; }
+
+  /// The underlying scan: tail classification, byte accounting.
+  const WalScan& scan() const { return scan_; }
+
+ private:
+  WalIterator() = default;
+
+  std::string bytes_;
+  WalScan scan_;
+  size_t pos_ = 0;
+  bool file_missing_ = false;
+};
+
 }  // namespace dbps
 
 #endif  // DBPS_LANG_WAL_H_

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "audit/audit_record.h"
 #include "lang/journal.h"
 #include "lang/printer.h"
 #include "util/failpoint.h"
@@ -30,7 +31,7 @@ JournalFeed::~JournalFeed() {
 EngineObserver JournalFeed::MakeObserver(EngineObserver next) {
   return [this, next = std::move(next)](const EngineEvent& event) {
     if (event.kind == EngineEvent::Kind::kCommit && event.delta != nullptr) {
-      AppendLine(*event.delta, event.seq);
+      AppendLine(*event.delta, event.seq, event.audit);
     } else if (event.kind == EngineEvent::Kind::kBatchEnd) {
       std::unique_lock<std::mutex> lock(mu_);
       if (durable_enabled_ && durable_options_.group_commit &&
@@ -52,11 +53,12 @@ void JournalFeed::Append(const Delta& delta) {
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t seq = durable_options_.start_seq + lines_.size();
   lock.unlock();
-  AppendLine(delta, seq);
+  AppendLine(delta, seq, nullptr);
 }
 
-void JournalFeed::AppendLine(const Delta& delta, uint64_t seq) {
-  auto line_or = DeltaToJournalLine(delta);
+void JournalFeed::AppendLine(const Delta& delta, uint64_t seq,
+                             const TxnAudit* audit) {
+  auto line_or = AuditedJournalLine(delta, seq, audit);
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!line_or.ok()) {

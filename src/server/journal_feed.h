@@ -195,7 +195,12 @@ class JournalFeed {
   /// Appends under mu_ and, when durability is armed, stages the record
   /// for sync; `seq` is the engine commit sequence (dense; equals the
   /// line index plus start_seq for a feed observing from the start).
-  void AppendLine(const Delta& delta, uint64_t seq);
+  /// `audit` (nullable) is the commit's audit evidence; when present the
+  /// line carries it as an audit comment (audit/audit_record.h) — the
+  /// SAME rendered string goes to lines_ and to the WAL payload, so the
+  /// in-memory feed, the disk log, and the offline auditor all see one
+  /// representation.
+  void AppendLine(const Delta& delta, uint64_t seq, const TxnAudit* audit);
 
   /// Writes + fsyncs every staged record (one group). On failure marks
   /// the feed sync-failed — staged records are NOT marked durable. Called

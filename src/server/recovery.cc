@@ -5,7 +5,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <utility>
 #include <vector>
 
@@ -17,31 +16,6 @@
 namespace dbps {
 
 namespace {
-
-StatusOr<std::string> ReadWholeFile(const std::string& path, bool* missing) {
-  *missing = false;
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      *missing = true;
-      return std::string();
-    }
-    return Status::Unavailable("cannot open journal '" + path + "'");
-  }
-  std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      ::close(fd);
-      return Status::Unavailable("cannot read journal '" + path + "'");
-    }
-    if (n == 0) break;
-    out.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return out;
-}
 
 bool AttrTypeFromString(const std::string& name, AttrType* out) {
   if (name == "any") *out = AttrType::kAny;
@@ -273,10 +247,9 @@ std::string RecoveryManager::JournalFileInDir(const std::string& dir) {
 
 StatusOr<RecoveryStats> RecoveryManager::Validate() const {
   RecoveryStats stats;
-  bool missing = false;
-  DBPS_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path_, &missing));
-  if (missing) return stats;
-  const WalScan scan = ScanWalBuffer(bytes);
+  DBPS_ASSIGN_OR_RETURN(WalIterator it, WalIterator::OpenFile(path_));
+  if (it.file_missing()) return stats;
+  const WalScan& scan = it.scan();
   FillScanStats(scan, &stats);
   uint64_t next_seq = 0;
   for (const WalRecord& record : scan.records) {
@@ -293,11 +266,10 @@ StatusOr<RecoveryStats> RecoveryManager::Validate() const {
 
 StatusOr<RecoveryStats> RecoveryManager::Recover(WorkingMemory* wm) {
   RecoveryStats stats;
-  bool missing = false;
-  DBPS_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path_, &missing));
-  if (missing) return stats;  // fresh start: nothing was ever durable
+  DBPS_ASSIGN_OR_RETURN(WalIterator it, WalIterator::OpenFile(path_));
+  if (it.file_missing()) return stats;  // fresh start: nothing durable yet
 
-  const WalScan scan = ScanWalBuffer(bytes);
+  const WalScan& scan = it.scan();
   FillScanStats(scan, &stats);
 
   // Drop the invalid tail on disk FIRST: recovery must leave a journal

@@ -42,6 +42,12 @@ Status Session::Begin() {
   }
   txn_ = txn_or.ValueOrDie();
   pending_ = Delta();
+  read_set_ = TxnReadSet();
+  read_set_.snapshot = options_.snapshot_reads;
+  if (options_.snapshot_reads) {
+    snapshot_ = wm_->SnapshotAt();
+    read_set_.read_csn = snapshot_.csn();
+  }
   in_txn_ = true;
   ++stats_.begins;
   return Status::OK();
@@ -54,17 +60,40 @@ StatusOr<std::vector<WmePtr>> Session::Read(std::string_view relation) {
     return Status::NotFound("unknown relation '" + std::string(relation) +
                             "'");
   }
+  if (options_.snapshot_reads) {
+    // Serve from the CSN snapshot pinned at Begin() — no locks, stable
+    // across any number of concurrent commit batches.
+    std::vector<WmePtr> rows = snapshot_.Scan(rel);
+    for (const WmePtr& row : rows) {
+      read_set_.reads.emplace_back(row->id(), row->tag());
+    }
+    ++stats_.reads;
+    return rows;
+  }
   if (options_.repeatable_reads) {
     Status st = engine_->AcquireExternal(
         txn_, LockObjectId{rel, kRelationLevel}, LockMode::kRc);
     if (!st.ok()) return FailTxn(std::move(st));
   }
   ++stats_.reads;
-  return wm_->Scan(rel);
+  std::vector<WmePtr> rows = wm_->Scan(rel);
+  if (options_.repeatable_reads) {
+    // Rc-protected reads are audit evidence: record the exact versions so
+    // the offline auditor can check they were still current at commit.
+    for (const WmePtr& row : rows) {
+      read_set_.reads.emplace_back(row->id(), row->tag());
+    }
+  }
+  return rows;
 }
 
 StatusOr<std::vector<QueryRow>> Session::Query(std::string_view lhs) {
   if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  if (options_.snapshot_reads) {
+    return Status::InvalidArgument(
+        "Query is unavailable in snapshot_reads mode (queries evaluate "
+        "against live working memory); use Read");
+  }
   if (options_.repeatable_reads) {
     // Lock every relation the query touches before evaluating, so the
     // answer stays valid until commit (or we become a §4.3 victim).
@@ -77,7 +106,15 @@ StatusOr<std::vector<QueryRow>> Session::Query(std::string_view lhs) {
     }
   }
   ++stats_.queries;
-  return ExecuteQuery(*wm_, lhs);
+  auto rows_or = ExecuteQuery(*wm_, lhs);
+  if (rows_or.ok() && options_.repeatable_reads) {
+    for (const QueryRow& row : rows_or.ValueOrDie()) {
+      for (const WmePtr& wme : row) {
+        read_set_.reads.emplace_back(wme->id(), wme->tag());
+      }
+    }
+  }
+  return rows_or;
 }
 
 Status Session::Write(const Delta& delta) {
@@ -101,11 +138,25 @@ StatusOr<uint64_t> Session::Commit() {
     return FailTxn(Status::Aborted("injected session drop"));
   }
   const bool had_writes = !pending_.empty();
-  auto seq_or = engine_->CommitExternal(txn_, client_key_, pending_);
+  // Deduplicate the observed versions before handing them to the commit
+  // as audit evidence (repeated Reads of the same relation re-observe the
+  // same (id, tag) pairs).
+  std::sort(read_set_.reads.begin(), read_set_.reads.end());
+  read_set_.reads.erase(
+      std::unique(read_set_.reads.begin(), read_set_.reads.end()),
+      read_set_.reads.end());
+  if (!read_set_.snapshot) {
+    // Locking reads are valid up to the commit itself; the engine stamps
+    // read_csn with the commit CSN. 0 here means "commit-time".
+    read_set_.read_csn = 0;
+  }
+  auto seq_or = engine_->CommitExternal(txn_, client_key_, pending_,
+                                        &read_set_);
   if (!seq_or.ok()) return FailTxn(seq_or.status());
   in_txn_ = false;
   txn_ = 0;
   pending_ = Delta();
+  snapshot_ = WmSnapshot();
   manager_->txn_gate().Leave();
   ++stats_.commits;
   // Ack-after-fsync: with a durable feed attached, the commit is only
@@ -132,6 +183,7 @@ void Session::Abort() {
   in_txn_ = false;
   txn_ = 0;
   pending_ = Delta();
+  snapshot_ = WmSnapshot();
   manager_->txn_gate().Leave();
   ++stats_.aborts;
 }

@@ -50,6 +50,15 @@ class SessionManager;
 struct SessionOptions {
   /// Take relation-level Rc locks on Read/Query targets, held to commit.
   bool repeatable_reads = true;
+  /// Serve every Read from one CSN snapshot pinned at Begin(): the
+  /// session sees a frozen, transaction-consistent state no matter how
+  /// many commit batches pass while it is open, and takes NO Rc locks
+  /// (so it cannot be victimized by writers — nor are its reads
+  /// revalidated; writes it commits are still Wa-locked as usual). The
+  /// long-running-analytics read mode CSN snapshots make cheap.
+  /// Overrides repeatable_reads for Read(); Query() is rejected in this
+  /// mode (queries evaluate against live WM).
+  bool snapshot_reads = false;
   /// How long Begin() may wait on the transaction admission gate.
   std::chrono::milliseconds txn_admission_timeout{10000};
   /// Perform(): how many times a transaction body is attempted before its
@@ -160,6 +169,12 @@ class Session {
   bool in_txn_ = false;
   TxnId txn_ = 0;
   Delta pending_;
+  /// Versions observed by Read/Query this transaction, handed to
+  /// CommitExternal as audit evidence (audit/txn_audit.h).
+  TxnReadSet read_set_;
+  /// Pinned at Begin() when options_.snapshot_reads; released on
+  /// Commit/Abort (live snapshots hold back version pruning).
+  WmSnapshot snapshot_;
   SessionStats stats_;
   Random rng_;  ///< Perform() backoff jitter (seeded by session id)
 };

@@ -1,6 +1,7 @@
 #include "util/random.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 namespace dbps {
@@ -78,6 +79,38 @@ std::vector<size_t> Random::Sample(size_t n, size_t k) {
     }
   }
   return out;
+}
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  DBPS_CHECK_GT(n, 0u);
+  DBPS_CHECK(theta > 0.0 && theta < 1.0);
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_ = 1.0 + std::pow(0.5, theta_);
+}
+
+uint64_t ZipfianGenerator::Next(Random* rng) const {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
 }
 
 }  // namespace dbps

@@ -58,6 +58,28 @@ class Random {
   uint64_t s_[4];
 };
 
+/// \brief Zipfian sampler over [0, n) (YCSB-style rejection inversion):
+/// rank 0 is the hottest key. With the default theta 0.99 roughly half
+/// of all draws hit the hottest ~1% of keys — the classic hot-key OLTP
+/// skew used by the adversarial chaos workloads.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  /// Draws one rank in [0, n) using `rng`.
+  uint64_t Next(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_;  ///< 1 + 0.5^theta
+};
+
 }  // namespace dbps
 
 #endif  // DBPS_UTIL_RANDOM_H_

@@ -36,16 +36,19 @@ class ChaosTest
 TEST_P(ChaosTest, SeededMultiUserTrialsStayConsistent) {
   auto [protocol, abort_policy] = GetParam();
   uint64_t total_committed = 0;
-  for (uint64_t seed = 1; seed <= kTrialsPerCombo; ++seed) {
+  // DBPS_CHAOS_TRIALS multiplies the trial count (soak runs scale it
+  // 10-100x); DBPS_CHAOS_SEED offsets the seeds into fresh schedules.
+  const uint64_t trials = kTrialsPerCombo * testing::ChaosTrialMultiplier();
+  for (uint64_t trial = 1; trial <= trials; ++trial) {
     ChaosOptions options;
     options.workload = ChaosWorkload::kMultiUser;
     options.protocol = protocol;
     options.abort_policy = abort_policy;
-    options.seed = seed;
+    options.seed = testing::ChaosSeedBase() + trial;
     options.fail_rate = 0.05;
     ChaosReport report = ChaosRunner::RunTrial(options);
     ASSERT_TRUE(report.verdict.ok())
-        << "seed " << seed << ": " << report.ToString();
+        << "seed " << options.seed << ": " << report.ToString();
     total_committed += report.committed_client_txns;
   }
   // Faults may exhaust individual retry budgets, but across a whole

@@ -23,12 +23,14 @@ TEST(CrashRecoveryChaosTest, NoAckedCommitLostAcrossSeededMatrix) {
   uint64_t crashes = 0;
   uint64_t acked = 0;
   uint64_t checkpointed_recoveries = 0;
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
+  // DBPS_CHAOS_TRIALS scales the seed range; DBPS_CHAOS_SEED shifts it.
+  const uint64_t seeds = 8 * ChaosTrialMultiplier();
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
     for (int grouped = 0; grouped < 2; ++grouped) {
       for (size_t checkpoint_every : {size_t{0}, size_t{3}}) {
         ChaosOptions options;
         options.workload = ChaosWorkload::kCrashRecover;
-        options.seed = seed * 977 + grouped;
+        options.seed = (ChaosSeedBase() + seed) * 977 + grouped;
         options.group_commit = grouped != 0;
         options.checkpoint_every = checkpoint_every;
         options.client_sessions = 3;
@@ -50,7 +52,7 @@ TEST(CrashRecoveryChaosTest, NoAckedCommitLostAcrossSeededMatrix) {
       }
     }
   }
-  EXPECT_EQ(trials, 32u);
+  EXPECT_EQ(trials, 32u * ChaosTrialMultiplier());
   // The matrix must actually exercise the crash machinery, not just run
   // 32 healthy workloads: most trials crash mid-run, clients still got
   // real acks, and the checkpointed half recovers through checkpoints.

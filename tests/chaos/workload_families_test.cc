@@ -1,0 +1,107 @@
+// Adversarial workload families: hot-key Zipfian skew, long-running
+// snapshot readers, and mixed rule-firing + OLTP traffic, all under the
+// seeded failpoint chaos profile. Every trial must replay-validate AND
+// pass the offline consistency audit; failures print the effective seed
+// so they reproduce standalone. DBPS_CHAOS_TRIALS scales the trial
+// counts 10-100x for soak runs, DBPS_CHAOS_SEED shifts the seed space.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "testing/chaos_runner.h"
+
+namespace dbps {
+namespace testing {
+namespace {
+
+TEST(WorkloadFamiliesTest, ZipfianHotKeySkewStaysConsistent) {
+  const uint64_t trials = 3 * ChaosTrialMultiplier();
+  uint64_t committed = 0;
+  uint64_t audited = 0;
+  for (uint64_t trial = 1; trial <= trials; ++trial) {
+    ChaosOptions options;
+    options.workload = ChaosWorkload::kZipfian;
+    options.seed = ChaosSeedBase() + trial * 101;
+    options.client_sessions = 4;
+    options.txns_per_session = 10;
+    options.zipfian_keys = 8;  // small key space: maximum contention
+    const ChaosReport report = ChaosRunner::RunTrial(options);
+    ASSERT_TRUE(report.verdict.ok())
+        << "seed " << options.seed << " => " << report.ToString();
+    // Every commit the engine produced must carry audit evidence.
+    EXPECT_EQ(report.audit.audited_records, report.audit.records)
+        << report.ToString();
+    committed += report.committed_client_txns;
+    audited += report.audit.audited_records;
+  }
+  // The family only means something if transactions actually landed and
+  // the auditor actually saw them.
+  EXPECT_GT(committed, 0u);
+  EXPECT_GT(audited, 0u);
+}
+
+TEST(WorkloadFamiliesTest, ZipfianSurvivesFlatterSkewToo) {
+  // theta 0.5 spreads the heat: different retry/victimization dynamics
+  // over the same conservation + audit oracles.
+  ChaosOptions options;
+  options.workload = ChaosWorkload::kZipfian;
+  options.seed = ChaosSeedBase() + 7;
+  options.client_sessions = 3;
+  options.txns_per_session = 8;
+  options.zipfian_keys = 32;
+  options.zipfian_theta = 0.5;
+  const ChaosReport report = ChaosRunner::RunTrial(options);
+  ASSERT_TRUE(report.verdict.ok())
+      << "seed " << options.seed << " => " << report.ToString();
+}
+
+TEST(WorkloadFamiliesTest, LongSnapshotReadersSpanCommitBatches) {
+  const uint64_t trials = 2 * ChaosTrialMultiplier();
+  uint64_t committed = 0;
+  for (uint64_t trial = 1; trial <= trials; ++trial) {
+    ChaosOptions options;
+    options.workload = ChaosWorkload::kSnapshotScan;
+    options.seed = ChaosSeedBase() + trial * 211;
+    options.client_sessions = 3;
+    options.txns_per_session = 10;
+    options.zipfian_keys = 8;
+    options.snapshot_readers = 2;
+    options.snapshot_rereads = 6;
+    const ChaosReport report = ChaosRunner::RunTrial(options);
+    ASSERT_TRUE(report.verdict.ok())
+        << "seed " << options.seed << " => " << report.ToString();
+    EXPECT_EQ(report.audit.audited_records, report.audit.records)
+        << report.ToString();
+    committed += report.committed_client_txns;
+  }
+  EXPECT_GT(committed, 0u);
+}
+
+TEST(WorkloadFamiliesTest, MixedRuleFiringAndOltpShareOneCommitOrder) {
+  const uint64_t trials = 2 * ChaosTrialMultiplier();
+  uint64_t firings = 0;
+  uint64_t committed = 0;
+  for (uint64_t trial = 1; trial <= trials; ++trial) {
+    ChaosOptions options;
+    options.workload = ChaosWorkload::kMixedOltp;
+    options.seed = ChaosSeedBase() + trial * 307;
+    options.client_sessions = 3;
+    options.txns_per_session = 9;
+    const ChaosReport report = ChaosRunner::RunTrial(options);
+    ASSERT_TRUE(report.verdict.ok())
+        << "seed " << options.seed << " => " << report.ToString();
+    EXPECT_EQ(report.audit.audited_records, report.audit.records)
+        << report.ToString();
+    firings += report.stats.firings;
+    committed += report.committed_client_txns;
+  }
+  // Both populations must be present in the audited history, or the
+  // "mixed" family degenerated into one of the plain ones.
+  EXPECT_GT(firings, 0u);
+  EXPECT_GT(committed, 0u);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace dbps

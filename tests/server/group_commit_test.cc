@@ -168,7 +168,8 @@ TEST(GroupCommitTest, ConcurrentCommitsByteIdenticalToEngineLog) {
   std::vector<std::string> feed_lines = server.feed().LinesFrom(0);
   ASSERT_EQ(feed_lines.size(), result.log.size());
   for (size_t i = 0; i < result.log.size(); ++i) {
-    auto line = DeltaToJournalLine(result.log[i].delta);
+    auto line = AuditedJournalLine(result.log[i].delta, result.log[i].seq,
+                                   &result.log[i].audit);
     ASSERT_TRUE(line.ok());
     EXPECT_EQ(feed_lines[i], line.ValueOrDie()) << "line " << i;
   }

@@ -1,10 +1,10 @@
 #include "testing/chaos_runner.h"
 
+#include <algorithm>
 #include <atomic>
-#include <fstream>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -56,10 +56,11 @@ ParallelEngineOptions EngineOptionsFor(const ChaosOptions& options) {
   return eo;
 }
 
-/// The post-run safety checks shared by both workloads.
+/// The post-run safety checks shared by every workload. `audit_out`
+/// (optional) receives the consistency audit of the commit log.
 Status CheckRun(const StatusOr<RunResult>& result_or, WorkingMemory* wm,
                 WorkingMemory* pristine, const RuleSetPtr& rules,
-                size_t live_transactions) {
+                size_t live_transactions, AuditReport* audit_out = nullptr) {
   if (!result_or.ok()) {
     return Status::Internal("run failed: " + result_or.status().ToString());
   }
@@ -77,6 +78,19 @@ Status CheckRun(const StatusOr<RunResult>& result_or, WorkingMemory* wm,
     return Status::Internal(StringPrintf(
         "replayed database diverged: replay has %zu WMEs, run has %zu",
         pristine->TotalCount(), wm->TotalCount()));
+  }
+  // The independent oracle: re-derive serializability, Rc/Wa semantics,
+  // and the victim ledger from the log alone (none of the engine's apply
+  // code). ValidateReplay and the audit share no logic, so agreement
+  // here is two independent proofs.
+  ConsistencyAuditor auditor;
+  for (const FiringRecord& record : result.log) {
+    auditor.AddCommit(record.seq, record.delta, record.audit);
+  }
+  AuditReport audit = auditor.Finish();
+  if (audit_out != nullptr) *audit_out = audit;
+  if (!audit.clean()) {
+    return Status::Internal("consistency audit failed: " + audit.ToString());
   }
   return Status::OK();
 }
@@ -97,7 +111,7 @@ ChaosReport RunRulesOnlyTrial(const ChaosOptions& options) {
   if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
   report.live_transactions = engine.live_lock_transactions();
   report.verdict = CheckRun(result_or, wm.get(), pristine.get(), rules,
-                            report.live_transactions);
+                            report.live_transactions, &report.audit);
   return report;
 }
 
@@ -175,7 +189,7 @@ ChaosReport RunMultiUserTrial(const ChaosOptions& options) {
   if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
   report.live_transactions = engine.live_lock_transactions();
   report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
-                            report.live_transactions);
+                            report.live_transactions, &report.audit);
   return report;
 }
 
@@ -301,7 +315,7 @@ ChaosReport RunNetworkTrial(const ChaosOptions& options) {
   if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
   report.live_transactions = engine.live_lock_transactions();
   report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
-                            report.live_transactions);
+                            report.live_transactions, &report.audit);
   // The durable journal must never over-promise: everything below the
   // durable high-water actually reached the feed.
   if (report.verdict.ok() && feed.durable_seq() > feed.size()) {
@@ -417,7 +431,7 @@ ChaosReport RunCrashRecoverTrial(const ChaosOptions& options) {
   if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
   report.live_transactions = engine.live_lock_transactions();
   report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
-                            report.live_transactions);
+                            report.live_transactions, &report.audit);
   if (!report.verdict.ok()) return report;
 
   // --- The crash happened (or the workload outran the crash point);
@@ -486,12 +500,15 @@ ChaosReport RunCrashRecoverTrial(const ChaosOptions& options) {
   // (d) Checkpoint-based recovery equals an independent full replay of
   // the same log's delta payloads onto a fresh program WM — the
   // checkpoint is a pure accelerator, never a semantic shortcut.
-  std::ifstream in(options.journal_path, std::ios::binary);
-  std::stringstream bytes;
-  bytes << in.rdbuf();
-  const WalScan scan = ScanWalBuffer(bytes.str());
+  auto it_or = WalIterator::OpenFile(options.journal_path);
+  if (!it_or.ok()) {
+    report.verdict = it_or.status();
+    return report;
+  }
+  WalIterator it = std::move(it_or).ValueOrDie();
   std::string text;
-  for (const WalRecord& record : scan.records) {
+  WalRecord record;
+  while (it.Next(&record)) {
     if (record.type != WalRecordType::kDelta) continue;
     text += record.payload;
     text += '\n';
@@ -510,22 +527,426 @@ ChaosReport RunCrashRecoverTrial(const ChaosOptions& options) {
         "checkpoint recovery diverged from full journal replay");
     return report;
   }
+
+  // (e) The recovered WAL passes the offline consistency audit — the
+  // crash must not leave a log that replays but encodes an impossible
+  // history.
+  auto audit_or = ConsistencyAuditor::AuditWalFile(options.journal_path);
+  if (!audit_or.ok()) {
+    report.verdict = Status::Internal("post-recovery audit failed to run: " +
+                                      audit_or.status().ToString());
+    return report;
+  }
+  report.audit = std::move(audit_or).ValueOrDie();
+  if (!report.audit.clean()) {
+    report.verdict = Status::Internal("post-recovery audit failed: " +
+                                      report.audit.ToString());
+    return report;
+  }
+  return report;
+}
+
+// The adversarial OLTP schema shared by the Zipfian and snapshot-scan
+// families. The guard rule can never fire (ids are non-negative): the
+// matcher stays engaged on every commit without perturbing balances, so
+// conservation stays checkable.
+constexpr const char* kAccountProgram = R"(
+(relation account (id int) (balance int))
+(relation receipt (reader int) (total int))
+
+(rule account-guard
+  (account ^id { < 0 })
+  -->
+  (remove 1))
+)";
+
+/// Seeds `keys` zero-balance accounts (pre-log tuples: created before
+/// the engine, so the audit exercises its pre-log registration path).
+void SeedAccounts(WorkingMemory* wm, size_t keys) {
+  for (size_t k = 0; k < keys; ++k) {
+    DBPS_CHECK(wm->Insert("account", {Value::Int(static_cast<int64_t>(k)),
+                                      Value::Int(0)})
+                   .ok());
+  }
+}
+
+int64_t TotalBalance(const WorkingMemory& wm) {
+  int64_t total = 0;
+  for (const WmePtr& row : wm.Scan(Sym("account"))) {
+    total += row->value(1).AsInt();
+  }
+  return total;
+}
+
+ChaosReport RunZipfianTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(kAccountProgram, &wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  RuleSetPtr rules = rules_or.ValueOrDie();
+  SeedAccounts(&wm, options.zipfian_keys);
+  auto pristine = wm.Clone();
+
+  SessionManager manager(&wm);
+  ParallelEngineOptions eo = EngineOptionsFor(options);
+  eo.external_source = &manager;
+  ParallelEngine engine(&wm, rules, eo);
+  manager.BindEngine(&engine);
+
+  FailpointDisarm disarm;
+  ApplyChaosProfile(options.fail_rate, options.seed);
+
+  StatusOr<RunResult> result_or{Status::Internal("not run")};
+  std::thread serve([&] { result_or = engine.Run(); });
+
+  const ZipfianGenerator zipf(options.zipfian_keys, options.zipfian_theta);
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> gave_up{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < options.client_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      Random rng(options.seed * 1000 + c);
+      SessionPtr session;
+      for (int attempt = 0; attempt < 64 && session == nullptr; ++attempt) {
+        auto session_or = manager.Connect("zipf-" + std::to_string(c));
+        if (session_or.ok()) {
+          session = session_or.ValueOrDie();
+        } else {
+          SleepMicros(200);
+        }
+      }
+      if (session == nullptr) {
+        gave_up.fetch_add(options.txns_per_session);
+        return;
+      }
+      for (uint64_t i = 0; i < options.txns_per_session; ++i) {
+        // The Zipfian draw happens OUTSIDE the retry loop: a victimized
+        // transaction retries the same hot key, which is exactly how a
+        // real skewed workload pile-up behaves.
+        const int64_t target = static_cast<int64_t>(zipf.Next(&rng));
+        Status st = session->Perform([&](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          DBPS_ASSIGN_OR_RETURN(std::vector<WmePtr> rows, s.Read("account"));
+          const Wme* hit = nullptr;
+          for (const WmePtr& row : rows) {
+            if (row->value(0).AsInt() == target) {
+              hit = row.get();
+              break;
+            }
+          }
+          if (hit == nullptr) {
+            return Status::Internal("account missing: " +
+                                    std::to_string(target));
+          }
+          Delta delta;
+          delta.Modify(hit->id(),
+                       {{1, Value::Int(hit->value(1).AsInt() + 1)}});
+          DBPS_RETURN_NOT_OK(s.Write(delta));
+          return s.Commit().status();
+        });
+        if (st.ok()) {
+          committed.fetch_add(1);
+        } else {
+          gave_up.fetch_add(1);
+        }
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  manager.Close();
+  serve.join();
+  FailpointRegistry::Instance().DisableAll();
+
+  report.committed_client_txns = committed.load();
+  report.client_give_ups = gave_up.load();
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
+                            report.live_transactions, &report.audit);
+  // Conservation: every committed increment is worth exactly +1, so a
+  // lost update (the classic hot-key failure) shows up as a shortfall.
+  if (report.verdict.ok() &&
+      TotalBalance(wm) != static_cast<int64_t>(committed.load())) {
+    report.verdict = Status::Internal(StringPrintf(
+        "lost update: %lld total balance after %llu committed increments",
+        (long long)TotalBalance(wm), (unsigned long long)committed.load()));
+  }
+  return report;
+}
+
+ChaosReport RunSnapshotScanTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(kAccountProgram, &wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  RuleSetPtr rules = rules_or.ValueOrDie();
+  SeedAccounts(&wm, options.zipfian_keys);
+  auto pristine = wm.Clone();
+
+  SessionManager manager(&wm);
+  ParallelEngineOptions eo = EngineOptionsFor(options);
+  eo.external_source = &manager;
+  ParallelEngine engine(&wm, rules, eo);
+  manager.BindEngine(&engine);
+
+  FailpointDisarm disarm;
+  ApplyChaosProfile(options.fail_rate, options.seed);
+
+  StatusOr<RunResult> result_or{Status::Internal("not run")};
+  std::thread serve([&] { result_or = engine.Run(); });
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> gave_up{0};
+  std::mutex verdict_mu;
+  Status reader_verdict;  // first snapshot-stability violation, if any
+
+  std::vector<std::thread> writers;
+  for (size_t c = 0; c < options.client_sessions; ++c) {
+    writers.emplace_back([&, c] {
+      Random rng(options.seed * 2000 + c);
+      auto session_or = manager.Connect("writer-" + std::to_string(c));
+      if (!session_or.ok()) {
+        gave_up.fetch_add(options.txns_per_session);
+        return;
+      }
+      SessionPtr session = session_or.ValueOrDie();
+      for (uint64_t i = 0; i < options.txns_per_session; ++i) {
+        const int64_t target =
+            static_cast<int64_t>(rng.Uniform(options.zipfian_keys));
+        Status st = session->Perform([&](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          DBPS_ASSIGN_OR_RETURN(std::vector<WmePtr> rows, s.Read("account"));
+          for (const WmePtr& row : rows) {
+            if (row->value(0).AsInt() != target) continue;
+            Delta delta;
+            delta.Modify(row->id(),
+                         {{1, Value::Int(row->value(1).AsInt() + 1)}});
+            DBPS_RETURN_NOT_OK(s.Write(delta));
+            break;
+          }
+          return s.Commit().status();
+        });
+        if (st.ok()) {
+          committed.fetch_add(1);
+        } else {
+          gave_up.fetch_add(1);
+        }
+      }
+      session->Close();
+    });
+  }
+
+  // Long-running snapshot readers: each transaction pins a CSN at Begin,
+  // re-reads the relation across many commit batches (writers are
+  // committing the whole time), and must observe the IDENTICAL version
+  // set every time — then publishes its snapshot total so the evidence
+  // lands in the journal for the auditor.
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < options.snapshot_readers; ++r) {
+    readers.emplace_back([&, r] {
+      SessionOptions session_options;
+      session_options.snapshot_reads = true;
+      auto session_or = manager.Connect("snap-" + std::to_string(r),
+                                        session_options);
+      if (!session_or.ok()) return;
+      SessionPtr session = session_or.ValueOrDie();
+      for (int txn = 0; txn < 3; ++txn) {
+        Status st = session->Perform([&](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          DBPS_ASSIGN_OR_RETURN(std::vector<WmePtr> first,
+                                s.Read("account"));
+          std::vector<std::pair<WmeId, TimeTag>> baseline;
+          int64_t total = 0;
+          for (const WmePtr& row : first) {
+            baseline.emplace_back(row->id(), row->tag());
+            total += row->value(1).AsInt();
+          }
+          std::sort(baseline.begin(), baseline.end());
+          for (size_t again = 0; again < options.snapshot_rereads; ++again) {
+            SleepMicros(300);  // span several commit batches
+            DBPS_ASSIGN_OR_RETURN(std::vector<WmePtr> rows,
+                                  s.Read("account"));
+            std::vector<std::pair<WmeId, TimeTag>> observed;
+            for (const WmePtr& row : rows) {
+              observed.emplace_back(row->id(), row->tag());
+            }
+            std::sort(observed.begin(), observed.end());
+            if (observed != baseline) {
+              return Status::Internal(StringPrintf(
+                  "snapshot instability: re-read %zu saw a different "
+                  "version set (%zu vs %zu rows)",
+                  again, observed.size(), baseline.size()));
+            }
+          }
+          Delta delta;
+          delta.Create(Sym("receipt"), {Value::Int(static_cast<int64_t>(r)),
+                                        Value::Int(total)});
+          DBPS_RETURN_NOT_OK(s.Write(delta));
+          return s.Commit().status();
+        });
+        if (st.ok()) {
+          committed.fetch_add(1);
+        } else if (st.IsInternal()) {
+          std::lock_guard<std::mutex> guard(verdict_mu);
+          if (reader_verdict.ok()) reader_verdict = st;
+          break;
+        } else {
+          gave_up.fetch_add(1);
+        }
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (auto& t : readers) t.join();
+  manager.Close();
+  serve.join();
+  FailpointRegistry::Instance().DisableAll();
+
+  report.committed_client_txns = committed.load();
+  report.client_give_ups = gave_up.load();
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
+                            report.live_transactions, &report.audit);
+  if (report.verdict.ok() && !reader_verdict.ok()) {
+    report.verdict = reader_verdict;
+  }
+  return report;
+}
+
+ChaosReport RunMixedOltpTrial(const ChaosOptions& options) {
+  ChaosReport report;
+  // Logistics rules + a disjoint OLTP relation in ONE program: rule
+  // firings and external client commits share the commit order, the
+  // journal, and the audit.
+  const std::string program =
+      std::string(kLogisticsProgram) +
+      "\n(relation ticket (id int) (state symbol))\n";
+  WorkingMemory wm;
+  auto rules_or = LoadProgram(program, &wm);
+  DBPS_CHECK(rules_or.ok()) << rules_or.status();
+  RuleSetPtr rules = rules_or.ValueOrDie();
+  auto site = [&](int i) {
+    return Value::Symbol("site" + std::to_string(i % 4));
+  };
+  for (int i = 0; i < 4; ++i) {
+    DBPS_CHECK(wm.Insert("route", {site(i), site(i + 1)}).ok());
+  }
+  for (int b = 0; b < 12; ++b) {
+    DBPS_CHECK(wm.Insert("box", {Value::Int(b + 1), site(b),
+                                 Value::Int(1 + b % 5),
+                                 Value::Symbol("loose")})
+                   .ok());
+  }
+  for (int r = 0; r < 4; ++r) {
+    DBPS_CHECK(wm.Insert("robot",
+                         {Value::Symbol("r" + std::to_string(r)), site(r),
+                          Value::Int(0), Value::Int(3 + r % 3)})
+                   .ok());
+  }
+  auto pristine = wm.Clone();
+
+  SessionManager manager(&wm);
+  ParallelEngineOptions eo = EngineOptionsFor(options);
+  eo.external_source = &manager;
+  ParallelEngine engine(&wm, rules, eo);
+  manager.BindEngine(&engine);
+
+  FailpointDisarm disarm;
+  ApplyChaosProfile(options.fail_rate, options.seed);
+
+  StatusOr<RunResult> result_or{Status::Internal("not run")};
+  std::thread serve([&] { result_or = engine.Run(); });
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> gave_up{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < options.client_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      SessionPtr session;
+      for (int attempt = 0; attempt < 64 && session == nullptr; ++attempt) {
+        auto session_or = manager.Connect("oltp-" + std::to_string(c));
+        if (session_or.ok()) {
+          session = session_or.ValueOrDie();
+        } else {
+          SleepMicros(200);
+        }
+      }
+      if (session == nullptr) {
+        gave_up.fetch_add(options.txns_per_session);
+        return;
+      }
+      for (uint64_t i = 0; i < options.txns_per_session; ++i) {
+        Status st = session->Perform([&, i](Session& s) -> Status {
+          DBPS_RETURN_NOT_OK(s.Begin());
+          if (i % 3 == 0) {
+            // Rc-read a RULE-produced relation: client read sets cross
+            // the firing/transaction boundary, so rule commits victimize
+            // OLTP clients and the audit sees mixed WR edges.
+            auto rows_or = s.Read("done");
+            if (!rows_or.ok()) return rows_or.status();
+          }
+          Delta delta;
+          delta.Create(Sym("ticket"),
+                       {Value::Int(static_cast<int64_t>(c * 1000 + i)),
+                        Value::Symbol("open")});
+          DBPS_RETURN_NOT_OK(s.Write(delta));
+          return s.Commit().status();
+        });
+        if (st.ok()) {
+          committed.fetch_add(1);
+        } else {
+          gave_up.fetch_add(1);
+        }
+      }
+      session->Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  manager.Close();
+  serve.join();
+  FailpointRegistry::Instance().DisableAll();
+
+  report.committed_client_txns = committed.load();
+  report.client_give_ups = gave_up.load();
+  if (result_or.ok()) report.stats = result_or.ValueOrDie().stats;
+  report.live_transactions = engine.live_lock_transactions();
+  report.verdict = CheckRun(result_or, &wm, pristine.get(), rules,
+                            report.live_transactions, &report.audit);
   return report;
 }
 
 }  // namespace
 
+size_t ChaosTrialMultiplier() {
+  const char* env = std::getenv("DBPS_CHAOS_TRIALS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long long parsed = std::atoll(env);
+  return parsed < 1 ? 1 : static_cast<size_t>(parsed);
+}
+
+uint64_t ChaosSeedBase() {
+  const char* env = std::getenv("DBPS_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
 std::string ChaosReport::ToString() const {
   return StringPrintf(
       "verdict=%s committed=%llu give_ups=%llu unknown=%llu "
-      "reconnects=%llu live_txns=%zu acked=%llu crashes=%llu [%s]",
+      "reconnects=%llu live_txns=%zu acked=%llu crashes=%llu "
+      "audited=%llu/%llu [%s]",
       verdict.ToString().c_str(),
       (unsigned long long)committed_client_txns,
       (unsigned long long)client_give_ups,
       (unsigned long long)unknown_outcomes,
       (unsigned long long)reconnects, live_transactions,
       (unsigned long long)acked_commits,
-      (unsigned long long)injected_crashes, stats.ToString().c_str());
+      (unsigned long long)injected_crashes,
+      (unsigned long long)audit.audited_records,
+      (unsigned long long)audit.records, stats.ToString().c_str());
 }
 
 ChaosReport ChaosRunner::RunTrial(const ChaosOptions& options) {
@@ -538,6 +959,12 @@ ChaosReport ChaosRunner::RunTrial(const ChaosOptions& options) {
       return RunNetworkTrial(options);
     case ChaosWorkload::kCrashRecover:
       return RunCrashRecoverTrial(options);
+    case ChaosWorkload::kZipfian:
+      return RunZipfianTrial(options);
+    case ChaosWorkload::kSnapshotScan:
+      return RunSnapshotScanTrial(options);
+    case ChaosWorkload::kMixedOltp:
+      return RunMixedOltpTrial(options);
   }
   ChaosReport report;
   report.verdict = Status::InvalidArgument("unknown chaos workload");

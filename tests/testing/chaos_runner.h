@@ -44,10 +44,38 @@ enum class ChaosWorkload : uint8_t {
   /// recovers the journal (server/recovery.h) into a fresh program
   /// working memory and asserts (a) every ACKED client commit survived,
   /// (b) nothing durable was lost (next_seq >= the durable horizon),
-  /// (c) the recovered log scans clean, and (d) checkpoint-based
-  /// recovery equals an independent full replay of the same log.
+  /// (c) the recovered log scans clean, (d) checkpoint-based
+  /// recovery equals an independent full replay of the same log, and
+  /// (e) the recovered WAL passes the offline consistency audit.
   kCrashRecover,
+  /// Hot-key OLTP skew: every client transaction Zipfian-picks an
+  /// account (theta 0.99 — roughly half of all draws hit the hottest few
+  /// keys), Rc-reads the relation, and increments that account's
+  /// balance. Maximum read-write contention on one tuple; the trial
+  /// additionally asserts conservation (total balance == committed
+  /// increments) on top of replay + audit.
+  kZipfian,
+  /// Long-running snapshot readers: writer sessions stream increments
+  /// while snapshot_reads sessions pin a CSN at Begin and re-Read the
+  /// relation across many commit batches, asserting every re-read is
+  /// IDENTICAL (same (id, tag) versions); each reader then commits a
+  /// summary row so its snapshot evidence lands in the log for the
+  /// auditor's visibility-window check.
+  kSnapshotScan,
+  /// Rule firings and external OLTP in one engine: the logistics program
+  /// runs to quiescence while clients hammer a disjoint `ticket`
+  /// relation — firing commits and client commits interleave in one
+  /// commit order, which the audit checks end to end.
+  kMixedOltp,
 };
+
+/// DBPS_CHAOS_TRIALS: multiplies every suite's per-combination trial
+/// count (default 1; the chaos/audit tiers scale 10-100x for soak runs).
+size_t ChaosTrialMultiplier();
+
+/// DBPS_CHAOS_SEED: offsets every trial seed (default 0), so soak runs
+/// explore fresh schedules. Failing trials print the effective seed.
+uint64_t ChaosSeedBase();
 
 struct ChaosOptions {
   ChaosWorkload workload = ChaosWorkload::kMultiUser;
@@ -75,6 +103,16 @@ struct ChaosOptions {
   bool group_commit = false;
   /// Auto-checkpoint cadence (records); 0 = no checkpoints.
   size_t checkpoint_every = 0;
+  // kZipfian / kSnapshotScan workload shape:
+  /// Distinct hot-key accounts.
+  size_t zipfian_keys = 16;
+  /// Zipfian skew parameter (in (0, 1); higher = hotter head).
+  double zipfian_theta = 0.99;
+  /// kSnapshotScan: long-running snapshot reader sessions (writers come
+  /// from client_sessions).
+  size_t snapshot_readers = 2;
+  /// kSnapshotScan: re-reads each snapshot reader performs per txn.
+  size_t snapshot_rereads = 6;
 };
 
 struct ChaosReport {
@@ -99,6 +137,9 @@ struct ChaosReport {
   uint64_t injected_crashes = 0;
   /// What recovery scanned/truncated/replayed.
   RecoveryStats recovery;
+  /// The offline consistency audit of the run's commit log (every
+  /// workload; kCrashRecover additionally audits the recovered WAL).
+  AuditReport audit;
 
   std::string ToString() const;
 };

@@ -28,9 +28,23 @@
 #                                       # suites, the 32-trial seeded
 #                                       # kill-and-recover chaos matrix plus
 #                                       # the real fork/kill -9 suite, a
-#                                       # dbps_run crash/--recover smoke, and
-#                                       # bench_recovery --smoke with its
+#                                       # dbps_run crash/--recover smoke
+#                                       # whose journal is then consistency-
+#                                       # audited offline, and bench_recovery
+#                                       # --smoke with its
 #                                       # BENCH_recovery.json validated
+#   DBPS_TIER=audit tools/check.sh      # consistency-audit tier: the
+#                                       # auditor unit suite, the mutation
+#                                       # harness (every injected violation
+#                                       # class must be flagged at the exact
+#                                       # offending seq), the adversarial
+#                                       # workload families, and an
+#                                       # end-to-end journaled run audited
+#                                       # via dbps_run --audit + dbps_audit
+#
+# DBPS_CHAOS_TRIALS=N scales every chaos/audit suite's trial counts N-fold
+# (soak runs use 10-100); DBPS_CHAOS_SEED shifts the seed space so each
+# soak explores fresh schedules.
 #
 # The build directory is build/ for plain runs and build-<sanitizer>/
 # for sanitizer runs, so they never poison each other's caches.
@@ -53,13 +67,14 @@ if [ "$TIER" = "chaos" ]; then
   # Robustness tier: the failpoint unit tests, the engine fault-injection
   # suite, and the seeded chaos trials (see docs/ROBUSTNESS.md).
   ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure \
-    -R 'Failpoint|FaultInjection|Chaos|chaos'
+    -R 'Failpoint|FaultInjection|Chaos|chaos|WorkloadFamilies'
   # Deterministic end-to-end smoke: a multi-session server run with the
-  # chaos profile armed must still replay-validate its commit log.
+  # chaos profile armed must still replay-validate AND consistency-audit
+  # its commit log.
   for seed in 11 23 47; do
     "$BUILD_DIR/tools/dbps_run" --engine=parallel --workers=4 \
       --sessions=3 --client-ops=6 --chaos-seed="$seed" --fail-rate=0.05 \
-      --validate --quiet examples/programs/server_inbox.dbps
+      --validate --audit --quiet examples/programs/server_inbox.dbps
   done
   echo "chaos tier passed"
 elif [ "$TIER" = "bench" ]; then
@@ -149,6 +164,9 @@ elif [ "$TIER" = "recovery" ]; then
   "$BUILD_DIR/tools/dbps_run" --engine=parallel --workers=4 \
     --journal-dir="$JDIR" --recover --validate --quiet \
     examples/programs/server_inbox.dbps
+  # The surviving journal — checkpoints, both runs' commits — must pass
+  # the offline consistency audit with none of the engine's apply code.
+  "$BUILD_DIR/tools/dbps_audit" "$JDIR"
   # Recovery-time bench smoke; its JSON artifact is validated and then
   # snapshotted (bench/results/ canonical, root copy derived) — this
   # bench is owned by the recovery tier, not the bench tier.
@@ -182,6 +200,22 @@ EOF
   cp "$JSON_DIR/BENCH_recovery.json" bench/results/
   cp bench/results/BENCH_recovery.json BENCH_recovery.json
   echo "recovery tier passed"
+elif [ "$TIER" = "audit" ]; then
+  # Consistency-audit tier: the auditor's own suites (unit, mutation
+  # harness, adversarial workload families) plus the cli_audit smoke.
+  ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure \
+    -R 'Auditor|Mutation|WorkloadFamilies|cli_audit'
+  # End-to-end: a journaled multi-user run must audit clean both from the
+  # engine's in-memory log (dbps_run --audit audits log + WAL) and via
+  # the standalone tool over the durable journal directory.
+  JDIR="$BUILD_DIR/audit-smoke"
+  rm -rf "$JDIR"
+  mkdir -p "$JDIR"
+  "$BUILD_DIR/tools/dbps_run" --engine=parallel --workers=4 --sessions=3 \
+    --client-ops=6 --journal-dir="$JDIR" --audit --validate --quiet \
+    examples/programs/server_inbox.dbps
+  "$BUILD_DIR/tools/dbps_audit" "$JDIR"
+  echo "audit tier passed"
 else
   ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure
 fi

@@ -23,6 +23,10 @@
 //   --cost-model=sleep|spin           how :cost occupies a processor
 //   --trace                           print every committed firing
 //   --validate                        replay-check the commit log
+//   --audit                           run the offline consistency auditor
+//                                     (src/audit/) over the commit log —
+//                                     and, with --journal-dir, over the
+//                                     durable WAL file too
 //   --dump-final                      print the final working memory
 //   --snapshot-out=FILE               save final WM as a loadable program
 //   --query=LHS                       evaluate a query against the final
@@ -90,6 +94,7 @@ struct Flags {
   CostModel cost_model = CostModel::kSleep;
   bool trace = false;
   bool validate = false;
+  bool audit = false;
   bool dump_final = false;
   bool quiet = false;
   size_t sessions = 0;
@@ -117,6 +122,7 @@ int Usage(const char* argv0) {
                "  [--strategy=priority|lex|mea|fifo|random] [--seed=N]\n"
                "  [--max-firings=N] [--matcher=rete|naive|treat]\n"
                "  [--cost-model=sleep|spin] [--trace] [--validate]\n"
+               "  [--audit]\n"
                "  [--dump-final] [--snapshot-out=FILE] [--query=LHS]\n"
                "  [--journal-out=FILE]\n"
                "  [--sessions=N] [--client-ops=M] [--client-relation=NAME]\n"
@@ -145,6 +151,8 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.trace = true;
     } else if (arg == "--validate") {
       flags.validate = true;
+    } else if (arg == "--audit") {
+      flags.audit = true;
     } else if (arg == "--dump-final") {
       flags.dump_final = true;
     } else if (arg == "--quiet") {
@@ -554,6 +562,27 @@ int Run(const Flags& flags) {
     Status valid = ValidateReplay(pristine.get(), rules, result.log);
     std::printf("replay validation: %s\n", valid.ToString().c_str());
     if (!valid.ok()) return 1;
+  }
+  if (flags.audit) {
+    ConsistencyAuditor auditor;
+    for (const auto& record : result.log) {
+      auditor.AddCommit(record.seq, record.delta, record.audit);
+    }
+    const AuditReport audit = auditor.Finish();
+    std::printf("consistency audit: %s\n", audit.ToString().c_str());
+    if (!audit.clean()) return 1;
+    if (!flags.journal_dir.empty()) {
+      auto wal_audit = ConsistencyAuditor::AuditWalFile(
+          RecoveryManager::JournalFileInDir(flags.journal_dir));
+      if (!wal_audit.ok()) {
+        std::fprintf(stderr, "WAL audit failed: %s\n",
+                     wal_audit.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("WAL audit: %s\n",
+                  wal_audit.ValueOrDie().ToString().c_str());
+      if (!wal_audit.ValueOrDie().clean()) return 1;
+    }
   }
   if (flags.dump_final) {
     std::printf("%s", wm.ToString().c_str());
