@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dbps.h"
+#include "match/partitioned_matcher.h"
 #include "report.h"
 
 namespace {
@@ -144,6 +145,169 @@ Outcome Run(size_t workers, LockProtocol protocol) {
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Matcher-phase sweep: the partitioned match phase in isolation, serial
+// reference vs relation-hash partitions with 1 (ablation) .. N morsel
+// workers, over a multi-relation workload with cross-partition joins.
+// Per-batch propagation latency feeds the percentile columns.
+
+constexpr const char* kMatchProgram = R"(
+(relation order (id int) (qty int))
+(relation stock (id int) (qty int))
+(relation ship (id int))
+(relation alert (id int))
+
+(rule fill
+  (order ^id <i> ^qty <q>)
+  (stock ^id <i> ^qty { > 0 })
+  -->
+  (remove 1))
+
+(rule low
+  (stock ^id <i> ^qty { < 2 })
+  -->
+  (remove 1))
+
+(rule shipped
+  (ship ^id <i>)
+  (order ^id <i> ^qty <q>)
+  -->
+  (remove 1))
+
+(rule watch
+  (alert ^id <i>)
+  -->
+  (remove 1))
+)";
+
+constexpr int kMatchBatches = 400;
+
+struct MatchOutcome {
+  double ms = 0;                   // whole sweep, wall
+  uint64_t batches = 0;
+  uint64_t morsels = 0;
+  uint64_t handoffs = 0;
+  bench::LatencyRecorder latency;  // per-batch propagation, ms
+  bool valid = false;              // final set matches a fresh serial Rete
+};
+
+/// One deterministic batch against `wm` (same generator for every
+/// configuration, so all sweeps consume the identical change stream).
+std::vector<WmChange> MatchBatch(WorkingMemory* wm, Random* rng) {
+  Delta delta;
+  const size_t ops = 2 + rng->Uniform(5);
+  for (size_t op = 0; op < ops; ++op) {
+    switch (rng->Uniform(4)) {
+      case 0:
+        delta.Create(Sym("order"),
+                     {Value::Int(static_cast<int64_t>(rng->Uniform(32))),
+                      Value::Int(static_cast<int64_t>(rng->Uniform(5)))});
+        break;
+      case 1:
+        delta.Create(Sym("stock"),
+                     {Value::Int(static_cast<int64_t>(rng->Uniform(32))),
+                      Value::Int(static_cast<int64_t>(rng->Uniform(4)))});
+        break;
+      case 2:
+        delta.Create(Sym("ship"),
+                     {Value::Int(static_cast<int64_t>(rng->Uniform(32)))});
+        break;
+      default:
+        delta.Create(Sym("alert"),
+                     {Value::Int(static_cast<int64_t>(rng->Uniform(32)))});
+        break;
+    }
+  }
+  auto change_or = wm->Apply(delta);
+  DBPS_CHECK(change_or.ok()) << change_or.status();
+  return {std::move(change_or).ValueOrDie()};
+}
+
+/// partitions == 0 selects the serial Rete reference.
+MatchOutcome RunMatchPhase(size_t partitions, size_t workers) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kMatchProgram, &wm).ValueOrDie();
+
+  std::unique_ptr<Matcher> matcher;
+  PartitionedMatcher* partitioned = nullptr;
+  if (partitions == 0) {
+    matcher = CreateMatcher(MatcherKind::kRete);
+  } else {
+    PartitionedMatcher::Options options;
+    options.num_partitions = partitions;
+    options.num_workers = workers;
+    auto owned = std::make_unique<PartitionedMatcher>(options);
+    partitioned = owned.get();
+    matcher = std::move(owned);
+  }
+  DBPS_CHECK(matcher->Initialize(rules, wm).ok());
+
+  MatchOutcome out;
+  Random rng(20260808);
+  Stopwatch sweep;
+  for (int b = 0; b < kMatchBatches; ++b) {
+    const std::vector<WmChange> changes = MatchBatch(&wm, &rng);
+    Stopwatch batch_clock;
+    matcher->ApplyChanges(changes);
+    out.latency.Add(batch_clock.ElapsedSeconds() * 1e3);
+  }
+  out.ms = sweep.ElapsedSeconds() * 1e3;
+  out.batches = kMatchBatches;
+  if (partitioned != nullptr) {
+    const PartitionedMatcher::Stats stats = partitioned->GetStats();
+    out.morsels = stats.morsels;
+    out.handoffs = stats.handoffs;
+  }
+  // Ground truth: a fresh serial matcher over the final WM state must
+  // agree with the incrementally-maintained conflict set.
+  auto reference = CreateMatcher(MatcherKind::kRete);
+  DBPS_CHECK(reference->Initialize(rules, wm).ok());
+  out.valid = reference->conflict_set().CanonicalDump() ==
+              matcher->conflict_set().CanonicalDump();
+  return out;
+}
+
+void SweepMatchPhase(bench::JsonReport* report, size_t max_workers) {
+  bench::Section(
+      "match phase — serial Rete vs relation-hash partitions (8), " +
+      std::to_string(kMatchBatches) + " batches, 4 relations");
+  std::printf("\n  %-12s %-7s %9s %8s %8s %8s %8s %6s\n", "matcher",
+              "workers", "ms", "morsels", "handoffs", "p50us", "p99us",
+              "valid");
+
+  const MatchOutcome serial = RunMatchPhase(0, 1);
+  double serial_ms = serial.ms;
+  auto emit = [&](const char* name, const char* proto, size_t workers,
+                  const MatchOutcome& out) {
+    std::printf("  %-12s %-7zu %9.2f %8llu %8llu %8.1f %8.1f %6s\n", name,
+                workers, out.ms, (unsigned long long)out.morsels,
+                (unsigned long long)out.handoffs,
+                out.latency.Percentile(50) * 1e3,
+                out.latency.Percentile(99) * 1e3, out.valid ? "OK" : "FAIL");
+    DBPS_CHECK(out.valid) << "match phase diverged for " << name
+                          << " workers=" << workers;
+    bench::JsonRow row;
+    row.workload = "match_phase";
+    row.threads = workers;
+    row.protocol = proto;
+    row.wall_ms = out.ms;
+    row.committed = out.batches;
+    row.SetLatencies(out.latency);
+    report->Add(row);
+  };
+  emit("serial", "serial", 1, serial);
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    if (workers > max_workers) continue;
+    const MatchOutcome out = RunMatchPhase(8, workers);
+    emit(workers == 1 ? "part8-ablate" : "part8",
+         workers == 1 ? "ablation" : "partitioned", workers, out);
+    if (workers > 1) {
+      std::printf("               %zu workers: %.2fx vs serial\n", workers,
+                  serial_ms / out.ms);
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -199,6 +363,8 @@ int main() {
       report.Add(row);
     }
   }
+  SweepMatchPhase(&report, max_workers);
+
   report.WriteIfRequested();
   DBPS_CHECK(peak_parallel_seen || max_workers <= 1)
       << "no configuration achieved parallel rule firings alongside "

@@ -333,18 +333,46 @@ void ConsistencyAuditor::CheckLedger(const AuditedRecord& record) {
     // The total must extend the previous ledger by exactly this commit's
     // count — or restart at its own count (an engine restart after
     // recovery begins a fresh ledger).
-    if (vt != last_vt_ + v && vt != v) {
-      Report(AuditViolationClass::kVictimLedger, record.seq,
-             StringPrintf("victim ledger reads %llu after %llu with %llu "
-                          "victims charged — a victimization record is "
-                          "missing or forged",
-                          (unsigned long long)vt,
-                          (unsigned long long)last_vt_,
-                          (unsigned long long)v));
+    const bool extends = vt == last_vt_ + v;
+    // Unaudited commits since the last audited record may have charged
+    // victims of their own (evidence sampling drops their `;a(...)`
+    // clauses but their victimizations still accumulate), so across a
+    // gap any total covering both the previous chain and this commit's
+    // own count is admissible.
+    const bool extends_across_gap = unaudited_gap_ && vt >= last_vt_ + v;
+    if (!extends && !extends_across_gap) {
+      if (vt == v) {
+        // A ledger reset claims an engine restart. A framed WAL records
+        // restarts durably (recovery writes a checkpoint), so in WAL
+        // mode the claim must be backed by an observed checkpoint; a
+        // text journal has no marker, so bare resets are flagged only
+        // under strict_restarts.
+        const bool bare =
+            wal_mode_ ? !checkpoint_seen_ : options_.strict_restarts;
+        if (bare) {
+          Report(AuditViolationClass::kVictimLedger, record.seq,
+                 StringPrintf(
+                     "victim ledger resets to %llu after %llu with no "
+                     "restart evidence (%s) — a forged restart or a "
+                     "truncated ledger",
+                     (unsigned long long)vt, (unsigned long long)last_vt_,
+                     wal_mode_ ? "no checkpoint record precedes it"
+                               : "strict restarts"));
+        }
+      } else {
+        Report(AuditViolationClass::kVictimLedger, record.seq,
+               StringPrintf("victim ledger reads %llu after %llu with %llu "
+                            "victims charged — a victimization record is "
+                            "missing or forged",
+                            (unsigned long long)vt,
+                            (unsigned long long)last_vt_,
+                            (unsigned long long)v));
+      }
     }
   }
   last_vt_ = vt;
   have_vt_ = true;
+  unaudited_gap_ = false;
 }
 
 void ConsistencyAuditor::AddRecord(const AuditedRecord& record) {
@@ -401,6 +429,7 @@ void ConsistencyAuditor::AddRecord(const AuditedRecord& record) {
       live_.erase(id);
       untracked_.insert(id);
     }
+    unaudited_gap_ = true;
     return;
   }
 
@@ -462,10 +491,16 @@ StatusOr<AuditReport> ConsistencyAuditor::AuditWalFile(const std::string& path,
                                                        AuditOptions options) {
   DBPS_ASSIGN_OR_RETURN(WalIterator it, WalIterator::OpenFile(path));
   ConsistencyAuditor auditor(options);
+  auditor.wal_mode_ = true;
   if (it.file_missing()) return auditor.Finish();
   WalRecord record;
   while (it.Next(&record)) {
-    if (record.type != WalRecordType::kDelta) continue;  // checkpoint fence
+    if (record.type != WalRecordType::kDelta) {
+      // Checkpoint fence: not audited itself, but it is the durable
+      // restart evidence that licenses a victim-ledger reset later on.
+      auditor.checkpoint_seen_ = true;
+      continue;
+    }
     auto parsed_or = ParseAuditedLine(record.payload);
     if (!parsed_or.ok()) {
       ++auditor.report_.records;

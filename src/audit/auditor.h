@@ -96,6 +96,13 @@ struct AuditOptions {
   /// that are supposed to be recovered/clean; recovery itself expects
   /// torn tails and uses RecoveryManager instead.
   bool flag_tail = true;
+  /// Flag bare victim-ledger resets (vt == v with no other explanation)
+  /// in TEXT logs. A framed WAL proves a restart with its checkpoint
+  /// records, so WAL mode always gates resets on observed checkpoint
+  /// evidence; a text journal carries no such marker, so by default a
+  /// reset is taken on faith — enable this for text logs known to come
+  /// from a single uninterrupted run.
+  bool strict_restarts = false;
 };
 
 struct AuditReport {
@@ -182,6 +189,15 @@ class ConsistencyAuditor {
   uint64_t last_vt_ = 0;
   bool have_tag_ = false;
   uint64_t last_tag_ = 0;
+  /// Unaudited records were fed since the last audited one — the victim
+  /// ledger may have advanced invisibly (sampled-evidence runs), so the
+  /// next audited record's total is allowed to overshoot the chain.
+  bool unaudited_gap_ = false;
+  /// AuditWalFile sets these: in WAL mode a ledger reset (vt == v) is
+  /// accepted only after a checkpoint record was observed in the log —
+  /// the durable evidence that an engine actually restarted.
+  bool wal_mode_ = false;
+  bool checkpoint_seen_ = false;
 
   std::unordered_map<WmeId, LiveVersion> live_;
   std::unordered_map<WmeId, std::vector<ClosedVersion>> history_;

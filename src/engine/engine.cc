@@ -58,6 +58,24 @@ std::string EngineStats::ToString() const {
     }
     out += "]";
   }
+  if (match_batches != 0) {
+    out += StringPrintf(
+        " match_partitions=%zu match_batches=%llu match_morsels=%llu "
+        "match_handoffs=%llu match_propagate_us=%llu match_merge_us=%llu "
+        "match_skew=[",
+        match_partitions.size(), (unsigned long long)match_batches,
+        (unsigned long long)match_morsels, (unsigned long long)match_handoffs,
+        (unsigned long long)match_propagate_micros,
+        (unsigned long long)match_merge_micros);
+    bool first = true;
+    for (size_t bin = 0; bin < match_skew_histogram.size(); ++bin) {
+      if (match_skew_histogram[bin] == 0) continue;
+      out += StringPrintf("%s%zu0%%:%llu", first ? "" : " ", bin,
+                          (unsigned long long)match_skew_histogram[bin]);
+      first = false;
+    }
+    out += "]";
+  }
   if (!lock_shards.empty()) {
     uint64_t waits = 0, contentions = 0, fast = 0, retries = 0;
     for (const LockShardCounters& shard : lock_shards) {

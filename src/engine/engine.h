@@ -109,6 +109,16 @@ struct LockShardCounters {
   uint64_t fast_path_cas_retries = 0;
 };
 
+/// \brief Per-partition counters of the partitioned match phase,
+/// mirrored from PartitionedMatcher at the end of a parallel run.
+struct MatchPartitionCounters {
+  uint64_t rules = 0;         ///< rules homed in this partition
+  uint64_t morsels = 0;       ///< non-empty sub-batches propagated
+  uint64_t wmes_routed = 0;   ///< WME add/remove versions routed here
+  uint64_t handoffs = 0;      ///< routed WMEs homed in another partition
+  uint64_t propagate_ns = 0;  ///< inner propagation time in this partition
+};
+
 /// \brief Aggregate counters of one run.
 struct EngineStats {
   uint64_t firings = 0;      ///< committed productions
@@ -159,6 +169,24 @@ struct EngineStats {
   std::array<uint64_t, 9> batch_size_histogram{};
   /// Per-shard lock-table contention counters (empty for serial engines).
   std::vector<LockShardCounters> lock_shards;
+  // --- Partitioned match phase (parallel engines, when enabled) ---------
+  /// Per-partition match counters, mirrored from the partitioned matcher
+  /// at the end of the run (empty when matching ran serial).
+  std::vector<MatchPartitionCounters> match_partitions;
+  /// Parallel propagation passes (one per non-empty commit batch).
+  uint64_t match_batches = 0;
+  /// Morsels executed (one per partition touched per batch).
+  uint64_t match_morsels = 0;
+  /// Routed WME versions consumed by a partition other than the one
+  /// homing their relation (rules whose conditions span partitions).
+  uint64_t match_handoffs = 0;
+  /// Wall time of the morsel-parallel propagate phase, microseconds.
+  uint64_t match_propagate_micros = 0;
+  /// Canonical conflict-set merge time on the committer, microseconds.
+  uint64_t match_merge_micros = 0;
+  /// Per-batch max partition share of routed WMEs, 10% bins (bin 9 = one
+  /// partition received ~everything: the skew diagnostic).
+  std::array<uint64_t, 10> match_skew_histogram{};
   bool halted = false;       ///< a (halt) action committed
   bool hit_max_firings = false;
   double elapsed_seconds = 0.0;

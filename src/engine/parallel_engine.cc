@@ -8,6 +8,7 @@
 #include "analysis/access_sets.h"
 #include "analysis/lock_sets.h"
 #include "engine/busy_work.h"
+#include "match/partitioned_matcher.h"
 #include "rules/rhs_evaluator.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -174,28 +175,38 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
       // the (v)/(vt) chain in the journal is self-consistent).
       victims_total_ += victim_counts[i];
       TxnAudit audit;
-      audit.present = true;
-      audit.csn = changes[i].csn;
-      if (member->is_client) {
-        audit.read_csn = changes[i].csn;
-        if (member->reads != nullptr) {
-          audit.snapshot_reads = member->reads->snapshot;
-          audit.reads = member->reads->reads;
-          // Snapshot reads were valid at the pinned CSN, not at commit.
-          if (member->reads->snapshot) audit.read_csn = member->reads->read_csn;
+      // Evidence sampling (audit_every > 1): only every Nth commit seq
+      // carries the full `;a(...)` clause; the rest are order-only
+      // evidence. The victim ledger still accumulates across unaudited
+      // commits, so the next audited record's running total covers the
+      // gap (the auditor stitches it).
+      audit.present = options_.audit_every <= 1 ||
+                      commit_seq_ % options_.audit_every == 0;
+      if (audit.present) {
+        audit.csn = changes[i].csn;
+        if (member->is_client) {
+          audit.read_csn = changes[i].csn;
+          if (member->reads != nullptr) {
+            audit.snapshot_reads = member->reads->snapshot;
+            audit.reads = member->reads->reads;
+            // Snapshot reads were valid at the pinned CSN, not at commit.
+            if (member->reads->snapshot) {
+              audit.read_csn = member->reads->read_csn;
+            }
+          }
+        } else {
+          // A rule firing read the versions it matched, lock-protected
+          // (or revalidated) up to this commit.
+          audit.read_csn = changes[i].csn;
+          audit.reads = member->key->wmes;
         }
-      } else {
-        // A rule firing read the versions it matched, lock-protected (or
-        // revalidated) up to this commit.
-        audit.read_csn = changes[i].csn;
-        audit.reads = member->key->wmes;
+        audit.writes.reserve(changes[i].added.size());
+        for (const WmePtr& added : changes[i].added) {
+          audit.writes.emplace_back(added->id(), added->tag());
+        }
+        audit.victims = victim_counts[i];
+        audit.victims_total = victims_total_;
       }
-      audit.writes.reserve(changes[i].added.size());
-      for (const WmePtr& added : changes[i].added) {
-        audit.writes.emplace_back(added->id(), added->tag());
-      }
-      audit.victims = victim_counts[i];
-      audit.victims_total = victims_total_;
       if (options_.base.record_log) {
         log_.push_back(FiringRecord{commit_seq_, *member->key,
                                     *member->delta, audit});
@@ -239,7 +250,21 @@ ParallelEngine::ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
 }
 
 StatusOr<RunResult> ParallelEngine::Run() {
-  matcher_ = CreateMatcher(options_.base.matcher);
+  if (options_.num_match_partitions > 1 &&
+      options_.base.matcher != MatcherKind::kNaive) {
+    // Morsel-parallel partitioned match phase; kNaive stays serial (the
+    // oracle rematches against live WM and cannot be partitioned).
+    PartitionedMatcher::Options match_options;
+    match_options.num_partitions = options_.num_match_partitions;
+    match_options.num_workers = std::max<size_t>(1, options_.match_workers);
+    match_options.inner = options_.base.matcher;
+    match_options.shadow_check = options_.match_shadow_check;
+    auto partitioned = std::make_unique<PartitionedMatcher>(match_options);
+    partitioned_matcher_ = partitioned.get();
+    matcher_ = std::move(partitioned);
+  } else {
+    matcher_ = CreateMatcher(options_.base.matcher);
+  }
   DBPS_RETURN_NOT_OK(matcher_->Initialize(rules_, *wm_));
 
   LockManager::Options lock_options;
@@ -287,6 +312,29 @@ StatusOr<RunResult> ParallelEngine::Run() {
     stats_.lock_shards.push_back(LockShardCounters{
         shard.acquires, shard.waits, shard.mutex_contentions, shard.hold_ns,
         shard.fast_path_grants, shard.fast_path_cas_retries});
+  }
+  if (partitioned_matcher_ != nullptr) {
+    const PartitionedMatcher::Stats match_stats =
+        partitioned_matcher_->GetStats();
+    stats_.match_batches = match_stats.batches;
+    stats_.match_morsels = match_stats.morsels;
+    stats_.match_handoffs = match_stats.handoffs;
+    stats_.match_propagate_micros = match_stats.propagate_wall_ns / 1000;
+    stats_.match_merge_micros = match_stats.merge_ns / 1000;
+    for (size_t i = 0; i < match_stats.skew_histogram.size(); ++i) {
+      stats_.match_skew_histogram[i] = match_stats.skew_histogram[i];
+    }
+    stats_.match_partitions.clear();
+    stats_.match_partitions.reserve(match_stats.partitions.size());
+    for (const PartitionedMatcher::PartitionCounters& part :
+         match_stats.partitions) {
+      stats_.match_partitions.push_back(
+          MatchPartitionCounters{part.rules, part.morsels, part.wmes_routed,
+                                 part.handoffs, part.propagate_ns});
+    }
+    // A shadow-check divergence means the parallel matcher broke the
+    // serial-equivalence contract: fail the whole run, loudly.
+    DBPS_RETURN_NOT_OK(partitioned_matcher_->shadow_status());
   }
   return RunResult{stats_, log_};
 }

@@ -67,6 +67,8 @@
 
 namespace dbps {
 
+class PartitionedMatcher;
+
 /// \brief How a committer treats transactions holding conflicting Rc
 /// locks (kRcRaWa only).
 enum class AbortPolicy : uint8_t {
@@ -130,6 +132,25 @@ struct ParallelEngineOptions {
   /// [0, start_seq), and the restarted engine's commits must extend that
   /// numbering without a gap or overlap.
   uint64_t start_seq = 0;
+  /// Relation-hash match partitions (match/partitioned_matcher.h). 0 or 1
+  /// = the serial matcher exactly as before; >1 partitions the matcher by
+  /// Mix64(relation) % N — mirroring the lock shards — and propagates
+  /// each commit batch's delta morsel-parallel. Ignored for kNaive (the
+  /// oracle stays serial by design).
+  size_t num_match_partitions = 0;
+  /// Morsel workers draining partition change queues when partitioned
+  /// matching is on. 1 = serial ablation: identical partitioning,
+  /// routing and canonical merge, but inline single-threaded execution.
+  size_t match_workers = 4;
+  /// Debug/differential aid: shadow every partitioned-matcher batch with
+  /// a full serial matcher and fail the run on the first conflict-set
+  /// divergence. Expensive; chaos/differential tests only.
+  bool match_shadow_check = false;
+  /// Emit full audit evidence (`;a(...)`) only on every Nth commit
+  /// (0/1 = every commit, the default). Sampled journals stay replayable
+  /// and order-checkable; the auditor treats unaudited lines as
+  /// order-only evidence and stitches the victim ledger across gaps.
+  uint64_t audit_every = 1;
 };
 
 class ParallelEngine {
@@ -372,6 +393,10 @@ class ParallelEngine {
   RuleSetPtr rules_;
   ParallelEngineOptions options_;
   std::unique_ptr<Matcher> matcher_;
+  /// Non-null iff matcher_ is a PartitionedMatcher (num_match_partitions
+  /// > 1 on a partitionable algorithm); used for stats harvest and the
+  /// shadow-check verdict at the end of the run.
+  PartitionedMatcher* partitioned_matcher_ = nullptr;
   std::unique_ptr<LockManager> lock_manager_;
 
   /// Worker-scheduling mutex: guards in_flight_, done_, halted_, stats_,

@@ -1,5 +1,6 @@
 #include "match/conflict_set.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.h"
@@ -10,13 +11,26 @@ void ConflictSet::Activate(InstPtr inst) {
   DBPS_CHECK(inst != nullptr);
   InstKey key = inst->key();
   std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    sink_->push_back(ConflictEvent{true, std::move(inst), std::move(key)});
+    return;
+  }
   active_.emplace(std::move(key), Entry{std::move(inst), next_seq_++});
 }
 
 void ConflictSet::Deactivate(const InstKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    sink_->push_back(ConflictEvent{false, nullptr, key});
+    return;
+  }
   active_.erase(key);
   claimed_.erase(key);
+}
+
+void ConflictSet::SetEventSink(std::vector<ConflictEvent>* events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = events;
 }
 
 InstPtr ConflictSet::Find(const InstKey& key) const {
@@ -77,6 +91,21 @@ std::string ConflictSet::ToString() const {
     out << "\n  " << entry.inst->ToString();
     if (claimed_.count(key) != 0) out << " [claimed]";
   }
+  return out.str();
+}
+
+std::string ConflictSet::CanonicalDump() const {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines.reserve(active_.size());
+    for (const auto& [key, entry] : active_) {
+      lines.push_back(entry.inst->ToString());
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream out;
+  for (const std::string& line : lines) out << line << "\n";
   return out.str();
 }
 

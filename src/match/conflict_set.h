@@ -27,6 +27,14 @@
 
 namespace dbps {
 
+/// One diverted conflict-set mutation (see ConflictSet::SetEventSink):
+/// either an activation (inst set) or a deactivation (key set).
+struct ConflictEvent {
+  bool activate = false;
+  InstPtr inst;  // set iff activate
+  InstKey key;   // set iff !activate
+};
+
 /// \brief The set of active (satisfied) instantiations.
 class ConflictSet {
  public:
@@ -36,6 +44,16 @@ class ConflictSet {
 
   /// Deactivates (LHS no longer satisfied). No-op if absent.
   void Deactivate(const InstKey& key);
+
+  /// Diverts subsequent Activate/Deactivate calls into `events` (appended
+  /// in call order) instead of mutating this set; nullptr restores normal
+  /// behavior. PartitionedMatcher points each partition-local matcher's
+  /// set at a per-partition buffer, then replays the buffers onto the
+  /// shared engine-facing set in canonical partition order — replaying an
+  /// event stream through Activate/Deactivate reproduces the exact
+  /// mutations the recording matcher would have made. While a sink is
+  /// installed the set itself never changes, so reads are vacuous.
+  void SetEventSink(std::vector<ConflictEvent>* events);
 
   bool Contains(const InstKey& key) const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -84,6 +102,12 @@ class ConflictSet {
 
   std::string ToString() const;
 
+  /// Canonical dump: every active instantiation's ToString(), sorted,
+  /// one per line — byte-comparable across matcher implementations
+  /// regardless of hash-map iteration order. Claim state is deliberately
+  /// excluded (claims belong to the engine, not the match phase).
+  std::string CanonicalDump() const;
+
  private:
   struct Entry {
     InstPtr inst;
@@ -93,6 +117,7 @@ class ConflictSet {
   std::unordered_map<InstKey, Entry, InstKeyHash> active_;
   std::unordered_set<InstKey, InstKeyHash> claimed_;
   uint64_t next_seq_ = 0;
+  std::vector<ConflictEvent>* sink_ = nullptr;
 };
 
 }  // namespace dbps

@@ -1,0 +1,258 @@
+#include "match/partitioned_matcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace dbps {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// First line on which two canonical dumps differ, for diagnostics.
+std::string FirstDiffLine(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return "(identical)";
+    if (!ga) return "+" + lb;
+    if (!gb) return "-" + la;
+    if (la != lb) return "-" + la + " / +" + lb;
+  }
+}
+
+}  // namespace
+
+PartitionedMatcher::PartitionedMatcher(Options options)
+    : options_(options) {
+  DBPS_CHECK(options_.inner != MatcherKind::kNaive)
+      << "naive matcher cannot be partitioned (it rematches against "
+         "live WM and reads its own conflict set)";
+  options_.num_partitions = std::max<size_t>(1, options_.num_partitions);
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  partitions_.resize(options_.num_partitions);
+  stats_.partitions.resize(options_.num_partitions);
+  if (options_.num_workers > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  }
+}
+
+PartitionedMatcher::~PartitionedMatcher() {
+  if (pool_ != nullptr) pool_->Shutdown();
+  // Inner matcher teardown emits deactivations for live tokens; detach
+  // the sinks first or they would write into the sibling `events`
+  // member, which is destroyed before `matcher` is.
+  for (Partition& part : partitions_) {
+    if (part.matcher != nullptr) {
+      part.matcher->conflict_set().SetEventSink(nullptr);
+    }
+  }
+}
+
+size_t PartitionedMatcher::PartitionOfRelation(SymbolId relation) const {
+  return static_cast<size_t>(Mix64(relation)) % partitions_.size();
+}
+
+Status PartitionedMatcher::Initialize(RuleSetPtr rules,
+                                      const WorkingMemory& wm) {
+  DBPS_CHECK(!initialized_) << "Initialize called twice";
+  initialized_ = true;
+  if (rules == nullptr) {
+    return Status::InvalidArgument("PartitionedMatcher: null rule set");
+  }
+  // Partition rules by the relation hash of their first condition element
+  // and record, per relation, every partition consuming it.
+  for (const RulePtr& rule : rules->rules()) {
+    if (rule->conditions().empty()) {
+      return Status::InvalidArgument("rule '" + rule->name() +
+                                     "' has no conditions");
+    }
+    const size_t home = PartitionOfRelation(rule->conditions().front().relation);
+    Partition& part = partitions_[home];
+    if (part.rules == nullptr) part.rules = std::make_shared<RuleSet>();
+    DBPS_RETURN_NOT_OK(part.rules->Add(rule));
+    stats_.partitions[home].rules++;
+    part.counters.rules++;
+    for (const Condition& cond : rule->conditions()) {
+      std::vector<uint32_t>& list = consumers_[cond.relation];
+      const uint32_t home32 = static_cast<uint32_t>(home);
+      if (std::find(list.begin(), list.end(), home32) == list.end()) {
+        list.push_back(home32);
+      }
+    }
+  }
+  for (auto& [relation, list] : consumers_) {
+    std::sort(list.begin(), list.end());
+  }
+
+  // Build every non-empty partition's inner matcher at ONE pinned
+  // snapshot CSN, in parallel, capturing initial activations.
+  std::vector<size_t> work;
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    Partition& part = partitions_[i];
+    if (part.rules == nullptr) continue;
+    part.matcher = CreateMatcher(options_.inner);
+    part.matcher->conflict_set().SetEventSink(&part.events);
+    work.push_back(i);
+  }
+  // The shadow must exist BEFORE the first MergeEvents so initial
+  // activations reach the mirror set too.
+  if (options_.shadow_check) {
+    shadow_ = CreateMatcher(options_.inner);
+    DBPS_RETURN_NOT_OK(shadow_->Initialize(rules, wm));
+  }
+
+  const WmSnapshot snap = wm.SnapshotAt();
+  std::vector<Status> statuses(partitions_.size(), Status::OK());
+  RunMorsels(work, [&](size_t i) {
+    statuses[i] =
+        partitions_[i].matcher->InitializeAt(partitions_[i].rules, snap);
+  });
+  for (const Status& status : statuses) DBPS_RETURN_NOT_OK(status);
+  MergeEvents();
+
+  if (shadow_ != nullptr) CheckShadow("initialize");
+  return Status::OK();
+}
+
+void PartitionedMatcher::ApplyChange(const WmChange& change) {
+  ApplyChanges(std::vector<WmChange>{change});
+}
+
+void PartitionedMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
+  DBPS_CHECK(initialized_) << "ApplyChanges before Initialize";
+  const size_t num_parts = partitions_.size();
+  stats_.batches++;
+
+  // Route: split each change into per-partition sub-changes, preserving
+  // the change's removed/added grouping (and CSN) so every inner matcher
+  // sees the serial change stream restricted to its rules.
+  std::vector<uint64_t> routed(num_parts, 0);
+  std::vector<WmChange*> scratch(num_parts);
+  uint64_t total_routed = 0;
+  auto route = [&](const WmChange& change, const WmePtr& wme, bool removed) {
+    const auto it = consumers_.find(wme->relation());
+    if (it == consumers_.end()) return;  // no rule consumes this relation
+    const size_t home = PartitionOfRelation(wme->relation());
+    for (const uint32_t consumer : it->second) {
+      WmChange*& sub = scratch[consumer];
+      if (sub == nullptr) {
+        partitions_[consumer].queue.emplace_back();
+        sub = &partitions_[consumer].queue.back();
+        sub->csn = change.csn;
+      }
+      (removed ? sub->removed : sub->added).push_back(wme);
+      partitions_[consumer].counters.wmes_routed++;
+      routed[consumer]++;
+      total_routed++;
+      if (consumer != home) {
+        partitions_[consumer].counters.handoffs++;
+        stats_.handoffs++;
+      }
+    }
+  };
+  for (const WmChange& change : changes) {
+    std::fill(scratch.begin(), scratch.end(), nullptr);
+    for (const WmePtr& wme : change.removed) route(change, wme, true);
+    for (const WmePtr& wme : change.added) route(change, wme, false);
+  }
+
+  if (total_routed > 0) {
+    // Skew: the largest single-partition share of this batch's routing.
+    uint64_t max_routed = 0;
+    for (uint64_t r : routed) max_routed = std::max(max_routed, r);
+    const size_t bin = std::min<size_t>(
+        9, static_cast<size_t>((10 * max_routed) / total_routed));
+    stats_.skew_histogram[bin]++;
+
+    // Parallel phase: one morsel per non-empty partition.
+    std::vector<size_t> work;
+    for (size_t i = 0; i < num_parts; ++i) {
+      if (!partitions_[i].queue.empty()) work.push_back(i);
+    }
+    const uint64_t wall_start = NowNs();
+    RunMorsels(work, [&](size_t i) {
+      Partition& part = partitions_[i];
+      const uint64_t start = NowNs();
+      part.matcher->ApplyChanges(part.queue);
+      const uint64_t elapsed = NowNs() - start;
+      part.counters.morsels++;
+      part.counters.propagate_ns += elapsed;
+      stats_.partitions[i].morsels++;
+      stats_.partitions[i].propagate_ns += elapsed;
+    });
+    stats_.propagate_wall_ns += NowNs() - wall_start;
+    stats_.morsels += work.size();
+
+    // Canonical merge on the calling (committer) thread.
+    const uint64_t merge_start = NowNs();
+    MergeEvents();
+    stats_.merge_ns += NowNs() - merge_start;
+  }
+
+  if (shadow_ != nullptr) {
+    shadow_->ApplyChanges(changes);
+    CheckShadow("batch");
+  }
+}
+
+void PartitionedMatcher::RunMorsels(const std::vector<size_t>& work,
+                                    const std::function<void(size_t)>& fn) {
+  if (pool_ == nullptr || work.size() <= 1) {
+    for (size_t i : work) fn(i);
+    return;
+  }
+  for (size_t i : work) {
+    pool_->Submit([&fn, i] { fn(i); });
+  }
+  pool_->WaitIdle();
+}
+
+void PartitionedMatcher::MergeEvents() {
+  for (Partition& part : partitions_) {
+    for (ConflictEvent& event : part.events) {
+      if (event.activate) {
+        if (shadow_ != nullptr) mirror_.Activate(event.inst);
+        conflict_set_.Activate(std::move(event.inst));
+      } else {
+        if (shadow_ != nullptr) mirror_.Deactivate(event.key);
+        conflict_set_.Deactivate(event.key);
+      }
+    }
+    part.events.clear();
+    part.queue.clear();
+  }
+  // Mirror per-partition running counters into the stats snapshot.
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    stats_.partitions[i].wmes_routed = partitions_[i].counters.wmes_routed;
+    stats_.partitions[i].handoffs = partitions_[i].counters.handoffs;
+  }
+}
+
+void PartitionedMatcher::CheckShadow(const char* where) {
+  if (!shadow_status_.ok()) return;  // first divergence is sticky
+  const std::string mine = mirror_.CanonicalDump();
+  const std::string ref = shadow_->conflict_set().CanonicalDump();
+  if (mine == ref) return;
+  std::ostringstream msg;
+  msg << "partitioned matcher diverged from serial "
+      << MatcherKindToString(options_.inner) << " at " << where
+      << " (batch " << stats_.batches << "): partitioned="
+      << std::count(mine.begin(), mine.end(), '\n') << " insts, serial="
+      << std::count(ref.begin(), ref.end(), '\n')
+      << " insts, first diff: " << FirstDiffLine(mine, ref);
+  shadow_status_ = Status::Internal(msg.str());
+}
+
+}  // namespace dbps

@@ -1,0 +1,159 @@
+// PartitionedMatcher: morsel-parallel delta propagation over relation-
+// hash-partitioned match state (the paper's intra-batch match
+// parallelism, morsel scheduling after Leis et al.).
+//
+// Structure
+//   * Rules are partitioned by the relation hash of their first condition
+//     element: home(rule) = Mix64(first CE's relation) % P — the same mix
+//     the lock manager uses for its shards, so a commit batch's
+//     DeltaWriteSet maps onto matcher partitions the way it maps onto
+//     lock shards. Each partition owns a complete, unmodified serial
+//     matcher (Rete or TREAT) built over just its rule subset: alpha
+//     memories, beta/join state and conflict-set insertion work for those
+//     rules live entirely inside the partition.
+//   * A WME change is routed to every partition whose rules consume its
+//     relation. A rule whose conditions span relations homed in other
+//     partitions receives those relations' WMEs as a cross-partition
+//     handoff (counted in stats; the join itself still runs entirely
+//     partition-locally, against the partition's own alpha memories).
+//   * Propagation is morsel-style: each non-empty partition's routed
+//     sub-batch is one morsel; a fixed worker pool drains the morsels,
+//     each running the inner matcher's ApplyChanges against
+//     partition-local state. `num_workers == 1` is the serial ablation —
+//     identical routing and merge, inline execution.
+//
+// Canonical merge order / equivalence with the serial matcher
+//   Partition-local matchers never mutate a shared conflict set directly:
+//   their Activate/Deactivate calls are captured as per-partition event
+//   buffers (ConflictSet::SetEventSink) while the morsels run. After the
+//   barrier, the committer thread replays the buffers onto the shared
+//   engine-facing set in canonical (partition ascending, per-partition
+//   call order) order. Because the rule partition is disjoint, every
+//   conflict-set key is produced by exactly one partition, and that
+//   partition emits the key's events in the same relative order as the
+//   serial matcher processing the same change stream restricted to its
+//   rules; the union over partitions therefore reaches the same final
+//   set contents as the serial matcher after every batch (time tags in
+//   instantiation keys come from the WMEs, not from match order). The
+//   differential tests assert byte-identical CanonicalDump()s; the
+//   optional shadow check re-asserts it in-process on every batch.
+//
+// Threading: ApplyChange/ApplyChanges must be called from one thread (the
+// engine's commit sequencer stage, as for the serial matchers); the
+// shared conflict_set() remains safe for concurrent Claim/Contains from
+// engine workers because all mutation happens in the single-threaded
+// merge phase through the ConflictSet's own mutex.
+
+#ifndef DBPS_MATCH_PARTITIONED_MATCHER_H_
+#define DBPS_MATCH_PARTITIONED_MATCHER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "match/matcher.h"
+#include "util/thread_pool.h"
+
+namespace dbps {
+
+class PartitionedMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Number of relation-hash partitions (mirrors lock shards).
+    size_t num_partitions = 8;
+    /// Morsel workers draining partition queues; 1 = serial ablation
+    /// (same routing + canonical merge, inline execution).
+    size_t num_workers = 4;
+    /// Inner per-partition algorithm. kNaive is unsupported: the naive
+    /// oracle rematches against live WM and reads its own conflict set,
+    /// which a partition does not own.
+    MatcherKind inner = MatcherKind::kRete;
+    /// When set, a full-ruleset serial matcher of the same kind shadows
+    /// every Initialize/ApplyChanges call and the merged event stream is
+    /// replayed into a mirror set; after every batch the mirror and
+    /// shadow conflict sets must dump byte-identically. First mismatch
+    /// is sticky in shadow_status(). Differential-test / chaos aid.
+    bool shadow_check = false;
+  };
+
+  struct PartitionCounters {
+    uint64_t rules = 0;        ///< rules homed in this partition
+    uint64_t morsels = 0;      ///< non-empty sub-batches propagated
+    uint64_t wmes_routed = 0;  ///< WME add/remove versions routed here
+    uint64_t handoffs = 0;     ///< routed WMEs homed in another partition
+    uint64_t propagate_ns = 0; ///< inner ApplyChanges time, this partition
+  };
+
+  struct Stats {
+    std::vector<PartitionCounters> partitions;
+    uint64_t batches = 0;           ///< propagation passes (ApplyChanges calls)
+    uint64_t morsels = 0;           ///< total morsels across partitions
+    uint64_t handoffs = 0;          ///< total cross-partition handoffs
+    uint64_t propagate_wall_ns = 0; ///< wall time of the parallel phase
+    uint64_t merge_ns = 0;          ///< canonical merge into the shared set
+    /// Per-batch max partition share of routed WMEs, 10% bins: bin 9 ≈
+    /// one partition got everything (skew), bin ~1/P ≈ perfectly spread.
+    std::array<uint64_t, 10> skew_histogram{};
+  };
+
+  explicit PartitionedMatcher(Options options);
+  ~PartitionedMatcher() override;
+
+  Status Initialize(RuleSetPtr rules, const WorkingMemory& wm) override;
+  void ApplyChange(const WmChange& change) override;
+  void ApplyChanges(const std::vector<WmChange>& changes) override;
+
+  /// Home partition of `relation`: Mix64(relation) % num_partitions —
+  /// deliberately the same function as LockManager::ShardIndex.
+  size_t PartitionOfRelation(SymbolId relation) const;
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  /// Counters; call between batches (not thread-safe vs ApplyChanges).
+  Stats GetStats() const { return stats_; }
+
+  /// OK until the first shadow-check divergence, then the sticky error.
+  Status shadow_status() const { return shadow_status_; }
+
+ private:
+  struct Partition {
+    std::shared_ptr<RuleSet> rules;        // subset homed here (may be null)
+    // `events` is the matcher's event sink and must outlive it: matcher
+    // teardown deactivates live tokens, which writes into the sink.
+    std::vector<ConflictEvent> events;     // captured mutations, call order
+    std::unique_ptr<Matcher> matcher;      // built iff rules non-empty
+    std::vector<WmChange> queue;           // this batch's routed sub-changes
+    PartitionCounters counters;
+  };
+
+  /// Runs `fn(partition_index)` for every index in `work`, on the pool
+  /// when it exists (WaitIdle barrier), inline otherwise.
+  void RunMorsels(const std::vector<size_t>& work,
+                  const std::function<void(size_t)>& fn);
+
+  /// Replays every partition's event buffer onto the shared set (and the
+  /// shadow mirror) in canonical (partition, call) order; clears buffers.
+  void MergeEvents();
+
+  /// Shadow check: compares mirror vs shadow canonical dumps; sticky.
+  void CheckShadow(const char* where);
+
+  Options options_;
+  std::vector<Partition> partitions_;
+  /// relation -> partitions with at least one rule consuming it (sorted).
+  std::unordered_map<SymbolId, std::vector<uint32_t>> consumers_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_workers <= 1
+  Stats stats_;
+
+  std::unique_ptr<Matcher> shadow_;  // full-ruleset serial reference
+  ConflictSet mirror_;               // merged events replayed here too
+  Status shadow_status_ = Status::OK();
+  bool initialized_ = false;
+};
+
+}  // namespace dbps
+
+#endif  // DBPS_MATCH_PARTITIONED_MATCHER_H_

@@ -647,9 +647,13 @@ ReteMatcher::ReteMatcher() : network_(std::make_unique<rete::Network>()) {}
 ReteMatcher::~ReteMatcher() = default;
 
 Status ReteMatcher::Initialize(RuleSetPtr rules, const WorkingMemory& wm) {
+  return InitializeAt(std::move(rules), wm.SnapshotAt());
+}
+
+Status ReteMatcher::InitializeAt(RuleSetPtr rules, const WmSnapshot& snap) {
   DBPS_RETURN_NOT_OK(network_->Build(std::move(rules), &conflict_set_));
-  for (SymbolId relation : wm.catalog().relation_names()) {
-    for (const WmePtr& wme : wm.Scan(relation)) {
+  for (SymbolId relation : snap.catalog().relation_names()) {
+    for (const WmePtr& wme : snap.Scan(relation)) {
       network_->AddWme(wme);
     }
   }

@@ -37,6 +37,7 @@ class ReteMatcher : public Matcher {
   ~ReteMatcher() override;
 
   Status Initialize(RuleSetPtr rules, const WorkingMemory& wm) override;
+  Status InitializeAt(RuleSetPtr rules, const WmSnapshot& snap) override;
   void ApplyChange(const WmChange& change) override;
   void ApplyChanges(const std::vector<WmChange>& changes) override;
 

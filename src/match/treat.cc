@@ -5,6 +5,10 @@
 namespace dbps {
 
 Status TreatMatcher::Initialize(RuleSetPtr rules, const WorkingMemory& wm) {
+  return InitializeAt(std::move(rules), wm.SnapshotAt());
+}
+
+Status TreatMatcher::InitializeAt(RuleSetPtr rules, const WmSnapshot& snap) {
   DBPS_CHECK(rules_ == nullptr) << "Initialize called twice";
   rules_ = std::move(rules);
   for (const auto& rule : rules_->rules()) {
@@ -21,8 +25,8 @@ Status TreatMatcher::Initialize(RuleSetPtr rules, const WorkingMemory& wm) {
     }
     states_.push_back(std::move(state));
   }
-  for (SymbolId relation : wm.catalog().relation_names()) {
-    for (const WmePtr& wme : wm.Scan(relation)) {
+  for (SymbolId relation : snap.catalog().relation_names()) {
+    for (const WmePtr& wme : snap.Scan(relation)) {
       AddWme(wme);
     }
   }

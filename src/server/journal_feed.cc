@@ -25,6 +25,14 @@ const char* JournalOpenModeToString(JournalOpenMode mode) {
 }
 
 JournalFeed::~JournalFeed() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flusher_stop_ = true;
+    }
+    cv_.notify_all();
+    flusher_.join();
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -71,6 +79,7 @@ void JournalFeed::AppendLine(const Delta& delta, uint64_t seq,
       record.seq = seq;
       record.type = WalRecordType::kDelta;
       record.payload = std::move(line_or).ValueOrDie();
+      if (staged_.empty()) staged_since_ = std::chrono::steady_clock::now();
       staged_.push_back(std::move(record));
       staged_high_seq_ = seq + 1;
       ++records_since_checkpoint_;
@@ -99,8 +108,9 @@ bool JournalFeed::WriteFramedLocked(const WalRecord& record) {
 
 void JournalFeed::SyncStaged(std::unique_lock<std::mutex>& lock) {
   // The observer delivers commits from the engine's ordered commit stage
-  // (one thread at a time), so holding mu_ across the write+fsync only
-  // ever delays readers, never another writer.
+  // (one thread at a time), and the adaptive flusher is serialized with
+  // it by mu_, so holding mu_ across the write+fsync only ever delays
+  // readers, never races another writer.
   (void)lock;
   bool failed = sync_failed_;
   if (!failed) {
@@ -283,7 +293,30 @@ Status JournalFeed::EnableDurability(DurabilityOptions options) {
   staged_high_seq_ = options.start_seq;
   durable_options_ = std::move(options);
   durable_enabled_ = true;
+  if (durable_options_.group_commit &&
+      durable_options_.flush_deadline.count() > 0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
   return Status::OK();
+}
+
+void JournalFeed::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!flusher_stop_) {
+    if (staged_.empty()) {
+      cv_.wait(lock, [&] { return flusher_stop_ || !staged_.empty(); });
+      continue;
+    }
+    const auto deadline = staged_since_ + durable_options_.flush_deadline;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // The engine's kBatchEnd never came (or is stalled behind slow
+      // firings): release the group now so its commits can be acked.
+      ++durability_stats_.deadline_flushes;
+      SyncStaged(lock);
+      continue;
+    }
+    cv_.wait_until(lock, deadline);
+  }
 }
 
 bool JournalFeed::durable_enabled() const {

@@ -49,6 +49,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
@@ -98,6 +99,12 @@ struct DurabilityOptions {
   /// records accumulated since the last one (0 = only on request).
   /// Requires EnableCheckpoints.
   size_t checkpoint_every = 0;
+  /// Adaptive group-commit flush (group_commit only): when the OLDEST
+  /// staged record has waited this long without a kBatchEnd fsync, a
+  /// background flusher thread syncs the group early, so a stalled batch
+  /// (slow firing, idle engine) cannot hold earlier commits' durability
+  /// hostage indefinitely. 0 disables (flush only at batch boundaries).
+  std::chrono::milliseconds flush_deadline{0};
 };
 
 /// \brief Durability counters (all zero until EnableDurability).
@@ -114,6 +121,9 @@ struct DurabilityStats {
   /// Simulated crashes injected by the server.journal.crash_* failpoints
   /// (the device "died" mid-group; the feed is failed thereafter).
   uint64_t injected_crashes = 0;
+  /// Groups fsynced by the adaptive flusher because the oldest staged
+  /// record outwaited flush_deadline (group commit stalled mid-batch).
+  uint64_t deadline_flushes = 0;
   /// Mean records per fsync — the group-commit amortization factor; its
   /// inverse is the bench's fsyncs-per-commit figure.
   double MeanGroup() const {
@@ -221,6 +231,12 @@ class JournalFeed {
   /// failed (caller marks the feed sync-failed). Requires mu_.
   bool WriteFramedLocked(const WalRecord& record);
 
+  /// Adaptive flusher body (group_commit + flush_deadline only): sleeps
+  /// until the oldest staged record's deadline, then SyncStaged()s the
+  /// group if the engine's kBatchEnd has not flushed it first. Serialized
+  /// with the observer by mu_.
+  void FlusherLoop();
+
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::vector<std::string> lines_;
@@ -232,6 +248,11 @@ class JournalFeed {
   int fd_ = -1;                       ///< -1: simulated device
   std::vector<WalRecord> staged_;     ///< appended, not yet fsynced
   uint64_t staged_high_seq_ = 0;      ///< seq high-water of staged_
+  /// When the current group's FIRST record was staged (flush-deadline
+  /// clock; meaningful only while staged_ is non-empty).
+  std::chrono::steady_clock::time_point staged_since_{};
+  std::thread flusher_;               ///< adaptive flusher (may be empty)
+  bool flusher_stop_ = false;         ///< under mu_
   uint64_t durable_seq_ = 0;          ///< commits below this are durable
   bool sync_failed_ = false;          ///< sticky: a group fsync failed
   bool crashed_ = false;              ///< sticky: injected device death

@@ -34,6 +34,11 @@ WmSnapshot::~WmSnapshot() {
   if (wm_ != nullptr) wm_->UnregisterSnapshot(csn_);
 }
 
+const Catalog& WmSnapshot::catalog() const {
+  DBPS_CHECK(wm_ != nullptr) << "catalog() on an invalid snapshot";
+  return wm_->catalog_;
+}
+
 WmePtr WmSnapshot::Get(WmeId id) const {
   if (wm_ == nullptr) return nullptr;
   std::shared_lock lock(wm_->mu_);

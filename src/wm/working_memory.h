@@ -63,6 +63,12 @@ class WmSnapshot {
   uint64_t csn() const { return csn_; }
   bool valid() const { return wm_ != nullptr; }
 
+  /// Schema catalog of the owning WorkingMemory. The schema is immutable
+  /// once a program runs, so it is the same at every CSN; exposed here so
+  /// matcher workers can enumerate relations without touching the live
+  /// database. Requires valid().
+  const Catalog& catalog() const;
+
   /// The version of WME `id` visible at csn(), or nullptr.
   WmePtr Get(WmeId id) const;
 

@@ -226,6 +226,79 @@ TEST(AuditorTest, LedgerMayRestartAfterRecovery) {
   EXPECT_TRUE(report.clean()) << report.ToString();
 }
 
+TEST(AuditorTest, StrictRestartsFlagsBareTextModeReset) {
+  // The same sanctioned-restart log as above, but the caller asserts the
+  // text journal came from ONE uninterrupted run: the bare vt == v reset
+  // is now evidence of a truncated or forged ledger.
+  AuditOptions options;
+  options.strict_restarts = true;
+  const AuditReport report = ConsistencyAuditor::AuditJournalText(
+      "(delta (make t 1)) ;a(audit (seq 1) (csn 1) (rc) (wr (1 1)) (v 3) (vt 7))\n"
+      "(delta (make t 2)) ;a(audit (seq 2) (csn 2) (rc) (wr (2 2)) (v 2) (vt 2))\n",
+      options);
+  EXPECT_TRUE(Flagged(report, AuditViolationClass::kVictimLedger, 2))
+      << report.ToString();
+}
+
+TEST(AuditorTest, SampledEvidenceGapAllowsLedgerOvershoot) {
+  // The middle record's audit clause was dropped by evidence sampling
+  // (--audit-every): its victimizations accumulated invisibly, so the
+  // next audited total may overshoot the chain — order-only tracking.
+  const AuditReport report = ConsistencyAuditor::AuditJournalText(
+      "(delta (make t 1)) ;a(audit (seq 1) (csn 1) (rc) (wr (1 1)) (v 0) (vt 0))\n"
+      "(delta (make t 2))\n"
+      "(delta (make t 3)) ;a(audit (seq 3) (csn 3) (rc) (wr (3 3)) (v 1) (vt 3))\n");
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.audited_records, 2u);
+}
+
+TEST(AuditorTest, LedgerOvershootWithoutAGapStaysFlagged) {
+  // Same overshoot, no unaudited gap to hide behind: still a violation.
+  const AuditReport report = ConsistencyAuditor::AuditJournalText(
+      "(delta (make t 1)) ;a(audit (seq 1) (csn 1) (rc) (wr (1 1)) (v 0) (vt 0))\n"
+      "(delta (make t 2)) ;a(audit (seq 2) (csn 2) (rc) (wr (2 2)) (v 1) (vt 3))\n");
+  EXPECT_TRUE(Flagged(report, AuditViolationClass::kVictimLedger, 2))
+      << report.ToString();
+}
+
+TEST(AuditorTest, WalModeBareResetWithoutCheckpointIsFlagged) {
+  // A framed WAL proves restarts with checkpoint records; a vt == v reset
+  // with no checkpoint anywhere before it is a forged restart.
+  const std::string path = ::testing::TempDir() + "auditor_bare_reset.wal";
+  std::ofstream(path, std::ios::binary) << EncodeTextAsWal(
+      "(delta (make t 1)) ;a(audit (seq 1) (csn 1) (rc) (wr (1 1)) (v 3) (vt 7))\n"
+      "(delta (make t 2)) ;a(audit (seq 2) (csn 2) (rc) (wr (2 2)) (v 2) (vt 2))\n",
+      /*start_seq=*/1);
+  const AuditReport report =
+      ConsistencyAuditor::AuditWalFile(path).ValueOrDie();
+  EXPECT_TRUE(Flagged(report, AuditViolationClass::kVictimLedger, 2))
+      << report.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(AuditorTest, WalModeResetAfterCheckpointIsAccepted) {
+  // The same reset, but a checkpoint record precedes it — the durable
+  // restart evidence recovery leaves behind. Stitched cleanly.
+  std::string wal = EncodeTextAsWal(
+      "(delta (make t 1)) ;a(audit (seq 1) (csn 1) (rc) (wr (1 1)) (v 3) (vt 7))\n",
+      /*start_seq=*/1);
+  WalRecord checkpoint;
+  checkpoint.seq = 2;  // fences commits 1..1: carries the next commit seq
+  checkpoint.type = WalRecordType::kCheckpoint;
+  checkpoint.payload = "(checkpoint)";
+  EncodeWalRecord(checkpoint, &wal);
+  wal += EncodeTextAsWal(
+      "(delta (make t 2)) ;a(audit (seq 2) (csn 2) (rc) (wr (2 2)) (v 2) (vt 2))\n",
+      /*start_seq=*/2);
+  const std::string path = ::testing::TempDir() + "auditor_ckpt_reset.wal";
+  std::ofstream(path, std::ios::binary) << wal;
+  const AuditReport report =
+      ConsistencyAuditor::AuditWalFile(path).ValueOrDie();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  std::remove(path.c_str());
+}
+
 TEST(AuditorTest, AuditedLineRoundTripsThroughParse) {
   TxnAudit audit;
   audit.present = true;

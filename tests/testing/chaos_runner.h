@@ -19,6 +19,7 @@
 #ifndef DBPS_TESTS_TESTING_CHAOS_RUNNER_H_
 #define DBPS_TESTS_TESTING_CHAOS_RUNNER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -88,6 +89,15 @@ struct ChaosOptions {
   /// Base failpoint probability (see ApplyChaosProfile).
   double fail_rate = 0.05;
   size_t num_workers = 4;
+  // Partitioned match phase (0/1 = the serial matcher):
+  size_t match_partitions = 0;
+  size_t match_workers = 2;
+  /// Run the serial shadow matcher alongside the partitioned one and
+  /// byte-compare conflict-set dumps after every batch — the differential
+  /// gate. Any divergence fails the engine run, which fails the trial.
+  bool match_shadow_check = false;
+  /// Sample audit evidence onto every Nth journal line (1 = every line).
+  uint64_t audit_every = 1;
   /// Commit-sequencer fold limit (1 disables batching). The chaos
   /// profile stalls the engine.commit.batch_window site and crashes
   /// members at engine.commit.crash_in_batch, so trials with a limit
@@ -101,6 +111,11 @@ struct ChaosOptions {
   std::string journal_path;
   /// Fsync once per commit batch instead of once per commit.
   bool group_commit = false;
+  /// Adaptive group-commit flush deadline (0 = batch boundaries only);
+  /// see DurabilityOptions::flush_deadline. Also applied to the kNetwork
+  /// durable feed, where the chaos profile's delayed fsyncs make the
+  /// deadline flusher fire.
+  std::chrono::milliseconds flush_deadline{0};
   /// Auto-checkpoint cadence (records); 0 = no checkpoints.
   size_t checkpoint_every = 0;
   // kZipfian / kSnapshotScan workload shape:
@@ -135,6 +150,9 @@ struct ChaosReport {
   /// Crashes the journal failpoints injected (0 if the workload finished
   /// before the armed crash point — still a valid recovery trial).
   uint64_t injected_crashes = 0;
+  /// Durable-feed trials: groups flushed by the adaptive deadline rather
+  /// than a batch boundary (JournalFeed flush_deadline).
+  uint64_t deadline_flushes = 0;
   /// What recovery scanned/truncated/replayed.
   RecoveryStats recovery;
   /// The offline consistency audit of the run's commit log (every

@@ -16,6 +16,9 @@
 //                       tracking them as opaque write-only history
 //   --allow-torn-tail   do not flag a non-clean WAL tail (for logs taken
 //                       from a crash site before recovery truncated them)
+//   --strict-restarts   flag bare victim-ledger resets in TEXT journals
+//                       (WAL audits always require checkpoint evidence
+//                       before accepting a reset)
 //   --max-violations=N  stop collecting after N violations (64)
 //   --quiet             print nothing on a clean log
 //
@@ -40,7 +43,7 @@ using namespace dbps;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--require-audit] [--allow-torn-tail]\n"
-               "  [--max-violations=N] [--quiet]\n"
+               "  [--strict-restarts] [--max-violations=N] [--quiet]\n"
                "  <journal.wal | journal.txt | journal-dir>\n",
                argv0);
   return 2;
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
       options.require_audit = true;
     } else if (arg == "--allow-torn-tail") {
       options.flag_tail = false;
+    } else if (arg == "--strict-restarts") {
+      options.strict_restarts = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--max-violations=", 0) == 0) {

@@ -59,6 +59,16 @@
 //                                     of one per commit
 //   --checkpoint-every=N              write a snapshot checkpoint record
 //                                     into the WAL every N commits
+//   --match-partitions=N              partition the matcher by relation
+//                                     hash into N partitions and propagate
+//                                     commit batches morsel-parallel
+//                                     (parallel engine; 0 = serial match)
+//   --match-workers=N                 morsel workers draining match
+//                                     partitions (4; 1 = serial ablation)
+//   --audit-every=N                   emit full audit evidence only on
+//                                     every Nth commit (1 = every commit);
+//                                     the auditor treats unaudited lines
+//                                     as order-only evidence
 //   --quiet                           suppress the summary line
 
 #include <sys/stat.h>
@@ -103,6 +113,9 @@ struct Flags {
   bool chaos = false;
   uint64_t chaos_seed = 0;
   double fail_rate = 0.05;
+  size_t match_partitions = 0;
+  size_t match_workers = 4;
+  uint64_t audit_every = 1;
   std::string journal_dir;
   bool recover = false;
   bool group_commit = false;
@@ -129,6 +142,8 @@ int Usage(const char* argv0) {
                "  [--chaos-seed=N] [--fail-rate=P] [--quiet]\n"
                "  [--journal-dir=DIR] [--recover] [--group-commit]\n"
                "  [--checkpoint-every=N]\n"
+               "  [--match-partitions=N] [--match-workers=N]\n"
+               "  [--audit-every=N]\n"
                "  <program.dbps>\n",
                argv0);
   return 2;
@@ -264,6 +279,15 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       if (flags.fail_rate < 0.0 || flags.fail_rate > 1.0) {
         return Status::InvalidArgument("--fail-rate must be in [0,1]");
       }
+    } else if (ParseFlag(arg, "match-partitions", &value)) {
+      flags.match_partitions = std::stoul(value);
+    } else if (ParseFlag(arg, "match-workers", &value)) {
+      flags.match_workers = std::stoul(value);
+      if (flags.match_workers == 0) {
+        return Status::InvalidArgument("--match-workers must be >= 1");
+      }
+    } else if (ParseFlag(arg, "audit-every", &value)) {
+      flags.audit_every = std::stoull(value);
     } else if (!arg.empty() && arg[0] == '-') {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     } else if (flags.program_path.empty()) {
@@ -488,6 +512,9 @@ int Run(const Flags& flags) {
     options.abort_policy = flags.abort_policy;
     options.deadlock_policy = flags.deadlock_policy;
     options.start_seq = start_seq;
+    options.num_match_partitions = flags.match_partitions;
+    options.match_workers = flags.match_workers;
+    options.audit_every = flags.audit_every;
     JournalFeed* durable = nullptr;
     if (!flags.journal_dir.empty()) {
       durable = &feed;
