@@ -1,0 +1,31 @@
+#include "engine/adaptive_batch.h"
+
+#include <algorithm>
+
+namespace dbps {
+
+size_t ComputeAdaptiveBatchLimit(const AdaptiveBatchSignals& window,
+                                 size_t current, size_t floor_limit,
+                                 size_t ceiling) {
+  floor_limit = std::max<size_t>(1, floor_limit);
+  ceiling = std::max(ceiling, floor_limit);
+  current = std::min(std::max(current, floor_limit), ceiling);
+  if (window.total_batches == 0) return current;
+
+  const double saturated_share =
+      static_cast<double>(window.saturated_batches) /
+      static_cast<double>(window.total_batches);
+  const double avg_stall_us =
+      static_cast<double>(window.stall_micros) /
+      static_cast<double>(window.total_batches);
+
+  if (saturated_share >= 0.25 && avg_stall_us >= 20.0) {
+    return std::min(current * 2, ceiling);
+  }
+  if (saturated_share < 0.05 && avg_stall_us < 5.0) {
+    return std::max(current / 2, floor_limit);
+  }
+  return current;
+}
+
+}  // namespace dbps

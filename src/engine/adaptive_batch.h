@@ -1,0 +1,51 @@
+// Self-tuning commit_batch_limit (ROADMAP "close the loop"): a pure
+// windowed controller that derives the sequencer's fold limit from the
+// signals the engine already emits — the batch-size histogram and the
+// cumulative sequencer stall time.
+//
+// Rationale: the batch limit trades latency for amortization. When a
+// large share of executed batches saturate the current limit AND
+// committers are measurably stalling for their turn, the head is the
+// bottleneck and folding more commits per turn amortizes the ordered
+// apply/propagate stage better — double the limit. When batches almost
+// never fill and stalls are negligible, a high limit only grows the
+// worst-case latency a follower waits behind one head — halve it back
+// toward the configured knob. Everything else holds.
+//
+// The function is deliberately pure (window deltas in, new limit out):
+// the engine evaluates it every stats window and publishes the result
+// through one atomic that the sequencer reads per commit, so the
+// controller needs no locks and unit tests need no engine.
+
+#ifndef DBPS_ENGINE_ADAPTIVE_BATCH_H_
+#define DBPS_ENGINE_ADAPTIVE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbps {
+
+struct AdaptiveBatchSignals {
+  /// Executed batches in the window whose live size reached the current
+  /// limit (the histogram's saturated buckets).
+  uint64_t saturated_batches = 0;
+  /// All executed batches in the window.
+  uint64_t total_batches = 0;
+  /// Sequencer stall accumulated over the window, microseconds.
+  uint64_t stall_micros = 0;
+};
+
+/// Returns the batch limit to use for the next window. `current` is the
+/// limit in effect; the result stays within [floor_limit, ceiling].
+/// With an empty window (total_batches == 0) the limit is unchanged.
+///
+/// Raise (×2) when >=25% of batches saturated the limit and the average
+/// per-batch stall is >=20us; lower (÷2, not below floor_limit) when
+/// <5% saturated and the average stall is <5us.
+size_t ComputeAdaptiveBatchLimit(const AdaptiveBatchSignals& window,
+                                 size_t current, size_t floor_limit,
+                                 size_t ceiling);
+
+}  // namespace dbps
+
+#endif  // DBPS_ENGINE_ADAPTIVE_BATCH_H_

@@ -117,6 +117,7 @@ struct MatchPartitionCounters {
   uint64_t wmes_routed = 0;   ///< WME add/remove versions routed here
   uint64_t handoffs = 0;      ///< routed WMEs homed in another partition
   uint64_t propagate_ns = 0;  ///< inner propagation time in this partition
+  uint64_t subs = 0;          ///< value-hash sub-partitions (1 = unsplit)
 };
 
 /// \brief Aggregate counters of one run.
@@ -187,6 +188,26 @@ struct EngineStats {
   /// Per-batch max partition share of routed WMEs, 10% bins (bin 9 = one
   /// partition received ~everything: the skew diagnostic).
   std::array<uint64_t, 10> match_skew_histogram{};
+  // --- Skew adaptation (hot-partition splitting / rule re-homing) -------
+  /// Hot partitions split into value-hash sub-partitions during the run.
+  uint64_t match_splits = 0;
+  /// Quiescent-point rebuilds of the rule→partition homing map.
+  uint64_t match_rehomes = 0;
+  /// Re-home triggers whose rebuilt map matched the current one (skipped).
+  uint64_t match_rehome_skips = 0;
+  // --- Match/commit pipelining ------------------------------------------
+  /// Batches propagated asynchronously by the match pipeline thread.
+  uint64_t match_pipeline_batches = 0;
+  /// Drain points that found propagation still in flight and blocked.
+  uint64_t match_pipeline_drains = 0;
+  /// Time spent blocked in those drains, microseconds.
+  uint64_t match_pipeline_stall_micros = 0;
+  // --- Adaptive commit batch limit --------------------------------------
+  /// Times the self-tuning controller changed the effective batch limit.
+  uint64_t adaptive_batch_adjustments = 0;
+  /// Batch limit in effect at the end of the run (== the configured knob
+  /// unless `adaptive_batch_limit` was armed).
+  uint64_t effective_batch_limit = 0;
   bool halted = false;       ///< a (halt) action committed
   bool hit_max_firings = false;
   double elapsed_seconds = 0.0;

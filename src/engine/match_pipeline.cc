@@ -1,0 +1,81 @@
+#include "engine/match_pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dbps {
+
+MatchPipeline::MatchPipeline(PartitionedMatcher* matcher)
+    : matcher_(matcher) {
+  DBPS_CHECK(matcher_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MatchPipeline::~MatchPipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MatchPipeline::Submit(std::vector<WmChange> changes, WmSnapshot snap) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(Job{std::move(changes), std::move(snap)});
+  }
+  work_cv_.notify_one();
+}
+
+void MatchPipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty() && !busy_) return;
+  stats_.drains++;
+  const auto start = std::chrono::steady_clock::now();
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  stats_.stall_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+bool MatchPipeline::Idle() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.empty() && !busy_;
+}
+
+MatchPipeline::Stats MatchPipeline::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MatchPipeline::ResetStats() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void MatchPipeline::Loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    matcher_->ApplyChangesAt(job.changes, job.snap);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      busy_ = false;
+      stats_.batches++;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dbps

@@ -7,6 +7,7 @@
 
 #include "analysis/access_sets.h"
 #include "analysis/lock_sets.h"
+#include "engine/adaptive_batch.h"
 #include "engine/busy_work.h"
 #include "match/partitioned_matcher.h"
 #include "rules/rhs_evaluator.h"
@@ -90,7 +91,8 @@ void ParallelEngine::SequencedCommit::Commit(PendingCommit* pending) {
   submitted_ = true;
   uint64_t stall_ns = 0;
   std::vector<PendingCommit*> batch = engine_->sequencer_.AwaitTurn(
-      ticket_, pending, std::max<size_t>(1, engine_->options_.commit_batch_limit),
+      ticket_, pending,
+      engine_->effective_batch_limit_.load(std::memory_order_relaxed),
       &stall_ns);
   engine_->sequencer_stall_ns_.fetch_add(stall_ns,
                                          std::memory_order_relaxed);
@@ -121,6 +123,22 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
     // applies — it must abort and retry while its batch-mates commit, and
     // nothing of it may reach the log.
     if (DBPS_FAILPOINT("engine.commit.crash_in_batch")) continue;
+    if (!member->is_client && pipeline_ != nullptr) {
+      // Pipelined propagation widens the claim-validation race: phase 2
+      // checked a conflict set that may not yet reflect an invalidating
+      // commit whose propagation was still queued (inline propagation
+      // finished before the invalidator released its Wa locks, so this
+      // could not happen). Re-validate the match against the live WM in
+      // ticket order; a stale member degrades to an abort and retries.
+      bool current = true;
+      for (const auto& [id, tag] : member->key->wmes) {
+        if (!wm_->IsCurrent(id, tag)) {
+          current = false;
+          break;
+        }
+      }
+      if (!current) continue;
+    }
     auto change_or = wm_->Apply(*member->delta);
     if (!change_or.ok()) {
       if (member->is_client) {
@@ -145,8 +163,22 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
   // One matcher propagation pass for the whole batch — the amortization
   // this sequencer exists for. Sound because CanFold admitted only
   // pairwise-disjoint write sets (no change removes a version a sibling
-  // adds).
-  if (!changes.empty()) matcher_->ApplyChanges(changes);
+  // adds). When the match pipeline is armed the pass runs asynchronously
+  // on the pipeline thread: Submit takes a copy (the audit loop below
+  // still reads `changes`) plus a snapshot pinned HERE, in ticket order,
+  // so a split/re-home rebuild triggered by this batch feeds from state
+  // that excludes every later batch's apply.
+  if (!changes.empty()) {
+    if (pipeline_ != nullptr) {
+      WmSnapshot rebuild_snap;
+      if (options_.match_split || options_.match_rehome) {
+        rebuild_snap = wm_->SnapshotAt();
+      }
+      pipeline_->Submit(changes, std::move(rebuild_snap));
+    } else {
+      matcher_->ApplyChanges(changes);
+    }
+  }
 
   // Settle each member's Rc–Wa victims in ticket order. Under
   // kRevalidate the sparing snapshot is pinned after the WHOLE batch
@@ -154,6 +186,21 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
   // *more* invalidation, so every spared firing would also have been
   // spared per-commit, and every extra abort is admissible under the
   // paper's rule (ii).
+  if (pipeline_ != nullptr &&
+      options_.abort_policy == AbortPolicy::kRevalidate) {
+    // Revalidation consults the conflict set (Contains): drain queued
+    // propagation — including this batch's — before sparing anyone, or a
+    // victim whose instantiation a pending batch deactivates would be
+    // spared that the inline path would have aborted.
+    bool any_victims = false;
+    for (PendingCommit* member : live) {
+      if (!member->victims.empty()) {
+        any_victims = true;
+        break;
+      }
+    }
+    if (any_victims) pipeline_->Drain();
+  }
   std::vector<size_t> victim_counts;
   victim_counts.reserve(live.size());
   for (PendingCommit* member : live) {
@@ -237,6 +284,38 @@ void ParallelEngine::ExecuteBatch(const std::vector<PendingCommit*>& batch) {
     const size_t bucket =
         std::min(live.size(), stats_.batch_size_histogram.size() - 1);
     ++stats_.batch_size_histogram[bucket];
+    if (options_.adaptive_batch_limit && stats_.commit_batches % 64 == 0) {
+      // Window the controller on the last 64 batches: saturated batches
+      // (histogram buckets at/above the current limit), total batches,
+      // and sequencer stall, as deltas against the previous evaluation.
+      const size_t current =
+          effective_batch_limit_.load(std::memory_order_relaxed);
+      uint64_t saturated = 0;
+      for (size_t b =
+               std::min(current, stats_.batch_size_histogram.size() - 1);
+           b < stats_.batch_size_histogram.size(); ++b) {
+        saturated += stats_.batch_size_histogram[b];
+      }
+      const uint64_t stall_ns =
+          sequencer_stall_ns_.load(std::memory_order_relaxed);
+      AdaptiveBatchSignals window;
+      // The saturation bucket moves when the limit changes, so the
+      // cumulative count can shrink across evaluations; clamp at zero.
+      window.saturated_batches =
+          saturated >= adapt_last_saturated_ ? saturated - adapt_last_saturated_
+                                             : 0;
+      window.total_batches = stats_.commit_batches - adapt_last_batches_;
+      window.stall_micros = (stall_ns - adapt_last_stall_ns_) / 1000;
+      adapt_last_saturated_ = saturated;
+      adapt_last_batches_ = stats_.commit_batches;
+      adapt_last_stall_ns_ = stall_ns;
+      const size_t next = ComputeAdaptiveBatchLimit(
+          window, current, /*floor_limit=*/1, /*ceiling=*/64);
+      if (next != current) {
+        effective_batch_limit_.store(next, std::memory_order_relaxed);
+        ++stats_.adaptive_batch_adjustments;
+      }
+    }
   }
 }
 
@@ -244,6 +323,8 @@ ParallelEngine::ParallelEngine(WorkingMemory* wm, RuleSetPtr rules,
                                ParallelEngineOptions options)
     : wm_(wm), rules_(std::move(rules)), options_(options) {
   commit_seq_ = options_.start_seq;
+  effective_batch_limit_.store(std::max<size_t>(1, options_.commit_batch_limit),
+                               std::memory_order_relaxed);
   DBPS_CHECK(wm_ != nullptr);
   DBPS_CHECK(rules_ != nullptr);
   DBPS_CHECK_GT(options_.num_workers, 0u);
@@ -259,6 +340,12 @@ StatusOr<RunResult> ParallelEngine::Run() {
     match_options.num_workers = std::max<size_t>(1, options_.match_workers);
     match_options.inner = options_.base.matcher;
     match_options.shadow_check = options_.match_shadow_check;
+    match_options.split_hot = options_.match_split;
+    match_options.split_ways = options_.match_split_ways;
+    match_options.split_streak = options_.match_split_streak;
+    match_options.split_share = options_.match_split_share;
+    match_options.rehome = options_.match_rehome;
+    match_options.rehome_streak = options_.match_rehome_streak;
     auto partitioned = std::make_unique<PartitionedMatcher>(match_options);
     partitioned_matcher_ = partitioned.get();
     matcher_ = std::move(partitioned);
@@ -266,6 +353,9 @@ StatusOr<RunResult> ParallelEngine::Run() {
     matcher_ = CreateMatcher(options_.base.matcher);
   }
   DBPS_RETURN_NOT_OK(matcher_->Initialize(rules_, *wm_));
+  if (partitioned_matcher_ != nullptr && options_.match_pipeline) {
+    pipeline_ = std::make_unique<MatchPipeline>(partitioned_matcher_);
+  }
 
   LockManager::Options lock_options;
   lock_options.protocol = options_.protocol;
@@ -294,12 +384,25 @@ StatusOr<RunResult> ParallelEngine::Run() {
   // only stable once the pipeline is empty).
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return ext_inflight_ == 0; });
+  if (pipeline_ != nullptr) {
+    // The log and commit_seq_ were stable at worker exit; the matcher's
+    // own stats are not until queued propagation finishes. Destroying the
+    // pipeline drains it and joins the thread.
+    pipeline_->Drain();
+    const MatchPipeline::Stats pipeline_stats = pipeline_->stats();
+    stats_.match_pipeline_batches = pipeline_stats.batches;
+    stats_.match_pipeline_drains = pipeline_stats.drains;
+    stats_.match_pipeline_stall_micros = pipeline_stats.stall_ns / 1000;
+    pipeline_.reset();
+  }
   stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
   stats_.peak_parallel_executions = peak_executing_.load();
   stats_.backoff_micros = backoff_micros_.load();
   stats_.commit_tickets = sequencer_.tickets_issued();
   stats_.sequencer_stall_micros =
       sequencer_stall_ns_.load(std::memory_order_relaxed) / 1000;
+  stats_.effective_batch_limit =
+      effective_batch_limit_.load(std::memory_order_relaxed);
   // (DisableAll resets the cumulative counter; saturate instead of
   // underflowing if that happened mid-run.)
   const uint64_t faults_now = FailpointRegistry::Instance().total_fires();
@@ -321,6 +424,9 @@ StatusOr<RunResult> ParallelEngine::Run() {
     stats_.match_handoffs = match_stats.handoffs;
     stats_.match_propagate_micros = match_stats.propagate_wall_ns / 1000;
     stats_.match_merge_micros = match_stats.merge_ns / 1000;
+    stats_.match_splits = match_stats.splits;
+    stats_.match_rehomes = match_stats.rehomes;
+    stats_.match_rehome_skips = match_stats.rehome_skips;
     for (size_t i = 0; i < match_stats.skew_histogram.size(); ++i) {
       stats_.match_skew_histogram[i] = match_stats.skew_histogram[i];
     }
@@ -330,7 +436,8 @@ StatusOr<RunResult> ParallelEngine::Run() {
          match_stats.partitions) {
       stats_.match_partitions.push_back(
           MatchPartitionCounters{part.rules, part.morsels, part.wmes_routed,
-                                 part.handoffs, part.propagate_ns});
+                                 part.handoffs, part.propagate_ns,
+                                 part.subs});
     }
     // A shadow-check divergence means the parallel matcher broke the
     // serial-equivalence contract: fail the whole run, loudly.
@@ -347,6 +454,19 @@ void ParallelEngine::WorkerLoop(size_t worker_index) {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
         if (done_) return;
+        // Match/commit pipelining: the conflict set must reflect every
+        // committed batch before this worker selects — same selection
+        // order as the inline path, and (with the same termination
+        // argument) the run cannot be declared done with propagation
+        // still queued: Submits happen-before in_flight_/ext_inflight_
+        // decrements, which take mu_, which we hold from here through
+        // the done_ decision below.
+        if (pipeline_ != nullptr && !pipeline_->Idle()) {
+          lock.unlock();
+          pipeline_->Drain();
+          lock.lock();
+          continue;
+        }
         const bool may_claim =
             !halted_ && stats_.firings < options_.base.max_firings;
         if (may_claim) {

@@ -60,6 +60,7 @@
 #include <unordered_map>
 
 #include "engine/engine.h"
+#include "engine/match_pipeline.h"
 #include "lock/lock_manager.h"
 #include "rules/rule.h"
 #include "util/statusor.h"
@@ -146,6 +147,35 @@ struct ParallelEngineOptions {
   /// a full serial matcher and fail the run on the first conflict-set
   /// divergence. Expensive; chaos/differential tests only.
   bool match_shadow_check = false;
+  // --- Skew adaptation (partitioned matcher only) -----------------------
+  /// Split a hot partition's alpha memories by value-hash of the tested
+  /// first-CE attribute into `match_split_ways` sub-partitions, each with
+  /// its own inner matcher, once its share of routed WMEs stays >=
+  /// `match_split_share` for `match_split_streak` consecutive batches.
+  /// Canonical (partition, sub-partition, call-order) merge keeps
+  /// journals byte-identical. Ignored when matching runs serial.
+  bool match_split = false;
+  size_t match_split_ways = 4;
+  size_t match_split_streak = 4;
+  double match_split_share = 0.6;
+  /// Rebuild the rule→partition homing map at a pinned snapshot CSN
+  /// (quiescent point between batches) when the skew histogram saturates
+  /// bin 9 for `match_rehome_streak` consecutive batches.
+  bool match_rehome = false;
+  size_t match_rehome_streak = 16;
+  /// Route committed batches to the matcher through a dedicated
+  /// propagation thread so batch N's match propagation overlaps batch
+  /// N+1's lock acquisition and victim collection. Workers drain the
+  /// pipeline before claiming the next firing (and before revalidate
+  /// settling), so selection order — and the journal — stay byte-
+  /// identical to the inline path. Ignored when matching runs serial.
+  bool match_pipeline = false;
+  /// Self-tune the effective commit batch limit from the observed
+  /// batch-size histogram and sequencer stall time (engine/
+  /// adaptive_batch.h): `commit_batch_limit` is the starting point and
+  /// the controller moves the effective limit within [1, 64] by powers
+  /// of two. Off = the fixed knob, as the ablation baseline.
+  bool adaptive_batch_limit = false;
   /// Emit full audit evidence (`;a(...)`) only on every Nth commit
   /// (0/1 = every commit, the default). Sampled journals stay replayable
   /// and order-checkable; the auditor treats unaudited lines as
@@ -397,6 +427,9 @@ class ParallelEngine {
   /// > 1 on a partitionable algorithm); used for stats harvest and the
   /// shadow-check verdict at the end of the run.
   PartitionedMatcher* partitioned_matcher_ = nullptr;
+  /// Non-null iff match_pipeline is armed on a partitioned matcher; owns
+  /// the dedicated propagation thread (engine/match_pipeline.h).
+  std::unique_ptr<MatchPipeline> pipeline_;
   std::unique_ptr<LockManager> lock_manager_;
 
   /// Worker-scheduling mutex: guards in_flight_, done_, halted_, stats_,
@@ -419,6 +452,16 @@ class ParallelEngine {
   EngineStats stats_;
   CommitSequencer sequencer_;
   std::atomic<uint64_t> sequencer_stall_ns_{0};
+  /// Batch limit the sequencer folds to. Equals the configured
+  /// commit_batch_limit unless adaptive_batch_limit is armed, in which
+  /// case the ordered commit stage republishes it every stats window
+  /// (ComputeAdaptiveBatchLimit) and committers read it per commit.
+  std::atomic<size_t> effective_batch_limit_{1};
+  /// Controller window baselines; only the ordered commit stage (one
+  /// thread at a time) touches them.
+  uint64_t adapt_last_batches_ = 0;
+  uint64_t adapt_last_saturated_ = 0;
+  uint64_t adapt_last_stall_ns_ = 0;
   /// Only the ordered commit stage (one thread at a time, by ticket)
   /// touches these; Run() reads them after the pipeline drains.
   uint64_t commit_seq_ = 0;  ///< total commits (firings + client txns)

@@ -118,7 +118,7 @@ LockManager::LockManager(Options options) : options_(std::move(options)) {
 }
 
 size_t LockManager::ShardIndex(SymbolId relation) const {
-  return static_cast<size_t>(Mix64(relation)) % shards_.size();
+  return RouteMix(relation, shards_.size());
 }
 
 size_t LockManager::FastSlotIndex(const LockObjectId& object) {

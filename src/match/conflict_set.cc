@@ -15,6 +15,7 @@ void ConflictSet::Activate(InstPtr inst) {
     sink_->push_back(ConflictEvent{true, std::move(inst), std::move(key)});
     return;
   }
+  if (refraction_ && fired_.count(key) != 0) return;
   active_.emplace(std::move(key), Entry{std::move(inst), next_seq_++});
 }
 
@@ -26,6 +27,7 @@ void ConflictSet::Deactivate(const InstKey& key) {
   }
   active_.erase(key);
   claimed_.erase(key);
+  fired_.erase(key);
 }
 
 void ConflictSet::SetEventSink(std::vector<ConflictEvent>* events) {
@@ -63,6 +65,13 @@ void ConflictSet::MarkFired(const InstKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   active_.erase(key);
   claimed_.erase(key);
+  if (refraction_) fired_.insert(key);
+}
+
+void ConflictSet::EnableRefractionMemory(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  refraction_ = enabled;
+  if (!enabled) fired_.clear();
 }
 
 std::vector<InstPtr> ConflictSet::Snapshot() const {

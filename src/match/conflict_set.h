@@ -72,8 +72,20 @@ class ConflictSet {
   /// No-op if the key is no longer active (it was invalidated meanwhile).
   void Unclaim(const InstKey& key);
 
-  /// Marks a claimed instantiation as fired: removes it entirely.
+  /// Marks a claimed instantiation as fired: removes it entirely. With
+  /// refraction memory enabled, also records a tombstone so a later
+  /// re-activation of the same key (e.g. a quiescent-point rebuild of
+  /// partition matchers re-deriving a fired-but-still-satisfied
+  /// instantiation) is suppressed instead of re-entering the set.
   void MarkFired(const InstKey& key);
+
+  /// Enables refraction tombstones (see MarkFired). Off by default: the
+  /// serial matchers never re-derive a fired instantiation, so only the
+  /// skew-adaptive partitioned matcher (whose split/re-home rebuilds
+  /// re-scan state from a snapshot) needs it. A Deactivate erases the
+  /// key's tombstone — the LHS ceased to hold, so any later activation
+  /// is a genuinely new episode, matching serial negated-CE semantics.
+  void EnableRefractionMemory(bool enabled);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -116,6 +128,10 @@ class ConflictSet {
   mutable std::mutex mu_;
   std::unordered_map<InstKey, Entry, InstKeyHash> active_;
   std::unordered_set<InstKey, InstKeyHash> claimed_;
+  /// Refraction tombstones (EnableRefractionMemory): keys fired but not
+  /// yet deactivated; Activate on them is suppressed.
+  std::unordered_set<InstKey, InstKeyHash> fired_;
+  bool refraction_ = false;
   uint64_t next_seq_ = 0;
   std::vector<ConflictEvent>* sink_ = nullptr;
 };

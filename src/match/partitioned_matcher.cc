@@ -6,6 +6,7 @@
 
 #include "util/hash.h"
 #include "util/logging.h"
+#include "value/value.h"
 
 namespace dbps {
 
@@ -32,6 +33,13 @@ std::string FirstDiffLine(const std::string& a, const std::string& b) {
   }
 }
 
+/// Sub-partition of a WME under value-hash splitting: the same RouteMix
+/// the relation→partition and relation→lock-shard routes use, over the
+/// value hash of the relation's split field.
+size_t SubOfWme(const WmePtr& wme, size_t field, size_t num_subs) {
+  return RouteMix(ValueHash{}(wme->value(field)), num_subs);
+}
+
 }  // namespace
 
 PartitionedMatcher::PartitionedMatcher(Options options)
@@ -41,6 +49,9 @@ PartitionedMatcher::PartitionedMatcher(Options options)
          "live WM and reads its own conflict set)";
   options_.num_partitions = std::max<size_t>(1, options_.num_partitions);
   options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  options_.split_ways = std::max<size_t>(2, options_.split_ways);
+  options_.split_streak = std::max<uint64_t>(1, options_.split_streak);
+  options_.rehome_streak = std::max<uint64_t>(1, options_.rehome_streak);
   partitions_.resize(options_.num_partitions);
   stats_.partitions.resize(options_.num_partitions);
   if (options_.num_workers > 1) {
@@ -54,35 +65,28 @@ PartitionedMatcher::~PartitionedMatcher() {
   // the sinks first or they would write into the sibling `events`
   // member, which is destroyed before `matcher` is.
   for (Partition& part : partitions_) {
-    if (part.matcher != nullptr) {
-      part.matcher->conflict_set().SetEventSink(nullptr);
+    for (SubPartition& sub : part.subs) {
+      if (sub.matcher != nullptr) {
+        sub.matcher->conflict_set().SetEventSink(nullptr);
+      }
     }
   }
 }
 
 size_t PartitionedMatcher::PartitionOfRelation(SymbolId relation) const {
-  return static_cast<size_t>(Mix64(relation)) % partitions_.size();
+  return RouteMix(relation, partitions_.size());
 }
 
-Status PartitionedMatcher::Initialize(RuleSetPtr rules,
-                                      const WorkingMemory& wm) {
-  DBPS_CHECK(!initialized_) << "Initialize called twice";
-  initialized_ = true;
-  if (rules == nullptr) {
-    return Status::InvalidArgument("PartitionedMatcher: null rule set");
-  }
-  // Partition rules by the relation hash of their first condition element
-  // and record, per relation, every partition consuming it.
-  for (const RulePtr& rule : rules->rules()) {
+Status PartitionedMatcher::HomeRules() {
+  for (const RulePtr& rule : rules_->rules()) {
     if (rule->conditions().empty()) {
       return Status::InvalidArgument("rule '" + rule->name() +
                                      "' has no conditions");
     }
-    const size_t home = PartitionOfRelation(rule->conditions().front().relation);
+    const size_t home = home_of_.at(rule->name());
     Partition& part = partitions_[home];
     if (part.rules == nullptr) part.rules = std::make_shared<RuleSet>();
     DBPS_RETURN_NOT_OK(part.rules->Add(rule));
-    stats_.partitions[home].rules++;
     part.counters.rules++;
     for (const Condition& cond : rule->conditions()) {
       std::vector<uint32_t>& list = consumers_[cond.relation];
@@ -95,17 +99,134 @@ Status PartitionedMatcher::Initialize(RuleSetPtr rules,
   for (auto& [relation, list] : consumers_) {
     std::sort(list.begin(), list.end());
   }
+  return Status::OK();
+}
 
-  // Build every non-empty partition's inner matcher at ONE pinned
-  // snapshot CSN, in parallel, capturing initial activations.
+void PartitionedMatcher::AnalyzeSplittability(Partition& part) {
+  part.split_field.clear();
+  part.splittable = false;
+  if (part.rules == nullptr || wm_ == nullptr) return;
+
+  const Catalog& catalog = wm_->catalog();
+  auto arity_of = [&](SymbolId rel) -> size_t {
+    auto schema = catalog.GetRelation(rel);
+    return schema.ok() ? (*schema)->arity() : 0;
+  };
+  // Tries to pin `rel` to split field `f` against the agreed map plus
+  // this rule's tentative additions.
+  auto assign = [](std::unordered_map<SymbolId, size_t>& tentative,
+                   const std::unordered_map<SymbolId, size_t>& agreed,
+                   SymbolId rel, size_t f) {
+    auto it = agreed.find(rel);
+    if (it != agreed.end()) return it->second == f;
+    auto [t, inserted] = tentative.emplace(rel, f);
+    return inserted || t->second == f;
+  };
+
+  std::unordered_map<SymbolId, size_t> field;  // agreed split fields
+  for (const RulePtr& rule : part.rules->rules()) {
+    const auto& conds = rule->conditions();
+    // The first CE anchors routing: it must be positive, and every other
+    // CE (positive or negated) must equality-join one of its fields
+    // directly, so all of an instantiation's WMEs — and every negated-CE
+    // blocker — value-hash to the same sub-partition.
+    if (conds.front().negated) return;
+    if (conds.size() == 1) continue;  // no cross-CE constraint
+    bool rule_ok = false;
+    const size_t arity0 = arity_of(conds.front().relation);
+    for (size_t f0 = 0; f0 < arity0 && !rule_ok; ++f0) {
+      std::unordered_map<SymbolId, size_t> tentative;
+      if (!assign(tentative, field, conds.front().relation, f0)) continue;
+      bool all = true;
+      for (size_t j = 1; j < conds.size() && all; ++j) {
+        bool ce_ok = false;
+        // Candidate local fields joining CE j to CE 0 on f0, ascending.
+        std::vector<size_t> cand;
+        for (const JoinTest& test : conds[j].join_tests) {
+          if (test.pred == TestPredicate::kEq && test.other_ce == 0 &&
+              test.other_field == f0) {
+            cand.push_back(test.field);
+          }
+        }
+        std::sort(cand.begin(), cand.end());
+        for (size_t fj : cand) {
+          if (assign(tentative, field, conds[j].relation, fj)) {
+            ce_ok = true;
+            break;
+          }
+        }
+        all = ce_ok;
+      }
+      if (all) {
+        field.insert(tentative.begin(), tentative.end());
+        rule_ok = true;
+      }
+    }
+    if (!rule_ok) return;
+  }
+  // Unconstrained consumed relations (single-CE rules): any field
+  // partitions their WMEs disjointly; field 0 is the canonical pick.
+  for (const RulePtr& rule : part.rules->rules()) {
+    for (const Condition& cond : rule->conditions()) {
+      if (field.count(cond.relation) != 0) continue;
+      if (arity_of(cond.relation) == 0) return;
+      field.emplace(cond.relation, 0);
+    }
+  }
+  part.split_field = std::move(field);
+  part.splittable = true;
+}
+
+Status PartitionedMatcher::BuildPartitionMatchers(const WmSnapshot& snap) {
   std::vector<size_t> work;
   for (size_t i = 0; i < partitions_.size(); ++i) {
     Partition& part = partitions_[i];
     if (part.rules == nullptr) continue;
-    part.matcher = CreateMatcher(options_.inner);
-    part.matcher->conflict_set().SetEventSink(&part.events);
+    part.subs.clear();
+    part.subs.resize(1);
+    part.subs[0].matcher = CreateMatcher(options_.inner);
+    part.subs[0].matcher->conflict_set().SetEventSink(&part.subs[0].events);
+    part.counters.subs = 1;
     work.push_back(i);
   }
+  std::vector<Status> statuses(partitions_.size(), Status::OK());
+  RunMorsels(work.size(), [&](size_t w) {
+    const size_t i = work[w];
+    statuses[i] =
+        partitions_[i].subs[0].matcher->InitializeAt(partitions_[i].rules, snap);
+  });
+  for (const Status& status : statuses) DBPS_RETURN_NOT_OK(status);
+  return Status::OK();
+}
+
+Status PartitionedMatcher::Initialize(RuleSetPtr rules,
+                                      const WorkingMemory& wm) {
+  DBPS_CHECK(!initialized_) << "Initialize called twice";
+  initialized_ = true;
+  if (rules == nullptr) {
+    return Status::InvalidArgument("PartitionedMatcher: null rule set");
+  }
+  rules_ = rules;
+  wm_ = &wm;
+  // Default homing: relation hash of the first condition element.
+  for (const RulePtr& rule : rules_->rules()) {
+    if (rule->conditions().empty()) {
+      return Status::InvalidArgument("rule '" + rule->name() +
+                                     "' has no conditions");
+    }
+    home_of_[rule->name()] = static_cast<uint32_t>(
+        PartitionOfRelation(rule->conditions().front().relation));
+  }
+  DBPS_RETURN_NOT_OK(HomeRules());
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    AnalyzeSplittability(partitions_[i]);
+  }
+  // Quiescent rebuilds re-derive fired-but-still-satisfied
+  // instantiations; refraction tombstones keep them out of the set.
+  if (options_.split_hot || options_.rehome) {
+    conflict_set_.EnableRefractionMemory(true);
+  }
+
   // The shadow must exist BEFORE the first MergeEvents so initial
   // activations reach the mirror set too.
   if (options_.shadow_check) {
@@ -113,13 +234,10 @@ Status PartitionedMatcher::Initialize(RuleSetPtr rules,
     DBPS_RETURN_NOT_OK(shadow_->Initialize(rules, wm));
   }
 
+  // Build every non-empty partition's inner matcher at ONE pinned
+  // snapshot CSN, in parallel, capturing initial activations.
   const WmSnapshot snap = wm.SnapshotAt();
-  std::vector<Status> statuses(partitions_.size(), Status::OK());
-  RunMorsels(work, [&](size_t i) {
-    statuses[i] =
-        partitions_[i].matcher->InitializeAt(partitions_[i].rules, snap);
-  });
-  for (const Status& status : statuses) DBPS_RETURN_NOT_OK(status);
+  DBPS_RETURN_NOT_OK(BuildPartitionMatchers(snap));
   MergeEvents();
 
   if (shadow_ != nullptr) CheckShadow("initialize");
@@ -131,39 +249,57 @@ void PartitionedMatcher::ApplyChange(const WmChange& change) {
 }
 
 void PartitionedMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
+  ApplyChangesAt(changes, WmSnapshot());
+}
+
+void PartitionedMatcher::ApplyChangesAt(const std::vector<WmChange>& changes,
+                                        const WmSnapshot& snap) {
   DBPS_CHECK(initialized_) << "ApplyChanges before Initialize";
   const size_t num_parts = partitions_.size();
   stats_.batches++;
 
-  // Route: split each change into per-partition sub-changes, preserving
-  // the change's removed/added grouping (and CSN) so every inner matcher
-  // sees the serial change stream restricted to its rules.
+  // Route: split each change into per-(partition, sub) sub-changes,
+  // preserving the change's removed/added grouping (and CSN) so every
+  // inner matcher sees the serial change stream restricted to its rules
+  // and — under value-hash splitting — its key share.
   std::vector<uint64_t> routed(num_parts, 0);
-  std::vector<WmChange*> scratch(num_parts);
+  std::vector<std::vector<WmChange*>> scratch(num_parts);
+  for (size_t i = 0; i < num_parts; ++i) {
+    scratch[i].resize(std::max<size_t>(1, partitions_[i].subs.size()));
+  }
   uint64_t total_routed = 0;
   auto route = [&](const WmChange& change, const WmePtr& wme, bool removed) {
     const auto it = consumers_.find(wme->relation());
     if (it == consumers_.end()) return;  // no rule consumes this relation
+    routed_load_[wme->relation()]++;
     const size_t home = PartitionOfRelation(wme->relation());
     for (const uint32_t consumer : it->second) {
-      WmChange*& sub = scratch[consumer];
+      Partition& part = partitions_[consumer];
+      size_t sub_idx = 0;
+      if (part.subs.size() > 1) {
+        sub_idx = SubOfWme(wme, part.split_field.at(wme->relation()),
+                           part.subs.size());
+      }
+      WmChange*& sub = scratch[consumer][sub_idx];
       if (sub == nullptr) {
-        partitions_[consumer].queue.emplace_back();
-        sub = &partitions_[consumer].queue.back();
+        part.subs[sub_idx].queue.emplace_back();
+        sub = &part.subs[sub_idx].queue.back();
         sub->csn = change.csn;
       }
       (removed ? sub->removed : sub->added).push_back(wme);
-      partitions_[consumer].counters.wmes_routed++;
+      part.counters.wmes_routed++;
       routed[consumer]++;
       total_routed++;
       if (consumer != home) {
-        partitions_[consumer].counters.handoffs++;
+        part.counters.handoffs++;
         stats_.handoffs++;
       }
     }
   };
   for (const WmChange& change : changes) {
-    std::fill(scratch.begin(), scratch.end(), nullptr);
+    for (auto& per_part : scratch) {
+      std::fill(per_part.begin(), per_part.end(), nullptr);
+    }
     for (const WmePtr& wme : change.removed) route(change, wme, true);
     for (const WmePtr& wme : change.added) route(change, wme, false);
   }
@@ -175,27 +311,41 @@ void PartitionedMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
     const size_t bin = std::min<size_t>(
         9, static_cast<size_t>((10 * max_routed) / total_routed));
     stats_.skew_histogram[bin]++;
-
-    // Parallel phase: one morsel per non-empty partition.
-    std::vector<size_t> work;
+    bin9_streak_ = bin == 9 ? bin9_streak_ + 1 : 0;
     for (size_t i = 0; i < num_parts; ++i) {
-      if (!partitions_[i].queue.empty()) work.push_back(i);
+      const bool hot =
+          static_cast<double>(routed[i]) >=
+          options_.split_share * static_cast<double>(total_routed);
+      partitions_[i].hot_streak = hot ? partitions_[i].hot_streak + 1 : 0;
     }
+
+    // Parallel phase: one morsel per non-empty (partition, sub).
+    std::vector<std::pair<size_t, size_t>> work;
+    for (size_t i = 0; i < num_parts; ++i) {
+      for (size_t s = 0; s < partitions_[i].subs.size(); ++s) {
+        if (!partitions_[i].subs[s].queue.empty()) work.emplace_back(i, s);
+      }
+    }
+    // Morsel timings fold after the barrier: two subs of one partition
+    // may run concurrently, so workers must not share a counters struct.
+    std::vector<uint64_t> morsel_ns(work.size(), 0);
     const uint64_t wall_start = NowNs();
-    RunMorsels(work, [&](size_t i) {
-      Partition& part = partitions_[i];
+    RunMorsels(work.size(), [&](size_t w) {
+      auto [i, s] = work[w];
+      SubPartition& sub = partitions_[i].subs[s];
       const uint64_t start = NowNs();
-      part.matcher->ApplyChanges(part.queue);
-      const uint64_t elapsed = NowNs() - start;
-      part.counters.morsels++;
-      part.counters.propagate_ns += elapsed;
-      stats_.partitions[i].morsels++;
-      stats_.partitions[i].propagate_ns += elapsed;
+      sub.matcher->ApplyChanges(sub.queue);
+      morsel_ns[w] = NowNs() - start;
     });
     stats_.propagate_wall_ns += NowNs() - wall_start;
     stats_.morsels += work.size();
+    for (size_t w = 0; w < work.size(); ++w) {
+      Partition& part = partitions_[work[w].first];
+      part.counters.morsels++;
+      part.counters.propagate_ns += morsel_ns[w];
+    }
 
-    // Canonical merge on the calling (committer) thread.
+    // Canonical merge on the calling thread.
     const uint64_t merge_start = NowNs();
     MergeEvents();
     stats_.merge_ns += NowNs() - merge_start;
@@ -205,15 +355,181 @@ void PartitionedMatcher::ApplyChanges(const std::vector<WmChange>& changes) {
     shadow_->ApplyChanges(changes);
     CheckShadow("batch");
   }
+
+  // Skew adaptation at the quiescent point after this batch's
+  // propagation: re-home takes priority (it resets split state; hot
+  // streaks re-trigger splits afterwards if the skew persists).
+  if (total_routed > 0 && (options_.split_hot || options_.rehome)) {
+    const bool want_rehome =
+        options_.rehome && bin9_streak_ >= options_.rehome_streak;
+    std::vector<size_t> to_split;
+    if (!want_rehome && options_.split_hot) {
+      for (size_t i = 0; i < num_parts; ++i) {
+        Partition& part = partitions_[i];
+        if (part.splittable && part.subs.size() == 1 &&
+            part.hot_streak >= options_.split_streak) {
+          to_split.push_back(i);
+        }
+      }
+    }
+    if (want_rehome || !to_split.empty()) {
+      // Rebuilds read WM state as of right after this batch's applies:
+      // the caller's pinned snapshot when provided (pipelined mode,
+      // where live WM may have advanced), else a self-pinned one.
+      WmSnapshot local;
+      const WmSnapshot* at = &snap;
+      if (!snap.valid()) {
+        local = wm_->SnapshotAt();
+        at = &local;
+      }
+      if (want_rehome) {
+        const Status status = Rehome(*at);
+        DBPS_CHECK(status.ok()) << "re-home rebuild failed: "
+                                << status.ToString();
+      } else {
+        for (size_t i : to_split) {
+          const Status status = SplitPartition(i, *at);
+          DBPS_CHECK(status.ok()) << "hot-partition split failed: "
+                                  << status.ToString();
+        }
+      }
+      // Rebuild-derived activations are no-ops / refraction-suppressed;
+      // replay them through the same canonical merge regardless.
+      MergeEvents();
+      if (shadow_ != nullptr) CheckShadow("rebuild");
+    }
+  }
 }
 
-void PartitionedMatcher::RunMorsels(const std::vector<size_t>& work,
+Status PartitionedMatcher::SplitPartition(size_t i, const WmSnapshot& snap) {
+  Partition& part = partitions_[i];
+  const size_t ways = options_.split_ways;
+
+  // Relations this partition consumes, sorted for a deterministic feed.
+  std::vector<SymbolId> relations;
+  for (const auto& [rel, field] : part.split_field) relations.push_back(rel);
+  std::sort(relations.begin(), relations.end());
+
+  // Tear down the unsplit matcher (detached sink: teardown deactivations
+  // are state disposal, not conflict-set events).
+  for (SubPartition& sub : part.subs) {
+    if (sub.matcher != nullptr) {
+      sub.matcher->conflict_set().SetEventSink(nullptr);
+    }
+  }
+  part.subs.clear();
+  part.subs.resize(ways);
+  for (SubPartition& sub : part.subs) {
+    sub.schema_wm = wm_->CloneSchemaOnly();
+    sub.matcher = CreateMatcher(options_.inner);
+    sub.matcher->conflict_set().SetEventSink(&sub.events);
+    DBPS_RETURN_NOT_OK(
+        sub.matcher->InitializeAt(part.rules, sub.schema_wm->SnapshotAt()));
+  }
+
+  // Feed each sub its value-hash share of the snapshot as one add-batch
+  // (the AddWme path is exactly the snapshot-init scan path).
+  std::vector<WmChange> feed(ways);
+  for (WmChange& change : feed) change.csn = snap.csn();
+  for (SymbolId rel : relations) {
+    const size_t field = part.split_field.at(rel);
+    std::vector<WmePtr> wmes = snap.Scan(rel);
+    std::sort(wmes.begin(), wmes.end(),
+              [](const WmePtr& a, const WmePtr& b) { return a->id() < b->id(); });
+    for (WmePtr& wme : wmes) {
+      const size_t s = SubOfWme(wme, field, ways);
+      feed[s].added.push_back(std::move(wme));
+    }
+  }
+  std::vector<size_t> work;
+  for (size_t s = 0; s < ways; ++s) {
+    if (!feed[s].added.empty()) work.push_back(s);
+  }
+  RunMorsels(work.size(), [&](size_t w) {
+    const size_t s = work[w];
+    part.subs[s].matcher->ApplyChange(feed[s]);
+  });
+
+  part.counters.subs = ways;
+  part.hot_streak = 0;
+  stats_.splits++;
+  return Status::OK();
+}
+
+Status PartitionedMatcher::Rehome(const WmSnapshot& snap) {
+  // Rule load proxy: its first relation's cumulative routed load, split
+  // evenly among the rules sharing that first relation (+1 so zero-load
+  // rules still balance by count).
+  std::unordered_map<SymbolId, uint64_t> n_first;
+  for (const RulePtr& rule : rules_->rules()) {
+    n_first[rule->conditions().front().relation]++;
+  }
+  struct Item {
+    RulePtr rule;
+    double load;
+  };
+  std::vector<Item> items;
+  for (const RulePtr& rule : rules_->rules()) {
+    const SymbolId first = rule->conditions().front().relation;
+    const auto it = routed_load_.find(first);
+    const double rel_load =
+        it == routed_load_.end() ? 0.0 : static_cast<double>(it->second);
+    items.push_back(Item{rule, rel_load / static_cast<double>(n_first[first]) + 1.0});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.load != b.load) return a.load > b.load;
+    return a.rule->name() < b.rule->name();
+  });
+  std::vector<double> load(partitions_.size(), 0.0);
+  std::unordered_map<std::string, uint32_t> new_home;
+  for (const Item& item : items) {
+    size_t best = 0;
+    for (size_t p = 1; p < load.size(); ++p) {
+      if (load[p] < load[best]) best = p;
+    }
+    new_home[item.rule->name()] = static_cast<uint32_t>(best);
+    load[best] += item.load;
+  }
+
+  bin9_streak_ = 0;
+  if (new_home == home_of_) {
+    // Anti-thrash: the greedy assignment already matches the current
+    // homing; nothing to rebuild.
+    stats_.rehome_skips++;
+    return Status::OK();
+  }
+  home_of_ = std::move(new_home);
+  stats_.rehomes++;
+
+  // Quiescent full rebuild at the pinned snapshot: tear every partition
+  // down in place and re-distribute + re-initialize.
+  for (Partition& part : partitions_) {
+    for (SubPartition& sub : part.subs) {
+      if (sub.matcher != nullptr) {
+        sub.matcher->conflict_set().SetEventSink(nullptr);
+      }
+    }
+    part.subs.clear();
+    part.rules = nullptr;
+    part.split_field.clear();
+    part.splittable = false;
+    part.hot_streak = 0;
+    part.counters.rules = 0;
+    part.counters.subs = 0;
+  }
+  consumers_.clear();
+  DBPS_RETURN_NOT_OK(HomeRules());
+  for (Partition& part : partitions_) AnalyzeSplittability(part);
+  return BuildPartitionMatchers(snap);
+}
+
+void PartitionedMatcher::RunMorsels(size_t n,
                                     const std::function<void(size_t)>& fn) {
-  if (pool_ == nullptr || work.size() <= 1) {
-    for (size_t i : work) fn(i);
+  if (pool_ == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  for (size_t i : work) {
+  for (size_t i = 0; i < n; ++i) {
     pool_->Submit([&fn, i] { fn(i); });
   }
   pool_->WaitIdle();
@@ -221,22 +537,23 @@ void PartitionedMatcher::RunMorsels(const std::vector<size_t>& work,
 
 void PartitionedMatcher::MergeEvents() {
   for (Partition& part : partitions_) {
-    for (ConflictEvent& event : part.events) {
-      if (event.activate) {
-        if (shadow_ != nullptr) mirror_.Activate(event.inst);
-        conflict_set_.Activate(std::move(event.inst));
-      } else {
-        if (shadow_ != nullptr) mirror_.Deactivate(event.key);
-        conflict_set_.Deactivate(event.key);
+    for (SubPartition& sub : part.subs) {
+      for (ConflictEvent& event : sub.events) {
+        if (event.activate) {
+          if (shadow_ != nullptr) mirror_.Activate(event.inst);
+          conflict_set_.Activate(std::move(event.inst));
+        } else {
+          if (shadow_ != nullptr) mirror_.Deactivate(event.key);
+          conflict_set_.Deactivate(event.key);
+        }
       }
+      sub.events.clear();
+      sub.queue.clear();
     }
-    part.events.clear();
-    part.queue.clear();
   }
   // Mirror per-partition running counters into the stats snapshot.
   for (size_t i = 0; i < partitions_.size(); ++i) {
-    stats_.partitions[i].wmes_routed = partitions_[i].counters.wmes_routed;
-    stats_.partitions[i].handoffs = partitions_[i].counters.handoffs;
+    stats_.partitions[i] = partitions_[i].counters;
   }
 }
 

@@ -1,48 +1,85 @@
 // PartitionedMatcher: morsel-parallel delta propagation over relation-
 // hash-partitioned match state (the paper's intra-batch match
-// parallelism, morsel scheduling after Leis et al.).
+// parallelism, morsel scheduling after Leis et al.), made skew-adaptive:
+// hot partitions split their match state by value hash and rules re-home
+// off saturated partitions at quiescent points.
 //
 // Structure
 //   * Rules are partitioned by the relation hash of their first condition
 //     element: home(rule) = Mix64(first CE's relation) % P — the same mix
 //     the lock manager uses for its shards, so a commit batch's
 //     DeltaWriteSet maps onto matcher partitions the way it maps onto
-//     lock shards. Each partition owns a complete, unmodified serial
-//     matcher (Rete or TREAT) built over just its rule subset: alpha
-//     memories, beta/join state and conflict-set insertion work for those
-//     rules live entirely inside the partition.
+//     lock shards. Each partition owns one or more complete, unmodified
+//     serial matchers (Rete or TREAT) built over just its rule subset:
+//     alpha memories, beta/join state and conflict-set insertion work for
+//     those rules live entirely inside the partition.
 //   * A WME change is routed to every partition whose rules consume its
 //     relation. A rule whose conditions span relations homed in other
 //     partitions receives those relations' WMEs as a cross-partition
 //     handoff (counted in stats; the join itself still runs entirely
 //     partition-locally, against the partition's own alpha memories).
-//   * Propagation is morsel-style: each non-empty partition's routed
-//     sub-batch is one morsel; a fixed worker pool drains the morsels,
-//     each running the inner matcher's ApplyChanges against
-//     partition-local state. `num_workers == 1` is the serial ablation —
-//     identical routing and merge, inline execution.
+//   * Propagation is morsel-style: each non-empty (partition,
+//     sub-partition) routed sub-batch is one morsel; a fixed worker pool
+//     drains the morsels, each running the inner matcher's ApplyChanges
+//     against sub-partition-local state. `num_workers == 1` is the serial
+//     ablation — identical routing and merge, inline execution.
+//
+// Skew adaptation (DESIGN §4.6)
+//   * Hot-partition value-hash splitting (`Options::split_hot`): when one
+//     partition's share of routed WMEs stays above `split_share` for
+//     `split_streak` consecutive batches, and the partition's rule subset
+//     is *split-eligible*, its match state is rebuilt as `split_ways`
+//     sub-partitions. Eligibility (AnalyzeSplittability): every multi-CE
+//     rule's later CEs must carry a direct equality join test against one
+//     agreed field f0 of the first CE, inducing one split field per
+//     consumed relation that is globally consistent across the
+//     partition's rules. Routing then sends each WME to sub-partition
+//     Mix64(ValueHash(wme[split_field[rel]])) % S; the join key equality
+//     guarantees every instantiation's WMEs (and every negated-CE
+//     blocker) land in exactly one sub-partition, so the union over subs
+//     equals the unsplit partition's matches. Because the inner Rete
+//     joins are linear scans over alpha/beta memories, a split partition
+//     does ~S× less join-scan work per routed WME even on one core.
+//   * Dynamic rule re-homing (`Options::rehome`): when the per-batch skew
+//     histogram saturates bin 9 for `rehome_streak` consecutive batches
+//     (several relations' rules hash-collided onto one partition), the
+//     rule→partition homing map is rebuilt greedily — rules sorted by
+//     their first relation's observed routed load, assigned least-loaded-
+//     first — and, if the assignment actually changes, every partition's
+//     match state is rebuilt at a pinned snapshot CSN between batches
+//     (quiescent-point rebuild; unchanged assignments are skipped to
+//     prevent thrash).
+//   * Rebuild soundness: a quiescent rebuild re-derives exactly the
+//     instantiations whose LHS holds at the pinned CSN. Replaying those
+//     activations into the shared conflict set is a no-op for keys
+//     already active; keys that FIRED but still hold would wrongly
+//     re-enter, so arming split/rehome enables the conflict set's
+//     refraction memory (fired tombstones, erased again on Deactivate —
+//     see ConflictSet::EnableRefractionMemory).
 //
 // Canonical merge order / equivalence with the serial matcher
 //   Partition-local matchers never mutate a shared conflict set directly:
-//   their Activate/Deactivate calls are captured as per-partition event
-//   buffers (ConflictSet::SetEventSink) while the morsels run. After the
-//   barrier, the committer thread replays the buffers onto the shared
-//   engine-facing set in canonical (partition ascending, per-partition
-//   call order) order. Because the rule partition is disjoint, every
-//   conflict-set key is produced by exactly one partition, and that
-//   partition emits the key's events in the same relative order as the
+//   their Activate/Deactivate calls are captured as per-sub-partition
+//   event buffers (ConflictSet::SetEventSink) while the morsels run.
+//   After the barrier, the committer thread replays the buffers onto the
+//   shared engine-facing set in canonical (partition ascending,
+//   sub-partition ascending, per-sub call order) order. Because the rule
+//   partition is disjoint and the value split is disjoint per key, every
+//   conflict-set key is produced by exactly one (partition, sub), and
+//   that sub emits the key's events in the same relative order as the
 //   serial matcher processing the same change stream restricted to its
-//   rules; the union over partitions therefore reaches the same final
-//   set contents as the serial matcher after every batch (time tags in
+//   rules and key share; the union therefore reaches the same final set
+//   contents as the serial matcher after every batch (time tags in
 //   instantiation keys come from the WMEs, not from match order). The
 //   differential tests assert byte-identical CanonicalDump()s; the
 //   optional shadow check re-asserts it in-process on every batch.
 //
-// Threading: ApplyChange/ApplyChanges must be called from one thread (the
-// engine's commit sequencer stage, as for the serial matchers); the
-// shared conflict_set() remains safe for concurrent Claim/Contains from
-// engine workers because all mutation happens in the single-threaded
-// merge phase through the ConflictSet's own mutex.
+// Threading: ApplyChange/ApplyChanges/ApplyChangesAt must be called from
+// one thread at a time (the engine's commit sequencer stage or its match
+// pipeline thread); the shared conflict_set() remains safe for
+// concurrent Claim/Contains from engine workers because all mutation
+// happens in the single-threaded merge phase through the ConflictSet's
+// own mutex.
 
 #ifndef DBPS_MATCH_PARTITIONED_MATCHER_H_
 #define DBPS_MATCH_PARTITIONED_MATCHER_H_
@@ -51,7 +88,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "match/matcher.h"
@@ -77,10 +116,25 @@ class PartitionedMatcher : public Matcher {
     /// shadow conflict sets must dump byte-identically. First mismatch
     /// is sticky in shadow_status(). Differential-test / chaos aid.
     bool shadow_check = false;
+
+    /// Arms hot-partition value-hash splitting (see file comment).
+    bool split_hot = false;
+    /// Sub-partitions a hot partition splits into (S).
+    size_t split_ways = 4;
+    /// Partition share of a batch's routed WMEs that counts as hot.
+    double split_share = 0.6;
+    /// Consecutive hot batches before a split-eligible partition splits.
+    uint64_t split_streak = 4;
+
+    /// Arms dynamic rule re-homing (see file comment).
+    bool rehome = false;
+    /// Consecutive skew-histogram-bin-9 batches before re-homing.
+    uint64_t rehome_streak = 16;
   };
 
   struct PartitionCounters {
     uint64_t rules = 0;        ///< rules homed in this partition
+    uint64_t subs = 0;         ///< current sub-partitions (1 = unsplit)
     uint64_t morsels = 0;      ///< non-empty sub-batches propagated
     uint64_t wmes_routed = 0;  ///< WME add/remove versions routed here
     uint64_t handoffs = 0;     ///< routed WMEs homed in another partition
@@ -94,6 +148,9 @@ class PartitionedMatcher : public Matcher {
     uint64_t handoffs = 0;          ///< total cross-partition handoffs
     uint64_t propagate_wall_ns = 0; ///< wall time of the parallel phase
     uint64_t merge_ns = 0;          ///< canonical merge into the shared set
+    uint64_t splits = 0;            ///< hot-partition value-hash splits
+    uint64_t rehomes = 0;           ///< quiescent-point homing rebuilds
+    uint64_t rehome_skips = 0;      ///< triggers whose assignment was unchanged
     /// Per-batch max partition share of routed WMEs, 10% bins: bin 9 ≈
     /// one partition got everything (skew), bin ~1/P ≈ perfectly spread.
     std::array<uint64_t, 10> skew_histogram{};
@@ -106,11 +163,26 @@ class PartitionedMatcher : public Matcher {
   void ApplyChange(const WmChange& change) override;
   void ApplyChanges(const std::vector<WmChange>& changes) override;
 
+  /// Like ApplyChanges, but any quiescent-point rebuild this batch
+  /// triggers (split / re-home) uses `snap` — a snapshot the caller
+  /// pinned at the CSN right after this batch's WM applies — instead of
+  /// pinning one from the live WM. The engine's match pipeline runs
+  /// propagation off the commit path, where the live WM may already have
+  /// advanced past this batch; shipping the pinned snapshot with the job
+  /// keeps rebuilds anchored to the state the matcher has actually seen.
+  /// An invalid (default) snapshot falls back to self-pinning, which is
+  /// correct whenever the caller runs propagation in commit order.
+  void ApplyChangesAt(const std::vector<WmChange>& changes,
+                      const WmSnapshot& snap);
+
   /// Home partition of `relation`: Mix64(relation) % num_partitions —
   /// deliberately the same function as LockManager::ShardIndex.
   size_t PartitionOfRelation(SymbolId relation) const;
 
   size_t num_partitions() const { return partitions_.size(); }
+
+  /// Current sub-partition count of partition `i` (1 = unsplit).
+  size_t num_subpartitions(size_t i) const { return partitions_[i].subs.size(); }
 
   /// Counters; call between batches (not thread-safe vs ApplyChanges).
   Stats GetStats() const { return stats_; }
@@ -119,23 +191,55 @@ class PartitionedMatcher : public Matcher {
   Status shadow_status() const { return shadow_status_; }
 
  private:
-  struct Partition {
-    std::shared_ptr<RuleSet> rules;        // subset homed here (may be null)
+  struct SubPartition {
     // `events` is the matcher's event sink and must outlive it: matcher
     // teardown deactivates live tokens, which writes into the sink.
     std::vector<ConflictEvent> events;     // captured mutations, call order
-    std::unique_ptr<Matcher> matcher;      // built iff rules non-empty
+    // Schema-only WM husk the matcher was snapshot-initialized against
+    // (split rebuilds start empty and are fed their routed share).
+    std::unique_ptr<WorkingMemory> schema_wm;
+    std::unique_ptr<Matcher> matcher;
     std::vector<WmChange> queue;           // this batch's routed sub-changes
+  };
+
+  struct Partition {
+    std::shared_ptr<RuleSet> rules;        // subset homed here (may be null)
+    std::vector<SubPartition> subs;        // size >= 1 iff rules non-null
+    /// Value-split routing field per consumed relation (valid iff
+    /// splittable; routing consults it only when subs.size() > 1).
+    std::unordered_map<SymbolId, size_t> split_field;
+    bool splittable = false;
+    uint64_t hot_streak = 0;               // consecutive >=split_share batches
     PartitionCounters counters;
   };
 
-  /// Runs `fn(partition_index)` for every index in `work`, on the pool
-  /// when it exists (WaitIdle barrier), inline otherwise.
-  void RunMorsels(const std::vector<size_t>& work,
-                  const std::function<void(size_t)>& fn);
+  /// Distributes `rules_` into partitions_ per home_of_ and rebuilds
+  /// consumers_; requires partitions_ freshly resized.
+  Status HomeRules();
 
-  /// Replays every partition's event buffer onto the shared set (and the
-  /// shadow mirror) in canonical (partition, call) order; clears buffers.
+  /// Computes split eligibility + per-relation split fields for `part`
+  /// (see file comment for the analysis).
+  void AnalyzeSplittability(Partition& part);
+
+  /// Creates every non-empty partition's sub 0 matcher and snapshot-
+  /// initializes it at `snap`, in parallel. Does not merge events.
+  Status BuildPartitionMatchers(const WmSnapshot& snap);
+
+  /// Rebuilds partition `i` as split_ways value-hash sub-partitions,
+  /// each snapshot-fed its routed share of `snap`. Quiescent point only.
+  Status SplitPartition(size_t i, const WmSnapshot& snap);
+
+  /// Recomputes the homing map from observed per-relation routed load;
+  /// if it changed, rebuilds every partition's match state at `snap`.
+  Status Rehome(const WmSnapshot& snap);
+
+  /// Runs `fn(i)` for every i in [0, n), on the pool when it exists
+  /// (WaitIdle barrier), inline otherwise.
+  void RunMorsels(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Replays every sub-partition's event buffer onto the shared set (and
+  /// the shadow mirror) in canonical (partition, sub, call) order;
+  /// clears buffers and queues.
   void MergeEvents();
 
   /// Shadow check: compares mirror vs shadow canonical dumps; sticky.
@@ -145,8 +249,17 @@ class PartitionedMatcher : public Matcher {
   std::vector<Partition> partitions_;
   /// relation -> partitions with at least one rule consuming it (sorted).
   std::unordered_map<SymbolId, std::vector<uint32_t>> consumers_;
+  /// rule name -> home partition (defaults to PartitionOfRelation of the
+  /// first CE's relation; diverges after a re-home).
+  std::unordered_map<std::string, uint32_t> home_of_;
+  /// Cumulative routed WME versions per relation (re-homing load proxy).
+  std::unordered_map<SymbolId, uint64_t> routed_load_;
+  uint64_t bin9_streak_ = 0;          // consecutive top-bin skew batches
   std::unique_ptr<ThreadPool> pool_;  // null when num_workers <= 1
   Stats stats_;
+
+  RuleSetPtr rules_;                  // full set (re-homing re-partitions it)
+  const WorkingMemory* wm_ = nullptr; // for self-pinned rebuild snapshots
 
   std::unique_ptr<Matcher> shadow_;  // full-ruleset serial reference
   ConflictSet mirror_;               // merged events replayed here too

@@ -507,6 +507,16 @@ std::unique_ptr<WorkingMemory> WorkingMemory::Clone() const {
   return copy;
 }
 
+std::unique_ptr<WorkingMemory> WorkingMemory::CloneSchemaOnly() const {
+  std::shared_lock lock(mu_);
+  auto copy = std::make_unique<WorkingMemory>();
+  copy->catalog_ = catalog_;
+  for (const auto& [key, index] : indexes_) {
+    copy->indexes_.emplace(key, ValueIndex{});
+  }
+  return copy;
+}
+
 std::string WorkingMemory::ToString() const {
   std::shared_lock lock(mu_);
   std::ostringstream out;

@@ -173,6 +173,12 @@ class WorkingMemory {
   /// shared). Version history and active snapshots are not cloned.
   std::unique_ptr<WorkingMemory> Clone() const;
 
+  /// Copies the schema catalog (and declared index keys) only — no WMEs,
+  /// no counters. PartitionedMatcher builds empty sub-partition matchers
+  /// against such a husk and then feeds them their value-hash share of
+  /// the routed WMEs as ordinary adds.
+  std::unique_ptr<WorkingMemory> CloneSchemaOnly() const;
+
   // --- Recovery (server/recovery.h) ---------------------------------------
   //
   // Journal replay references WMEs by id, so rebuilding state from a

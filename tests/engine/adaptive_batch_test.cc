@@ -1,0 +1,68 @@
+// Unit tests for the pure adaptive-batch-limit controller: the raise and
+// lower thresholds, hysteresis band, bounds clamping, and empty windows.
+
+#include <gtest/gtest.h>
+
+#include "engine/adaptive_batch.h"
+
+namespace dbps {
+namespace {
+
+AdaptiveBatchSignals Window(uint64_t saturated, uint64_t total,
+                            uint64_t stall_us) {
+  AdaptiveBatchSignals w;
+  w.saturated_batches = saturated;
+  w.total_batches = total;
+  w.stall_micros = stall_us;
+  return w;
+}
+
+TEST(AdaptiveBatchTest, RaisesWhenSaturatedAndStalling) {
+  // 32/64 saturated, 40us average stall: both raise conditions hold.
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(32, 64, 64 * 40), 8, 1, 64),
+            16u);
+}
+
+TEST(AdaptiveBatchTest, LowersWhenIdle) {
+  // 1/64 saturated, ~1us average stall: folding headroom is unused.
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(1, 64, 64), 8, 1, 64), 4u);
+}
+
+TEST(AdaptiveBatchTest, HoldsInTheHysteresisBand) {
+  // Saturated enough not to lower, not stalling enough to raise.
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(10, 64, 64), 8, 1, 64), 8u);
+  // Stalling but batches almost never fill: the limit is not the cause.
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(1, 64, 64 * 100), 8, 1, 64),
+            8u);
+}
+
+TEST(AdaptiveBatchTest, EmptyWindowIsANoOp) {
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(0, 0, 0), 8, 1, 64), 8u);
+}
+
+TEST(AdaptiveBatchTest, ClampsToCeilingAndFloor) {
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(64, 64, 64 * 1000), 64, 1, 64),
+            64u);
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(64, 64, 64 * 1000), 48, 1, 64),
+            64u);
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(0, 64, 0), 1, 1, 64), 1u);
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(0, 64, 0), 8, 4, 64), 4u);
+}
+
+TEST(AdaptiveBatchTest, OutOfRangeCurrentIsClampedFirst) {
+  // A current limit outside [floor, ceiling] (e.g. after a config
+  // change) snaps into range before the window is considered.
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(10, 64, 64), 128, 1, 64), 64u);
+  EXPECT_EQ(ComputeAdaptiveBatchLimit(Window(10, 64, 64), 0, 2, 64), 2u);
+}
+
+TEST(AdaptiveBatchTest, RepeatedPressureWalksToTheCeiling) {
+  size_t limit = 1;
+  for (int i = 0; i < 10; ++i) {
+    limit = ComputeAdaptiveBatchLimit(Window(60, 64, 64 * 50), limit, 1, 64);
+  }
+  EXPECT_EQ(limit, 64u);
+}
+
+}  // namespace
+}  // namespace dbps

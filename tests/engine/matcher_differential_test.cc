@@ -44,8 +44,20 @@ std::string JournalText(const RunResult& result) {
   return text;
 }
 
+/// Arms hot-partition splitting, rule re-homing, and match/commit
+/// pipelining with aggressive triggers (for short deterministic runs).
+void ArmSkewAdaptation(ParallelEngineOptions* options) {
+  options->match_split = true;
+  options->match_split_ways = 3;
+  options->match_split_streak = 1;
+  options->match_split_share = 0.5;
+  options->match_rehome = true;
+  options->match_rehome_streak = 4;
+  options->match_pipeline = true;
+}
+
 RunResult RunLogistics(size_t match_partitions, size_t match_workers,
-                       bool shadow) {
+                       bool shadow, bool skew_adaptive = false) {
   RuleSetPtr rules;
   auto wm = MakeLogisticsWm(/*boxes=*/12, /*robots=*/4, /*sites=*/4, &rules);
   ParallelEngineOptions options;
@@ -54,6 +66,7 @@ RunResult RunLogistics(size_t match_partitions, size_t match_workers,
   options.num_match_partitions = match_partitions;
   options.match_workers = match_workers;
   options.match_shadow_check = shadow;
+  if (skew_adaptive) ArmSkewAdaptation(&options);
   ParallelEngine engine(wm.get(), rules, options);
   auto result_or = engine.Run();
   DBPS_CHECK(result_or.ok()) << result_or.status();
@@ -77,6 +90,45 @@ TEST(MatcherDifferentialTest, PartitionedJournalIsByteIdenticalToSerial) {
   EXPECT_GT(partitioned.stats.match_batches, 0u);
   EXPECT_EQ(partitioned.stats.match_partitions.size(), 8u);
   EXPECT_EQ(serial.stats.match_batches, 0u);
+}
+
+// The tentpole's full stack — hot-partition value-hash splitting,
+// dynamic rule re-homing, AND match/commit pipelining — armed at once
+// (with the shadow differential watching every batch) must still
+// reproduce the serial journal byte for byte: splitting/re-homing
+// preserve canonical merge order, and the pipeline's drain-before-claim
+// keeps single-worker selection order identical to the inline path.
+TEST(MatcherDifferentialTest, SkewAdaptivePipelinedJournalIsByteIdentical) {
+  const RunResult serial = RunLogistics(0, 1, false);
+  const RunResult adaptive =
+      RunLogistics(4, 2, /*shadow=*/true, /*skew_adaptive=*/true);
+
+  ASSERT_GT(serial.log.size(), 0u);
+  EXPECT_EQ(JournalText(serial), JournalText(adaptive));
+  for (size_t i = 0; i < serial.log.size() && i < adaptive.log.size(); ++i) {
+    EXPECT_EQ(serial.log[i].seq, adaptive.log[i].seq);
+  }
+  // The pipeline actually carried the propagation work.
+  EXPECT_GT(adaptive.stats.match_pipeline_batches, 0u);
+}
+
+// Adaptive batch limit as a pass-through ablation: with one worker the
+// sequencer never folds, the controller only ever lowers the limit, and
+// the journal cannot move.
+TEST(MatcherDifferentialTest, AdaptiveBatchLimitKeepsJournalStable) {
+  RuleSetPtr rules;
+  auto wm = MakeLogisticsWm(12, 4, 4, &rules);
+  ParallelEngineOptions options;
+  options.base.seed = 42;
+  options.num_workers = 1;
+  options.num_match_partitions = 4;
+  options.adaptive_batch_limit = true;
+  ParallelEngine engine(wm.get(), rules, options);
+  auto result_or = engine.Run();
+  ASSERT_TRUE(result_or.ok()) << result_or.status();
+  const RunResult serial = RunLogistics(0, 1, false);
+  EXPECT_EQ(JournalText(serial), JournalText(result_or.ValueOrDie()));
+  EXPECT_GE(result_or.ValueOrDie().stats.effective_batch_limit, 1u);
 }
 
 TEST(MatcherDifferentialTest, TreatInnerMatcherAgreesToo) {
@@ -139,6 +191,61 @@ TEST_P(MatcherDifferentialChaosTest, PartitionedMatchSurvivesFamily) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllFamilies, MatcherDifferentialChaosTest,
+    ::testing::Values(ChaosWorkload::kRulesOnly, ChaosWorkload::kMultiUser,
+                      ChaosWorkload::kNetwork, ChaosWorkload::kCrashRecover,
+                      ChaosWorkload::kZipfian, ChaosWorkload::kSnapshotScan,
+                      ChaosWorkload::kMixedOltp),
+    [](const ::testing::TestParamInfo<ChaosWorkload>& info) {
+      switch (info.param) {
+        case ChaosWorkload::kRulesOnly: return std::string("RulesOnly");
+        case ChaosWorkload::kMultiUser: return std::string("MultiUser");
+        case ChaosWorkload::kNetwork: return std::string("Network");
+        case ChaosWorkload::kCrashRecover: return std::string("CrashRecover");
+        case ChaosWorkload::kZipfian: return std::string("Zipfian");
+        case ChaosWorkload::kSnapshotScan: return std::string("SnapshotScan");
+        case ChaosWorkload::kMixedOltp: return std::string("MixedOltp");
+      }
+      return std::string("Unknown");
+    });
+
+// Every family again with the tentpole's skew-adaptation stack armed:
+// splitting + re-homing (aggressive triggers) + pipelining + the
+// adaptive batch limit, all under the per-batch shadow differential.
+// Fault injection, client sessions, crash recovery, and the offline
+// audit run exactly as in the base sweep.
+class SkewAdaptiveChaosTest : public ::testing::TestWithParam<ChaosWorkload> {
+};
+
+TEST_P(SkewAdaptiveChaosTest, ArmedAdaptationSurvivesFamily) {
+  const size_t trials = testing::ChaosTrialMultiplier();
+  for (size_t t = 0; t < trials; ++t) {
+    ChaosOptions options;
+    options.workload = GetParam();
+    options.seed = testing::ChaosSeedBase() + 8850 + t * 17;
+    options.fail_rate = 0.03;
+    options.client_sessions = 2;
+    options.txns_per_session = 6;
+    options.match_partitions = 4;
+    options.match_workers = 2;
+    options.match_shadow_check = true;
+    options.match_split = true;
+    options.match_rehome = true;
+    options.match_pipeline = true;
+    options.adaptive_batch_limit = true;
+    if (GetParam() == ChaosWorkload::kCrashRecover) {
+      options.journal_path = ::testing::TempDir() + "skew_adapt_crash_" +
+                             std::to_string(t) + ".wal";
+      options.group_commit = true;
+      options.checkpoint_every = 8;
+    }
+    ChaosReport report = ChaosRunner::RunTrial(options);
+    EXPECT_TRUE(report.verdict.ok())
+        << "seed " << options.seed << ": " << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SkewAdaptiveChaosTest,
     ::testing::Values(ChaosWorkload::kRulesOnly, ChaosWorkload::kMultiUser,
                       ChaosWorkload::kNetwork, ChaosWorkload::kCrashRecover,
                       ChaosWorkload::kZipfian, ChaosWorkload::kSnapshotScan,

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -330,6 +331,287 @@ TEST(PartitionedMatcherStressTest, ConcurrentReadersDuringPropagation) {
 
   // Ground truth after the dust settles: a fresh serial matcher over the
   // final WM state must agree with the incrementally-maintained set.
+  auto serial = CreateMatcher(MatcherKind::kRete);
+  ASSERT_TRUE(serial->Initialize(rules, wm).ok());
+  EXPECT_EQ(serial->conflict_set().CanonicalDump(),
+            matcher.conflict_set().CanonicalDump());
+}
+
+// ---------------------------------------------------------------------
+// Skew adaptation: hot-partition value-hash splitting.
+
+// A hot self-join workload: every batch lands on `hot`, whose only rules
+// eq-join on field `k` — split-eligible, so with streak 1 the home
+// partition splits after the first batch. Every subsequent batch must
+// still dump byte-identically to the serial matcher, including removals,
+// modifies, and the negated-CE blocker rule.
+constexpr const char* kHotJoinProgram = R"(
+(relation hot (k int) (v int))
+(relation mark (k int))
+
+(rule pairup
+  (hot ^k <x> ^v <a>)
+  (hot ^k <x> ^v { > 3 })
+  -->
+  (remove 1))
+
+(rule unmarked
+  (hot ^k <x> ^v { > 8 })
+  -(mark ^k <x>)
+  -->
+  (remove 1))
+)";
+
+std::vector<WmChange> RandomHotBatch(WorkingMemory* wm, Random* rng) {
+  Delta delta;
+  const size_t ops = 1 + rng->Uniform(4);
+  std::vector<WmeId> touched;
+  for (size_t op = 0; op < ops; ++op) {
+    switch (rng->Uniform(4)) {
+      case 0:
+      case 1:
+        delta.Create(Sym("hot"),
+                     {Value::Int(static_cast<int64_t>(rng->Uniform(10))),
+                      Value::Int(static_cast<int64_t>(rng->Uniform(12)))});
+        break;
+      case 2:
+        delta.Create(Sym("mark"),
+                     {Value::Int(static_cast<int64_t>(rng->Uniform(10)))});
+        break;
+      case 3: {
+        auto rows = wm->Scan(Sym("hot"));
+        if (rows.empty()) break;
+        const WmePtr& row = rows[rng->Uniform(rows.size())];
+        if (std::find(touched.begin(), touched.end(), row->id()) !=
+            touched.end()) {
+          break;
+        }
+        touched.push_back(row->id());
+        delta.Delete(row->id());
+        break;
+      }
+    }
+  }
+  if (delta.empty()) {
+    delta.Create(Sym("hot"), {Value::Int(0), Value::Int(0)});
+  }
+  auto change_or = wm->Apply(delta);
+  DBPS_CHECK(change_or.ok()) << change_or.status();
+  return {std::move(change_or).ValueOrDie()};
+}
+
+TEST(PartitionedSplitTest, SplitEquivalenceByteForByte) {
+  for (MatcherKind kind : {MatcherKind::kRete, MatcherKind::kTreat}) {
+    WorkingMemory wm;
+    auto rules = LoadProgram(kHotJoinProgram, &wm).ValueOrDie();
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          wm.Insert("hot", {Value::Int(i % 6), Value::Int(i)}).ok());
+    }
+    auto serial = CreateMatcher(kind);
+    ASSERT_TRUE(serial->Initialize(rules, wm).ok());
+
+    PartitionedMatcher::Options options;
+    options.num_partitions = 4;
+    options.num_workers = 2;
+    options.inner = kind;
+    options.split_hot = true;
+    options.split_ways = 3;
+    options.split_streak = 1;
+    options.split_share = 0.5;
+    PartitionedMatcher matcher(options);
+    ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+    EXPECT_EQ(serial->conflict_set().CanonicalDump(),
+              matcher.conflict_set().CanonicalDump());
+
+    Random rng(4242 + static_cast<uint64_t>(kind));
+    for (int batch = 0; batch < 60; ++batch) {
+      const std::vector<WmChange> changes = RandomHotBatch(&wm, &rng);
+      serial->ApplyChanges(changes);
+      matcher.ApplyChanges(changes);
+      ASSERT_EQ(serial->conflict_set().CanonicalDump(),
+                matcher.conflict_set().CanonicalDump())
+          << "diverged at batch " << batch << " ("
+          << MatcherKindToString(kind) << ")";
+    }
+
+    const PartitionedMatcher::Stats stats = matcher.GetStats();
+    EXPECT_EQ(stats.splits, 1u) << MatcherKindToString(kind);
+    const size_t home = matcher.PartitionOfRelation(Sym("hot"));
+    EXPECT_EQ(matcher.num_subpartitions(home), 3u);
+    EXPECT_EQ(stats.partitions[home].subs, 3u);
+  }
+}
+
+// A rule whose later CE joins a MIDDLE CE (not the first) is not
+// split-eligible — routing by the first CE's attribute would separate
+// the chained pair into different sub-partitions. The partition must
+// stay hot-but-unsplit forever.
+TEST(PartitionedSplitTest, TransitiveJoinChainNeverSplits) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(R"(
+(relation hot (k int) (j int))
+(rule chain
+  (hot ^k <x> ^j <y>)
+  (hot ^k <x> ^j <z>)
+  (hot ^k <w> ^j <z>)
+  -->
+  (remove 1))
+)",
+                           &wm)
+                   .ValueOrDie();
+  auto serial = CreateMatcher(MatcherKind::kRete);
+  ASSERT_TRUE(serial->Initialize(rules, wm).ok());
+
+  PartitionedMatcher::Options options;
+  options.num_partitions = 4;
+  options.num_workers = 2;
+  options.split_hot = true;
+  options.split_streak = 1;
+  options.split_share = 0.5;
+  PartitionedMatcher matcher(options);
+  ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+
+  Random rng(77);
+  for (int batch = 0; batch < 20; ++batch) {
+    Delta delta;
+    delta.Create(Sym("hot"),
+                 {Value::Int(static_cast<int64_t>(rng.Uniform(4))),
+                  Value::Int(static_cast<int64_t>(rng.Uniform(4)))});
+    auto change_or = wm.Apply(delta);
+    ASSERT_TRUE(change_or.ok());
+    std::vector<WmChange> changes{std::move(change_or).ValueOrDie()};
+    serial->ApplyChanges(changes);
+    matcher.ApplyChanges(changes);
+    ASSERT_EQ(serial->conflict_set().CanonicalDump(),
+              matcher.conflict_set().CanonicalDump());
+  }
+  EXPECT_EQ(matcher.GetStats().splits, 0u);
+  EXPECT_EQ(matcher.num_subpartitions(matcher.PartitionOfRelation(Sym("hot"))),
+            1u);
+}
+
+// ---------------------------------------------------------------------
+// Skew adaptation: dynamic rule re-homing.
+
+TEST(PartitionedRehomeTest, RehomeEquivalenceByteForByte) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kHotJoinProgram, &wm).ValueOrDie();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(wm.Insert("hot", {Value::Int(i % 4), Value::Int(i)}).ok());
+  }
+  auto serial = CreateMatcher(MatcherKind::kRete);
+  ASSERT_TRUE(serial->Initialize(rules, wm).ok());
+
+  PartitionedMatcher::Options options;
+  options.num_partitions = 4;
+  options.num_workers = 2;
+  options.rehome = true;
+  options.rehome_streak = 3;  // single-relation skew saturates bin 9 fast
+  PartitionedMatcher matcher(options);
+  ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+
+  Random rng(31337);
+  for (int batch = 0; batch < 40; ++batch) {
+    const std::vector<WmChange> changes = RandomHotBatch(&wm, &rng);
+    serial->ApplyChanges(changes);
+    matcher.ApplyChanges(changes);
+    ASSERT_EQ(serial->conflict_set().CanonicalDump(),
+              matcher.conflict_set().CanonicalDump())
+        << "diverged at batch " << batch;
+  }
+  const PartitionedMatcher::Stats stats = matcher.GetStats();
+  // The trigger fired: either the map actually moved, or rebuilding
+  // reproduced the same assignment and was skipped (anti-thrash).
+  EXPECT_GE(stats.rehomes + stats.rehome_skips, 1u);
+}
+
+// Split + re-home armed together under a multi-relation workload: the
+// adaptation machinery may fire in any order (re-home resets split
+// state); equivalence must hold throughout.
+TEST(PartitionedRehomeTest, SplitAndRehomeTogether) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kWorkloadProgram, &wm).ValueOrDie();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(wm.Insert("order", {Value::Int(i), Value::Int(i % 3)}).ok());
+    ASSERT_TRUE(
+        wm.Insert("stock", {Value::Int(i), Value::Int((i + 1) % 4)}).ok());
+  }
+  auto serial = CreateMatcher(MatcherKind::kRete);
+  ASSERT_TRUE(serial->Initialize(rules, wm).ok());
+
+  PartitionedMatcher::Options options;
+  options.num_partitions = 4;
+  options.num_workers = 4;
+  options.split_hot = true;
+  options.split_ways = 2;
+  options.split_streak = 2;
+  options.split_share = 0.5;
+  options.rehome = true;
+  options.rehome_streak = 4;
+  PartitionedMatcher matcher(options);
+  ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+
+  Random rng(2718);
+  for (int batch = 0; batch < 80; ++batch) {
+    const std::vector<WmChange> changes = RandomBatch(&wm, &rng);
+    serial->ApplyChanges(changes);
+    matcher.ApplyChanges(changes);
+    ASSERT_EQ(serial->conflict_set().CanonicalDump(),
+              matcher.conflict_set().CanonicalDump())
+        << "diverged at batch " << batch;
+  }
+}
+
+// TSan stress for the tentpole's new surface: engine-shaped readers
+// hammer the shared conflict set while batches propagate AND the matcher
+// splits its hot partition and re-homes rules mid-run. Aggressive streak
+// knobs force both rebuilds to actually happen while readers are live.
+// Run under -fsanitize=thread to verify; assertions hold regardless.
+TEST(PartitionedMatcherStressTest, ConcurrentReadersDuringSplitAndRehome) {
+  WorkingMemory wm;
+  auto rules = LoadProgram(kHotJoinProgram, &wm).ValueOrDie();
+  PartitionedMatcher::Options options;
+  options.num_partitions = 4;
+  options.num_workers = 4;
+  options.split_hot = true;
+  options.split_ways = 3;
+  options.split_streak = 1;
+  options.split_share = 0.5;
+  options.rehome = true;
+  options.rehome_streak = 5;
+  PartitionedMatcher matcher(options);
+  ASSERT_TRUE(matcher.Initialize(rules, wm).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Random rng(900 + r);
+      ConflictSet& cs = matcher.conflict_set();
+      while (!stop.load(std::memory_order_acquire)) {
+        InstPtr claimed = cs.Claim(ConflictResolution::kPriority, &rng);
+        if (claimed != nullptr) {
+          cs.Contains(claimed->key());
+          cs.Unclaim(claimed->key());
+        }
+        (void)cs.Snapshot();
+        (void)cs.size();
+      }
+    });
+  }
+
+  Random rng(53);
+  for (int batch = 0; batch < 80; ++batch) {
+    matcher.ApplyChanges(RandomHotBatch(&wm, &rng));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  const PartitionedMatcher::Stats stats = matcher.GetStats();
+  EXPECT_GE(stats.splits, 1u);
+  EXPECT_GE(stats.rehomes + stats.rehome_skips, 1u);
+
   auto serial = CreateMatcher(MatcherKind::kRete);
   ASSERT_TRUE(serial->Initialize(rules, wm).ok());
   EXPECT_EQ(serial->conflict_set().CanonicalDump(),

@@ -33,6 +33,16 @@
 #                                       # audited offline, and bench_recovery
 #                                       # --smoke with its
 #                                       # BENCH_recovery.json validated
+#   DBPS_TIER=matcher tools/check.sh    # matcher-equivalence tier: the
+#                                       # partitioned-matcher suites (value-
+#                                       # hash splitting, rule re-homing,
+#                                       # concurrent-reader stress) plus the
+#                                       # differential suite that replays
+#                                       # every chaos/workload family with
+#                                       # splitting + re-homing + match/
+#                                       # commit pipelining armed, byte-
+#                                       # comparing journals against the
+#                                       # serial engine
 #   DBPS_TIER=audit tools/check.sh      # consistency-audit tier: the
 #                                       # auditor unit suite, the mutation
 #                                       # harness (every injected violation
@@ -117,6 +127,20 @@ for row in doc["rows"]:
             f"{row['fast_hit_pct']}% <= 90% ({row['protocol']})")
 if doc["bench"] == "lock_protocols":
     assert sweep_rows > 0, f"{path}: uncontended sweep rows missing"
+if doc["bench"] == "multi_user":
+    # The skew sweep is the acceptance gate for value-hash splitting:
+    # all three configurations must report, the dumps already byte-
+    # compared inside the bench, and the split matcher must be at least
+    # as fast as the serial reference on the single-hot-relation
+    # workload (the bench itself enforces the stricter >= 1.3x bar
+    # against the unsplit partitioned matcher).
+    skew = {r["protocol"]: r for r in doc["rows"]
+            if r["workload"] == "match_skew"}
+    for proto in ("serial", "partitioned", "split"):
+        assert proto in skew, f"{path}: match_skew row '{proto}' missing"
+    assert skew["split"]["wall_ms"] <= skew["serial"]["wall_ms"], (
+        f"{path}: split matcher ({skew['split']['wall_ms']}ms) slower "
+        f"than serial ({skew['serial']['wall_ms']}ms) on skew workload")
 if doc["bench"] in ("multi_user", "net"):
     # These benches record per-transaction latencies; percentiles must
     # be populated and ordered.
@@ -200,6 +224,14 @@ EOF
   cp "$JSON_DIR/BENCH_recovery.json" bench/results/
   cp bench/results/BENCH_recovery.json BENCH_recovery.json
   echo "recovery tier passed"
+elif [ "$TIER" = "matcher" ]; then
+  # Matcher-equivalence tier: partitioned-matcher unit + stress suites
+  # and the engine-level differential suite (serial vs partitioned with
+  # skew adaptation armed, byte-identical journals). Seed-shifted via
+  # DBPS_CHAOS_SEED like the other soakable tiers.
+  ctest --test-dir "$BUILD_DIR" -j 4 --output-on-failure \
+    -R 'Partitioned|MatcherDifferential|SkewAdaptive|AdaptiveBatch'
+  echo "matcher tier passed"
 elif [ "$TIER" = "audit" ]; then
   # Consistency-audit tier: the auditor's own suites (unit, mutation
   # harness, adversarial workload families) plus the cli_audit smoke.

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Seed-sweeping soak harness: runs the chaos, recovery, and audit tiers
-# repeatedly at DBPS_CHAOS_TRIALS=100, shifting DBPS_CHAOS_SEED each
+# Seed-sweeping soak harness: runs the chaos, recovery, audit, and
+# matcher tiers repeatedly at DBPS_CHAOS_TRIALS=100, shifting
+# DBPS_CHAOS_SEED each
 # round so every round explores fresh schedules, fault points, and
 # mutation sites. Per-seed failure artifacts (the full tier log) land in
 # $DBPS_SOAK_DIR so a red seed can be replayed exactly:
@@ -14,7 +15,9 @@
 #
 # Environment:
 #   DBPS_SOAK_DIR      artifact directory (default build/soak)
-#   DBPS_SOAK_TIERS    tiers to sweep (default "chaos recovery audit")
+#   DBPS_SOAK_TIERS    tiers to sweep (default "chaos recovery audit
+#                      matcher" — matcher covers the differential suite
+#                      with splitting/re-homing/pipelining armed)
 #   DBPS_CHAOS_TRIALS  trial multiplier per tier run (default 100)
 #   DBPS_SANITIZE      forwarded to check.sh (e.g. thread for TSan soaks)
 #
@@ -28,7 +31,7 @@ ROUNDS="${1:-10}"
 SEED_BASE="${2:-1000}"
 STRIDE=1000
 TRIALS="${DBPS_CHAOS_TRIALS:-100}"
-TIERS="${DBPS_SOAK_TIERS:-chaos recovery audit}"
+TIERS="${DBPS_SOAK_TIERS:-chaos recovery audit matcher}"
 SOAK_DIR="${DBPS_SOAK_DIR:-build/soak}"
 mkdir -p "$SOAK_DIR"
 
